@@ -1,0 +1,60 @@
+//! SQL engine microbenchmarks: parsing, scans, hash joins, grouped
+//! aggregation — the substrate every pipeline stage executes against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{build::build_db, domain::themes, RowScale};
+use sqlkit::parse_select;
+
+fn db() -> datagen::BuiltDb {
+    build_db(&themes()[0], "bench", "healthcare", RowScale::bird(), 0.55, 42)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let sql = "SELECT COUNT(DISTINCT T1.PatientID) FROM Patient AS T1 \
+               INNER JOIN Laboratory AS T2 ON T1.PatientID = T2.PatientID \
+               WHERE T2.IGA > 80 AND T2.IGA < 500 AND \
+               STRFTIME('%Y', T1.`First Date`) >= '1990' \
+               ORDER BY T1.Age DESC LIMIT 5";
+    c.bench_function("parse_select", |b| {
+        b.iter(|| std::hint::black_box(parse_select(sql).unwrap()))
+    });
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let built = db();
+    let cases = [
+        ("scan_filter", "SELECT Name FROM Patient WHERE Age > 40"),
+        (
+            "hash_join",
+            "SELECT T1.Name, T2.IGA FROM Patient AS T1 \
+             INNER JOIN Laboratory AS T2 ON T1.PatientID = T2.PatientID",
+        ),
+        (
+            "three_way_join_agg",
+            "SELECT COUNT(DISTINCT T1.PatientID) FROM Patient AS T1 \
+             INNER JOIN Laboratory AS T2 ON T1.PatientID = T2.PatientID \
+             INNER JOIN Treatment AS T3 ON T1.PatientID = T3.PatientID \
+             WHERE T2.IGA > 100 AND T3.Cost > 50",
+        ),
+        (
+            "group_order_limit",
+            "SELECT City, COUNT(*) AS n FROM Patient GROUP BY City \
+             ORDER BY n DESC LIMIT 3",
+        ),
+        (
+            "subquery",
+            "SELECT Name FROM Patient WHERE Age = (SELECT MAX(Age) FROM Patient)",
+        ),
+    ];
+    let mut group = c.benchmark_group("engine_exec");
+    for (name, sql) in cases {
+        let stmt = parse_select(sql).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(built.database.query_stmt(&stmt).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_exec);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Retrieval microbenchmarks: HNSW vs exact flat search over a
+//! BIRD-profile value corpus — the §4.6 claim that HNSW takes retrieval
+//! off the critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{build::build_db, domain::themes, RowScale};
+use vecstore::{Embedder, FlatIndex, Hnsw, IvfIndex, VectorIndex};
+
+fn corpus(n_dbs: usize) -> Vec<String> {
+    let theme_lib = themes();
+    let mut values = Vec::new();
+    for i in 0..n_dbs {
+        let db = build_db(
+            &theme_lib[i % theme_lib.len()],
+            &format!("db{i}"),
+            "bench",
+            RowScale::bird(),
+            0.55,
+            i as u64,
+        );
+        for t in &db.tables {
+            for c in &t.cols {
+                values.extend(db.stored_values(&t.name, &c.name));
+            }
+        }
+    }
+    values
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let values = corpus(6);
+    let embedder = Embedder::new();
+    let mut flat = FlatIndex::new();
+    let mut hnsw = Hnsw::default();
+    let mut ivf = IvfIndex::default();
+    for v in &values {
+        let e = embedder.embed(v);
+        flat.add(e.clone());
+        ivf.add(e.clone());
+        hnsw.add(e);
+    }
+    let queries: Vec<Vec<f32>> = ["Oslo", "John Smith", "tier two", "approved", "silver"]
+        .iter()
+        .map(|q| embedder.embed(q))
+        .collect();
+
+    let mut group = c.benchmark_group("value_retrieval");
+    group.bench_with_input(BenchmarkId::new("flat", values.len()), &queries, |b, qs| {
+        b.iter(|| {
+            for q in qs {
+                std::hint::black_box(flat.search(q, 5));
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("ivf", values.len()), &queries, |b, qs| {
+        b.iter(|| {
+            for q in qs {
+                std::hint::black_box(ivf.search(q, 5));
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("hnsw", values.len()), &queries, |b, qs| {
+        b.iter(|| {
+            for q in qs {
+                std::hint::black_box(hnsw.search(q, 5));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_embedder(c: &mut Criterion) {
+    let embedder = Embedder::new();
+    c.bench_function("embed_question", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                embedder.embed("How many patients from Oslo were admitted after 1990?"),
+            )
+        })
+    });
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let values = corpus(2);
+    let embedder = Embedder::new();
+    let embedded: Vec<Vec<f32>> = values.iter().map(|v| embedder.embed(v)).collect();
+    c.bench_function("hnsw_build", |b| {
+        b.iter(|| {
+            let mut hnsw = Hnsw::default();
+            for e in &embedded {
+                hnsw.add(e.clone());
+            }
+            std::hint::black_box(hnsw.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_retrieval, bench_embedder, bench_index_build);
+criterion_main!(benches);

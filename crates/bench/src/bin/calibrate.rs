@@ -1,0 +1,66 @@
+//! Calibration tool: runs the core ablations on a scaled Mini-Dev and
+//! prints EX_G / EX_R / EX per configuration next to the paper's targets,
+//! so the `llmsim` profile constants can be tuned (see EXPERIMENTS.md).
+
+use datagen::Profile;
+use llmsim::ModelProfile;
+use opensearch_sql::{evaluate, PipelineConfig};
+use osql_bench::{pct, ExpArgs, Table, World};
+
+fn main() {
+    let args = ExpArgs::parse(0.3);
+    let profile = Profile::bird_mini_dev().scaled(args.scale);
+    eprintln!(
+        "[calibrate] building world: {} dbs, {} train, {} dev",
+        profile.n_databases, profile.train, profile.dev
+    );
+    let world = World::build(&profile);
+    let dev = world.benchmark.dev.clone();
+
+    let full = PipelineConfig::full();
+    let configs: Vec<(&str, PipelineConfig, [f64; 3])> = vec![
+        ("Full pipeline", full.clone(), [65.8, 68.2, 70.6]),
+        ("w/o Extraction", full.clone().without_extraction(), [61.6, 66.2, 67.4]),
+        ("w/o Values Retrieval", full.clone().without_values_retrieval(), [64.4, 66.6, 69.2]),
+        ("w/o column filtering", full.clone().without_column_filtering(), [63.2, 65.0, 68.6]),
+        ("w/o Info Alignment", full.clone().without_info_alignment(), [62.8, 67.6, 68.6]),
+        ("w/o Few-shot", full.clone().without_gen_fewshot(), [60.4, 63.0, 66.0]),
+        ("w/o CoT", full.clone().without_cot(), [63.0, 66.2, 69.2]),
+        ("w/o Alignments", full.clone().without_alignments(), [65.8, 67.0, 69.6]),
+        ("w/o Refinement", full.clone().without_refinement(), [65.8, 67.0, 67.0]),
+        ("w/o Correction", full.clone().without_correction(), [65.8, 67.0, 69.8]),
+        ("w/o SC & Vote", full.clone().without_self_consistency(), [65.8, 68.2, 68.2]),
+    ];
+
+    let mut table = Table::new(&[
+        "Pipeline Setup",
+        "EX_G",
+        "(paper)",
+        "EX_R",
+        "(paper)",
+        "EX",
+        "(paper)",
+    ]);
+    for (name, config, target) in configs {
+        let t0 = std::time::Instant::now();
+        let pipeline = world.pipeline(config, ModelProfile::gpt_4o());
+        let report = evaluate(&pipeline, &dev, args.threads);
+        table.row(&[
+            name.to_string(),
+            pct(report.ex_g),
+            pct(target[0]),
+            pct(report.ex_r),
+            pct(target[1]),
+            pct(report.ex),
+            pct(target[2]),
+        ]);
+        eprintln!(
+            "[calibrate] {name}: EX_G={:.1} EX_R={:.1} EX={:.1} ({:.1}s)",
+            report.ex_g,
+            report.ex_r,
+            report.ex,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    println!("{}", table.render());
+}

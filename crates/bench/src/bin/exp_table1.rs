@@ -1,0 +1,42 @@
+//! **Table 1** — dataset statistics of the generated BIRD and Spider
+//! profiles, next to the paper's numbers.
+
+use datagen::Profile;
+use osql_bench::{dump_json, ExpArgs, Table};
+
+fn main() {
+    let args = ExpArgs::parse(1.0);
+    let mut table = Table::new(&[
+        "Dataset", "train", "dev", "test", "domains", "databases", "(paper)",
+    ]);
+    let mut artifacts = Vec::new();
+    for (profile, paper) in [
+        (Profile::bird(), "9428/1534/1789, 37 domains, 95 dbs"),
+        (Profile::spider(), "8659/1034/2147, 138 domains, 200 dbs"),
+    ] {
+        let profile = profile.scaled(args.scale);
+        eprintln!("[table1] generating {} ...", profile.name);
+        let bench = datagen::generate(&profile);
+        table.row(&[
+            bench.name.clone(),
+            bench.train.len().to_string(),
+            bench.dev.len().to_string(),
+            bench.test.len().to_string(),
+            bench.domain_count().to_string(),
+            bench.dbs.len().to_string(),
+            paper.to_string(),
+        ]);
+        artifacts.push(serde_json::json!({
+            "name": bench.name,
+            "train": bench.train.len(),
+            "dev": bench.dev.len(),
+            "test": bench.test.len(),
+            "domains": bench.domain_count(),
+            "databases": bench.dbs.len(),
+            "total_rows": bench.dbs.iter().map(|d| d.database.total_rows()).sum::<usize>(),
+        }));
+    }
+    println!("Table 1: dataset statistics (scale {})", args.scale);
+    println!("{}", Table::render(&table));
+    dump_json("table1", &artifacts);
+}

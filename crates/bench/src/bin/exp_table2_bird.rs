@@ -1,0 +1,76 @@
+//! **Table 2** — BIRD dev/test execution accuracy and test R-VES for the
+//! eight baselines and OpenSearch-SQL (with and without self-consistency &
+//! vote).
+
+use datagen::Profile;
+use opensearch_sql::evaluate;
+use osql_bench::{dump_json, pct, ExpArgs, Table, World};
+
+fn main() {
+    let args = ExpArgs::parse(0.15);
+    let profile = Profile::bird().scaled(args.scale);
+    eprintln!(
+        "[table2] building BIRD world: {} dbs, {} train, {} dev, {} test",
+        profile.n_databases, profile.train, profile.dev, profile.test
+    );
+    let world = World::build(&profile);
+    let dev = world.benchmark.dev.clone();
+    let test = world.benchmark.test.clone();
+
+    // paper leaderboard numbers: (dev EX, test EX, test R-VES)
+    let paper: &[(&str, &str)] = &[
+        ("GPT-4", "46.35 / 54.89 / 51.57"),
+        ("DIN-SQL + GPT-4", "50.72 / 55.90 / 53.07"),
+        ("DAIL-SQL + GPT-4", "54.76 / 57.41 / 54.02"),
+        ("MAC-SQL + GPT-4", "57.56 / 59.59 / 57.60"),
+        ("MCS-SQL + GPT-4", "63.36 / 65.45 / 61.23"),
+        ("CHESS", "65.00 / 66.69 / 62.77"),
+        ("Distillery + GPT-4o(ft)", "67.21 / 71.83 / 67.41"),
+        ("OpenSearch-SQL + GPT-4", "66.62 / - / -"),
+        ("OpenSearch-SQL + GPT-4o w/o SC & Vote", "67.80 / - / -"),
+        ("OpenSearch-SQL + GPT-4o", "69.30 / 72.28 / 69.36"),
+    ];
+
+    let mut table = Table::new(&["Method", "EX dev", "EX test", "R-VES test", "(paper d/t/rv)"]);
+    let mut artifacts = Vec::new();
+    for baseline in baselines::bird_lineup() {
+        let t0 = std::time::Instant::now();
+        let pipeline = world.pipeline(baseline.config.clone(), baseline.profile.clone());
+        let dev_report = evaluate(&pipeline, &dev, args.threads);
+        let test_report = evaluate(&pipeline, &test, args.threads);
+        let paper_cell = paper
+            .iter()
+            .find(|(n, _)| *n == baseline.name)
+            .map(|(_, v)| v.to_string())
+            .unwrap_or_default();
+        eprintln!(
+            "[table2] {}: dev {:.1} test {:.1} rves {:.1} ({:.0}s)",
+            baseline.name,
+            dev_report.ex,
+            test_report.ex,
+            test_report.r_ves,
+            t0.elapsed().as_secs_f64()
+        );
+        table.row(&[
+            baseline.name.to_string(),
+            pct(dev_report.ex),
+            pct(test_report.ex),
+            pct(test_report.r_ves),
+            paper_cell,
+        ]);
+        artifacts.push(serde_json::json!({
+            "method": baseline.name,
+            "dev_ex": dev_report.ex,
+            "test_ex": test_report.ex,
+            "test_r_ves": test_report.r_ves,
+        }));
+    }
+    println!(
+        "Table 2: BIRD results (scale {}, dev n={}, test n={})",
+        args.scale,
+        dev.len(),
+        test.len()
+    );
+    println!("{}", Table::render(&table));
+    dump_json("table2_bird", &artifacts);
+}

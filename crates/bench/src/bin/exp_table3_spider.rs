@@ -1,0 +1,53 @@
+//! **Table 3** — Spider test-set execution accuracy for the baseline
+//! line-up and OpenSearch-SQL.
+
+use datagen::Profile;
+use opensearch_sql::evaluate;
+use osql_bench::{dump_json, pct, ExpArgs, Table, World};
+
+fn main() {
+    let args = ExpArgs::parse(0.15);
+    let profile = Profile::spider().scaled(args.scale);
+    eprintln!(
+        "[table3] building Spider world: {} dbs, {} train, {} test",
+        profile.n_databases, profile.train, profile.test
+    );
+    let world = World::build(&profile);
+    let test = world.benchmark.test.clone();
+
+    let paper: &[(&str, &str)] = &[
+        ("GPT-4", "83.9"),
+        ("C3 + ChatGPT", "82.3"),
+        ("DIN-SQL + GPT-4", "85.3"),
+        ("DAIL-SQL + GPT-4", "86.6"),
+        ("MAC-SQL + GPT-4", "82.8*"),
+        ("MCS-SQL + GPT-4", "89.6*"),
+        ("CHESS", "87.2*"),
+        ("OpenSearch-SQL + GPT-4", "86.8"),
+        ("OpenSearch-SQL + GPT-4o", "87.1"),
+    ];
+
+    let mut table = Table::new(&["Method", "EX test", "(paper)"]);
+    let mut artifacts = Vec::new();
+    for baseline in baselines::spider_lineup() {
+        let t0 = std::time::Instant::now();
+        let pipeline = world.pipeline(baseline.config.clone(), baseline.profile.clone());
+        let report = evaluate(&pipeline, &test, args.threads);
+        let paper_cell = paper
+            .iter()
+            .find(|(n, _)| *n == baseline.name)
+            .map(|(_, v)| v.to_string())
+            .unwrap_or_default();
+        eprintln!(
+            "[table3] {}: {:.1} ({:.0}s)",
+            baseline.name,
+            report.ex,
+            t0.elapsed().as_secs_f64()
+        );
+        table.row(&[baseline.name.to_string(), pct(report.ex), paper_cell]);
+        artifacts.push(serde_json::json!({ "method": baseline.name, "test_ex": report.ex }));
+    }
+    println!("Table 3: Spider test EX (scale {}, n={})", args.scale, test.len());
+    println!("{}", Table::render(&table));
+    dump_json("table3_spider", &artifacts);
+}

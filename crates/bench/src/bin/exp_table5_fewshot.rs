@@ -1,0 +1,62 @@
+//! **Table 5** — few-shot strategy comparison: Query-CoT-SQL pairs vs
+//! Query-SQL pairs vs none, separately for the Generation and Refinement
+//! stages.
+
+use datagen::Profile;
+use llmsim::ModelProfile;
+use opensearch_sql::{evaluate, FewshotMode, PipelineConfig};
+use osql_bench::{dump_json, pct, ExpArgs, Table, World};
+
+fn main() {
+    let args = ExpArgs::parse(1.0);
+    let profile = Profile::bird_mini_dev().scaled(args.scale);
+    eprintln!("[table5] building Mini-Dev world ({} dev)", profile.dev);
+    let world = World::build(&profile);
+    let dev = world.benchmark.dev.clone();
+
+    let full = PipelineConfig::full();
+    let mut gen_none = full.clone();
+    gen_none.gen_fewshot = FewshotMode::None;
+    let mut gen_plain = full.clone();
+    gen_plain.gen_fewshot = FewshotMode::QuerySql;
+    let refine_none = full.clone().without_refine_fewshot();
+    let mut both_none = full.clone().without_refine_fewshot();
+    both_none.gen_fewshot = FewshotMode::None;
+
+    let configs: Vec<(&str, PipelineConfig, [f64; 3])> = vec![
+        ("Query-CoT-SQL pair Few-shot", full, [65.8, 68.2, 70.6]),
+        ("w/o Few-shot of Generation", gen_none, [59.6, 63.0, 66.0]),
+        ("w Query-SQL pair Few-shot of Generation", gen_plain, [63.0, 66.2, 69.2]),
+        ("w/o Few-shot of Refinement", refine_none, [65.8, 67.6, 69.4]),
+        ("w/o Few-shot of Generation & Refinement", both_none, [59.6, 62.8, 66.0]),
+    ];
+
+    let mut table =
+        Table::new(&["Method", "EX_G", "EX_R", "EX", "(paper EX_G/EX_R/EX)"]);
+    let mut artifacts = Vec::new();
+    for (name, config, target) in configs {
+        let t0 = std::time::Instant::now();
+        let pipeline = world.pipeline(config, ModelProfile::gpt_4o());
+        let report = evaluate(&pipeline, &dev, args.threads);
+        eprintln!(
+            "[table5] {name}: {:.1}/{:.1}/{:.1} ({:.0}s)",
+            report.ex_g,
+            report.ex_r,
+            report.ex,
+            t0.elapsed().as_secs_f64()
+        );
+        table.row(&[
+            name.to_string(),
+            pct(report.ex_g),
+            pct(report.ex_r),
+            pct(report.ex),
+            format!("{:.1} / {:.1} / {:.1}", target[0], target[1], target[2]),
+        ]);
+        artifacts.push(serde_json::json!({
+            "method": name, "ex_g": report.ex_g, "ex_r": report.ex_r, "ex": report.ex,
+        }));
+    }
+    println!("Table 5: few-shot comparison (scale {}, n={})", args.scale, dev.len());
+    println!("{}", Table::render(&table));
+    dump_json("table5_fewshot", &artifacts);
+}

@@ -1,0 +1,60 @@
+//! **Table 7** — CoT comparison with generation few-shot disabled:
+//! no CoT vs unstructured ("let's think step by step") vs the structured
+//! CoT of Listing 5, reporting single-SQL accuracy (`EX_G`) and voted
+//! accuracy (`EX_V`).
+
+use datagen::Profile;
+use llmsim::ModelProfile;
+use opensearch_sql::{evaluate, CotMode, PipelineConfig};
+use osql_bench::{dump_json, pct, ExpArgs, Table, World};
+
+fn main() {
+    let args = ExpArgs::parse(1.0);
+    let profile = Profile::bird_mini_dev().scaled(args.scale);
+    eprintln!("[table7] building Mini-Dev world ({} dev)", profile.dev);
+    let world = World::build(&profile);
+    let dev = world.benchmark.dev.clone();
+
+    let base = PipelineConfig::full().without_gen_fewshot();
+    let configs: Vec<(&str, CotMode, [f64; 3])> = vec![
+        ("w/o CoT", CotMode::None, [57.6, 59.2, 1.6]),
+        ("Unstructured CoT", CotMode::Unstructured, [58.2, 63.0, 4.8]),
+        ("Structured CoT", CotMode::Structured, [58.8, 65.0, 6.2]),
+    ];
+
+    let mut table = Table::new(&[
+        "Modular", "EX_G", "EX_V", "EX_V - EX_G", "(paper EX_G/EX_V/diff)",
+    ]);
+    let mut artifacts = Vec::new();
+    for (name, cot, target) in configs {
+        let mut config = base.clone();
+        config.cot = cot;
+        let t0 = std::time::Instant::now();
+        let pipeline = world.pipeline(config, ModelProfile::gpt_4o());
+        let report = evaluate(&pipeline, &dev, args.threads);
+        let ex_v = report.ex;
+        eprintln!(
+            "[table7] {name}: EX_G={:.1} EX_V={:.1} ({:.0}s)",
+            report.ex_g,
+            ex_v,
+            t0.elapsed().as_secs_f64()
+        );
+        table.row(&[
+            name.to_string(),
+            pct(report.ex_g),
+            pct(ex_v),
+            pct(ex_v - report.ex_g),
+            format!("{:.1} / {:.1} / {:.1}", target[0], target[1], target[2]),
+        ]);
+        artifacts.push(serde_json::json!({
+            "modular": name, "ex_g": report.ex_g, "ex_v": ex_v,
+        }));
+    }
+    println!(
+        "Table 7: CoT comparison, generation few-shot disabled (scale {}, n={})",
+        args.scale,
+        dev.len()
+    );
+    println!("{}", Table::render(&table));
+    dump_json("table7_cot", &artifacts);
+}

@@ -1,0 +1,172 @@
+//! # osql-bench — experiment harness
+//!
+//! Shared plumbing for the `exp_*` binaries that regenerate every table
+//! and figure of the paper: world construction (benchmark + oracle +
+//! simulated model + preprocessing), pipeline assembly, result tables, and
+//! JSON artifact dumps.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use datagen::{Benchmark, Profile};
+use llmsim::{LanguageModel, ModelProfile, Oracle, SimLlm};
+use opensearch_sql::{Pipeline, PipelineConfig, Preprocessed};
+use std::sync::Arc;
+
+/// A fully-prepared experiment world: benchmark, oracle, and preprocessed
+/// assets (built with a reference model for the self-taught few-shots).
+pub struct World {
+    /// The generated benchmark.
+    pub benchmark: Arc<Benchmark>,
+    /// The question registry.
+    pub oracle: Arc<Oracle>,
+    /// Preprocessed assets (vector indexes + few-shot library).
+    pub preprocessed: Arc<Preprocessed>,
+}
+
+impl World {
+    /// Build a world from a profile. Preprocessing self-teaches the
+    /// few-shot library with a GPT-4o-profile model (deterministic, so any
+    /// pipeline model can reuse it).
+    pub fn build(profile: &Profile) -> World {
+        let benchmark = Arc::new(datagen::generate(profile));
+        let oracle = Arc::new(Oracle::new(benchmark.clone()));
+        let builder = SimLlm::new(oracle.clone(), ModelProfile::gpt_4o(), 0xB00);
+        let preprocessed = Arc::new(Preprocessed::run(benchmark.clone(), &builder));
+        World { benchmark, oracle, preprocessed }
+    }
+
+    /// A fresh simulated model over this world.
+    pub fn model(&self, profile: ModelProfile) -> Arc<dyn LanguageModel> {
+        Arc::new(SimLlm::new(self.oracle.clone(), profile, 0x05EED))
+    }
+
+    /// Assemble a pipeline with a config and model profile.
+    pub fn pipeline(&self, config: PipelineConfig, profile: ModelProfile) -> Pipeline {
+        Pipeline::new(self.preprocessed.clone(), self.model(profile), config)
+    }
+}
+
+/// Parse `--scale f`, `--threads n`, `--dev n` style CLI arguments.
+pub struct ExpArgs {
+    /// Split-size scale factor applied to the profile.
+    pub scale: f64,
+    /// Worker threads for evaluation.
+    pub threads: usize,
+}
+
+impl ExpArgs {
+    /// Parse from `std::env::args`, with defaults.
+    pub fn parse(default_scale: f64) -> ExpArgs {
+        let mut scale = default_scale;
+        let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        scale = v;
+                    }
+                    i += 1;
+                }
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        threads = v;
+                    }
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        ExpArgs { scale, threads }
+    }
+}
+
+/// Minimal fixed-width table printer for experiment output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate().take(cols) {
+                s.push_str(&format!(" {:<width$} |", c, width = widths[i]));
+            }
+            s
+        };
+        let mut out = line(&self.headers);
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&line(&sep));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Write a JSON artifact next to the experiment outputs.
+pub fn dump_json(name: &str, value: &impl serde::Serialize) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            let _ = std::fs::write(&path, s);
+            eprintln!("[artifact] {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds_and_answers() {
+        let world = World::build(&Profile::tiny());
+        let p = world.pipeline(PipelineConfig::fast(), ModelProfile::gpt_4o());
+        let ex = world.benchmark.dev[0].clone();
+        let run = p.answer(&ex.db_id, &ex.question, &ex.evidence);
+        assert!(!run.final_sql.is_empty());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["Method", "EX"]);
+        t.row(&["GPT-4".into(), "46.3".into()]);
+        t.row(&["OpenSearch-SQL".into(), "69.3".into()]);
+        let s = t.render();
+        assert!(s.contains("| Method         | EX   |"));
+        assert!(s.lines().count() == 4);
+    }
+}

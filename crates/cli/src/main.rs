@@ -1,0 +1,67 @@
+//! `opensearch-sql` — an interactive REPL over the pipeline.
+//!
+//! ```sh
+//! cargo run --release -p osql-cli -- --profile tiny
+//! ```
+//!
+//! Type a natural-language question to run it through the full pipeline,
+//! or use `\`-commands (`\help` lists them) to inspect the world, switch
+//! databases, and run raw SQL against the engine.
+
+mod repl;
+
+use repl::{Repl, ReplOutcome};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut profile_name = "tiny".to_owned();
+    let mut scale = 1.0f64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                if let Some(v) = args.get(i + 1) {
+                    profile_name = v.clone();
+                }
+                i += 1;
+            }
+            "--scale" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    scale = v;
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: opensearch-sql [--profile tiny|mini|bird|spider] [--scale f]"
+                );
+                return;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    eprintln!("building {profile_name} world (scale {scale}) ...");
+    let mut repl = Repl::build(&profile_name, scale);
+    println!("{}", repl.banner());
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("osql> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        match repl.handle(line.trim()) {
+            ReplOutcome::Quit => break,
+            ReplOutcome::Text(out) => println!("{out}"),
+            ReplOutcome::Empty => {}
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Evaluation: Execution Accuracy (EX) and the Reward-based Valid
+//! Efficiency Score (R-VES), per BIRD's scorer, plus the staged metrics
+//! (`EX_G`, `EX_R`, `EX`) the paper's ablations report.
+
+use crate::cost::CostLedger;
+use crate::pipeline::Pipeline;
+use crate::refinement::execute;
+use datagen::{Difficulty, Example};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Aggregated evaluation over a set of examples.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct EvalReport {
+    /// Examples evaluated.
+    pub n: usize,
+    /// EX of the first raw generation candidate (%).
+    pub ex_g: f64,
+    /// EX of the first refined candidate, pre-vote (%).
+    pub ex_r: f64,
+    /// EX of the final voted SQL (%).
+    pub ex: f64,
+    /// R-VES of the final SQL (%).
+    pub r_ves: f64,
+    /// Final-EX correct/total per difficulty tier.
+    pub by_difficulty: BTreeMap<String, (usize, usize)>,
+    /// Merged per-module cost ledger across all runs.
+    #[serde(skip)]
+    pub ledger: CostLedger,
+}
+
+impl EvalReport {
+    /// Final EX restricted to one difficulty tier (%).
+    pub fn ex_of(&self, d: Difficulty) -> f64 {
+        match self.by_difficulty.get(d.as_str()) {
+            Some((c, t)) if *t > 0 => 100.0 * *c as f64 / *t as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// BIRD's R-VES reward buckets for a correct prediction, from the ratio of
+/// gold execution cost to predicted execution cost.
+pub fn ves_reward(time_ratio: f64) -> f64 {
+    if time_ratio >= 2.0 {
+        1.25
+    } else if time_ratio >= 1.0 {
+        1.0
+    } else if time_ratio >= 0.5 {
+        0.75
+    } else if time_ratio >= 0.25 {
+        0.5
+    } else {
+        0.25
+    }
+}
+
+/// Evaluate a pipeline over examples, spreading work across `threads`.
+pub fn evaluate(pipeline: &Pipeline, examples: &[Example], threads: usize) -> EvalReport {
+    let acc = Mutex::new(Accumulator::default());
+    let threads = threads.max(1);
+    let chunk = examples.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for part in examples.chunks(chunk) {
+            let acc = &acc;
+            scope.spawn(move || {
+                let mut local = Accumulator::default();
+                for ex in part {
+                    score_example(pipeline, ex, &mut local);
+                }
+                acc.lock().expect("accumulator lock").merge(local);
+            });
+        }
+    });
+    acc.into_inner().expect("accumulator lock").finish()
+}
+
+#[derive(Default)]
+struct Accumulator {
+    n: usize,
+    g_correct: usize,
+    r_correct: usize,
+    f_correct: usize,
+    ves_sum: f64,
+    by_difficulty: BTreeMap<String, (usize, usize)>,
+    ledger: CostLedger,
+}
+
+impl Accumulator {
+    fn merge(&mut self, other: Accumulator) {
+        self.n += other.n;
+        self.g_correct += other.g_correct;
+        self.r_correct += other.r_correct;
+        self.f_correct += other.f_correct;
+        self.ves_sum += other.ves_sum;
+        for (k, (c, t)) in other.by_difficulty {
+            let e = self.by_difficulty.entry(k).or_insert((0, 0));
+            e.0 += c;
+            e.1 += t;
+        }
+        self.ledger.merge(&other.ledger);
+    }
+
+    fn finish(self) -> EvalReport {
+        let pct = |c: usize| if self.n == 0 { 0.0 } else { 100.0 * c as f64 / self.n as f64 };
+        EvalReport {
+            n: self.n,
+            ex_g: pct(self.g_correct),
+            ex_r: pct(self.r_correct),
+            ex: pct(self.f_correct),
+            r_ves: if self.n == 0 { 0.0 } else { 100.0 * self.ves_sum / self.n as f64 },
+            by_difficulty: self.by_difficulty,
+            ledger: self.ledger,
+        }
+    }
+}
+
+fn score_example(pipeline: &Pipeline, ex: &Example, acc: &mut Accumulator) {
+    let Some(db) = pipeline.preprocessed().db(&ex.db_id) else {
+        return;
+    };
+    let (gold, gold_cost, _) = execute(&db.database, &ex.gold_sql);
+    let Ok(gold) = gold else {
+        return; // generated benchmarks guarantee this never happens
+    };
+    let run = pipeline.answer(&ex.db_id, &ex.question, &ex.evidence);
+
+    let is_correct = |sql: &str| -> (bool, u64) {
+        match execute(&db.database, sql) {
+            (Ok(rs), cost, _) => (rs.same_answer(&gold), cost),
+            _ => (false, 0),
+        }
+    };
+
+    acc.n += 1;
+    if is_correct(&run.sql_g).0 {
+        acc.g_correct += 1;
+    }
+    if is_correct(&run.sql_r).0 {
+        acc.r_correct += 1;
+    }
+    let (final_ok, final_cost) = is_correct(&run.final_sql);
+    if final_ok {
+        acc.f_correct += 1;
+        let ratio = gold_cost.max(1) as f64 / final_cost.max(1) as f64;
+        // BIRD measures wall-clock, which jitters around the true ratio;
+        // reproduce that with a deterministic per-example perturbation so
+        // equal-cost queries spread across the 0.75/1.0/1.25 buckets the
+        // way measured timings do
+        let mut h = 0xcbf29ce484222325u64;
+        for b in ex.question.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let jitter = 0.9 + 0.35 * ((h >> 16) % 1000) as f64 / 1000.0;
+        acc.ves_sum += ves_reward(ratio * jitter);
+    }
+    let tier = acc.by_difficulty.entry(ex.difficulty.as_str().to_owned()).or_insert((0, 0));
+    tier.1 += 1;
+    if final_ok {
+        tier.0 += 1;
+    }
+    acc.ledger.merge(&run.ledger);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::preprocess::Preprocessed;
+    use datagen::{generate, Profile};
+    use llmsim::{ModelProfile, Oracle, SimLlm};
+    use std::sync::Arc;
+
+    fn pipeline(config: PipelineConfig) -> Pipeline {
+        let bench = Arc::new(generate(&Profile::tiny()));
+        let oracle = Arc::new(Oracle::new(bench.clone()));
+        let llm = Arc::new(SimLlm::new(oracle, ModelProfile::gpt_4o(), 6));
+        let pre = Arc::new(Preprocessed::run(bench, llm.as_ref()));
+        Pipeline::new(pre, llm, config)
+    }
+
+    #[test]
+    fn ves_reward_buckets() {
+        assert_eq!(ves_reward(3.0), 1.25);
+        assert_eq!(ves_reward(1.5), 1.0);
+        assert_eq!(ves_reward(0.7), 0.75);
+        assert_eq!(ves_reward(0.3), 0.5);
+        assert_eq!(ves_reward(0.1), 0.25);
+    }
+
+    #[test]
+    fn evaluation_produces_ordered_stage_metrics() {
+        let p = pipeline(PipelineConfig::fast());
+        let dev = p.preprocessed().benchmark.dev.clone();
+        let report = evaluate(&p, &dev, 4);
+        assert_eq!(report.n, dev.len());
+        // stages can only improve a candidate set
+        assert!(report.ex >= report.ex_r - 1e-9, "{report:?}");
+        assert!(report.ex > 30.0, "pipeline way off: {report:?}");
+        assert!(report.r_ves > 0.0);
+        let total: usize = report.by_difficulty.values().map(|(_, t)| t).sum();
+        assert_eq!(total, dev.len());
+    }
+
+    #[test]
+    fn single_threaded_matches_parallel() {
+        let p = pipeline(PipelineConfig::fast());
+        let dev: Vec<datagen::Example> =
+            p.preprocessed().benchmark.dev.iter().take(6).cloned().collect();
+        let a = evaluate(&p, &dev, 1);
+        let b = evaluate(&p, &dev, 3);
+        assert_eq!(a.ex, b.ex);
+        assert_eq!(a.ex_g, b.ex_g);
+        assert_eq!(a.r_ves, b.r_ves);
+    }
+
+    #[test]
+    fn empty_examples_yield_zero_report() {
+        let p = pipeline(PipelineConfig::fast());
+        let report = evaluate(&p, &[], 2);
+        assert_eq!(report.n, 0);
+        assert_eq!(report.ex, 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! The Generation stage (paper §3.5): progressive (structured-CoT)
+//! generation with dynamic few-shot, producing a beam of candidate SQLs.
+
+use crate::config::{CotMode, PipelineConfig};
+use crate::cost::{CostLedger, Module};
+use crate::extraction::{evidence_line, values_block, ExtractionOutput};
+use crate::preprocess::Preprocessed;
+use llmsim::proto;
+use llmsim::{ChatRequest, LanguageModel};
+
+/// Output of Generation: raw candidate SQL strings (one per beam sample).
+#[derive(Debug, Clone)]
+pub struct GenerationOutput {
+    /// Parsed SQL per candidate.
+    pub candidates: Vec<String>,
+    /// Full response texts (CoT fields kept for diagnostics).
+    pub raw_texts: Vec<String>,
+}
+
+/// Build the generation prompt for a question.
+pub fn build_generation_prompt(
+    pre: &Preprocessed,
+    config: &PipelineConfig,
+    db_id: &str,
+    question: &str,
+    evidence: &str,
+    extraction: &ExtractionOutput,
+) -> String {
+    let schema_text = pre
+        .db(db_id)
+        .map(|db| db.database.schema.describe(extraction.subset.as_ref()))
+        .unwrap_or_default();
+    let format_line = match config.cot {
+        CotMode::Structured => proto::FORMAT_STRUCTURED_COT,
+        CotMode::Unstructured => proto::FORMAT_UNSTRUCTURED_COT,
+        CotMode::None => proto::FORMAT_SQL_ONLY,
+    };
+    let fewshots =
+        pre.fewshot.render_block(question, config.fewshot_k, config.gen_fewshot);
+    format!(
+        "{} {}\n{} {}\n{}\n{}\n{}{}\n{}\n{}\n/* Answer the following: {} */\n",
+        proto::TASK_PREFIX,
+        proto::TASK_GENERATION,
+        proto::DB_PREFIX,
+        db_id,
+        proto::SCHEMA_HEADER,
+        schema_text,
+        values_block(&extraction.value_hits),
+        fewshots,
+        format_line,
+        evidence_line(evidence),
+        question
+    )
+}
+
+/// Run Generation: one prompt, `n_candidates` beam samples.
+#[allow(clippy::too_many_arguments)]
+pub fn run_generation(
+    pre: &Preprocessed,
+    llm: &dyn LanguageModel,
+    config: &PipelineConfig,
+    db_id: &str,
+    question: &str,
+    evidence: &str,
+    extraction: &ExtractionOutput,
+    ledger: &mut CostLedger,
+) -> GenerationOutput {
+    let prompt = build_generation_prompt(pre, config, db_id, question, evidence, extraction);
+    const GEN_SEED_TAG: u64 = 0x6E47;
+    let resp = llm.complete(&ChatRequest {
+        prompt,
+        temperature: config.temperature,
+        n: config.n_candidates.max(1),
+        seed_tag: GEN_SEED_TAG,
+    });
+    ledger.charge(
+        Module::Generation,
+        resp.latency_ms,
+        (resp.prompt_tokens + resp.completion_tokens) as u64,
+    );
+    let candidates = resp
+        .texts
+        .iter()
+        .map(|t| {
+            proto::parse_sql_from_response(t)
+                .unwrap_or(t.as_str())
+                .trim()
+                .to_owned()
+        })
+        .collect();
+    GenerationOutput { candidates, raw_texts: resp.texts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extraction::run_extraction;
+    use datagen::{generate, Profile};
+    use llmsim::{ModelProfile, Oracle, SimLlm};
+    use std::sync::Arc;
+
+    fn fixture() -> (Preprocessed, SimLlm) {
+        let bench = Arc::new(generate(&Profile::tiny()));
+        let oracle = Arc::new(Oracle::new(bench.clone()));
+        let llm = SimLlm::new(oracle.clone(), ModelProfile::gpt_4o(), 4);
+        let pre = Preprocessed::run(bench, &llm);
+        (pre, llm)
+    }
+
+    #[test]
+    fn prompt_carries_all_blocks() {
+        let (pre, llm) = fixture();
+        let config = PipelineConfig::fast();
+        let ex = pre.benchmark.dev[0].clone();
+        let mut ledger = CostLedger::new();
+        let extraction = run_extraction(
+            &pre, &llm, &config, &ex.db_id, &ex.question, &ex.evidence, &mut ledger,
+        );
+        let prompt =
+            build_generation_prompt(&pre, &config, &ex.db_id, &ex.question, &ex.evidence, &extraction);
+        assert!(prompt.contains(proto::SCHEMA_HEADER));
+        assert!(prompt.contains(proto::FORMAT_STRUCTURED_COT));
+        assert_eq!(proto::parse_question(&prompt), Some(ex.question.as_str()));
+        assert_eq!(proto::count_fewshots(&prompt), config.fewshot_k);
+        assert!(proto::fewshots_have_cot(&prompt));
+    }
+
+    #[test]
+    fn generation_yields_n_candidates() {
+        let (pre, llm) = fixture();
+        let config = PipelineConfig::fast();
+        let ex = pre.benchmark.dev[1].clone();
+        let mut ledger = CostLedger::new();
+        let extraction = run_extraction(
+            &pre, &llm, &config, &ex.db_id, &ex.question, &ex.evidence, &mut ledger,
+        );
+        let gen = run_generation(
+            &pre, &llm, &config, &ex.db_id, &ex.question, &ex.evidence, &extraction, &mut ledger,
+        );
+        assert_eq!(gen.candidates.len(), 3);
+        for sql in &gen.candidates {
+            assert!(sql.to_uppercase().starts_with("SELECT"), "{sql}");
+        }
+        assert!(ledger.get(Module::Generation).tokens > 0);
+    }
+
+    #[test]
+    fn subset_schema_shrinks_prompt() {
+        let (pre, llm) = fixture();
+        let full_cfg = PipelineConfig::fast().without_extraction();
+        let filt_cfg = PipelineConfig::fast();
+        let ex = pre.benchmark.dev[2].clone();
+        let mut ledger = CostLedger::new();
+        let e_full = run_extraction(
+            &pre, &llm, &full_cfg, &ex.db_id, &ex.question, &ex.evidence, &mut ledger,
+        );
+        let e_filt = run_extraction(
+            &pre, &llm, &filt_cfg, &ex.db_id, &ex.question, &ex.evidence, &mut ledger,
+        );
+        let p_full =
+            build_generation_prompt(&pre, &full_cfg, &ex.db_id, &ex.question, &ex.evidence, &e_full);
+        let p_filt =
+            build_generation_prompt(&pre, &filt_cfg, &ex.db_id, &ex.question, &ex.evidence, &e_filt);
+        let full_cols = proto::parse_schema_columns(&p_full).len();
+        let filt_cols = proto::parse_schema_columns(&p_filt).len();
+        assert!(filt_cols > 0 && filt_cols <= full_cols, "{filt_cols} vs {full_cols}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Preprocessing (paper §3.3): NLQ-independent assets built once per
+//! benchmark — per-database vector indexes over stored string values and
+//! column descriptors, the database schema texts, and the self-taught
+//! Query-CoT-SQL few-shot library.
+
+use crate::fewshot::FewshotLibrary;
+use crate::retrieval::{ColumnIndex, ValueIndex};
+use datagen::Benchmark;
+use llmsim::LanguageModel;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-database preprocessed assets.
+pub struct DbAssets {
+    /// Value vector index (string values only).
+    pub values: ValueIndex,
+    /// Column descriptor index.
+    pub columns: ColumnIndex,
+}
+
+/// All preprocessed assets for a benchmark.
+pub struct Preprocessed {
+    /// The benchmark (databases + splits).
+    pub benchmark: Arc<Benchmark>,
+    /// Per-database indexes, keyed by db id.
+    pub db_assets: HashMap<String, DbAssets>,
+    /// The self-taught few-shot library.
+    pub fewshot: FewshotLibrary,
+    /// LLM tokens spent building the few-shot library.
+    pub build_tokens: u64,
+}
+
+impl Preprocessed {
+    /// Run preprocessing: index every database and self-teach the few-shot
+    /// library over the train split.
+    pub fn run(benchmark: Arc<Benchmark>, llm: &dyn LanguageModel) -> Self {
+        let mut db_assets = HashMap::with_capacity(benchmark.dbs.len());
+        for db in &benchmark.dbs {
+            db_assets.insert(
+                db.id.clone(),
+                DbAssets { values: ValueIndex::build(db), columns: ColumnIndex::build(db) },
+            );
+        }
+        let (fewshot, build_tokens) = FewshotLibrary::build(llm, &benchmark.train);
+        Preprocessed { benchmark, db_assets, fewshot, build_tokens }
+    }
+
+    /// Assets of one database.
+    pub fn assets(&self, db_id: &str) -> Option<&DbAssets> {
+        self.db_assets.get(db_id)
+    }
+
+    /// The built database itself.
+    pub fn db(&self, db_id: &str) -> Option<&datagen::BuiltDb> {
+        self.benchmark.db(db_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, Profile};
+    use llmsim::{ModelProfile, Oracle, SimLlm};
+
+    #[test]
+    fn preprocessing_builds_all_assets() {
+        let bench = Arc::new(generate(&Profile::tiny()));
+        let oracle = Arc::new(Oracle::new(bench.clone()));
+        let llm = SimLlm::new(oracle, ModelProfile::gpt_4o(), 2);
+        let pre = Preprocessed::run(bench.clone(), &llm);
+        assert_eq!(pre.db_assets.len(), bench.dbs.len());
+        assert_eq!(pre.fewshot.len(), bench.train.len());
+        assert!(pre.build_tokens > 0);
+        for db in &bench.dbs {
+            let assets = pre.assets(&db.id).unwrap();
+            assert!(!assets.values.is_empty());
+        }
+        assert!(pre.db(&bench.dbs[0].id).is_some());
+        assert!(pre.assets("nope").is_none());
+    }
+}

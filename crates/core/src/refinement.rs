@@ -1,0 +1,360 @@
+//! The Refinement stage (paper §3.6, Figure 2): execution-guided
+//! correction followed by self-consistency & vote.
+//!
+//! The vote implements the paper's Eq. 3 exactly: among candidates whose
+//! execution succeeded with a non-empty answer, pick the most frequent
+//! answer; within that answer class, pick the SQL with the lowest
+//! execution cost (which is also why the method wins on R-VES).
+
+use crate::alignment::align_candidate;
+use crate::config::PipelineConfig;
+use crate::cost::{CostLedger, Module};
+use crate::extraction::{evidence_line, values_block, ExtractionOutput};
+use crate::preprocess::Preprocessed;
+use crate::retrieval::ValueHit;
+use llmsim::proto;
+use llmsim::{ChatRequest, LanguageModel};
+use sqlkit::{execute_select_with_stats, parse_select, ResultSet, SqlError};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A candidate after refinement.
+#[derive(Debug, Clone)]
+pub struct RefinedCandidate {
+    /// SQL as generated (pre-alignment).
+    pub raw_sql: String,
+    /// SQL after alignments and correction rounds.
+    pub sql: String,
+    /// Execution result of `sql`.
+    pub result: Result<ResultSet, SqlError>,
+    /// Deterministic execution-cost proxy (rows visited).
+    pub exec_cost: u64,
+    /// Measured execution time in milliseconds.
+    pub exec_ms: f64,
+    /// Number of correction rounds spent.
+    pub correction_rounds: usize,
+}
+
+impl RefinedCandidate {
+    /// Did execution succeed with a non-empty answer?
+    pub fn is_valid(&self) -> bool {
+        matches!(&self.result, Ok(rs) if !rs.is_effectively_empty())
+    }
+}
+
+/// Execute a SQL string against a database, returning result + costs.
+pub fn execute(db: &sqlkit::Database, sql: &str) -> (Result<ResultSet, SqlError>, u64, f64) {
+    let t0 = Instant::now();
+    let parsed = match parse_select(sql) {
+        Ok(stmt) => stmt,
+        Err(e) => return (Err(e), 0, t0.elapsed().as_secs_f64() * 1e3),
+    };
+    match execute_select_with_stats(db, &parsed) {
+        Ok((rs, stats)) => (Ok(rs), stats.rows_scanned, t0.elapsed().as_secs_f64() * 1e3),
+        Err(e) => (Err(e), 0, t0.elapsed().as_secs_f64() * 1e3),
+    }
+}
+
+/// Refine one candidate: align → execute → correct (bounded rounds).
+#[allow(clippy::too_many_arguments)]
+pub fn refine_candidate(
+    pre: &Preprocessed,
+    llm: &dyn LanguageModel,
+    config: &PipelineConfig,
+    db_id: &str,
+    question: &str,
+    evidence: &str,
+    extraction: &ExtractionOutput,
+    raw_sql: &str,
+    raw_text: Option<&str>,
+    candidate_idx: usize,
+    ledger: &mut CostLedger,
+) -> RefinedCandidate {
+    let db = pre.db(db_id).expect("refinement runs on known databases");
+    let assets = pre.assets(db_id).expect("assets exist for known databases");
+
+    // SQL-Like fallback: when the final SQL is malformed but the CoT's
+    // intermediate representation parses, reconstruct the SQL from the
+    // logic (§3.5) — repairs syntax-class hallucinations without an LLM
+    // round trip.
+    let mut effective_sql = raw_sql.to_owned();
+    if config.alignments && parse_select(raw_sql).is_err() {
+        if let Some(line) =
+            raw_text.and_then(|t| llmsim::proto::parse_field(t, "SQL-like"))
+        {
+            let t0 = std::time::Instant::now();
+            if let Ok(recovered) = crate::sqllike::recover_sql(line, &db.database.schema) {
+                effective_sql = recovered;
+            }
+            ledger.charge(Module::StyleAlign, t0.elapsed().as_secs_f64() * 1e3, 0);
+        }
+    }
+
+    let mut sql = if config.alignments {
+        align_candidate(
+            &effective_sql,
+            &db.database.schema,
+            &assets.values,
+            extraction.expected_select,
+            ledger,
+        )
+        .sql
+    } else {
+        effective_sql
+    };
+
+    let (mut result, mut cost, mut ms) = execute(&db.database, &sql);
+    let mut rounds = 0usize;
+
+    if config.refinement && config.correction {
+        while rounds < config.max_correction_rounds {
+            let needs_fix = match &result {
+                Err(_) => true,
+                Ok(rs) => rs.is_effectively_empty(),
+            };
+            if !needs_fix {
+                break;
+            }
+            rounds += 1;
+            let error_text = match &result {
+                Err(e) => e.to_string(),
+                Ok(_) => "Result: None".to_owned(),
+            };
+            let kind = match &result {
+                Err(e) => e.kind(),
+                Ok(_) => sqlkit::SqlErrorKind::Other,
+            };
+            let prompt = build_correction_prompt(
+                pre, config, db_id, question, evidence, extraction, &sql, &error_text, kind,
+            );
+            let resp = llm.complete(&ChatRequest {
+                prompt,
+                temperature: config.temperature,
+                n: 1,
+                seed_tag: 0xC0DE + (candidate_idx as u64) * 31 + rounds as u64,
+            });
+            ledger.charge(
+                Module::Correction,
+                resp.latency_ms,
+                (resp.prompt_tokens + resp.completion_tokens) as u64,
+            );
+            let Some(fixed) = resp
+                .texts
+                .first()
+                .and_then(|t| proto::parse_sql_from_response(t))
+                .map(str::to_owned)
+            else {
+                break;
+            };
+            sql = if config.alignments {
+                align_candidate(
+                    &fixed,
+                    &db.database.schema,
+                    &assets.values,
+                    extraction.expected_select,
+                    ledger,
+                )
+                .sql
+            } else {
+                fixed
+            };
+            let (r, c, m) = execute(&db.database, &sql);
+            result = r;
+            cost = c;
+            ms = m;
+        }
+    }
+
+    RefinedCandidate {
+        raw_sql: raw_sql.to_owned(),
+        sql,
+        result,
+        exec_cost: cost,
+        exec_ms: ms,
+        correction_rounds: rounds,
+    }
+}
+
+/// Build a correction prompt (Listing 3 shape): error few-shot for the
+/// error type, schema, per-column candidate values, the broken SQL and the
+/// error description.
+#[allow(clippy::too_many_arguments)]
+fn build_correction_prompt(
+    pre: &Preprocessed,
+    config: &PipelineConfig,
+    db_id: &str,
+    question: &str,
+    evidence: &str,
+    extraction: &ExtractionOutput,
+    broken_sql: &str,
+    error_text: &str,
+    kind: sqlkit::SqlErrorKind,
+) -> String {
+    let db = pre.db(db_id).expect("known db");
+    let assets = pre.assets(db_id).expect("known db");
+    let schema_text = db.database.schema.describe(extraction.subset.as_ref());
+
+    // value context: retrieval hits plus stored values near each text
+    // literal of the broken SQL
+    let mut hits: Vec<ValueHit> = extraction.value_hits.clone();
+    if let Ok(stmt) = parse_select(broken_sql) {
+        let mut literals: Vec<String> = Vec::new();
+        let mut stmt = stmt;
+        stmt.walk_exprs_mut(&mut |e| {
+            if let sqlkit::Expr::Literal(sqlkit::Value::Text(t)) = e {
+                if t.chars().any(|c| c.is_alphabetic()) {
+                    literals.push(t.clone());
+                }
+            }
+        });
+        for lit in literals {
+            for hit in assets.values.retrieve(&lit, 3, 0.4) {
+                if !hits
+                    .iter()
+                    .any(|h| h.table == hit.table && h.column == hit.column && h.stored == hit.stored)
+                {
+                    hits.push(hit);
+                }
+            }
+        }
+    }
+
+    let fewshot = if config.refine_fewshot {
+        format!("{}\n{}", proto::FEWSHOT_HEADER, crate::fewshot::correction_shot(kind))
+    } else {
+        String::new()
+    };
+
+    format!(
+        "{} {}\n{} {}\n{}\n{}\n{}{}\n{} {}\n{} {}\n{}\n/* Answer the following: {} */\n",
+        proto::TASK_PREFIX,
+        proto::TASK_CORRECTION,
+        proto::DB_PREFIX,
+        db_id,
+        proto::SCHEMA_HEADER,
+        schema_text,
+        values_block(&hits),
+        fewshot,
+        proto::ERROR_SQL_PREFIX,
+        broken_sql,
+        proto::ERROR_INFO_PREFIX,
+        error_text,
+        evidence_line(evidence),
+        question
+    )
+}
+
+/// Self-consistency & vote (paper Eq. 3). Returns the index of the chosen
+/// candidate.
+pub fn vote(candidates: &[RefinedCandidate], ledger: &mut CostLedger) -> usize {
+    let t0 = Instant::now();
+    let mut groups: HashMap<Vec<Vec<sqlkit::NormValue>>, Vec<usize>> = HashMap::new();
+    for (i, c) in candidates.iter().enumerate() {
+        if c.is_valid() {
+            if let Ok(rs) = &c.result {
+                groups.entry(rs.normalized_rows()).or_default().push(i);
+            }
+        }
+    }
+    let winner = groups
+        .values()
+        .max_by_key(|idxs| {
+            // most frequent answer; deterministic tie-break on earliest index
+            (idxs.len(), std::cmp::Reverse(idxs[0]))
+        })
+        .map(|idxs| {
+            // within the winning answer, cheapest execution
+            *idxs
+                .iter()
+                .min_by_key(|&&i| (candidates[i].exec_cost, i))
+                .expect("winning group is non-empty")
+        });
+    ledger.charge(Module::Vote, t0.elapsed().as_secs_f64() * 1e3, 0);
+    match winner {
+        Some(i) => i,
+        None => {
+            // no valid candidate: prefer any that executed, else 0
+            candidates
+                .iter()
+                .position(|c| c.result.is_ok())
+                .unwrap_or(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::Value;
+
+    fn cand(sql: &str, rows: Vec<Vec<Value>>, cost: u64) -> RefinedCandidate {
+        RefinedCandidate {
+            raw_sql: sql.to_owned(),
+            sql: sql.to_owned(),
+            result: Ok(ResultSet { columns: vec!["x".into()], rows }),
+            exec_cost: cost,
+            exec_ms: 0.1,
+            correction_rounds: 0,
+        }
+    }
+
+    fn bad(sql: &str) -> RefinedCandidate {
+        RefinedCandidate {
+            raw_sql: sql.to_owned(),
+            sql: sql.to_owned(),
+            result: Err(SqlError::NoSuchColumn("x".into())),
+            exec_cost: 0,
+            exec_ms: 0.1,
+            correction_rounds: 1,
+        }
+    }
+
+    #[test]
+    fn vote_picks_majority_answer() {
+        let mut ledger = CostLedger::new();
+        let cands = vec![
+            cand("a", vec![vec![Value::Int(1)]], 10),
+            cand("b", vec![vec![Value::Int(2)]], 5),
+            cand("c", vec![vec![Value::Int(1)]], 8),
+            cand("d", vec![vec![Value::Int(1)]], 20),
+        ];
+        let w = vote(&cands, &mut ledger);
+        // answer 1 wins (3 votes); cheapest among {a, c, d} is c (cost 8)
+        assert_eq!(w, 2);
+        assert_eq!(ledger.get(Module::Vote).calls, 1);
+    }
+
+    #[test]
+    fn vote_excludes_empty_and_errors() {
+        let mut ledger = CostLedger::new();
+        let cands = vec![
+            bad("e1"),
+            cand("empty", vec![], 1),
+            cand("ok", vec![vec![Value::Int(9)]], 99),
+            bad("e2"),
+        ];
+        assert_eq!(vote(&cands, &mut ledger), 2);
+    }
+
+    #[test]
+    fn vote_falls_back_when_nothing_valid() {
+        let mut ledger = CostLedger::new();
+        let cands = vec![bad("e1"), cand("empty", vec![], 1)];
+        assert_eq!(vote(&cands, &mut ledger), 1, "prefers executable empty over error");
+        let cands = vec![bad("e1"), bad("e2")];
+        assert_eq!(vote(&cands, &mut ledger), 0);
+    }
+
+    #[test]
+    fn answers_compare_normalized() {
+        let mut ledger = CostLedger::new();
+        // 1 and 1.0 are the same answer (Python-scorer equivalence)
+        let cands = vec![
+            cand("a", vec![vec![Value::Int(1)]], 10),
+            cand("b", vec![vec![Value::Real(1.0)]], 3),
+            cand("c", vec![vec![Value::Int(2)]], 1),
+        ];
+        let w = vote(&cands, &mut ledger);
+        assert_eq!(w, 1, "1 == 1.0 group wins, cheaper member selected");
+    }
+}

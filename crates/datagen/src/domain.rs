@@ -1,0 +1,749 @@
+//! Domain themes: the table/column blueprints databases are built from.
+//!
+//! BIRD spans 37 professional domains (blockchain, hockey, healthcare,
+//! education, ...); Spider spans 138. Each [`Theme`] here is a hand-written
+//! blueprint in one of those domains, and profiles derive as many *domain
+//! variants* as the target benchmark needs by cycling themes with different
+//! RNG streams.
+
+use crate::values::ColKind;
+
+/// A column blueprint.
+#[derive(Debug, Clone)]
+pub struct ColTemplate {
+    /// Column name (may intentionally collide across tables).
+    pub name: &'static str,
+    /// Semantic kind.
+    pub kind: ColKind,
+    /// Referenced table when `kind == Fk`.
+    pub fk_to: Option<&'static str>,
+}
+
+impl ColTemplate {
+    fn new(name: &'static str, kind: ColKind) -> Self {
+        ColTemplate { name, kind, fk_to: None }
+    }
+
+    fn fk(name: &'static str, to: &'static str) -> Self {
+        ColTemplate { name, kind: ColKind::Fk, fk_to: Some(to) }
+    }
+}
+
+/// A table blueprint. The first column is always the integer primary key.
+#[derive(Debug, Clone)]
+pub struct TableTemplate {
+    /// Table name.
+    pub name: &'static str,
+    /// Plural noun used in question rendering ("patients").
+    pub noun: &'static str,
+    /// Columns, PK first.
+    pub cols: Vec<ColTemplate>,
+}
+
+/// A domain theme: a related set of tables.
+#[derive(Debug, Clone)]
+pub struct Theme {
+    /// Domain name ("healthcare").
+    pub name: &'static str,
+    /// Tables, parents before children.
+    pub tables: Vec<TableTemplate>,
+}
+
+macro_rules! table {
+    ($name:literal, $noun:literal, [$($col:expr),+ $(,)?]) => {
+        TableTemplate { name: $name, noun: $noun, cols: vec![$($col),+] }
+    };
+}
+
+/// The built-in theme library.
+pub fn themes() -> Vec<Theme> {
+    use ColKind::*;
+    let c = ColTemplate::new;
+    let fk = ColTemplate::fk;
+    vec![
+        Theme {
+            name: "healthcare",
+            tables: vec![
+                table!("Patient", "patients", [
+                    c("PatientID", Id), c("Name", PersonName), c("City", City),
+                    c("First Date", Date), c("Age", Age),
+                ]),
+                table!("Laboratory", "lab records", [
+                    c("LabID", Id), fk("PatientID", "Patient"), c("IGA", Measure),
+                    c("CheckDate", Date), c("Status", Status),
+                ]),
+                table!("Treatment", "treatments", [
+                    c("TreatmentID", Id), fk("PatientID", "Patient"),
+                    c("Department", Category(8)), c("Cost", Money), c("Status", Status),
+                ]),
+            ],
+        },
+        Theme {
+            name: "education",
+            tables: vec![
+                table!("School", "schools", [
+                    c("SchoolID", Id), c("SchoolName", Label), c("City", City),
+                    c("Type", Category(4)), c("Enrollment", Count),
+                ]),
+                table!("Student", "students", [
+                    c("StudentID", Id), fk("SchoolID", "School"), c("Name", PersonName),
+                    c("Age", Age), c("GPA", Measure),
+                ]),
+                table!("Exam", "exams", [
+                    c("ExamID", Id), fk("StudentID", "Student"), c("Subject", Category(9)),
+                    c("Score", Measure), c("ExamDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "hockey",
+            tables: vec![
+                table!("Team", "teams", [
+                    c("TeamID", Id), c("TeamName", Label), c("City", City), c("Founded", Year),
+                ]),
+                table!("Player", "players", [
+                    c("PlayerID", Id), fk("TeamID", "Team"), c("Name", PersonName),
+                    c("Position", Category(7)), c("Age", Age),
+                ]),
+                table!("GameLog", "game logs", [
+                    c("LogID", Id), fk("PlayerID", "Player"), c("Goals", Count),
+                    c("Assists", Count), c("Season", Year),
+                ]),
+            ],
+        },
+        Theme {
+            name: "blockchain",
+            tables: vec![
+                table!("Wallet", "wallets", [
+                    c("WalletID", Id), c("Owner", PersonName), c("Country", Country),
+                    c("Created", Date),
+                ]),
+                table!("Transfer", "transfers", [
+                    c("TransferID", Id), fk("WalletID", "Wallet"), c("Amount", Money),
+                    c("Status", Status), c("TxDate", Date),
+                ]),
+                table!("Holding", "token holdings", [
+                    c("HoldingID", Id), fk("WalletID", "Wallet"), c("Token", Label),
+                    c("Balance", Measure),
+                ]),
+            ],
+        },
+        Theme {
+            name: "retail",
+            tables: vec![
+                table!("Store", "stores", [
+                    c("StoreID", Id), c("StoreName", Label), c("City", City),
+                    c("Opened", Year),
+                ]),
+                table!("Product", "products", [
+                    c("ProductID", Id), fk("StoreID", "Store"), c("ProductName", Label),
+                    c("Price", Money), c("Size", Category(1)),
+                ]),
+                table!("Sale", "sales", [
+                    c("SaleID", Id), fk("ProductID", "Product"), c("Quantity", Count),
+                    c("SaleDate", Date), c("Payment", Category(5)),
+                ]),
+            ],
+        },
+        Theme {
+            name: "airline",
+            tables: vec![
+                table!("Flight", "flights", [
+                    c("FlightID", Id), c("Origin", City), c("Destination", City),
+                    c("FlightDate", Date), c("Fare", Money),
+                ]),
+                table!("Passenger", "passengers", [
+                    c("PassengerID", Id), c("Name", PersonName), c("Country", Country),
+                    c("Age", Age),
+                ]),
+                table!("Booking", "bookings", [
+                    c("BookingID", Id), fk("FlightID", "Flight"), fk("PassengerID", "Passenger"),
+                    c("Status", Status), c("Paid", Money),
+                ]),
+            ],
+        },
+        Theme {
+            name: "library",
+            tables: vec![
+                table!("Book", "books", [
+                    c("BookID", Id), c("Title", Label), c("Genre", Category(9)),
+                    c("Published", Year),
+                ]),
+                table!("Member", "members", [
+                    c("MemberID", Id), c("Name", PersonName), c("City", City),
+                    c("Joined", Date),
+                ]),
+                table!("Loan", "loans", [
+                    c("LoanID", Id), fk("BookID", "Book"), fk("MemberID", "Member"),
+                    c("LoanDate", Date), c("Status", Status),
+                ]),
+            ],
+        },
+        Theme {
+            name: "banking",
+            tables: vec![
+                table!("Branch", "branches", [
+                    c("BranchID", Id), c("BranchName", Label), c("City", City),
+                    c("Opened", Year),
+                ]),
+                table!("Account", "accounts", [
+                    c("AccountID", Id), fk("BranchID", "Branch"), c("Holder", PersonName),
+                    c("Balance", Money), c("Status", Status),
+                ]),
+                table!("Movement", "movements", [
+                    c("MovementID", Id), fk("AccountID", "Account"), c("Amount", Money),
+                    c("MoveDate", Date), c("Channel", Category(5)),
+                ]),
+            ],
+        },
+        Theme {
+            name: "energy",
+            tables: vec![
+                table!("Plant", "power plants", [
+                    c("PlantID", Id), c("PlantName", Label), c("Country", Country),
+                    c("Source", Category(11)), c("Commissioned", Year),
+                ]),
+                table!("Output", "output readings", [
+                    c("OutputID", Id), fk("PlantID", "Plant"), c("Megawatts", Measure),
+                    c("ReadDate", Date),
+                ]),
+                table!("Inspection", "inspections", [
+                    c("InspectionID", Id), fk("PlantID", "Plant"), c("Inspector", PersonName),
+                    c("Result", Status), c("InspDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "football",
+            tables: vec![
+                table!("Club", "clubs", [
+                    c("ClubID", Id), c("ClubName", Label), c("City", City), c("Founded", Year),
+                ]),
+                table!("Footballer", "footballers", [
+                    c("FootballerID", Id), fk("ClubID", "Club"), c("Name", PersonName),
+                    c("Position", Category(7)), c("Salary", Money),
+                ]),
+                table!("SeasonStat", "season stats", [
+                    c("StatID", Id), fk("FootballerID", "Footballer"), c("Season", Year),
+                    c("Goals", Count), c("Appearances", Count),
+                ]),
+            ],
+        },
+        Theme {
+            name: "restaurant",
+            tables: vec![
+                table!("Restaurant", "restaurants", [
+                    c("RestaurantID", Id), c("RestaurantName", Label), c("City", City),
+                    c("Rating", Measure),
+                ]),
+                table!("Dish", "dishes", [
+                    c("DishID", Id), fk("RestaurantID", "Restaurant"), c("DishName", Label),
+                    c("Price", Money), c("Style", Category(10)),
+                ]),
+                table!("OrderLine", "order lines", [
+                    c("OrderID", Id), fk("DishID", "Dish"), c("Quantity", Count),
+                    c("OrderDate", Date), c("Payment", Category(5)),
+                ]),
+            ],
+        },
+        Theme {
+            name: "logistics",
+            tables: vec![
+                table!("Warehouse", "warehouses", [
+                    c("WarehouseID", Id), c("WarehouseName", Label), c("City", City),
+                    c("Capacity", Count),
+                ]),
+                table!("Driver", "drivers", [
+                    c("DriverID", Id), c("Name", PersonName), c("Country", Country),
+                    c("Age", Age),
+                ]),
+                table!("Shipment", "shipments", [
+                    c("ShipmentID", Id), fk("WarehouseID", "Warehouse"), fk("DriverID", "Driver"),
+                    c("Weight", Measure), c("ShipDate", Date), c("Status", Status),
+                ]),
+            ],
+        },
+        Theme {
+            name: "university",
+            tables: vec![
+                table!("Faculty", "faculties", [
+                    c("FacultyID", Id), c("FacultyName", Label), c("City", City),
+                    c("Established", Year),
+                ]),
+                table!("Professor", "professors", [
+                    c("ProfessorID", Id), fk("FacultyID", "Faculty"), c("Name", PersonName),
+                    c("Salary", Money), c("Age", Age),
+                ]),
+                table!("Course", "courses", [
+                    c("CourseID", Id), fk("ProfessorID", "Professor"), c("CourseName", Label),
+                    c("Credits", Count), c("Level", Category(3)),
+                ]),
+            ],
+        },
+        Theme {
+            name: "insurance",
+            tables: vec![
+                table!("Customer", "customers", [
+                    c("CustomerID", Id), c("Name", PersonName), c("City", City), c("Age", Age),
+                ]),
+                table!("Policy", "policies", [
+                    c("PolicyID", Id), fk("CustomerID", "Customer"), c("Premium", Money),
+                    c("Kind", Category(3)), c("Status", Status),
+                ]),
+                table!("Claim", "claims", [
+                    c("ClaimID", Id), fk("PolicyID", "Policy"), c("Amount", Money),
+                    c("ClaimDate", Date), c("Status", Status),
+                ]),
+            ],
+        },
+        Theme {
+            name: "realestate",
+            tables: vec![
+                table!("Agent", "agents", [
+                    c("AgentID", Id), c("Name", PersonName), c("City", City),
+                    c("Commission", Measure),
+                ]),
+                table!("Property", "properties", [
+                    c("PropertyID", Id), fk("AgentID", "Agent"), c("City", City),
+                    c("Price", Money), c("Kind", Category(6)),
+                ]),
+                table!("Viewing", "viewings", [
+                    c("ViewingID", Id), fk("PropertyID", "Property"), c("Visitor", PersonName),
+                    c("ViewDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "music",
+            tables: vec![
+                table!("Artist", "artists", [
+                    c("ArtistID", Id), c("Name", PersonName), c("Country", Country),
+                    c("Debut", Year),
+                ]),
+                table!("Album", "albums", [
+                    c("AlbumID", Id), fk("ArtistID", "Artist"), c("Title", Label),
+                    c("Released", Year), c("Sales", Count),
+                ]),
+                table!("Track", "tracks", [
+                    c("TrackID", Id), fk("AlbumID", "Album"), c("TrackName", Label),
+                    c("Minutes", Measure),
+                ]),
+            ],
+        },
+        Theme {
+            name: "cinema",
+            tables: vec![
+                table!("Movie", "movies", [
+                    c("MovieID", Id), c("Title", Label), c("Genre", Category(9)),
+                    c("Released", Year), c("Budget", Money),
+                ]),
+                table!("Theater", "theaters", [
+                    c("TheaterID", Id), c("TheaterName", Label), c("City", City),
+                    c("Seats", Count),
+                ]),
+                table!("Screening", "screenings", [
+                    c("ScreeningID", Id), fk("MovieID", "Movie"), fk("TheaterID", "Theater"),
+                    c("ShowDate", Date), c("Attendance", Count),
+                ]),
+            ],
+        },
+        Theme {
+            name: "ecommerce",
+            tables: vec![
+                table!("Shopper", "shoppers", [
+                    c("ShopperID", Id), c("Name", PersonName), c("Country", Country),
+                    c("Joined", Date),
+                ]),
+                table!("Purchase", "purchases", [
+                    c("PurchaseID", Id), fk("ShopperID", "Shopper"), c("Total", Money),
+                    c("PurchaseDate", Date), c("Status", Status),
+                ]),
+                table!("Review", "reviews", [
+                    c("ReviewID", Id), fk("PurchaseID", "Purchase"), c("Stars", Count),
+                    c("ReviewDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "hr",
+            tables: vec![
+                table!("Division", "divisions", [
+                    c("DivisionID", Id), c("DivisionName", Label), c("City", City),
+                    c("Headcount", Count),
+                ]),
+                table!("Employee", "employees", [
+                    c("EmployeeID", Id), fk("DivisionID", "Division"), c("Name", PersonName),
+                    c("Salary", Money), c("Hired", Date),
+                ]),
+                table!("Evaluation", "evaluations", [
+                    c("EvaluationID", Id), fk("EmployeeID", "Employee"), c("Score", Measure),
+                    c("EvalDate", Date), c("Grade", Category(0)),
+                ]),
+            ],
+        },
+        Theme {
+            name: "telecom",
+            tables: vec![
+                table!("RatePlan", "rate plans", [
+                    c("PlanID", Id), c("PlanName", Label), c("Monthly", Money),
+                    c("Tier", Category(3)),
+                ]),
+                table!("Subscriber", "subscribers", [
+                    c("SubscriberID", Id), fk("PlanID", "RatePlan"), c("Name", PersonName),
+                    c("City", City), c("Since", Year),
+                ]),
+                table!("Usage", "usage records", [
+                    c("UsageID", Id), fk("SubscriberID", "Subscriber"), c("Gigabytes", Measure),
+                    c("Month", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "agriculture",
+            tables: vec![
+                table!("Farm", "farms", [
+                    c("FarmID", Id), c("FarmName", Label), c("Country", Country),
+                    c("Hectares", Measure),
+                ]),
+                table!("Crop", "crops", [
+                    c("CropID", Id), fk("FarmID", "Farm"), c("CropName", Label),
+                    c("Planted", Date),
+                ]),
+                table!("Harvest", "harvests", [
+                    c("HarvestID", Id), fk("CropID", "Crop"), c("Tons", Measure),
+                    c("HarvestDate", Date), c("Quality", Category(0)),
+                ]),
+            ],
+        },
+        Theme {
+            name: "fitness",
+            tables: vec![
+                table!("Gym", "gyms", [
+                    c("GymID", Id), c("GymName", Label), c("City", City), c("Opened", Year),
+                ]),
+                table!("Athlete", "athletes", [
+                    c("AthleteID", Id), fk("GymID", "Gym"), c("Name", PersonName), c("Age", Age),
+                ]),
+                table!("Workout", "workouts", [
+                    c("WorkoutID", Id), fk("AthleteID", "Athlete"), c("Minutes", Measure),
+                    c("WorkoutDate", Date), c("Kind", Category(1)),
+                ]),
+            ],
+        },
+        Theme {
+            name: "hotel",
+            tables: vec![
+                table!("Hotel", "hotels", [
+                    c("HotelID", Id), c("HotelName", Label), c("City", City),
+                    c("Stars", Count),
+                ]),
+                table!("Guest", "guests", [
+                    c("GuestID", Id), c("Name", PersonName), c("Country", Country),
+                ]),
+                table!("Stay", "stays", [
+                    c("StayID", Id), fk("HotelID", "Hotel"), fk("GuestID", "Guest"),
+                    c("Nights", Count), c("CheckIn", Date), c("Bill", Money),
+                ]),
+            ],
+        },
+        Theme {
+            name: "museum",
+            tables: vec![
+                table!("Museum", "museums", [
+                    c("MuseumID", Id), c("MuseumName", Label), c("City", City),
+                    c("Founded", Year),
+                ]),
+                table!("Exhibit", "exhibits", [
+                    c("ExhibitID", Id), fk("MuseumID", "Museum"), c("ExhibitName", Label),
+                    c("Era", Category(2)), c("Insured", Money),
+                ]),
+                table!("Visit", "visits", [
+                    c("VisitID", Id), fk("ExhibitID", "Exhibit"), c("Visitors", Count),
+                    c("VisitDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "government",
+            tables: vec![
+                table!("Agency", "agencies", [
+                    c("AgencyID", Id), c("AgencyName", Label), c("City", City),
+                    c("Budget", Money),
+                ]),
+                table!("Grant", "grants", [
+                    c("GrantID", Id), fk("AgencyID", "Agency"), c("Recipient", PersonName),
+                    c("Amount", Money), c("Status", Status), c("Awarded", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "weather",
+            tables: vec![
+                table!("Station", "weather stations", [
+                    c("StationID", Id), c("StationName", Label), c("Country", Country),
+                    c("Elevation", Measure),
+                ]),
+                table!("Reading", "readings", [
+                    c("ReadingID", Id), fk("StationID", "Station"), c("Temperature", Measure),
+                    c("Rainfall", Measure), c("ReadDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "motorsport",
+            tables: vec![
+                table!("Circuit", "circuits", [
+                    c("CircuitID", Id), c("CircuitName", Label), c("Country", Country),
+                    c("Opened", Year),
+                ]),
+                table!("Driver", "race drivers", [
+                    c("DriverID", Id), c("Name", PersonName), c("Country", Country),
+                    c("Age", Age),
+                ]),
+                table!("RaceResult", "race results", [
+                    c("ResultID", Id), fk("CircuitID", "Circuit"), fk("DriverID", "Driver"),
+                    c("Position", Count), c("Season", Year),
+                ]),
+            ],
+        },
+        Theme {
+            name: "pharmacy",
+            tables: vec![
+                table!("Pharmacy", "pharmacies", [
+                    c("PharmacyID", Id), c("PharmacyName", Label), c("City", City),
+                ]),
+                table!("Drug", "drugs", [
+                    c("DrugID", Id), c("DrugName", Label), c("Price", Money),
+                    c("Kind", Category(8)),
+                ]),
+                table!("Prescription", "prescriptions", [
+                    c("PrescriptionID", Id), fk("PharmacyID", "Pharmacy"), fk("DrugID", "Drug"),
+                    c("Quantity", Count), c("FillDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "streaming",
+            tables: vec![
+                table!("Channel", "channels", [
+                    c("ChannelID", Id), c("ChannelName", Label), c("Country", Country),
+                    c("Launched", Year),
+                ]),
+                table!("Show", "shows", [
+                    c("ShowID", Id), fk("ChannelID", "Channel"), c("Title", Label),
+                    c("Genre", Category(9)), c("Seasons", Count),
+                ]),
+                table!("ViewStat", "view stats", [
+                    c("StatID", Id), fk("ShowID", "Show"), c("Hours", Measure),
+                    c("Month", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "gaming",
+            tables: vec![
+                table!("Studio", "game studios", [
+                    c("StudioID", Id), c("StudioName", Label), c("Country", Country),
+                    c("Founded", Year),
+                ]),
+                table!("Game", "games", [
+                    c("GameID", Id), fk("StudioID", "Studio"), c("Title", Label),
+                    c("Price", Money), c("Rating", Measure),
+                ]),
+                table!("PlaySession", "play sessions", [
+                    c("SessionID", Id), fk("GameID", "Game"), c("Minutes", Measure),
+                    c("PlayDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "charity",
+            tables: vec![
+                table!("Charity", "charities", [
+                    c("CharityID", Id), c("CharityName", Label), c("Country", Country),
+                    c("Founded", Year),
+                ]),
+                table!("Donor", "donors", [
+                    c("DonorID", Id), c("Name", PersonName), c("City", City),
+                ]),
+                table!("Donation", "donations", [
+                    c("DonationID", Id), fk("CharityID", "Charity"), fk("DonorID", "Donor"),
+                    c("Amount", Money), c("DonationDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "transit",
+            tables: vec![
+                table!("Route", "transit routes", [
+                    c("RouteID", Id), c("RouteName", Label), c("City", City),
+                    c("Kilometers", Measure),
+                ]),
+                table!("Vehicle", "vehicles", [
+                    c("VehicleID", Id), fk("RouteID", "Route"), c("Kind", Category(6)),
+                    c("Capacity", Count), c("Commissioned", Year),
+                ]),
+                table!("Ridership", "ridership records", [
+                    c("RecordID", Id), fk("RouteID", "Route"), c("Riders", Count),
+                    c("RecordDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "publishing",
+            tables: vec![
+                table!("Publisher", "publishers", [
+                    c("PublisherID", Id), c("PublisherName", Label), c("City", City),
+                ]),
+                table!("Author", "authors", [
+                    c("AuthorID", Id), c("Name", PersonName), c("Country", Country),
+                    c("Debut", Year),
+                ]),
+                table!("Title", "published titles", [
+                    c("TitleID", Id), fk("PublisherID", "Publisher"), fk("AuthorID", "Author"),
+                    c("TitleName", Label), c("Copies", Count), c("Released", Year),
+                ]),
+            ],
+        },
+        Theme {
+            name: "construction",
+            tables: vec![
+                table!("Contractor", "contractors", [
+                    c("ContractorID", Id), c("ContractorName", Label), c("City", City),
+                    c("Crew", Count),
+                ]),
+                table!("Project", "construction projects", [
+                    c("ProjectID", Id), fk("ContractorID", "Contractor"), c("ProjectName", Label),
+                    c("Budget", Money), c("Status", Status),
+                ]),
+                table!("Milestone", "milestones", [
+                    c("MilestoneID", Id), fk("ProjectID", "Project"), c("Phase", Category(3)),
+                    c("DueDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "veterinary",
+            tables: vec![
+                table!("ClinicV", "veterinary clinics", [
+                    c("ClinicID", Id), c("ClinicName", Label), c("City", City),
+                ]),
+                table!("Animal", "animals", [
+                    c("AnimalID", Id), fk("ClinicID", "ClinicV"), c("Species", Category(6)),
+                    c("Name", Label), c("Age", Age),
+                ]),
+                table!("Visit", "vet visits", [
+                    c("VisitID", Id), fk("AnimalID", "Animal"), c("Fee", Money),
+                    c("VisitDate", Date), c("Outcome", Status),
+                ]),
+            ],
+        },
+        Theme {
+            name: "winery",
+            tables: vec![
+                table!("Vineyard", "vineyards", [
+                    c("VineyardID", Id), c("VineyardName", Label), c("Country", Country),
+                    c("Hectares", Measure),
+                ]),
+                table!("Wine", "wines", [
+                    c("WineID", Id), fk("VineyardID", "Vineyard"), c("WineName", Label),
+                    c("Vintage", Year), c("Price", Money),
+                ]),
+                table!("Tasting", "tastings", [
+                    c("TastingID", Id), fk("WineID", "Wine"), c("Score", Measure),
+                    c("Taster", PersonName), c("TastingDate", Date),
+                ]),
+            ],
+        },
+        Theme {
+            name: "aerospace",
+            tables: vec![
+                table!("LaunchSite", "launch sites", [
+                    c("SiteID", Id), c("SiteName", Label), c("Country", Country),
+                    c("Opened", Year),
+                ]),
+                table!("Rocket", "rockets", [
+                    c("RocketID", Id), c("RocketName", Label), c("Payload", Measure),
+                    c("Stage", Category(3)),
+                ]),
+                table!("Launch", "launches", [
+                    c("LaunchID", Id), fk("SiteID", "LaunchSite"), fk("RocketID", "Rocket"),
+                    c("LaunchDate", Date), c("Outcome", Status),
+                ]),
+            ],
+        },
+    ]
+}
+
+/// Domain name for database `index` (theme cycled, variant suffixed).
+pub fn domain_name(theme: &Theme, variant: usize) -> String {
+    if variant == 0 {
+        theme.name.to_owned()
+    } else {
+        format!("{}_{}", theme.name, variant + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn themes_are_well_formed() {
+        let ts = themes();
+        assert!(ts.len() >= 37, "need a theme per BIRD domain, got {}", ts.len());
+        for t in &ts {
+            assert!(!t.tables.is_empty());
+            for table in &t.tables {
+                assert_eq!(table.cols[0].kind, ColKind::Id, "{}.{} must lead with PK", t.name, table.name);
+                for col in &table.cols {
+                    if col.kind == ColKind::Fk {
+                        let target = col.fk_to.expect("fk must name a target");
+                        assert!(
+                            t.tables.iter().any(|tt| tt.name == target),
+                            "{}: dangling FK to {target}",
+                            t.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_theme_has_a_filterable_text_and_numeric_column() {
+        for t in themes() {
+            let mut has_eq = false;
+            let mut has_range = false;
+            for table in &t.tables {
+                for col in &table.cols {
+                    has_eq |= col.kind.filterable_eq();
+                    has_range |= col.kind.filterable_range();
+                }
+            }
+            assert!(has_eq && has_range, "theme {} lacks filter material", t.name);
+        }
+    }
+
+    #[test]
+    fn domain_names_vary_by_variant() {
+        let ts = themes();
+        assert_eq!(domain_name(&ts[0], 0), "healthcare");
+        assert_eq!(domain_name(&ts[0], 1), "healthcare_2");
+    }
+
+    #[test]
+    fn fk_parents_precede_children() {
+        for t in themes() {
+            let mut seen: Vec<&str> = Vec::new();
+            for table in &t.tables {
+                for col in &table.cols {
+                    if let Some(target) = col.fk_to {
+                        assert!(seen.contains(&target), "{}: {} references later table {target}", t.name, table.name);
+                    }
+                }
+                seen.push(table.name);
+            }
+        }
+    }
+}

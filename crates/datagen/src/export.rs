@@ -1,0 +1,110 @@
+//! Exporting generated benchmarks in BIRD's on-disk layout.
+//!
+//! BIRD ships `dev.json` (question / evidence / SQL / db_id / difficulty)
+//! plus one SQLite file per database. This module mirrors that: split
+//! examples serialise to the same JSON shape, and each database dumps to a
+//! SQL script the engine reloads verbatim — so generated worlds can be
+//! inspected, diffed, or consumed by external tooling.
+
+use crate::bench::{Benchmark, Example, Split};
+use serde::{Deserialize, Serialize};
+
+/// One example in BIRD's `dev.json` record shape.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct BirdRecord {
+    /// Question id.
+    pub question_id: u32,
+    /// Target database id.
+    pub db_id: String,
+    /// The natural-language question.
+    pub question: String,
+    /// External knowledge ("evidence").
+    pub evidence: String,
+    /// Gold SQL (BIRD's field name).
+    #[serde(rename = "SQL")]
+    pub sql: String,
+    /// Difficulty tier.
+    pub difficulty: String,
+}
+
+impl From<&Example> for BirdRecord {
+    fn from(ex: &Example) -> Self {
+        BirdRecord {
+            question_id: ex.id,
+            db_id: ex.db_id.clone(),
+            question: ex.question.clone(),
+            evidence: ex.evidence.clone(),
+            sql: ex.gold_sql.clone(),
+            difficulty: ex.difficulty.as_str().to_owned(),
+        }
+    }
+}
+
+/// Serialise one split as BIRD-shaped JSON.
+pub fn split_to_json(bench: &Benchmark, split: Split) -> String {
+    let records: Vec<BirdRecord> = bench.split(split).iter().map(BirdRecord::from).collect();
+    serde_json::to_string_pretty(&records).expect("records serialise")
+}
+
+/// Parse a BIRD-shaped JSON split back into records.
+pub fn records_from_json(json: &str) -> Result<Vec<BirdRecord>, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Write the whole benchmark to a directory: `<split>.json` per non-empty
+/// split and `databases/<db_id>.sql` per database.
+pub fn write_benchmark(bench: &Benchmark, dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir.join("databases"))?;
+    for (name, split) in [("train", Split::Train), ("dev", Split::Dev), ("test", Split::Test)] {
+        if !bench.split(split).is_empty() {
+            std::fs::write(dir.join(format!("{name}.json")), split_to_json(bench, split))?;
+        }
+    }
+    for db in &bench.dbs {
+        std::fs::write(
+            dir.join("databases").join(format!("{}.sql", db.id)),
+            db.database.dump_script(),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::{generate, Profile};
+
+    #[test]
+    fn json_round_trips() {
+        let bench = generate(&Profile::tiny());
+        let json = split_to_json(&bench, Split::Dev);
+        let records = records_from_json(&json).unwrap();
+        assert_eq!(records.len(), bench.dev.len());
+        assert_eq!(records[0], BirdRecord::from(&bench.dev[0]));
+        assert!(json.contains("\"SQL\""), "BIRD's field casing");
+    }
+
+    #[test]
+    fn written_benchmark_reloads_and_answers_gold() {
+        let bench = generate(&Profile::tiny());
+        let dir = std::env::temp_dir().join(format!("osql_export_{}", std::process::id()));
+        write_benchmark(&bench, &dir).unwrap();
+
+        // every dumped database reloads and still answers its gold SQL
+        for db in &bench.dbs {
+            let script =
+                std::fs::read_to_string(dir.join("databases").join(format!("{}.sql", db.id)))
+                    .unwrap();
+            let mut reloaded = sqlkit::Database::new(&*db.id);
+            reloaded.execute_script(&script).unwrap();
+            for ex in bench.dev.iter().filter(|e| e.db_id == db.id).take(5) {
+                let original = db.database.query(&ex.gold_sql).unwrap();
+                let replayed = reloaded.query(&ex.gold_sql).unwrap();
+                assert!(replayed.same_answer(&original), "{}", ex.gold_sql);
+            }
+        }
+        let dev_json = std::fs::read_to_string(dir.join("dev.json")).unwrap();
+        assert_eq!(records_from_json(&dev_json).unwrap().len(), bench.dev.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,352 @@
+//! Rendering a [`QuerySpec`] as a natural-language question plus a
+//! BIRD-style evidence string.
+//!
+//! Questions mention *display* forms of values; when those differ from the
+//! stored forms (quirked columns, abstract phrases like "a normal IGA
+//! level"), an evidence line spells out the mapping — exactly the situation
+//! BIRD's external-knowledge field creates.
+
+use crate::build::BuiltDb;
+use crate::spec::{AggFunc, CmpOp, FilterSpec, QuerySpec, SelectSpec};
+use sqlkit::Value;
+
+/// Rendered natural-language artefacts of a spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedQuestion {
+    /// The question.
+    pub question: String,
+    /// Evidence / external-knowledge lines ("" when none needed).
+    pub evidence: String,
+}
+
+/// Render the question and evidence for a spec.
+pub fn render(spec: &QuerySpec, db: &BuiltDb) -> RenderedQuestion {
+    let noun = spec
+        .tables
+        .first()
+        .and_then(|t| db.table_meta(t))
+        .map(|t| t.noun.clone())
+        .unwrap_or_else(|| "rows".to_owned());
+
+    let filter_clause = render_filters(&spec.filters, db);
+    let head = render_head(spec, db, &noun);
+
+    let mut question = head;
+    if !filter_clause.is_empty() {
+        question.push(' ');
+        question.push_str(&filter_clause);
+    }
+    question.push('?');
+
+    let evidence = render_evidence(spec, db);
+    RenderedQuestion { question, evidence }
+}
+
+fn pretty_col(db: &BuiltDb, table: &str, column: &str) -> String {
+    let _ = db;
+    let _ = table;
+    column.to_lowercase()
+}
+
+fn render_head(spec: &QuerySpec, db: &BuiltDb, noun: &str) -> String {
+    // grouped queries
+    if let Some((gt, gc)) = &spec.group_by {
+        let agg_part = spec
+            .select
+            .iter()
+            .find_map(|s| match s {
+                SelectSpec::Agg { func, table, column } => {
+                    Some(render_agg(*func, table, column.as_deref(), db, noun))
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| format!("the number of {noun}"));
+        let mut head = format!("For each {}, what is {}", pretty_col(db, gt, gc), agg_part);
+        if let Some(o) = &spec.order {
+            if spec.limit.is_some() {
+                head = format!(
+                    "Which {} has the {} {}",
+                    pretty_col(db, gt, gc),
+                    if o.desc { "highest" } else { "lowest" },
+                    match &o.agg {
+                        Some(f) => format!("{} of {}", f.english(), pretty_col(db, &o.table, &o.column)),
+                        None => pretty_col(db, &o.table, &o.column),
+                    }
+                );
+            }
+        }
+        return head;
+    }
+
+    // ranked (ORDER BY ... LIMIT) queries
+    if let (Some(o), Some(n)) = (&spec.order, spec.limit) {
+        let superlative = if o.desc { "highest" } else { "lowest" };
+        let sel = render_select_list(spec, db, noun);
+        if n == 1 {
+            return format!(
+                "What is {} of the {} with the {} {}",
+                sel,
+                singular(noun),
+                superlative,
+                pretty_col(db, &o.table, &o.column)
+            );
+        }
+        return format!(
+            "List {} of the {} {} with the {} {}",
+            sel,
+            n,
+            noun,
+            superlative,
+            pretty_col(db, &o.table, &o.column)
+        );
+    }
+
+    // plain aggregates
+    if let Some(SelectSpec::Agg { func, table, column }) = spec.select.first() {
+        let agg = render_agg(*func, table, column.as_deref(), db, noun);
+        return match func {
+            AggFunc::Count | AggFunc::CountDistinct => format!("How many {}", agg),
+            _ => format!("What is {}", agg),
+        };
+    }
+
+    // bare column lists
+    let sel = render_select_list(spec, db, noun);
+    format!("What {} {} of the {}", if spec.select.len() > 1 { "are" } else { "is" }, sel, noun)
+}
+
+fn render_agg(
+    func: AggFunc,
+    table: &str,
+    column: Option<&str>,
+    db: &BuiltDb,
+    noun: &str,
+) -> String {
+    match func {
+        // count over a PK / plain column still reads as "how many X"
+        AggFunc::Count => noun.to_owned(),
+        AggFunc::CountDistinct => match column {
+            Some(c) => format!("distinct {} among the {}", pretty_col(db, table, c), noun),
+            None => noun.to_owned(),
+        },
+        _ => {
+            let c = column.map(|c| pretty_col(db, table, c)).unwrap_or_default();
+            format!("the {} {} of the {}", func.english(), c, noun)
+        }
+    }
+}
+
+fn render_select_list(spec: &QuerySpec, db: &BuiltDb, noun: &str) -> String {
+    let parts: Vec<String> = spec
+        .select
+        .iter()
+        .map(|s| match s {
+            SelectSpec::Column { table, column } => format!("the {}", pretty_col(db, table, column)),
+            SelectSpec::Agg { func, table, column } => {
+                render_agg(*func, table, column.as_deref(), db, noun)
+            }
+        })
+        .collect();
+    parts.join(" and ")
+}
+
+fn render_filters(filters: &[FilterSpec], db: &BuiltDb) -> String {
+    if filters.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = filters.iter().map(|f| render_filter(f, db)).collect();
+    format!("where {}", parts.join(" and "))
+}
+
+fn render_filter(f: &FilterSpec, db: &BuiltDb) -> String {
+    if let Some(phrase) = &f.abstract_phrase {
+        return phrase.clone();
+    }
+    let col = pretty_col(db, &f.table, &f.column);
+    if f.year_of_date {
+        return match f.op {
+            CmpOp::Ge | CmpOp::Gt => format!("the {} is in {} or later", col, f.display),
+            CmpOp::Le | CmpOp::Lt => format!("the {} is in {} or earlier", col, f.display),
+            _ => format!("the {} falls in {}", col, f.display),
+        };
+    }
+    match f.op {
+        CmpOp::Between => format!(
+            "the {} is between {} and {}",
+            col,
+            f.display,
+            f.value2.as_ref().map(value_display).unwrap_or_default()
+        ),
+        op => format!("the {} {} {}", col, op.english(), quote_display(f, &f.display)),
+    }
+}
+
+fn quote_display(f: &FilterSpec, display: &str) -> String {
+    match f.value {
+        Value::Text(_) => format!("\"{display}\""),
+        _ => display.to_owned(),
+    }
+}
+
+fn value_display(v: &Value) -> String {
+    v.to_string()
+}
+
+fn singular(noun: &str) -> &str {
+    noun.strip_suffix('s').unwrap_or(noun)
+}
+
+/// Evidence lines: one per filter whose question wording differs from the
+/// stored literal.
+pub fn render_evidence(spec: &QuerySpec, db: &BuiltDb) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for f in &spec.filters {
+        if !f.display_mismatch() || !f.has_evidence {
+            continue;
+        }
+        let col_ref = format!("{}.{}", f.table, quote_ident(&f.column));
+        let lhs = if f.year_of_date {
+            format!("strftime('%Y', {col_ref})")
+        } else {
+            col_ref
+        };
+        let rhs = sqlkit::printer::literal(&f.value);
+        let cond = match f.op {
+            CmpOp::Eq => format!("{lhs} = {rhs}"),
+            CmpOp::Ne => format!("{lhs} != {rhs}"),
+            CmpOp::Gt => format!("{lhs} > {rhs}"),
+            CmpOp::Ge => format!("{lhs} >= {rhs}"),
+            CmpOp::Lt => format!("{lhs} < {rhs}"),
+            CmpOp::Le => format!("{lhs} <= {rhs}"),
+            CmpOp::Between => format!(
+                "{lhs} BETWEEN {rhs} AND {}",
+                sqlkit::printer::literal(f.value2.as_ref().unwrap_or(&f.value))
+            ),
+        };
+        let subject = f
+            .abstract_phrase
+            .clone()
+            .unwrap_or_else(|| format!("\"{}\"", f.display));
+        lines.push(format!("{subject} refers to {cond}"));
+    }
+    let _ = db;
+    lines.join("; ")
+}
+
+fn quote_ident(name: &str) -> String {
+    sqlkit::printer::ident(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_db, RowScale};
+    use crate::domain::themes;
+    use crate::spec::{Difficulty, OrderSpec};
+
+    fn db() -> BuiltDb {
+        build_db(&themes()[0], "h", "healthcare", RowScale::tiny(), 0.0, 3)
+    }
+
+    fn base_spec() -> QuerySpec {
+        QuerySpec {
+            tables: vec!["Patient".into()],
+            select: vec![SelectSpec::Agg {
+                func: AggFunc::Count,
+                table: "Patient".into(),
+                column: None,
+            }],
+            filters: vec![FilterSpec {
+                table: "Patient".into(),
+                column: "City".into(),
+                op: CmpOp::Eq,
+                value: Value::text("OSL"),
+                value2: None,
+                display: "Oslo".into(),
+                year_of_date: false,
+                abstract_phrase: None,
+                has_evidence: true,
+            }],
+            group_by: None,
+            order: None,
+            limit: None,
+            distinct: false,
+            difficulty: Difficulty::Simple,
+        }
+    }
+
+    #[test]
+    fn count_question_reads_naturally() {
+        let r = render(&base_spec(), &db());
+        assert_eq!(r.question, "How many patients where the city is \"Oslo\"?");
+    }
+
+    #[test]
+    fn evidence_emitted_on_display_mismatch() {
+        let r = render(&base_spec(), &db());
+        assert_eq!(r.evidence, "\"Oslo\" refers to Patient.City = 'OSL'");
+        // no mismatch → no evidence
+        let mut s = base_spec();
+        s.filters[0].value = Value::text("Oslo");
+        let r = render(&s, &db());
+        assert!(r.evidence.is_empty());
+    }
+
+    #[test]
+    fn abstract_phrase_takes_over_wording() {
+        let mut s = base_spec();
+        s.filters[0].abstract_phrase = Some("patients living in the capital".into());
+        let r = render(&s, &db());
+        assert!(r.question.contains("patients living in the capital"), "{}", r.question);
+        assert!(r.evidence.contains("refers to Patient.City = 'OSL'"), "{}", r.evidence);
+    }
+
+    #[test]
+    fn ranked_question() {
+        let mut s = base_spec();
+        s.select =
+            vec![SelectSpec::Column { table: "Patient".into(), column: "Name".into() }];
+        s.filters.clear();
+        s.order = Some(OrderSpec {
+            table: "Patient".into(),
+            column: "Age".into(),
+            agg: None,
+            desc: true,
+        });
+        s.limit = Some(1);
+        let r = render(&s, &db());
+        assert_eq!(r.question, "What is the name of the patient with the highest age?");
+    }
+
+    #[test]
+    fn grouped_question() {
+        let mut s = base_spec();
+        s.filters.clear();
+        s.select = vec![
+            SelectSpec::Column { table: "Patient".into(), column: "City".into() },
+            SelectSpec::Agg { func: AggFunc::Count, table: "Patient".into(), column: None },
+        ];
+        s.group_by = Some(("Patient".into(), "City".into()));
+        let r = render(&s, &db());
+        assert!(r.question.starts_with("For each city"), "{}", r.question);
+    }
+
+    #[test]
+    fn year_of_date_phrasing() {
+        let mut s = base_spec();
+        s.filters = vec![FilterSpec {
+            table: "Patient".into(),
+            column: "First Date".into(),
+            op: CmpOp::Ge,
+            value: Value::text("1990"),
+            value2: None,
+            display: "1990".into(),
+            year_of_date: true,
+            abstract_phrase: None,
+            has_evidence: true,
+        }];
+        let r = render(&s, &db());
+        assert!(r.question.contains("in 1990 or later"), "{}", r.question);
+        assert!(r.evidence.contains("strftime('%Y', Patient.`First Date`) >= '1990'"), "{}", r.evidence);
+    }
+}

@@ -1,0 +1,552 @@
+//! Structured query specifications.
+//!
+//! Every benchmark example is generated *from* a [`QuerySpec`]: the gold
+//! SQL and the natural-language question are two renderings of the same
+//! spec. The simulated LLM later re-derives (a possibly corrupted copy of)
+//! the spec, which is what makes hallucination injection causally tied to
+//! prompt content rather than string-mangling.
+
+use serde::{Deserialize, Serialize};
+use sqlkit::ast::{
+    BinOp, Expr, FromClause, Join, JoinKind, OrderItem, SelectCore, SelectItem, SelectStmt,
+    TableRef,
+};
+use sqlkit::schema::DbSchema;
+use sqlkit::Value;
+
+/// Aggregate functions a spec can ask for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(col)` or `COUNT(*)`.
+    Count,
+    /// `COUNT(DISTINCT col)`.
+    CountDistinct,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl AggFunc {
+    /// SQL function name.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            AggFunc::Count | AggFunc::CountDistinct => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// English rendering for question templates.
+    pub fn english(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "number",
+            AggFunc::CountDistinct => "number of distinct",
+            AggFunc::Sum => "total",
+            AggFunc::Avg => "average",
+            AggFunc::Min => "lowest",
+            AggFunc::Max => "highest",
+        }
+    }
+}
+
+/// One projected output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectSpec {
+    /// A bare column.
+    Column {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// An aggregate; `column: None` means `COUNT(*)`.
+    Agg {
+        /// The aggregate.
+        func: AggFunc,
+        /// Table of the aggregated column.
+        table: String,
+        /// Aggregated column (None for `COUNT(*)`).
+        column: Option<String>,
+    },
+}
+
+/// Comparison operators for filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `BETWEEN a AND b`
+    Between,
+}
+
+impl CmpOp {
+    fn bin_op(self) -> BinOp {
+        match self {
+            CmpOp::Eq => BinOp::Eq,
+            CmpOp::Ne => BinOp::Ne,
+            CmpOp::Gt => BinOp::Gt,
+            CmpOp::Ge => BinOp::Ge,
+            CmpOp::Lt => BinOp::Lt,
+            CmpOp::Le => BinOp::Le,
+            CmpOp::Between => unreachable!("between handled separately"),
+        }
+    }
+
+    /// English rendering.
+    pub fn english(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "is",
+            CmpOp::Ne => "is not",
+            CmpOp::Gt => "is greater than",
+            CmpOp::Ge => "is at least",
+            CmpOp::Lt => "is less than",
+            CmpOp::Le => "is at most",
+            CmpOp::Between => "is between",
+        }
+    }
+}
+
+/// One WHERE condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterSpec {
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Comparison.
+    pub op: CmpOp,
+    /// Stored-form comparison value (what gold SQL uses).
+    pub value: Value,
+    /// Second value for `Between`.
+    pub value2: Option<Value>,
+    /// Human display form used in the question.
+    pub display: String,
+    /// When set, the filter is `strftime('%Y', col) <op> 'YYYY'`.
+    pub year_of_date: bool,
+    /// Abstract phrase used in the question instead of the literal value
+    /// ("a normal IGA level"); implies an evidence line.
+    pub abstract_phrase: Option<String>,
+    /// Whether the benchmark provides an evidence line for this filter.
+    /// BIRD's external knowledge is incomplete: some dirty values are
+    /// documented, others must be found by value retrieval.
+    pub has_evidence: bool,
+}
+
+impl FilterSpec {
+    /// Does the question's wording differ from the stored literal (so the
+    /// example needs evidence or value retrieval)?
+    pub fn display_mismatch(&self) -> bool {
+        if self.abstract_phrase.is_some() || self.year_of_date {
+            return true;
+        }
+        match &self.value {
+            Value::Text(stored) => *stored != self.display,
+            _ => false,
+        }
+    }
+}
+
+/// ORDER BY target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderSpec {
+    /// Table of the sort column.
+    pub table: String,
+    /// Sort column.
+    pub column: String,
+    /// Aggregate applied to the sort column (for grouped queries).
+    pub agg: Option<AggFunc>,
+    /// Descending flag.
+    pub desc: bool,
+}
+
+/// Difficulty tiers, mirroring BIRD's simple/moderate/challenging split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Difficulty {
+    /// Single table, one filter.
+    Simple,
+    /// One join or one aggregate.
+    Moderate,
+    /// Multi-join, multi-filter, grouped or ranked.
+    Challenging,
+}
+
+impl Difficulty {
+    /// Display name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Difficulty::Simple => "simple",
+            Difficulty::Moderate => "moderate",
+            Difficulty::Challenging => "challenging",
+        }
+    }
+
+    /// All tiers in order.
+    pub fn all() -> [Difficulty; 3] {
+        [Difficulty::Simple, Difficulty::Moderate, Difficulty::Challenging]
+    }
+}
+
+/// A complete structured query intent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Tables involved, base first; each subsequent table FK-adjacent to an
+    /// earlier one.
+    pub tables: Vec<String>,
+    /// Projection.
+    pub select: Vec<SelectSpec>,
+    /// Conjunctive filters.
+    pub filters: Vec<FilterSpec>,
+    /// GROUP BY column.
+    pub group_by: Option<(String, String)>,
+    /// ORDER BY.
+    pub order: Option<OrderSpec>,
+    /// LIMIT.
+    pub limit: Option<u32>,
+    /// SELECT DISTINCT flag.
+    pub distinct: bool,
+    /// Difficulty tier the spec was sampled for.
+    pub difficulty: Difficulty,
+}
+
+impl QuerySpec {
+    /// Alias (`T1`, `T2`, ...) for a table; falls back to the table name
+    /// when the table is not part of the spec (hallucinated references).
+    pub fn alias_of(&self, table: &str) -> String {
+        match self.tables.iter().position(|t| t.eq_ignore_ascii_case(table)) {
+            Some(i) => format!("T{}", i + 1),
+            None => table.to_owned(),
+        }
+    }
+
+    /// Every `(table, column)` pair the spec touches.
+    pub fn columns_used(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        let mut push = |t: &str, c: &str| {
+            let pair = (t.to_owned(), c.to_owned());
+            if !out.contains(&pair) {
+                out.push(pair);
+            }
+        };
+        for s in &self.select {
+            match s {
+                SelectSpec::Column { table, column } => push(table, column),
+                SelectSpec::Agg { table, column: Some(c), .. } => push(table, c),
+                SelectSpec::Agg { .. } => {}
+            }
+        }
+        for f in &self.filters {
+            push(&f.table, &f.column);
+        }
+        if let Some((t, c)) = &self.group_by {
+            push(t, c);
+        }
+        if let Some(o) = &self.order {
+            push(&o.table, &o.column);
+        }
+        out
+    }
+
+    /// Render the spec as a SQL AST, inferring join conditions from the
+    /// schema's FK graph. This is the *gold* rendering; the simulated LLM
+    /// renders corrupted copies through the same function.
+    pub fn to_sql(&self, schema: &DbSchema) -> SelectStmt {
+        let use_aliases = self.tables.len() > 1;
+        let tref = |i: usize, name: &str| TableRef::Named {
+            name: schema.table(name).map(|t| t.name.clone()).unwrap_or_else(|| name.to_owned()),
+            alias: use_aliases.then(|| format!("T{}", i + 1)),
+        };
+        let qual = |spec: &QuerySpec, table: &str| -> String {
+            if use_aliases {
+                spec.alias_of(table)
+            } else {
+                table.to_owned()
+            }
+        };
+
+        // FROM with FK-inferred joins
+        let from = if self.tables.is_empty() {
+            None
+        } else {
+            let base = tref(0, &self.tables[0]);
+            let mut joins = Vec::new();
+            for (i, t) in self.tables.iter().enumerate().skip(1) {
+                let mut on = None;
+                'search: for (j, prev) in self.tables.iter().enumerate().take(i) {
+                    for fk in &schema.foreign_keys {
+                        let fwd = fk.table.eq_ignore_ascii_case(t)
+                            && fk.ref_table.eq_ignore_ascii_case(prev);
+                        let back = fk.ref_table.eq_ignore_ascii_case(t)
+                            && fk.table.eq_ignore_ascii_case(prev);
+                        if fwd || back {
+                            let (lt, lc, rt, rc) = if fwd {
+                                (i, &fk.column, j, &fk.ref_column)
+                            } else {
+                                (i, &fk.ref_column, j, &fk.column)
+                            };
+                            on = Some(Expr::binary(
+                                Expr::qcol(qual(self, &self.tables[lt]), lc.clone()),
+                                BinOp::Eq,
+                                Expr::qcol(qual(self, &self.tables[rt]), rc.clone()),
+                            ));
+                            break 'search;
+                        }
+                    }
+                }
+                joins.push(Join { kind: JoinKind::Inner, table: tref(i, t), on });
+            }
+            Some(FromClause { base, joins })
+        };
+
+        // SELECT items
+        let items: Vec<SelectItem> = self
+            .select
+            .iter()
+            .map(|s| SelectItem::Expr { expr: self.select_expr(s, &qual), alias: None })
+            .collect();
+
+        // WHERE
+        let mut where_clause: Option<Expr> = None;
+        for f in &self.filters {
+            let cond = self.filter_expr(f, &qual);
+            where_clause = Some(match where_clause {
+                None => cond,
+                Some(acc) => Expr::binary(acc, BinOp::And, cond),
+            });
+        }
+
+        // GROUP BY
+        let group_by = self
+            .group_by
+            .iter()
+            .map(|(t, c)| Expr::qcol(qual(self, t), c.clone()))
+            .collect();
+
+        // ORDER BY / LIMIT
+        let order_by = self
+            .order
+            .iter()
+            .map(|o| {
+                let col = Expr::qcol(qual(self, &o.table), o.column.clone());
+                let expr = match o.agg {
+                    Some(f) => Expr::Function {
+                        name: f.sql_name().into(),
+                        args: vec![col],
+                        distinct: f == AggFunc::CountDistinct,
+                    },
+                    None => col,
+                };
+                OrderItem { expr, desc: o.desc }
+            })
+            .collect();
+
+        SelectStmt {
+            core: SelectCore {
+                distinct: self.distinct,
+                items,
+                from,
+                where_clause,
+                group_by,
+                having: None,
+            },
+            compounds: Vec::new(),
+            order_by,
+            limit: self.limit.map(|n| Expr::lit(n as i64)),
+            offset: None,
+        }
+    }
+
+    fn select_expr(&self, s: &SelectSpec, qual: &dyn Fn(&QuerySpec, &str) -> String) -> Expr {
+        match s {
+            SelectSpec::Column { table, column } => {
+                Expr::qcol(qual(self, table), column.clone())
+            }
+            SelectSpec::Agg { func, table, column } => {
+                let arg = match column {
+                    Some(c) => Expr::qcol(qual(self, table), c.clone()),
+                    None => Expr::Wildcard,
+                };
+                Expr::Function {
+                    name: func.sql_name().into(),
+                    args: vec![arg],
+                    distinct: *func == AggFunc::CountDistinct,
+                }
+            }
+        }
+    }
+
+    fn filter_expr(&self, f: &FilterSpec, qual: &dyn Fn(&QuerySpec, &str) -> String) -> Expr {
+        let mut col = Expr::qcol(qual(self, &f.table), f.column.clone());
+        if f.year_of_date {
+            col = Expr::Function {
+                name: "strftime".into(),
+                args: vec![Expr::lit("%Y"), col],
+                distinct: false,
+            };
+        }
+        match f.op {
+            CmpOp::Between => Expr::Between {
+                expr: Box::new(col),
+                low: Box::new(Expr::Literal(f.value.clone())),
+                high: Box::new(Expr::Literal(
+                    f.value2.clone().expect("between carries a second value"),
+                )),
+                negated: false,
+            },
+            op => Expr::binary(col, op.bin_op(), Expr::Literal(f.value.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_db, RowScale};
+    use crate::domain::themes;
+
+    fn spec() -> QuerySpec {
+        QuerySpec {
+            tables: vec!["Patient".into(), "Laboratory".into()],
+            select: vec![SelectSpec::Agg {
+                func: AggFunc::CountDistinct,
+                table: "Patient".into(),
+                column: Some("PatientID".into()),
+            }],
+            filters: vec![
+                FilterSpec {
+                    table: "Laboratory".into(),
+                    column: "IGA".into(),
+                    op: CmpOp::Gt,
+                    value: Value::Real(80.0),
+                    value2: None,
+                    display: "80".into(),
+                    year_of_date: false,
+                    abstract_phrase: None,
+                    has_evidence: true,
+                },
+                FilterSpec {
+                    table: "Patient".into(),
+                    column: "First Date".into(),
+                    op: CmpOp::Ge,
+                    value: Value::text("1990"),
+                    value2: None,
+                    display: "1990".into(),
+                    year_of_date: true,
+                    abstract_phrase: None,
+                    has_evidence: true,
+                },
+            ],
+            group_by: None,
+            order: None,
+            limit: None,
+            distinct: false,
+            difficulty: Difficulty::Moderate,
+        }
+    }
+
+    #[test]
+    fn renders_paper_shaped_sql() {
+        let b = build_db(&themes()[0], "h", "healthcare", RowScale::tiny(), 0.0, 3);
+        let sql = sqlkit::print_select(&spec().to_sql(&b.database.schema));
+        assert!(sql.contains("COUNT(DISTINCT T1.PatientID)"), "{sql}");
+        assert!(sql.contains("INNER JOIN Laboratory AS T2 ON T2.PatientID = T1.PatientID"), "{sql}");
+        assert!(sql.contains("STRFTIME('%Y', T1.`First Date`) >= '1990'"), "{sql}");
+        // and it executes
+        b.database.query(&sql).unwrap();
+    }
+
+    #[test]
+    fn single_table_skips_aliases() {
+        let b = build_db(&themes()[0], "h", "healthcare", RowScale::tiny(), 0.0, 3);
+        let s = QuerySpec {
+            tables: vec!["Patient".into()],
+            select: vec![SelectSpec::Column { table: "Patient".into(), column: "Name".into() }],
+            filters: vec![],
+            group_by: None,
+            order: Some(OrderSpec {
+                table: "Patient".into(),
+                column: "Age".into(),
+                agg: None,
+                desc: true,
+            }),
+            limit: Some(1),
+            distinct: false,
+            difficulty: Difficulty::Simple,
+        };
+        let sql = sqlkit::print_select(&s.to_sql(&b.database.schema));
+        assert_eq!(sql, "SELECT Patient.Name FROM Patient ORDER BY Patient.Age DESC LIMIT 1");
+        b.database.query(&sql).unwrap();
+    }
+
+    #[test]
+    fn columns_used_deduplicates() {
+        let s = spec();
+        let cols = s.columns_used();
+        assert_eq!(cols.len(), 3);
+        assert!(cols.contains(&("Laboratory".into(), "IGA".into())));
+    }
+
+    #[test]
+    fn display_mismatch_detection() {
+        let mut f = spec().filters[0].clone();
+        assert!(!f.display_mismatch());
+        f.abstract_phrase = Some("a high IGA".into());
+        assert!(f.display_mismatch());
+        let g = FilterSpec {
+            table: "t".into(),
+            column: "c".into(),
+            op: CmpOp::Eq,
+            value: Value::text("OSL"),
+            value2: None,
+            display: "Oslo".into(),
+            year_of_date: false,
+            abstract_phrase: None,
+            has_evidence: true,
+        };
+        assert!(g.display_mismatch());
+    }
+
+    #[test]
+    fn group_by_and_order_render() {
+        let b = build_db(&themes()[0], "h", "healthcare", RowScale::tiny(), 0.0, 3);
+        let s = QuerySpec {
+            tables: vec!["Patient".into()],
+            select: vec![
+                SelectSpec::Column { table: "Patient".into(), column: "City".into() },
+                SelectSpec::Agg { func: AggFunc::Count, table: "Patient".into(), column: None },
+            ],
+            filters: vec![],
+            group_by: Some(("Patient".into(), "City".into())),
+            order: Some(OrderSpec {
+                table: "Patient".into(),
+                column: "PatientID".into(),
+                agg: Some(AggFunc::Count),
+                desc: true,
+            }),
+            limit: Some(3),
+            distinct: false,
+            difficulty: Difficulty::Challenging,
+        };
+        let sql = sqlkit::print_select(&s.to_sql(&b.database.schema));
+        assert!(sql.contains("GROUP BY Patient.City"), "{sql}");
+        assert!(sql.contains("ORDER BY COUNT(Patient.PatientID) DESC"), "{sql}");
+        let rs = b.database.query(&sql).unwrap();
+        assert!(rs.rows.len() <= 3);
+    }
+}

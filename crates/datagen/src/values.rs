@@ -1,0 +1,345 @@
+//! Value vocabularies, column kinds, and storage quirks.
+//!
+//! BIRD's headline difficulty is *dirty values*: the way a value is stored
+//! (`'OSL'`, `'JOHN SMITH'`, `'CAT_Tier-2'`) rarely matches how the question
+//! mentions it ("Oslo", "John Smith", "tier 2"). Every text column here
+//! carries a [`Quirk`] describing the storage transformation, and the
+//! generator keeps both the *display form* (used in questions) and the
+//! *stored form* (used in gold SQL) so the pipeline's value retrieval has
+//! real work to do.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Semantic column kinds; each knows how to generate values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColKind {
+    /// Integer surrogate primary key.
+    Id,
+    /// Foreign key (value range bound to the referenced table's ids).
+    Fk,
+    /// Person full name.
+    PersonName,
+    /// City name.
+    City,
+    /// Country name.
+    Country,
+    /// Themed categorical value; the payload selects the pool.
+    Category(u8),
+    /// Workflow status.
+    Status,
+    /// ISO date stored as text.
+    Date,
+    /// Calendar year.
+    Year,
+    /// Monetary amount (two decimals).
+    Money,
+    /// Physical / score measurement (one decimal).
+    Measure,
+    /// Small non-negative count.
+    Count,
+    /// Person age.
+    Age,
+    /// 0/1 flag.
+    Flag,
+    /// Short free-text label.
+    Label,
+}
+
+impl ColKind {
+    /// Is this a text-valued kind (candidate for value indexing)?
+    pub fn is_textual(&self) -> bool {
+        matches!(
+            self,
+            ColKind::PersonName
+                | ColKind::City
+                | ColKind::Country
+                | ColKind::Category(_)
+                | ColKind::Status
+                | ColKind::Date
+                | ColKind::Label
+        )
+    }
+
+    /// Is this kind usable in an equality filter mentioned in a question?
+    pub fn filterable_eq(&self) -> bool {
+        matches!(
+            self,
+            ColKind::PersonName
+                | ColKind::City
+                | ColKind::Country
+                | ColKind::Category(_)
+                | ColKind::Status
+                | ColKind::Flag
+        )
+    }
+
+    /// Is this kind usable in a range filter?
+    pub fn filterable_range(&self) -> bool {
+        matches!(
+            self,
+            ColKind::Year | ColKind::Money | ColKind::Measure | ColKind::Count | ColKind::Age
+        ) || matches!(self, ColKind::Date)
+    }
+
+    /// Is this kind numeric (usable under SUM/AVG)?
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            ColKind::Money | ColKind::Measure | ColKind::Count | ColKind::Age | ColKind::Year
+        )
+    }
+
+    /// SQL type affinity for the column.
+    pub fn type_name(&self) -> sqlkit::ast::TypeName {
+        use sqlkit::ast::TypeName::*;
+        match self {
+            ColKind::Id | ColKind::Fk | ColKind::Year | ColKind::Count | ColKind::Age
+            | ColKind::Flag => Integer,
+            ColKind::Money | ColKind::Measure => Real,
+            _ => Text,
+        }
+    }
+}
+
+/// Storage transformation applied to text values: display form (as a
+/// question would say it) → stored form (as the database holds it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quirk {
+    /// Stored exactly as displayed.
+    None,
+    /// Stored in ALL CAPS (`'Oslo'` → `'OSLO'`).
+    Upper,
+    /// Stored lower-cased (`'Oslo'` → `'oslo'`).
+    Lower,
+    /// Stored as a code: first three consonant-ish chars upper-cased
+    /// (`'Oslo'` → `'OSL'`).
+    Abbrev,
+    /// Stored with a namespace prefix and underscores
+    /// (`'tier two'` → `'C_tier_two'`).
+    Coded,
+}
+
+impl Quirk {
+    /// Transform a display form into the stored form.
+    pub fn apply(&self, display: &str) -> String {
+        match self {
+            Quirk::None => display.to_owned(),
+            Quirk::Upper => display.to_uppercase(),
+            Quirk::Lower => display.to_lowercase(),
+            Quirk::Abbrev => display
+                .chars()
+                .filter(|c| c.is_alphanumeric())
+                .take(3)
+                .collect::<String>()
+                .to_uppercase(),
+            Quirk::Coded => format!("C_{}", display.to_lowercase().replace(' ', "_")),
+        }
+    }
+}
+
+// ------------- vocabularies -------------
+
+/// First names.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+    "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony",
+    "Sandra", "Mark", "Margaret", "Donald", "Ashley", "Steven", "Kimberly", "Andrew", "Emily",
+    "Paul", "Donna", "Joshua", "Michelle", "Kenneth", "Carol", "Kevin", "Amanda", "Brian",
+    "Melissa", "George", "Deborah", "Timothy", "Stephanie", "Ronald", "Rebecca", "Jason", "Laura",
+    "Edward", "Sharon", "Jeffrey", "Cynthia", "Ryan", "Kathleen", "Jacob", "Amy", "Gary",
+    "Angela", "Nicholas", "Shirley", "Eric", "Anna", "Jonathan", "Brenda", "Stephen", "Pamela",
+    "Larry", "Emma", "Justin", "Nicole", "Scott", "Helen", "Brandon", "Samantha",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
+    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
+    "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers",
+];
+
+/// City names.
+pub const CITIES: &[&str] = &[
+    "Oslo", "Berne", "Madrid", "Lisbon", "Prague", "Vienna", "Dublin", "Athens", "Warsaw",
+    "Helsinki", "Brussels", "Copenhagen", "Stockholm", "Budapest", "Zagreb", "Riga", "Vilnius",
+    "Tallinn", "Porto", "Lyon", "Marseille", "Hamburg", "Munich", "Cologne", "Turin", "Naples",
+    "Valencia", "Seville", "Rotterdam", "Antwerp", "Geneva", "Basel", "Krakow", "Gdansk",
+    "Bergen", "Aarhus", "Malmo", "Tampere", "Graz", "Linz", "Bilbao", "Bologna", "Florence",
+    "Leipzig", "Dresden", "Utrecht", "Ghent", "Cork", "Galway", "Toledo",
+];
+
+/// Country names.
+pub const COUNTRIES: &[&str] = &[
+    "Norway", "Switzerland", "Spain", "Portugal", "Czechia", "Austria", "Ireland", "Greece",
+    "Poland", "Finland", "Belgium", "Denmark", "Sweden", "Hungary", "Croatia", "Latvia",
+    "Lithuania", "Estonia", "France", "Germany", "Italy", "Netherlands", "Slovenia", "Slovakia",
+    "Romania", "Bulgaria", "Iceland", "Malta", "Cyprus", "Luxembourg",
+];
+
+/// Status values.
+pub const STATUSES: &[&str] = &[
+    "active", "inactive", "pending", "approved", "rejected", "archived", "completed", "draft",
+    "suspended", "expired",
+];
+
+/// Themed categorical pools, selected by `ColKind::Category(i)`.
+pub const CATEGORY_POOLS: &[&[&str]] = &[
+    &["gold", "silver", "bronze", "platinum"],
+    &["small", "medium", "large", "extra large"],
+    &["north", "south", "east", "west", "central"],
+    &["tier one", "tier two", "tier three"],
+    &["public", "private", "charter", "community"],
+    &["cash", "credit", "debit", "transfer", "voucher"],
+    &["sedan", "hatchback", "wagon", "coupe", "van"],
+    &["forward", "midfielder", "defender", "goalkeeper"],
+    &["oncology", "cardiology", "neurology", "pediatrics", "radiology"],
+    &["fiction", "biography", "poetry", "reference", "travel"],
+    &["espresso", "filter", "cold brew", "cappuccino"],
+    &["solar", "wind", "hydro", "nuclear", "coal"],
+];
+
+/// Adjective+noun label vocabulary (free-text labels, project names, ...).
+pub const LABEL_ADJ: &[&str] = &[
+    "bright", "silent", "rapid", "calm", "bold", "amber", "crimson", "azure", "velvet", "iron",
+    "silver", "golden", "hollow", "vivid", "quiet", "brisk",
+];
+/// Nouns for labels.
+pub const LABEL_NOUN: &[&str] = &[
+    "falcon", "harbor", "meadow", "summit", "canyon", "beacon", "orchard", "lantern", "compass",
+    "anchor", "breeze", "thicket", "prairie", "glacier", "ember", "willow",
+];
+
+/// A generated value: what the question says vs what the database stores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenValue {
+    /// Human form used when rendering the question.
+    pub display: String,
+    /// Stored form placed in the database and the gold SQL.
+    pub stored: sqlkit::Value,
+}
+
+/// Generate one value of the given kind.
+///
+/// `fk_range` bounds foreign-key ids; `quirk` transforms text kinds.
+pub fn generate(kind: ColKind, quirk: Quirk, rng: &mut StdRng, fk_range: u32) -> GenValue {
+    use sqlkit::Value;
+    let pick = |rng: &mut StdRng, pool: &[&str]| pool[rng.gen_range(0..pool.len())].to_owned();
+    match kind {
+        ColKind::Id => unreachable!("ids are assigned sequentially"),
+        ColKind::Fk => {
+            let id = rng.gen_range(1..=fk_range.max(1)) as i64;
+            GenValue { display: id.to_string(), stored: Value::Int(id) }
+        }
+        ColKind::PersonName => {
+            let display =
+                format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES));
+            GenValue { stored: Value::Text(quirk.apply(&display)), display }
+        }
+        ColKind::City => text(pick(rng, CITIES), quirk),
+        ColKind::Country => text(pick(rng, COUNTRIES), quirk),
+        ColKind::Category(pool) => {
+            let pool = CATEGORY_POOLS[pool as usize % CATEGORY_POOLS.len()];
+            text(pick(rng, pool), quirk)
+        }
+        ColKind::Status => text(pick(rng, STATUSES), quirk),
+        ColKind::Date => {
+            let y = rng.gen_range(1980..=2023);
+            let m = rng.gen_range(1..=12);
+            let d = rng.gen_range(1..=28);
+            let s = format!("{y:04}-{m:02}-{d:02}");
+            GenValue { display: s.clone(), stored: Value::Text(s) }
+        }
+        ColKind::Year => {
+            let y = rng.gen_range(1980..=2023) as i64;
+            GenValue { display: y.to_string(), stored: Value::Int(y) }
+        }
+        ColKind::Money => {
+            let v = (rng.gen_range(100..2_000_000) as f64) / 100.0;
+            GenValue { display: format!("{v:.2}"), stored: Value::Real(v) }
+        }
+        ColKind::Measure => {
+            let v = (rng.gen_range(0..10_000) as f64) / 10.0;
+            GenValue { display: format!("{v:.1}"), stored: Value::Real(v) }
+        }
+        ColKind::Count => {
+            let v = rng.gen_range(0..500) as i64;
+            GenValue { display: v.to_string(), stored: Value::Int(v) }
+        }
+        ColKind::Age => {
+            let v = rng.gen_range(16..95) as i64;
+            GenValue { display: v.to_string(), stored: Value::Int(v) }
+        }
+        ColKind::Flag => {
+            let v = rng.gen_range(0..=1) as i64;
+            GenValue { display: if v == 1 { "yes".into() } else { "no".into() }, stored: Value::Int(v) }
+        }
+        ColKind::Label => {
+            let display = format!("{} {}", pick(rng, LABEL_ADJ), pick(rng, LABEL_NOUN));
+            GenValue { stored: Value::Text(quirk.apply(&display)), display }
+        }
+    }
+}
+
+fn text(display: String, quirk: Quirk) -> GenValue {
+    GenValue { stored: sqlkit::Value::Text(quirk.apply(&display)), display }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quirks_transform_display_forms() {
+        assert_eq!(Quirk::Upper.apply("Oslo"), "OSLO");
+        assert_eq!(Quirk::Lower.apply("Oslo"), "oslo");
+        assert_eq!(Quirk::Abbrev.apply("Oslo"), "OSL");
+        assert_eq!(Quirk::Coded.apply("tier two"), "C_tier_two");
+        assert_eq!(Quirk::None.apply("Oslo"), "Oslo");
+    }
+
+    #[test]
+    fn generated_text_respects_quirk() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = generate(ColKind::City, Quirk::Upper, &mut rng, 1);
+        assert_eq!(v.stored, sqlkit::Value::Text(v.display.to_uppercase()));
+    }
+
+    #[test]
+    fn fk_values_respect_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let v = generate(ColKind::Fk, Quirk::None, &mut rng, 7);
+            match v.stored {
+                sqlkit::Value::Int(i) => assert!((1..=7).contains(&i)),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn kind_predicates_are_consistent() {
+        assert!(ColKind::City.is_textual());
+        assert!(ColKind::City.filterable_eq());
+        assert!(!ColKind::City.filterable_range());
+        assert!(ColKind::Money.filterable_range());
+        assert!(ColKind::Money.is_numeric());
+        assert!(!ColKind::Money.is_textual());
+        assert!(ColKind::Date.filterable_range());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(ColKind::PersonName, Quirk::Upper, &mut StdRng::seed_from_u64(9), 1);
+        let b = generate(ColKind::PersonName, Quirk::Upper, &mut StdRng::seed_from_u64(9), 1);
+        assert_eq!(a, b);
+    }
+}

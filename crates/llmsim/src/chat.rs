@@ -1,0 +1,112 @@
+//! The language-model abstraction the pipeline talks to.
+//!
+//! OpenSearch-SQL's agents are prompt programs; the pipeline only ever sees
+//! this trait. The reproduction plugs in [`SimLlm`](crate::sim::SimLlm),
+//! but a client for a real chat API could implement the same trait.
+
+/// A single completion request.
+#[derive(Debug, Clone)]
+pub struct ChatRequest {
+    /// The full prompt (system + user concatenated; the simulated model
+    /// parses structural markers out of it).
+    pub prompt: String,
+    /// Sampling temperature; 0 is deterministic, higher adds per-sample
+    /// corruption noise.
+    pub temperature: f64,
+    /// Number of samples to draw (the paper's beam of up to 21 candidates).
+    pub n: usize,
+    /// Caller-chosen tag mixed into the sampling seed so that repeated
+    /// calls (e.g. correction retries) draw fresh noise deterministically.
+    pub seed_tag: u64,
+}
+
+impl ChatRequest {
+    /// A single-sample, temperature-0 request.
+    pub fn once(prompt: impl Into<String>) -> Self {
+        ChatRequest { prompt: prompt.into(), temperature: 0.0, n: 1, seed_tag: 0 }
+    }
+}
+
+/// A completion response with usage accounting.
+#[derive(Debug, Clone)]
+pub struct ChatResponse {
+    /// One text per requested sample.
+    pub texts: Vec<String>,
+    /// Tokens in the prompt.
+    pub prompt_tokens: usize,
+    /// Tokens across all returned samples.
+    pub completion_tokens: usize,
+    /// Modelled wall-clock latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// The language-model interface. `Send + Sync` so evaluation harnesses can
+/// fan examples out across threads against one shared model.
+pub trait LanguageModel: Send + Sync {
+    /// Complete a request.
+    fn complete(&self, req: &ChatRequest) -> ChatResponse;
+    /// Model name (for reports).
+    fn name(&self) -> &str;
+}
+
+/// Approximate tokenizer: whitespace-delimited words plus punctuation
+/// runs, matching the ~0.75 words/token rule of BPE tokenizers closely
+/// enough for cost accounting.
+pub fn count_tokens(text: &str) -> usize {
+    let mut tokens = 0usize;
+    let mut in_word = false;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            if !in_word {
+                tokens += 1;
+                in_word = true;
+            }
+        } else {
+            in_word = false;
+            if !c.is_whitespace() {
+                tokens += 1;
+            }
+        }
+    }
+    // long words split into multiple BPE pieces; approximate by charge per
+    // 6 characters
+    tokens + text.len() / 24
+}
+
+/// Deterministic latency model: a fixed round-trip plus per-token decode
+/// cost. `speed` is tokens-per-millisecond of the simulated endpoint.
+pub fn model_latency_ms(prompt_tokens: usize, completion_tokens: usize, speed: f64) -> f64 {
+    let rtt = 180.0;
+    rtt + prompt_tokens as f64 / (speed * 8.0) + completion_tokens as f64 / speed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_counts_scale_with_text() {
+        let short = count_tokens("SELECT 1");
+        let long = count_tokens("SELECT name, age FROM patients WHERE city = 'Oslo' ORDER BY age");
+        assert!(short < long);
+        assert!(short >= 2);
+    }
+
+    #[test]
+    fn punctuation_counts() {
+        assert!(count_tokens("a,b.c") >= 5);
+        assert_eq!(count_tokens(""), 0);
+    }
+
+    #[test]
+    fn latency_grows_with_tokens() {
+        assert!(model_latency_ms(1000, 500, 10.0) > model_latency_ms(100, 50, 10.0));
+    }
+
+    #[test]
+    fn once_builds_single_request() {
+        let r = ChatRequest::once("hi");
+        assert_eq!(r.n, 1);
+        assert_eq!(r.temperature, 0.0);
+    }
+}

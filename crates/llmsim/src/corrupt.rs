@@ -1,0 +1,888 @@
+//! The hallucination engine: degrade a gold intent according to prompt
+//! quality, then render the degraded intent as SQL.
+//!
+//! Every corruption class corresponds to a failure mode the paper's
+//! modules exist to repair (§3.1, §3.5): wrong stored values, mangled
+//! column names, misqualified same-name columns, dropped joins, aggregate
+//! misuse, ranked-query style drift, SELECT-shape drift, and plain syntax
+//! errors. Probabilities are *causally* tied to what the prompt contains:
+//! a missing value block raises `ValueMismatch`, a missing column raises
+//! `WrongColumn`, schema width raises distraction, few-shots and CoT lower
+//! everything, and later beam samples drift further (which is what makes
+//! weak models' vote curves peak and fall, Figure 4).
+
+use crate::profile::{ErrorClass, ModelProfile};
+use crate::proto::OutputFormat;
+use datagen::{AggFunc, BuiltDb, Difficulty, QuerySpec, SelectSpec};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sqlkit::ast::{BinOp, Expr, OrderItem, SelectStmt};
+use sqlkit::Value;
+use std::collections::HashMap;
+
+/// Measured quality of a generation prompt.
+#[derive(Debug, Clone, Default)]
+pub struct PromptQuality {
+    /// Lower-cased `(table, column)` pairs present in the schema block.
+    pub schema_cols: Vec<(String, String)>,
+    /// `(table, column, stored value)` triples in the values block.
+    pub values: Vec<(String, String, String)>,
+    /// Few-shot example count.
+    pub fewshots: usize,
+    /// Few-shots carry CoT fields?
+    pub fewshot_cot: bool,
+    /// Requested output format.
+    pub format: OutputFormat,
+    /// Every single-quoted literal anywhere in the prompt (evidence lines,
+    /// few-shots). Seeing a stored literal — from whatever source —
+    /// protects the model from value-form hallucination.
+    pub quoted_literals: Vec<String>,
+}
+
+impl PromptQuality {
+    /// Parse a prompt.
+    pub fn from_prompt(prompt: &str) -> Self {
+        PromptQuality {
+            schema_cols: crate::proto::parse_schema_columns(prompt),
+            values: crate::proto::parse_values_block(prompt),
+            fewshots: crate::proto::count_fewshots(prompt),
+            fewshot_cot: crate::proto::fewshots_have_cot(prompt),
+            format: crate::proto::parse_format(prompt),
+            quoted_literals: single_quoted(prompt),
+        }
+    }
+
+    fn has_column(&self, table: &str, column: &str) -> bool {
+        let (t, c) = (table.to_lowercase(), column.to_lowercase());
+        self.schema_cols.iter().any(|(pt, pc)| *pt == t && *pc == c)
+    }
+
+    fn has_value(&self, table: &str, column: &str, stored: &str) -> bool {
+        let (t, c) = (table.to_lowercase(), column.to_lowercase());
+        self.values.iter().any(|(vt, vc, vv)| *vt == t && *vc == c && vv == stored)
+            || self.quoted_literals.iter().any(|l| l == stored)
+    }
+}
+
+/// One corrupted candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The rendered (possibly broken) SQL.
+    pub sql: String,
+    /// The degraded intent behind it (for CoT rendering).
+    pub spec: QuerySpec,
+    /// Which corruptions were applied.
+    pub applied: Vec<ErrorClass>,
+}
+
+/// Per-class probability multipliers (used by correction rounds to bias
+/// regeneration toward fixing the flagged class).
+pub type Suppression = HashMap<ErrorClass, f64>;
+
+/// Sampling context for one candidate.
+pub struct SampleCtx<'a> {
+    /// Model profile.
+    pub profile: &'a ModelProfile,
+    /// Target database.
+    pub db: &'a BuiltDb,
+    /// Prompt quality measurements.
+    pub quality: &'a PromptQuality,
+    /// Question difficulty.
+    pub difficulty: Difficulty,
+    /// Sampling temperature.
+    pub temperature: f64,
+    /// Index of this sample within the beam.
+    pub sample_idx: usize,
+    /// Per-class suppression multipliers.
+    pub suppression: &'a Suppression,
+}
+
+impl SampleCtx<'_> {
+    /// Effective probability of one error class for this sample.
+    pub fn class_prob(&self, class: ErrorClass) -> f64 {
+        let p = self.profile;
+        let mut prob = p.rate(class);
+        // difficulty
+        let tier = match self.difficulty {
+            Difficulty::Simple => 0,
+            Difficulty::Moderate => 1,
+            Difficulty::Challenging => 2,
+        };
+        prob *= p.difficulty_mult[tier];
+        // CoT format
+        prob *= match self.quality.format {
+            OutputFormat::StructuredCot => 1.0,
+            OutputFormat::UnstructuredCot => p.unstructured_cot_penalty,
+            OutputFormat::SqlOnly => p.no_cot_penalty,
+        };
+        // few-shots
+        let mut fs = p.fewshot_discount.powi(self.quality.fewshots.min(9) as i32);
+        if self.quality.fewshots > 0 && self.quality.fewshot_cot {
+            fs *= p.cot_fewshot_bonus;
+        }
+        prob *= fs;
+        // temperature relative to the 0.7 calibration point
+        prob *= (1.0 + p.temperature_noise * (self.temperature - 0.7)).max(0.25);
+        // beam drift
+        prob *= 1.0 + p.beam_decay * self.sample_idx as f64;
+        // correction suppression
+        if let Some(m) = self.suppression.get(&class) {
+            prob *= m;
+        }
+        prob.clamp(0.0, 0.95)
+    }
+
+    /// Distraction multiplier from schema width relative to what the query
+    /// needs.
+    fn distraction(&self, needed: usize) -> f64 {
+        let cols = self.quality.schema_cols.len().max(needed.max(1));
+        let ratio = cols as f64 / needed.max(1) as f64;
+        self.profile.schema_distraction.powf(ratio.log2().max(0.0))
+    }
+}
+
+/// Draw one corrupted candidate for the given gold spec.
+pub fn sample_candidate(ctx: &SampleCtx<'_>, gold: &QuerySpec, rng: &mut StdRng) -> Candidate {
+    let mut spec = gold.clone();
+    let mut applied = Vec::new();
+
+    // --- ValueMismatch: knowledge-based. When the stored form of a
+    //     mismatched value is nowhere in the prompt, the model has no way
+    //     to know it and writes the question's surface form in (almost)
+    //     every sample; when the prompt shows the stored form, only a tiny
+    //     copy-noise residue remains.
+    let vm_modifier = {
+        let base = ctx.profile.rate(ErrorClass::ValueMismatch).max(1e-9);
+        ctx.class_prob(ErrorClass::ValueMismatch) / base
+    };
+    for f in spec.filters.iter_mut() {
+        let Value::Text(stored) = f.value.clone() else { continue };
+        if f.year_of_date {
+            continue;
+        }
+        let mismatch = f.display != stored;
+        let knowledge_gap = mismatch && !ctx.quality.has_value(&f.table, &f.column, &stored);
+        let prob = if knowledge_gap {
+            (0.85 * vm_modifier).clamp(0.0, 0.95)
+        } else if mismatch {
+            (0.03 * vm_modifier).clamp(0.0, 0.5)
+        } else {
+            (0.01 * vm_modifier).clamp(0.0, 0.5)
+        };
+        if rng.gen_bool(prob) {
+            let corrupted =
+                if mismatch { f.display.clone() } else { flip_case(&stored) };
+            if corrupted != stored {
+                applied.push(ErrorClass::ValueMismatch);
+                f.value = Value::Text(corrupted);
+            }
+        }
+    }
+
+    // --- WrongColumn: per needed column, worse when absent from prompt
+    let needed = gold.columns_used();
+    let mut rename: Option<((String, String), String)> = None;
+    for (t, c) in &needed {
+        let mut prob = ctx.class_prob(ErrorClass::WrongColumn) * ctx.distraction(needed.len());
+        if !ctx.quality.has_column(t, c) && !ctx.quality.schema_cols.is_empty() {
+            // the model cannot read a name that is not in its prompt;
+            // hallucination is near-forced regardless of few-shot quality
+            prob = (prob * ctx.profile.missing_column_penalty).max(0.7).clamp(0.0, 0.92);
+        }
+        if rename.is_none() && rng.gen_bool(prob.clamp(0.0, 0.95)) {
+            applied.push(ErrorClass::WrongColumn);
+            rename = Some(((t.clone(), c.clone()), mangle_column(ctx.db, c, rng)));
+        }
+    }
+
+    // --- WrongTableQualifier: same-name column in another joined table
+    if spec.tables.len() > 1 && rng.gen_bool(ctx.class_prob(ErrorClass::WrongTableQualifier)) {
+        let swap = spec.filters.iter().enumerate().find_map(|(i, f)| {
+            spec.tables
+                .iter()
+                .find(|t| {
+                    !t.eq_ignore_ascii_case(&f.table)
+                        && ctx.db.col_meta(t, &f.column).is_some()
+                })
+                .map(|other| (i, other.clone()))
+        });
+        if let Some((i, other)) = swap {
+            applied.push(ErrorClass::WrongTableQualifier);
+            spec.filters[i].table = other;
+        }
+    }
+
+    // --- MissingJoin: much likelier when the prompt schema omits the FK
+    //     join keys the query needs (the model cannot write a join whose
+    //     columns it cannot see)
+    let mut missing_join_prob = ctx.class_prob(ErrorClass::MissingJoin);
+    if spec.tables.len() > 1 && !ctx.quality.schema_cols.is_empty() {
+        let fk_missing = ctx.db.database.schema.foreign_keys.iter().any(|fk| {
+            let relevant = spec.tables.iter().any(|t| t.eq_ignore_ascii_case(&fk.table))
+                && spec.tables.iter().any(|t| t.eq_ignore_ascii_case(&fk.ref_table));
+            relevant
+                && (!ctx.quality.has_column(&fk.table, &fk.column)
+                    || !ctx.quality.has_column(&fk.ref_table, &fk.ref_column))
+        });
+        if fk_missing {
+            // spike the *unsuppressed* probability to a floor, then re-apply
+            // the suppression factor so correction rounds (and test
+            // harnesses) can still dampen the class
+            let supp = ctx.suppression.get(&ErrorClass::MissingJoin).copied().unwrap_or(1.0);
+            let unsuppressed = if supp > 0.0 { missing_join_prob / supp } else { 0.0 };
+            missing_join_prob = ((unsuppressed * 8.0).clamp(0.45, 0.9) * supp).min(0.9);
+        }
+    }
+    if spec.tables.len() > 1 && rng.gen_bool(missing_join_prob) {
+        let dropped = spec.tables.pop().unwrap();
+        // only an error if something still references the dropped table;
+        // otherwise it was a harmless redundant join removal
+        if gold.columns_used().iter().any(|(t, _)| t.eq_ignore_ascii_case(&dropped)) {
+            applied.push(ErrorClass::MissingJoin);
+        } else {
+            spec.tables.push(dropped);
+        }
+    }
+
+    // --- AggSwap
+    if rng.gen_bool(ctx.class_prob(ErrorClass::AggSwap)) {
+        for s in spec.select.iter_mut() {
+            if let SelectSpec::Agg { func, column, .. } = s {
+                let swapped = match func {
+                    AggFunc::Sum => Some(AggFunc::Avg),
+                    AggFunc::Avg => Some(AggFunc::Sum),
+                    AggFunc::Min => Some(AggFunc::Max),
+                    AggFunc::Max => Some(AggFunc::Min),
+                    AggFunc::CountDistinct => Some(AggFunc::Count),
+                    AggFunc::Count if column.is_some() => Some(AggFunc::CountDistinct),
+                    AggFunc::Count => None,
+                };
+                if let Some(f) = swapped {
+                    *func = f;
+                    applied.push(ErrorClass::AggSwap);
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- AggInOrderBy (only meaningful on ungrouped ranked queries)
+    if spec.group_by.is_none() {
+        if let Some(o) = &mut spec.order {
+            if o.agg.is_none() && rng.gen_bool(ctx.class_prob(ErrorClass::AggInOrderBy)) {
+                o.agg = Some(if o.desc { AggFunc::Max } else { AggFunc::Min });
+                applied.push(ErrorClass::AggInOrderBy);
+            }
+        }
+    }
+
+    // --- MissingLimit
+    if spec.order.is_some()
+        && spec.limit.is_some()
+        && rng.gen_bool(ctx.class_prob(ErrorClass::MissingLimit))
+    {
+        spec.limit = None;
+        applied.push(ErrorClass::MissingLimit);
+    }
+
+    // --- OrderFlip
+    if let Some(o) = &mut spec.order {
+        if rng.gen_bool(ctx.class_prob(ErrorClass::OrderFlip)) {
+            o.desc = !o.desc;
+            applied.push(ErrorClass::OrderFlip);
+        }
+    }
+
+    // --- ExtraSelect
+    if rng.gen_bool(ctx.class_prob(ErrorClass::ExtraSelect)) {
+        if let Some(meta) = ctx.db.table_meta(&spec.tables[0]) {
+            if let Some(pk) = meta.cols.iter().find(|c| c.kind == datagen::ColKind::Id) {
+                let extra = SelectSpec::Column {
+                    table: spec.tables[0].clone(),
+                    column: pk.name.clone(),
+                };
+                if !spec.select.contains(&extra) {
+                    spec.select.push(extra);
+                    applied.push(ErrorClass::ExtraSelect);
+                }
+            }
+        }
+    }
+
+    // --- OpSwap: loosen/tighten one range comparison
+    if rng.gen_bool(ctx.class_prob(ErrorClass::OpSwap)) {
+        use datagen::CmpOp;
+        if let Some(f) = spec.filters.iter_mut().find(|f| {
+            matches!(f.op, CmpOp::Gt | CmpOp::Ge | CmpOp::Lt | CmpOp::Le)
+        }) {
+            f.op = match f.op {
+                CmpOp::Gt => CmpOp::Ge,
+                CmpOp::Ge => CmpOp::Gt,
+                CmpOp::Lt => CmpOp::Le,
+                CmpOp::Le => CmpOp::Lt,
+                other => other,
+            };
+            applied.push(ErrorClass::OpSwap);
+        }
+    }
+
+    // render, then apply AST/string-level corruptions
+    let mut ast = spec.to_sql(&ctx.db.database.schema);
+
+    if let Some(((_, old), new_name)) = &rename {
+        rename_column(&mut ast, old, new_name);
+    }
+
+    // --- RankedAsSubquery
+    if spec.group_by.is_none()
+        && spec.order.as_ref().map(|o| o.agg.is_none()).unwrap_or(false)
+        && spec.limit == Some(1)
+        && rng.gen_bool(ctx.class_prob(ErrorClass::RankedAsSubquery))
+    {
+        ranked_to_subquery(&mut ast, &spec);
+        applied.push(ErrorClass::RankedAsSubquery);
+    }
+
+    let mut sql = sqlkit::print_select(&ast);
+
+    // --- Syntax
+    if rng.gen_bool(ctx.class_prob(ErrorClass::Syntax)) {
+        if let Some(pos) = sql.find(" FROM ") {
+            sql.replace_range(pos..pos + 6, " FORM ");
+            applied.push(ErrorClass::Syntax);
+        }
+    }
+
+    Candidate { sql, spec, applied }
+}
+
+// ---------------- sticky semantic misreads ----------------
+
+/// Per-question probability that the model misreads the question, given
+/// the prompt quality. Few-shots raise the ceiling (paper Table 5), CoT
+/// mostly stabilises samples, difficulty raises everything (Figure 3).
+pub fn semantic_q(
+    profile: &ModelProfile,
+    difficulty: Difficulty,
+    quality: &PromptQuality,
+    needed_cols: usize,
+    complexity: f64,
+) -> f64 {
+    let tier = match difficulty {
+        Difficulty::Simple => 0,
+        Difficulty::Moderate => 1,
+        Difficulty::Challenging => 2,
+    };
+    let mut q = profile.semantic_rate * profile.semantic_difficulty[tier] * complexity;
+    // wide prompt schemas confuse comprehension itself, not just column
+    // naming: column filtering lowers the misread rate (paper Table 4)
+    let cols = quality.schema_cols.len().max(needed_cols.max(1));
+    let ratio = cols as f64 / needed_cols.max(1) as f64;
+    q *= profile.schema_distraction.powf(ratio.log2().max(0.0) * 0.35);
+    q *= if quality.fewshots == 0 {
+        1.22
+    } else if !quality.fewshot_cot {
+        1.10
+    } else {
+        1.0
+    };
+    q *= match quality.format {
+        OutputFormat::StructuredCot => 1.0,
+        OutputFormat::UnstructuredCot => 1.03,
+        OutputFormat::SqlOnly => 1.06,
+    };
+    q.clamp(0.0, 0.95)
+}
+
+/// Construct a plausible misreading of the gold intent: a mutated spec
+/// that *executes to a non-empty answer different from gold*. Returns
+/// `None` when no such mutation exists (the question is unambiguous).
+pub fn semantic_misread(db: &BuiltDb, gold: &QuerySpec, rng: &mut StdRng) -> Option<QuerySpec> {
+    let schema = &db.database.schema;
+    let gold_answer = db
+        .database
+        .query(&sqlkit::print_select(&gold.to_sql(schema)))
+        .ok()?
+        .normalized_rows();
+
+    let mut attempts: Vec<QuerySpec> = Vec::new();
+
+    // (a) a filter lands on a sibling column of the same table
+    for (i, f) in gold.filters.iter().enumerate() {
+        if let Some(meta) = db.table_meta(&f.table) {
+            let siblings: Vec<&datagen::ColMeta> = meta
+                .cols
+                .iter()
+                .filter(|c| {
+                    !c.name.eq_ignore_ascii_case(&f.column)
+                        && c.kind.filterable_eq() == db
+                            .col_meta(&f.table, &f.column)
+                            .map(|m| m.kind.filterable_eq())
+                            .unwrap_or(false)
+                        && c.kind != datagen::ColKind::Flag
+                })
+                .collect();
+            if let Some(sib) = siblings.get(rng.gen_range(0..siblings.len().max(1)).min(siblings.len().saturating_sub(1))) {
+                let mut spec = gold.clone();
+                if sib.kind.filterable_eq() && sib.kind.is_textual() {
+                    let values = db.stored_values(&f.table, &sib.name);
+                    if let Some(v) = values.get(rng.gen_range(0..values.len().max(1)).min(values.len().saturating_sub(1))) {
+                        spec.filters[i].column = sib.name.clone();
+                        spec.filters[i].value = Value::Text(v.clone());
+                        attempts.push(spec);
+                    }
+                } else if !sib.kind.is_textual() {
+                    spec.filters[i].column = sib.name.clone();
+                    attempts.push(spec);
+                }
+            }
+        }
+    }
+
+    // (a2) the filter keeps its column but confuses the value with a
+    //      different stored value of the same column
+    for (i, f) in gold.filters.iter().enumerate() {
+        if let Value::Text(stored) = &f.value {
+            let others: Vec<String> = db
+                .stored_values(&f.table, &f.column)
+                .into_iter()
+                .filter(|v| v != stored)
+                .collect();
+            if !others.is_empty() {
+                let pick = others[rng.gen_range(0..others.len())].clone();
+                let mut spec = gold.clone();
+                spec.filters[i].value = Value::Text(pick);
+                attempts.push(spec);
+            }
+        }
+    }
+
+    // (b) a projected column swaps to a sibling
+    for (i, s) in gold.select.iter().enumerate() {
+        if let SelectSpec::Column { table, column } = s {
+            if let Some(meta) = db.table_meta(table) {
+                for sib in &meta.cols {
+                    if !sib.name.eq_ignore_ascii_case(column)
+                        && !matches!(sib.kind, datagen::ColKind::Id | datagen::ColKind::Fk)
+                    {
+                        let mut spec = gold.clone();
+                        spec.select[i] =
+                            SelectSpec::Column { table: table.clone(), column: sib.name.clone() };
+                        attempts.push(spec);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // (c) a filter silently dropped
+    for i in 0..gold.filters.len() {
+        let mut spec = gold.clone();
+        spec.filters.remove(i);
+        attempts.push(spec);
+    }
+
+    // (d) aggregate semantics misread
+    {
+        let mut spec = gold.clone();
+        let mut touched = false;
+        for s in spec.select.iter_mut() {
+            if let SelectSpec::Agg { func, column, .. } = s {
+                let swapped = match func {
+                    AggFunc::Sum => Some(AggFunc::Avg),
+                    AggFunc::Avg => Some(AggFunc::Sum),
+                    AggFunc::Min => Some(AggFunc::Max),
+                    AggFunc::Max => Some(AggFunc::Min),
+                    AggFunc::CountDistinct => Some(AggFunc::Count),
+                    AggFunc::Count if column.is_some() => Some(AggFunc::CountDistinct),
+                    AggFunc::Count => None,
+                };
+                if let Some(f2) = swapped {
+                    *func = f2;
+                    touched = true;
+                    break;
+                }
+            }
+        }
+        if touched {
+            attempts.push(spec);
+        }
+    }
+
+    // (e) superlative direction misread
+    if let Some(o) = &gold.order {
+        let mut spec = gold.clone();
+        spec.order = Some(datagen::OrderSpec { desc: !o.desc, ..o.clone() });
+        attempts.push(spec);
+    }
+
+    // keep the first mutation that executes to a different non-empty answer
+    for spec in attempts {
+        let sql = sqlkit::print_select(&spec.to_sql(schema));
+        if let Ok(rs) = db.database.query(&sql) {
+            if !rs.is_effectively_empty() && rs.normalized_rows() != gold_answer {
+                return Some(spec);
+            }
+        }
+    }
+    None
+}
+
+/// Collect every single-quoted span in a text.
+fn single_quoted(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('\'') {
+        let after = &rest[start + 1..];
+        match after.find('\'') {
+            Some(end) => {
+                out.push(after[..end].to_owned());
+                rest = &after[end + 1..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Flip the case style of a stored value (upper↔title/lower).
+fn flip_case(stored: &str) -> String {
+    if stored.chars().any(|c| c.is_lowercase()) {
+        stored.to_uppercase()
+    } else {
+        stored.to_lowercase()
+    }
+}
+
+/// Produce a plausible-but-nonexistent column name.
+fn mangle_column(db: &BuiltDb, column: &str, rng: &mut StdRng) -> String {
+    let candidates = [
+        column.replace(' ', ""),
+        column.replace(' ', "_"),
+        format!("{column}s"),
+        format!("{column}_id"),
+        camel_to_snake(column),
+        format!("{column}Name"),
+    ];
+    let exists = |name: &str| {
+        db.tables
+            .iter()
+            .any(|t| t.cols.iter().any(|c| c.name.eq_ignore_ascii_case(name)))
+    };
+    let start = rng.gen_range(0..candidates.len());
+    for k in 0..candidates.len() {
+        let cand = &candidates[(start + k) % candidates.len()];
+        if !cand.eq_ignore_ascii_case(column) && !exists(cand) {
+            return cand.clone();
+        }
+    }
+    format!("{column}_x")
+}
+
+fn camel_to_snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() && i > 0 {
+            out.push('_');
+        }
+        out.push(c.to_ascii_lowercase());
+    }
+    out.replace(' ', "_")
+}
+
+/// Rename every reference to `old` column in the statement.
+fn rename_column(ast: &mut SelectStmt, old: &str, new_name: &str) {
+    ast.walk_exprs_mut(&mut |e| {
+        if let Expr::Column { column, .. } = e {
+            if column.eq_ignore_ascii_case(old) {
+                *column = new_name.to_owned();
+            }
+        }
+    });
+}
+
+/// Rewrite `ORDER BY col [DESC] LIMIT 1` into
+/// `WHERE col = (SELECT MAX/MIN(col) FROM <same sources>)`.
+fn ranked_to_subquery(ast: &mut SelectStmt, spec: &QuerySpec) {
+    let Some(OrderItem { expr: order_col, desc }) = ast.order_by.first().cloned() else {
+        return;
+    };
+    let func = if desc { "max" } else { "min" };
+    let mut sub_core = ast.core.clone();
+    sub_core.items = vec![sqlkit::ast::SelectItem::Expr {
+        expr: Expr::Function {
+            name: func.into(),
+            args: vec![order_col.clone()],
+            distinct: false,
+        },
+        alias: None,
+    }];
+    sub_core.distinct = false;
+    let sub = SelectStmt::simple(sub_core);
+    let cond = Expr::binary(order_col, BinOp::Eq, Expr::Subquery(Box::new(sub)));
+    ast.core.where_clause = Some(match ast.core.where_clause.take() {
+        Some(w) => Expr::binary(w, BinOp::And, cond),
+        None => cond,
+    });
+    ast.order_by.clear();
+    ast.limit = None;
+    let _ = spec;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, Profile};
+    use rand::SeedableRng;
+
+    struct Fixture {
+        bench: datagen::Benchmark,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture { bench: generate(&Profile::tiny()) }
+        }
+
+        fn rich_example(&self) -> &datagen::Example {
+            self.bench
+                .dev
+                .iter()
+                .chain(&self.bench.train)
+                .find(|e| !e.spec.filters.is_empty())
+                .expect("benchmark has filtered examples")
+        }
+    }
+
+    fn full_quality(_db: &BuiltDb, spec: &QuerySpec) -> PromptQuality {
+        PromptQuality {
+            schema_cols: spec
+                .columns_used()
+                .iter()
+                .map(|(t, c)| (t.to_lowercase(), c.to_lowercase()))
+                .collect(),
+            values: spec
+                .filters
+                .iter()
+                .filter_map(|f| match &f.value {
+                    Value::Text(s) => Some((
+                        f.table.to_lowercase(),
+                        f.column.to_lowercase(),
+                        s.clone(),
+                    )),
+                    _ => None,
+                })
+                .collect(),
+            fewshots: 5,
+            fewshot_cot: true,
+            format: OutputFormat::StructuredCot,
+            quoted_literals: Vec::new(),
+        }
+    }
+
+    fn ctx<'a>(
+        profile: &'a ModelProfile,
+        db: &'a BuiltDb,
+        quality: &'a PromptQuality,
+        supp: &'a Suppression,
+    ) -> SampleCtx<'a> {
+        SampleCtx {
+            profile,
+            db,
+            quality,
+            difficulty: Difficulty::Moderate,
+            temperature: 0.7,
+            sample_idx: 0,
+            suppression: supp,
+        }
+    }
+
+    #[test]
+    fn good_prompts_mostly_yield_gold_sql() {
+        let f = Fixture::new();
+        let ex = f.rich_example();
+        let db = f.bench.db(&ex.db_id).unwrap();
+        let profile = ModelProfile::gpt_4o();
+        let quality = full_quality(db, &ex.spec);
+        let supp = Suppression::new();
+        let c = ctx(&profile, db, &quality, &supp);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut clean = 0;
+        for _ in 0..60 {
+            let cand = sample_candidate(&c, &ex.spec, &mut rng);
+            if cand.applied.is_empty() {
+                assert_eq!(cand.sql, ex.gold_sql);
+                clean += 1;
+            }
+        }
+        assert!(clean > 25, "clean candidates = {clean}/60");
+    }
+
+    #[test]
+    fn empty_value_block_raises_value_mismatch() {
+        let f = Fixture::new();
+        // pick an example with a display-mismatched text filter
+        let ex = f
+            .bench
+            .dev
+            .iter()
+            .chain(&f.bench.train)
+            .find(|e| e.spec.filters.iter().any(|fl| fl.display_mismatch() && matches!(fl.value, Value::Text(_)) && !fl.year_of_date))
+            .expect("quirky profile yields mismatched filters");
+        let db = f.bench.db(&ex.db_id).unwrap();
+        let profile = ModelProfile::gpt_4o();
+        let supp = Suppression::new();
+
+        let with_vals = full_quality(db, &ex.spec);
+        let mut without_vals = with_vals.clone();
+        without_vals.values.clear();
+
+        let count_vm = |q: &PromptQuality, seed: u64| {
+            let c = ctx(&profile, db, q, &supp);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..120)
+                .filter(|_| {
+                    sample_candidate(&c, &ex.spec, &mut rng)
+                        .applied
+                        .contains(&ErrorClass::ValueMismatch)
+                })
+                .count()
+        };
+        let with_n = count_vm(&with_vals, 7);
+        let without_n = count_vm(&without_vals, 7);
+        assert!(
+            without_n > with_n * 3,
+            "value retrieval should matter: with={with_n} without={without_n}"
+        );
+    }
+
+    #[test]
+    fn missing_column_forces_hallucination() {
+        let f = Fixture::new();
+        let ex = f.rich_example();
+        let db = f.bench.db(&ex.db_id).unwrap();
+        let profile = ModelProfile::gpt_4o();
+        let supp = Suppression::new();
+        let mut quality = full_quality(db, &ex.spec);
+        // drop the first needed column from the prompt schema
+        quality.schema_cols.remove(0);
+        // keep at least one col so "schema present" logic engages
+        quality.schema_cols.push(("ghost".into(), "ghost".into()));
+        let c = ctx(&profile, db, &quality, &supp);
+        let mut rng = StdRng::seed_from_u64(3);
+        let wrong = (0..80)
+            .filter(|_| {
+                sample_candidate(&c, &ex.spec, &mut rng)
+                    .applied
+                    .contains(&ErrorClass::WrongColumn)
+            })
+            .count();
+        assert!(wrong > 40, "missing column should force errors, got {wrong}/80");
+    }
+
+    #[test]
+    fn corrupted_sql_differs_and_weak_models_err_more() {
+        let f = Fixture::new();
+        let ex = f.rich_example();
+        let db = f.bench.db(&ex.db_id).unwrap();
+        let supp = Suppression::new();
+        let quality = PromptQuality {
+            format: OutputFormat::SqlOnly,
+            ..Default::default()
+        };
+        let count_corrupted = |profile: &ModelProfile| {
+            let c = ctx(profile, db, &quality, &supp);
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut corrupted = 0;
+            for _ in 0..60 {
+                let cand = sample_candidate(&c, &ex.spec, &mut rng);
+                if !cand.applied.is_empty() {
+                    corrupted += 1;
+                    assert_ne!(cand.sql, ex.gold_sql);
+                }
+            }
+            corrupted
+        };
+        let weak = count_corrupted(&ModelProfile::gpt_4o_mini());
+        let strong = count_corrupted(&ModelProfile::gpt_4o());
+        assert!(weak >= 5, "weak model on poor prompt must err, got {weak}/60");
+        assert!(weak > strong, "mini ({weak}) must err more than 4o ({strong})");
+    }
+
+    #[test]
+    fn suppression_reduces_class_rate() {
+        let f = Fixture::new();
+        let ex = f
+            .bench
+            .dev
+            .iter()
+            .chain(&f.bench.train)
+            .find(|e| {
+                e.spec.filters.iter().any(|fl| {
+                    fl.display_mismatch()
+                        && matches!(fl.value, Value::Text(_))
+                        && !fl.year_of_date
+                })
+            })
+            .unwrap();
+        let db = f.bench.db(&ex.db_id).unwrap();
+        let profile = ModelProfile::gpt_4o();
+        let mut quality = full_quality(db, &ex.spec);
+        quality.values.clear();
+        let mut supp = Suppression::new();
+        supp.insert(ErrorClass::ValueMismatch, 0.05);
+        let free = Suppression::new();
+        let count = |s: &Suppression| {
+            let c = ctx(&profile, db, &quality, s);
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..100)
+                .filter(|_| {
+                    sample_candidate(&c, &ex.spec, &mut rng)
+                        .applied
+                        .contains(&ErrorClass::ValueMismatch)
+                })
+                .count()
+        };
+        assert!(count(&supp) < count(&free) / 2);
+    }
+
+    #[test]
+    fn beam_decay_raises_late_sample_error() {
+        let profile = ModelProfile::gpt_4o_mini();
+        let quality = PromptQuality::default();
+        let supp = Suppression::new();
+        let f = Fixture::new();
+        let db = &f.bench.dbs[0];
+        let mk = |sample_idx: usize| SampleCtx {
+            profile: &profile,
+            db,
+            quality: &quality,
+            difficulty: Difficulty::Moderate,
+            temperature: 0.7,
+            sample_idx,
+            suppression: &supp,
+        };
+        let early = mk(0).class_prob(ErrorClass::AggSwap);
+        let late = mk(20).class_prob(ErrorClass::AggSwap);
+        assert!(late > early * 1.5, "late={late} early={early}");
+    }
+
+    #[test]
+    fn mangled_columns_do_not_exist() {
+        let f = Fixture::new();
+        let db = &f.bench.dbs[0];
+        let mut rng = StdRng::seed_from_u64(9);
+        for t in &db.tables {
+            for c in &t.cols {
+                let m = mangle_column(db, &c.name, &mut rng);
+                assert!(
+                    db.tables
+                        .iter()
+                        .all(|tt| tt.cols.iter().all(|cc| !cc.name.eq_ignore_ascii_case(&m))),
+                    "mangled {m} exists"
+                );
+            }
+        }
+    }
+}

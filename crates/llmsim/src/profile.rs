@@ -1,0 +1,243 @@
+//! Calibrated model profiles.
+//!
+//! Each profile sets *base* per-class hallucination rates; the simulator
+//! multiplies them by prompt-quality and difficulty factors at sampling
+//! time. Levels are calibrated once so the full pipeline reproduces the
+//! paper's Mini-Dev numbers (see EXPERIMENTS.md); all ablation *deltas*
+//! emerge from which error classes each pipeline module can repair.
+
+use serde::{Deserialize, Serialize};
+
+/// The hallucination classes the simulator can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorClass {
+    /// WHERE literal uses the question's surface form instead of the
+    /// stored form (→ empty result). Suppressed by values retrieval;
+    /// repaired by Agent Alignment / Correction.
+    ValueMismatch,
+    /// A referenced column name is mangled (→ `no such column`).
+    /// Aggravated by schema width; repaired by Agent Alignment /
+    /// Correction.
+    WrongColumn,
+    /// A same-named column is qualified with the wrong table (wrong rows).
+    /// Repaired by Agent Alignment's value-location check.
+    WrongTableQualifier,
+    /// A required join is dropped while its columns stay (→ error).
+    /// Repaired by Correction.
+    MissingJoin,
+    /// `ORDER BY MAX(col)` style aggregate misuse. Repaired by Function
+    /// Alignment.
+    AggInOrderBy,
+    /// Wrong aggregate (SUM↔AVG, COUNT↔COUNT DISTINCT). Only voting
+    /// suppresses it.
+    AggSwap,
+    /// Ranked query rendered as `= (SELECT MAX(...))` (ties change the
+    /// answer). Repaired by Style Alignment.
+    RankedAsSubquery,
+    /// Missing `LIMIT` on a ranked query. Repaired by Style Alignment.
+    MissingLimit,
+    /// Extra column appended to SELECT. Repaired by Info/SELECT alignment.
+    ExtraSelect,
+    /// ORDER BY direction flipped. Only voting suppresses it.
+    OrderFlip,
+    /// Malformed SQL text. Repaired by Correction.
+    Syntax,
+    /// Wrong comparison operator (>= vs >). Only voting suppresses it.
+    OpSwap,
+}
+
+impl ErrorClass {
+    /// All classes, in injection order.
+    pub fn all() -> [ErrorClass; 12] {
+        use ErrorClass::*;
+        [
+            ValueMismatch,
+            WrongColumn,
+            WrongTableQualifier,
+            MissingJoin,
+            AggInOrderBy,
+            AggSwap,
+            RankedAsSubquery,
+            MissingLimit,
+            ExtraSelect,
+            OrderFlip,
+            Syntax,
+            OpSwap,
+        ]
+    }
+}
+
+/// A simulated model's capability profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name.
+    pub name: String,
+    /// Base probability of each error class on a *moderate* question with a
+    /// fully-informative prompt, at temperature 0.7, in the order of
+    /// [`ErrorClass::all`].
+    pub base_rates: [f64; 12],
+    /// Multiplier applied when the prompt requests no CoT.
+    pub no_cot_penalty: f64,
+    /// Multiplier applied for unstructured ("step by step") CoT.
+    pub unstructured_cot_penalty: f64,
+    /// Per-few-shot-example multiplicative discount (compounding).
+    pub fewshot_discount: f64,
+    /// Extra discount multiplier when few-shots carry CoT fields.
+    pub cot_fewshot_bonus: f64,
+    /// Error multiplier per doubling of prompt schema width beyond the
+    /// needed columns (the distraction factor).
+    pub schema_distraction: f64,
+    /// Multiplier on [`ErrorClass::ValueMismatch`] when the needed stored
+    /// value *is* present in the prompt's values block.
+    pub value_in_prompt_discount: f64,
+    /// Multiplier when the needed column is absent from the prompt schema
+    /// (forces hallucination).
+    pub missing_column_penalty: f64,
+    /// Difficulty multipliers (simple, moderate, challenging).
+    pub difficulty_mult: [f64; 3],
+    /// Fraction of temperature-driven extra noise per unit temperature.
+    pub temperature_noise: f64,
+    /// Per-sample error growth across a beam (forced diversity drift);
+    /// large values make big beams counterproductive (Figure 4's mini
+    /// curve).
+    pub beam_decay: f64,
+    /// Per-question probability (at moderate difficulty, best prompt) that
+    /// the model *misreads* the question — a sticky semantic error that
+    /// persists across every sample and correction round. This is the
+    /// dominant, unrepairable error mass in real text-to-SQL systems.
+    pub semantic_rate: f64,
+    /// Probability each beam sample reproduces the misread once it exists
+    /// (the remainder accidentally recover the true intent).
+    pub semantic_sample_rate: f64,
+    /// Difficulty multipliers on the semantic rate.
+    pub semantic_difficulty: [f64; 3],
+    /// Probability a correction round actually fixes the flagged class.
+    pub correction_skill: f64,
+    /// Extra correction skill when correction few-shots are present.
+    pub correction_fewshot_bonus: f64,
+    /// Decode speed in tokens/ms (for the latency model).
+    pub speed: f64,
+}
+
+impl ModelProfile {
+    /// GPT-4o-class profile (the paper's main model).
+    pub fn gpt_4o() -> Self {
+        ModelProfile {
+            name: "gpt-4o".into(),
+            base_rates: [
+                0.16,  // ValueMismatch (scales the knowledge-gap model)
+                0.005, // WrongColumn
+                0.005, // WrongTableQualifier
+                0.004, // MissingJoin
+                0.004, // AggInOrderBy
+                0.045, // AggSwap
+                0.005, // RankedAsSubquery
+                0.004, // MissingLimit
+                0.005, // ExtraSelect
+                0.035, // OrderFlip
+                0.003, // Syntax
+                0.045, // OpSwap
+            ],
+            no_cot_penalty: 1.22,
+            unstructured_cot_penalty: 1.10,
+            fewshot_discount: 0.96,
+            cot_fewshot_bonus: 0.90,
+            schema_distraction: 1.35,
+            value_in_prompt_discount: 0.06,
+            missing_column_penalty: 14.0,
+            difficulty_mult: [0.45, 1.0, 2.8],
+            temperature_noise: 0.35,
+            beam_decay: 0.012,
+            semantic_rate: 0.315,
+            semantic_sample_rate: 0.99,
+            semantic_difficulty: [0.55, 1.0, 1.7],
+            correction_skill: 0.30,
+            correction_fewshot_bonus: 0.12,
+            speed: 11.0,
+        }
+    }
+
+    /// GPT-4-class profile: slightly weaker than 4o across the board.
+    pub fn gpt_4() -> Self {
+        let mut p = Self::gpt_4o();
+        p.name = "gpt-4".into();
+        for r in &mut p.base_rates {
+            *r *= 1.12;
+        }
+        p.semantic_rate *= 1.25;
+        p.correction_skill = 0.50;
+        p.speed = 6.0;
+        p
+    }
+
+    /// GPT-4o-mini-class profile: markedly noisier, and noisier still at
+    /// high temperature — which is what makes its vote curve peak and then
+    /// fall (paper Figure 4).
+    pub fn gpt_4o_mini() -> Self {
+        let mut p = Self::gpt_4o();
+        p.name = "gpt-4o-mini".into();
+        for r in &mut p.base_rates {
+            *r *= 1.85;
+        }
+        p.semantic_rate *= 1.8;
+        p.temperature_noise = 1.3;
+        p.beam_decay = 0.15;
+        p.no_cot_penalty = 1.6;
+        p.correction_skill = 0.38;
+        p.speed = 25.0;
+        p
+    }
+
+    /// A profile named after a fine-tuned model: stronger generation (the
+    /// Distillery baseline's SFT GPT-4o), used without schema linking.
+    pub fn gpt_4o_finetuned() -> Self {
+        let mut p = Self::gpt_4o();
+        p.name = "gpt-4o-ft".into();
+        for r in &mut p.base_rates {
+            *r *= 0.6;
+        }
+        p.semantic_rate *= 0.74;
+        // fine-tuning bakes in value formats partially
+        p.value_in_prompt_discount = 0.06;
+        p.base_rates[0] *= 0.55;
+        p
+    }
+
+    /// Base rate of one class.
+    pub fn rate(&self, class: ErrorClass) -> f64 {
+        let idx = ErrorClass::all().iter().position(|c| *c == class).unwrap();
+        self.base_rates[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_by_strength() {
+        let strong = ModelProfile::gpt_4o();
+        let mid = ModelProfile::gpt_4();
+        let weak = ModelProfile::gpt_4o_mini();
+        let ft = ModelProfile::gpt_4o_finetuned();
+        let total = |p: &ModelProfile| -> f64 { p.base_rates.iter().sum() };
+        assert!(total(&ft) < total(&strong));
+        assert!(total(&strong) < total(&mid));
+        assert!(total(&mid) < total(&weak));
+    }
+
+    #[test]
+    fn rate_lookup_matches_array() {
+        let p = ModelProfile::gpt_4o();
+        assert_eq!(p.rate(ErrorClass::ValueMismatch), p.base_rates[0]);
+        assert_eq!(p.rate(ErrorClass::OpSwap), p.base_rates[11]);
+    }
+
+    #[test]
+    fn mini_is_noisier_at_temperature() {
+        assert!(
+            ModelProfile::gpt_4o_mini().temperature_noise
+                > ModelProfile::gpt_4o().temperature_noise * 2.0
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! The prompt protocol shared between the pipeline and the simulated model.
+//!
+//! OpenSearch-SQL's prompts are structured (paper Listings 1–5). The
+//! pipeline emits these markers; [`SimLlm`](crate::sim::SimLlm) parses them
+//! back to measure *prompt quality* — which columns/values/few-shots the
+//! prompt actually contains — and conditions its hallucination rates on
+//! that. A real LLM would read the same markers as instructions.
+
+/// Task header: first line of every prompt, `#task: <name>`.
+pub const TASK_PREFIX: &str = "#task:";
+/// Generation task (Listing 5).
+pub const TASK_GENERATION: &str = "generation";
+/// Extraction task (Listing 4).
+pub const TASK_EXTRACTION: &str = "extraction";
+/// Correction task (Listing 3).
+pub const TASK_CORRECTION: &str = "correction";
+/// Self-taught CoT augmentation of a Query-SQL pair (Listing 2 build).
+pub const TASK_COT_AUGMENT: &str = "cot_augment";
+/// SELECT-style alignment of the Info Alignment step.
+pub const TASK_SELECT_ALIGN: &str = "select_align";
+
+/// Question marker, identical to the paper's listings.
+pub const QUESTION_OPEN: &str = "/* Answer the following:";
+/// Closes the question marker.
+pub const QUESTION_CLOSE: &str = "*/";
+/// Schema block header.
+pub const SCHEMA_HEADER: &str = "/* Database schema */";
+/// Retrieved-values block header.
+pub const VALUES_HEADER: &str = "/* Similar values */";
+/// Few-shot block header.
+pub const FEWSHOT_HEADER: &str = "/* Some example pairs */";
+/// Evidence line prefix.
+pub const EVIDENCE_PREFIX: &str = "#evidence:";
+/// Erroneous-SQL line prefix in correction prompts.
+pub const ERROR_SQL_PREFIX: &str = "#Error SQL:";
+/// Error-description line prefix in correction prompts.
+pub const ERROR_INFO_PREFIX: &str = "#Error:";
+/// Gold-SQL line prefix in CoT-augmentation prompts.
+pub const SQL_PREFIX: &str = "#SQL:";
+/// Output-format directive requesting the structured CoT of Listing 5.
+pub const FORMAT_STRUCTURED_COT: &str = "#format: reason,columns,values,SELECT,SQL-like,SQL";
+/// Output-format directive requesting free-form chain of thought.
+pub const FORMAT_UNSTRUCTURED_COT: &str = "#format: let's think step by step, then SQL";
+/// Output-format directive requesting bare SQL.
+pub const FORMAT_SQL_ONLY: &str = "#format: SQL";
+
+/// Target-database line prefix, `#db: <id>`.
+pub const DB_PREFIX: &str = "#db:";
+
+/// Extract the target database id from a prompt.
+pub fn parse_db(prompt: &str) -> Option<&str> {
+    for line in prompt.lines() {
+        if let Some(rest) = line.trim().strip_prefix(DB_PREFIX) {
+            return Some(rest.trim());
+        }
+    }
+    None
+}
+
+/// Extract the error-description line from a correction prompt.
+pub fn parse_error_info(prompt: &str) -> Option<String> {
+    for line in prompt.lines() {
+        if let Some(rest) = line.trim().strip_prefix(ERROR_INFO_PREFIX) {
+            return Some(rest.trim().to_owned());
+        }
+    }
+    None
+}
+
+/// Extract the task name from a prompt (defaults to generation).
+pub fn parse_task(prompt: &str) -> &str {
+    for line in prompt.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix(TASK_PREFIX) {
+            return rest.trim();
+        }
+    }
+    TASK_GENERATION
+}
+
+/// Extract the *final* question from a prompt (few-shot blocks contain
+/// earlier question markers; the real question is the last).
+pub fn parse_question(prompt: &str) -> Option<&str> {
+    let start = prompt.rfind(QUESTION_OPEN)? + QUESTION_OPEN.len();
+    let rest = &prompt[start..];
+    let end = rest.find(QUESTION_CLOSE)?;
+    Some(rest[..end].trim())
+}
+
+/// Every `table.column` mentioned in the schema block, lower-cased.
+pub fn parse_schema_columns(prompt: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let Some(start) = prompt.find(SCHEMA_HEADER) else {
+        return out;
+    };
+    let block = &prompt[start..];
+    let mut current_table: Option<String> = None;
+    for line in block.lines().skip(1) {
+        let line = line.trim();
+        if let Some(t) = line.strip_prefix("# Table:") {
+            current_table = Some(t.trim().to_lowercase());
+        } else if let Some(col) = line.strip_prefix("#   ") {
+            if let Some(t) = &current_table {
+                // column line: `name TYPE ...`; names with spaces are the
+                // prefix before the final type keyword — take everything up
+                // to the last token that is a known type
+                if let Some(name) = split_col_line(col) {
+                    out.push((t.clone(), name.to_lowercase()));
+                }
+            }
+        } else if line.starts_with("# FK:") || line.is_empty() {
+            continue;
+        } else if !line.starts_with('#') {
+            break; // schema block ended
+        }
+    }
+    out
+}
+
+fn split_col_line(line: &str) -> Option<&str> {
+    for ty in [" INTEGER", " REAL", " TEXT", " BLOB"] {
+        if let Some(pos) = line.find(ty) {
+            return Some(line[..pos].trim());
+        }
+    }
+    None
+}
+
+/// Every `table.column = 'stored'` triple in the values block.
+pub fn parse_values_block(prompt: &str) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let Some(start) = prompt.find(VALUES_HEADER) else {
+        return out;
+    };
+    for line in prompt[start..].lines().skip(1) {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('#') else {
+            if line.is_empty() {
+                continue;
+            }
+            break;
+        };
+        // format: table.column = 'value'
+        if let Some((lhs, rhs)) = rest.split_once('=') {
+            let lhs = lhs.trim();
+            if let Some((t, c)) = split_qualified(lhs) {
+                let v = rhs.trim().trim_matches('\'').to_owned();
+                out.push((t.to_lowercase(), c.to_lowercase(), v));
+            }
+        }
+    }
+    out
+}
+
+fn split_qualified(s: &str) -> Option<(&str, &str)> {
+    let (t, c) = s.split_once('.')?;
+    let c = c.trim_matches('`');
+    Some((t.trim(), c))
+}
+
+/// Number of few-shot examples in the prompt (question markers minus the
+/// final real one).
+pub fn count_fewshots(prompt: &str) -> usize {
+    prompt.matches(QUESTION_OPEN).count().saturating_sub(1)
+}
+
+/// Do the few-shot examples carry CoT fields?
+pub fn fewshots_have_cot(prompt: &str) -> bool {
+    match prompt.find(FEWSHOT_HEADER) {
+        Some(start) => prompt[start..].contains("#reason:"),
+        None => false,
+    }
+}
+
+/// Which output format does the prompt request?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Structured CoT (Listing 5).
+    StructuredCot,
+    /// Free-form reasoning then SQL.
+    UnstructuredCot,
+    /// Bare SQL.
+    #[default]
+    SqlOnly,
+}
+
+/// Parse the requested output format (defaults to bare SQL).
+pub fn parse_format(prompt: &str) -> OutputFormat {
+    if prompt.contains(FORMAT_STRUCTURED_COT) {
+        OutputFormat::StructuredCot
+    } else if prompt.contains(FORMAT_UNSTRUCTURED_COT) {
+        OutputFormat::UnstructuredCot
+    } else {
+        OutputFormat::SqlOnly
+    }
+}
+
+/// Extract the last `#SQL:` payload from a model response.
+pub fn parse_sql_from_response(text: &str) -> Option<&str> {
+    let start = text.rfind(SQL_PREFIX)? + SQL_PREFIX.len();
+    let rest = text[start..].trim();
+    Some(rest)
+}
+
+/// Extract a named single-line field (`#name: value`) from a response.
+pub fn parse_field<'a>(text: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("#{name}:");
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(&tag) {
+            return Some(rest.trim());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROMPT: &str = "#task: generation\n\
+        /* Database schema */\n\
+        # Table: Patient\n\
+        #   PatientID INTEGER [PK] -- unique id\n\
+        #   First Date TEXT -- admission\n\
+        # FK: Laboratory.PatientID -> Patient.PatientID\n\
+        /* Similar values */\n\
+        # Patient.City = 'OSL'\n\
+        /* Some example pairs */\n\
+        /* Answer the following: old question */\n\
+        #reason: because\n\
+        #SQL: SELECT 1\n\
+        #format: reason,columns,values,SELECT,SQL-like,SQL\n\
+        /* Answer the following: How many patients? */\n";
+
+    #[test]
+    fn parses_task_and_question() {
+        assert_eq!(parse_task(PROMPT), "generation");
+        assert_eq!(parse_question(PROMPT), Some("How many patients?"));
+    }
+
+    #[test]
+    fn parses_schema_columns_including_spaced_names() {
+        let cols = parse_schema_columns(PROMPT);
+        assert!(cols.contains(&("patient".into(), "patientid".into())));
+        assert!(cols.contains(&("patient".into(), "first date".into())));
+    }
+
+    #[test]
+    fn parses_values_block() {
+        let vals = parse_values_block(PROMPT);
+        assert_eq!(vals, vec![("patient".into(), "city".into(), "OSL".into())]);
+    }
+
+    #[test]
+    fn counts_fewshots_and_detects_cot() {
+        assert_eq!(count_fewshots(PROMPT), 1);
+        assert!(fewshots_have_cot(PROMPT));
+        assert_eq!(parse_format(PROMPT), OutputFormat::StructuredCot);
+    }
+
+    #[test]
+    fn response_sql_extraction() {
+        let resp = "#reason: x\n#SQL-like: Show 1\n#SQL: SELECT COUNT(*) FROM t";
+        assert_eq!(parse_sql_from_response(resp), Some("SELECT COUNT(*) FROM t"));
+        assert_eq!(parse_field(resp, "reason"), Some("x"));
+        assert_eq!(parse_field(resp, "missing"), None);
+    }
+
+    #[test]
+    fn defaults_when_markers_missing() {
+        assert_eq!(parse_task("hello"), TASK_GENERATION);
+        assert_eq!(parse_question("hello"), None);
+        assert_eq!(parse_format("hello"), OutputFormat::SqlOnly);
+        assert_eq!(count_fewshots("hello"), 0);
+    }
+}

@@ -1,0 +1,498 @@
+//! In-memory database: tables, rows, loading, and the public query entry
+//! points.
+
+use crate::ast::{DeleteStmt, Stmt, TypeName, UpdateStmt};
+use crate::error::{SqlError, SqlResult};
+use crate::exec::execute_select;
+use crate::parser::parse_script;
+use crate::schema::{ColumnInfo, DbSchema, ForeignKey, TableInfo};
+use crate::value::{ResultSet, Row, Value};
+use std::collections::HashMap;
+
+/// Stored table data.
+#[derive(Debug, Clone, Default)]
+pub struct TableData {
+    /// Rows, each aligned with the table's schema columns.
+    pub rows: Vec<Row>,
+}
+
+/// An in-memory database: schema plus data.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    /// The logical schema.
+    pub schema: DbSchema,
+    /// Data per table, keyed by lower-cased name.
+    data: HashMap<String, TableData>,
+}
+
+impl Database {
+    /// Create an empty database with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database { schema: DbSchema::new(name), data: HashMap::new() }
+    }
+
+    /// Create a table programmatically.
+    pub fn create_table(&mut self, info: TableInfo) -> SqlResult<()> {
+        if self.schema.table(&info.name).is_some() {
+            return Err(SqlError::Other(format!("table {} already exists", info.name)));
+        }
+        self.data.insert(info.name.to_lowercase(), TableData::default());
+        self.schema.tables.push(info);
+        Ok(())
+    }
+
+    /// Register a foreign key.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) {
+        self.schema.foreign_keys.push(fk);
+    }
+
+    /// Append a row, applying column type affinity coercion.
+    pub fn insert_row(&mut self, table: &str, row: Row) -> SqlResult<()> {
+        let info = self
+            .schema
+            .table(table)
+            .ok_or_else(|| SqlError::NoSuchTable(table.to_owned()))?
+            .clone();
+        if row.len() != info.columns.len() {
+            return Err(SqlError::Other(format!(
+                "table {} has {} columns but {} values were supplied",
+                info.name,
+                info.columns.len(),
+                row.len()
+            )));
+        }
+        let coerced: Row = row
+            .into_iter()
+            .zip(&info.columns)
+            .map(|(v, c)| apply_affinity(v, c.ty))
+            .collect();
+        self.data
+            .get_mut(&info.name.to_lowercase())
+            .expect("data bucket exists for every schema table")
+            .rows
+            .push(coerced);
+        Ok(())
+    }
+
+    /// Bulk-append rows.
+    pub fn insert_rows(&mut self, table: &str, rows: Vec<Row>) -> SqlResult<()> {
+        for r in rows {
+            self.insert_row(table, r)?;
+        }
+        Ok(())
+    }
+
+    /// Rows of a table.
+    pub fn rows(&self, table: &str) -> SqlResult<&[Row]> {
+        self.data
+            .get(&table.to_lowercase())
+            .map(|t| t.rows.as_slice())
+            .ok_or_else(|| SqlError::NoSuchTable(table.to_owned()))
+    }
+
+    /// Total row count across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.data.values().map(|t| t.rows.len()).sum()
+    }
+
+    /// Run a SELECT and materialise the result.
+    pub fn query(&self, sql: &str) -> SqlResult<ResultSet> {
+        let stmt = crate::parser::parse_select(sql)?;
+        execute_select(self, &stmt)
+    }
+
+    /// Run a pre-parsed SELECT.
+    pub fn query_stmt(&self, stmt: &crate::ast::SelectStmt) -> SqlResult<ResultSet> {
+        execute_select(self, stmt)
+    }
+
+    /// Execute one UPDATE, returning the number of rows changed.
+    pub fn execute_update(&mut self, u: &UpdateStmt) -> SqlResult<usize> {
+        let info = self
+            .schema
+            .table(&u.table)
+            .ok_or_else(|| SqlError::NoSuchTable(u.table.clone()))?
+            .clone();
+        // resolve assignment targets up front
+        let targets: Vec<(usize, &crate::ast::Expr, TypeName)> = u
+            .assignments
+            .iter()
+            .map(|(c, e)| {
+                info.column_index(c)
+                    .map(|i| (i, e, info.columns[i].ty))
+                    .ok_or_else(|| SqlError::NoSuchColumn(format!("{}.{}", info.name, c)))
+            })
+            .collect::<SqlResult<_>>()?;
+        let snapshot = self.clone(); // expression context (reads see pre-update state)
+        let rows = self
+            .data
+            .get_mut(&info.name.to_lowercase())
+            .expect("data bucket exists for every schema table");
+        let mut changed = 0usize;
+        for row in rows.rows.iter_mut() {
+            let hit = match &u.where_clause {
+                Some(w) => crate::exec::eval_in_row(&snapshot, &info, row, w)?
+                    .truthiness()
+                    == Some(true),
+                None => true,
+            };
+            if !hit {
+                continue;
+            }
+            let new_vals: Vec<Value> = targets
+                .iter()
+                .map(|(_, e, _)| crate::exec::eval_in_row(&snapshot, &info, row, e))
+                .collect::<SqlResult<_>>()?;
+            for ((idx, _, ty), v) in targets.iter().zip(new_vals) {
+                row[*idx] = apply_affinity(v, *ty);
+            }
+            changed += 1;
+        }
+        Ok(changed)
+    }
+
+    /// Execute one DELETE, returning the number of rows removed.
+    pub fn execute_delete(&mut self, d: &DeleteStmt) -> SqlResult<usize> {
+        let info = self
+            .schema
+            .table(&d.table)
+            .ok_or_else(|| SqlError::NoSuchTable(d.table.clone()))?
+            .clone();
+        let snapshot = self.clone();
+        let rows = self
+            .data
+            .get_mut(&info.name.to_lowercase())
+            .expect("data bucket exists for every schema table");
+        let before = rows.rows.len();
+        let mut err = None;
+        rows.rows.retain(|row| {
+            if err.is_some() {
+                return true;
+            }
+            match &d.where_clause {
+                Some(w) => match crate::exec::eval_in_row(&snapshot, &info, row, w) {
+                    Ok(v) => v.truthiness() != Some(true),
+                    Err(e) => {
+                        err = Some(e);
+                        true
+                    }
+                },
+                None => false,
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(before - rows.rows.len())
+    }
+
+    /// Serialise the whole database as a SQL script (CREATE TABLE + batch
+    /// INSERTs) that [`Database::execute_script`] reloads into an
+    /// identical database — the engine's persistence format.
+    pub fn dump_script(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(4096);
+        for table in &self.schema.tables {
+            // CREATE TABLE
+            let create = crate::ast::CreateTableStmt {
+                name: table.name.clone(),
+                columns: table
+                    .columns
+                    .iter()
+                    .map(|c| crate::ast::ColumnDecl {
+                        name: c.name.clone(),
+                        ty: c.ty,
+                        primary_key: c.primary_key,
+                    })
+                    .collect(),
+                primary_key: Vec::new(),
+                foreign_keys: self
+                    .schema
+                    .foreign_keys
+                    .iter()
+                    .filter(|fk| fk.table.eq_ignore_ascii_case(&table.name))
+                    .map(|fk| crate::ast::ForeignKeyDecl {
+                        column: fk.column.clone(),
+                        ref_table: fk.ref_table.clone(),
+                        ref_column: fk.ref_column.clone(),
+                    })
+                    .collect(),
+            };
+            let _ = writeln!(
+                out,
+                "{};",
+                crate::printer::print_stmt(&crate::ast::Stmt::CreateTable(create))
+            );
+            // batched INSERTs (500 rows per statement keeps lines sane)
+            let rows = self.rows(&table.name).expect("schema tables have data buckets");
+            for chunk in rows.chunks(500) {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let insert = crate::ast::InsertStmt {
+                    table: table.name.clone(),
+                    columns: None,
+                    rows: chunk
+                        .iter()
+                        .map(|r| {
+                            r.iter().map(|v| crate::ast::Expr::Literal(v.clone())).collect()
+                        })
+                        .collect(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{};",
+                    crate::printer::print_stmt(&crate::ast::Stmt::Insert(insert))
+                );
+            }
+        }
+        out
+    }
+
+    /// Execute a script of CREATE TABLE / INSERT statements (SELECTs in the
+    /// script are executed and their results discarded).
+    pub fn execute_script(&mut self, sql: &str) -> SqlResult<()> {
+        for stmt in parse_script(sql)? {
+            match stmt {
+                Stmt::CreateTable(c) => {
+                    let info = TableInfo {
+                        name: c.name.clone(),
+                        columns: c
+                            .columns
+                            .iter()
+                            .map(|col| ColumnInfo {
+                                name: col.name.clone(),
+                                ty: col.ty,
+                                description: String::new(),
+                                primary_key: col.primary_key
+                                    || c.primary_key
+                                        .iter()
+                                        .any(|p| p.eq_ignore_ascii_case(&col.name)),
+                            })
+                            .collect(),
+                    };
+                    self.create_table(info)?;
+                    for fk in c.foreign_keys {
+                        self.add_foreign_key(ForeignKey {
+                            table: c.name.clone(),
+                            column: fk.column,
+                            ref_table: fk.ref_table,
+                            ref_column: fk.ref_column,
+                        });
+                    }
+                }
+                Stmt::Insert(ins) => {
+                    let info = self
+                        .schema
+                        .table(&ins.table)
+                        .ok_or_else(|| SqlError::NoSuchTable(ins.table.clone()))?
+                        .clone();
+                    for row_exprs in ins.rows {
+                        let mut row = vec![Value::Null; info.columns.len()];
+                        match &ins.columns {
+                            Some(cols) => {
+                                if cols.len() != row_exprs.len() {
+                                    return Err(SqlError::Other(
+                                        "INSERT value count differs from column list".into(),
+                                    ));
+                                }
+                                for (name, expr) in cols.iter().zip(row_exprs) {
+                                    let idx = info.column_index(name).ok_or_else(|| {
+                                        SqlError::NoSuchColumn(format!("{}.{}", ins.table, name))
+                                    })?;
+                                    row[idx] = crate::exec::eval_const(&expr)?;
+                                }
+                            }
+                            None => {
+                                if row_exprs.len() != info.columns.len() {
+                                    return Err(SqlError::Other(
+                                        "INSERT value count differs from table arity".into(),
+                                    ));
+                                }
+                                for (idx, expr) in row_exprs.into_iter().enumerate() {
+                                    row[idx] = crate::exec::eval_const(&expr)?;
+                                }
+                            }
+                        }
+                        self.insert_row(&ins.table, row)?;
+                    }
+                }
+                Stmt::Update(u) => {
+                    self.execute_update(&u)?;
+                }
+                Stmt::Delete(d) => {
+                    self.execute_delete(&d)?;
+                }
+                Stmt::Select(s) => {
+                    execute_select(self, &s)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Apply SQLite column affinity on insert: INTEGER/REAL columns coerce
+/// numeric-looking text, TEXT columns stringify numbers.
+pub fn apply_affinity(v: Value, ty: TypeName) -> Value {
+    match (ty, v) {
+        (_, Value::Null) => Value::Null,
+        (TypeName::Integer, Value::Real(r)) if r.fract() == 0.0 && r.is_finite() => {
+            Value::Int(r as i64)
+        }
+        (TypeName::Integer, Value::Text(t)) => match t.trim().parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => match t.trim().parse::<f64>() {
+                Ok(f) => Value::Real(f),
+                Err(_) => Value::Text(t),
+            },
+        },
+        (TypeName::Real, Value::Int(i)) => Value::Real(i as f64),
+        (TypeName::Real, Value::Text(t)) => match t.trim().parse::<f64>() {
+            Ok(f) => Value::Real(f),
+            Err(_) => Value::Text(t),
+        },
+        (TypeName::Text, Value::Int(i)) => Value::Text(i.to_string()),
+        (TypeName::Text, Value::Real(r)) => Value::Text(Value::Real(r).to_string()),
+        (_, v) => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new("test");
+        db.execute_script(
+            "CREATE TABLE person (id INTEGER PRIMARY KEY, name TEXT, age INTEGER);\
+             INSERT INTO person VALUES (1, 'Ann', 30), (2, 'Bob', 41), (3, 'Cal', NULL);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn script_builds_schema_and_data() {
+        let db = db();
+        assert_eq!(db.schema.table("person").unwrap().columns.len(), 3);
+        assert_eq!(db.rows("person").unwrap().len(), 3);
+        assert_eq!(db.total_rows(), 3);
+    }
+
+    #[test]
+    fn affinity_coercion() {
+        assert_eq!(apply_affinity(Value::text("12"), TypeName::Integer), Value::Int(12));
+        assert_eq!(apply_affinity(Value::text("1.5"), TypeName::Integer), Value::Real(1.5));
+        assert_eq!(apply_affinity(Value::text("x"), TypeName::Integer), Value::text("x"));
+        assert_eq!(apply_affinity(Value::Int(3), TypeName::Real), Value::Real(3.0));
+        assert_eq!(apply_affinity(Value::Int(3), TypeName::Text), Value::text("3"));
+        assert_eq!(apply_affinity(Value::Null, TypeName::Integer), Value::Null);
+    }
+
+    #[test]
+    fn insert_arity_checked() {
+        let mut db = db();
+        assert!(db.insert_row("person", vec![Value::Int(9)]).is_err());
+        assert!(db.insert_row("ghost", vec![]).is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db();
+        let info = TableInfo { name: "PERSON".into(), columns: vec![] };
+        assert!(db.create_table(info).is_err());
+    }
+
+    #[test]
+    fn dump_script_round_trips() {
+        let db = db();
+        let script = db.dump_script();
+        let mut reloaded = Database::new("copy");
+        reloaded.execute_script(&script).unwrap();
+        assert_eq!(reloaded.schema.tables.len(), db.schema.tables.len());
+        assert_eq!(reloaded.total_rows(), db.total_rows());
+        let a = db.query("SELECT * FROM person ORDER BY id").unwrap();
+        let b = reloaded.query("SELECT * FROM person ORDER BY id").unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(reloaded.schema.foreign_keys, db.schema.foreign_keys);
+    }
+
+    #[test]
+    fn update_changes_matching_rows() {
+        let mut db = db();
+        db.execute_script("UPDATE person SET age = age + 1 WHERE name = 'Ann'").unwrap();
+        let rs = db.query("SELECT age FROM person WHERE name = 'Ann'").unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(31)]]);
+        // others untouched
+        let rs = db.query("SELECT age FROM person WHERE name = 'Bob'").unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(41)]]);
+    }
+
+    #[test]
+    fn update_without_where_touches_everything() {
+        let mut db = db();
+        let stmt = crate::parser::parse_statement("UPDATE person SET age = 1").unwrap();
+        let crate::ast::Stmt::Update(u) = stmt else { panic!() };
+        let n = db.execute_update(&u).unwrap();
+        assert_eq!(n, 3);
+        let rs = db.query("SELECT DISTINCT age FROM person").unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn update_applies_column_affinity() {
+        let mut db = db();
+        db.execute_script("UPDATE person SET age = '55' WHERE id = 1").unwrap();
+        let rs = db.query("SELECT age FROM person WHERE id = 1").unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(55)]]);
+    }
+
+    #[test]
+    fn update_with_subquery_reads_pre_update_state() {
+        let mut db = db();
+        // set everyone to the pre-update maximum age
+        db.execute_script("UPDATE person SET age = (SELECT MAX(age) FROM person)").unwrap();
+        let rs = db.query("SELECT DISTINCT age FROM person").unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(41)]]);
+    }
+
+    #[test]
+    fn delete_removes_matching_rows() {
+        let mut db = db();
+        let stmt = crate::parser::parse_statement("DELETE FROM person WHERE age IS NULL").unwrap();
+        let crate::ast::Stmt::Delete(d) = stmt else { panic!() };
+        assert_eq!(db.execute_delete(&d).unwrap(), 1);
+        assert_eq!(db.rows("person").unwrap().len(), 2);
+        // delete everything
+        db.execute_script("DELETE FROM person").unwrap();
+        assert!(db.rows("person").unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_delete_error_surfaces() {
+        let mut db = db();
+        assert!(matches!(
+            db.execute_script("UPDATE ghost SET x = 1"),
+            Err(SqlError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            db.execute_script("UPDATE person SET ghost = 1"),
+            Err(SqlError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            db.execute_script("DELETE FROM person WHERE ghost = 1"),
+            Err(SqlError::NoSuchColumn(_))
+        ));
+        // failed DELETE must not remove anything
+        assert_eq!(db.rows("person").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut db = db();
+        db.execute_script("INSERT INTO person (id, name) VALUES (4, 'Dee')").unwrap();
+        let rows = db.rows("person").unwrap();
+        assert_eq!(rows[3], vec![Value::Int(4), Value::text("Dee"), Value::Null]);
+    }
+}

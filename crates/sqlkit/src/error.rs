@@ -1,0 +1,136 @@
+//! Error types for the SQL engine.
+//!
+//! The error surface intentionally mirrors the messages SQLite reports,
+//! because the OpenSearch-SQL **Refinement** stage dispatches its
+//! correction few-shots on these messages (`no such column`, `no such
+//! table`, `ambiguous column name`, syntax errors, ...).
+
+use std::fmt;
+
+/// Any error produced while tokenizing, parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The tokenizer met a character or literal it cannot interpret.
+    Lex {
+        /// Byte offset into the SQL text.
+        pos: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The parser met an unexpected token.
+    Syntax {
+        /// Byte offset into the SQL text.
+        pos: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A referenced table does not exist in the database.
+    NoSuchTable(String),
+    /// A referenced column does not exist in the visible row sources.
+    NoSuchColumn(String),
+    /// An unqualified column name matches more than one row source.
+    AmbiguousColumn(String),
+    /// A function is unknown or called with a wrong number of arguments.
+    BadFunction(String),
+    /// An aggregate appeared where it is not allowed (e.g. inside WHERE).
+    MisusedAggregate(String),
+    /// A value could not be used where another type was required.
+    Type(String),
+    /// A scalar subquery returned more than one row/column.
+    SubqueryShape(String),
+    /// Anything else (constraint violations, limits, ...).
+    Other(String),
+}
+
+impl SqlError {
+    /// Classify the error the way the Refinement stage's correction
+    /// few-shot library does.
+    pub fn kind(&self) -> SqlErrorKind {
+        match self {
+            SqlError::Lex { .. } | SqlError::Syntax { .. } => SqlErrorKind::Syntax,
+            SqlError::NoSuchTable(_) => SqlErrorKind::NoSuchTable,
+            SqlError::NoSuchColumn(_) => SqlErrorKind::NoSuchColumn,
+            SqlError::AmbiguousColumn(_) => SqlErrorKind::Ambiguous,
+            SqlError::BadFunction(_) | SqlError::MisusedAggregate(_) => SqlErrorKind::Function,
+            SqlError::Type(_) | SqlError::SubqueryShape(_) | SqlError::Other(_) => {
+                SqlErrorKind::Other
+            }
+        }
+    }
+}
+
+/// Coarse error classes used to pick a correction few-shot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlErrorKind {
+    /// Lexical or grammatical error.
+    Syntax,
+    /// Missing table.
+    NoSuchTable,
+    /// Missing column.
+    NoSuchColumn,
+    /// Ambiguous unqualified column.
+    Ambiguous,
+    /// Function misuse (unknown function, misplaced aggregate).
+    Function,
+    /// Everything else.
+    Other,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, msg } => write!(f, "lex error at byte {pos}: {msg}"),
+            SqlError::Syntax { pos, msg } => write!(f, "syntax error at byte {pos}: {msg}"),
+            SqlError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            SqlError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            SqlError::AmbiguousColumn(c) => write!(f, "ambiguous column name: {c}"),
+            SqlError::BadFunction(m) => write!(f, "function error: {m}"),
+            SqlError::MisusedAggregate(m) => write!(f, "misuse of aggregate: {m}"),
+            SqlError::Type(m) => write!(f, "type error: {m}"),
+            SqlError::SubqueryShape(m) => write!(f, "subquery error: {m}"),
+            SqlError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenient result alias used across the crate.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_sqlite_phrasing() {
+        assert_eq!(
+            SqlError::NoSuchColumn("t.x".into()).to_string(),
+            "no such column: t.x"
+        );
+        assert_eq!(
+            SqlError::NoSuchTable("Patients".into()).to_string(),
+            "no such table: Patients"
+        );
+        assert_eq!(
+            SqlError::AmbiguousColumn("id".into()).to_string(),
+            "ambiguous column name: id"
+        );
+    }
+
+    #[test]
+    fn kinds_group_errors() {
+        assert_eq!(
+            SqlError::Syntax { pos: 3, msg: "x".into() }.kind(),
+            SqlErrorKind::Syntax
+        );
+        assert_eq!(
+            SqlError::NoSuchColumn("c".into()).kind(),
+            SqlErrorKind::NoSuchColumn
+        );
+        assert_eq!(
+            SqlError::MisusedAggregate("AVG".into()).kind(),
+            SqlErrorKind::Function
+        );
+    }
+}

@@ -1,0 +1,1659 @@
+//! Query execution: FROM materialisation, joins, filtering, grouping,
+//! aggregation, projection, set operations, ordering and limits.
+//!
+//! The executor is a straightforward materialising interpreter — BIRD-scale
+//! synthetic tables are thousands of rows, far below where vectorisation
+//! would pay off — but equi-joins are hash joins, and every operator
+//! charges a row-visit counter that the Refinement stage's vote rule uses
+//! as a deterministic execution-cost proxy.
+
+use crate::ast::*;
+use crate::db::Database;
+use crate::error::{SqlError, SqlResult};
+use crate::functions::{call_scalar, is_aggregate_name};
+use crate::value::{NormValue, ResultSet, Row, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Number of row visits across scans and join outputs; a deterministic
+    /// proxy for execution cost.
+    pub rows_scanned: u64,
+}
+
+/// Execute a SELECT statement.
+pub fn execute_select(db: &Database, stmt: &SelectStmt) -> SqlResult<ResultSet> {
+    execute_select_with_stats(db, stmt).map(|(rs, _)| rs)
+}
+
+/// Execute a SELECT statement, also reporting execution statistics.
+pub fn execute_select_with_stats(
+    db: &Database,
+    stmt: &SelectStmt,
+) -> SqlResult<(ResultSet, ExecStats)> {
+    let mut ctx = Ctx {
+        db,
+        rows_scanned: 0,
+        depth: 0,
+        subquery_cache: HashMap::new(),
+        outer: Vec::new(),
+        used_outer: false,
+    };
+    let rs = exec_select(&mut ctx, stmt)?;
+    Ok((rs, ExecStats { rows_scanned: ctx.rows_scanned }))
+}
+
+/// Evaluate an expression against a single table row (used by UPDATE and
+/// DELETE): the layout is the table's own columns, subqueries are allowed.
+pub fn eval_in_row(
+    db: &Database,
+    table: &crate::schema::TableInfo,
+    row: &[Value],
+    e: &Expr,
+) -> SqlResult<Value> {
+    let layout: Vec<ColBinding> = table
+        .columns
+        .iter()
+        .map(|c| ColBinding { binding: table.name.clone(), column: c.name.clone() })
+        .collect();
+    let mut ctx = Ctx {
+        db,
+        rows_scanned: 0,
+        depth: 0,
+        subquery_cache: HashMap::new(),
+        outer: Vec::new(),
+        used_outer: false,
+    };
+    eval_expr(&mut ctx, e, &layout, row)
+}
+
+/// Evaluate an expression with no row context (literals only); used for
+/// INSERT values and LIMIT/OFFSET.
+pub fn eval_const(e: &Expr) -> SqlResult<Value> {
+    // A dummy database works because const expressions reference no tables.
+    let db = Database::new("const");
+    let mut ctx = Ctx {
+        db: &db,
+        rows_scanned: 0,
+        depth: 0,
+        subquery_cache: HashMap::new(),
+        outer: Vec::new(),
+        used_outer: false,
+    };
+    eval_expr(&mut ctx, e, &[], &[])
+}
+
+struct Ctx<'a> {
+    db: &'a Database,
+    rows_scanned: u64,
+    depth: usize,
+    /// Memoised subquery results, keyed by AST node address. Only
+    /// *uncorrelated* subqueries are cached: a nested SELECT that never
+    /// reads the outer row evaluates to the same result every time, so
+    /// evaluating it once per statement is a pure optimisation. Correlated
+    /// subqueries set [`Ctx::used_outer`] and bypass the cache.
+    subquery_cache: HashMap<usize, ResultSet>,
+    /// Enclosing row environments for correlated subqueries, innermost
+    /// last: `(layout, row)` snapshots pushed at each subquery eval site.
+    outer: Vec<(Vec<ColBinding>, Row)>,
+    /// Set when the current (sub)query resolved a column through an outer
+    /// environment — i.e. it is correlated and must not be memoised.
+    used_outer: bool,
+}
+
+const MAX_SUBQUERY_DEPTH: usize = 16;
+
+/// One column binding of a row source.
+#[derive(Debug, Clone)]
+struct ColBinding {
+    binding: String,
+    column: String,
+}
+
+struct Source {
+    layout: Vec<ColBinding>,
+    rows: Vec<Row>,
+}
+
+fn exec_select(ctx: &mut Ctx, stmt: &SelectStmt) -> SqlResult<ResultSet> {
+    let key = stmt as *const SelectStmt as usize;
+    if ctx.depth > 0 {
+        // only uncorrelated executions ever get inserted, so a hit is safe
+        if let Some(cached) = ctx.subquery_cache.get(&key) {
+            return Ok(cached.clone());
+        }
+    }
+    ctx.depth += 1;
+    if ctx.depth > MAX_SUBQUERY_DEPTH {
+        return Err(SqlError::Other("subquery nesting too deep".into()));
+    }
+    let outer_used_before = ctx.used_outer;
+    ctx.used_outer = false;
+    let result = exec_select_inner(ctx, stmt);
+    let correlated = ctx.used_outer;
+    ctx.used_outer = outer_used_before || correlated;
+    ctx.depth -= 1;
+    if ctx.depth > 0 && !correlated {
+        if let Ok(rs) = &result {
+            ctx.subquery_cache.insert(key, rs.clone());
+        }
+    }
+    result
+}
+
+fn exec_select_inner(ctx: &mut Ctx, stmt: &SelectStmt) -> SqlResult<ResultSet> {
+    if stmt.compounds.is_empty() {
+        let (mut rs, mut keys) = project_core(ctx, &stmt.core, &stmt.order_by)?;
+        if !stmt.order_by.is_empty() {
+            sort_with_keys(&mut rs.rows, &mut keys, &stmt.order_by);
+        }
+        apply_limit(ctx, &mut rs, stmt)?;
+        return Ok(rs);
+    }
+    // Compound select: evaluate each core fully, then combine.
+    let (mut rs, _) = project_core(ctx, &stmt.core, &[])?;
+    for (op, core) in &stmt.compounds {
+        let (next, _) = project_core(ctx, core, &[])?;
+        if next.columns.len() != rs.columns.len() {
+            return Err(SqlError::Other(
+                "SELECTs to the left and right of a set operator do not have the same number of result columns".into(),
+            ));
+        }
+        rs = combine(rs, next, *op);
+    }
+    if !stmt.order_by.is_empty() {
+        let indices: Vec<(usize, bool)> = stmt
+            .order_by
+            .iter()
+            .map(|o| output_order_index(&rs.columns, &o.expr).map(|i| (i, o.desc)))
+            .collect::<SqlResult<_>>()?;
+        rs.rows.sort_by(|a, b| {
+            for (i, desc) in &indices {
+                let ord = a[*i].sql_cmp(&b[*i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+    apply_limit(ctx, &mut rs, stmt)?;
+    Ok(rs)
+}
+
+/// Resolve an ORDER BY term against output columns (for compound selects):
+/// positional `ORDER BY 1` or a name matching an output label.
+fn output_order_index(columns: &[String], e: &Expr) -> SqlResult<usize> {
+    match e {
+        Expr::Literal(Value::Int(k)) if *k >= 1 && (*k as usize) <= columns.len() => {
+            Ok(*k as usize - 1)
+        }
+        Expr::Column { table: None, column } => columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(column))
+            .ok_or_else(|| SqlError::NoSuchColumn(column.clone())),
+        _ => Err(SqlError::Other(
+            "ORDER BY term of a compound SELECT must be a column label or position".into(),
+        )),
+    }
+}
+
+fn combine(left: ResultSet, right: ResultSet, op: CompoundOp) -> ResultSet {
+    let columns = left.columns.clone();
+    let norm = |rows: &[Row]| -> Vec<Vec<NormValue>> {
+        rows.iter().map(|r| r.iter().map(Value::normalized).collect()).collect()
+    };
+    let rows = match op {
+        CompoundOp::UnionAll => {
+            let mut rows = left.rows;
+            rows.extend(right.rows);
+            rows
+        }
+        CompoundOp::Union => {
+            let mut seen: std::collections::HashSet<Vec<NormValue>> =
+                std::collections::HashSet::new();
+            let mut rows = Vec::new();
+            for r in left.rows.into_iter().chain(right.rows) {
+                if seen.insert(r.iter().map(Value::normalized).collect()) {
+                    rows.push(r);
+                }
+            }
+            rows
+        }
+        CompoundOp::Intersect => {
+            let rset: std::collections::HashSet<Vec<NormValue>> =
+                norm(&right.rows).into_iter().collect();
+            let mut seen = std::collections::HashSet::new();
+            left.rows
+                .into_iter()
+                .filter(|r| {
+                    let key: Vec<NormValue> = r.iter().map(Value::normalized).collect();
+                    rset.contains(&key) && seen.insert(key)
+                })
+                .collect()
+        }
+        CompoundOp::Except => {
+            let rset: std::collections::HashSet<Vec<NormValue>> =
+                norm(&right.rows).into_iter().collect();
+            let mut seen = std::collections::HashSet::new();
+            left.rows
+                .into_iter()
+                .filter(|r| {
+                    let key: Vec<NormValue> = r.iter().map(Value::normalized).collect();
+                    !rset.contains(&key) && seen.insert(key)
+                })
+                .collect()
+        }
+    };
+    ResultSet { columns, rows }
+}
+
+fn apply_limit(ctx: &mut Ctx, rs: &mut ResultSet, stmt: &SelectStmt) -> SqlResult<()> {
+    let eval_n = |ctx: &mut Ctx, e: &Expr| -> SqlResult<i64> {
+        let v = eval_expr(ctx, e, &[], &[])?;
+        v.as_i64().ok_or_else(|| SqlError::Type("LIMIT/OFFSET must be an integer".into()))
+    };
+    let offset = match &stmt.offset {
+        Some(e) => eval_n(ctx, e)?.max(0) as usize,
+        None => 0,
+    };
+    if offset > 0 {
+        rs.rows.drain(..offset.min(rs.rows.len()));
+    }
+    if let Some(e) = &stmt.limit {
+        let n = eval_n(ctx, e)?;
+        if n >= 0 {
+            rs.rows.truncate(n as usize);
+        }
+    }
+    Ok(())
+}
+
+// ---------------- core projection ----------------
+
+/// Execute one SELECT core, returning the projected result plus the ORDER BY
+/// key values (evaluated against the same row/group context).
+fn project_core(
+    ctx: &mut Ctx,
+    core: &SelectCore,
+    order_by: &[OrderItem],
+) -> SqlResult<(ResultSet, Vec<Vec<Value>>)> {
+    let source = match &core.from {
+        Some(from) => build_from(ctx, from)?,
+        None => Source { layout: Vec::new(), rows: vec![Vec::new()] },
+    };
+
+    // WHERE
+    let mut rows: Vec<Row> = Vec::with_capacity(source.rows.len().min(1024));
+    if let Some(w) = &core.where_clause {
+        if contains_aggregate(w) {
+            return Err(SqlError::MisusedAggregate("aggregate in WHERE clause".into()));
+        }
+        for row in &source.rows {
+            ctx.rows_scanned += 1;
+            if eval_expr(ctx, w, &source.layout, row)?.truthiness() == Some(true) {
+                rows.push(row.clone());
+            }
+        }
+    } else {
+        ctx.rows_scanned += source.rows.len() as u64;
+        rows = source.rows;
+    }
+
+    // expand projection items
+    let items = expand_items(&core.items, &source.layout)?;
+    let labels: Vec<String> = items.iter().map(|(_, l)| l.clone()).collect();
+
+    // ORDER BY rewriting: alias / position references become item exprs
+    let order_exprs: Vec<OrderTarget> = order_by
+        .iter()
+        .map(|o| resolve_order_target(&o.expr, &items))
+        .collect();
+
+    let needs_group = !core.group_by.is_empty()
+        || core.having.is_some()
+        || items.iter().any(|(e, _)| contains_aggregate(e))
+        || order_exprs.iter().any(|t| match t {
+            OrderTarget::Expr(e) => contains_aggregate(e),
+            OrderTarget::Output(_) => false,
+        });
+
+    let (mut out_rows, mut key_rows) = if needs_group {
+        project_grouped(ctx, core, &source.layout, rows, &items, &order_exprs)?
+    } else {
+        let mut out_rows = Vec::with_capacity(rows.len());
+        let mut key_rows = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut projected = Vec::with_capacity(items.len());
+            for (e, _) in &items {
+                projected.push(eval_expr(ctx, e, &source.layout, row)?);
+            }
+            let keys = eval_order_keys(ctx, &order_exprs, &source.layout, row, &projected)?;
+            out_rows.push(projected);
+            key_rows.push(keys);
+        }
+        (out_rows, key_rows)
+    };
+
+    if core.distinct {
+        let mut seen: std::collections::HashSet<Vec<NormValue>> = std::collections::HashSet::new();
+        let mut kept_rows = Vec::with_capacity(out_rows.len());
+        let mut kept_keys = Vec::with_capacity(key_rows.len());
+        for (row, keys) in out_rows.into_iter().zip(key_rows) {
+            if seen.insert(row.iter().map(Value::normalized).collect()) {
+                kept_rows.push(row);
+                kept_keys.push(keys);
+            }
+        }
+        out_rows = kept_rows;
+        key_rows = kept_keys;
+    }
+
+    Ok((ResultSet { columns: labels, rows: out_rows }, key_rows))
+}
+
+enum OrderTarget {
+    /// Evaluate this expression in the row/group context.
+    Expr(Expr),
+    /// Use the n-th projected output value.
+    Output(usize),
+}
+
+fn resolve_order_target(e: &Expr, items: &[(Expr, String)]) -> OrderTarget {
+    match e {
+        Expr::Literal(Value::Int(k)) if *k >= 1 && (*k as usize) <= items.len() => {
+            OrderTarget::Output(*k as usize - 1)
+        }
+        Expr::Column { table: None, column } => {
+            if let Some(idx) = items.iter().position(|(_, l)| l.eq_ignore_ascii_case(column)) {
+                // Alias reference: point at the projected value so that
+                // aggregate aliases work too.
+                OrderTarget::Output(idx)
+            } else {
+                OrderTarget::Expr(e.clone())
+            }
+        }
+        _ => OrderTarget::Expr(e.clone()),
+    }
+}
+
+fn eval_order_keys(
+    ctx: &mut Ctx,
+    targets: &[OrderTarget],
+    layout: &[ColBinding],
+    row: &[Value],
+    projected: &[Value],
+) -> SqlResult<Vec<Value>> {
+    targets
+        .iter()
+        .map(|t| match t {
+            OrderTarget::Output(i) => Ok(projected[*i].clone()),
+            OrderTarget::Expr(e) => eval_expr(ctx, e, layout, row),
+        })
+        .collect()
+}
+
+fn sort_with_keys(rows: &mut Vec<Row>, keys: &mut Vec<Vec<Value>>, order_by: &[OrderItem]) {
+    let mut idx: Vec<usize> = (0..rows.len()).collect();
+    idx.sort_by(|&a, &b| {
+        for (k, o) in order_by.iter().enumerate() {
+            let ord = keys[a][k].sql_cmp(&keys[b][k]);
+            let ord = if o.desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    let mut new_rows = Vec::with_capacity(rows.len());
+    let mut new_keys = Vec::with_capacity(keys.len());
+    for i in idx {
+        new_rows.push(std::mem::take(&mut rows[i]));
+        new_keys.push(std::mem::take(&mut keys[i]));
+    }
+    *rows = new_rows;
+    *keys = new_keys;
+}
+
+fn expand_items(
+    items: &[SelectItem],
+    layout: &[ColBinding],
+) -> SqlResult<Vec<(Expr, String)>> {
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                if layout.is_empty() {
+                    return Err(SqlError::Other("SELECT * with no FROM clause".into()));
+                }
+                for b in layout {
+                    out.push((
+                        Expr::qcol(b.binding.clone(), b.column.clone()),
+                        b.column.clone(),
+                    ));
+                }
+            }
+            SelectItem::TableWildcard(t) => {
+                let mut found = false;
+                for b in layout {
+                    if b.binding.eq_ignore_ascii_case(t) {
+                        out.push((
+                            Expr::qcol(b.binding.clone(), b.column.clone()),
+                            b.column.clone(),
+                        ));
+                        found = true;
+                    }
+                }
+                if !found {
+                    return Err(SqlError::NoSuchTable(t.clone()));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let label = alias.clone().unwrap_or_else(|| default_label(expr));
+                out.push((expr.clone(), label));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// SQLite labels an un-aliased bare column by its column name, anything
+/// else by its source text.
+fn default_label(e: &Expr) -> String {
+    match e {
+        Expr::Column { column, .. } => column.clone(),
+        other => crate::printer::print_expr(other),
+    }
+}
+
+// ---------------- grouping ----------------
+
+fn project_grouped(
+    ctx: &mut Ctx,
+    core: &SelectCore,
+    layout: &[ColBinding],
+    rows: Vec<Row>,
+    items: &[(Expr, String)],
+    order_exprs: &[OrderTarget],
+) -> SqlResult<(Vec<Row>, Vec<Vec<Value>>)> {
+    // GROUP BY and HAVING may reference projection aliases; substitute them.
+    let group_by: Vec<Expr> =
+        core.group_by.iter().map(|g| substitute_aliases(g, items)).collect();
+    let having: Option<Expr> = core.having.as_ref().map(|h| substitute_aliases(h, items));
+
+    // Partition rows into groups.
+    let groups: Vec<Vec<Row>> = if group_by.is_empty() {
+        vec![rows]
+    } else {
+        let mut map: HashMap<Vec<NormValue>, Vec<Row>> = HashMap::new();
+        let mut order: Vec<Vec<NormValue>> = Vec::new();
+        for row in rows {
+            let mut key = Vec::with_capacity(group_by.len());
+            for g in &group_by {
+                if contains_aggregate(g) {
+                    return Err(SqlError::MisusedAggregate("aggregate in GROUP BY".into()));
+                }
+                key.push(eval_expr(ctx, g, layout, &row)?.normalized());
+            }
+            match map.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(e.key().clone());
+                    e.insert(vec![row]);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row),
+            }
+        }
+        order.into_iter().map(|k| map.remove(&k).unwrap()).collect()
+    };
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    let mut key_rows = Vec::with_capacity(groups.len());
+    for group in &groups {
+        // With GROUP BY, empty groups never exist; without it, a single
+        // (possibly empty) group still yields one output row, as SQLite does
+        // for plain aggregates over an empty table.
+        if group.is_empty() && !group_by.is_empty() {
+            continue;
+        }
+        if let Some(h) = &having {
+            if eval_agg_expr(ctx, h, layout, group)?.truthiness() != Some(true) {
+                continue;
+            }
+        }
+        let mut projected = Vec::with_capacity(items.len());
+        for (e, _) in items {
+            projected.push(eval_agg_expr(ctx, e, layout, group)?);
+        }
+        let keys = order_exprs
+            .iter()
+            .map(|t| match t {
+                OrderTarget::Output(i) => Ok(projected[*i].clone()),
+                OrderTarget::Expr(e) => eval_agg_expr(ctx, e, layout, group),
+            })
+            .collect::<SqlResult<Vec<Value>>>()?;
+        out_rows.push(projected);
+        key_rows.push(keys);
+    }
+    Ok((out_rows, key_rows))
+}
+
+/// Replace unqualified column references that match a projection alias with
+/// the aliased expression (GROUP BY / HAVING alias support).
+fn substitute_aliases(e: &Expr, items: &[(Expr, String)]) -> Expr {
+    let mut out = e.clone();
+    out.walk_mut(&mut |node| {
+        let Expr::Column { table: None, column } = &*node else { return };
+        let column = column.clone();
+        if let Some((expr, _)) = items
+            .iter()
+            .find(|(expr, label)| label.eq_ignore_ascii_case(&column) && expr != node)
+        {
+            *node = expr.clone();
+        }
+    });
+    out
+}
+
+/// Does the expression contain an aggregate call (not descending into
+/// subqueries, which have their own aggregation scope)?
+fn contains_aggregate(e: &Expr) -> bool {
+    e.any(&mut |node| {
+        matches!(node, Expr::Function { name, args, .. } if is_aggregate_name(name, args.len()))
+    })
+}
+
+/// Evaluate an expression in aggregate context: aggregate calls compute
+/// over the group, everything else is taken from the group's first row.
+fn eval_agg_expr(
+    ctx: &mut Ctx,
+    e: &Expr,
+    layout: &[ColBinding],
+    group: &[Row],
+) -> SqlResult<Value> {
+    match e {
+        Expr::Function { name, args, distinct }
+            if is_aggregate_name(name, args.len()) =>
+        {
+            eval_aggregate(ctx, name, args, *distinct, layout, group)
+        }
+        Expr::Binary { left, op, right } => {
+            // Short-circuit logic is not needed for correctness here;
+            // evaluate both sides in aggregate context.
+            let l = eval_agg_expr(ctx, left, layout, group)?;
+            let r = eval_agg_expr(ctx, right, layout, group)?;
+            apply_binary(*op, l, r)
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_agg_expr(ctx, expr, layout, group)?;
+            apply_unary(*op, v)
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            let op_val = match operand {
+                Some(o) => Some(eval_agg_expr(ctx, o, layout, group)?),
+                None => None,
+            };
+            for (w, t) in branches {
+                let cond = eval_agg_expr(ctx, w, layout, group)?;
+                let hit = match &op_val {
+                    Some(v) => v.sql_eq(&cond) == Some(true),
+                    None => cond.truthiness() == Some(true),
+                };
+                if hit {
+                    return eval_agg_expr(ctx, t, layout, group);
+                }
+            }
+            match else_expr {
+                Some(e) => eval_agg_expr(ctx, e, layout, group),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Function { name, args, .. } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_agg_expr(ctx, a, layout, group))
+                .collect::<SqlResult<_>>()?;
+            call_scalar(name, &vals)
+        }
+        Expr::Cast { expr, ty } => {
+            let v = eval_agg_expr(ctx, expr, layout, group)?;
+            Ok(cast_value(v, *ty))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_agg_expr(ctx, expr, layout, group)?;
+            Ok(Value::Int((v.is_null() != *negated) as i64))
+        }
+        // everything else: evaluate against the first row of the group
+        other => match group.first() {
+            Some(row) => eval_expr(ctx, other, layout, row),
+            None => Ok(Value::Null),
+        },
+    }
+}
+
+fn eval_aggregate(
+    ctx: &mut Ctx,
+    name: &str,
+    args: &[Expr],
+    distinct: bool,
+    layout: &[ColBinding],
+    group: &[Row],
+) -> SqlResult<Value> {
+    // COUNT(*)
+    if name == "count" && (args.is_empty() || matches!(args.first(), Some(Expr::Wildcard))) {
+        return Ok(Value::Int(group.len() as i64));
+    }
+    let arg = args
+        .first()
+        .ok_or_else(|| SqlError::BadFunction(format!("{name}() needs an argument")))?;
+    if contains_aggregate(arg) {
+        return Err(SqlError::MisusedAggregate(format!("nested aggregate in {name}()")));
+    }
+    let mut values: Vec<Value> = Vec::with_capacity(group.len());
+    for row in group {
+        let v = eval_expr(ctx, arg, layout, row)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        let mut seen: std::collections::HashSet<NormValue> = std::collections::HashSet::new();
+        values.retain(|v| seen.insert(v.normalized()));
+    }
+    match name {
+        "count" => Ok(Value::Int(values.len() as i64)),
+        "sum" | "total" => {
+            if values.is_empty() {
+                return Ok(if name == "total" { Value::Real(0.0) } else { Value::Null });
+            }
+            let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+            if all_int && name == "sum" {
+                let mut acc: i64 = 0;
+                for v in &values {
+                    if let Value::Int(i) = v {
+                        acc = acc
+                            .checked_add(*i)
+                            .ok_or_else(|| SqlError::Other("integer overflow in SUM".into()))?;
+                    }
+                }
+                Ok(Value::Int(acc))
+            } else {
+                Ok(Value::Real(values.iter().filter_map(|v| v.as_f64_lossy()).sum()))
+            }
+        }
+        "avg" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let sum: f64 = values.iter().filter_map(|v| v.as_f64_lossy()).sum();
+            Ok(Value::Real(sum / values.len() as f64))
+        }
+        "min" | "max" => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let take = if name == "min" {
+                            v.sql_cmp(&b) == Ordering::Less
+                        } else {
+                            v.sql_cmp(&b) == Ordering::Greater
+                        };
+                        if take {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        "group_concat" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let sep = match args.get(1) {
+                Some(e) => eval_const(e)?.as_text().unwrap_or_else(|| ",".into()),
+                None => ",".into(),
+            };
+            Ok(Value::text(
+                values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(&sep),
+            ))
+        }
+        other => Err(SqlError::BadFunction(format!("unknown aggregate {other}"))),
+    }
+}
+
+// ---------------- FROM / joins ----------------
+
+fn build_from(ctx: &mut Ctx, from: &FromClause) -> SqlResult<Source> {
+    let mut acc = scan_table_ref(ctx, &from.base)?;
+    for join in &from.joins {
+        let right = scan_table_ref(ctx, &join.table)?;
+        acc = join_sources(ctx, acc, right, join)?;
+    }
+    Ok(acc)
+}
+
+fn scan_table_ref(ctx: &mut Ctx, tref: &TableRef) -> SqlResult<Source> {
+    match tref {
+        TableRef::Named { name, alias } => {
+            let info = ctx
+                .db
+                .schema
+                .table(name)
+                .ok_or_else(|| SqlError::NoSuchTable(name.clone()))?;
+            let binding = alias.clone().unwrap_or_else(|| info.name.clone());
+            let layout = info
+                .columns
+                .iter()
+                .map(|c| ColBinding { binding: binding.clone(), column: c.name.clone() })
+                .collect();
+            let rows = ctx.db.rows(&info.name)?.to_vec();
+            ctx.rows_scanned += rows.len() as u64;
+            Ok(Source { layout, rows })
+        }
+        TableRef::Subquery { query, alias } => {
+            let rs = exec_select(ctx, query)?;
+            let layout = rs
+                .columns
+                .iter()
+                .map(|c| ColBinding { binding: alias.clone(), column: c.clone() })
+                .collect();
+            Ok(Source { layout, rows: rs.rows })
+        }
+    }
+}
+
+fn join_sources(ctx: &mut Ctx, left: Source, right: Source, join: &Join) -> SqlResult<Source> {
+    let mut layout = left.layout.clone();
+    layout.extend(right.layout.iter().cloned());
+
+    // Try a hash join for `left.col = right.col` equi-joins.
+    if matches!(join.kind, JoinKind::Inner | JoinKind::Left) {
+        if let Some(on) = &join.on {
+            if let Some((li, ri)) = equi_join_indices(on, &left.layout, &right.layout) {
+                return hash_join(ctx, left, right, layout, li, ri, join.kind);
+            }
+        }
+    }
+
+    // Fallback: nested loop.
+    let mut rows = Vec::new();
+    for lrow in &left.rows {
+        let mut matched = false;
+        for rrow in &right.rows {
+            ctx.rows_scanned += 1;
+            let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+            combined.extend(lrow.iter().cloned());
+            combined.extend(rrow.iter().cloned());
+            let keep = match &join.on {
+                Some(on) => eval_expr(ctx, on, &layout, &combined)?.truthiness() == Some(true),
+                None => true,
+            };
+            if keep {
+                matched = true;
+                rows.push(combined);
+            }
+        }
+        if join.kind == JoinKind::Left && !matched {
+            let mut combined = lrow.clone();
+            combined.extend(std::iter::repeat_n(Value::Null, right.layout.len()));
+            rows.push(combined);
+        }
+    }
+    Ok(Source { layout, rows })
+}
+
+/// Detect `a.x = b.y` where `a.x` resolves purely in the left layout and
+/// `b.y` purely in the right (or swapped). Returns (left index, right index).
+fn equi_join_indices(
+    on: &Expr,
+    left: &[ColBinding],
+    right: &[ColBinding],
+) -> Option<(usize, usize)> {
+    let Expr::Binary { left: a, op: BinOp::Eq, right: b } = on else {
+        return None;
+    };
+    let (Expr::Column { table: ta, column: ca }, Expr::Column { table: tb, column: cb }) =
+        (a.as_ref(), b.as_ref())
+    else {
+        return None;
+    };
+    let find = |layout: &[ColBinding], t: &Option<String>, c: &str| -> Option<usize> {
+        let mut hits = layout.iter().enumerate().filter(|(_, bnd)| {
+            bnd.column.eq_ignore_ascii_case(c)
+                && t.as_deref()
+                    .map(|q| bnd.binding.eq_ignore_ascii_case(q))
+                    .unwrap_or(true)
+        });
+        let first = hits.next()?;
+        if hits.next().is_some() {
+            return None; // ambiguous, let the nested loop resolver error out
+        }
+        Some(first.0)
+    };
+    match (find(left, ta, ca), find(right, tb, cb)) {
+        (Some(li), Some(ri)) => Some((li, ri)),
+        _ => match (find(left, tb, cb), find(right, ta, ca)) {
+            (Some(li), Some(ri)) => Some((li, ri)),
+            _ => None,
+        },
+    }
+}
+
+fn hash_join(
+    ctx: &mut Ctx,
+    left: Source,
+    right: Source,
+    layout: Vec<ColBinding>,
+    li: usize,
+    ri: usize,
+    kind: JoinKind,
+) -> SqlResult<Source> {
+    let mut index: HashMap<NormValue, Vec<usize>> = HashMap::with_capacity(right.rows.len());
+    for (i, row) in right.rows.iter().enumerate() {
+        let key = &row[ri];
+        if !key.is_null() {
+            index.entry(key.normalized()).or_default().push(i);
+        }
+    }
+    let mut rows = Vec::with_capacity(left.rows.len());
+    for lrow in &left.rows {
+        ctx.rows_scanned += 1;
+        let key = &lrow[li];
+        let matches = if key.is_null() { None } else { index.get(&key.normalized()) };
+        match matches {
+            Some(idxs) if !idxs.is_empty() => {
+                for &i in idxs {
+                    ctx.rows_scanned += 1;
+                    let mut combined = Vec::with_capacity(lrow.len() + right.rows[i].len());
+                    combined.extend(lrow.iter().cloned());
+                    combined.extend(right.rows[i].iter().cloned());
+                    rows.push(combined);
+                }
+            }
+            _ => {
+                if kind == JoinKind::Left {
+                    let mut combined = lrow.clone();
+                    combined.extend(std::iter::repeat_n(Value::Null, right.layout.len()));
+                    rows.push(combined);
+                }
+            }
+        }
+    }
+    Ok(Source { layout, rows })
+}
+
+// ---------------- expression evaluation ----------------
+
+fn resolve(layout: &[ColBinding], table: Option<&str>, column: &str) -> SqlResult<usize> {
+    match table {
+        Some(t) => {
+            let mut hits = layout.iter().enumerate().filter(|(_, b)| {
+                b.binding.eq_ignore_ascii_case(t) && b.column.eq_ignore_ascii_case(column)
+            });
+            match hits.next() {
+                Some((i, _)) => Ok(i),
+                None => Err(SqlError::NoSuchColumn(format!("{t}.{column}"))),
+            }
+        }
+        None => {
+            let mut hits = layout
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.column.eq_ignore_ascii_case(column));
+            let first = hits.next();
+            match (first, hits.next()) {
+                (Some((i, _)), None) => Ok(i),
+                (Some(_), Some(_)) => Err(SqlError::AmbiguousColumn(column.to_owned())),
+                (None, _) => Err(SqlError::NoSuchColumn(column.to_owned())),
+            }
+        }
+    }
+}
+
+fn eval_expr(ctx: &mut Ctx, e: &Expr, layout: &[ColBinding], row: &[Value]) -> SqlResult<Value> {
+    match e {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { table, column } => {
+            match resolve(layout, table.as_deref(), column) {
+                Ok(idx) => Ok(row[idx].clone()),
+                Err(e) => {
+                    // correlated reference: walk enclosing environments,
+                    // innermost first
+                    for i in (0..ctx.outer.len()).rev() {
+                        if let Ok(idx) =
+                            resolve(&ctx.outer[i].0, table.as_deref(), column)
+                        {
+                            ctx.used_outer = true;
+                            return Ok(ctx.outer[i].1[idx].clone());
+                        }
+                    }
+                    Err(e)
+                }
+            }
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(ctx, expr, layout, row)?;
+            apply_unary(*op, v)
+        }
+        Expr::Binary { left, op, right } => {
+            // short-circuit AND/OR per three-valued logic
+            match op {
+                BinOp::And => {
+                    let l = eval_expr(ctx, left, layout, row)?;
+                    if l.truthiness() == Some(false) {
+                        return Ok(Value::Int(0));
+                    }
+                    let r = eval_expr(ctx, right, layout, row)?;
+                    return Ok(match (l.truthiness(), r.truthiness()) {
+                        (_, Some(false)) => Value::Int(0),
+                        (Some(true), Some(true)) => Value::Int(1),
+                        _ => Value::Null,
+                    });
+                }
+                BinOp::Or => {
+                    let l = eval_expr(ctx, left, layout, row)?;
+                    if l.truthiness() == Some(true) {
+                        return Ok(Value::Int(1));
+                    }
+                    let r = eval_expr(ctx, right, layout, row)?;
+                    return Ok(match (l.truthiness(), r.truthiness()) {
+                        (_, Some(true)) => Value::Int(1),
+                        (Some(false), Some(false)) => Value::Int(0),
+                        _ => Value::Null,
+                    });
+                }
+                _ => {}
+            }
+            let l = eval_expr(ctx, left, layout, row)?;
+            let r = eval_expr(ctx, right, layout, row)?;
+            apply_binary(*op, l, r)
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval_expr(ctx, expr, layout, row)?;
+            let p = eval_expr(ctx, pattern, layout, row)?;
+            match (v.as_text(), p.as_text()) {
+                (Some(text), Some(pat)) => {
+                    let hit = like_match(&pat, &text);
+                    Ok(Value::Int((hit != *negated) as i64))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval_expr(ctx, expr, layout, row)?;
+            let lo = eval_expr(ctx, low, layout, row)?;
+            let hi = eval_expr(ctx, high, layout, row)?;
+            if v.is_null() || lo.is_null() || hi.is_null() {
+                return Ok(Value::Null);
+            }
+            let inside = v.sql_cmp(&lo) != Ordering::Less && v.sql_cmp(&hi) != Ordering::Greater;
+            Ok(Value::Int((inside != *negated) as i64))
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval_expr(ctx, expr, layout, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval_expr(ctx, item, layout, row)?;
+                match v.sql_eq(&iv) {
+                    Some(true) => return Ok(Value::Int((!*negated) as i64)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Int(*negated as i64))
+            }
+        }
+        Expr::InSubquery { expr, query, negated } => {
+            let v = eval_expr(ctx, expr, layout, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let rs = exec_subquery(ctx, query, layout, row)?;
+            if rs.columns.len() != 1 {
+                return Err(SqlError::SubqueryShape(
+                    "IN subquery must return a single column".into(),
+                ));
+            }
+            let mut saw_null = false;
+            for r in &rs.rows {
+                match v.sql_eq(&r[0]) {
+                    Some(true) => return Ok(Value::Int((!*negated) as i64)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Int(*negated as i64))
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(ctx, expr, layout, row)?;
+            Ok(Value::Int((v.is_null() != *negated) as i64))
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            let op_val = match operand {
+                Some(o) => Some(eval_expr(ctx, o, layout, row)?),
+                None => None,
+            };
+            for (w, t) in branches {
+                let cond = eval_expr(ctx, w, layout, row)?;
+                let hit = match &op_val {
+                    Some(v) => v.sql_eq(&cond) == Some(true),
+                    None => cond.truthiness() == Some(true),
+                };
+                if hit {
+                    return eval_expr(ctx, t, layout, row);
+                }
+            }
+            match else_expr {
+                Some(e) => eval_expr(ctx, e, layout, row),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Function { name, args, .. } => {
+            if is_aggregate_name(name, args.len()) {
+                return Err(SqlError::MisusedAggregate(format!(
+                    "aggregate {name}() used outside of an aggregate context"
+                )));
+            }
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_expr(ctx, a, layout, row))
+                .collect::<SqlResult<_>>()?;
+            call_scalar(name, &vals)
+        }
+        Expr::Wildcard => Err(SqlError::Syntax { pos: 0, msg: "misplaced *".into() }),
+        Expr::Cast { expr, ty } => {
+            let v = eval_expr(ctx, expr, layout, row)?;
+            Ok(cast_value(v, *ty))
+        }
+        Expr::Subquery(q) => {
+            let rs = exec_subquery(ctx, q, layout, row)?;
+            if rs.columns.len() != 1 {
+                return Err(SqlError::SubqueryShape(
+                    "scalar subquery must return a single column".into(),
+                ));
+            }
+            Ok(rs.rows.first().map(|r| r[0].clone()).unwrap_or(Value::Null))
+        }
+        Expr::Exists { query, negated } => {
+            let rs = exec_subquery(ctx, query, layout, row)?;
+            Ok(Value::Int((rs.rows.is_empty() == *negated) as i64))
+        }
+    }
+}
+
+/// Execute a nested SELECT with the current row pushed as an enclosing
+/// environment, enabling correlated references.
+fn exec_subquery(
+    ctx: &mut Ctx,
+    query: &SelectStmt,
+    layout: &[ColBinding],
+    row: &[Value],
+) -> SqlResult<ResultSet> {
+    ctx.outer.push((layout.to_vec(), row.to_vec()));
+    let result = exec_select(ctx, query);
+    ctx.outer.pop();
+    result
+}
+
+fn apply_unary(op: UnaryOp, v: Value) -> SqlResult<Value> {
+    match op {
+        UnaryOp::Neg => Ok(match v {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Int(i.wrapping_neg()),
+            other => match other.as_f64_lossy() {
+                Some(f) => Value::Real(-f),
+                None => Value::Null,
+            },
+        }),
+        UnaryOp::Not => Ok(match v.truthiness() {
+            None => Value::Null,
+            Some(b) => Value::Int((!b) as i64),
+        }),
+    }
+}
+
+fn apply_binary(op: BinOp, l: Value, r: Value) -> SqlResult<Value> {
+    match op {
+        BinOp::And => Ok(match (l.truthiness(), r.truthiness()) {
+            (Some(false), _) | (_, Some(false)) => Value::Int(0),
+            (Some(true), Some(true)) => Value::Int(1),
+            _ => Value::Null,
+        }),
+        BinOp::Or => Ok(match (l.truthiness(), r.truthiness()) {
+            (Some(true), _) | (_, Some(true)) => Value::Int(1),
+            (Some(false), Some(false)) => Value::Int(0),
+            _ => Value::Null,
+        }),
+        BinOp::Eq | BinOp::Ne => Ok(match l.sql_eq(&r) {
+            None => Value::Null,
+            Some(eq) => Value::Int(((op == BinOp::Eq) == eq) as i64),
+        }),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = l.sql_cmp(&r);
+            let hit = match op {
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::Le => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::Ge => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(hit as i64))
+        }
+        BinOp::Concat => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::text(format!("{l}{r}")))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+                let res = match op {
+                    BinOp::Add => a.checked_add(*b),
+                    BinOp::Sub => a.checked_sub(*b),
+                    BinOp::Mul => a.checked_mul(*b),
+                    _ => unreachable!(),
+                };
+                if let Some(v) = res {
+                    return Ok(Value::Int(v));
+                }
+            }
+            let (a, b) = (l.as_f64_lossy().unwrap_or(0.0), r.as_f64_lossy().unwrap_or(0.0));
+            Ok(Value::Real(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                _ => unreachable!(),
+            }))
+        }
+        BinOp::Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+                return Ok(if *b == 0 { Value::Null } else { Value::Int(a / b) });
+            }
+            let (a, b) = (l.as_f64_lossy().unwrap_or(0.0), r.as_f64_lossy().unwrap_or(0.0));
+            Ok(if b == 0.0 { Value::Null } else { Value::Real(a / b) })
+        }
+        BinOp::Mod => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            match (l.as_i64(), r.as_i64()) {
+                (Some(a), Some(b)) => {
+                    Ok(if b == 0 { Value::Null } else { Value::Int(a % b) })
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+    }
+}
+
+fn cast_value(v: Value, ty: TypeName) -> Value {
+    match ty {
+        TypeName::Integer => match &v {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Int(*i),
+            Value::Real(r) => Value::Int(*r as i64),
+            Value::Text(t) => {
+                Value::Int(crate::value::parse_numeric_prefix(t).unwrap_or(0.0) as i64)
+            }
+        },
+        TypeName::Real => match &v {
+            Value::Null => Value::Null,
+            other => Value::Real(other.as_f64_lossy().unwrap_or(0.0)),
+        },
+        TypeName::Text => match &v {
+            Value::Null => Value::Null,
+            other => Value::text(other.to_string()),
+        },
+        TypeName::Blob => v,
+    }
+}
+
+/// SQL LIKE with `%` and `_`, ASCII case-insensitive as SQLite defaults to.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[char], t: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => {
+                // collapse consecutive %
+                let rest = &p[1..];
+                (0..=t.len()).any(|k| rec(rest, &t[k..]))
+            }
+            Some('_') => !t.is_empty() && rec(&p[1..], &t[1..]),
+            Some(c) => {
+                !t.is_empty()
+                    && t[0].eq_ignore_ascii_case(c)
+                    && rec(&p[1..], &t[1..])
+            }
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    rec(&p, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+
+    fn clinic() -> Database {
+        let mut db = Database::new("clinic");
+        db.execute_script(
+            "CREATE TABLE Patient (ID INTEGER PRIMARY KEY, Name TEXT, `First Date` TEXT, City TEXT);\
+             CREATE TABLE Laboratory (LabID INTEGER PRIMARY KEY, ID INTEGER, IGA REAL, \
+               FOREIGN KEY (ID) REFERENCES Patient (ID));\
+             INSERT INTO Patient VALUES \
+               (1, 'Ann', '1991-04-02', 'Oslo'), (2, 'Bob', '1988-01-20', 'Oslo'),\
+               (3, 'Cal', '1995-09-13', 'Berne'), (4, 'Dee', '2001-02-05', NULL);\
+             INSERT INTO Laboratory VALUES \
+               (10, 1, 120.0), (11, 1, 300.0), (12, 2, 90.0), (13, 3, 700.0), (14, 4, NULL);",
+        )
+        .unwrap();
+        db
+    }
+
+    fn q(db: &Database, sql: &str) -> ResultSet {
+        db.query(sql).unwrap_or_else(|e| panic!("query {sql:?} failed: {e}"))
+    }
+
+    #[test]
+    fn simple_scan_filter() {
+        let db = clinic();
+        let rs = q(&db, "SELECT Name FROM Patient WHERE City = 'Oslo'");
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.columns, vec!["Name"]);
+    }
+
+    #[test]
+    fn paper_example_executes() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT COUNT(DISTINCT T1.ID) FROM Patient AS T1 INNER JOIN Laboratory AS T2 \
+             ON T1.ID = T2.ID WHERE T2.IGA > 80 AND T2.IGA < 500 AND \
+             strftime('%Y', T1.`First Date`) >= '1990'",
+        );
+        // Ann (120, 300) qualifies after 1990; Bob is 1988; Cal IGA 700; Dee NULL.
+        assert_eq!(rs.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn group_by_having_order() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT City, COUNT(*) AS n FROM Patient WHERE City IS NOT NULL \
+             GROUP BY City HAVING COUNT(*) >= 1 ORDER BY n DESC, City ASC",
+        );
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::text("Oslo"), Value::Int(2)],
+                vec![Value::text("Berne"), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregate_over_empty_table_yields_one_row() {
+        let mut db = Database::new("x");
+        db.execute_script("CREATE TABLE t (a INTEGER)").unwrap();
+        let rs = q(&db, "SELECT COUNT(*), SUM(a), AVG(a), MIN(a) FROM t");
+        assert_eq!(
+            rs.rows,
+            vec![vec![Value::Int(0), Value::Null, Value::Null, Value::Null]]
+        );
+        // but GROUP BY over empty input yields zero rows
+        let rs = q(&db, "SELECT a, COUNT(*) FROM t GROUP BY a");
+        assert!(rs.rows.is_empty());
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT P.Name, L.IGA FROM Patient AS P LEFT JOIN Laboratory AS L \
+             ON P.ID = L.ID AND L.IGA > 600",
+        );
+        // non-equi extra condition forces nested loop; Cal matches 700
+        assert_eq!(rs.rows.len(), 4);
+        let cal: Vec<_> = rs.rows.iter().filter(|r| r[0] == Value::text("Cal")).collect();
+        assert_eq!(cal[0][1], Value::Real(700.0));
+        let ann: Vec<_> = rs.rows.iter().filter(|r| r[0] == Value::text("Ann")).collect();
+        assert!(ann[0][1].is_null());
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let db = clinic();
+        let hash = q(&db, "SELECT P.Name, L.IGA FROM Patient P INNER JOIN Laboratory L ON P.ID = L.ID");
+        let nested = q(
+            &db,
+            "SELECT P.Name, L.IGA FROM Patient P INNER JOIN Laboratory L ON P.ID + 0 = L.ID",
+        );
+        assert!(hash.same_answer(&nested));
+        assert_eq!(hash.rows.len(), 5);
+    }
+
+    #[test]
+    fn order_by_alias_position_and_expr() {
+        let db = clinic();
+        let by_alias = q(&db, "SELECT Name AS n FROM Patient ORDER BY n DESC");
+        let by_pos = q(&db, "SELECT Name FROM Patient ORDER BY 1 DESC");
+        let by_expr = q(&db, "SELECT Name FROM Patient ORDER BY Name DESC");
+        assert_eq!(by_alias.rows, by_pos.rows);
+        assert_eq!(by_pos.rows, by_expr.rows);
+        assert_eq!(by_expr.rows[0][0], Value::text("Dee"));
+    }
+
+    #[test]
+    fn limit_offset() {
+        let db = clinic();
+        let rs = q(&db, "SELECT ID FROM Patient ORDER BY ID LIMIT 2 OFFSET 1");
+        assert_eq!(rs.rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+        let rs2 = q(&db, "SELECT ID FROM Patient ORDER BY ID LIMIT 1, 2");
+        assert_eq!(rs.rows, rs2.rows);
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let db = clinic();
+        let rs = q(&db, "SELECT DISTINCT City FROM Patient WHERE City IS NOT NULL");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn scalar_and_in_subqueries() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT Name FROM Patient WHERE ID = (SELECT ID FROM Laboratory ORDER BY IGA DESC LIMIT 1)",
+        );
+        assert_eq!(rs.rows, vec![vec![Value::text("Cal")]]);
+        let rs = q(
+            &db,
+            "SELECT Name FROM Patient WHERE ID IN (SELECT ID FROM Laboratory WHERE IGA > 100) ORDER BY Name",
+        );
+        assert_eq!(rs.rows, vec![vec![Value::text("Ann")], vec![Value::text("Cal")]]);
+    }
+
+    #[test]
+    fn from_subquery() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT s.c FROM (SELECT City, COUNT(*) AS c FROM Patient GROUP BY City) AS s \
+             WHERE s.City = 'Oslo'",
+        );
+        assert_eq!(rs.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn compound_union() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT City FROM Patient WHERE ID = 1 UNION SELECT City FROM Patient WHERE ID = 2",
+        );
+        assert_eq!(rs.rows.len(), 1); // both Oslo, deduped
+        let rs = q(
+            &db,
+            "SELECT City FROM Patient WHERE ID = 1 UNION ALL SELECT City FROM Patient WHERE ID = 2 ORDER BY City",
+        );
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn intersect_except() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT ID FROM Patient INTERSECT SELECT ID FROM Laboratory WHERE IGA > 100",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        let rs = q(
+            &db,
+            "SELECT ID FROM Patient EXCEPT SELECT ID FROM Laboratory WHERE IGA > 100 ORDER BY 1",
+        );
+        assert_eq!(rs.rows, vec![vec![Value::Int(2)], vec![Value::Int(4)]]);
+    }
+
+    #[test]
+    fn error_surfaces() {
+        let db = clinic();
+        assert!(matches!(
+            db.query("SELECT x FROM Patient"),
+            Err(SqlError::NoSuchColumn(c)) if c == "x"
+        ));
+        assert!(matches!(
+            db.query("SELECT * FROM Ghost"),
+            Err(SqlError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT ID FROM Patient P, Laboratory L"),
+            Err(SqlError::AmbiguousColumn(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT Name FROM Patient WHERE COUNT(*) > 1"),
+            Err(SqlError::MisusedAggregate(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT SUM(COUNT(ID)) FROM Patient"),
+            Err(SqlError::MisusedAggregate(_))
+        ));
+    }
+
+    #[test]
+    fn like_and_between() {
+        let db = clinic();
+        let rs = q(&db, "SELECT Name FROM Patient WHERE Name LIKE 'a%'");
+        assert_eq!(rs.rows, vec![vec![Value::text("Ann")]]);
+        let rs = q(&db, "SELECT Name FROM Patient WHERE ID BETWEEN 2 AND 3 ORDER BY ID");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("%ll%", "hello"));
+        assert!(like_match("h_llo", "hello"));
+        assert!(like_match("HELLO", "hello"));
+        assert!(!like_match("h_llo", "heello"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("_", ""));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let db = clinic();
+        // City NULL rows drop out of both branches
+        let yes = q(&db, "SELECT COUNT(*) FROM Patient WHERE City = 'Oslo'");
+        let no = q(&db, "SELECT COUNT(*) FROM Patient WHERE NOT (City = 'Oslo')");
+        assert_eq!(yes.rows[0][0], Value::Int(2));
+        assert_eq!(no.rows[0][0], Value::Int(1));
+        // IN with NULL in list
+        let rs = q(&db, "SELECT COUNT(*) FROM Patient WHERE City IN ('Oslo', NULL)");
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        let db = clinic();
+        let rs = q(&db, "SELECT 7 / 2, 7.0 / 2, 7 % 3, 1 / 0, 'a' || 'b', -ID FROM Patient LIMIT 1");
+        assert_eq!(
+            rs.rows[0],
+            vec![
+                Value::Int(3),
+                Value::Real(3.5),
+                Value::Int(1),
+                Value::Null,
+                Value::text("ab"),
+                Value::Int(-1)
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregates_full_set() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT COUNT(IGA), SUM(IGA), AVG(IGA), MIN(IGA), MAX(IGA), TOTAL(IGA), \
+             COUNT(DISTINCT ID), GROUP_CONCAT(ID) FROM Laboratory",
+        );
+        let r = &rs.rows[0];
+        assert_eq!(r[0], Value::Int(4));
+        assert_eq!(r[1], Value::Real(1210.0));
+        assert_eq!(r[2], Value::Real(302.5));
+        assert_eq!(r[3], Value::Real(90.0));
+        assert_eq!(r[4], Value::Real(700.0));
+        assert_eq!(r[5], Value::Real(1210.0));
+        assert_eq!(r[6], Value::Int(4));
+        assert_eq!(r[7], Value::text("1,1,2,3,4"));
+    }
+
+    #[test]
+    fn exec_stats_count_rows() {
+        let db = clinic();
+        let (_, stats) = execute_select_with_stats(
+            &db,
+            &crate::parser::parse_select("SELECT * FROM Patient").unwrap(),
+        )
+        .unwrap();
+        assert!(stats.rows_scanned >= 4);
+    }
+
+    #[test]
+    fn case_expression() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT Name, CASE WHEN ID <= 2 THEN 'early' ELSE 'late' END FROM Patient ORDER BY ID",
+        );
+        assert_eq!(rs.rows[0][1], Value::text("early"));
+        assert_eq!(rs.rows[3][1], Value::text("late"));
+        let rs = q(&db, "SELECT CASE City WHEN 'Oslo' THEN 1 ELSE 0 END FROM Patient ORDER BY ID");
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+        assert_eq!(rs.rows[2][0], Value::Int(0));
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let db = clinic();
+        let rs = q(&db, "SELECT * FROM Patient");
+        assert_eq!(rs.columns, vec!["ID", "Name", "First Date", "City"]);
+        let rs = q(&db, "SELECT L.* FROM Patient P INNER JOIN Laboratory L ON P.ID = L.ID");
+        assert_eq!(rs.columns, vec!["LabID", "ID", "IGA"]);
+    }
+
+    #[test]
+    fn exists_uncorrelated() {
+        let db = clinic();
+        let rs = q(&db, "SELECT 1 WHERE EXISTS (SELECT 1 FROM Patient)");
+        assert_eq!(rs.rows.len(), 1);
+        let rs = q(&db, "SELECT 1 WHERE NOT EXISTS (SELECT 1 FROM Patient WHERE ID > 99)");
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn correlated_exists() {
+        let db = clinic();
+        // patients with at least one lab record above their own age * 10
+        let rs = q(
+            &db,
+            "SELECT Name FROM Patient WHERE EXISTS              (SELECT 1 FROM Laboratory WHERE Laboratory.ID = Patient.ID AND IGA > 100)              ORDER BY Name",
+        );
+        assert_eq!(rs.rows, vec![vec![Value::text("Ann")], vec![Value::text("Cal")]]);
+    }
+
+    #[test]
+    fn correlated_scalar_subquery() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT Name, (SELECT COUNT(*) FROM Laboratory WHERE Laboratory.ID = Patient.ID)              FROM Patient ORDER BY ID",
+        );
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::text("Ann"), Value::Int(2)],
+                vec![Value::text("Bob"), Value::Int(1)],
+                vec![Value::text("Cal"), Value::Int(1)],
+                vec![Value::text("Dee"), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn correlated_results_are_not_cached_across_rows() {
+        let db = clinic();
+        // the per-row subquery must vary with the outer row, while the
+        // uncorrelated one is constant (and memoised)
+        let rs = q(
+            &db,
+            "SELECT (SELECT MAX(IGA) FROM Laboratory WHERE Laboratory.ID = Patient.ID),                     (SELECT COUNT(*) FROM Laboratory)              FROM Patient ORDER BY ID",
+        );
+        let per_row: Vec<&Value> = rs.rows.iter().map(|r| &r[0]).collect();
+        assert_eq!(per_row[0], &Value::Real(300.0));
+        assert_eq!(per_row[1], &Value::Real(90.0));
+        assert!(rs.rows.iter().all(|r| r[1] == Value::Int(5)));
+    }
+
+    #[test]
+    fn correlated_in_subquery() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT Name FROM Patient WHERE Patient.ID IN \
+             (SELECT ID FROM Laboratory WHERE Laboratory.IGA > Patient.ID * 50)",
+        );
+        // Ann(1): IGA 120,300 > 50; Bob(2): 90 < 100; Cal(3): 700 > 150; Dee(4): NULL
+        assert_eq!(rs.rows, vec![vec![Value::text("Ann")], vec![Value::text("Cal")]]);
+    }
+
+    #[test]
+    fn order_by_aggregate_alias() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT ID, COUNT(*) AS n FROM Laboratory GROUP BY ID ORDER BY COUNT(*) DESC, ID LIMIT 1",
+        );
+        assert_eq!(rs.rows, vec![vec![Value::Int(1), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn group_by_expression() {
+        let db = clinic();
+        let rs = q(
+            &db,
+            "SELECT strftime('%Y', `First Date`) AS y, COUNT(*) FROM Patient GROUP BY y ORDER BY y",
+        );
+        assert_eq!(rs.rows.len(), 4);
+        assert_eq!(rs.rows[0][0], Value::text("1988"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Scalar SQL functions with SQLite semantics.
+//!
+//! The set covers everything BIRD gold SQL leans on: string functions,
+//! numeric functions, `strftime` over ISO-8601 text dates, `IIF`,
+//! `COALESCE`, and multi-argument scalar `MIN`/`MAX`.
+
+use crate::error::{SqlError, SqlResult};
+use crate::value::Value;
+
+/// Evaluate a scalar function over already-evaluated arguments.
+pub fn call_scalar(name: &str, args: &[Value]) -> SqlResult<Value> {
+    match name {
+        "abs" => {
+            let [v] = one(name, args)?;
+            Ok(match v {
+                Value::Null => Value::Null,
+                Value::Int(i) => Value::Int(i.wrapping_abs()),
+                other => match other.as_f64() {
+                    Some(f) => Value::Real(f.abs()),
+                    None => Value::Real(0.0),
+                },
+            })
+        }
+        "round" => {
+            if args.is_empty() || args.len() > 2 {
+                return Err(arity(name, "1 or 2", args.len()));
+            }
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            let x = args[0].as_f64_lossy().unwrap_or(0.0);
+            let digits = args.get(1).and_then(Value::as_i64).unwrap_or(0).clamp(-15, 15);
+            let factor = 10f64.powi(digits as i32);
+            Ok(Value::Real((x * factor).round() / factor))
+        }
+        "length" => {
+            let [v] = one(name, args)?;
+            Ok(match v {
+                Value::Null => Value::Null,
+                other => Value::Int(other.to_string().chars().count() as i64),
+            })
+        }
+        "upper" => map_text(name, args, |s| s.to_uppercase()),
+        "lower" => map_text(name, args, |s| s.to_lowercase()),
+        "trim" => map_text(name, args, |s| s.trim().to_owned()),
+        "ltrim" => map_text(name, args, |s| s.trim_start().to_owned()),
+        "rtrim" => map_text(name, args, |s| s.trim_end().to_owned()),
+        "substr" | "substring" => substr(args),
+        "instr" => {
+            let [a, b] = two(name, args)?;
+            match (a.as_text(), b.as_text()) {
+                (Some(hay), Some(needle)) => {
+                    let idx = hay.find(&needle).map(|i| hay[..i].chars().count() as i64 + 1);
+                    Ok(Value::Int(idx.unwrap_or(0)))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        "replace" => {
+            if args.len() != 3 {
+                return Err(arity(name, "3", args.len()));
+            }
+            match (args[0].as_text(), args[1].as_text(), args[2].as_text()) {
+                (Some(s), Some(from), Some(to)) if !from.is_empty() => {
+                    Ok(Value::text(s.replace(&from, &to)))
+                }
+                (Some(s), Some(_), Some(_)) => Ok(Value::text(s)),
+                _ => Ok(Value::Null),
+            }
+        }
+        "coalesce" => {
+            for v in args {
+                if !v.is_null() {
+                    return Ok(v.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        "ifnull" => {
+            let [a, b] = two(name, args)?;
+            Ok(if a.is_null() { b } else { a })
+        }
+        "nullif" => {
+            let [a, b] = two(name, args)?;
+            match a.sql_eq(&b) {
+                Some(true) => Ok(Value::Null),
+                _ => Ok(a),
+            }
+        }
+        "iif" => {
+            if args.len() != 3 {
+                return Err(arity(name, "3", args.len()));
+            }
+            Ok(if args[0].truthiness() == Some(true) { args[1].clone() } else { args[2].clone() })
+        }
+        // scalar (multi-argument) MIN/MAX; the aggregate forms are handled
+        // by the executor before reaching here
+        "min" | "max" => {
+            if args.len() < 2 {
+                return Err(SqlError::MisusedAggregate(format!(
+                    "{name}() with one argument is an aggregate"
+                )));
+            }
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let mut best = args[0].clone();
+            for v in &args[1..] {
+                let take = if name == "min" {
+                    v.sql_cmp(&best) == std::cmp::Ordering::Less
+                } else {
+                    v.sql_cmp(&best) == std::cmp::Ordering::Greater
+                };
+                if take {
+                    best = v.clone();
+                }
+            }
+            Ok(best)
+        }
+        "typeof" => {
+            let [v] = one(name, args)?;
+            Ok(Value::text(match v {
+                Value::Null => "null",
+                Value::Int(_) => "integer",
+                Value::Real(_) => "real",
+                Value::Text(_) => "text",
+            }))
+        }
+        "strftime" => strftime(args),
+        "date" => {
+            let [v] = one(name, args)?;
+            match v.as_text().and_then(|s| parse_date(&s)) {
+                Some((y, m, d, ..)) => Ok(Value::text(format!("{y:04}-{m:02}-{d:02}"))),
+                None => Ok(Value::Null),
+            }
+        }
+        other => Err(SqlError::BadFunction(format!("no such function: {other}"))),
+    }
+}
+
+/// Is this name an aggregate function (single-argument MIN/MAX included)?
+pub fn is_aggregate_name(name: &str, arg_count: usize) -> bool {
+    matches!(name, "count" | "sum" | "avg" | "total" | "group_concat")
+        || (matches!(name, "min" | "max") && arg_count <= 1)
+}
+
+fn one<'a>(name: &str, args: &'a [Value]) -> SqlResult<[&'a Value; 1]> {
+    if args.len() == 1 {
+        Ok([&args[0]])
+    } else {
+        Err(arity(name, "1", args.len()))
+    }
+}
+
+fn two(name: &str, args: &[Value]) -> SqlResult<[Value; 2]> {
+    if args.len() == 2 {
+        Ok([args[0].clone(), args[1].clone()])
+    } else {
+        Err(arity(name, "2", args.len()))
+    }
+}
+
+fn arity(name: &str, want: &str, got: usize) -> SqlError {
+    SqlError::BadFunction(format!("{name}() expects {want} argument(s), got {got}"))
+}
+
+fn map_text(name: &str, args: &[Value], f: impl Fn(&str) -> String) -> SqlResult<Value> {
+    let [v] = one(name, args)?;
+    Ok(match v.as_text() {
+        Some(s) => Value::text(f(&s)),
+        None => Value::Null,
+    })
+}
+
+fn substr(args: &[Value]) -> SqlResult<Value> {
+    if args.len() < 2 || args.len() > 3 {
+        return Err(arity("substr", "2 or 3", args.len()));
+    }
+    let s = match args[0].as_text() {
+        Some(s) => s,
+        None => return Ok(Value::Null),
+    };
+    let chars: Vec<char> = s.chars().collect();
+    let n = chars.len() as i64;
+    let mut start = args[1].as_i64().unwrap_or(1);
+    // SQLite: 1-based, negative counts from the end
+    if start < 0 {
+        start = (n + start).max(0) + 1;
+    } else if start == 0 {
+        start = 1;
+    }
+    let len = match args.get(2) {
+        Some(v) => v.as_i64().unwrap_or(0).max(0),
+        None => n,
+    };
+    let begin = ((start - 1).max(0) as usize).min(chars.len());
+    let end = (begin + len as usize).min(chars.len());
+    Ok(Value::text(chars[begin..end].iter().collect::<String>()))
+}
+
+/// Parse `YYYY-MM-DD[ HH:MM:SS]` text dates.
+pub fn parse_date(s: &str) -> Option<(i32, u32, u32, u32, u32, u32)> {
+    let s = s.trim();
+    let (date_part, time_part) = match s.split_once(' ') {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    let mut it = date_part.split('-');
+    let y: i32 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let (mut hh, mut mm, mut ss) = (0u32, 0u32, 0u32);
+    if let Some(t) = time_part {
+        let mut parts = t.split(':');
+        hh = parts.next()?.parse().ok()?;
+        mm = parts.next().unwrap_or("0").parse().ok()?;
+        ss = parts.next().unwrap_or("0").parse().ok()?;
+    }
+    Some((y, m, d, hh, mm, ss))
+}
+
+fn strftime(args: &[Value]) -> SqlResult<Value> {
+    if args.len() != 2 {
+        return Err(arity("strftime", "2", args.len()));
+    }
+    let fmt = match args[0].as_text() {
+        Some(f) => f,
+        None => return Ok(Value::Null),
+    };
+    let date = match args[1].as_text().and_then(|s| parse_date(&s)) {
+        Some(d) => d,
+        None => return Ok(Value::Null),
+    };
+    let (y, m, d, hh, mm, ss) = date;
+    let mut out = String::with_capacity(fmt.len());
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('Y') => out.push_str(&format!("{y:04}")),
+            Some('m') => out.push_str(&format!("{m:02}")),
+            Some('d') => out.push_str(&format!("{d:02}")),
+            Some('H') => out.push_str(&format!("{hh:02}")),
+            Some('M') => out.push_str(&format!("{mm:02}")),
+            Some('S') => out.push_str(&format!("{ss:02}")),
+            Some('j') => out.push_str(&format!("{:03}", day_of_year(y, m, d))),
+            Some('w') => out.push_str(&day_of_week(y, m, d).to_string()),
+            Some('%') => out.push('%'),
+            Some(other) => {
+                return Err(SqlError::BadFunction(format!(
+                    "strftime: unsupported directive %{other}"
+                )))
+            }
+            None => return Err(SqlError::BadFunction("strftime: trailing %".into())),
+        }
+    }
+    Ok(Value::text(out))
+}
+
+fn is_leap(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn day_of_year(y: i32, m: u32, d: u32) -> u32 {
+    const DAYS: [u32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    let mut total = d;
+    for (month, days) in DAYS.iter().enumerate().take((m - 1) as usize) {
+        total += days;
+        if month == 1 && is_leap(y) {
+            total += 1;
+        }
+    }
+    total
+}
+
+/// Day of week, 0 = Sunday (Sakamoto's algorithm).
+fn day_of_week(y: i32, m: u32, d: u32) -> u32 {
+    const T: [i32; 12] = [0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4];
+    let y = if m < 3 { y - 1 } else { y };
+    let w = (y + y / 4 - y / 100 + y / 400 + T[(m - 1) as usize] + d as i32) % 7;
+    w.rem_euclid(7) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(name: &str, args: &[Value]) -> Value {
+        call_scalar(name, args).unwrap()
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(call("upper", &[Value::text("ab")]), Value::text("AB"));
+        assert_eq!(call("length", &[Value::text("héllo")]), Value::Int(5));
+        assert_eq!(call("substr", &[Value::text("hello"), Value::Int(2), Value::Int(3)]), Value::text("ell"));
+        assert_eq!(call("substr", &[Value::text("hello"), Value::Int(-3)]), Value::text("llo"));
+        assert_eq!(call("instr", &[Value::text("hello"), Value::text("ll")]), Value::Int(3));
+        assert_eq!(call("instr", &[Value::text("hello"), Value::text("z")]), Value::Int(0));
+        assert_eq!(
+            call("replace", &[Value::text("a-b-c"), Value::text("-"), Value::text("+")]),
+            Value::text("a+b+c")
+        );
+        assert_eq!(call("trim", &[Value::text("  x ")]), Value::text("x"));
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(call("abs", &[Value::Int(-3)]), Value::Int(3));
+        assert_eq!(call("round", &[Value::Real(2.567), Value::Int(2)]), Value::Real(2.57));
+        assert_eq!(call("round", &[Value::Real(2.5)]), Value::Real(3.0));
+    }
+
+    #[test]
+    fn null_handling() {
+        assert_eq!(call("upper", &[Value::Null]), Value::Null);
+        assert_eq!(call("coalesce", &[Value::Null, Value::Int(2), Value::Int(3)]), Value::Int(2));
+        assert_eq!(call("ifnull", &[Value::Null, Value::text("x")]), Value::text("x"));
+        assert_eq!(call("nullif", &[Value::Int(1), Value::Int(1)]), Value::Null);
+        assert_eq!(call("nullif", &[Value::Int(1), Value::Int(2)]), Value::Int(1));
+    }
+
+    #[test]
+    fn iif_and_scalar_minmax() {
+        assert_eq!(
+            call("iif", &[Value::Int(1), Value::text("y"), Value::text("n")]),
+            Value::text("y")
+        );
+        assert_eq!(call("min", &[Value::Int(3), Value::Int(1), Value::Int(2)]), Value::Int(1));
+        assert_eq!(call("max", &[Value::Int(3), Value::Real(3.5)]), Value::Real(3.5));
+        assert!(call_scalar("min", &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn strftime_formats() {
+        let d = Value::text("1994-07-15 08:30:05");
+        assert_eq!(call("strftime", &[Value::text("%Y"), d.clone()]), Value::text("1994"));
+        assert_eq!(call("strftime", &[Value::text("%Y-%m"), d.clone()]), Value::text("1994-07"));
+        assert_eq!(call("strftime", &[Value::text("%d %H:%M:%S"), d.clone()]), Value::text("15 08:30:05"));
+        assert_eq!(call("strftime", &[Value::text("%j"), Value::text("2000-03-01")]), Value::text("061"));
+        // 2024-01-01 was a Monday
+        assert_eq!(call("strftime", &[Value::text("%w"), Value::text("2024-01-01")]), Value::text("1"));
+        assert_eq!(call("strftime", &[Value::text("%Y"), Value::text("garbage")]), Value::Null);
+    }
+
+    #[test]
+    fn date_truncates_time() {
+        assert_eq!(call("date", &[Value::text("1994-07-15 08:30:05")]), Value::text("1994-07-15"));
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        assert!(matches!(call_scalar("frobnicate", &[]), Err(SqlError::BadFunction(_))));
+    }
+
+    #[test]
+    fn aggregate_name_detection() {
+        assert!(is_aggregate_name("count", 1));
+        assert!(is_aggregate_name("min", 1));
+        assert!(!is_aggregate_name("min", 2));
+        assert!(!is_aggregate_name("upper", 1));
+    }
+}

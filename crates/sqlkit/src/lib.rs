@@ -1,0 +1,50 @@
+//! # sqlkit — an in-memory SQL engine with SQLite-flavoured semantics
+//!
+//! This crate is the database substrate of the OpenSearch-SQL
+//! reproduction. It provides:
+//!
+//! - a tokenizer, recursive-descent [`parser`], and printable [`ast`] for a
+//!   SQLite-style dialect covering what BIRD/Spider gold SQL exercises;
+//! - an in-memory [`db::Database`] with typed tables and a
+//!   materialising [`exec`] executor (hash equi-joins, grouping,
+//!   aggregates, set operations, subqueries);
+//! - SQLite-faithful [`value`] semantics: dynamic typing, three-valued
+//!   logic, NULL-first ordering, and the Python-style `1 == 1.0` result
+//!   normalisation that BIRD's scorer applies;
+//! - the error surface (`no such column`, ...) that the pipeline's
+//!   Refinement stage dispatches its correction few-shots on.
+//!
+//! ```
+//! use sqlkit::db::Database;
+//!
+//! let mut db = Database::new("demo");
+//! db.execute_script(
+//!     "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT);
+//!      INSERT INTO t VALUES (1, 'a'), (2, 'b');",
+//! ).unwrap();
+//! let rs = db.query("SELECT COUNT(*) FROM t").unwrap();
+//! assert_eq!(rs.rows[0][0], sqlkit::value::Value::Int(2));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ast;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod functions;
+pub mod parser;
+pub mod printer;
+pub mod schema;
+pub mod token;
+pub mod value;
+
+pub use ast::{Expr, SelectStmt, Stmt};
+pub use db::Database;
+pub use error::{SqlError, SqlErrorKind, SqlResult};
+pub use exec::{execute_select, execute_select_with_stats, ExecStats};
+pub use parser::{parse_script, parse_select, parse_statement};
+pub use printer::{print_expr, print_select, print_stmt};
+pub use schema::{ColumnInfo, DbSchema, ForeignKey, SchemaSubset, TableInfo};
+pub use value::{NormValue, ResultSet, Row, Value};

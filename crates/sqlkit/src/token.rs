@@ -1,0 +1,345 @@
+//! SQL tokenizer.
+//!
+//! Accepts the identifier quoting styles seen in BIRD gold SQL:
+//! `` `backticks` ``, `"double quotes"`, `[brackets]`, plus single-quoted
+//! string literals with `''` escaping.
+
+use crate::error::{SqlError, SqlResult};
+
+/// A lexical token with its byte position in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare or quoted identifier (quotes stripped). The bool records
+    /// whether it was quoted (quoted identifiers are never keywords).
+    Ident(String, bool),
+    /// Single-quoted string literal (escapes resolved).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Real(f64),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=` or `==`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `||`
+    Concat,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> SqlResult<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::with_capacity(sql.len() / 4 + 4);
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SqlError::Lex {
+                            pos: start,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = read_quoted(sql, i, '\'', true)?;
+                out.push(Token { kind: TokenKind::Str(s), pos: i });
+                i = next;
+            }
+            '`' => {
+                let (s, next) = read_quoted(sql, i, '`', false)?;
+                out.push(Token { kind: TokenKind::Ident(s, true), pos: i });
+                i = next;
+            }
+            '"' => {
+                let (s, next) = read_quoted(sql, i, '"', false)?;
+                out.push(Token { kind: TokenKind::Ident(s, true), pos: i });
+                i = next;
+            }
+            '[' => {
+                let end = sql[i + 1..]
+                    .find(']')
+                    .map(|k| i + 1 + k)
+                    .ok_or_else(|| SqlError::Lex { pos: i, msg: "unterminated [identifier]".into() })?;
+                out.push(Token {
+                    kind: TokenKind::Ident(sql[i + 1..end].to_owned(), true),
+                    pos: i,
+                });
+                i = end + 1;
+            }
+            '0'..='9' => {
+                let (tok, next) = read_number(sql, i)?;
+                out.push(Token { kind: tok, pos: i });
+                i = next;
+            }
+            '.' if bytes
+                .get(i + 1)
+                .map(|b| b.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                let (tok, next) = read_number(sql, i)?;
+                out.push(Token { kind: tok, pos: i });
+                i = next;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = sql[i..].chars().next().unwrap();
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(sql[start..i].to_owned(), false),
+                    pos: start,
+                });
+            }
+            _ => {
+                let (p, len) = read_punct(bytes, i)
+                    .ok_or_else(|| SqlError::Lex { pos: i, msg: format!("unexpected character {c:?}") })?;
+                out.push(Token { kind: TokenKind::Punct(p), pos: i });
+                i += len;
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, pos: sql.len() });
+    Ok(out)
+}
+
+fn read_punct(bytes: &[u8], i: usize) -> Option<(Punct, usize)> {
+    let two = |a: u8, b: u8| bytes.get(i) == Some(&a) && bytes.get(i + 1) == Some(&b);
+    if two(b'<', b'>') {
+        return Some((Punct::Ne, 2));
+    }
+    if two(b'!', b'=') {
+        return Some((Punct::Ne, 2));
+    }
+    if two(b'<', b'=') {
+        return Some((Punct::Le, 2));
+    }
+    if two(b'>', b'=') {
+        return Some((Punct::Ge, 2));
+    }
+    if two(b'=', b'=') {
+        return Some((Punct::Eq, 2));
+    }
+    if two(b'|', b'|') {
+        return Some((Punct::Concat, 2));
+    }
+    let p = match bytes[i] {
+        b'(' => Punct::LParen,
+        b')' => Punct::RParen,
+        b',' => Punct::Comma,
+        b'.' => Punct::Dot,
+        b';' => Punct::Semi,
+        b'*' => Punct::Star,
+        b'+' => Punct::Plus,
+        b'-' => Punct::Minus,
+        b'/' => Punct::Slash,
+        b'%' => Punct::Percent,
+        b'=' => Punct::Eq,
+        b'<' => Punct::Lt,
+        b'>' => Punct::Gt,
+        _ => return None,
+    };
+    Some((p, 1))
+}
+
+fn read_quoted(sql: &str, start: usize, quote: char, doubled_escape: bool) -> SqlResult<(String, usize)> {
+    let mut s = String::new();
+    let mut chars = sql[start + 1..].char_indices().peekable();
+    while let Some((off, c)) = chars.next() {
+        if c == quote {
+            if doubled_escape || quote != '\'' {
+                // `''` inside a string (or `""`/`` `` `` inside identifiers)
+                if let Some(&(_, next)) = chars.peek() {
+                    if next == quote {
+                        chars.next();
+                        s.push(quote);
+                        continue;
+                    }
+                }
+            }
+            return Ok((s, start + 1 + off + quote.len_utf8()));
+        }
+        s.push(c);
+    }
+    Err(SqlError::Lex { pos: start, msg: format!("unterminated {quote} quote") })
+}
+
+fn read_number(sql: &str, start: usize) -> SqlResult<(TokenKind, usize)> {
+    let bytes = sql.as_bytes();
+    let mut i = start;
+    let mut is_real = false;
+    while i < bytes.len() {
+        match bytes[i] as char {
+            '0'..='9' => i += 1,
+            '.' if !is_real => {
+                is_real = true;
+                i += 1;
+            }
+            'e' | 'E' => {
+                is_real = true;
+                i += 1;
+                if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text = &sql[start..i];
+    if is_real {
+        text.parse::<f64>()
+            .map(|v| (TokenKind::Real(v), i))
+            .map_err(|e| SqlError::Lex { pos: start, msg: format!("bad real literal: {e}") })
+    } else {
+        match text.parse::<i64>() {
+            Ok(v) => Ok((TokenKind::Int(v), i)),
+            // overflow: fall back to real, as SQLite does
+            Err(_) => text
+                .parse::<f64>()
+                .map(|v| (TokenKind::Real(v), i))
+                .map_err(|e| SqlError::Lex { pos: start, msg: format!("bad literal: {e}") }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("SELECT a, b FROM t WHERE x >= 1.5");
+        assert_eq!(k[0], TokenKind::Ident("SELECT".into(), false));
+        assert!(k.contains(&TokenKind::Punct(Punct::Ge)));
+        assert!(k.contains(&TokenKind::Real(1.5)));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let k = kinds("`First Date` \"Second Col\" [Third One]");
+        assert_eq!(k[0], TokenKind::Ident("First Date".into(), true));
+        assert_eq!(k[1], TokenKind::Ident("Second Col".into(), true));
+        assert_eq!(k[2], TokenKind::Ident("Third One".into(), true));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let k = kinds("'it''s'");
+        assert_eq!(k[0], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("SELECT -- hi\n 1 /* block */ + 2");
+        assert!(k.contains(&TokenKind::Int(1)));
+        assert!(k.contains(&TokenKind::Int(2)));
+        assert_eq!(k.len(), 5); // SELECT 1 + 2 EOF
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let k = kinds("a <> b != c || d == e");
+        assert_eq!(
+            k.iter()
+                .filter(|t| matches!(t, TokenKind::Punct(Punct::Ne)))
+                .count(),
+            2
+        );
+        assert!(k.contains(&TokenKind::Punct(Punct::Concat)));
+        assert!(k.contains(&TokenKind::Punct(Punct::Eq)));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("'abc"), Err(SqlError::Lex { .. })));
+        assert!(matches!(tokenize("[abc"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("4.25")[0], TokenKind::Real(4.25));
+        assert_eq!(kinds("1e2")[0], TokenKind::Real(100.0));
+        assert_eq!(kinds(".5")[0], TokenKind::Real(0.5));
+        // i64 overflow degrades to real
+        assert!(matches!(kinds("99999999999999999999")[0], TokenKind::Real(_)));
+    }
+
+    #[test]
+    fn unicode_identifiers() {
+        let k = kinds("héllo");
+        assert_eq!(k[0], TokenKind::Ident("héllo".into(), false));
+    }
+}

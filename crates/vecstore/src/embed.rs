@@ -1,0 +1,162 @@
+//! Deterministic text embeddings via character n-gram feature hashing.
+//!
+//! This stands in for `bge-large-en-v1.5` in the paper's pipeline. The
+//! properties the pipeline relies on are preserved:
+//!
+//! - **typo/case robustness** — strings sharing most character trigrams land
+//!   close in cosine space, so `'JOHN'` retrieves `'john'` and `'jhon'`;
+//! - **compositionality** — word unigrams make phrases similar to their
+//!   constituents, which is what split retrieval exploits;
+//! - **determinism** — the same text always embeds identically, keeping
+//!   every experiment reproducible.
+
+/// Embedding dimensionality. 256 keeps HNSW fast while leaving hash
+/// collisions rare for the vocabulary sizes the benchmarks generate.
+pub const DIM: usize = 256;
+
+/// A deterministic n-gram hashing embedder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Embedder;
+
+impl Embedder {
+    /// Create an embedder.
+    pub fn new() -> Self {
+        Embedder
+    }
+
+    /// Embed a text into an L2-normalised [`DIM`]-dimensional vector.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; DIM];
+        let normalized = normalize(text);
+        // character trigrams with word-boundary padding
+        for word in normalized.split_whitespace() {
+            let padded: Vec<char> =
+                std::iter::once('\u{2}').chain(word.chars()).chain(std::iter::once('\u{3}')).collect();
+            for w in padded.windows(3) {
+                bump(&mut v, hash_chars(w, 0x9e37), 1.0);
+            }
+            // word unigram feature, weighted up so whole-word overlap
+            // dominates trigram noise
+            bump(&mut v, hash_str(word, 0x85eb), 2.0);
+        }
+        // word bigrams capture short phrases
+        let words: Vec<&str> = normalized.split_whitespace().collect();
+        for pair in words.windows(2) {
+            bump(&mut v, hash_str(&format!("{} {}", pair[0], pair[1]), 0xc2b2), 1.5);
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Cosine similarity between two embeddings (assumed normalised).
+    pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        dot(a, b)
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// In-place L2 normalisation (no-op on the zero vector).
+pub fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+fn bump(v: &mut [f32], h: u64, weight: f32) {
+    let idx = (h % DIM as u64) as usize;
+    // second-order hash decides the sign, the classic feature-hashing trick
+    let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+    v[idx] += sign * weight;
+}
+
+fn normalize(text: &str) -> String {
+    text.chars()
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { ' ' })
+        .collect()
+}
+
+/// FNV-1a over chars with a seed.
+fn hash_chars(chars: &[char], seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for c in chars {
+        let mut buf = [0u8; 4];
+        for b in c.encode_utf8(&mut buf).as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn hash_str(s: &str, seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(a: &str, b: &str) -> f32 {
+        let e = Embedder::new();
+        Embedder::cosine(&e.embed(a), &e.embed(b))
+    }
+
+    #[test]
+    fn identical_texts_have_similarity_one() {
+        assert!((sim("hello world", "hello world") - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!((sim("JOHN SMITH", "john smith") - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn typos_stay_close_unrelated_stay_far() {
+        let typo = sim("laboratory", "labratory");
+        let unrelated = sim("laboratory", "zebra quartz");
+        assert!(typo > 0.5, "typo sim = {typo}");
+        assert!(unrelated < 0.3, "unrelated sim = {unrelated}");
+        assert!(typo > unrelated + 0.3);
+    }
+
+    #[test]
+    fn phrase_overlap_ranks_above_disjoint() {
+        let related = sim("number of patients admitted", "how many patients were admitted");
+        let unrelated = sim("number of patients admitted", "average goal count per season");
+        assert!(related > unrelated, "{related} vs {unrelated}");
+    }
+
+    #[test]
+    fn embeddings_are_normalized() {
+        let e = Embedder::new();
+        let v = e.embed("some text with several words");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = Embedder::new();
+        let v = e.embed("");
+        assert!(v.iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = Embedder::new();
+        assert_eq!(e.embed("reproducible"), e.embed("reproducible"));
+    }
+}

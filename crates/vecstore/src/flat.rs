@@ -1,0 +1,76 @@
+//! Exact brute-force vector index: the recall baseline HNSW is benchmarked
+//! against.
+
+use crate::index::{Neighbor, VectorIndex};
+
+/// A flat (exact) cosine-similarity index.
+#[derive(Debug, Clone, Default)]
+pub struct FlatIndex {
+    vectors: Vec<Vec<f32>>,
+}
+
+impl FlatIndex {
+    /// New empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn add(&mut self, vector: Vec<f32>) -> usize {
+        self.vectors.push(vector);
+        self.vectors.len() - 1
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut scored: Vec<Neighbor> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(id, v)| Neighbor { id, score: crate::embed::dot(query, v) })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::Embedder;
+
+    #[test]
+    fn finds_exact_match_first() {
+        let e = Embedder::new();
+        let mut idx = FlatIndex::new();
+        let corpus = ["apple pie", "banana split", "cherry cake"];
+        for t in corpus {
+            idx.add(e.embed(t));
+        }
+        let hits = idx.search(&e.embed("banana split"), 2);
+        assert_eq!(hits[0].id, 1);
+        assert!(hits[0].score > 0.99);
+    }
+
+    #[test]
+    fn k_larger_than_corpus() {
+        let mut idx = FlatIndex::new();
+        idx.add(vec![1.0, 0.0]);
+        let hits = idx.search(&[1.0, 0.0], 10);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = FlatIndex::new();
+        assert!(idx.search(&[1.0], 3).is_empty());
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! Hierarchical Navigable Small World (HNSW) approximate nearest-neighbour
+//! index (Malkov & Yashunin, 2018), written from scratch over cosine
+//! similarity.
+//!
+//! The paper's §4.6 notes that HNSW moves retrieval off the critical path;
+//! the `retrieval` bench compares this index against [`FlatIndex`]
+//! (exact) on the value corpora the benchmarks generate.
+//!
+//! [`FlatIndex`]: crate::flat::FlatIndex
+
+use crate::embed::dot;
+use crate::index::{Neighbor, VectorIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HnswConfig {
+    /// Max links per node on upper layers (level 0 gets `2 * m`).
+    pub m: usize,
+    /// Candidate-list width during construction.
+    pub ef_construction: usize,
+    /// Candidate-list width during search (raised to `k` when `k` larger).
+    pub ef_search: usize,
+    /// RNG seed for level assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig { m: 16, ef_construction: 100, ef_search: 64, seed: 0x5eed }
+    }
+}
+
+/// An HNSW index over cosine similarity.
+#[derive(Debug, Clone)]
+pub struct Hnsw {
+    config: HnswConfig,
+    vectors: Vec<Vec<f32>>,
+    /// `neighbors[node][level]` = adjacent node ids.
+    neighbors: Vec<Vec<Vec<usize>>>,
+    entry: Option<usize>,
+    max_level: usize,
+    rng: StdRng,
+    /// 1 / ln(m): the level-sampling scale from the paper.
+    level_scale: f64,
+}
+
+/// (similarity, id) ordered so the max-heap pops the *most similar* first.
+#[derive(PartialEq)]
+struct Candidate(f32, usize);
+
+impl Eq for Candidate {}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal).then(other.1.cmp(&self.1))
+    }
+}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Default for Hnsw {
+    fn default() -> Self {
+        Self::new(HnswConfig::default())
+    }
+}
+
+impl Hnsw {
+    /// Create an empty index.
+    pub fn new(config: HnswConfig) -> Self {
+        let level_scale = 1.0 / (config.m.max(2) as f64).ln();
+        Hnsw {
+            config,
+            vectors: Vec::new(),
+            neighbors: Vec::new(),
+            entry: None,
+            max_level: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            level_scale,
+        }
+    }
+
+    fn sim(&self, a: usize, q: &[f32]) -> f32 {
+        dot(&self.vectors[a], q)
+    }
+
+    fn random_level(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        ((-u.ln()) * self.level_scale).floor() as usize
+    }
+
+    /// Greedy descent on one layer: repeatedly move to the most similar
+    /// neighbour until no improvement.
+    fn greedy_step(&self, query: &[f32], start: usize, level: usize) -> usize {
+        let mut cur = start;
+        let mut cur_sim = self.sim(cur, query);
+        loop {
+            let mut improved = false;
+            for &n in &self.neighbors[cur][level] {
+                let s = self.sim(n, query);
+                if s > cur_sim {
+                    cur = n;
+                    cur_sim = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Best-first beam search on one layer; returns up to `ef` candidates,
+    /// most similar first.
+    fn search_layer(&self, query: &[f32], entry: usize, level: usize, ef: usize) -> Vec<Neighbor> {
+        let mut visited = vec![false; self.vectors.len()];
+        visited[entry] = true;
+        let entry_sim = self.sim(entry, query);
+        // frontier: max-heap by similarity; results: min-heap (via Reverse)
+        let mut frontier = BinaryHeap::new();
+        frontier.push(Candidate(entry_sim, entry));
+        let mut results: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
+        results.push(std::cmp::Reverse(Candidate(entry_sim, entry)));
+        while let Some(Candidate(cand_sim, cand)) = frontier.pop() {
+            let worst = results.peek().map(|r| r.0 .0).unwrap_or(f32::NEG_INFINITY);
+            if results.len() >= ef && cand_sim < worst {
+                break;
+            }
+            for &n in &self.neighbors[cand][level] {
+                if visited[n] {
+                    continue;
+                }
+                visited[n] = true;
+                let s = self.sim(n, query);
+                let worst = results.peek().map(|r| r.0 .0).unwrap_or(f32::NEG_INFINITY);
+                if results.len() < ef || s > worst {
+                    frontier.push(Candidate(s, n));
+                    results.push(std::cmp::Reverse(Candidate(s, n)));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Neighbor> = results
+            .into_iter()
+            .map(|r| Neighbor { id: r.0 .1, score: r.0 .0 })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then(a.id.cmp(&b.id))
+        });
+        out
+    }
+
+    /// Keep the `m` most similar of `candidates` relative to node `id`.
+    fn prune(&self, id: usize, candidates: &[usize], m: usize) -> Vec<usize> {
+        let mut scored: Vec<(f32, usize)> = candidates
+            .iter()
+            .map(|&c| (dot(&self.vectors[id], &self.vectors[c]), c))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal).then(a.1.cmp(&b.1)));
+        scored.truncate(m);
+        scored.into_iter().map(|(_, c)| c).collect()
+    }
+}
+
+impl VectorIndex for Hnsw {
+    fn add(&mut self, vector: Vec<f32>) -> usize {
+        let id = self.vectors.len();
+        let level = self.random_level();
+        self.vectors.push(vector);
+        self.neighbors.push(vec![Vec::new(); level + 1]);
+
+        let Some(entry) = self.entry else {
+            self.entry = Some(id);
+            self.max_level = level;
+            return id;
+        };
+
+        let query = self.vectors[id].clone();
+        let mut cur = entry;
+        // descend through layers above the new node's level
+        for l in ((level + 1)..=self.max_level).rev() {
+            cur = self.greedy_step(&query, cur, l);
+        }
+        // connect on each shared layer
+        for l in (0..=level.min(self.max_level)).rev() {
+            let found = self.search_layer(&query, cur, l, self.config.ef_construction);
+            cur = found.first().map(|n| n.id).unwrap_or(cur);
+            let m_max = if l == 0 { self.config.m * 2 } else { self.config.m };
+            let chosen: Vec<usize> =
+                found.iter().take(self.config.m).map(|n| n.id).collect();
+            self.neighbors[id][l] = chosen.clone();
+            for c in chosen {
+                self.neighbors[c][l].push(id);
+                if self.neighbors[c][l].len() > m_max {
+                    let cands = self.neighbors[c][l].clone();
+                    self.neighbors[c][l] = self.prune(c, &cands, m_max);
+                }
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let Some(entry) = self.entry else {
+            return Vec::new();
+        };
+        let mut cur = entry;
+        for l in (1..=self.max_level).rev() {
+            cur = self.greedy_step(query, cur, l);
+        }
+        let ef = self.config.ef_search.max(k);
+        let mut out = self.search_layer(query, cur, 0, ef);
+        out.truncate(k);
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::Rng;
+
+    fn random_unit(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        crate::embed::l2_normalize(&mut v);
+        v
+    }
+
+    #[test]
+    fn empty_search() {
+        let idx = Hnsw::default();
+        assert!(idx.search(&[0.0; 8], 5).is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let mut idx = Hnsw::default();
+        idx.add(vec![1.0, 0.0]);
+        let hits = idx.search(&[1.0, 0.0], 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn recall_against_flat_index() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hnsw = Hnsw::default();
+        let mut flat = FlatIndex::new();
+        for _ in 0..500 {
+            let v = random_unit(&mut rng, 32);
+            hnsw.add(v.clone());
+            flat.add(v);
+        }
+        let mut recall_hits = 0usize;
+        let queries = 40;
+        let k = 10;
+        for _ in 0..queries {
+            let q = random_unit(&mut rng, 32);
+            let exact: std::collections::HashSet<usize> =
+                flat.search(&q, k).into_iter().map(|n| n.id).collect();
+            let approx = hnsw.search(&q, k);
+            recall_hits += approx.iter().filter(|n| exact.contains(&n.id)).count();
+        }
+        let recall = recall_hits as f64 / (queries * k) as f64;
+        assert!(recall > 0.9, "recall = {recall}");
+    }
+
+    #[test]
+    fn results_sorted_by_similarity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hnsw = Hnsw::default();
+        for _ in 0..100 {
+            let v = random_unit(&mut rng, 16);
+            hnsw.add(v);
+        }
+        let q = random_unit(&mut rng, 16);
+        let hits = hnsw.search(&q, 10);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn exact_duplicate_found_first() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hnsw = Hnsw::default();
+        let mut target = None;
+        for i in 0..200 {
+            let v = random_unit(&mut rng, 16);
+            if i == 77 {
+                target = Some(v.clone());
+            }
+            hnsw.add(v);
+        }
+        let hits = hnsw.search(&target.unwrap(), 1);
+        assert_eq!(hits[0].id, 77);
+    }
+}

@@ -1,0 +1,24 @@
+//! The vector-index abstraction shared by the flat and HNSW backends.
+
+/// One search hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Insertion-order id of the stored vector.
+    pub id: usize,
+    /// Cosine similarity to the query (higher is closer).
+    pub score: f32,
+}
+
+/// A cosine-similarity vector index.
+pub trait VectorIndex {
+    /// Insert a vector, returning its id (insertion order).
+    fn add(&mut self, vector: Vec<f32>) -> usize;
+    /// Return up to `k` most similar stored vectors, best first.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+    /// Number of stored vectors.
+    fn len(&self) -> usize;
+    /// Is the index empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

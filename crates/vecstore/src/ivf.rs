@@ -1,0 +1,273 @@
+//! IVF (inverted-file) approximate nearest-neighbour index.
+//!
+//! A flat k-means partition of the corpus: queries probe only the
+//! `n_probe` closest cells. Simpler than HNSW, cheaper to build, and the
+//! classical faiss-style baseline to compare it against; the `retrieval`
+//! bench pits all three backends (flat / IVF / HNSW) against each other.
+//!
+//! The index trains itself lazily: below [`IvfConfig::train_threshold`]
+//! vectors it behaves as an exact flat index, and on crossing the
+//! threshold it runs seeded k-means and switches to cell-probed search
+//! (later inserts are assigned to their nearest centroid).
+
+use crate::embed::dot;
+use crate::index::{Neighbor, VectorIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// IVF parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IvfConfig {
+    /// Corpus size at which the index trains its cells.
+    pub train_threshold: usize,
+    /// Number of cells to probe per query.
+    pub n_probe: usize,
+    /// k-means iterations at train time.
+    pub train_iters: usize,
+    /// RNG seed for centroid initialisation.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        IvfConfig { train_threshold: 256, n_probe: 8, train_iters: 8, seed: 0x1BF }
+    }
+}
+
+/// An IVF index over cosine similarity.
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    config: IvfConfig,
+    vectors: Vec<Vec<f32>>,
+    centroids: Vec<Vec<f32>>,
+    lists: Vec<Vec<usize>>,
+}
+
+impl Default for IvfIndex {
+    fn default() -> Self {
+        Self::new(IvfConfig::default())
+    }
+}
+
+impl IvfIndex {
+    /// Create an empty index.
+    pub fn new(config: IvfConfig) -> Self {
+        IvfIndex { config, vectors: Vec::new(), centroids: Vec::new(), lists: Vec::new() }
+    }
+
+    /// Is the index trained (cell-probed) yet?
+    pub fn is_trained(&self) -> bool {
+        !self.centroids.is_empty()
+    }
+
+    /// Number of cells (0 before training).
+    pub fn n_cells(&self) -> usize {
+        self.centroids.len()
+    }
+
+    fn nearest_centroid(&self, v: &[f32]) -> usize {
+        let mut best = 0usize;
+        let mut best_sim = f32::NEG_INFINITY;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let s = dot(c, v);
+            if s > best_sim {
+                best_sim = s;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn train(&mut self) {
+        let n = self.vectors.len();
+        let k = ((n as f64).sqrt() as usize).clamp(4, 64);
+        let dim = self.vectors[0].len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // init: k distinct random corpus vectors
+        let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+        let mut used = std::collections::HashSet::new();
+        while centroids.len() < k {
+            let i = rng.gen_range(0..n);
+            if used.insert(i) {
+                centroids.push(self.vectors[i].clone());
+            }
+        }
+
+        let mut assignment = vec![0usize; n];
+        for _ in 0..self.config.train_iters {
+            // assign
+            for (i, v) in self.vectors.iter().enumerate() {
+                let mut best = 0usize;
+                let mut best_sim = f32::NEG_INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let s = dot(centroid, v);
+                    if s > best_sim {
+                        best_sim = s;
+                        best = c;
+                    }
+                }
+                assignment[i] = best;
+            }
+            // update
+            let mut sums = vec![vec![0.0f32; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (i, v) in self.vectors.iter().enumerate() {
+                let a = assignment[i];
+                counts[a] += 1;
+                for (d, x) in v.iter().enumerate() {
+                    sums[a][d] += x;
+                }
+            }
+            for (c, sum) in sums.iter_mut().enumerate() {
+                if counts[c] == 0 {
+                    // reseed an empty cell from a random vector
+                    *sum = self.vectors[rng.gen_range(0..n)].clone();
+                } else {
+                    for x in sum.iter_mut() {
+                        *x /= counts[c] as f32;
+                    }
+                }
+                crate::embed::l2_normalize(sum);
+            }
+            centroids = std::mem::take(&mut sums);
+        }
+
+        // build inverted lists from the final assignment
+        let mut lists = vec![Vec::new(); k];
+        self.centroids = centroids;
+        for (i, v) in self.vectors.iter().enumerate() {
+            lists[self.nearest_centroid(v)].push(i);
+        }
+        self.lists = lists;
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn add(&mut self, vector: Vec<f32>) -> usize {
+        let id = self.vectors.len();
+        self.vectors.push(vector);
+        if self.is_trained() {
+            let cell = self.nearest_centroid(&self.vectors[id]);
+            self.lists[cell].push(id);
+        } else if self.vectors.len() >= self.config.train_threshold {
+            self.train();
+        }
+        id
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let candidates: Vec<usize> = if self.is_trained() {
+            // rank cells, probe the closest n_probe
+            let mut cells: Vec<(f32, usize)> = self
+                .centroids
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (dot(c, query), i))
+                .collect();
+            cells.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            cells
+                .iter()
+                .take(self.config.n_probe.max(1))
+                .flat_map(|(_, i)| self.lists[*i].iter().copied())
+                .collect()
+        } else {
+            (0..self.vectors.len()).collect()
+        };
+        let mut scored: Vec<Neighbor> = candidates
+            .into_iter()
+            .map(|id| Neighbor { id, score: dot(query, &self.vectors[id]) })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+
+    fn random_unit(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        crate::embed::l2_normalize(&mut v);
+        v
+    }
+
+    #[test]
+    fn untrained_is_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ivf = IvfIndex::default();
+        let mut flat = FlatIndex::new();
+        for _ in 0..100 {
+            let v = random_unit(&mut rng, 16);
+            ivf.add(v.clone());
+            flat.add(v);
+        }
+        assert!(!ivf.is_trained());
+        let q = random_unit(&mut rng, 16);
+        let a: Vec<usize> = ivf.search(&q, 5).into_iter().map(|n| n.id).collect();
+        let b: Vec<usize> = flat.search(&q, 5).into_iter().map(|n| n.id).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trains_at_threshold_and_keeps_recall() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ivf = IvfIndex::new(IvfConfig { train_threshold: 200, ..Default::default() });
+        let mut flat = FlatIndex::new();
+        for _ in 0..600 {
+            let v = random_unit(&mut rng, 32);
+            ivf.add(v.clone());
+            flat.add(v);
+        }
+        assert!(ivf.is_trained());
+        assert!(ivf.n_cells() >= 4);
+        let mut hits = 0usize;
+        let queries = 40;
+        let k = 10;
+        for _ in 0..queries {
+            let q = random_unit(&mut rng, 32);
+            let exact: std::collections::HashSet<usize> =
+                flat.search(&q, k).into_iter().map(|n| n.id).collect();
+            hits += ivf.search(&q, k).iter().filter(|n| exact.contains(&n.id)).count();
+        }
+        let recall = hits as f64 / (queries * k) as f64;
+        assert!(recall > 0.7, "IVF recall = {recall}");
+    }
+
+    #[test]
+    fn post_training_inserts_are_searchable() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ivf = IvfIndex::new(IvfConfig { train_threshold: 64, ..Default::default() });
+        for _ in 0..64 {
+            ivf.add(random_unit(&mut rng, 16));
+        }
+        assert!(ivf.is_trained());
+        let target = random_unit(&mut rng, 16);
+        let id = ivf.add(target.clone());
+        let hits = ivf.search(&target, 1);
+        assert_eq!(hits[0].id, id);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut ivf = IvfIndex::new(IvfConfig { train_threshold: 128, ..Default::default() });
+            for _ in 0..200 {
+                ivf.add(random_unit(&mut rng, 16));
+            }
+            let q = random_unit(&mut rng, 16);
+            ivf.search(&q, 8).into_iter().map(|n| n.id).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

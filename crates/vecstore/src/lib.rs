@@ -1,0 +1,29 @@
+//! # vecstore — deterministic embeddings and vector indexes
+//!
+//! The retrieval substrate of the OpenSearch-SQL reproduction, standing in
+//! for `bge-large-en-v1.5` + HNSW in the original system:
+//!
+//! - [`embed::Embedder`] — character n-gram feature-hashing embeddings
+//!   (deterministic, typo/case robust);
+//! - [`hnsw::Hnsw`] — Hierarchical Navigable Small World ANN index;
+//! - [`ivf::IvfIndex`] — inverted-file ANN index (k-means cells);
+//! - [`flat::FlatIndex`] — exact baseline;
+//! - [`mask::mask_question`] — masked-question skeletons for few-shot
+//!   retrieval (MQs).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod embed;
+pub mod flat;
+pub mod hnsw;
+pub mod index;
+pub mod ivf;
+pub mod mask;
+
+pub use embed::{Embedder, DIM};
+pub use flat::FlatIndex;
+pub use hnsw::{Hnsw, HnswConfig};
+pub use ivf::{IvfConfig, IvfIndex};
+pub use index::{Neighbor, VectorIndex};
+pub use mask::mask_question;

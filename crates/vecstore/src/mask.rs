@@ -1,0 +1,119 @@
+//! Masked Question Similarity (MQs).
+//!
+//! Following the skeleton-retrieval idea the paper cites (Guo et al. 2023,
+//! used by DAIL-SQL), question-to-question few-shot retrieval works best on
+//! *de-semanticised* questions: literals and entity mentions are replaced
+//! with placeholder tokens, so that "How many patients are from Oslo?" and
+//! "How many players are from Madrid?" share a skeleton.
+
+/// Mask a natural-language question for skeleton retrieval.
+///
+/// Replacements, in order:
+/// - single- or double-quoted spans → `<str>`
+/// - numbers (including decimals, years, percents) → `<num>`
+/// - capitalised words that are not sentence-initial → `<ent>`
+pub fn mask_question(q: &str) -> String {
+    let mut out: Vec<String> = Vec::new();
+    let mut chars = q.chars().peekable();
+    let mut word = String::new();
+    let mut in_quote: Option<char> = None;
+    let mut first_word = true;
+
+    let flush = |word: &mut String, out: &mut Vec<String>, first_word: &mut bool| {
+        if word.is_empty() {
+            return;
+        }
+        let token = classify_word(word, *first_word);
+        out.push(token);
+        *first_word = false;
+        word.clear();
+    };
+
+    while let Some(c) = chars.next() {
+        if let Some(qc) = in_quote {
+            if c == qc {
+                in_quote = None;
+                out.push("<str>".into());
+                first_word = false;
+            }
+            continue;
+        }
+        match c {
+            '\'' | '"' => {
+                // apostrophe inside a word (e.g. "patient's") is not a quote
+                let prev_alpha = !word.is_empty();
+                let next_alpha = chars.peek().map(|n| n.is_alphanumeric()).unwrap_or(false);
+                if c == '\'' && prev_alpha && next_alpha {
+                    word.push(c);
+                } else {
+                    flush(&mut word, &mut out, &mut first_word);
+                    in_quote = Some(c);
+                }
+            }
+            c if c.is_alphanumeric() || c == '.' || c == '-' || c == '%' => word.push(c),
+            _ => flush(&mut word, &mut out, &mut first_word),
+        }
+    }
+    flush(&mut word, &mut out, &mut first_word);
+    out.join(" ")
+}
+
+fn classify_word(word: &str, sentence_initial: bool) -> String {
+    let trimmed = word.trim_matches(|c: char| c == '.' || c == '-' || c == '%');
+    if trimmed.is_empty() {
+        return word.to_lowercase();
+    }
+    let numeric = trimmed.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',');
+    if numeric {
+        return "<num>".into();
+    }
+    let first = trimmed.chars().next().unwrap();
+    if first.is_uppercase() && !sentence_initial {
+        return "<ent>".into();
+    }
+    word.to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_numbers_and_entities() {
+        let m = mask_question("How many patients from Oslo were admitted after 1990?");
+        assert_eq!(m, "how many patients from <ent> were admitted after <num>");
+    }
+
+    #[test]
+    fn masks_quoted_strings() {
+        let m = mask_question("List ids where name = 'John Smith' or city = \"Berne\"");
+        assert_eq!(m, "list ids where name <str> or city <str>");
+    }
+
+    #[test]
+    fn sentence_initial_capital_is_kept() {
+        let m = mask_question("Which city has the most shops?");
+        assert!(m.starts_with("which city"));
+    }
+
+    #[test]
+    fn skeletons_of_parallel_questions_match() {
+        let a = mask_question("How many patients are from Oslo?");
+        let b = mask_question("How many players are from Madrid?");
+        // identical up to the masked noun — high lexical overlap
+        let shared =
+            a.split(' ').filter(|w| b.split(' ').any(|x| x == *w)).count();
+        assert!(shared >= 5, "a = {a}, b = {b}");
+    }
+
+    #[test]
+    fn apostrophes_inside_words_are_not_quotes() {
+        let m = mask_question("the patient's score above 3.5");
+        assert_eq!(m, "the patient's score above <num>");
+    }
+
+    #[test]
+    fn decimal_and_percent() {
+        assert_eq!(mask_question("rate above 12.5%"), "rate above <num>");
+    }
+}

@@ -1,0 +1,53 @@
+//! Ablation lab: flip pipeline modules and watch EX_G / EX_R / EX move —
+//! a miniature of the paper's Table 4 you can iterate on in seconds.
+//!
+//! ```sh
+//! cargo run --release --example ablation_lab
+//! ```
+
+use llmsim::{ModelProfile, Oracle, SimLlm};
+use opensearch_sql::{evaluate, Pipeline, PipelineConfig, Preprocessed};
+use std::sync::Arc;
+
+fn main() {
+    let mut profile = datagen::Profile::tiny();
+    profile.train = 80;
+    profile.dev = 60;
+    profile.n_databases = 3;
+    profile.n_domains = 3;
+    let benchmark = Arc::new(datagen::generate(&profile));
+    let llm = Arc::new(SimLlm::new(
+        Arc::new(Oracle::new(benchmark.clone())),
+        ModelProfile::gpt_4o(),
+        11,
+    ));
+    let pre = Arc::new(Preprocessed::run(benchmark.clone(), llm.as_ref()));
+    let dev = benchmark.dev.clone();
+
+    let full = PipelineConfig::fast(); // 3 candidates to stay quick
+    let configs = vec![
+        ("full pipeline".to_string(), full.clone()),
+        ("w/o extraction".to_string(), full.clone().without_extraction()),
+        ("w/o few-shot".to_string(), full.clone().without_gen_fewshot()),
+        ("w/o alignments".to_string(), full.clone().without_alignments()),
+        ("w/o vote".to_string(), full.clone().without_self_consistency()),
+    ];
+
+    println!("{:<18} {:>6} {:>6} {:>6}", "config", "EX_G", "EX_R", "EX");
+    for (name, config) in configs {
+        let pipeline = Pipeline::new(pre.clone(), llm.clone(), config);
+        let report = evaluate(&pipeline, &dev, 4);
+        println!(
+            "{:<18} {:>6.1} {:>6.1} {:>6.1}",
+            name, report.ex_g, report.ex_r, report.ex
+        );
+    }
+
+    // difficulty breakdown of the full pipeline (Figure 3's x-axis)
+    let pipeline = Pipeline::new(pre, llm, full);
+    let report = evaluate(&pipeline, &dev, 4);
+    println!("\nby difficulty (full pipeline):");
+    for d in datagen::Difficulty::all() {
+        println!("  {:<12} {:>5.1}", d.as_str(), report.ex_of(d));
+    }
+}

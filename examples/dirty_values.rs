@@ -1,0 +1,68 @@
+//! Dirty values: why Extraction's value retrieval and the Agent Alignment
+//! exist (paper §3.4, Listing 6).
+//!
+//! The generated databases store values in mangled forms ('OSL' for
+//! "Oslo", 'C_tier_two' for "tier two"). This example shows the retrieval
+//! index bridging question wording to stored forms, and the alignment
+//! agent repairing a hallucinated WHERE literal and a misused aggregate —
+//! the exact repairs of the paper's Listing 6.
+//!
+//! ```sh
+//! cargo run --release --example dirty_values
+//! ```
+
+use opensearch_sql::{align_candidate, CostLedger, ValueIndex};
+
+fn main() {
+    // a quirk-heavy healthcare database
+    let theme = &datagen::domain::themes()[0];
+    let db = datagen::build::build_db(
+        theme,
+        "clinic",
+        "healthcare",
+        datagen::RowScale::tiny(),
+        0.9, // almost every text column stores mangled values
+        0xD1277,
+    );
+    let values = ValueIndex::build(&db);
+    println!("indexed {} stored string values\n", values.len());
+
+    // 1. value retrieval: question wording → stored forms
+    for (table, col) in [("Patient", "City"), ("Treatment", "Status")] {
+        let stored = db.stored_values(table, col);
+        let Some(first) = stored.first() else { continue };
+        let display = db.display_form(table, col, first).unwrap_or(first);
+        let hits = values.retrieve(display, 5, 0.4);
+        println!("question says {display:?}; retrieval finds:");
+        for h in hits.iter().take(3) {
+            println!("    {}.{} = '{}' (score {:.2})", h.table, h.column, h.stored, h.score);
+        }
+    }
+    println!();
+
+    // 2. Agent Alignment repairs a wrong-case literal (Listing 6, first
+    //    example) and a mangled column name
+    let stored_city = db.stored_values("Patient", "City")[0].clone();
+    let display_city = db.display_form("Patient", "City", &stored_city).unwrap().to_owned();
+    let broken = format!(
+        "SELECT First_Date FROM Patient WHERE City = '{display_city}'"
+    );
+    let mut ledger = CostLedger::new();
+    let fixed = align_candidate(&broken, &db.database.schema, &values, None, &mut ledger);
+    println!("raw SQL:     {broken}");
+    println!("aligned SQL: {}", fixed.sql);
+    assert!(fixed.changed);
+    db.database.query(&fixed.sql).expect("aligned SQL executes");
+
+    // 3. Function + Style Alignment (Listing 6, second and third examples)
+    let broken = "SELECT Name FROM Patient ORDER BY MAX(Age)";
+    let fixed = align_candidate(broken, &db.database.schema, &values, None, &mut ledger);
+    println!("\nraw SQL:     {broken}");
+    println!("aligned SQL: {}", fixed.sql);
+
+    let broken = "SELECT Name FROM Patient WHERE Age = (SELECT MAX(Age) FROM Patient)";
+    let fixed = align_candidate(broken, &db.database.schema, &values, None, &mut ledger);
+    println!("\nraw SQL:     {broken}");
+    println!("aligned SQL: {}", fixed.sql);
+    db.database.query(&fixed.sql).expect("aligned SQL executes");
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate for the OpenSearch-SQL reproduction workspace.
+//!
+//! This package exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. Library users should
+//! depend on the individual crates (`opensearch-sql`, `sqlkit`, ...)
+//! directly.

@@ -1,0 +1,242 @@
+//! Cross-crate integration tests: the full OpenSearch-SQL pipeline over
+//! generated benchmarks, with the simulated model in the loop.
+
+use datagen::{generate, Profile};
+use llmsim::{ModelProfile, Oracle, SimLlm};
+use opensearch_sql::{evaluate, Pipeline, PipelineConfig, Preprocessed};
+use std::sync::Arc;
+
+struct Fixture {
+    benchmark: Arc<datagen::Benchmark>,
+    pre: Arc<Preprocessed>,
+    llm: Arc<SimLlm>,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut profile = Profile::tiny();
+    profile.train = 60;
+    profile.dev = 40;
+    profile.n_databases = 3;
+    profile.n_domains = 3;
+    let benchmark = Arc::new(generate(&profile));
+    let oracle = Arc::new(Oracle::new(benchmark.clone()));
+    let llm = Arc::new(SimLlm::new(oracle, ModelProfile::gpt_4o(), seed));
+    let pre = Arc::new(Preprocessed::run(benchmark.clone(), llm.as_ref()));
+    Fixture { benchmark, pre, llm }
+}
+
+impl Fixture {
+    fn pipeline(&self, config: PipelineConfig) -> Pipeline {
+        Pipeline::new(self.pre.clone(), self.llm.clone(), config)
+    }
+}
+
+#[test]
+fn whole_experiments_are_deterministic() {
+    let f = fixture(21);
+    let dev = f.benchmark.dev.clone();
+    let p1 = f.pipeline(PipelineConfig::fast());
+    let a = evaluate(&p1, &dev, 4);
+    let p2 = f.pipeline(PipelineConfig::fast());
+    let b = evaluate(&p2, &dev, 2);
+    assert_eq!(a.ex_g, b.ex_g);
+    assert_eq!(a.ex_r, b.ex_r);
+    assert_eq!(a.ex, b.ex);
+    assert_eq!(a.r_ves, b.r_ves);
+
+    // and a fully rebuilt world gives the same numbers
+    let g = fixture(21);
+    let p3 = g.pipeline(PipelineConfig::fast());
+    let c = evaluate(&p3, &g.benchmark.dev.clone(), 4);
+    assert_eq!(a.ex, c.ex);
+}
+
+#[test]
+fn stage_metrics_are_ordered_and_bounded() {
+    let f = fixture(22);
+    let dev = f.benchmark.dev.clone();
+    let report = evaluate(&f.pipeline(PipelineConfig::fast()), &dev, 4);
+    assert!(report.ex_r >= report.ex_g - 1e-9, "refinement cannot hurt candidate 0: {report:?}");
+    assert!((0.0..=100.0).contains(&report.ex));
+    // R-VES is at most 1.25x EX by construction
+    assert!(report.r_ves <= report.ex * 1.25 + 1e-9);
+}
+
+#[test]
+fn full_pipeline_beats_zero_shot() {
+    let f = fixture(23);
+    let dev = f.benchmark.dev.clone();
+    let zero = baselines::gpt4_zero_shot();
+    let zero_report = evaluate(
+        &Pipeline::new(
+            f.pre.clone(),
+            Arc::new(SimLlm::new(
+                Arc::new(Oracle::new(f.benchmark.clone())),
+                zero.profile.clone(),
+                23,
+            )),
+            zero.config.clone(),
+        ),
+        &dev,
+        4,
+    );
+    let full_report = evaluate(&f.pipeline(PipelineConfig::fast()), &dev, 4);
+    assert!(
+        full_report.ex > zero_report.ex,
+        "full pipeline ({:.1}) must beat zero-shot ({:.1})",
+        full_report.ex,
+        zero_report.ex
+    );
+}
+
+#[test]
+fn vote_never_picks_invalid_candidate_when_a_valid_one_exists() {
+    let f = fixture(24);
+    let p = f.pipeline(PipelineConfig::fast());
+    for ex in f.benchmark.dev.iter().take(15) {
+        let run = p.answer(&ex.db_id, &ex.question, &ex.evidence);
+        let any_valid = run.candidates.iter().any(|c| c.is_valid());
+        if any_valid {
+            assert!(
+                run.candidates[run.winner].is_valid(),
+                "vote must choose a valid candidate for {:?}",
+                ex.question
+            );
+        }
+    }
+}
+
+#[test]
+fn final_sql_always_parses_when_a_candidate_parsed() {
+    let f = fixture(25);
+    let p = f.pipeline(PipelineConfig::fast());
+    for ex in f.benchmark.dev.iter().take(20) {
+        let run = p.answer(&ex.db_id, &ex.question, &ex.evidence);
+        let any_parses = run
+            .candidates
+            .iter()
+            .any(|c| sqlkit::parse_select(&c.sql).is_ok());
+        if any_parses {
+            // the winner may still be unparseable only if *it* errored and
+            // nothing valid existed; when a valid candidate exists, the
+            // final SQL must execute
+            if run.candidates.iter().any(|c| c.is_valid()) {
+                let db = f.benchmark.db(&ex.db_id).unwrap();
+                db.database
+                    .query(&run.final_sql)
+                    .unwrap_or_else(|e| panic!("final SQL broken: {e}: {}", run.final_sql));
+            }
+        }
+    }
+}
+
+#[test]
+fn per_run_ledger_charges_every_active_stage() {
+    use opensearch_sql::Module;
+    let f = fixture(26);
+    let p = f.pipeline(PipelineConfig::fast());
+    let ex = &f.benchmark.dev[0];
+    let run = p.answer(&ex.db_id, &ex.question, &ex.evidence);
+    for m in [
+        Module::Extraction,
+        Module::EntityColumn,
+        Module::Generation,
+        Module::Refinement,
+        Module::SelectAlign,
+        Module::Alignments,
+        Module::Vote,
+    ] {
+        assert!(run.ledger.get(m).calls > 0, "stage {m:?} must be charged");
+    }
+    assert!(run.ledger.get(Module::Generation).tokens > 100);
+}
+
+#[test]
+fn weaker_model_profile_scores_lower() {
+    let f = fixture(27);
+    let dev = f.benchmark.dev.clone();
+    let strong = evaluate(&f.pipeline(PipelineConfig::fast()), &dev, 4);
+    let weak_llm = Arc::new(SimLlm::new(
+        Arc::new(Oracle::new(f.benchmark.clone())),
+        ModelProfile::gpt_4o_mini(),
+        27,
+    ));
+    let weak_pipeline = Pipeline::new(f.pre.clone(), weak_llm, PipelineConfig::fast());
+    let weak = evaluate(&weak_pipeline, &dev, 4);
+    assert!(
+        strong.ex > weak.ex,
+        "gpt-4o ({:.1}) must beat gpt-4o-mini ({:.1})",
+        strong.ex,
+        weak.ex
+    );
+}
+
+#[test]
+fn correction_rounds_are_bounded_by_config() {
+    let f = fixture(28);
+    let mut config = PipelineConfig::fast();
+    config.max_correction_rounds = 1;
+    let p = f.pipeline(config);
+    for ex in f.benchmark.dev.iter().take(15) {
+        let run = p.answer(&ex.db_id, &ex.question, &ex.evidence);
+        for c in &run.candidates {
+            assert!(c.correction_rounds <= 1);
+        }
+    }
+}
+
+#[test]
+fn sql_like_recovers_malformed_candidates() {
+    let f = fixture(29);
+    let ex = f
+        .benchmark
+        .dev
+        .iter()
+        .find(|e| e.spec.tables.len() >= 2)
+        .expect("multi-table example");
+    let db = f.benchmark.db(&ex.db_id).unwrap();
+    let gold = db.database.query(&ex.gold_sql).unwrap();
+
+    // a syntactically broken final SQL whose CoT still carries the logic
+    let broken_sql = ex.gold_sql.replacen(" FROM ", " FORM ", 1);
+    let sql_like = llmsim::render_sql_like(&ex.spec);
+    let raw_text = format!("#reason: x\n#SQL-like: {sql_like}\n#SQL: {broken_sql}");
+
+    let mut config = opensearch_sql::PipelineConfig::fast();
+    config.correction = false; // isolate the SQL-Like repair path
+    let mut ledger = opensearch_sql::CostLedger::new();
+    let refined = opensearch_sql::refinement::refine_candidate(
+        &f.pre,
+        f.llm.as_ref() as &dyn llmsim::LanguageModel,
+        &config,
+        &ex.db_id,
+        &ex.question,
+        &ex.evidence,
+        &opensearch_sql::ExtractionOutput::default(),
+        &broken_sql,
+        Some(&raw_text),
+        0,
+        &mut ledger,
+    );
+    let rs = refined
+        .result
+        .as_ref()
+        .unwrap_or_else(|e| panic!("recovered SQL must execute: {e}: {}", refined.sql));
+    assert!(rs.same_answer(&gold), "recovered answer must match gold: {}", refined.sql);
+
+    // without the CoT text the broken SQL stays broken
+    let unrecovered = opensearch_sql::refinement::refine_candidate(
+        &f.pre,
+        f.llm.as_ref() as &dyn llmsim::LanguageModel,
+        &config,
+        &ex.db_id,
+        &ex.question,
+        &ex.evidence,
+        &opensearch_sql::ExtractionOutput::default(),
+        &broken_sql,
+        None,
+        0,
+        &mut ledger,
+    );
+    assert!(unrecovered.result.is_err());
+}
