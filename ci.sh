@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The gate every change must pass: release build, full test suite,
+# warnings-as-errors lint. Referenced from README.md ("Install & build").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings
+echo "ci: ok"

@@ -1,0 +1,142 @@
+//! Serving-throughput benchmarks: the same batch of dev questions
+//! answered sequentially through a bare `Pipeline` versus through the
+//! `osql-runtime` worker pool at 1/2/4/8 workers.
+//!
+//! The worker pool runs cold result caches per iteration (requests are
+//! distinct questions, so nothing is memoised away); a separate benchmark
+//! measures the warm-cache path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::Profile;
+use llmsim::{ChatRequest, ChatResponse, LanguageModel, ModelProfile};
+use opensearch_sql::PipelineConfig;
+use osql_bench::World;
+use osql_runtime::{AssetCache, QueryRequest, Runtime, RuntimeConfig};
+use std::sync::Arc;
+
+/// Realizes a fraction of the model's *modelled* latency as real sleep,
+/// emulating a latency-bound chat endpoint. LLM serving throughput comes
+/// from overlapping those waits, so this is where worker scaling shows —
+/// including on single-core machines, where the CPU-bound benches can't
+/// spread out.
+struct LatencyBound {
+    inner: Arc<dyn LanguageModel>,
+    divisor: f64,
+}
+
+impl LanguageModel for LatencyBound {
+    fn complete(&self, req: &ChatRequest) -> ChatResponse {
+        let resp = self.inner.complete(req);
+        std::thread::sleep(std::time::Duration::from_secs_f64(
+            resp.latency_ms / self.divisor / 1e3,
+        ));
+        resp
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+fn batch(world: &World, n: usize) -> Vec<QueryRequest> {
+    world
+        .benchmark
+        .dev
+        .iter()
+        .cycle()
+        .take(n)
+        .map(|ex| QueryRequest::new(&ex.db_id, &ex.question, &ex.evidence))
+        .collect()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let world = World::build(&Profile::tiny());
+    let requests = batch(&world, 12);
+    let config = PipelineConfig::fast();
+
+    let mut group = c.benchmark_group("serving_throughput");
+    group.sample_size(10);
+
+    let pipeline = world.pipeline(config.clone(), ModelProfile::gpt_4o());
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for req in &requests {
+                std::hint::black_box(pipeline.answer(&req.db_id, &req.question, &req.evidence));
+            }
+        })
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        let assets = Arc::new(AssetCache::warmed_by(
+            &world.preprocessed,
+            world.model(ModelProfile::gpt_4o()),
+            config.clone(),
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("runtime", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    // fresh runtime per iteration: cold result cache, so
+                    // the pool does real pipeline work every time
+                    let rt = Runtime::start(
+                        assets.clone(),
+                        RuntimeConfig { workers, queue_capacity: 16, result_cache_capacity: 64 },
+                    );
+                    std::hint::black_box(rt.run_batch(requests.clone()));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_latency_bound(c: &mut Criterion) {
+    let world = World::build(&Profile::tiny());
+    let requests = batch(&world, 12);
+    let config = PipelineConfig::fast();
+
+    let mut group = c.benchmark_group("serving_latency_bound");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let llm = Arc::new(LatencyBound {
+            inner: world.model(ModelProfile::gpt_4o()),
+            divisor: 400.0, // ~600ms of modelled latency → ~1.5ms real wait
+        });
+        let assets = Arc::new(AssetCache::warmed_by(&world.preprocessed, llm, config.clone()));
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let rt = Runtime::start(
+                        assets.clone(),
+                        RuntimeConfig { workers, queue_capacity: 16, result_cache_capacity: 64 },
+                    );
+                    std::hint::black_box(rt.run_batch(requests.clone()));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_warm_cache(c: &mut Criterion) {
+    let world = World::build(&Profile::tiny());
+    let requests = batch(&world, 12);
+    let assets = Arc::new(AssetCache::warmed_by(
+        &world.preprocessed,
+        world.model(ModelProfile::gpt_4o()),
+        PipelineConfig::fast(),
+    ));
+    let rt = Runtime::start(assets, RuntimeConfig::with_workers(4));
+    // prime the result cache once; every benchmarked batch is then served
+    // from memory
+    rt.run_batch(requests.clone());
+    c.bench_function("serving_warm_cache", |b| {
+        b.iter(|| std::hint::black_box(rt.run_batch(requests.clone())))
+    });
+}
+
+criterion_group!(benches, bench_throughput, bench_latency_bound, bench_warm_cache);
+criterion_main!(benches);

@@ -1,41 +1,78 @@
-//! `opensearch-sql` — an interactive REPL over the pipeline.
+//! `opensearch-sql` — the pipeline as a command-line tool.
 //!
 //! ```sh
+//! # interactive REPL (default)
 //! cargo run --release -p osql-cli -- --profile tiny
+//! # serve the whole dev split through the worker-pool runtime
+//! cargo run --release -p osql-cli -- batch --profile tiny --workers 4
+//! # line-oriented serving: db_id|question[|evidence] per line
+//! cargo run --release -p osql-cli -- serve --workers 2
 //! ```
 //!
-//! Type a natural-language question to run it through the full pipeline,
-//! or use `\`-commands (`\help` lists them) to inspect the world, switch
-//! databases, and run raw SQL against the engine.
+//! The REPL answers one question at a time in-process; `batch` and
+//! `serve` route requests through `osql-runtime`'s bounded queue, worker
+//! pool, and two-level cache, and report a metrics snapshot.
 
 mod repl;
+mod serve;
 
 use repl::{Repl, ReplOutcome};
+use serve::ServeOptions;
 use std::io::{BufRead, Write};
+
+const USAGE: &str = "usage: opensearch-sql [batch|serve] [--profile tiny|mini|bird|spider] \
+                     [--scale f] [--workers n] [--queue n] [--limit n] [--rounds n]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut profile_name = "tiny".to_owned();
-    let mut scale = 1.0f64;
-    let mut i = 1;
+    let mode = match args.get(1).map(String::as_str) {
+        Some("batch") => "batch",
+        Some("serve") => "serve",
+        _ => "repl",
+    };
+    let mut opts = ServeOptions::default();
+    let mut i = if mode == "repl" { 1 } else { 2 };
     while i < args.len() {
+        let value = args.get(i + 1);
         match args[i].as_str() {
             "--profile" => {
-                if let Some(v) = args.get(i + 1) {
-                    profile_name = v.clone();
+                if let Some(v) = value {
+                    opts.profile = v.clone();
                 }
                 i += 1;
             }
             "--scale" => {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    scale = v;
+                if let Some(v) = value.and_then(|s| s.parse().ok()) {
+                    opts.scale = v;
+                }
+                i += 1;
+            }
+            "--workers" => {
+                if let Some(v) = value.and_then(|s| s.parse().ok()) {
+                    opts.workers = v;
+                }
+                i += 1;
+            }
+            "--queue" => {
+                if let Some(v) = value.and_then(|s| s.parse().ok()) {
+                    opts.queue = v;
+                }
+                i += 1;
+            }
+            "--limit" => {
+                if let Some(v) = value.and_then(|s| s.parse().ok()) {
+                    opts.limit = v;
+                }
+                i += 1;
+            }
+            "--rounds" => {
+                if let Some(v) = value.and_then(|s| s.parse().ok()) {
+                    opts.rounds = v;
                 }
                 i += 1;
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: opensearch-sql [--profile tiny|mini|bird|spider] [--scale f]"
-                );
+                println!("{USAGE}");
                 return;
             }
             _ => {}
@@ -43,25 +80,60 @@ fn main() {
         i += 1;
     }
 
-    eprintln!("building {profile_name} world (scale {scale}) ...");
-    let mut repl = Repl::build(&profile_name, scale);
-    println!("{}", repl.banner());
-
-    let stdin = std::io::stdin();
-    let mut stdout = std::io::stdout();
-    loop {
-        print!("osql> ");
-        let _ = stdout.flush();
-        let mut line = String::new();
-        match stdin.lock().read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(_) => break,
+    match mode {
+        "batch" => {
+            eprintln!(
+                "building {} world (scale {}), serving dev split over {} worker(s) ...",
+                opts.profile, opts.scale, opts.workers
+            );
+            print!("{}", serve::run_batch(&opts));
         }
-        match repl.handle(line.trim()) {
-            ReplOutcome::Quit => break,
-            ReplOutcome::Text(out) => println!("{out}"),
-            ReplOutcome::Empty => {}
+        "serve" => {
+            eprintln!("building {} world (scale {}) ...", opts.profile, opts.scale);
+            let (benchmark, rt) = serve::start_runtime(&opts);
+            println!(
+                "serving {} database(s) over {} worker(s); db_id|question[|evidence] per line",
+                benchmark.dbs.len(),
+                opts.workers
+            );
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            loop {
+                print!("osql-serve> ");
+                let _ = stdout.flush();
+                let mut line = String::new();
+                match stdin.lock().read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                match serve::handle_serve_line(&benchmark, &rt, &line) {
+                    Some(out) if out.is_empty() => {}
+                    Some(out) => println!("{out}"),
+                    None => break,
+                }
+            }
+            print!("{}", rt.metrics().render());
+        }
+        _ => {
+            eprintln!("building {} world (scale {}) ...", opts.profile, opts.scale);
+            let mut repl = Repl::build(&opts.profile, opts.scale);
+            println!("{}", repl.banner());
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            loop {
+                print!("osql> ");
+                let _ = stdout.flush();
+                let mut line = String::new();
+                match stdin.lock().read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                match repl.handle(line.trim()) {
+                    ReplOutcome::Quit => break,
+                    ReplOutcome::Text(out) => println!("{out}"),
+                    ReplOutcome::Empty => {}
+                }
+            }
         }
     }
 }

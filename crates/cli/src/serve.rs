@@ -1,0 +1,198 @@
+//! Runtime-backed CLI modes: `batch` (serve a whole dev split through the
+//! worker pool and report throughput + metrics) and `serve` (answer
+//! piped/typed requests until EOF). Logic lives here, separated from
+//! `main`, so it is unit-testable without a terminal.
+
+use datagen::Profile;
+use llmsim::{ModelProfile, Oracle, SimLlm};
+use opensearch_sql::PipelineConfig;
+use osql_runtime::{AssetCache, QueryRequest, Runtime, RuntimeConfig, ServeError, Throughput};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Options shared by the runtime-backed modes.
+pub struct ServeOptions {
+    /// World profile name (tiny/mini/bird/spider).
+    pub profile: String,
+    /// World scale factor.
+    pub scale: f64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Request-queue capacity.
+    pub queue: usize,
+    /// Max dev questions in batch mode (0 = all).
+    pub limit: usize,
+    /// How many times to serve the batch (> 1 exercises the result
+    /// cache).
+    pub rounds: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            profile: "tiny".to_owned(),
+            scale: 1.0,
+            workers: 4,
+            queue: 64,
+            limit: 0,
+            rounds: 1,
+        }
+    }
+}
+
+fn profile_for(name: &str, scale: f64) -> Profile {
+    match name {
+        "bird" => Profile::bird().scaled(scale),
+        "spider" => Profile::spider().scaled(scale),
+        "mini" => Profile::bird_mini_dev().scaled(scale),
+        _ => Profile::tiny(),
+    }
+}
+
+/// Build the world and start a runtime over it.
+pub fn start_runtime(opts: &ServeOptions) -> (Arc<datagen::Benchmark>, Runtime) {
+    let benchmark = Arc::new(datagen::generate(&profile_for(&opts.profile, opts.scale)));
+    let llm = Arc::new(SimLlm::new(
+        Arc::new(Oracle::new(benchmark.clone())),
+        ModelProfile::gpt_4o(),
+        0x11EA,
+    ));
+    let assets = Arc::new(AssetCache::new(benchmark.clone(), llm, PipelineConfig::fast()));
+    let config = RuntimeConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        result_cache_capacity: 1024,
+    };
+    (benchmark, Runtime::start(assets, config))
+}
+
+/// Run batch mode and render its report.
+pub fn run_batch(opts: &ServeOptions) -> String {
+    let (benchmark, rt) = start_runtime(opts);
+    let limit = if opts.limit == 0 { benchmark.dev.len() } else { opts.limit };
+    let requests: Vec<QueryRequest> = benchmark
+        .dev
+        .iter()
+        .take(limit)
+        .map(|ex| QueryRequest::new(&ex.db_id, &ex.question, &ex.evidence))
+        .collect();
+
+    let clock = Throughput::start();
+    let mut errors = 0usize;
+    let mut cache_served = 0usize;
+    for _ in 0..opts.rounds.max(1) {
+        for outcome in rt.run_batch(requests.clone()) {
+            clock.served();
+            match outcome {
+                Ok(resp) if resp.from_cache => cache_served += 1,
+                Ok(_) => {}
+                Err(_) => errors += 1,
+            }
+        }
+    }
+    let (served, secs, rps) = clock.snapshot();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "batch: {} request(s) over {} worker(s) in {:.2}s — {:.1} q/s",
+        served, opts.workers, secs, rps
+    );
+    let _ = writeln!(
+        out,
+        "cache: {} result hit(s), {} miss(es); {} of {} served from cache; \
+         {} database(s) preprocessed lazily",
+        rt.results().hits(),
+        rt.results().misses(),
+        cache_served,
+        served,
+        rt.assets().len(),
+    );
+    if errors > 0 {
+        let _ = writeln!(out, "errors: {errors}");
+    }
+    out.push_str(&rt.metrics().render());
+    out
+}
+
+/// Handle one `serve`-mode input line. Requests are
+/// `db_id|question[|evidence]`; `\metrics` dumps a snapshot, `\dbs`
+/// lists databases. Returns `None` on `\quit`.
+pub fn handle_serve_line(
+    benchmark: &datagen::Benchmark,
+    rt: &Runtime,
+    line: &str,
+) -> Option<String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Some(String::new());
+    }
+    match line {
+        "\\quit" | "\\q" => return None,
+        "\\metrics" => return Some(rt.metrics().render()),
+        "\\dbs" => {
+            return Some(
+                benchmark.dbs.iter().map(|db| db.id.as_str()).collect::<Vec<_>>().join("\n"),
+            )
+        }
+        _ => {}
+    }
+    let mut parts = line.splitn(3, '|');
+    let (db_id, question) = match (parts.next(), parts.next()) {
+        (Some(db), Some(q)) if !q.trim().is_empty() => (db.trim(), q.trim()),
+        _ => return Some("usage: db_id|question[|evidence]  (\\metrics, \\dbs, \\quit)".into()),
+    };
+    let evidence = parts.next().unwrap_or("").trim();
+    let ticket = match rt.submit(QueryRequest::new(db_id, question, evidence)) {
+        Ok(t) => t,
+        Err(e) => return Some(format!("error: {e}")),
+    };
+    Some(match ticket.wait() {
+        Ok(resp) => {
+            let marker = if resp.from_cache { " [cached]" } else { "" };
+            format!("SQL: {}{marker}", resp.run.final_sql)
+        }
+        Err(ServeError::UnknownDb(id)) => format!("error: unknown database {id}"),
+        Err(e) => format!("error: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> ServeOptions {
+        ServeOptions { limit: 4, workers: 2, ..ServeOptions::default() }
+    }
+
+    #[test]
+    fn batch_mode_reports_throughput_and_metrics() {
+        let report = run_batch(&opts());
+        assert!(report.contains("4 request(s)"), "{report}");
+        assert!(report.contains("q/s"), "{report}");
+        assert!(report.contains("requests_total 4"), "{report}");
+        assert!(report.contains("queue_wait_ms"), "{report}");
+    }
+
+    #[test]
+    fn repeated_rounds_hit_the_result_cache() {
+        let report = run_batch(&ServeOptions { rounds: 3, ..opts() });
+        assert!(report.contains("12 request(s)"), "{report}");
+        assert!(report.contains("8 of 12 served from cache"), "{report}");
+    }
+
+    #[test]
+    fn serve_lines_answer_and_report() {
+        let (benchmark, rt) = start_runtime(&opts());
+        let ex = &benchmark.dev[0];
+        let line = format!("{}|{}|{}", ex.db_id, ex.question, ex.evidence);
+        let out = handle_serve_line(&benchmark, &rt, &line).unwrap();
+        assert!(out.starts_with("SQL: SELECT"), "{out}");
+        let again = handle_serve_line(&benchmark, &rt, &line).unwrap();
+        assert!(again.contains("[cached]"), "{again}");
+        assert!(handle_serve_line(&benchmark, &rt, "ghost|q").unwrap().contains("unknown"));
+        assert!(handle_serve_line(&benchmark, &rt, "garbage").unwrap().contains("usage"));
+        assert!(handle_serve_line(&benchmark, &rt, "\\metrics").unwrap().contains("counters"));
+        assert!(handle_serve_line(&benchmark, &rt, "\\quit").is_none());
+    }
+}

@@ -401,7 +401,23 @@ mod tests {
         let lab: Vec<String> =
             fx.values.values_of("Laboratory", "Status").iter().map(|s| s.to_string()).collect();
         let treat = fx.values.values_of("Treatment", "Status");
-        let only_treat = treat.iter().find(|v| !lab.contains(&v.to_string()));
+        // the value must not be repairable *within* Laboratory.Status either:
+        // agent alignment prefers an in-column normalised/prefix match over
+        // re-qualification, so a case- or prefix-variant would be rewritten
+        // in place rather than moved to T3
+        let norm = |s: &str| -> String {
+            s.chars().filter(|c| c.is_alphanumeric()).map(|c| c.to_ascii_lowercase()).collect()
+        };
+        let only_treat = treat.iter().find(|v| {
+            let vn = norm(v);
+            !lab.iter().any(|l| {
+                let ln = norm(l);
+                ln == vn
+                    || (ln.len() >= 3
+                        && vn.len() >= 3
+                        && (ln.starts_with(&vn) || vn.starts_with(&ln)))
+            })
+        });
         let Some(v) = only_treat else { return };
         let sql = format!(
             "SELECT T1.Name FROM Patient AS T1 INNER JOIN Laboratory AS T2 ON T1.PatientID = T2.PatientID \

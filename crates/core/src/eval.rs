@@ -3,9 +3,9 @@
 //! (`EX_G`, `EX_R`, `EX`) the paper's ablations report.
 
 use crate::cost::CostLedger;
-use crate::pipeline::Pipeline;
+use crate::pipeline::{Pipeline, PipelineRun};
 use crate::refinement::execute;
-use datagen::{Difficulty, Example};
+use datagen::{Benchmark, Difficulty, Example};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -56,8 +56,37 @@ pub fn ves_reward(time_ratio: f64) -> f64 {
     }
 }
 
+/// Anything that can answer a question against a database: the in-process
+/// [`Pipeline`], or a serving layer (e.g. a worker-pool runtime) standing
+/// in front of one. Evaluation is written against this trait so the same
+/// scorer covers both paths.
+pub trait Answerer: Sync {
+    /// Answer one natural-language question.
+    fn answer(&self, db_id: &str, question: &str, evidence: &str) -> PipelineRun;
+}
+
+impl Answerer for Pipeline {
+    fn answer(&self, db_id: &str, question: &str, evidence: &str) -> PipelineRun {
+        Pipeline::answer(self, db_id, question, evidence)
+    }
+}
+
 /// Evaluate a pipeline over examples, spreading work across `threads`.
 pub fn evaluate(pipeline: &Pipeline, examples: &[Example], threads: usize) -> EvalReport {
+    evaluate_with(pipeline, &pipeline.preprocessed().benchmark, examples, threads)
+}
+
+/// Evaluate any [`Answerer`] over examples against a benchmark, spreading
+/// work across `threads` caller-side submitter threads. All non-ledger
+/// report fields are independent of `threads`: per-example scores don't
+/// interact, integer tallies merge exactly, and the R-VES rewards are
+/// multiples of 0.25 so their `f64` sum is order-insensitive.
+pub fn evaluate_with<A: Answerer + ?Sized>(
+    answerer: &A,
+    benchmark: &Benchmark,
+    examples: &[Example],
+    threads: usize,
+) -> EvalReport {
     let acc = Mutex::new(Accumulator::default());
     let threads = threads.max(1);
     let chunk = examples.len().div_ceil(threads).max(1);
@@ -67,7 +96,7 @@ pub fn evaluate(pipeline: &Pipeline, examples: &[Example], threads: usize) -> Ev
             scope.spawn(move || {
                 let mut local = Accumulator::default();
                 for ex in part {
-                    score_example(pipeline, ex, &mut local);
+                    score_example(answerer, benchmark, ex, &mut local);
                 }
                 acc.lock().expect("accumulator lock").merge(local);
             });
@@ -116,15 +145,20 @@ impl Accumulator {
     }
 }
 
-fn score_example(pipeline: &Pipeline, ex: &Example, acc: &mut Accumulator) {
-    let Some(db) = pipeline.preprocessed().db(&ex.db_id) else {
+fn score_example<A: Answerer + ?Sized>(
+    answerer: &A,
+    benchmark: &Benchmark,
+    ex: &Example,
+    acc: &mut Accumulator,
+) {
+    let Some(db) = benchmark.db(&ex.db_id) else {
         return;
     };
     let (gold, gold_cost, _) = execute(&db.database, &ex.gold_sql);
     let Ok(gold) = gold else {
         return; // generated benchmarks guarantee this never happens
     };
-    let run = pipeline.answer(&ex.db_id, &ex.question, &ex.evidence);
+    let run = answerer.answer(&ex.db_id, &ex.question, &ex.evidence);
 
     let is_correct = |sql: &str| -> (bool, u64) {
         match execute(&db.database, sql) {

@@ -51,7 +51,7 @@ pub mod sqllike;
 pub use alignment::{align_candidate, Aligned};
 pub use config::{CotMode, FewshotMode, PipelineConfig};
 pub use cost::{CostLedger, Module, ModuleCost};
-pub use eval::{evaluate, ves_reward, EvalReport};
+pub use eval::{evaluate, evaluate_with, ves_reward, Answerer, EvalReport};
 pub use extraction::ExtractionOutput;
 pub use fewshot::FewshotLibrary;
 pub use pipeline::{Pipeline, PipelineRun};

@@ -68,8 +68,9 @@ pub fn count_tokens(text: &str) -> usize {
             }
         }
     }
-    // long words split into multiple BPE pieces; approximate by charge per
-    // 6 characters
+    // long words split into multiple BPE pieces; approximate with one extra
+    // token per 24 bytes of text (word/punctuation counting above already
+    // covers the common short pieces, so this surcharge stays small)
     tokens + text.len() / 24
 }
 
@@ -96,6 +97,17 @@ mod tests {
     fn punctuation_counts() {
         assert!(count_tokens("a,b.c") >= 5);
         assert_eq!(count_tokens(""), 0);
+    }
+
+    #[test]
+    fn token_counts_are_pinned() {
+        // pins the exact formula (words + punctuation runs + len/24
+        // surcharge) so accidental tokenizer changes show up in review
+        assert_eq!(count_tokens("SELECT 1"), 2);
+        assert_eq!(count_tokens("a,b.c"), 5);
+        assert_eq!(count_tokens("SELECT name FROM t WHERE id = 3"), 8 + 31 / 24);
+        // 25 chars of one word: 1 word token + 1 length surcharge token
+        assert_eq!(count_tokens(&"x".repeat(25)), 2);
     }
 
     #[test]

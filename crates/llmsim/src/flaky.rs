@@ -1,0 +1,254 @@
+//! Seeded fault injection for language-model calls.
+//!
+//! Real chat APIs fail: connections reset, rate limits trip, and the odd
+//! request crawls. The serving runtime's retry/timeout middleware has to
+//! be exercised against those behaviours *deterministically*, so
+//! [`FlakyLlm`] wraps any [`LanguageModel`] and injects failures whose
+//! occurrence is a pure function of `(decorator seed, prompt, seed_tag)`.
+//! Because the retry layer varies `seed_tag` per attempt, a request that
+//! fails on attempt 0 can deterministically succeed on attempt 1 — the
+//! whole recover-under-retry story replays bit-for-bit from one seed.
+
+use crate::chat::{ChatRequest, ChatResponse, LanguageModel};
+
+/// The kind of injected (or simulated-upstream) failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Connection dropped mid-flight; no usable body came back.
+    Transport,
+    /// The endpoint shed load; identical to transport for callers except
+    /// in reporting.
+    RateLimit,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Transport => f.write_str("transport"),
+            FaultKind::RateLimit => f.write_str("rate-limit"),
+        }
+    }
+}
+
+/// A failed completion attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlmFailure {
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Modelled milliseconds burned before the failure surfaced (the
+    /// caller's latency accounting should still charge for them).
+    pub latency_ms: f64,
+}
+
+impl std::fmt::Display for LlmFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "llm {} failure after {:.0}ms", self.kind, self.latency_ms)
+    }
+}
+
+impl std::error::Error for LlmFailure {}
+
+/// A language model whose completions can fail.
+///
+/// Every infallible [`LanguageModel`] is trivially fallible (it never
+/// errors), so middleware is written against this trait and accepts
+/// plain models and [`FlakyLlm`]-wrapped ones alike.
+pub trait FallibleLanguageModel: Send + Sync {
+    /// Attempt one completion.
+    fn try_complete(&self, req: &ChatRequest) -> Result<ChatResponse, LlmFailure>;
+    /// Model name (for reports).
+    fn fallible_name(&self) -> &str;
+}
+
+impl<M: LanguageModel + ?Sized> FallibleLanguageModel for M {
+    fn try_complete(&self, req: &ChatRequest) -> Result<ChatResponse, LlmFailure> {
+        Ok(self.complete(req))
+    }
+
+    fn fallible_name(&self) -> &str {
+        self.name()
+    }
+}
+
+/// Decorator injecting seeded faults and latency spikes into an inner
+/// model. Failure decisions depend only on the decorator seed, the
+/// request prompt, and the request `seed_tag` — never on wall-clock or
+/// call order — so runs replay exactly.
+pub struct FlakyLlm<M> {
+    inner: M,
+    seed: u64,
+    /// Probability of a hard failure, in 1/1000 units.
+    fail_per_mille: u32,
+    /// Probability of a latency spike (successful but slow), in 1/1000.
+    spike_per_mille: u32,
+    /// Multiplier applied to `latency_ms` on spiked responses.
+    spike_factor: f64,
+    name: String,
+}
+
+/// Modelled milliseconds burned by a failed attempt (connection setup +
+/// server-side time before the error came back).
+const FAULT_LATENCY_MS: f64 = 260.0;
+
+impl<M: LanguageModel> FlakyLlm<M> {
+    /// Wrap `inner`, drawing all fault decisions from `seed`.
+    /// `fail_per_mille` of attempts error out; `spike_per_mille` succeed
+    /// with 10x latency (enough to trip any sane timeout).
+    pub fn new(inner: M, seed: u64, fail_per_mille: u32, spike_per_mille: u32) -> Self {
+        assert!(
+            fail_per_mille + spike_per_mille <= 1000,
+            "fault rates exceed 1000 per mille"
+        );
+        let name = format!("flaky({})", inner.name());
+        FlakyLlm { inner, seed, fail_per_mille, spike_per_mille, spike_factor: 10.0, name }
+    }
+
+    /// Override the latency multiplier used for spiked responses.
+    pub fn with_spike_factor(mut self, factor: f64) -> Self {
+        self.spike_factor = factor;
+        self
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The fault roll for a request: a value in `0..1000` that is a pure
+    /// function of `(seed, prompt, seed_tag)`.
+    fn roll(&self, req: &ChatRequest) -> u32 {
+        let mut h = 0xcbf29ce484222325u64 ^ self.seed;
+        for b in req.prompt.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= req.seed_tag.wrapping_mul(0x9e3779b97f4a7c15);
+        // finalize so low bits depend on the whole state
+        h = (h ^ (h >> 33)).wrapping_mul(0xff51afd7ed558ccd);
+        h ^= h >> 33;
+        (h % 1000) as u32
+    }
+
+    fn fault_kind(&self, roll: u32) -> FaultKind {
+        // deterministic split between the two kinds
+        if roll.is_multiple_of(2) {
+            FaultKind::Transport
+        } else {
+            FaultKind::RateLimit
+        }
+    }
+}
+
+impl<M: LanguageModel> FallibleLanguageModel for FlakyLlm<M> {
+    fn try_complete(&self, req: &ChatRequest) -> Result<ChatResponse, LlmFailure> {
+        let roll = self.roll(req);
+        if roll < self.fail_per_mille {
+            return Err(LlmFailure { kind: self.fault_kind(roll), latency_ms: FAULT_LATENCY_MS });
+        }
+        let mut resp = self.inner.complete(req);
+        if roll < self.fail_per_mille + self.spike_per_mille {
+            resp.latency_ms *= self.spike_factor;
+        }
+        Ok(resp)
+    }
+
+    fn fallible_name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EchoLlm;
+
+    impl LanguageModel for EchoLlm {
+        fn complete(&self, req: &ChatRequest) -> ChatResponse {
+            ChatResponse {
+                texts: vec![req.prompt.clone(); req.n],
+                prompt_tokens: 3,
+                completion_tokens: 3,
+                latency_ms: 100.0,
+            }
+        }
+
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    fn req(prompt: &str, seed_tag: u64) -> ChatRequest {
+        ChatRequest { prompt: prompt.into(), temperature: 0.0, n: 1, seed_tag }
+    }
+
+    #[test]
+    fn plain_models_are_trivially_fallible() {
+        let m = EchoLlm;
+        let r = m.try_complete(&req("hi", 0)).unwrap();
+        assert_eq!(r.texts, vec!["hi".to_string()]);
+        assert_eq!(m.fallible_name(), "echo");
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_request() {
+        let flaky = FlakyLlm::new(EchoLlm, 42, 300, 100);
+        for i in 0..50u64 {
+            let r = req(&format!("q{i}"), i);
+            let a = flaky.try_complete(&r);
+            let b = flaky.try_complete(&r);
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x.latency_ms, y.latency_ms),
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                _ => panic!("outcome flipped between identical calls"),
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rate_tracks_configuration() {
+        let flaky = FlakyLlm::new(EchoLlm, 7, 250, 0);
+        let total = 400u64;
+        let failures = (0..total)
+            .filter(|i| flaky.try_complete(&req(&format!("question {i}"), 0)).is_err())
+            .count();
+        let rate = failures as f64 / total as f64;
+        assert!((0.15..0.35).contains(&rate), "rate {rate} far from 0.25");
+    }
+
+    #[test]
+    fn seed_tag_variation_recovers_failures() {
+        // a retrying caller bumps seed_tag per attempt; every failure we
+        // can find must clear within a few bumps at a 20% fault rate
+        let flaky = FlakyLlm::new(EchoLlm, 3, 200, 0);
+        let mut saw_failure = false;
+        for i in 0..100u64 {
+            let prompt = format!("flaky question {i}");
+            if flaky.try_complete(&req(&prompt, 0)).is_err() {
+                saw_failure = true;
+                let recovered =
+                    (1..6u64).any(|tag| flaky.try_complete(&req(&prompt, tag)).is_ok());
+                assert!(recovered, "no recovery within 5 retries for {prompt:?}");
+            }
+        }
+        assert!(saw_failure, "fault rate 20% produced no failures in 100 requests");
+    }
+
+    #[test]
+    fn spikes_multiply_latency_without_failing() {
+        let flaky = FlakyLlm::new(EchoLlm, 11, 0, 1000).with_spike_factor(10.0);
+        let r = flaky.try_complete(&req("slow one", 0)).unwrap();
+        assert_eq!(r.latency_ms, 1000.0);
+        assert_eq!(r.texts, vec!["slow one".to_string()]);
+    }
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let flaky = FlakyLlm::new(EchoLlm, 99, 0, 0);
+        for i in 0..50u64 {
+            let r = flaky.try_complete(&req(&format!("q{i}"), i)).unwrap();
+            assert_eq!(r.latency_ms, 100.0);
+        }
+        assert_eq!(flaky.fallible_name(), "flaky(echo)");
+    }
+}

@@ -1,0 +1,454 @@
+//! The runtime's two-level cache.
+//!
+//! **Level 1** ([`AssetCache`]) holds per-database preprocessed assets:
+//! on the first request touching a database it runs the per-db half of
+//! preprocessing ([`Preprocessed::for_db`]) and caches an assembled
+//! [`Pipeline`]; the expensive self-taught few-shot library is built once
+//! and shared across all entries. **Level 2** ([`LruCache`]) memoises
+//! finished [`PipelineRun`]s keyed by
+//! `(db_id, normalized question+evidence, config fingerprint)`, so a
+//! repeated question is served without touching the pipeline at all.
+//! Both levels keep hit/miss counts.
+
+use llmsim::LanguageModel;
+use opensearch_sql::{FewshotLibrary, Pipeline, PipelineConfig, PipelineRun, Preprocessed};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Canonicalize a question for cache keying: lowercase, whitespace runs
+/// collapsed to single spaces, outer whitespace trimmed.
+pub fn normalize_question(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut pending_space = false;
+    for c in text.chars() {
+        if c.is_whitespace() {
+            pending_space = !out.is_empty();
+        } else {
+            if pending_space {
+                out.push(' ');
+                pending_space = false;
+            }
+            out.extend(c.to_lowercase());
+        }
+    }
+    out
+}
+
+/// A 64-bit FNV-1a fingerprint of the pipeline configuration, so results
+/// cached under one configuration are never served under another.
+pub fn config_fingerprint(config: &PipelineConfig) -> u64 {
+    let rendered = format!("{config:?}");
+    let mut h = 0xcbf29ce484222325u64;
+    for b in rendered.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Result-cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// Target database.
+    pub db_id: String,
+    /// Normalized question text, with the evidence folded in (evidence
+    /// changes the prompt, so it must key the cache too).
+    pub question: String,
+    /// Fingerprint of the pipeline configuration.
+    pub fingerprint: u64,
+}
+
+impl ResultKey {
+    /// Build the key for one request under one configuration fingerprint.
+    pub fn new(db_id: &str, question: &str, evidence: &str, fingerprint: u64) -> Self {
+        let question = if evidence.trim().is_empty() {
+            normalize_question(question)
+        } else {
+            format!("{}\u{1f}{}", normalize_question(question), normalize_question(evidence))
+        };
+        ResultKey { db_id: db_id.to_owned(), question, fingerprint }
+    }
+}
+
+// ---- level 2: LRU result cache ----------------------------------------
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+struct LruInner<K, V> {
+    nodes: Vec<Option<Node<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    map: HashMap<K, usize>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruInner<K, V> {
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = {
+            let n = self.nodes[idx].as_ref().expect("live node");
+            (n.prev, n.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].as_mut().expect("live node").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].as_mut().expect("live node").prev = prev,
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let n = self.nodes[idx].as_mut().expect("live node");
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head].as_mut().expect("live node").prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+/// A fixed-capacity least-recently-used cache (slab-backed doubly linked
+/// list + hash index) with hit/miss accounting. All operations are O(1).
+pub struct LruCache<K, V> {
+    inner: Mutex<LruInner<K, V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruCache {
+            inner: Mutex::new(LruInner {
+                nodes: Vec::with_capacity(capacity),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                map: HashMap::with_capacity(capacity),
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a key, marking it most recently used on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(key).copied() {
+            Some(idx) => {
+                inner.detach(idx);
+                inner.attach_front(idx);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(inner.nodes[idx].as_ref().expect("live node").value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a key, evicting the least recently used entry
+    /// when at capacity.
+    pub fn insert(&self, key: K, value: V) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(idx) = inner.map.get(&key).copied() {
+            inner.nodes[idx].as_mut().expect("live node").value = value;
+            inner.detach(idx);
+            inner.attach_front(idx);
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            let tail = inner.tail;
+            inner.detach(tail);
+            let node = inner.nodes[tail].take().expect("live node");
+            inner.map.remove(&node.key);
+            inner.free.push(tail);
+        }
+        let node = Node { key: key.clone(), value, prev: NIL, next: NIL };
+        let idx = match inner.free.pop() {
+            Some(slot) => {
+                inner.nodes[slot] = Some(node);
+                slot
+            }
+            None => {
+                inner.nodes.push(Some(node));
+                inner.nodes.len() - 1
+            }
+        };
+        inner.map.insert(key, idx);
+        inner.attach_front(idx);
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// The level-2 cache type used by the runtime.
+pub type ResultCache = LruCache<ResultKey, Arc<PipelineRun>>;
+
+// ---- level 1: per-database asset cache --------------------------------
+
+/// Lazily preprocessed per-database pipelines over one benchmark.
+///
+/// Construction builds only the benchmark-global asset (the self-taught
+/// few-shot library, one pass of LLM calls over the train split); each
+/// database's value/column indexes are built on the first request that
+/// touches it and cached forever — the set of databases is fixed per
+/// benchmark, so there is no eviction at this level.
+pub struct AssetCache {
+    benchmark: Arc<datagen::Benchmark>,
+    llm: Arc<dyn LanguageModel>,
+    fewshot: Arc<FewshotLibrary>,
+    build_tokens: u64,
+    config: PipelineConfig,
+    pipelines: Mutex<HashMap<String, Arc<Pipeline>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AssetCache {
+    /// Build the benchmark-global assets now; per-database assets stay
+    /// lazy.
+    pub fn new(
+        benchmark: Arc<datagen::Benchmark>,
+        llm: Arc<dyn LanguageModel>,
+        config: PipelineConfig,
+    ) -> Self {
+        let (fewshot, build_tokens) = FewshotLibrary::build(llm.as_ref(), &benchmark.train);
+        AssetCache {
+            benchmark,
+            llm,
+            fewshot: Arc::new(fewshot),
+            build_tokens,
+            config,
+            pipelines: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Reuse the few-shot library of an existing eager [`Preprocessed`]
+    /// (e.g. one already built for sequential evaluation) instead of
+    /// rebuilding it.
+    pub fn warmed_by(
+        pre: &Preprocessed,
+        llm: Arc<dyn LanguageModel>,
+        config: PipelineConfig,
+    ) -> Self {
+        AssetCache {
+            benchmark: pre.benchmark.clone(),
+            llm,
+            fewshot: pre.fewshot.clone(),
+            build_tokens: pre.build_tokens,
+            config,
+            pipelines: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The benchmark served.
+    pub fn benchmark(&self) -> &Arc<datagen::Benchmark> {
+        &self.benchmark
+    }
+
+    /// The configuration every cached pipeline runs under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// LLM tokens spent building the shared few-shot library.
+    pub fn build_tokens(&self) -> u64 {
+        self.build_tokens
+    }
+
+    /// The pipeline for one database, preprocessing it on first touch.
+    /// `None` for ids the benchmark doesn't contain.
+    pub fn pipeline(&self, db_id: &str) -> Option<Arc<Pipeline>> {
+        let mut pipelines = self.pipelines.lock().expect("asset cache lock");
+        if let Some(p) = pipelines.get(db_id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(p.clone());
+        }
+        // build under the lock: simpler, and a one-time cost per database
+        let pre = Preprocessed::for_db(
+            self.benchmark.clone(),
+            db_id,
+            self.fewshot.clone(),
+            self.build_tokens,
+        )?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let p = Arc::new(Pipeline::new(Arc::new(pre), self.llm.clone(), self.config.clone()));
+        pipelines.insert(db_id.to_owned(), p.clone());
+        Some(p)
+    }
+
+    /// Databases preprocessed so far.
+    pub fn len(&self) -> usize {
+        self.pipelines.lock().expect("asset cache lock").len()
+    }
+
+    /// Whether nothing has been preprocessed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requests that found an already-preprocessed database.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that triggered per-database preprocessing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, Profile};
+    use llmsim::{ModelProfile, Oracle, SimLlm};
+
+    #[test]
+    fn normalization_canonicalizes() {
+        assert_eq!(normalize_question("  How   MANY gadgets?\n"), "how many gadgets?");
+        assert_eq!(normalize_question(""), "");
+        assert_eq!(
+            ResultKey::new("db", "Q  one", " ", 7),
+            ResultKey::new("db", "q ONE", "", 7),
+            "blank evidence does not alter the key"
+        );
+        assert_ne!(
+            ResultKey::new("db", "q", "hint", 7),
+            ResultKey::new("db", "q", "", 7),
+            "evidence is part of the key"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let full = config_fingerprint(&PipelineConfig::full());
+        assert_eq!(full, config_fingerprint(&PipelineConfig::full()));
+        assert_ne!(full, config_fingerprint(&PipelineConfig::fast()));
+        assert_ne!(full, config_fingerprint(&PipelineConfig::full().without_correction()));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache: LruCache<u32, String> = LruCache::new(2);
+        cache.insert(1, "one".into());
+        cache.insert(2, "two".into());
+        assert_eq!(cache.get(&1), Some("one".into())); // 1 now most recent
+        cache.insert(3, "three".into()); // evicts 2
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some("one".into()));
+        assert_eq!(cache.get(&3), Some("three".into()));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lru_insert_refreshes_existing_key() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11); // refresh, not insert: nothing evicted
+        cache.insert(3, 30); // evicts 2 (LRU), not 1
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&3), Some(30));
+    }
+
+    #[test]
+    fn lru_slab_reuses_evicted_slots() {
+        let cache: LruCache<u32, u32> = LruCache::new(3);
+        for round in 0..5u32 {
+            for k in 0..10u32 {
+                cache.insert(round * 100 + k, k);
+            }
+        }
+        assert_eq!(cache.len(), 3);
+        // slab never grows past capacity worth of nodes
+        assert!(cache.inner.lock().unwrap().nodes.len() <= 3);
+    }
+
+    #[test]
+    fn asset_cache_preprocesses_lazily_and_counts() {
+        let bench = Arc::new(generate(&Profile::tiny()));
+        let llm = Arc::new(SimLlm::new(
+            Arc::new(Oracle::new(bench.clone())),
+            ModelProfile::gpt_4o(),
+            5,
+        ));
+        let assets = AssetCache::new(bench.clone(), llm, PipelineConfig::fast());
+        assert!(assets.is_empty(), "nothing preprocessed before first request");
+        let db = bench.dbs[0].id.clone();
+        let p1 = assets.pipeline(&db).unwrap();
+        let p2 = assets.pipeline(&db).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "second lookup reuses the cached pipeline");
+        assert_eq!((assets.hits(), assets.misses()), (1, 1));
+        assert_eq!(assets.len(), 1, "only the touched db is preprocessed");
+        assert!(assets.pipeline("ghost").is_none());
+    }
+
+    #[test]
+    fn lazy_pipeline_answers_like_eager() {
+        let bench = Arc::new(generate(&Profile::tiny()));
+        let llm = Arc::new(SimLlm::new(
+            Arc::new(Oracle::new(bench.clone())),
+            ModelProfile::gpt_4o(),
+            5,
+        ));
+        let pre = Arc::new(Preprocessed::run(bench.clone(), llm.as_ref()));
+        let eager = Pipeline::new(pre.clone(), llm.clone(), PipelineConfig::fast());
+        let assets = AssetCache::warmed_by(&pre, llm, PipelineConfig::fast());
+        for ex in bench.dev.iter().take(4) {
+            let lazy = assets.pipeline(&ex.db_id).unwrap();
+            let a = eager.answer(&ex.db_id, &ex.question, &ex.evidence);
+            let b = lazy.answer(&ex.db_id, &ex.question, &ex.evidence);
+            assert_eq!(a.final_sql, b.final_sql, "per-db assets must be equivalent");
+            assert_eq!(a.sql_g, b.sql_g);
+            assert_eq!(a.winner, b.winner);
+        }
+    }
+}

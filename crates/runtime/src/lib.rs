@@ -1,0 +1,67 @@
+//! # osql-runtime — a concurrent query-serving runtime for OpenSearch-SQL
+//!
+//! The paper's pipeline answers one question at a time; this crate turns
+//! it into a serving system:
+//!
+//! - **[`queue`]** — a bounded MPMC request queue with blocking
+//!   backpressure (or a typed `QueueFull` via `try_push`).
+//! - **[`runtime`]** — a worker pool draining the queue into
+//!   [`opensearch_sql::PipelineRun`]s; worker count scales throughput
+//!   without changing a single answer.
+//! - **[`cache`]** — two levels: per-database preprocessed assets built
+//!   lazily on first touch, and an LRU over finished runs keyed by
+//!   `(db, normalized question, config fingerprint)`.
+//! - **[`middleware`]** — deterministic timeout + bounded retry with
+//!   backoff around any [`llmsim::FallibleLanguageModel`], pairing with
+//!   llmsim's seeded [`llmsim::FlakyLlm`] fault injector.
+//! - **[`metrics`]** — atomic counters and fixed-bucket latency
+//!   histograms with a text snapshot renderer.
+//!
+//! Determinism is preserved end to end: timeouts judge the *modelled*
+//! latency of responses, backoff is accounted rather than slept, retries
+//! re-roll the request seed tag, and caches only memoise — so EX scores
+//! computed through the runtime equal the sequential pipeline's exactly,
+//! at any worker count.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use llmsim::{ModelProfile, Oracle, SimLlm};
+//! use opensearch_sql::PipelineConfig;
+//! use osql_runtime::{AssetCache, QueryRequest, Runtime, RuntimeConfig};
+//!
+//! let bench = Arc::new(datagen::generate(&datagen::Profile::tiny()));
+//! let llm = Arc::new(SimLlm::new(
+//!     Arc::new(Oracle::new(bench.clone())),
+//!     ModelProfile::gpt_4o(),
+//!     7,
+//! ));
+//! let assets = Arc::new(AssetCache::new(bench.clone(), llm, PipelineConfig::fast()));
+//! let rt = Runtime::start(assets, RuntimeConfig::with_workers(2));
+//!
+//! let ex = &bench.dev[0];
+//! let resp = rt
+//!     .submit(QueryRequest::new(&ex.db_id, &ex.question, &ex.evidence))
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap();
+//! assert!(resp.run.final_sql.to_uppercase().starts_with("SELECT"));
+//! println!("{}", rt.metrics().render());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod metrics;
+pub mod middleware;
+pub mod queue;
+pub mod runtime;
+
+pub use cache::{config_fingerprint, normalize_question, AssetCache, LruCache, ResultCache, ResultKey};
+pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use middleware::{CallError, ResilientLlm, RetryPolicy};
+pub use queue::{BoundedQueue, PushError};
+pub use runtime::{
+    QueryRequest, QueryResponse, Runtime, RuntimeConfig, ServeError, SubmitError, Throughput,
+    Ticket,
+};

@@ -1,0 +1,281 @@
+//! A small metrics registry: named atomic counters and fixed-bucket
+//! histograms, with a text snapshot renderer.
+//!
+//! Everything is lock-free on the hot path (one atomic add per counter
+//! increment, two per histogram observation); the registry itself takes a
+//! lock only to create or look up instruments by name. Histogram sums are
+//! kept in integer microseconds so concurrent recording stays exact and
+//! snapshots are reproducible.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed upper-bound buckets (plus a +Inf overflow
+/// bucket). Values are arbitrary `f64`s — latencies in milliseconds for
+/// most instruments, vote fractions for `vote_margin`.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow bucket at the end.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum in integer micro-units (value × 1000, rounded) so concurrent
+    /// adds are exact and order-insensitive.
+    sum_milli: AtomicU64,
+}
+
+/// Default latency bucket bounds in milliseconds.
+pub const LATENCY_BOUNDS_MS: [f64; 12] =
+    [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10_000.0];
+
+/// Bucket bounds for fractional metrics such as vote margins.
+pub const FRACTION_BOUNDS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_milli: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: f64) {
+        let idx = self.bounds.iter().position(|b| value <= *b).unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let milli = (value.max(0.0) * 1000.0).round() as u64;
+        self.sum_milli.fetch_add(milli, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum_milli.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (q in 0..=1);
+    /// the last finite bound when the quantile falls in the overflow
+    /// bucket, 0 when empty.
+    pub fn approx_quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(*self.bounds.last().unwrap());
+            }
+        }
+        *self.bounds.last().unwrap()
+    }
+
+    fn render_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "count={} sum={:.1} mean={:.2} p50<={:.1} p95<={:.1} |",
+            self.count(),
+            self.sum(),
+            self.mean(),
+            self.approx_quantile(0.5),
+            self.approx_quantile(0.95),
+        );
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            match self.bounds.get(i) {
+                Some(b) => {
+                    let _ = write!(out, " le{b}:{n}");
+                }
+                None => {
+                    let _ = write!(out, " inf:{n}");
+                }
+            }
+        }
+    }
+}
+
+/// Named instruments, created on first use and shared by reference.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter with this name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("metrics lock");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Get or create the histogram with this name. The bounds apply only
+    /// on creation; later calls with the same name reuse the existing
+    /// instrument.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("metrics lock");
+        map.entry(name.to_owned()).or_insert_with(|| Arc::new(Histogram::new(bounds))).clone()
+    }
+
+    /// Get or create a latency histogram with the default ms buckets.
+    pub fn latency(&self, name: &str) -> Arc<Histogram> {
+        self.histogram(name, &LATENCY_BOUNDS_MS)
+    }
+
+    /// Render a text snapshot of every instrument, sorted by name.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let counters = self.counters.lock().expect("metrics lock");
+        if !counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, c) in counters.iter() {
+                let _ = writeln!(out, "  {name} {}", c.get());
+            }
+        }
+        drop(counters);
+        let histograms = self.histograms.lock().expect("metrics lock");
+        if !histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in histograms.iter() {
+                let _ = write!(out, "  {name} ");
+                h.render_into(&mut out);
+                out.push('\n');
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hits").inc();
+        reg.counter("hits").add(4);
+        assert_eq!(reg.counter("hits").get(), 5);
+        assert_eq!(reg.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.9, 5.0, 50.0, 500.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 556.4).abs() < 0.01, "{}", h.sum());
+        assert!((h.mean() - 111.28).abs() < 0.01, "{}", h.mean());
+        // two in le1, one each in le10/le100/overflow
+        assert_eq!(h.approx_quantile(0.2), 1.0);
+        assert_eq!(h.approx_quantile(0.5), 10.0);
+        assert_eq!(h.approx_quantile(0.8), 100.0);
+        assert_eq!(h.approx_quantile(1.0), 100.0, "overflow reports last bound");
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new(&FRACTION_BOUNDS);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.approx_quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let h = reg.latency("lat");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.record(3.0);
+                        reg.counter("n").inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.sum(), 12_000.0);
+        assert_eq!(reg.counter("n").get(), 4000);
+    }
+
+    #[test]
+    fn render_lists_everything_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_counter").add(2);
+        reg.counter("a_counter").inc();
+        reg.latency("wait").record(3.0);
+        let text = reg.render();
+        let a = text.find("a_counter").unwrap();
+        let b = text.find("b_counter").unwrap();
+        assert!(a < b, "sorted by name: {text}");
+        assert!(text.contains("wait count=1"), "{text}");
+        assert!(text.contains("le5:1"), "{text}");
+        assert_eq!(MetricsRegistry::new().render(), "(no metrics recorded)\n");
+    }
+}

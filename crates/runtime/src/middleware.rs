@@ -1,0 +1,344 @@
+//! LLM middleware: deterministic timeout + bounded retry with backoff.
+//!
+//! Wraps any [`FallibleLanguageModel`] (every plain [`LanguageModel`]
+//! qualifies via llmsim's blanket impl, as does the fault-injecting
+//! [`llmsim::FlakyLlm`]). Timeouts are judged against the *modelled*
+//! latency a response reports, and backoff is *accounted* onto the
+//! returned latency rather than slept — so a run with retries replays
+//! bit-for-bit and tests never wait on a real clock. Retried attempts
+//! re-roll the request's `seed_tag` deterministically, which is what lets
+//! a seeded fault clear on the next attempt.
+
+use crate::metrics::MetricsRegistry;
+use llmsim::{ChatRequest, ChatResponse, FallibleLanguageModel, LanguageModel, LlmFailure};
+use std::sync::Arc;
+
+/// Retry/timeout policy.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (at least 1).
+    pub max_attempts: u32,
+    /// Modelled-latency budget per attempt; responses slower than this are
+    /// treated as timed out and retried. `None` disables timeouts.
+    pub timeout_ms: Option<f64>,
+    /// Backoff before the first retry, in modelled milliseconds.
+    pub backoff_base_ms: f64,
+    /// Multiplier applied to the backoff per further retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, timeout_ms: None, backoff_base_ms: 50.0, backoff_factor: 2.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never times out: the wrapped model
+    /// behaves exactly like the bare one.
+    pub fn passthrough() -> Self {
+        RetryPolicy { max_attempts: 1, timeout_ms: None, ..Self::default() }
+    }
+
+    /// Set the per-attempt modelled-latency timeout.
+    pub fn with_timeout_ms(mut self, timeout_ms: f64) -> Self {
+        self.timeout_ms = Some(timeout_ms);
+        self
+    }
+
+    /// Set the total attempt count.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Modelled backoff accrued before retry number `retry` (1-based).
+    fn backoff_ms(&self, retry: u32) -> f64 {
+        self.backoff_base_ms * self.backoff_factor.powi(retry as i32 - 1)
+    }
+}
+
+/// Why a call failed for good.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallError {
+    /// Every attempt was used up and the last one faulted.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The fault the final attempt died with.
+        last_fault: LlmFailure,
+    },
+    /// Every attempt was used up and the last one exceeded the timeout.
+    TimedOut {
+        /// Attempts made.
+        attempts: u32,
+        /// Modelled latency of the final, too-slow response.
+        last_latency_ms: f64,
+        /// The budget it blew.
+        timeout_ms: f64,
+    },
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Exhausted { attempts, last_fault } => {
+                write!(f, "llm call failed after {attempts} attempt(s): {last_fault}")
+            }
+            CallError::TimedOut { attempts, last_latency_ms, timeout_ms } => write!(
+                f,
+                "llm call timed out after {attempts} attempt(s): \
+                 {last_latency_ms:.0}ms > {timeout_ms:.0}ms budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// Per-attempt seed-tag salt: retries must draw fresh noise, but the
+/// first attempt must leave the request untouched so a fault-free model
+/// behind this middleware answers byte-identically to a bare one.
+const RETRY_SALT: u64 = 0x9e3779b97f4a7c15;
+
+/// The middleware. Implements [`LanguageModel`], so it can stand wherever
+/// a pipeline expects one; [`ResilientLlm::try_complete`] exposes the
+/// typed error for callers that want to see exhaustion.
+pub struct ResilientLlm<M> {
+    inner: M,
+    policy: RetryPolicy,
+    metrics: Option<Arc<MetricsRegistry>>,
+    name: String,
+}
+
+impl<M: FallibleLanguageModel> ResilientLlm<M> {
+    /// Wrap a model with a policy.
+    pub fn new(inner: M, policy: RetryPolicy) -> Self {
+        let name = format!("resilient({})", inner.fallible_name());
+        ResilientLlm { inner, policy, metrics: None, name }
+    }
+
+    /// Record retries/timeouts/exhaustions into a registry
+    /// (`llm_retries`, `llm_timeouts`, `llm_faults`, `llm_exhausted`,
+    /// and the `llm_backoff_ms` histogram).
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn count(&self, name: &str) {
+        if let Some(m) = &self.metrics {
+            m.counter(name).inc();
+        }
+    }
+
+    /// Run one request under the policy. On success the response's
+    /// modelled latency includes every failed attempt's burned time plus
+    /// the accrued backoff, so cost accounting sees the true price of the
+    /// retries.
+    pub fn try_complete(&self, req: &ChatRequest) -> Result<ChatResponse, CallError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut burned_ms = 0.0f64;
+        let mut last_error = None;
+        for attempt in 0..attempts {
+            let mut attempt_req = req.clone();
+            if attempt > 0 {
+                attempt_req.seed_tag =
+                    req.seed_tag ^ RETRY_SALT.wrapping_mul(u64::from(attempt));
+                let backoff = self.policy.backoff_ms(attempt);
+                burned_ms += backoff;
+                self.count("llm_retries");
+                if let Some(m) = &self.metrics {
+                    m.latency("llm_backoff_ms").record(backoff);
+                }
+            }
+            match self.inner.try_complete(&attempt_req) {
+                Err(fault) => {
+                    self.count("llm_faults");
+                    burned_ms += fault.latency_ms;
+                    last_error = Some(CallError::Exhausted { attempts, last_fault: fault });
+                }
+                Ok(resp) => match self.policy.timeout_ms {
+                    Some(budget) if resp.latency_ms > budget => {
+                        self.count("llm_timeouts");
+                        // a timed-out attempt costs the full budget before
+                        // the caller gives up on it
+                        burned_ms += budget;
+                        last_error = Some(CallError::TimedOut {
+                            attempts,
+                            last_latency_ms: resp.latency_ms,
+                            timeout_ms: budget,
+                        });
+                    }
+                    _ => {
+                        let mut resp = resp;
+                        resp.latency_ms += burned_ms;
+                        return Ok(resp);
+                    }
+                },
+            }
+        }
+        self.count("llm_exhausted");
+        Err(last_error.expect("at least one attempt ran"))
+    }
+}
+
+impl<M: FallibleLanguageModel> LanguageModel for ResilientLlm<M> {
+    /// Infallible adapter for pipeline wiring. Exhaustion degrades to an
+    /// empty completion (no candidates) rather than panicking a worker;
+    /// the `llm_exhausted` counter records that it happened.
+    fn complete(&self, req: &ChatRequest) -> ChatResponse {
+        match self.try_complete(req) {
+            Ok(resp) => resp,
+            Err(err) => {
+                let latency_ms = match err {
+                    CallError::Exhausted { last_fault, .. } => last_fault.latency_ms,
+                    CallError::TimedOut { timeout_ms, .. } => timeout_ms,
+                };
+                ChatResponse {
+                    texts: vec![String::new(); req.n.max(1)],
+                    prompt_tokens: 0,
+                    completion_tokens: 0,
+                    latency_ms,
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim::FlakyLlm;
+
+    struct EchoLlm {
+        latency_ms: f64,
+    }
+
+    impl LanguageModel for EchoLlm {
+        fn complete(&self, req: &ChatRequest) -> ChatResponse {
+            ChatResponse {
+                texts: vec![req.prompt.clone(); req.n],
+                prompt_tokens: 2,
+                completion_tokens: 2,
+                latency_ms: self.latency_ms,
+            }
+        }
+
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    fn req(prompt: &str) -> ChatRequest {
+        ChatRequest { prompt: prompt.into(), temperature: 0.0, n: 1, seed_tag: 0 }
+    }
+
+    #[test]
+    fn passthrough_leaves_fault_free_models_untouched() {
+        let bare = EchoLlm { latency_ms: 90.0 };
+        let direct = bare.complete(&req("q"));
+        let wrapped = ResilientLlm::new(EchoLlm { latency_ms: 90.0 }, RetryPolicy::default());
+        let via = wrapped.try_complete(&req("q")).unwrap();
+        assert_eq!(direct.texts, via.texts);
+        assert_eq!(direct.latency_ms, via.latency_ms, "no backoff charged without retries");
+        assert_eq!(wrapped.name(), "resilient(echo)");
+    }
+
+    #[test]
+    fn retries_recover_seeded_faults_and_charge_backoff() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let flaky = FlakyLlm::new(EchoLlm { latency_ms: 90.0 }, 42, 400, 0);
+        let wrapped = ResilientLlm::new(flaky, RetryPolicy::default().with_max_attempts(6))
+            .with_metrics(metrics.clone());
+        let mut recovered = 0u32;
+        for i in 0..60u32 {
+            let r = req(&format!("question {i}"));
+            // run twice: identical outcome both times (determinism)
+            let a = wrapped.try_complete(&r).expect("6 attempts clear a 40% fault rate");
+            let b = wrapped.try_complete(&r).unwrap();
+            assert_eq!(a.texts, b.texts);
+            assert_eq!(a.latency_ms, b.latency_ms);
+            if a.latency_ms > 90.0 {
+                recovered += 1;
+                // a retried call carries fault latency + backoff
+                assert!(a.latency_ms >= 90.0 + 50.0, "{}", a.latency_ms);
+            }
+        }
+        assert!(recovered > 5, "at 40% fault rate many calls must have retried");
+        assert!(metrics.counter("llm_retries").get() > 0);
+        assert_eq!(metrics.counter("llm_exhausted").get(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error() {
+        // 100% fault rate: no retry can ever clear
+        let flaky = FlakyLlm::new(EchoLlm { latency_ms: 90.0 }, 1, 1000, 0);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let wrapped = ResilientLlm::new(flaky, RetryPolicy::default().with_max_attempts(3))
+            .with_metrics(metrics.clone());
+        match wrapped.try_complete(&req("doomed")) {
+            Err(CallError::Exhausted { attempts, last_fault }) => {
+                assert_eq!(attempts, 3);
+                assert!(last_fault.latency_ms > 0.0);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(metrics.counter("llm_exhausted").get(), 1);
+        assert_eq!(metrics.counter("llm_faults").get(), 3);
+        assert_eq!(metrics.counter("llm_retries").get(), 2);
+    }
+
+    #[test]
+    fn modelled_timeouts_trip_and_surface() {
+        // every response takes 900ms against a 500ms budget
+        let slow = EchoLlm { latency_ms: 900.0 };
+        let wrapped = ResilientLlm::new(
+            slow,
+            RetryPolicy::default().with_max_attempts(2).with_timeout_ms(500.0),
+        );
+        match wrapped.try_complete(&req("slow")) {
+            Err(CallError::TimedOut { attempts, last_latency_ms, timeout_ms }) => {
+                assert_eq!(attempts, 2);
+                assert_eq!(last_latency_ms, 900.0);
+                assert_eq!(timeout_ms, 500.0);
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_retry_clears_seeded_latency_spikes() {
+        // spikes hit ~30% of requests; the re-rolled seed_tag dodges them
+        let flaky = FlakyLlm::new(EchoLlm { latency_ms: 90.0 }, 9, 0, 300);
+        let wrapped = ResilientLlm::new(
+            flaky,
+            RetryPolicy::default().with_max_attempts(5).with_timeout_ms(500.0),
+        );
+        for i in 0..40u32 {
+            let resp = wrapped.try_complete(&req(&format!("q{i}"))).expect("spikes retried away");
+            // final accepted attempt always fit the budget; burned time may
+            // push the accounted total above it, but the raw 90ms response
+            // plus budget+backoff charges stays well under 5 attempts' worth
+            assert!(resp.latency_ms < 5.0 * (500.0 + 90.0 + 800.0));
+        }
+    }
+
+    #[test]
+    fn infallible_adapter_degrades_to_empty_completion() {
+        let flaky = FlakyLlm::new(EchoLlm { latency_ms: 90.0 }, 1, 1000, 0);
+        let wrapped = ResilientLlm::new(flaky, RetryPolicy::default());
+        let resp = wrapped.complete(&req("doomed"));
+        assert_eq!(resp.texts, vec![String::new()]);
+        assert_eq!(resp.completion_tokens, 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! A bounded multi-producer multi-consumer queue with blocking
+//! backpressure, built on `Mutex` + `Condvar`.
+//!
+//! Producers either block until space frees up ([`BoundedQueue::push`])
+//! or get a typed [`PushError::Full`] back immediately
+//! ([`BoundedQueue::try_push`]); consumers block until an item or close
+//! arrives. Closing wakes everyone: blocked producers fail with
+//! [`PushError::Closed`], consumers drain the remaining items and then
+//! observe `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused. Both variants hand the item back so callers
+/// can retry or report without cloning.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity (only from `try_push`).
+    Full(T),
+    /// The queue has been closed.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+impl<T> std::fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full(_) => f.write_str("queue full"),
+            PushError::Closed(_) => f.write_str("queue closed"),
+        }
+    }
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The queue. Cheap to share behind an `Arc`.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue, blocking while the queue is full. Fails only once the
+    /// queue is closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed(item));
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Enqueue without blocking; `Full` when at capacity.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while empty. `None` once the queue is closed and
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Close the queue: pending items remain poppable, new pushes fail,
+    /// and every blocked thread wakes.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether `close` has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.try_push(9), Err(PushError::Full(9)));
+        assert_eq!((0..4).map(|_| q.pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_drains() {
+        let q = BoundedQueue::new(2);
+        q.push("a").unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.push("b"), Err(PushError::Closed("b")));
+        assert_eq!(q.try_push("c").map_err(PushError::into_inner), Err("c"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_push_resumes_after_pop() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || q2.push(2));
+        // the producer is blocked on a full queue; popping must unblock it
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let (producers, consumers, per_producer) = (4u64, 3usize, 250u64);
+        let expected_count = producers * per_producer;
+        let expected_sum: u64 =
+            (0..producers).map(|p| (0..per_producer).map(|i| p * 1000 + i).sum::<u64>()).sum();
+        let mut handles = Vec::new();
+        for _ in 0..consumers {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut local = (0u64, 0u64); // (count, sum)
+                while let Some(v) = q.pop() {
+                    local.0 += 1;
+                    local.1 += v;
+                }
+                local
+            }));
+        }
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+        });
+        q.close();
+        let (mut count, mut sum) = (0u64, 0u64);
+        for h in handles {
+            let (c, v) = h.join().unwrap();
+            count += c;
+            sum += v;
+        }
+        assert_eq!(count, expected_count, "every item delivered exactly once");
+        assert_eq!(sum, expected_sum);
+    }
+}

@@ -1,0 +1,470 @@
+//! The serving runtime: a worker pool draining a bounded request queue
+//! into pipeline runs, fronted by the two-level cache and instrumented
+//! through the metrics registry.
+//!
+//! Worker count is a pure throughput knob: requests don't interact (the
+//! pipeline is deterministic per question and the caches only memoise),
+//! so the answer to every request — and any EX score computed over the
+//! answers — is identical at 1 worker and at 8.
+
+use crate::cache::{config_fingerprint, AssetCache, ResultCache, ResultKey};
+use crate::metrics::{MetricsRegistry, FRACTION_BOUNDS};
+use crate::queue::{BoundedQueue, PushError};
+use opensearch_sql::{EvalReport, Module, PipelineRun};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// One query for the runtime to serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Target database id.
+    pub db_id: String,
+    /// Natural-language question.
+    pub question: String,
+    /// External knowledge / evidence string (may be empty).
+    pub evidence: String,
+}
+
+impl QueryRequest {
+    /// Build a request.
+    pub fn new(
+        db_id: impl Into<String>,
+        question: impl Into<String>,
+        evidence: impl Into<String>,
+    ) -> Self {
+        QueryRequest { db_id: db_id.into(), question: question.into(), evidence: evidence.into() }
+    }
+}
+
+/// A served answer.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The pipeline run that answered the question (possibly replayed
+    /// from the result cache).
+    pub run: Arc<PipelineRun>,
+    /// Whether the result cache answered without running the pipeline.
+    pub from_cache: bool,
+    /// Wall-clock milliseconds the request sat in the queue.
+    pub queue_wait_ms: f64,
+}
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The benchmark has no database with this id.
+    UnknownDb(String),
+    /// The worker pool went away before answering (shutdown mid-flight).
+    Canceled,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownDb(id) => write!(f, "unknown database: {id}"),
+            ServeError::Canceled => f.write_str("request canceled by shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (only from `try_submit`).
+    QueueFull,
+    /// The runtime is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("request queue full"),
+            SubmitError::ShuttingDown => f.write_str("runtime shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A pending answer; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<QueryResponse, ServeError>>,
+}
+
+impl Ticket {
+    /// Block until the answer arrives.
+    pub fn wait(self) -> Result<QueryResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Canceled))
+    }
+}
+
+/// Runtime sizing knobs.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads draining the queue (at least 1).
+    pub workers: usize,
+    /// Bounded queue capacity; full ⇒ `submit` blocks, `try_submit`
+    /// returns [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// LRU result-cache capacity.
+    pub result_cache_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { workers: 4, queue_capacity: 64, result_cache_capacity: 256 }
+    }
+}
+
+impl RuntimeConfig {
+    /// A config with the given worker count and the default queue/cache
+    /// sizes.
+    pub fn with_workers(workers: usize) -> Self {
+        RuntimeConfig { workers, ..Self::default() }
+    }
+}
+
+struct Job {
+    req: QueryRequest,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<QueryResponse, ServeError>>,
+}
+
+/// The concurrent query-serving runtime.
+pub struct Runtime {
+    queue: Arc<BoundedQueue<Job>>,
+    assets: Arc<AssetCache>,
+    results: Arc<ResultCache>,
+    metrics: Arc<MetricsRegistry>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    fingerprint: u64,
+}
+
+impl Runtime {
+    /// Start the worker pool over an asset cache.
+    pub fn start(assets: Arc<AssetCache>, config: RuntimeConfig) -> Runtime {
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let results = Arc::new(ResultCache::new(config.result_cache_capacity));
+        let metrics = Arc::new(MetricsRegistry::new());
+        let fingerprint = config_fingerprint(assets.config());
+        let worker_count = config.workers.max(1);
+        let mut workers = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let queue = queue.clone();
+            let assets = assets.clone();
+            let results = results.clone();
+            let metrics = metrics.clone();
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&queue, &assets, &results, &metrics, fingerprint);
+            }));
+        }
+        Runtime { queue, assets, results, metrics, workers, fingerprint }
+    }
+
+    /// Submit a request, blocking while the queue is full (backpressure).
+    pub fn submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        match self.queue.push(Job { req, enqueued: Instant::now(), reply: tx }) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(PushError::Closed(_)) | Err(PushError::Full(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Submit without blocking; [`SubmitError::QueueFull`] when at
+    /// capacity.
+    pub fn try_submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        match self.queue.try_push(Job { req, enqueued: Instant::now(), reply: tx }) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(PushError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Serve a whole batch: submit everything (with backpressure) and
+    /// collect the answers in request order.
+    pub fn run_batch(&self, requests: Vec<QueryRequest>) -> Vec<Result<QueryResponse, ServeError>> {
+        let tickets: Vec<Result<Ticket, SubmitError>> =
+            requests.into_iter().map(|r| self.submit(r)).collect();
+        tickets
+            .into_iter()
+            .map(|t| match t {
+                Ok(ticket) => ticket.wait(),
+                Err(_) => Err(ServeError::Canceled),
+            })
+            .collect()
+    }
+
+    /// The metrics registry the workers record into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The level-1 (per-database asset) cache.
+    pub fn assets(&self) -> &Arc<AssetCache> {
+        &self.assets
+    }
+
+    /// The level-2 (LRU result) cache.
+    pub fn results(&self) -> &Arc<ResultCache> {
+        &self.results
+    }
+
+    /// The configuration fingerprint results are cached under.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stop accepting work, drain the queue, and join the workers. Safe
+    /// to call more than once; `Drop` calls it too.
+    pub fn shutdown(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Evaluate examples by routing every question through this runtime's
+    /// queue and workers, scoring with the same scorer as the sequential
+    /// [`opensearch_sql::evaluate`]. `submitters` caller-side threads feed
+    /// the queue. Non-ledger report fields match the sequential path
+    /// exactly, at any worker count.
+    pub fn evaluate(&self, examples: &[datagen::Example], submitters: usize) -> EvalReport {
+        let benchmark = self.assets.benchmark().clone();
+        opensearch_sql::evaluate_with(self, &benchmark, examples, submitters)
+    }
+}
+
+impl opensearch_sql::Answerer for Runtime {
+    fn answer(&self, db_id: &str, question: &str, evidence: &str) -> PipelineRun {
+        match self.submit(QueryRequest::new(db_id, question, evidence)).map(Ticket::wait) {
+            Ok(Ok(resp)) => resp.run.as_ref().clone(),
+            // unknown db / shutdown: an empty run, which scores as wrong
+            // (the sequential scorer skips unknown dbs before answering,
+            // so this arm is unreachable from `Runtime::evaluate`)
+            _ => PipelineRun {
+                question: question.to_owned(),
+                db_id: db_id.to_owned(),
+                sql_g: String::new(),
+                sql_r: String::new(),
+                final_sql: String::new(),
+                candidates: Vec::new(),
+                winner: 0,
+                ledger: Default::default(),
+            },
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    queue: &BoundedQueue<Job>,
+    assets: &AssetCache,
+    results: &ResultCache,
+    metrics: &MetricsRegistry,
+    fingerprint: u64,
+) {
+    static STAGES: [(Module, &str); 4] = [
+        (Module::Extraction, "stage_extraction_ms"),
+        (Module::Generation, "stage_generation_ms"),
+        (Module::Refinement, "stage_refinement_ms"),
+        (Module::Alignments, "stage_alignments_ms"),
+    ];
+    while let Some(job) = queue.pop() {
+        let queue_wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+        metrics.counter("requests_total").inc();
+        metrics.latency("queue_wait_ms").record(queue_wait_ms);
+        let key =
+            ResultKey::new(&job.req.db_id, &job.req.question, &job.req.evidence, fingerprint);
+        if let Some(run) = results.get(&key) {
+            metrics.counter("result_cache_hits").inc();
+            let _ = job.reply.send(Ok(QueryResponse { run, from_cache: true, queue_wait_ms }));
+            continue;
+        }
+        metrics.counter("result_cache_misses").inc();
+        let Some(pipeline) = assets.pipeline(&job.req.db_id) else {
+            metrics.counter("unknown_db").inc();
+            let _ = job.reply.send(Err(ServeError::UnknownDb(job.req.db_id)));
+            continue;
+        };
+        let started = Instant::now();
+        let run = Arc::new(pipeline.answer(&job.req.db_id, &job.req.question, &job.req.evidence));
+        metrics.latency("pipeline_ms").record(started.elapsed().as_secs_f64() * 1e3);
+        for (module, hist) in &STAGES {
+            let cost = run.ledger.get(*module);
+            if cost.calls > 0 {
+                metrics.latency(hist).record(cost.time_ms);
+            }
+        }
+        if run.candidates.len() > 1 {
+            let winner_sql = &run.candidates[run.winner].sql;
+            let agreeing =
+                run.candidates.iter().filter(|c| &c.sql == winner_sql).count();
+            metrics
+                .histogram("vote_margin", &FRACTION_BOUNDS)
+                .record(agreeing as f64 / run.candidates.len() as f64);
+        }
+        results.insert(key, run.clone());
+        let _ = job.reply.send(Ok(QueryResponse { run, from_cache: false, queue_wait_ms }));
+    }
+}
+
+/// Cheap helper: track throughput over a batch.
+#[derive(Debug)]
+pub struct Throughput {
+    started: Instant,
+    served: AtomicU64,
+}
+
+impl Throughput {
+    /// Start the clock.
+    pub fn start() -> Self {
+        Throughput { started: Instant::now(), served: AtomicU64::new(0) }
+    }
+
+    /// Count one served request.
+    pub fn served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// (requests, elapsed seconds, requests/second).
+    pub fn snapshot(&self) -> (u64, f64, f64) {
+        let n = self.served.load(Ordering::Relaxed);
+        let secs = self.started.elapsed().as_secs_f64().max(1e-9);
+        (n, secs, n as f64 / secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, Profile};
+    use llmsim::{ModelProfile, Oracle, SimLlm};
+    use opensearch_sql::PipelineConfig;
+
+    fn world() -> (Arc<datagen::Benchmark>, Arc<AssetCache>) {
+        let bench = Arc::new(generate(&Profile::tiny()));
+        let llm = Arc::new(SimLlm::new(
+            Arc::new(Oracle::new(bench.clone())),
+            ModelProfile::gpt_4o(),
+            5,
+        ));
+        let assets = Arc::new(AssetCache::new(bench.clone(), llm, PipelineConfig::fast()));
+        (bench, assets)
+    }
+
+    #[test]
+    fn serves_requests_and_records_metrics() {
+        let (bench, assets) = world();
+        let rt = Runtime::start(assets, RuntimeConfig::with_workers(2));
+        let ex = &bench.dev[0];
+        let resp = rt
+            .submit(QueryRequest::new(&ex.db_id, &ex.question, &ex.evidence))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!resp.from_cache);
+        assert!(resp.run.final_sql.to_uppercase().starts_with("SELECT"));
+        assert_eq!(rt.metrics().counter("requests_total").get(), 1);
+        assert_eq!(rt.metrics().counter("result_cache_misses").get(), 1);
+        let snapshot = rt.metrics().render();
+        assert!(snapshot.contains("pipeline_ms"), "{snapshot}");
+    }
+
+    #[test]
+    fn result_cache_serves_repeats_identically() {
+        let (bench, assets) = world();
+        let rt = Runtime::start(assets, RuntimeConfig::with_workers(2));
+        let ex = &bench.dev[0];
+        let req = QueryRequest::new(&ex.db_id, &ex.question, &ex.evidence);
+        let cold = rt.submit(req.clone()).unwrap().wait().unwrap();
+        let warm = rt.submit(req).unwrap().wait().unwrap();
+        assert!(!cold.from_cache);
+        assert!(warm.from_cache);
+        assert_eq!(cold.run.final_sql, warm.run.final_sql);
+        assert!(Arc::ptr_eq(&cold.run, &warm.run), "cached run is shared, not recomputed");
+        assert_eq!(rt.metrics().counter("result_cache_hits").get(), 1);
+        // whitespace/case variants of the question hit the same entry
+        let variant =
+            QueryRequest::new(&ex.db_id, format!("  {}  ", ex.question.to_uppercase()), &ex.evidence);
+        assert!(rt.submit(variant).unwrap().wait().unwrap().from_cache);
+    }
+
+    #[test]
+    fn unknown_db_is_a_typed_error() {
+        let (_bench, assets) = world();
+        let rt = Runtime::start(assets, RuntimeConfig::with_workers(1));
+        let err = rt.submit(QueryRequest::new("ghost", "q", "")).unwrap().wait().unwrap_err();
+        assert_eq!(err, ServeError::UnknownDb("ghost".into()));
+        assert_eq!(rt.metrics().counter("unknown_db").get(), 1);
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let (bench, assets) = world();
+        let rt = Runtime::start(assets, RuntimeConfig::with_workers(4));
+        let reqs: Vec<QueryRequest> = bench
+            .dev
+            .iter()
+            .take(6)
+            .map(|ex| QueryRequest::new(&ex.db_id, &ex.question, &ex.evidence))
+            .collect();
+        let out = rt.run_batch(reqs);
+        assert_eq!(out.len(), 6);
+        for (ex, resp) in bench.dev.iter().take(6).zip(&out) {
+            let resp = resp.as_ref().unwrap();
+            assert_eq!(resp.run.question, ex.question, "answers line up with requests");
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let (bench, assets) = world();
+        let mut rt = Runtime::start(assets, RuntimeConfig::with_workers(1));
+        rt.shutdown();
+        let ex = &bench.dev[0];
+        let err = rt.submit(QueryRequest::new(&ex.db_id, &ex.question, "")).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+        let err = rt.try_submit(QueryRequest::new(&ex.db_id, &ex.question, "")).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_answers() {
+        let (bench, _) = world();
+        let reqs: Vec<QueryRequest> = bench
+            .dev
+            .iter()
+            .take(8)
+            .map(|ex| QueryRequest::new(&ex.db_id, &ex.question, &ex.evidence))
+            .collect();
+        let mut baseline: Option<Vec<String>> = None;
+        for workers in [1usize, 4] {
+            let (_, assets) = world();
+            let rt = Runtime::start(assets, RuntimeConfig::with_workers(workers));
+            let answers: Vec<String> = rt
+                .run_batch(reqs.clone())
+                .into_iter()
+                .map(|r| r.unwrap().run.final_sql.clone())
+                .collect();
+            match &baseline {
+                None => baseline = Some(answers),
+                Some(b) => assert_eq!(b, &answers, "{workers} workers changed answers"),
+            }
+        }
+    }
+}
