@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# The gate every change must pass: release build, full test suite,
-# warnings-as-errors lint. Referenced from README.md ("Install & build").
+# The gate every change must pass: release build, fast engine gate, full
+# test suite, bench compilation, warnings-as-errors lint. Referenced from
+# README.md ("Install & build").
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
+cargo test -q -p sqlkit          # fast gate: the SQL substrate everything sits on
 cargo test -q
-cargo clippy -- -D warnings
+cargo bench --no-run             # benches must always compile
+cargo clippy --workspace --all-targets -- -D warnings
 echo "ci: ok"

@@ -20,32 +20,31 @@ fn bench_parse(c: &mut Criterion) {
     });
 }
 
+const CASES: [(&str, &str); 5] = [
+    ("scan_filter", "SELECT Name FROM Patient WHERE Age > 40"),
+    (
+        "hash_join",
+        "SELECT T1.Name, T2.IGA FROM Patient AS T1 \
+         INNER JOIN Laboratory AS T2 ON T1.PatientID = T2.PatientID",
+    ),
+    (
+        "three_way_join_agg",
+        "SELECT COUNT(DISTINCT T1.PatientID) FROM Patient AS T1 \
+         INNER JOIN Laboratory AS T2 ON T1.PatientID = T2.PatientID \
+         INNER JOIN Treatment AS T3 ON T1.PatientID = T3.PatientID \
+         WHERE T2.IGA > 100 AND T3.Cost > 50",
+    ),
+    (
+        "group_order_limit",
+        "SELECT City, COUNT(*) AS n FROM Patient GROUP BY City \
+         ORDER BY n DESC LIMIT 3",
+    ),
+    ("subquery", "SELECT Name FROM Patient WHERE Age = (SELECT MAX(Age) FROM Patient)"),
+];
+
 fn bench_exec(c: &mut Criterion) {
     let built = db();
-    let cases = [
-        ("scan_filter", "SELECT Name FROM Patient WHERE Age > 40"),
-        (
-            "hash_join",
-            "SELECT T1.Name, T2.IGA FROM Patient AS T1 \
-             INNER JOIN Laboratory AS T2 ON T1.PatientID = T2.PatientID",
-        ),
-        (
-            "three_way_join_agg",
-            "SELECT COUNT(DISTINCT T1.PatientID) FROM Patient AS T1 \
-             INNER JOIN Laboratory AS T2 ON T1.PatientID = T2.PatientID \
-             INNER JOIN Treatment AS T3 ON T1.PatientID = T3.PatientID \
-             WHERE T2.IGA > 100 AND T3.Cost > 50",
-        ),
-        (
-            "group_order_limit",
-            "SELECT City, COUNT(*) AS n FROM Patient GROUP BY City \
-             ORDER BY n DESC LIMIT 3",
-        ),
-        (
-            "subquery",
-            "SELECT Name FROM Patient WHERE Age = (SELECT MAX(Age) FROM Patient)",
-        ),
-    ];
+    let cases = CASES;
     let mut group = c.benchmark_group("engine_exec");
     for (name, sql) in cases {
         let stmt = parse_select(sql).unwrap();
@@ -56,5 +55,60 @@ fn bench_exec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_exec);
+/// Prepared-vs-raw execution: `raw` parses + resolves names every call
+/// (the engine's `query(sql)` path), `cold` pays one prepare (parse +
+/// binding + constant folding) per call, and `warm` serves the plan from a
+/// [`PlanCache`] so each call is pure bound execution.
+fn bench_prepared(c: &mut Criterion) {
+    let built = db();
+    let mut group = c.benchmark_group("engine_prepared");
+    group.sample_size(100);
+    for (name, sql) in CASES {
+        group.bench_function(format!("raw/{name}"), |b| {
+            b.iter(|| std::hint::black_box(built.database.query(sql).unwrap()))
+        });
+        group.bench_function(format!("cold/{name}"), |b| {
+            b.iter(|| {
+                let plan = sqlkit::prepare(&built.database, sql).unwrap();
+                std::hint::black_box(plan.execute(&built.database).unwrap())
+            })
+        });
+        let cache = sqlkit::PlanCache::new(64);
+        group.bench_function(format!("warm/{name}"), |b| {
+            b.iter(|| std::hint::black_box(cache.execute(&built.database, sql).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Plan-acquisition cost in isolation, and a plan-dominated query shape.
+    // The refine → execute → correct loop, the vote tie-break, and eval's
+    // gold executions all repeat the same statement, so on selective
+    // queries the parse + bind cost matters as much as execution.
+    let complex = "SELECT COUNT(DISTINCT T1.PatientID) FROM Patient AS T1 \
+                   INNER JOIN Laboratory AS T2 ON T1.PatientID = T2.PatientID \
+                   WHERE T2.IGA > 80 AND T2.IGA < 500 AND \
+                   STRFTIME('%Y', T1.`First Date`) >= '1990' \
+                   ORDER BY T1.Age DESC LIMIT 5";
+    let small = build_db(&themes()[0], "bench_small", "healthcare", RowScale::tiny(), 0.55, 42);
+    let mut group = c.benchmark_group("engine_plan");
+    group.sample_size(500);
+    group.bench_function("prepare", |b| {
+        b.iter(|| std::hint::black_box(sqlkit::prepare(&built.database, complex).unwrap()))
+    });
+    let cache = sqlkit::PlanCache::new(64);
+    cache.execute(&built.database, complex).unwrap();
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| std::hint::black_box(cache.prepared(&built.database, complex).unwrap()))
+    });
+    group.bench_function("selective/raw", |b| {
+        b.iter(|| std::hint::black_box(small.database.query(complex).unwrap()))
+    });
+    let cache = sqlkit::PlanCache::new(64);
+    group.bench_function("selective/warm", |b| {
+        b.iter(|| std::hint::black_box(cache.execute(&small.database, complex).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_exec, bench_prepared);
 criterion_main!(benches);

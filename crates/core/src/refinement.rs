@@ -14,7 +14,7 @@ use crate::preprocess::Preprocessed;
 use crate::retrieval::ValueHit;
 use llmsim::proto;
 use llmsim::{ChatRequest, LanguageModel};
-use sqlkit::{execute_select_with_stats, parse_select, ResultSet, SqlError};
+use sqlkit::{parse_select, ResultSet, SqlError};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -43,13 +43,14 @@ impl RefinedCandidate {
 }
 
 /// Execute a SQL string against a database, returning result + costs.
+///
+/// Goes through the process-wide [`sqlkit::plan_cache`]: the refine →
+/// execute → correct loop, the vote tie-break, and eval's repeated
+/// gold-SQL executions re-run the same statements constantly, so each one
+/// is parsed and bound once and then served from the cache.
 pub fn execute(db: &sqlkit::Database, sql: &str) -> (Result<ResultSet, SqlError>, u64, f64) {
     let t0 = Instant::now();
-    let parsed = match parse_select(sql) {
-        Ok(stmt) => stmt,
-        Err(e) => return (Err(e), 0, t0.elapsed().as_secs_f64() * 1e3),
-    };
-    match execute_select_with_stats(db, &parsed) {
+    match sqlkit::plan_cache().execute(db, sql) {
         Ok((rs, stats)) => (Ok(rs), stats.rows_scanned, t0.elapsed().as_secs_f64() * 1e3),
         Err(e) => (Err(e), 0, t0.elapsed().as_secs_f64() * 1e3),
     }

@@ -27,6 +27,13 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raise the counter to `v` if it is currently lower; used to mirror
+    /// an external monotonic counter (e.g. the sqlkit plan-cache stats)
+    /// into the registry without double counting.
+    pub fn raise_to(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -217,6 +224,17 @@ mod tests {
         reg.counter("hits").add(4);
         assert_eq!(reg.counter("hits").get(), 5);
         assert_eq!(reg.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn raise_to_is_monotonic() {
+        let c = Counter::default();
+        c.raise_to(7);
+        assert_eq!(c.get(), 7);
+        c.raise_to(3);
+        assert_eq!(c.get(), 7, "never goes backwards");
+        c.raise_to(12);
+        assert_eq!(c.get(), 12);
     }
 
     #[test]

@@ -319,8 +319,21 @@ fn worker_loop(
                 .record(agreeing as f64 / run.candidates.len() as f64);
         }
         results.insert(key, run.clone());
+        sync_plan_cache_metrics(metrics);
         let _ = job.reply.send(Ok(QueryResponse { run, from_cache: false, queue_wait_ms }));
     }
+}
+
+/// Mirror the process-wide sqlkit plan-cache counters into the registry so
+/// the metrics snapshot shows prepare/execute split timings and hit rates.
+/// The source counters are cumulative and shared across workers, so
+/// `raise_to` keeps the mirrors exact without double counting.
+fn sync_plan_cache_metrics(metrics: &MetricsRegistry) {
+    let stats = sqlkit::plan_cache().stats();
+    metrics.counter("plan_cache_hits").raise_to(stats.hits);
+    metrics.counter("plan_cache_misses").raise_to(stats.misses);
+    metrics.counter("plan_prepare_us").raise_to(stats.prepare_us);
+    metrics.counter("plan_execute_us").raise_to(stats.execute_us);
 }
 
 /// Cheap helper: track throughput over a batch.
@@ -383,6 +396,15 @@ mod tests {
         assert_eq!(rt.metrics().counter("result_cache_misses").get(), 1);
         let snapshot = rt.metrics().render();
         assert!(snapshot.contains("pipeline_ms"), "{snapshot}");
+        // The plan-cache mirror is synced after every served request. The
+        // source counters are process-global (shared with parallel tests),
+        // so assert presence rather than exact values.
+        for name in ["plan_cache_hits", "plan_cache_misses", "plan_prepare_us", "plan_execute_us"] {
+            assert!(snapshot.contains(name), "missing {name}:\n{snapshot}");
+        }
+        let hits = rt.metrics().counter("plan_cache_hits").get();
+        let misses = rt.metrics().counter("plan_cache_misses").get();
+        assert!(hits + misses > 0, "serving a request touches the plan cache");
     }
 
     #[test]

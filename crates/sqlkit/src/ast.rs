@@ -289,6 +289,22 @@ pub enum Expr {
         /// NOT flag.
         negated: bool,
     },
+    /// A column reference resolved at prepare time to a slot in the
+    /// current row layout. Produced only by the binding pass in
+    /// [`crate::prepare`], never by the parser.
+    BoundColumn {
+        /// Slot index in the row layout.
+        index: usize,
+    },
+    /// A column reference resolved at prepare time into an enclosing
+    /// (correlated) row environment. Produced only by the binding pass.
+    OuterColumn {
+        /// Distance outward from the innermost enclosing environment
+        /// (0 = innermost).
+        up: usize,
+        /// Slot index in that environment's row layout.
+        index: usize,
+    },
 }
 
 impl Expr {
@@ -360,6 +376,8 @@ impl Expr {
             }
             Expr::Literal(_)
             | Expr::Column { .. }
+            | Expr::BoundColumn { .. }
+            | Expr::OuterColumn { .. }
             | Expr::Wildcard
             | Expr::Subquery(_)
             | Expr::Exists { .. } => {}
@@ -413,6 +431,8 @@ impl Expr {
             }
             Expr::Literal(_)
             | Expr::Column { .. }
+            | Expr::BoundColumn { .. }
+            | Expr::OuterColumn { .. }
             | Expr::Wildcard
             | Expr::Subquery(_)
             | Expr::Exists { .. } => {}

@@ -14,6 +14,7 @@ use crate::functions::{call_scalar, is_aggregate_name};
 use crate::value::{NormValue, ResultSet, Row, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +34,26 @@ pub fn execute_select_with_stats(
     db: &Database,
     stmt: &SelectStmt,
 ) -> SqlResult<(ResultSet, ExecStats)> {
+    execute_with_flags(db, stmt, false)
+}
+
+/// Execute a statement that went through the [`crate::prepare`] binding
+/// pass. Identical to [`execute_select_with_stats`] except that runtime
+/// alias substitution in GROUP BY / HAVING is skipped — the binder already
+/// performed it, and re-running it on a substituted tree could substitute
+/// more than a raw execution would.
+pub(crate) fn execute_prepared_with_stats(
+    db: &Database,
+    stmt: &SelectStmt,
+) -> SqlResult<(ResultSet, ExecStats)> {
+    execute_with_flags(db, stmt, true)
+}
+
+fn execute_with_flags(
+    db: &Database,
+    stmt: &SelectStmt,
+    bound: bool,
+) -> SqlResult<(ResultSet, ExecStats)> {
     let mut ctx = Ctx {
         db,
         rows_scanned: 0,
@@ -40,8 +61,13 @@ pub fn execute_select_with_stats(
         subquery_cache: HashMap::new(),
         outer: Vec::new(),
         used_outer: false,
+        bound,
     };
     let rs = exec_select(&mut ctx, stmt)?;
+    // Depth-0 results are never inserted into the subquery cache, so the
+    // Arc is uniquely held here; the fallback clone is unreachable belt
+    // and braces.
+    let rs = Arc::try_unwrap(rs).unwrap_or_else(|arc| (*arc).clone());
     Ok((rs, ExecStats { rows_scanned: ctx.rows_scanned }))
 }
 
@@ -65,6 +91,7 @@ pub fn eval_in_row(
         subquery_cache: HashMap::new(),
         outer: Vec::new(),
         used_outer: false,
+        bound: false,
     };
     eval_expr(&mut ctx, e, &layout, row)
 }
@@ -81,6 +108,7 @@ pub fn eval_const(e: &Expr) -> SqlResult<Value> {
         subquery_cache: HashMap::new(),
         outer: Vec::new(),
         used_outer: false,
+        bound: false,
     };
     eval_expr(&mut ctx, e, &[], &[])
 }
@@ -93,14 +121,19 @@ struct Ctx<'a> {
     /// *uncorrelated* subqueries are cached: a nested SELECT that never
     /// reads the outer row evaluates to the same result every time, so
     /// evaluating it once per statement is a pure optimisation. Correlated
-    /// subqueries set [`Ctx::used_outer`] and bypass the cache.
-    subquery_cache: HashMap<usize, ResultSet>,
+    /// subqueries set [`Ctx::used_outer`] and bypass the cache. Results
+    /// are shared by `Arc` so a hit costs one refcount bump instead of a
+    /// whole-`ResultSet` clone per outer row.
+    subquery_cache: HashMap<usize, Arc<ResultSet>>,
     /// Enclosing row environments for correlated subqueries, innermost
     /// last: `(layout, row)` snapshots pushed at each subquery eval site.
     outer: Vec<(Vec<ColBinding>, Row)>,
     /// Set when the current (sub)query resolved a column through an outer
     /// environment — i.e. it is correlated and must not be memoised.
     used_outer: bool,
+    /// The statement went through the prepare-time binding pass, which
+    /// already substituted projection aliases into GROUP BY / HAVING.
+    bound: bool,
 }
 
 const MAX_SUBQUERY_DEPTH: usize = 16;
@@ -112,17 +145,52 @@ struct ColBinding {
     column: String,
 }
 
-struct Source {
-    layout: Vec<ColBinding>,
-    rows: Vec<Row>,
+/// Rows flowing between FROM, filter, and projection. Base-table scans
+/// borrow straight from [`Database`] storage and FROM-subqueries share the
+/// memoised `Arc<ResultSet>`; only operators that actually produce new
+/// rows (filters, joins) materialise owned vectors.
+enum Rows<'a> {
+    Owned(Vec<Row>),
+    Borrowed(&'a [Row]),
+    Shared(Arc<ResultSet>),
 }
 
-fn exec_select(ctx: &mut Ctx, stmt: &SelectStmt) -> SqlResult<ResultSet> {
+impl Rows<'_> {
+    fn as_slice(&self) -> &[Row] {
+        match self {
+            Rows::Owned(v) => v,
+            Rows::Borrowed(s) => s,
+            Rows::Shared(rs) => &rs.rows,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn into_owned(self) -> Vec<Row> {
+        match self {
+            Rows::Owned(v) => v,
+            Rows::Borrowed(s) => s.to_vec(),
+            Rows::Shared(rs) => match Arc::try_unwrap(rs) {
+                Ok(owned) => owned.rows,
+                Err(shared) => shared.rows.clone(),
+            },
+        }
+    }
+}
+
+struct Source<'a> {
+    layout: Vec<ColBinding>,
+    rows: Rows<'a>,
+}
+
+fn exec_select(ctx: &mut Ctx<'_>, stmt: &SelectStmt) -> SqlResult<Arc<ResultSet>> {
     let key = stmt as *const SelectStmt as usize;
     if ctx.depth > 0 {
         // only uncorrelated executions ever get inserted, so a hit is safe
         if let Some(cached) = ctx.subquery_cache.get(&key) {
-            return Ok(cached.clone());
+            return Ok(Arc::clone(cached));
         }
     }
     ctx.depth += 1;
@@ -131,13 +199,13 @@ fn exec_select(ctx: &mut Ctx, stmt: &SelectStmt) -> SqlResult<ResultSet> {
     }
     let outer_used_before = ctx.used_outer;
     ctx.used_outer = false;
-    let result = exec_select_inner(ctx, stmt);
+    let result = exec_select_inner(ctx, stmt).map(Arc::new);
     let correlated = ctx.used_outer;
     ctx.used_outer = outer_used_before || correlated;
     ctx.depth -= 1;
     if ctx.depth > 0 && !correlated {
         if let Ok(rs) = &result {
-            ctx.subquery_cache.insert(key, rs.clone());
+            ctx.subquery_cache.insert(key, Arc::clone(rs));
         }
     }
     result
@@ -202,13 +270,14 @@ fn output_order_index(columns: &[String], e: &Expr) -> SqlResult<usize> {
 }
 
 fn combine(left: ResultSet, right: ResultSet, op: CompoundOp) -> ResultSet {
-    let columns = left.columns.clone();
+    let ResultSet { columns, rows: left_rows } = left;
     let norm = |rows: &[Row]| -> Vec<Vec<NormValue>> {
         rows.iter().map(|r| r.iter().map(Value::normalized).collect()).collect()
     };
     let rows = match op {
         CompoundOp::UnionAll => {
-            let mut rows = left.rows;
+            let mut rows = left_rows;
+            rows.reserve(right.rows.len());
             rows.extend(right.rows);
             rows
         }
@@ -216,7 +285,7 @@ fn combine(left: ResultSet, right: ResultSet, op: CompoundOp) -> ResultSet {
             let mut seen: std::collections::HashSet<Vec<NormValue>> =
                 std::collections::HashSet::new();
             let mut rows = Vec::new();
-            for r in left.rows.into_iter().chain(right.rows) {
+            for r in left_rows.into_iter().chain(right.rows) {
                 if seen.insert(r.iter().map(Value::normalized).collect()) {
                     rows.push(r);
                 }
@@ -227,7 +296,7 @@ fn combine(left: ResultSet, right: ResultSet, op: CompoundOp) -> ResultSet {
             let rset: std::collections::HashSet<Vec<NormValue>> =
                 norm(&right.rows).into_iter().collect();
             let mut seen = std::collections::HashSet::new();
-            left.rows
+            left_rows
                 .into_iter()
                 .filter(|r| {
                     let key: Vec<NormValue> = r.iter().map(Value::normalized).collect();
@@ -239,7 +308,7 @@ fn combine(left: ResultSet, right: ResultSet, op: CompoundOp) -> ResultSet {
             let rset: std::collections::HashSet<Vec<NormValue>> =
                 norm(&right.rows).into_iter().collect();
             let mut seen = std::collections::HashSet::new();
-            left.rows
+            left_rows
                 .into_iter()
                 .filter(|r| {
                     let key: Vec<NormValue> = r.iter().map(Value::normalized).collect();
@@ -283,28 +352,43 @@ fn project_core(
 ) -> SqlResult<(ResultSet, Vec<Vec<Value>>)> {
     let source = match &core.from {
         Some(from) => build_from(ctx, from)?,
-        None => Source { layout: Vec::new(), rows: vec![Vec::new()] },
+        None => Source { layout: Vec::new(), rows: Rows::Owned(vec![Vec::new()]) },
     };
+    let Source { layout, rows: source_rows } = source;
 
-    // WHERE
-    let mut rows: Vec<Row> = Vec::with_capacity(source.rows.len().min(1024));
-    if let Some(w) = &core.where_clause {
+    // WHERE: owned inputs move matching rows through; borrowed or shared
+    // inputs clone only the survivors.
+    let rows: Rows = if let Some(w) = &core.where_clause {
         if contains_aggregate(w) {
             return Err(SqlError::MisusedAggregate("aggregate in WHERE clause".into()));
         }
-        for row in &source.rows {
-            ctx.rows_scanned += 1;
-            if eval_expr(ctx, w, &source.layout, row)?.truthiness() == Some(true) {
-                rows.push(row.clone());
+        let mut kept: Vec<Row> = Vec::with_capacity(source_rows.len().min(1024));
+        match source_rows {
+            Rows::Owned(owned) => {
+                for row in owned {
+                    ctx.rows_scanned += 1;
+                    if eval_expr(ctx, w, &layout, &row)?.truthiness() == Some(true) {
+                        kept.push(row);
+                    }
+                }
+            }
+            other => {
+                for row in other.as_slice() {
+                    ctx.rows_scanned += 1;
+                    if eval_expr(ctx, w, &layout, row)?.truthiness() == Some(true) {
+                        kept.push(row.clone());
+                    }
+                }
             }
         }
+        Rows::Owned(kept)
     } else {
-        ctx.rows_scanned += source.rows.len() as u64;
-        rows = source.rows;
-    }
+        ctx.rows_scanned += source_rows.len() as u64;
+        source_rows
+    };
 
     // expand projection items
-    let items = expand_items(&core.items, &source.layout)?;
+    let items = expand_items(&core.items, &layout)?;
     let labels: Vec<String> = items.iter().map(|(_, l)| l.clone()).collect();
 
     // ORDER BY rewriting: alias / position references become item exprs
@@ -322,16 +406,16 @@ fn project_core(
         });
 
     let (mut out_rows, mut key_rows) = if needs_group {
-        project_grouped(ctx, core, &source.layout, rows, &items, &order_exprs)?
+        project_grouped(ctx, core, &layout, rows.into_owned(), &items, &order_exprs)?
     } else {
         let mut out_rows = Vec::with_capacity(rows.len());
         let mut key_rows = Vec::with_capacity(rows.len());
-        for row in &rows {
+        for row in rows.as_slice() {
             let mut projected = Vec::with_capacity(items.len());
             for (e, _) in &items {
-                projected.push(eval_expr(ctx, e, &source.layout, row)?);
+                projected.push(eval_expr(ctx, e, &layout, row)?);
             }
-            let keys = eval_order_keys(ctx, &order_exprs, &source.layout, row, &projected)?;
+            let keys = eval_order_keys(ctx, &order_exprs, &layout, row, &projected)?;
             out_rows.push(projected);
             key_rows.push(keys);
         }
@@ -462,7 +546,7 @@ fn expand_items(
 
 /// SQLite labels an un-aliased bare column by its column name, anything
 /// else by its source text.
-fn default_label(e: &Expr) -> String {
+pub(crate) fn default_label(e: &Expr) -> String {
     match e {
         Expr::Column { column, .. } => column.clone(),
         other => crate::printer::print_expr(other),
@@ -479,10 +563,17 @@ fn project_grouped(
     items: &[(Expr, String)],
     order_exprs: &[OrderTarget],
 ) -> SqlResult<(Vec<Row>, Vec<Vec<Value>>)> {
-    // GROUP BY and HAVING may reference projection aliases; substitute them.
-    let group_by: Vec<Expr> =
-        core.group_by.iter().map(|g| substitute_aliases(g, items)).collect();
-    let having: Option<Expr> = core.having.as_ref().map(|h| substitute_aliases(h, items));
+    // GROUP BY and HAVING may reference projection aliases; substitute
+    // them. Prepared statements arrive pre-substituted by the binding
+    // pass, and substituting twice is not idempotent.
+    let (group_by, having): (Vec<Expr>, Option<Expr>) = if ctx.bound {
+        (core.group_by.clone(), core.having.clone())
+    } else {
+        (
+            core.group_by.iter().map(|g| substitute_aliases(g, items)).collect(),
+            core.having.as_ref().map(|h| substitute_aliases(h, items)),
+        )
+    };
 
     // Partition rows into groups.
     let groups: Vec<Vec<Row>> = if group_by.is_empty() {
@@ -542,7 +633,7 @@ fn project_grouped(
 
 /// Replace unqualified column references that match a projection alias with
 /// the aliased expression (GROUP BY / HAVING alias support).
-fn substitute_aliases(e: &Expr, items: &[(Expr, String)]) -> Expr {
+pub(crate) fn substitute_aliases(e: &Expr, items: &[(Expr, String)]) -> Expr {
     let mut out = e.clone();
     out.walk_mut(&mut |node| {
         let Expr::Column { table: None, column } = &*node else { return };
@@ -729,7 +820,7 @@ fn eval_aggregate(
 
 // ---------------- FROM / joins ----------------
 
-fn build_from(ctx: &mut Ctx, from: &FromClause) -> SqlResult<Source> {
+fn build_from<'a>(ctx: &mut Ctx<'a>, from: &FromClause) -> SqlResult<Source<'a>> {
     let mut acc = scan_table_ref(ctx, &from.base)?;
     for join in &from.joins {
         let right = scan_table_ref(ctx, &join.table)?;
@@ -738,11 +829,13 @@ fn build_from(ctx: &mut Ctx, from: &FromClause) -> SqlResult<Source> {
     Ok(acc)
 }
 
-fn scan_table_ref(ctx: &mut Ctx, tref: &TableRef) -> SqlResult<Source> {
+fn scan_table_ref<'a>(ctx: &mut Ctx<'a>, tref: &TableRef) -> SqlResult<Source<'a>> {
     match tref {
         TableRef::Named { name, alias } => {
-            let info = ctx
-                .db
+            // copy the `&'a Database` out so the borrow of table storage
+            // outlives this `&mut ctx` borrow
+            let db = ctx.db;
+            let info = db
                 .schema
                 .table(name)
                 .ok_or_else(|| SqlError::NoSuchTable(name.clone()))?;
@@ -752,9 +845,9 @@ fn scan_table_ref(ctx: &mut Ctx, tref: &TableRef) -> SqlResult<Source> {
                 .iter()
                 .map(|c| ColBinding { binding: binding.clone(), column: c.name.clone() })
                 .collect();
-            let rows = ctx.db.rows(&info.name)?.to_vec();
+            let rows = db.rows(&info.name)?;
             ctx.rows_scanned += rows.len() as u64;
-            Ok(Source { layout, rows })
+            Ok(Source { layout, rows: Rows::Borrowed(rows) })
         }
         TableRef::Subquery { query, alias } => {
             let rs = exec_select(ctx, query)?;
@@ -763,12 +856,21 @@ fn scan_table_ref(ctx: &mut Ctx, tref: &TableRef) -> SqlResult<Source> {
                 .iter()
                 .map(|c| ColBinding { binding: alias.clone(), column: c.clone() })
                 .collect();
-            Ok(Source { layout, rows: rs.rows })
+            let rows = match Arc::try_unwrap(rs) {
+                Ok(owned) => Rows::Owned(owned.rows),
+                Err(shared) => Rows::Shared(shared),
+            };
+            Ok(Source { layout, rows })
         }
     }
 }
 
-fn join_sources(ctx: &mut Ctx, left: Source, right: Source, join: &Join) -> SqlResult<Source> {
+fn join_sources<'a>(
+    ctx: &mut Ctx<'a>,
+    left: Source<'a>,
+    right: Source<'a>,
+    join: &Join,
+) -> SqlResult<Source<'a>> {
     let mut layout = left.layout.clone();
     layout.extend(right.layout.iter().cloned());
 
@@ -783,9 +885,9 @@ fn join_sources(ctx: &mut Ctx, left: Source, right: Source, join: &Join) -> SqlR
 
     // Fallback: nested loop.
     let mut rows = Vec::new();
-    for lrow in &left.rows {
+    for lrow in left.rows.as_slice() {
         let mut matched = false;
-        for rrow in &right.rows {
+        for rrow in right.rows.as_slice() {
             ctx.rows_scanned += 1;
             let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
             combined.extend(lrow.iter().cloned());
@@ -805,7 +907,7 @@ fn join_sources(ctx: &mut Ctx, left: Source, right: Source, join: &Join) -> SqlR
             rows.push(combined);
         }
     }
-    Ok(Source { layout, rows })
+    Ok(Source { layout, rows: Rows::Owned(rows) })
 }
 
 /// Detect `a.x = b.y` where `a.x` resolves purely in the left layout and
@@ -845,24 +947,26 @@ fn equi_join_indices(
     }
 }
 
-fn hash_join(
-    ctx: &mut Ctx,
-    left: Source,
-    right: Source,
+fn hash_join<'a>(
+    ctx: &mut Ctx<'a>,
+    left: Source<'a>,
+    right: Source<'a>,
     layout: Vec<ColBinding>,
     li: usize,
     ri: usize,
     kind: JoinKind,
-) -> SqlResult<Source> {
-    let mut index: HashMap<NormValue, Vec<usize>> = HashMap::with_capacity(right.rows.len());
-    for (i, row) in right.rows.iter().enumerate() {
+) -> SqlResult<Source<'a>> {
+    let right_rows = right.rows.as_slice();
+    let mut index: HashMap<NormValue, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+    for (i, row) in right_rows.iter().enumerate() {
         let key = &row[ri];
         if !key.is_null() {
             index.entry(key.normalized()).or_default().push(i);
         }
     }
-    let mut rows = Vec::with_capacity(left.rows.len());
-    for lrow in &left.rows {
+    let left_rows = left.rows.as_slice();
+    let mut rows = Vec::with_capacity(left_rows.len());
+    for lrow in left_rows {
         ctx.rows_scanned += 1;
         let key = &lrow[li];
         let matches = if key.is_null() { None } else { index.get(&key.normalized()) };
@@ -870,9 +974,9 @@ fn hash_join(
             Some(idxs) if !idxs.is_empty() => {
                 for &i in idxs {
                     ctx.rows_scanned += 1;
-                    let mut combined = Vec::with_capacity(lrow.len() + right.rows[i].len());
+                    let mut combined = Vec::with_capacity(lrow.len() + right_rows[i].len());
                     combined.extend(lrow.iter().cloned());
-                    combined.extend(right.rows[i].iter().cloned());
+                    combined.extend(right_rows[i].iter().cloned());
                     rows.push(combined);
                 }
             }
@@ -885,7 +989,7 @@ fn hash_join(
             }
         }
     }
-    Ok(Source { layout, rows })
+    Ok(Source { layout, rows: Rows::Owned(rows) })
 }
 
 // ---------------- expression evaluation ----------------
@@ -936,6 +1040,27 @@ fn eval_expr(ctx: &mut Ctx, e: &Expr, layout: &[ColBinding], row: &[Value]) -> S
                     Err(e)
                 }
             }
+        }
+        Expr::BoundColumn { index } => row
+            .get(*index)
+            .cloned()
+            .ok_or_else(|| SqlError::Other("bound column outside its prepared layout".into())),
+        Expr::OuterColumn { up, index } => {
+            // the binder only emits these where the runtime environment
+            // chain matches the static one, so the guards are defensive
+            let level = ctx
+                .outer
+                .len()
+                .checked_sub(up + 1)
+                .and_then(|i| ctx.outer.get(i))
+                .ok_or_else(|| {
+                    SqlError::Other("bound outer column outside its prepared environment".into())
+                })?;
+            let v = level.1.get(*index).cloned().ok_or_else(|| {
+                SqlError::Other("bound outer column outside its prepared layout".into())
+            })?;
+            ctx.used_outer = true;
+            Ok(v)
         }
         Expr::Unary { op, expr } => {
             let v = eval_expr(ctx, expr, layout, row)?;
@@ -1100,11 +1225,11 @@ fn eval_expr(ctx: &mut Ctx, e: &Expr, layout: &[ColBinding], row: &[Value]) -> S
 /// Execute a nested SELECT with the current row pushed as an enclosing
 /// environment, enabling correlated references.
 fn exec_subquery(
-    ctx: &mut Ctx,
+    ctx: &mut Ctx<'_>,
     query: &SelectStmt,
     layout: &[ColBinding],
     row: &[Value],
-) -> SqlResult<ResultSet> {
+) -> SqlResult<Arc<ResultSet>> {
     ctx.outer.push((layout.to_vec(), row.to_vec()));
     let result = exec_select(ctx, query);
     ctx.outer.pop();
@@ -1234,26 +1359,39 @@ fn cast_value(v: Value, ty: TypeName) -> Value {
 }
 
 /// SQL LIKE with `%` and `_`, ASCII case-insensitive as SQLite defaults to.
+///
+/// Greedy two-pointer matcher: on a mismatch after a `%`, the pattern
+/// rewinds to just past the most recent `%` and the text advances one
+/// character. Each backtrack strictly advances the text restart point, so
+/// the worst case is O(|pattern| × |text|) — unlike the naive recursive
+/// formulation, which is exponential on patterns like `'a%a%a%…'`.
 pub fn like_match(pattern: &str, text: &str) -> bool {
-    fn rec(p: &[char], t: &[char]) -> bool {
-        match p.first() {
-            None => t.is_empty(),
-            Some('%') => {
-                // collapse consecutive %
-                let rest = &p[1..];
-                (0..=t.len()).any(|k| rec(rest, &t[k..]))
-            }
-            Some('_') => !t.is_empty() && rec(&p[1..], &t[1..]),
-            Some(c) => {
-                !t.is_empty()
-                    && t[0].eq_ignore_ascii_case(c)
-                    && rec(&p[1..], &t[1..])
-            }
-        }
-    }
     let p: Vec<char> = pattern.chars().collect();
     let t: Vec<char> = text.chars().collect();
-    rec(&p, &t)
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // pattern/text resume points for the last `%` seen
+    let mut star: Option<usize> = None;
+    let mut star_ti = 0usize;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || (p[pi] != '%' && p[pi].eq_ignore_ascii_case(&t[ti]))) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi + 1);
+            star_ti = ti;
+            pi += 1;
+        } else if let Some(resume) = star {
+            pi = resume;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 #[cfg(test)]
@@ -1486,6 +1624,25 @@ mod tests {
         assert!(!like_match("h_llo", "heello"));
         assert!(like_match("%", ""));
         assert!(!like_match("_", ""));
+        assert!(like_match("%_llo", "hello"));
+        assert!(like_match("a%b%c", "axxbyybzzc"));
+        assert!(!like_match("a%b%c", "axxbyyb"));
+    }
+
+    #[test]
+    fn like_pathological_pattern_is_fast() {
+        // 'a%a%a%…a' against 'aaaa…b' is exponential for a naive recursive
+        // matcher; the two-pointer matcher finishes instantly.
+        let pattern = "a%".repeat(30) + "a";
+        let text = "a".repeat(120) + "b";
+        let started = std::time::Instant::now();
+        assert!(!like_match(&pattern, &text));
+        assert!(like_match(&pattern, &"a".repeat(120)));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "pathological LIKE took {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

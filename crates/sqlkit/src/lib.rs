@@ -35,6 +35,7 @@ pub mod error;
 pub mod exec;
 pub mod functions;
 pub mod parser;
+pub mod prepare;
 pub mod printer;
 pub mod schema;
 pub mod token;
@@ -45,6 +46,9 @@ pub use db::Database;
 pub use error::{SqlError, SqlErrorKind, SqlResult};
 pub use exec::{execute_select, execute_select_with_stats, ExecStats};
 pub use parser::{parse_script, parse_select, parse_statement};
+pub use prepare::{
+    plan_cache, prepare, prepare_stmt, schema_fingerprint, PlanCache, PlanCacheStats, Prepared,
+};
 pub use printer::{print_expr, print_select, print_stmt};
 pub use schema::{ColumnInfo, DbSchema, ForeignKey, SchemaSubset, TableInfo};
 pub use value::{NormValue, ResultSet, Row, Value};

@@ -1,0 +1,909 @@
+//! Prepared statements: parse once, bind column references to row-layout
+//! slots, fold constant subtrees, and cache the resulting plans.
+//!
+//! The refine → execute → correct loop and the vote tie-break execute the
+//! same SQL against the same database many times; [`prepare`] moves all
+//! name resolution out of the per-row path. The binding pass is strictly
+//! best-effort and semantics-preserving: any reference it cannot resolve
+//! statically is left as a raw [`Expr::Column`] so execution produces the
+//! exact same results, errors, and `rows_scanned` counts as the
+//! unprepared interpreter.
+//!
+//! What the binder does per SELECT core, mirroring the executor:
+//!
+//! 1. resolves the FROM layout (recursing into FROM subqueries),
+//! 2. freezes output labels (`AS` aliases are materialised, `*` and
+//!    `alias.*` are pre-expanded when the layout is known),
+//! 3. performs the GROUP BY / HAVING projection-alias substitution that
+//!    the executor would otherwise re-do on every execution,
+//! 4. rewrites resolvable columns into [`Expr::BoundColumn`] (local slot)
+//!    or [`Expr::OuterColumn`] (correlated environment slot),
+//! 5. folds literal-only subtrees through [`eval_const`].
+//!
+//! Anything that would change observable behaviour is deliberately left
+//! alone: JOIN ON expressions (so the hash-join detection and row-visit
+//! accounting stay identical), ORDER BY terms that the executor treats as
+//! positions or output labels, and the separator argument of
+//! `group_concat` (evaluated without row context at run time).
+
+use crate::ast::*;
+use crate::db::Database;
+use crate::error::{SqlError, SqlResult};
+use crate::exec::{self, eval_const, ExecStats};
+use crate::functions::is_aggregate_name;
+use crate::schema::DbSchema;
+use crate::value::{ResultSet, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------- schema fingerprint ----------------
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A stable fingerprint of a database schema: table and column names and
+/// declared types. A [`Prepared`] statement embeds slot indices resolved
+/// against a specific schema, so executing it is only valid against a
+/// database with the same fingerprint.
+pub fn schema_fingerprint(schema: &DbSchema) -> u64 {
+    let mut h = fnv1a(FNV_BASIS, schema.name.as_bytes());
+    for t in &schema.tables {
+        h = fnv1a(h, &[0xff]);
+        h = fnv1a(h, t.name.as_bytes());
+        for c in &t.columns {
+            h = fnv1a(h, &[0xfe]);
+            h = fnv1a(h, c.name.as_bytes());
+            h = fnv1a(h, c.ty.as_sql().as_bytes());
+        }
+    }
+    h
+}
+
+// ---------------- prepared statements ----------------
+
+/// A SELECT statement that went through the binding pass.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    stmt: SelectStmt,
+    fingerprint: u64,
+}
+
+impl Prepared {
+    /// The bound statement (for inspection and testing).
+    pub fn statement(&self) -> &SelectStmt {
+        &self.stmt
+    }
+
+    /// Fingerprint of the schema this plan was prepared against.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Execute against `db`, which must have the schema the plan was
+    /// prepared against.
+    pub fn execute(&self, db: &Database) -> SqlResult<ResultSet> {
+        self.execute_with_stats(db).map(|(rs, _)| rs)
+    }
+
+    /// Execute against `db`, also reporting execution statistics.
+    pub fn execute_with_stats(&self, db: &Database) -> SqlResult<(ResultSet, ExecStats)> {
+        if schema_fingerprint(&db.schema) != self.fingerprint {
+            return Err(SqlError::Other(
+                "prepared statement executed against a different schema".into(),
+            ));
+        }
+        exec::execute_prepared_with_stats(db, &self.stmt)
+    }
+}
+
+/// Parse and bind a SELECT statement against `db`'s schema.
+pub fn prepare(db: &Database, sql: &str) -> SqlResult<Prepared> {
+    let stmt = crate::parser::parse_select(sql)?;
+    Ok(prepare_stmt(db, stmt))
+}
+
+/// Bind an already-parsed SELECT statement against `db`'s schema.
+pub fn prepare_stmt(db: &Database, mut stmt: SelectStmt) -> Prepared {
+    let binder = Binder { schema: &db.schema };
+    binder.bind_statement(&mut stmt, &[]);
+    Prepared { stmt, fingerprint: schema_fingerprint(&db.schema) }
+}
+
+// ---------------- the binding pass ----------------
+
+/// One column of a statically resolved row layout, mirroring the
+/// executor's runtime `ColBinding`.
+#[derive(Debug, Clone)]
+struct BoundCol {
+    binding: String,
+    column: String,
+}
+
+/// Replicates `exec::resolve` statically: qualified references take the
+/// first `(binding, column)` match, unqualified references must match a
+/// unique column. `None` covers both "not found" and "ambiguous" — in
+/// either case the reference is left raw so the runtime resolver produces
+/// the identical error (or falls through to an outer environment).
+fn static_resolve(layout: &[BoundCol], table: Option<&str>, column: &str) -> Option<usize> {
+    match table {
+        Some(t) => layout.iter().position(|b| {
+            b.binding.eq_ignore_ascii_case(t) && b.column.eq_ignore_ascii_case(column)
+        }),
+        None => {
+            let mut hits = layout
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.column.eq_ignore_ascii_case(column));
+            let first = hits.next();
+            match (first, hits.next()) {
+                (Some((i, _)), None) => Some(i),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Fold a fully-constant expression into a literal. Failures are left
+/// unfolded so the runtime raises the identical error at the same point.
+fn try_fold(e: &mut Expr) {
+    if matches!(e, Expr::Literal(_)) {
+        return;
+    }
+    if let Ok(v) = eval_const(e) {
+        *e = Expr::Literal(v);
+    }
+}
+
+struct Env<'a> {
+    layout: &'a [BoundCol],
+    chain: &'a [Vec<BoundCol>],
+}
+
+struct CoreInfo {
+    layout: Option<Vec<BoundCol>>,
+    labels: Option<Vec<String>>,
+}
+
+struct Binder<'a> {
+    schema: &'a DbSchema,
+}
+
+impl Binder<'_> {
+    /// Bind a statement whose enclosing (correlated) environments have the
+    /// layouts in `chain`, innermost last. Returns the statement's output
+    /// labels when they are statically known.
+    fn bind_statement(&self, stmt: &mut SelectStmt, chain: &[Vec<BoundCol>]) -> Option<Vec<String>> {
+        let compound = !stmt.compounds.is_empty();
+        let first = self.bind_core(&mut stmt.core, chain);
+        for (_, core) in &mut stmt.compounds {
+            self.bind_core(core, chain);
+        }
+        if !compound {
+            // Single-core ORDER BY terms evaluate against the core's own
+            // layout; compound ORDER BY is resolved purely against output
+            // columns and must stay raw.
+            if let (Some(layout), Some(labels)) = (&first.layout, &first.labels) {
+                let env = Env { layout, chain };
+                for item in &mut stmt.order_by {
+                    self.bind_order_expr(&mut item.expr, labels, &env);
+                }
+            }
+        }
+        // LIMIT/OFFSET evaluate with an empty local layout; correlated
+        // references still see the ambient chain.
+        let empty: Vec<BoundCol> = Vec::new();
+        let env = Env { layout: &empty, chain };
+        if let Some(l) = &mut stmt.limit {
+            self.bind_and_fold(l, &env);
+        }
+        if let Some(o) = &mut stmt.offset {
+            self.bind_and_fold(o, &env);
+        }
+        first.labels
+    }
+
+    fn bind_core(&self, core: &mut SelectCore, chain: &[Vec<BoundCol>]) -> CoreInfo {
+        let layout = match &mut core.from {
+            Some(from) => self.layout_of_from(from, chain),
+            None => Some(Vec::new()),
+        };
+        let Some(layout) = layout else {
+            // Some FROM reference is unresolvable: execution fails inside
+            // build_from before any of this core's expressions run, so
+            // leave them raw for identical errors.
+            return CoreInfo { layout: None, labels: None };
+        };
+        // Freeze output labels before binding mutates the expressions the
+        // default label would be printed from.
+        for item in &mut core.items {
+            if let SelectItem::Expr { expr, alias } = item {
+                if alias.is_none() {
+                    *alias = Some(exec::default_label(expr));
+                }
+            }
+        }
+        let expandable = core.items.iter().all(|item| match item {
+            SelectItem::Wildcard => !layout.is_empty(),
+            SelectItem::TableWildcard(t) => {
+                layout.iter().any(|b| b.binding.eq_ignore_ascii_case(t))
+            }
+            SelectItem::Expr { .. } => true,
+        });
+        if !expandable {
+            // expand_items fails at run time right after the WHERE filter;
+            // only the WHERE clause (and its subqueries) ever evaluates.
+            let env = Env { layout: &layout, chain };
+            if let Some(w) = &mut core.where_clause {
+                self.bind_and_fold(w, &env);
+            }
+            return CoreInfo { layout: Some(layout), labels: None };
+        }
+        // Pre-expand wildcards exactly as exec::expand_items does: each
+        // layout slot becomes a qualified reference labelled by its column
+        // name, which the binding below resolves to its first-match index.
+        let mut items = Vec::with_capacity(core.items.len());
+        for item in core.items.drain(..) {
+            match item {
+                SelectItem::Wildcard => {
+                    for b in &layout {
+                        items.push(SelectItem::Expr {
+                            expr: Expr::qcol(b.binding.clone(), b.column.clone()),
+                            alias: Some(b.column.clone()),
+                        });
+                    }
+                }
+                SelectItem::TableWildcard(t) => {
+                    for b in &layout {
+                        if b.binding.eq_ignore_ascii_case(&t) {
+                            items.push(SelectItem::Expr {
+                                expr: Expr::qcol(b.binding.clone(), b.column.clone()),
+                                alias: Some(b.column.clone()),
+                            });
+                        }
+                    }
+                }
+                other => items.push(other),
+            }
+        }
+        core.items = items;
+        // Snapshot the raw (expr, label) pairs — exactly what the executor's
+        // expand_items would yield — for the alias substitution below.
+        let snapshot: Vec<(Expr, String)> = core
+            .items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Expr { expr, alias } => {
+                    (expr.clone(), alias.clone().unwrap_or_default())
+                }
+                _ => unreachable!("wildcards were just expanded"),
+            })
+            .collect();
+        let labels: Vec<String> = snapshot.iter().map(|(_, l)| l.clone()).collect();
+        // GROUP BY / HAVING projection-alias substitution, normally redone
+        // by project_grouped on every execution. The executor skips its
+        // runtime pass for prepared statements (substituting twice is not
+        // idempotent), so this must run for every core in the tree.
+        core.group_by =
+            core.group_by.iter().map(|g| exec::substitute_aliases(g, &snapshot)).collect();
+        core.having = core.having.as_ref().map(|h| exec::substitute_aliases(h, &snapshot));
+        let env = Env { layout: &layout, chain };
+        if let Some(w) = &mut core.where_clause {
+            self.bind_and_fold(w, &env);
+        }
+        for item in &mut core.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                self.bind_and_fold(expr, &env);
+            }
+        }
+        for g in &mut core.group_by {
+            self.bind_and_fold(g, &env);
+        }
+        if let Some(h) = &mut core.having {
+            self.bind_and_fold(h, &env);
+        }
+        CoreInfo { layout: Some(layout), labels: Some(labels) }
+    }
+
+    /// Resolve the FROM clause's combined layout, binding FROM subqueries
+    /// (which inherit the ambient chain unchanged) and the subqueries
+    /// nested in ON predicates (which see the join prefix as their
+    /// innermost environment). The ON expressions themselves stay raw so
+    /// equi-join detection and row-visit accounting are untouched.
+    fn layout_of_from(&self, from: &mut FromClause, chain: &[Vec<BoundCol>]) -> Option<Vec<BoundCol>> {
+        let mut layout = self.table_layout(&mut from.base, chain);
+        for join in &mut from.joins {
+            let right = self.table_layout(&mut join.table, chain);
+            layout = match (layout, right) {
+                (Some(mut l), Some(r)) => {
+                    l.extend(r);
+                    Some(l)
+                }
+                _ => None,
+            };
+            if let Some(on) = &mut join.on {
+                // The nested-loop path evaluates ON against everything
+                // scanned so far; an unknown prefix already failed before
+                // this ON could run.
+                if let Some(prefix) = &layout {
+                    let mut chain2 = chain.to_vec();
+                    chain2.push(prefix.clone());
+                    on.walk_mut(&mut |node| match node {
+                        Expr::Subquery(q) => {
+                            self.bind_statement(q, &chain2);
+                        }
+                        Expr::InSubquery { query, .. } | Expr::Exists { query, .. } => {
+                            self.bind_statement(query, &chain2);
+                        }
+                        _ => {}
+                    });
+                }
+            }
+        }
+        layout
+    }
+
+    fn table_layout(&self, tref: &mut TableRef, chain: &[Vec<BoundCol>]) -> Option<Vec<BoundCol>> {
+        match tref {
+            TableRef::Named { name, alias } => {
+                let info = self.schema.table(name)?;
+                let binding = alias.clone().unwrap_or_else(|| info.name.clone());
+                Some(
+                    info.columns
+                        .iter()
+                        .map(|c| BoundCol { binding: binding.clone(), column: c.name.clone() })
+                        .collect(),
+                )
+            }
+            TableRef::Subquery { query, alias } => {
+                let labels = self.bind_statement(query, chain)?;
+                Some(
+                    labels
+                        .into_iter()
+                        .map(|column| BoundCol { binding: alias.clone(), column })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// ORDER BY terms the executor resolves as positions or output-label
+    /// references must stay raw; everything else binds but never folds at
+    /// the top (a folded integer literal would be re-read as a position).
+    fn bind_order_expr(&self, e: &mut Expr, labels: &[String], env: &Env) {
+        match e {
+            Expr::Literal(Value::Int(k)) if *k >= 1 && (*k as usize) <= labels.len() => {}
+            Expr::Column { table: None, column }
+                if labels.iter().any(|l| l.eq_ignore_ascii_case(column)) => {}
+            _ => {
+                self.bind_expr(e, env);
+            }
+        }
+    }
+
+    fn bind_and_fold(&self, e: &mut Expr, env: &Env) {
+        if self.bind_expr(e, env) {
+            try_fold(e);
+        }
+    }
+
+    /// Bind children; when every child is constant the composite itself is
+    /// constant (returned to the caller unfolded so folding happens at the
+    /// topmost constant boundary), otherwise fold each constant child.
+    fn bind_composite(&self, mut kids: Vec<&mut Expr>, env: &Env) -> bool {
+        let flags: Vec<bool> = kids.iter_mut().map(|k| self.bind_expr(k, env)).collect();
+        if flags.iter().all(|f| *f) {
+            return true;
+        }
+        for (k, is_const) in kids.into_iter().zip(flags) {
+            if is_const {
+                try_fold(k);
+            }
+        }
+        false
+    }
+
+    /// Bind an expression in place, returning whether the whole subtree is
+    /// constant (no columns, wildcards, subqueries, or aggregates).
+    fn bind_expr(&self, e: &mut Expr, env: &Env) -> bool {
+        match e {
+            Expr::Literal(_) => true,
+            Expr::Column { table, column } => {
+                if let Some(index) = static_resolve(env.layout, table.as_deref(), column) {
+                    *e = Expr::BoundColumn { index };
+                } else {
+                    // Replicate the runtime fallback: walk enclosing
+                    // environments innermost-first, first hit wins;
+                    // unresolvable everywhere stays raw for the error.
+                    for (up, layout) in env.chain.iter().rev().enumerate() {
+                        if let Some(index) = static_resolve(layout, table.as_deref(), column) {
+                            *e = Expr::OuterColumn { up, index };
+                            break;
+                        }
+                    }
+                }
+                false
+            }
+            Expr::BoundColumn { .. } | Expr::OuterColumn { .. } | Expr::Wildcard => false,
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+                self.bind_composite(vec![expr.as_mut()], env)
+            }
+            Expr::Binary { left, right, .. } => {
+                self.bind_composite(vec![left.as_mut(), right.as_mut()], env)
+            }
+            Expr::Like { expr, pattern, .. } => {
+                self.bind_composite(vec![expr.as_mut(), pattern.as_mut()], env)
+            }
+            Expr::Between { expr, low, high, .. } => {
+                self.bind_composite(vec![expr.as_mut(), low.as_mut(), high.as_mut()], env)
+            }
+            Expr::InList { expr, list, .. } => {
+                let mut kids: Vec<&mut Expr> = vec![expr.as_mut()];
+                kids.extend(list.iter_mut());
+                self.bind_composite(kids, env)
+            }
+            Expr::Case { operand, branches, else_expr } => {
+                let mut kids: Vec<&mut Expr> = Vec::new();
+                if let Some(op) = operand {
+                    kids.push(op.as_mut());
+                }
+                for (w, t) in branches {
+                    kids.push(w);
+                    kids.push(t);
+                }
+                if let Some(el) = else_expr {
+                    kids.push(el.as_mut());
+                }
+                self.bind_composite(kids, env)
+            }
+            Expr::Function { name, args, .. } if is_aggregate_name(name, args.len()) => {
+                // The first argument evaluates per row in the group;
+                // trailing arguments (group_concat's separator) evaluate
+                // via eval_const with no row context and must stay raw.
+                if let Some(a0) = args.first_mut() {
+                    if self.bind_expr(a0, env) {
+                        try_fold(a0);
+                    }
+                }
+                false
+            }
+            Expr::Function { args, .. } => {
+                self.bind_composite(args.iter_mut().collect(), env)
+            }
+            Expr::Subquery(q) => {
+                let mut chain2 = env.chain.to_vec();
+                chain2.push(env.layout.to_vec());
+                self.bind_statement(q, &chain2);
+                false
+            }
+            Expr::InSubquery { expr, query, .. } => {
+                if self.bind_expr(expr, env) {
+                    try_fold(expr);
+                }
+                let mut chain2 = env.chain.to_vec();
+                chain2.push(env.layout.to_vec());
+                self.bind_statement(query, &chain2);
+                false
+            }
+            Expr::Exists { query, .. } => {
+                let mut chain2 = env.chain.to_vec();
+                chain2.push(env.layout.to_vec());
+                self.bind_statement(query, &chain2);
+                false
+            }
+        }
+    }
+}
+
+// ---------------- plan cache ----------------
+
+/// Counters exported by a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to parse + bind (including parse failures).
+    pub misses: u64,
+    /// Cumulative time spent parsing + binding, in microseconds.
+    pub prepare_us: u64,
+    /// Cumulative time spent executing prepared plans, in microseconds.
+    pub execute_us: u64,
+}
+
+struct Entry {
+    fingerprint: u64,
+    sql: String,
+    tick: u64,
+    plan: Arc<Prepared>,
+}
+
+struct CacheInner {
+    /// Buckets keyed by `fnv(fingerprint, sql)`; collisions chain within
+    /// the bucket so lookups never allocate a composite key string.
+    map: HashMap<u64, Vec<Entry>>,
+    len: usize,
+    tick: u64,
+}
+
+/// An LRU cache of [`Prepared`] plans keyed by (schema fingerprint, SQL),
+/// shared across threads. The refinement loop, the vote tie-break, and
+/// eval's repeated gold-SQL executions all funnel through one cache so a
+/// statement is parsed and bound once per (db, sql) pair.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    prepare_us: AtomicU64,
+    execute_us: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner { map: HashMap::new(), len: 0, tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            prepare_us: AtomicU64::new(0),
+            execute_us: AtomicU64::new(0),
+        }
+    }
+
+    fn key(fingerprint: u64, sql: &str) -> u64 {
+        fnv1a(fnv1a(FNV_BASIS, &fingerprint.to_le_bytes()), sql.as_bytes())
+    }
+
+    /// Fetch (or parse + bind and insert) the plan for `sql` against `db`.
+    /// Parse errors are returned without being cached and count as misses.
+    pub fn prepared(&self, db: &Database, sql: &str) -> SqlResult<Arc<Prepared>> {
+        let fingerprint = schema_fingerprint(&db.schema);
+        let key = Self::key(fingerprint, sql);
+        {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(bucket) = inner.map.get_mut(&key) {
+                if let Some(entry) = bucket
+                    .iter_mut()
+                    .find(|e| e.fingerprint == fingerprint && e.sql == sql)
+                {
+                    entry.tick = tick;
+                    let plan = Arc::clone(&entry.plan);
+                    drop(inner);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(plan);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let prepared = prepare(db, sql);
+        self.prepare_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        let plan = Arc::new(prepared?);
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Another thread may have raced us to the same statement; reuse
+        // its entry instead of growing the cache.
+        if let Some(entry) = inner
+            .map
+            .get_mut(&key)
+            .and_then(|b| b.iter_mut().find(|e| e.fingerprint == fingerprint && e.sql == sql))
+        {
+            entry.tick = tick;
+            return Ok(Arc::clone(&entry.plan));
+        }
+        while inner.len >= self.capacity {
+            evict_oldest(&mut inner);
+        }
+        inner
+            .map
+            .entry(key)
+            .or_default()
+            .push(Entry { fingerprint, sql: sql.to_owned(), tick, plan: Arc::clone(&plan) });
+        inner.len += 1;
+        Ok(plan)
+    }
+
+    /// Prepare (through the cache) and execute in one call, timing the
+    /// execute phase separately from the prepare phase.
+    pub fn execute(&self, db: &Database, sql: &str) -> SqlResult<(ResultSet, ExecStats)> {
+        let plan = self.prepared(db, sql)?;
+        let t0 = Instant::now();
+        let result = plan.execute_with_stats(db);
+        self.execute_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        result
+    }
+
+    /// Snapshot of the cache's cumulative counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            prepare_us: self.prepare_us.load(Ordering::Relaxed),
+            execute_us: self.execute_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").len
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached plan (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.map.clear();
+        inner.len = 0;
+    }
+}
+
+fn evict_oldest(inner: &mut CacheInner) {
+    let mut victim: Option<(u64, u64)> = None; // (bucket key, tick)
+    for (key, bucket) in &inner.map {
+        for e in bucket {
+            if victim.map(|(_, t)| e.tick < t).unwrap_or(true) {
+                victim = Some((*key, e.tick));
+            }
+        }
+    }
+    if let Some((key, tick)) = victim {
+        if let Some(bucket) = inner.map.get_mut(&key) {
+            if let Some(pos) = bucket.iter().position(|e| e.tick == tick) {
+                bucket.remove(pos);
+                inner.len -= 1;
+            }
+            if bucket.is_empty() {
+                inner.map.remove(&key);
+            }
+        }
+    }
+}
+
+/// The process-wide plan cache used by the pipeline's execution helpers.
+pub fn plan_cache() -> &'static PlanCache {
+    static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+    GLOBAL.get_or_init(|| PlanCache::new(512))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_select_with_stats;
+    use crate::parser::parse_select;
+
+    fn clinic() -> Database {
+        let mut db = Database::new("clinic");
+        db.execute_script(
+            "CREATE TABLE Patient (ID INTEGER PRIMARY KEY, Name TEXT, `First Date` TEXT, City TEXT);\
+             CREATE TABLE Laboratory (LabID INTEGER PRIMARY KEY, ID INTEGER, IGA REAL, \
+               FOREIGN KEY (ID) REFERENCES Patient (ID));\
+             INSERT INTO Patient VALUES \
+               (1, 'Ann', '1991-04-02', 'Oslo'), (2, 'Bob', '1988-01-20', 'Oslo'),\
+               (3, 'Cal', '1995-09-13', 'Berne'), (4, 'Dee', '2001-02-05', NULL);\
+             INSERT INTO Laboratory VALUES \
+               (10, 1, 120.0), (11, 1, 300.0), (12, 2, 90.0), (13, 3, 700.0), (14, 4, NULL);",
+        )
+        .unwrap();
+        db
+    }
+
+    /// Raw and prepared execution must agree on results, errors, and the
+    /// rows_scanned cost proxy.
+    fn assert_identical(db: &Database, sql: &str) {
+        let raw = parse_select(sql)
+            .and_then(|stmt| execute_select_with_stats(db, &stmt));
+        let prepared = prepare(db, sql).and_then(|p| p.execute_with_stats(db));
+        match (raw, prepared) {
+            (Ok((rs_r, st_r)), Ok((rs_p, st_p))) => {
+                assert_eq!(rs_r, rs_p, "result mismatch for {sql:?}");
+                assert_eq!(st_r, st_p, "stats mismatch for {sql:?}");
+            }
+            (Err(er), Err(ep)) => {
+                assert_eq!(er.to_string(), ep.to_string(), "error mismatch for {sql:?}");
+            }
+            (r, p) => panic!("outcome mismatch for {sql:?}: raw={r:?} prepared={p:?}"),
+        }
+    }
+
+    #[test]
+    fn prepared_matches_raw_on_core_queries() {
+        let db = clinic();
+        for sql in [
+            "SELECT Name FROM Patient WHERE City = 'Oslo'",
+            "SELECT * FROM Patient ORDER BY ID",
+            "SELECT P.* FROM Patient AS P WHERE P.ID > 1",
+            "SELECT T1.Name, T2.IGA FROM Patient AS T1 INNER JOIN Laboratory AS T2 \
+             ON T1.ID = T2.ID WHERE T2.IGA > 100 ORDER BY T2.IGA DESC",
+            "SELECT City, COUNT(*) AS n FROM Patient GROUP BY City HAVING n > 1",
+            "SELECT City AS c FROM Patient GROUP BY c ORDER BY 1",
+            "SELECT Name FROM Patient WHERE ID IN (SELECT ID FROM Laboratory WHERE IGA > 100)",
+            "SELECT Name FROM Patient AS P WHERE EXISTS \
+             (SELECT 1 FROM Laboratory AS L WHERE L.ID = P.ID AND L.IGA > 500)",
+            "SELECT Name, (SELECT MAX(IGA) FROM Laboratory WHERE Laboratory.ID = Patient.ID) \
+             FROM Patient",
+            "SELECT s.Name FROM (SELECT Name, City FROM Patient WHERE City IS NOT NULL) AS s \
+             WHERE s.City = 'Oslo'",
+            "SELECT Name FROM Patient WHERE Name LIKE 'A%'",
+            "SELECT City FROM Patient UNION SELECT Name FROM Patient ORDER BY 1 LIMIT 3",
+            "SELECT DISTINCT City FROM Patient ORDER BY City LIMIT 2 OFFSET 1",
+            "SELECT Name, CASE WHEN ID < 3 THEN 'lo' ELSE 'hi' END FROM Patient",
+            "SELECT group_concat(Name, '; ') FROM Patient WHERE City = 'Oslo'",
+            "SELECT `First Date` FROM Patient WHERE ID = 2",
+            "SELECT COUNT(*) FROM Patient WHERE 1 + 1 = 2",
+            "SELECT AVG(IGA) FROM Laboratory WHERE ID IN (1, 2, 3)",
+        ] {
+            assert_identical(&db, sql);
+        }
+    }
+
+    #[test]
+    fn prepared_matches_raw_on_errors() {
+        let db = clinic();
+        for sql in [
+            "SELECT Nope FROM Patient",
+            "SELECT ID FROM Ghost",
+            "SELECT ID FROM Patient AS a, Patient AS b WHERE ID = 1",
+            "SELECT * FROM Patient WHERE SUM(ID) > 1",
+        ] {
+            assert_identical(&db, sql);
+        }
+    }
+
+    #[test]
+    fn alias_shadowing_in_group_by_matches_raw() {
+        // `ghost` is both a projection alias and a real column chain:
+        // the substitution pass must behave exactly like the runtime one.
+        let mut db = Database::new("shadow");
+        db.execute_script(
+            "CREATE TABLE t (ghost INTEGER, v INTEGER);\
+             INSERT INTO t VALUES (1, 10), (1, 20), (2, 30);",
+        )
+        .unwrap();
+        for sql in [
+            "SELECT ghost AS a, SUM(v) FROM t GROUP BY a",
+            "SELECT ghost AS a, 1 AS ghost, SUM(v) FROM t GROUP BY a",
+            "SELECT ghost AS ghost, SUM(v) FROM t GROUP BY ghost",
+        ] {
+            assert_identical(&db, sql);
+        }
+    }
+
+    #[test]
+    fn binding_resolves_columns_to_slots() {
+        let db = clinic();
+        let p = prepare(&db, "SELECT Name FROM Patient WHERE City = 'Oslo'").unwrap();
+        let core = &p.statement().core;
+        let SelectItem::Expr { expr, .. } = &core.items[0] else { panic!() };
+        assert_eq!(*expr, Expr::BoundColumn { index: 1 });
+        let Some(Expr::Binary { left, .. }) = &core.where_clause else { panic!() };
+        assert_eq!(**left, Expr::BoundColumn { index: 3 });
+    }
+
+    #[test]
+    fn correlated_references_bind_to_outer_slots() {
+        let db = clinic();
+        let p = prepare(
+            &db,
+            "SELECT Name FROM Patient WHERE EXISTS \
+             (SELECT 1 FROM Laboratory WHERE Laboratory.ID = Patient.ID)",
+        )
+        .unwrap();
+        let Some(Expr::Exists { query, .. }) = &p.statement().core.where_clause else {
+            panic!()
+        };
+        let Some(Expr::Binary { left, right, .. }) = &query.core.where_clause else { panic!() };
+        assert_eq!(**left, Expr::BoundColumn { index: 1 });
+        assert_eq!(**right, Expr::OuterColumn { up: 0, index: 0 });
+    }
+
+    #[test]
+    fn constant_subtrees_fold_to_literals() {
+        let db = clinic();
+        let p = prepare(&db, "SELECT 1 + 2 * 3 AS x, ID + (4 - 1) FROM Patient").unwrap();
+        let core = &p.statement().core;
+        let SelectItem::Expr { expr, alias } = &core.items[0] else { panic!() };
+        assert_eq!(*expr, Expr::lit(7i64));
+        assert_eq!(alias.as_deref(), Some("x"));
+        let SelectItem::Expr { expr, alias } = &core.items[1] else { panic!() };
+        let Expr::Binary { right, .. } = expr else { panic!() };
+        assert_eq!(**right, Expr::lit(3i64));
+        // the default label was frozen from the raw expression, not the
+        // folded one
+        let label = alias.as_deref().unwrap();
+        assert!(label.contains("4") && label.contains("1"), "got {label:?}");
+    }
+
+    #[test]
+    fn order_by_position_and_alias_stay_raw() {
+        let db = clinic();
+        let p = prepare(&db, "SELECT Name AS n, ID FROM Patient ORDER BY 2, n").unwrap();
+        let stmt = p.statement();
+        assert_eq!(stmt.order_by[0].expr, Expr::lit(2i64));
+        assert_eq!(stmt.order_by[1].expr, Expr::col("n"));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let db = clinic();
+        let p = prepare(&db, "SELECT Name FROM Patient").unwrap();
+        let other = Database::new("other");
+        let err = p.execute(&other).unwrap_err();
+        assert!(err.to_string().contains("different schema"), "got {err}");
+    }
+
+    #[test]
+    fn fingerprint_tracks_schema_shape() {
+        let db = clinic();
+        let fp = schema_fingerprint(&db.schema);
+        assert_eq!(fp, schema_fingerprint(&db.schema));
+        let mut other = Database::new("clinic");
+        other
+            .execute_script("CREATE TABLE Patient (ID INTEGER PRIMARY KEY, Name TEXT);")
+            .unwrap();
+        assert_ne!(fp, schema_fingerprint(&other.schema));
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let db = clinic();
+        let cache = PlanCache::new(8);
+        let sql = "SELECT COUNT(*) FROM Patient";
+        let (rs1, _) = cache.execute(&db, sql).unwrap();
+        let (rs2, _) = cache.execute(&db, sql).unwrap();
+        assert_eq!(rs1, rs2);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(cache.len(), 1);
+        // parse failures count as misses and are not cached
+        assert!(cache.execute(&db, "SELEC nope").is_err());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let db = clinic();
+        let cache = PlanCache::new(2);
+        cache.execute(&db, "SELECT 1").unwrap();
+        cache.execute(&db, "SELECT 2").unwrap();
+        cache.execute(&db, "SELECT 1").unwrap(); // refresh 1
+        cache.execute(&db, "SELECT 3").unwrap(); // evicts 2
+        assert_eq!(cache.len(), 2);
+        cache.execute(&db, "SELECT 1").unwrap();
+        let before = cache.stats().misses;
+        cache.execute(&db, "SELECT 2").unwrap(); // was evicted → miss
+        assert_eq!(cache.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_databases_with_same_sql() {
+        let a = clinic();
+        let mut b = Database::new("shadow");
+        b.execute_script("CREATE TABLE Patient (ID INTEGER); INSERT INTO Patient VALUES (9);")
+            .unwrap();
+        let cache = PlanCache::new(8);
+        let (rs_a, _) = cache.execute(&a, "SELECT COUNT(*) FROM Patient").unwrap();
+        let (rs_b, _) = cache.execute(&b, "SELECT COUNT(*) FROM Patient").unwrap();
+        assert_eq!(rs_a.rows[0][0], Value::Int(4));
+        assert_eq!(rs_b.rows[0][0], Value::Int(1));
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

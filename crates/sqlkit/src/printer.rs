@@ -309,6 +309,15 @@ fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
             }
             let _ = write!(out, "EXISTS ({})", print_select(query));
         }
+        // Bound references only appear in prepared plans, which are never
+        // printed back to user-facing SQL; render a debug-ish form anyway
+        // so diagnostics stay readable.
+        Expr::BoundColumn { index } => {
+            let _ = write!(out, "@{index}");
+        }
+        Expr::OuterColumn { up, index } => {
+            let _ = write!(out, "@outer{up}.{index}");
+        }
     }
 }
 

@@ -232,7 +232,7 @@ pub(crate) fn parse_numeric_prefix(s: &str) -> Option<f64> {
 pub type Row = Vec<Value>;
 
 /// A fully materialised result set: column labels plus rows.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ResultSet {
     /// Output column labels, in SELECT order.
     pub columns: Vec<String>,

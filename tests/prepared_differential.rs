@@ -1,0 +1,107 @@
+//! Differential tests for the prepared-execution fast path.
+//!
+//! The contract of `prepare` + the plan cache is *zero observable
+//! difference*: for every statement the corpus can produce, the bound,
+//! constant-folded plan must return byte-identical rows **and** identical
+//! execution statistics (rows_scanned feeds the vote tie-break and R-VES,
+//! so a drifting counter would silently change answers). Likewise,
+//! refining candidates on N threads must leave every deterministic report
+//! field of a pipeline run unchanged.
+
+use datagen::{build::build_db, domain::themes, generator::sample_spec, Difficulty, RowScale};
+use opensearch_sql::{Pipeline, PipelineConfig, Preprocessed};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlkit::{execute_select_with_stats, parse_select, print_select};
+use std::sync::Arc;
+
+/// Execute `sql` raw (parse + name-resolving executor) and prepared
+/// (parse + bind + fold once), asserting identical outcomes.
+fn assert_raw_matches_prepared(db: &sqlkit::Database, sql: &str) {
+    let raw = parse_select(sql).map(|stmt| execute_select_with_stats(db, &stmt));
+    let prepared = sqlkit::prepare(db, sql).map(|plan| plan.execute_with_stats(db));
+    match (raw, prepared) {
+        (Ok(Ok((rs_raw, st_raw))), Ok(Ok((rs_pre, st_pre)))) => {
+            assert_eq!(rs_raw, rs_pre, "rows differ for {sql}");
+            assert_eq!(st_raw, st_pre, "exec stats differ for {sql}");
+        }
+        (Ok(Err(e_raw)), Ok(Err(e_pre))) => {
+            assert_eq!(e_raw.to_string(), e_pre.to_string(), "errors differ for {sql}");
+        }
+        (Err(e_raw), Err(e_pre)) => {
+            assert_eq!(e_raw.to_string(), e_pre.to_string(), "parse errors differ for {sql}");
+        }
+        (raw, prepared) => panic!("outcome class differs for {sql}: raw={raw:?} prepared={prepared:?}"),
+    }
+}
+
+/// Every gold SQL in the generated corpus (train and dev, every database)
+/// runs identically raw and prepared.
+#[test]
+fn corpus_gold_sql_matches_raw_execution() {
+    let bench = datagen::generate(&datagen::Profile::tiny());
+    let mut checked = 0usize;
+    for ex in bench.train.iter().chain(bench.dev.iter()) {
+        let db = bench.db(&ex.db_id).expect("gold examples reference known dbs");
+        assert_raw_matches_prepared(&db.database, &ex.gold_sql);
+        checked += 1;
+    }
+    assert!(checked >= 50, "corpus covered: {checked}");
+}
+
+/// Broader SQL surface: sampled query specs across themes and every
+/// difficulty tier, same differential.
+#[test]
+fn sampled_specs_match_raw_execution() {
+    let lib = themes();
+    for (theme_idx, seed) in [(0usize, 11u64), (3, 22), (7, 33), (12, 44), (19, 55)] {
+        let db = build_db(&lib[theme_idx % lib.len()], "diff", "diff", RowScale::tiny(), 0.5, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for difficulty in Difficulty::all() {
+            for _ in 0..6 {
+                if let Some(spec) = sample_spec(&db, difficulty, &mut rng) {
+                    let sql = print_select(&spec.to_sql(&db.database.schema));
+                    assert_raw_matches_prepared(&db.database, &sql);
+                }
+            }
+        }
+    }
+}
+
+/// A pipeline refining on one thread and one refining on several must
+/// produce identical runs, field for field, over the whole dev split.
+/// (Wall-clock ledger timings are the only nondeterministic fields and are
+/// excluded.)
+#[test]
+fn pipeline_runs_identical_across_refine_threads() {
+    let bench = Arc::new(datagen::generate(&datagen::Profile::tiny()));
+    let oracle = Arc::new(llmsim::Oracle::new(bench.clone()));
+    let llm = Arc::new(llmsim::SimLlm::new(oracle, llmsim::ModelProfile::gpt_4o(), 5));
+    let pre = Arc::new(Preprocessed::run(bench.clone(), llm.as_ref()));
+    let seq = Pipeline::new(pre.clone(), llm.clone(), PipelineConfig::fast());
+    let par = Pipeline::new(pre, llm, PipelineConfig::fast().with_refine_threads(3));
+    for ex in &bench.dev {
+        let a = seq.answer(&ex.db_id, &ex.question, &ex.evidence);
+        let b = par.answer(&ex.db_id, &ex.question, &ex.evidence);
+        assert_eq!(a.sql_g, b.sql_g, "{}", ex.question);
+        assert_eq!(a.sql_r, b.sql_r, "{}", ex.question);
+        assert_eq!(a.final_sql, b.final_sql, "{}", ex.question);
+        assert_eq!(a.winner, b.winner, "{}", ex.question);
+        assert_eq!(a.candidates.len(), b.candidates.len());
+        for (ca, cb) in a.candidates.iter().zip(&b.candidates) {
+            assert_eq!(ca.raw_sql, cb.raw_sql);
+            assert_eq!(ca.sql, cb.sql);
+            assert_eq!(ca.exec_cost, cb.exec_cost);
+            assert_eq!(ca.correction_rounds, cb.correction_rounds);
+            match (&ca.result, &cb.result) {
+                (Ok(ra), Ok(rb)) => assert_eq!(ra, rb, "{}", ex.question),
+                (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string()),
+                _ => panic!("result class differs for {}", ex.question),
+            }
+        }
+        for m in opensearch_sql::Module::all() {
+            assert_eq!(a.ledger.get(m).tokens, b.ledger.get(m).tokens, "{m:?} tokens");
+            assert_eq!(a.ledger.get(m).calls, b.ledger.get(m).calls, "{m:?} calls");
+        }
+    }
+}
