@@ -110,5 +110,41 @@ fn bench_prepared(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_exec, bench_prepared);
+/// Static analysis cost: what a pre-execution gate pays per candidate.
+/// `clean/*` analyzes the executable benchmark statements (the common
+/// case — the gate adds this on top of execution), `reject/*` analyzes
+/// certain-broken statements (the win case — this *replaces* execution),
+/// and `parse_only` isolates the parse share of `analyze_sql`.
+fn bench_analyze(c: &mut Criterion) {
+    let built = db();
+    let mut group = c.benchmark_group("engine_analyze");
+    for (name, sql) in CASES {
+        group.bench_function(format!("clean/{name}"), |b| {
+            b.iter(|| std::hint::black_box(sqlkit::analyze_sql(&built.database.schema, sql)))
+        });
+    }
+    let rejects = [
+        ("no_such_table", "SELECT Name FROM Pateint WHERE Age > 40"),
+        ("agg_in_where", "SELECT COUNT(*) FROM Patient WHERE COUNT(*) > 1"),
+        (
+            "compound_arity",
+            "SELECT COUNT(*) FROM Patient UNION SELECT City, COUNT(*) FROM Patient GROUP BY City",
+        ),
+    ];
+    for (name, sql) in rejects {
+        assert!(
+            sqlkit::analyze_sql(&built.database.schema, sql).certain_error.is_some(),
+            "{name} must be a certain reject"
+        );
+        group.bench_function(format!("reject/{name}"), |b| {
+            b.iter(|| std::hint::black_box(sqlkit::analyze_sql(&built.database.schema, sql)))
+        });
+    }
+    group.bench_function("parse_only", |b| {
+        b.iter(|| std::hint::black_box(parse_select(CASES[2].1).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_exec, bench_prepared, bench_analyze);
 criterion_main!(benches);

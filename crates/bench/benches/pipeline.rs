@@ -98,6 +98,7 @@ fn bench_vote(c: &mut Criterion) {
                 exec_cost: cost,
                 exec_ms: ms,
                 correction_rounds: 0,
+                analyze_skips: 0,
             }
         })
         .collect();

@@ -11,7 +11,9 @@
 //!
 //! The REPL answers one question at a time in-process; `batch` and
 //! `serve` route requests through `osql-runtime`'s bounded queue, worker
-//! pool, and two-level cache, and report a metrics snapshot.
+//! pool, and two-level cache, and report a metrics snapshot. `lint`
+//! analyzes one SQL string against a world database and prints the
+//! static analyzer's caret-annotated findings.
 
 mod repl;
 mod serve;
@@ -21,16 +23,19 @@ use serve::ServeOptions;
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "usage: opensearch-sql [batch|serve] [--profile tiny|mini|bird|spider] \
-                     [--scale f] [--workers n] [--queue n] [--limit n] [--rounds n]";
+                     [--scale f] [--workers n] [--queue n] [--limit n] [--rounds n]\n\
+       opensearch-sql lint <db_id> <sql> [--profile ...]  # static-analyze one SQL string";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mode = match args.get(1).map(String::as_str) {
         Some("batch") => "batch",
         Some("serve") => "serve",
+        Some("lint") => "lint",
         _ => "repl",
     };
     let mut opts = ServeOptions::default();
+    let mut positionals: Vec<String> = Vec::new();
     let mut i = if mode == "repl" { 1 } else { 2 };
     while i < args.len() {
         let value = args.get(i + 1);
@@ -75,12 +80,30 @@ fn main() {
                 println!("{USAGE}");
                 return;
             }
-            _ => {}
+            _ => {
+                if !args[i].starts_with("--") {
+                    positionals.push(args[i].clone());
+                }
+            }
         }
         i += 1;
     }
 
     match mode {
+        "lint" => {
+            let Some((db_id, sql_parts)) = positionals.split_first() else {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            };
+            let sql = sql_parts.join(" ");
+            if sql.is_empty() {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+            let (report, failed) = serve::lint_sql(&opts, db_id, &sql);
+            println!("{report}");
+            std::process::exit(i32::from(failed));
+        }
         "batch" => {
             eprintln!(
                 "building {} world (scale {}), serving dev split over {} worker(s) ...",

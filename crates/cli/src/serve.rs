@@ -49,6 +49,31 @@ fn profile_for(name: &str, scale: f64) -> Profile {
     }
 }
 
+/// Lint one SQL string against a world database: run the static analyzer
+/// and render its findings with rustc-style caret frames. Returns the
+/// report and whether any error-severity finding (or a proven execution
+/// failure) was found.
+pub fn lint_sql(opts: &ServeOptions, db_id: &str, sql: &str) -> (String, bool) {
+    let benchmark = datagen::generate(&profile_for(&opts.profile, opts.scale));
+    let Some(db) = benchmark.dbs.iter().find(|d| d.id == db_id) else {
+        let known: Vec<&str> = benchmark.dbs.iter().map(|d| d.id.as_str()).collect();
+        return (format!("unknown database: {db_id} (available: {})", known.join(", ")), true);
+    };
+    let analysis = sqlkit::analyze_sql(&db.database.schema, sql);
+    let mut out = if analysis.diagnostics.is_empty() {
+        format!("{sql}
+  clean: no findings")
+    } else {
+        analysis.rendered(sql)
+    };
+    if let Some(err) = &analysis.certain_error {
+        let _ = write!(out, "
+
+execution is certain to fail: {err}");
+    }
+    (out, analysis.has_errors() || analysis.rejects())
+}
+
 /// Build the world and start a runtime over it.
 pub fn start_runtime(opts: &ServeOptions) -> (Arc<datagen::Benchmark>, Runtime) {
     let benchmark = Arc::new(datagen::generate(&profile_for(&opts.profile, opts.scale)));

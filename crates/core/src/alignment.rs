@@ -28,10 +28,16 @@ pub struct Aligned {
     pub sql: String,
     /// Whether any aligner changed the statement.
     pub changed: bool,
+    /// When the input did not parse: the analyzer's `E0001` finding, so the
+    /// caller can say *why* alignment was skipped. The SQL itself still
+    /// passes through untouched — Correction owns syntax repair.
+    pub parse_diagnostic: Option<sqlkit::Diagnostic>,
 }
 
 /// Run all aligners over a candidate SQL. Unparseable SQL is returned
-/// untouched (the Correction step owns syntax errors).
+/// untouched (the Correction step owns syntax errors), but no longer
+/// silently: the returned [`Aligned::parse_diagnostic`] carries the parse
+/// finding.
 pub fn align_candidate(
     sql: &str,
     schema: &DbSchema,
@@ -41,8 +47,9 @@ pub fn align_candidate(
 ) -> Aligned {
     let stage_start = Instant::now();
     let Ok(mut stmt) = parse_select(sql) else {
+        let diag = sqlkit::analyze_sql(schema, sql).diagnostics.into_iter().next();
         ledger.charge(Module::Alignments, stage_start.elapsed().as_secs_f64() * 1e3, 0);
-        return Aligned { sql: sql.to_owned(), changed: false };
+        return Aligned { sql: sql.to_owned(), changed: false, parse_diagnostic: diag };
     };
     let mut changed = false;
 
@@ -61,7 +68,7 @@ pub fn align_candidate(
 
     ledger.charge(Module::Alignments, stage_start.elapsed().as_secs_f64() * 1e3, 0);
     let out = if changed { print_select(&stmt) } else { sql.to_owned() };
-    Aligned { sql: out, changed }
+    Aligned { sql: out, changed, parse_diagnostic: None }
 }
 
 /// `binding → table name` pairs of the statement's top-level FROM clause.
@@ -69,7 +76,7 @@ fn alias_map(stmt: &SelectStmt) -> Vec<(String, String)> {
     let mut out = Vec::new();
     if let Some(from) = &stmt.core.from {
         let mut push = |r: &TableRef| {
-            if let TableRef::Named { name, alias } = r {
+            if let TableRef::Named { name, alias, .. } = r {
                 out.push((alias.clone().unwrap_or_else(|| name.clone()), name.clone()));
             }
         };
@@ -94,9 +101,28 @@ fn agent_align(stmt: &mut SelectStmt, schema: &DbSchema, values: &ValueIndex) ->
     let aliases = alias_map(stmt);
     let mut changed = false;
 
-    // 1. repair hallucinated column names
+    // 1. repair hallucinated column names. The analyzer's resolution pass
+    //    is the evidence source: each `UnresolvedColumn` carries ranked
+    //    repair candidates computed under the executor's own scope rules
+    //    (so subquery scopes are honoured). The local distance scan stays
+    //    as a fallback for references the analyzer has no candidate for.
+    let unresolved = sqlkit::analyze(schema, stmt).unresolved;
+    let analyzer_fix = |table: &Option<String>, column: &str| -> Option<String> {
+        unresolved
+            .iter()
+            .find(|u| {
+                u.column.eq_ignore_ascii_case(column)
+                    && match (&u.table, table) {
+                        (Some(a), Some(b)) => a.eq_ignore_ascii_case(b),
+                        (None, None) => true,
+                        _ => false,
+                    }
+            })
+            .and_then(|u| u.suggestions.first())
+            .map(|(_, c)| c.clone())
+    };
     stmt.walk_exprs_mut(&mut |e| {
-        if let Expr::Column { table, column } = e {
+        if let Expr::Column { table, column, .. } = e {
             let target_tables: Vec<&str> = match table.as_deref() {
                 Some(q) => table_of(&aliases, q).into_iter().collect(),
                 None => aliases.iter().map(|(_, t)| t.as_str()).collect(),
@@ -108,6 +134,11 @@ fn agent_align(stmt: &mut SelectStmt, schema: &DbSchema, values: &ValueIndex) ->
                 .iter()
                 .any(|t| schema.table(t).map(|ti| ti.column(column).is_some()).unwrap_or(false));
             if exists {
+                return;
+            }
+            if let Some(fixed) = analyzer_fix(table, column) {
+                *column = fixed;
+                changed = true;
                 return;
             }
             // closest real column across the candidate tables
@@ -142,7 +173,7 @@ fn agent_align(stmt: &mut SelectStmt, schema: &DbSchema, values: &ValueIndex) ->
             (Expr::Literal(_), Expr::Column { .. }) => (right.as_mut(), left.as_mut()),
             _ => return,
         };
-        let (Expr::Column { table, column }, Expr::Literal(lit)) = (col_expr, lit_expr) else {
+        let (Expr::Column { table, column, .. }, Expr::Literal(lit)) = (col_expr, lit_expr) else {
             return;
         };
         if !is_alignable_literal(lit) {

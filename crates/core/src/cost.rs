@@ -18,6 +18,8 @@ pub enum Module {
     Refinement,
     /// Execution-guided correction.
     Correction,
+    /// Pre-execution static analysis (the refinement gate).
+    Analyze,
     /// Self-consistency & vote.
     Vote,
     /// All alignments together.
@@ -34,11 +36,11 @@ pub enum Module {
 
 impl Module {
     /// All modules in report order.
-    pub fn all() -> [Module; 12] {
+    pub fn all() -> [Module; 13] {
         use Module::*;
         [
-            Extraction, EntityColumn, Retrieval, Generation, Refinement, Correction, Vote,
-            Alignments, SelectAlign, AgentAlign, StyleAlign, FunctionAlign,
+            Extraction, EntityColumn, Retrieval, Generation, Refinement, Correction, Analyze,
+            Vote, Alignments, SelectAlign, AgentAlign, StyleAlign, FunctionAlign,
         ]
     }
 
@@ -51,6 +53,7 @@ impl Module {
             Module::Generation => "Generation",
             Module::Refinement => "Refinement",
             Module::Correction => "Correction",
+            Module::Analyze => "Static Analysis",
             Module::Vote => "Self-consistency & Vote",
             Module::Alignments => "Alignments",
             Module::SelectAlign => "SELECT Alignment",

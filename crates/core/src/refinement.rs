@@ -33,6 +33,9 @@ pub struct RefinedCandidate {
     pub exec_ms: f64,
     /// Number of correction rounds spent.
     pub correction_rounds: usize,
+    /// Executions skipped because the static analyzer proved the exact
+    /// error in advance (the pre-execution gate).
+    pub analyze_skips: usize,
 }
 
 impl RefinedCandidate {
@@ -54,6 +57,45 @@ pub fn execute(db: &sqlkit::Database, sql: &str) -> (Result<ResultSet, SqlError>
         Ok((rs, stats)) => (Ok(rs), stats.rows_scanned, t0.elapsed().as_secs_f64() * 1e3),
         Err(e) => (Err(e), 0, t0.elapsed().as_secs_f64() * 1e3),
     }
+}
+
+/// What one gated execution attempt produced.
+struct GateOutcome {
+    result: Result<ResultSet, SqlError>,
+    cost: u64,
+    ms: f64,
+    /// Rendered analyzer findings (quote-sanitised for prompt embedding).
+    note: Option<String>,
+    /// Execution was skipped: the analyzer proved the error.
+    skipped: bool,
+}
+
+/// Run the statement through the static analyzer, then execute — unless
+/// the analyzer *proved* the exact error the execution must fail with, in
+/// which case the prediction substitutes for the execution byte-for-byte.
+fn analyze_and_execute(
+    db: &sqlkit::Database,
+    sql: &str,
+    config: &PipelineConfig,
+    ledger: &mut CostLedger,
+) -> GateOutcome {
+    if !config.analyze_gate {
+        let (result, cost, ms) = execute(db, sql);
+        return GateOutcome { result, cost, ms, note: None, skipped: false };
+    }
+    let t0 = Instant::now();
+    let analysis = sqlkit::analyze_sql(&db.schema, sql);
+    ledger.charge(Module::Analyze, t0.elapsed().as_secs_f64() * 1e3, 0);
+    // Single quotes are scrubbed so the note cannot inject new string
+    // literals into the correction prompt (the simulated model mines the
+    // prompt for quoted values; the SQL itself is already there verbatim).
+    let note = (!analysis.diagnostics.is_empty())
+        .then(|| analysis.rendered(sql).replace('\'', "`"));
+    if let Some(err) = analysis.certain_error {
+        return GateOutcome { result: Err(err), cost: 0, ms: 0.0, note, skipped: true };
+    }
+    let (result, cost, ms) = execute(db, sql);
+    GateOutcome { result, cost, ms, note, skipped: false }
 }
 
 /// Refine one candidate: align → execute → correct (bounded rounds).
@@ -91,20 +133,31 @@ pub fn refine_candidate(
         }
     }
 
+    // Alignment is skipped on unparseable SQL; surface *why* (the parse
+    // diagnostic) into the correction prompt rather than dropping it —
+    // Correction still owns the repair.
+    let mut align_note: Option<String> = None;
     let mut sql = if config.alignments {
-        align_candidate(
+        let aligned = align_candidate(
             &effective_sql,
             &db.database.schema,
             &assets.values,
             extraction.expected_select,
             ledger,
-        )
-        .sql
+        );
+        align_note = aligned
+            .parse_diagnostic
+            .as_ref()
+            .map(|d| format!("alignment skipped: {}", d.headline()).replace('\'', "`"));
+        aligned.sql
     } else {
         effective_sql
     };
 
-    let (mut result, mut cost, mut ms) = execute(&db.database, &sql);
+    let gate = analyze_and_execute(&db.database, &sql, config, ledger);
+    let (mut result, mut cost, mut ms) = (gate.result, gate.cost, gate.ms);
+    let mut note = gate.note;
+    let mut skips = gate.skipped as usize;
     let mut rounds = 0usize;
 
     if config.refinement && config.correction {
@@ -125,8 +178,14 @@ pub fn refine_candidate(
                 Err(e) => e.kind(),
                 Ok(_) => sqlkit::SqlErrorKind::Other,
             };
+            let full_note = match (&align_note, &note) {
+                (Some(a), Some(n)) => Some(format!("{a}\n{n}")),
+                (Some(a), None) => Some(a.clone()),
+                (None, n) => n.clone(),
+            };
             let prompt = build_correction_prompt(
                 pre, config, db_id, question, evidence, extraction, &sql, &error_text, kind,
+                full_note.as_deref(),
             );
             let resp = llm.complete(&ChatRequest {
                 prompt,
@@ -148,21 +207,28 @@ pub fn refine_candidate(
                 break;
             };
             sql = if config.alignments {
-                align_candidate(
+                let aligned = align_candidate(
                     &fixed,
                     &db.database.schema,
                     &assets.values,
                     extraction.expected_select,
                     ledger,
-                )
-                .sql
+                );
+                align_note = aligned
+                    .parse_diagnostic
+                    .as_ref()
+                    .map(|d| format!("alignment skipped: {}", d.headline()).replace('\'', "`"));
+                aligned.sql
             } else {
+                align_note = None;
                 fixed
             };
-            let (r, c, m) = execute(&db.database, &sql);
-            result = r;
-            cost = c;
-            ms = m;
+            let gate = analyze_and_execute(&db.database, &sql, config, ledger);
+            result = gate.result;
+            cost = gate.cost;
+            ms = gate.ms;
+            note = gate.note;
+            skips += gate.skipped as usize;
         }
     }
 
@@ -173,6 +239,7 @@ pub fn refine_candidate(
         exec_cost: cost,
         exec_ms: ms,
         correction_rounds: rounds,
+        analyze_skips: skips,
     }
 }
 
@@ -190,6 +257,7 @@ fn build_correction_prompt(
     broken_sql: &str,
     error_text: &str,
     kind: sqlkit::SqlErrorKind,
+    analysis_note: Option<&str>,
 ) -> String {
     let db = pre.db(db_id).expect("known db");
     let assets = pre.assets(db_id).expect("known db");
@@ -226,8 +294,19 @@ fn build_correction_prompt(
         String::new()
     };
 
+    // The analyzer note rides along as comment lines: spans and
+    // did-you-mean hints for the model, invisible to the prompt's
+    // field parsers (every line starts with `-- `).
+    let note_block = match analysis_note {
+        Some(n) if !n.is_empty() => {
+            let body = n.lines().map(|l| format!("-- {l}")).collect::<Vec<_>>().join("\n");
+            format!("-- Static analysis of the SQL above:\n{body}\n")
+        }
+        _ => String::new(),
+    };
+
     format!(
-        "{} {}\n{} {}\n{}\n{}\n{}{}\n{} {}\n{} {}\n{}\n/* Answer the following: {} */\n",
+        "{} {}\n{} {}\n{}\n{}\n{}{}\n{} {}\n{} {}\n{}{}\n/* Answer the following: {} */\n",
         proto::TASK_PREFIX,
         proto::TASK_CORRECTION,
         proto::DB_PREFIX,
@@ -240,6 +319,7 @@ fn build_correction_prompt(
         broken_sql,
         proto::ERROR_INFO_PREFIX,
         error_text,
+        note_block,
         evidence_line(evidence),
         question
     )
@@ -296,6 +376,7 @@ mod tests {
             exec_cost: cost,
             exec_ms: 0.1,
             correction_rounds: 0,
+            analyze_skips: 0,
         }
     }
 
@@ -307,6 +388,7 @@ mod tests {
             exec_cost: 0,
             exec_ms: 0.1,
             correction_rounds: 1,
+            analyze_skips: 0,
         }
     }
 

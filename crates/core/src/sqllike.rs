@@ -147,7 +147,7 @@ pub fn to_sql(like: &SqlLike, schema: &DbSchema) -> SqlResult<SelectStmt> {
             if !joined.iter().any(|j| j.eq_ignore_ascii_case(&new_table)) {
                 joins.push(Join {
                     kind: JoinKind::Inner,
-                    table: TableRef::Named { name: new_table.clone(), alias: None },
+                    table: TableRef::Named { name: new_table.clone(), alias: None, span: sqlkit::Span::default() },
                     on: Some(on),
                 });
                 joined.push(new_table);
@@ -156,7 +156,7 @@ pub fn to_sql(like: &SqlLike, schema: &DbSchema) -> SqlResult<SelectStmt> {
     }
 
     let from = FromClause {
-        base: TableRef::Named { name: joined[0].clone(), alias: None },
+        base: TableRef::Named { name: joined[0].clone(), alias: None, span: sqlkit::Span::default() },
         joins,
     };
     Ok(SelectStmt {

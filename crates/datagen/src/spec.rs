@@ -12,7 +12,7 @@ use sqlkit::ast::{
     TableRef,
 };
 use sqlkit::schema::DbSchema;
-use sqlkit::Value;
+use sqlkit::{Span, Value};
 
 /// Aggregate functions a spec can ask for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -271,6 +271,7 @@ impl QuerySpec {
         let tref = |i: usize, name: &str| TableRef::Named {
             name: schema.table(name).map(|t| t.name.clone()).unwrap_or_else(|| name.to_owned()),
             alias: use_aliases.then(|| format!("T{}", i + 1)),
+            span: Span::default(),
         };
         let qual = |spec: &QuerySpec, table: &str| -> String {
             if use_aliases {
@@ -349,6 +350,7 @@ impl QuerySpec {
                         name: f.sql_name().into(),
                         args: vec![col],
                         distinct: f == AggFunc::CountDistinct,
+                        span: Span::default(),
                     },
                     None => col,
                 };
@@ -386,6 +388,7 @@ impl QuerySpec {
                     name: func.sql_name().into(),
                     args: vec![arg],
                     distinct: *func == AggFunc::CountDistinct,
+                    span: Span::default(),
                 }
             }
         }
@@ -398,6 +401,7 @@ impl QuerySpec {
                 name: "strftime".into(),
                 args: vec![Expr::lit("%Y"), col],
                 distinct: false,
+                span: Span::default(),
             };
         }
         match f.op {

@@ -615,6 +615,7 @@ fn ranked_to_subquery(ast: &mut SelectStmt, spec: &QuerySpec) {
             name: func.into(),
             args: vec![order_col.clone()],
             distinct: false,
+            span: sqlkit::Span::default(),
         },
         alias: None,
     }];

@@ -318,9 +318,34 @@ fn worker_loop(
                 .histogram("vote_margin", &FRACTION_BOUNDS)
                 .record(agreeing as f64 / run.candidates.len() as f64);
         }
+        record_analysis_metrics(metrics, &pipeline, &run);
         results.insert(key, run.clone());
         sync_plan_cache_metrics(metrics);
         let _ = job.reply.send(Ok(QueryResponse { run, from_cache: false, queue_wait_ms }));
+    }
+}
+
+/// Analyzer activity for one run: executions the pre-execution gate
+/// skipped (`analyze_rejects_total`), plus the static-analysis findings on
+/// the chosen SQL (`analyze_diags_total` and one `analyze_diag_<code>`
+/// counter per diagnostic code).
+fn record_analysis_metrics(
+    metrics: &MetricsRegistry,
+    pipeline: &opensearch_sql::Pipeline,
+    run: &opensearch_sql::PipelineRun,
+) {
+    let skips: u64 = run.candidates.iter().map(|c| c.analyze_skips as u64).sum();
+    if skips > 0 {
+        metrics.counter("analyze_rejects_total").add(skips);
+    }
+    if let Some(db) = pipeline.preprocessed().db(&run.db_id) {
+        let analysis = sqlkit::analyze_sql(&db.database.schema, &run.final_sql);
+        if !analysis.diagnostics.is_empty() {
+            metrics.counter("analyze_diags_total").add(analysis.diagnostics.len() as u64);
+            for d in &analysis.diagnostics {
+                metrics.counter(&format!("analyze_diag_{}", d.code.to_lowercase())).inc();
+            }
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 //! `ORDER BY ... LIMIT 1`), so every node is a plain owned enum and the
 //! [`SelectStmt::walk_exprs_mut`] family gives pre-order mutable traversal.
 
+use crate::diag::Span;
 use crate::value::Value;
 
 /// A parsed SQL statement.
@@ -103,6 +104,8 @@ pub enum TableRef {
         name: String,
         /// `AS alias` if present.
         alias: Option<String>,
+        /// Source location of the table name (metadata; always `==`).
+        span: Span,
     },
     /// A parenthesised subquery with alias.
     Subquery {
@@ -117,7 +120,7 @@ impl TableRef {
     /// The name this reference is addressed by in expressions.
     pub fn binding_name(&self) -> &str {
         match self {
-            TableRef::Named { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Named { name, alias, .. } => alias.as_deref().unwrap_or(name),
             TableRef::Subquery { alias, .. } => alias,
         }
     }
@@ -190,6 +193,8 @@ pub enum Expr {
         table: Option<String>,
         /// Column name.
         column: String,
+        /// Source location of the reference (metadata; always `==`).
+        span: Span,
     },
     /// Unary operator.
     Unary {
@@ -270,6 +275,8 @@ pub enum Expr {
         args: Vec<Expr>,
         /// `DISTINCT` inside the call.
         distinct: bool,
+        /// Source location of the function name (metadata; always `==`).
+        span: Span,
     },
     /// `*` as a function argument (only valid inside COUNT).
     Wildcard,
@@ -310,12 +317,17 @@ pub enum Expr {
 impl Expr {
     /// Shorthand for an unqualified column reference.
     pub fn col(name: impl Into<String>) -> Expr {
-        Expr::Column { table: None, column: name.into() }
+        Expr::Column { table: None, column: name.into(), span: Span::empty() }
     }
 
     /// Shorthand for a qualified column reference.
     pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
-        Expr::Column { table: Some(table.into()), column: name.into() }
+        Expr::Column { table: Some(table.into()), column: name.into(), span: Span::empty() }
+    }
+
+    /// Shorthand for a non-DISTINCT function call with no source span.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Function { name: name.into(), args, distinct: false, span: Span::empty() }
     }
 
     /// Shorthand for a literal.
@@ -454,7 +466,7 @@ impl Expr {
     pub fn columns(&self) -> Vec<(Option<String>, String)> {
         let mut out = Vec::new();
         self.walk(&mut |e| {
-            if let Expr::Column { table, column } = e {
+            if let Expr::Column { table, column, .. } = e {
                 out.push((table.clone(), column.clone()));
             }
         });
@@ -705,9 +717,10 @@ mod tests {
 
     #[test]
     fn binding_name_prefers_alias() {
-        let t = TableRef::Named { name: "Patient".into(), alias: Some("T1".into()) };
+        let t =
+            TableRef::Named { name: "Patient".into(), alias: Some("T1".into()), span: Span::empty() };
         assert_eq!(t.binding_name(), "T1");
-        let t = TableRef::Named { name: "Patient".into(), alias: None };
+        let t = TableRef::Named { name: "Patient".into(), alias: None, span: Span::empty() };
         assert_eq!(t.binding_name(), "Patient");
     }
 

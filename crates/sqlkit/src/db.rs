@@ -221,7 +221,7 @@ impl Database {
             let _ = writeln!(
                 out,
                 "{};",
-                crate::printer::print_stmt(&crate::ast::Stmt::CreateTable(create))
+                crate::printer::print_stmt(&Stmt::CreateTable(create))
             );
             // batched INSERTs (500 rows per statement keeps lines sane)
             let rows = self.rows(&table.name).expect("schema tables have data buckets");
@@ -242,7 +242,7 @@ impl Database {
                 let _ = writeln!(
                     out,
                     "{};",
-                    crate::printer::print_stmt(&crate::ast::Stmt::Insert(insert))
+                    crate::printer::print_stmt(&Stmt::Insert(insert))
                 );
             }
         }
@@ -433,7 +433,7 @@ mod tests {
     fn update_without_where_touches_everything() {
         let mut db = db();
         let stmt = crate::parser::parse_statement("UPDATE person SET age = 1").unwrap();
-        let crate::ast::Stmt::Update(u) = stmt else { panic!() };
+        let Stmt::Update(u) = stmt else { panic!() };
         let n = db.execute_update(&u).unwrap();
         assert_eq!(n, 3);
         let rs = db.query("SELECT DISTINCT age FROM person").unwrap();
@@ -461,7 +461,7 @@ mod tests {
     fn delete_removes_matching_rows() {
         let mut db = db();
         let stmt = crate::parser::parse_statement("DELETE FROM person WHERE age IS NULL").unwrap();
-        let crate::ast::Stmt::Delete(d) = stmt else { panic!() };
+        let Stmt::Delete(d) = stmt else { panic!() };
         assert_eq!(db.execute_delete(&d).unwrap(), 1);
         assert_eq!(db.rows("person").unwrap().len(), 2);
         // delete everything

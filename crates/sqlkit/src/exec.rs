@@ -259,7 +259,7 @@ fn output_order_index(columns: &[String], e: &Expr) -> SqlResult<usize> {
         Expr::Literal(Value::Int(k)) if *k >= 1 && (*k as usize) <= columns.len() => {
             Ok(*k as usize - 1)
         }
-        Expr::Column { table: None, column } => columns
+        Expr::Column { table: None, column, .. } => columns
             .iter()
             .position(|c| c.eq_ignore_ascii_case(column))
             .ok_or_else(|| SqlError::NoSuchColumn(column.clone())),
@@ -451,7 +451,7 @@ fn resolve_order_target(e: &Expr, items: &[(Expr, String)]) -> OrderTarget {
         Expr::Literal(Value::Int(k)) if *k >= 1 && (*k as usize) <= items.len() => {
             OrderTarget::Output(*k as usize - 1)
         }
-        Expr::Column { table: None, column } => {
+        Expr::Column { table: None, column, .. } => {
             if let Some(idx) = items.iter().position(|(_, l)| l.eq_ignore_ascii_case(column)) {
                 // Alias reference: point at the projected value so that
                 // aggregate aliases work too.
@@ -636,7 +636,7 @@ fn project_grouped(
 pub(crate) fn substitute_aliases(e: &Expr, items: &[(Expr, String)]) -> Expr {
     let mut out = e.clone();
     out.walk_mut(&mut |node| {
-        let Expr::Column { table: None, column } = &*node else { return };
+        let Expr::Column { table: None, column, .. } = &*node else { return };
         let column = column.clone();
         if let Some((expr, _)) = items
             .iter()
@@ -650,7 +650,7 @@ pub(crate) fn substitute_aliases(e: &Expr, items: &[(Expr, String)]) -> Expr {
 
 /// Does the expression contain an aggregate call (not descending into
 /// subqueries, which have their own aggregation scope)?
-fn contains_aggregate(e: &Expr) -> bool {
+pub(crate) fn contains_aggregate(e: &Expr) -> bool {
     e.any(&mut |node| {
         matches!(node, Expr::Function { name, args, .. } if is_aggregate_name(name, args.len()))
     })
@@ -665,7 +665,7 @@ fn eval_agg_expr(
     group: &[Row],
 ) -> SqlResult<Value> {
     match e {
-        Expr::Function { name, args, distinct }
+        Expr::Function { name, args, distinct, .. }
             if is_aggregate_name(name, args.len()) =>
         {
             eval_aggregate(ctx, name, args, *distinct, layout, group)
@@ -831,7 +831,7 @@ fn build_from<'a>(ctx: &mut Ctx<'a>, from: &FromClause) -> SqlResult<Source<'a>>
 
 fn scan_table_ref<'a>(ctx: &mut Ctx<'a>, tref: &TableRef) -> SqlResult<Source<'a>> {
     match tref {
-        TableRef::Named { name, alias } => {
+        TableRef::Named { name, alias, .. } => {
             // copy the `&'a Database` out so the borrow of table storage
             // outlives this `&mut ctx` borrow
             let db = ctx.db;
@@ -920,7 +920,7 @@ fn equi_join_indices(
     let Expr::Binary { left: a, op: BinOp::Eq, right: b } = on else {
         return None;
     };
-    let (Expr::Column { table: ta, column: ca }, Expr::Column { table: tb, column: cb }) =
+    let (Expr::Column { table: ta, column: ca, .. }, Expr::Column { table: tb, column: cb, .. }) =
         (a.as_ref(), b.as_ref())
     else {
         return None;
@@ -1023,7 +1023,7 @@ fn resolve(layout: &[ColBinding], table: Option<&str>, column: &str) -> SqlResul
 fn eval_expr(ctx: &mut Ctx, e: &Expr, layout: &[ColBinding], row: &[Value]) -> SqlResult<Value> {
     match e {
         Expr::Literal(v) => Ok(v.clone()),
-        Expr::Column { table, column } => {
+        Expr::Column { table, column, .. } => {
             match resolve(layout, table.as_deref(), column) {
                 Ok(idx) => Ok(row[idx].clone()),
                 Err(e) => {

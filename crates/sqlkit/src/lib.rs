@@ -27,10 +27,14 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(unreachable_pub)]
+#![warn(unused_qualifications)]
 #![warn(clippy::all)]
 
+pub mod analyze;
 pub mod ast;
 pub mod db;
+pub mod diag;
 pub mod error;
 pub mod exec;
 pub mod functions;
@@ -41,7 +45,9 @@ pub mod schema;
 pub mod token;
 pub mod value;
 
+pub use analyze::{analyze, analyze_sql, Analysis, UnresolvedColumn};
 pub use ast::{Expr, SelectStmt, Stmt};
+pub use diag::{render_all, Diagnostic, Severity, Span};
 pub use db::Database;
 pub use error::{SqlError, SqlErrorKind, SqlResult};
 pub use exec::{execute_select, execute_select_with_stats, ExecStats};

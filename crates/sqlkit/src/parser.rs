@@ -6,6 +6,7 @@
 //! ORDER BY / LIMIT / OFFSET, plus CREATE TABLE and INSERT for loading.
 
 use crate::ast::*;
+use crate::diag::Span;
 use crate::error::{SqlError, SqlResult};
 use crate::token::{tokenize, Punct, Token, TokenKind};
 use crate::value::Value;
@@ -55,6 +56,19 @@ impl Parser {
 
     fn peek_pos(&self) -> usize {
         self.tokens[self.pos].pos
+    }
+
+    /// Byte span from `start` to the end of the most recently consumed
+    /// token, which must be an identifier (quoted identifiers include
+    /// their delimiters; doubled escapes inside make the span run a few
+    /// bytes short, which only shortens rendered carets).
+    fn span_from(&self, start: usize) -> Span {
+        let t = &self.tokens[self.pos.saturating_sub(1)];
+        let len = match &t.kind {
+            TokenKind::Ident(s, quoted) => s.len() + if *quoted { 2 } else { 0 },
+            _ => 0,
+        };
+        Span::new(start, (t.pos + len).max(start))
     }
 
     fn bump(&mut self) -> TokenKind {
@@ -348,9 +362,11 @@ impl Parser {
             let alias = self.ident()?;
             return Ok(TableRef::Subquery { query: Box::new(query), alias });
         }
+        let start = self.peek_pos();
         let name = self.ident()?;
+        let span = self.span_from(start);
         let alias = self.opt_alias()?;
-        Ok(TableRef::Named { name, alias })
+        Ok(TableRef::Named { name, alias, span })
     }
 
     // ---------------- expressions ----------------
@@ -583,23 +599,26 @@ impl Parser {
                 if !quoted && is_clause_keyword(&name) {
                     return self.err(format!("unexpected keyword {name}"));
                 }
+                let start = self.peek_pos();
                 self.bump();
                 // function call?
                 if !quoted && self.at_punct(Punct::LParen) {
-                    return self.function_call(name);
+                    let span = Span::new(start, start + name.len());
+                    return self.function_call(name, span);
                 }
                 // qualified column?
                 if self.eat_punct(Punct::Dot) {
                     let column = self.ident()?;
-                    return Ok(Expr::Column { table: Some(name), column });
+                    let span = self.span_from(start);
+                    return Ok(Expr::Column { table: Some(name), column, span });
                 }
-                Ok(Expr::Column { table: None, column: name })
+                Ok(Expr::Column { table: None, column: name, span: self.span_from(start) })
             }
             other => self.err(format!("unexpected token {other:?}")),
         }
     }
 
-    fn function_call(&mut self, name: String) -> SqlResult<Expr> {
+    fn function_call(&mut self, name: String, span: Span) -> SqlResult<Expr> {
         self.expect_punct(Punct::LParen)?;
         let mut args = Vec::new();
         let mut distinct = false;
@@ -617,7 +636,7 @@ impl Parser {
             }
         }
         self.expect_punct(Punct::RParen)?;
-        Ok(Expr::Function { name: name.to_lowercase(), args, distinct })
+        Ok(Expr::Function { name: name.to_lowercase(), args, distinct, span })
     }
 
     fn case_expr(&mut self) -> SqlResult<Expr> {

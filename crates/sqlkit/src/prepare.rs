@@ -354,7 +354,7 @@ impl Binder<'_> {
 
     fn table_layout(&self, tref: &mut TableRef, chain: &[Vec<BoundCol>]) -> Option<Vec<BoundCol>> {
         match tref {
-            TableRef::Named { name, alias } => {
+            TableRef::Named { name, alias, .. } => {
                 let info = self.schema.table(name)?;
                 let binding = alias.clone().unwrap_or_else(|| info.name.clone());
                 Some(
@@ -382,7 +382,7 @@ impl Binder<'_> {
     fn bind_order_expr(&self, e: &mut Expr, labels: &[String], env: &Env) {
         match e {
             Expr::Literal(Value::Int(k)) if *k >= 1 && (*k as usize) <= labels.len() => {}
-            Expr::Column { table: None, column }
+            Expr::Column { table: None, column, .. }
                 if labels.iter().any(|l| l.eq_ignore_ascii_case(column)) => {}
             _ => {
                 self.bind_expr(e, env);
@@ -417,7 +417,7 @@ impl Binder<'_> {
     fn bind_expr(&self, e: &mut Expr, env: &Env) -> bool {
         match e {
             Expr::Literal(_) => true,
-            Expr::Column { table, column } => {
+            Expr::Column { table, column, .. } => {
                 if let Some(index) = static_resolve(env.layout, table.as_deref(), column) {
                     *e = Expr::BoundColumn { index };
                 } else {

@@ -133,7 +133,7 @@ fn write_core(out: &mut String, core: &SelectCore) {
 
 fn write_table_ref(out: &mut String, t: &TableRef) {
     match t {
-        TableRef::Named { name, alias } => {
+        TableRef::Named { name, alias, .. } => {
             out.push_str(&ident(name));
             if let Some(a) = alias {
                 let _ = write!(out, " AS {}", ident(a));
@@ -188,7 +188,7 @@ fn op_str(op: BinOp) -> &'static str {
 fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
     match e {
         Expr::Literal(v) => out.push_str(&literal(v)),
-        Expr::Column { table, column } => {
+        Expr::Column { table, column, .. } => {
             if let Some(t) = table {
                 let _ = write!(out, "{}.{}", ident(t), ident(column));
             } else {
@@ -281,7 +281,7 @@ fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
             }
             out.push_str(" END");
         }
-        Expr::Function { name, args, distinct } => {
+        Expr::Function { name, args, distinct, .. } => {
             let _ = write!(out, "{}(", name.to_uppercase());
             if *distinct {
                 out.push_str("DISTINCT ");

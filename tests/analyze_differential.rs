@@ -1,0 +1,186 @@
+//! Differential tests for the static-analysis gate.
+//!
+//! Two contracts are checked here:
+//!
+//! 1. **Soundness of certain rejects.** Whenever `analyze_sql` claims a
+//!    statement is *certain* to fail (`Analysis::certain_error`), actually
+//!    executing it must produce that exact error, byte for byte. The
+//!    refinement gate substitutes the predicted error for the execution
+//!    result, so any divergence would leak into correction prompts and
+//!    vote outcomes.
+//!
+//! 2. **Zero observable drift.** Running the pipeline with the gate on
+//!    and off must produce identical answers, candidate for candidate:
+//!    the gate may only skip executions whose outcome it already knows.
+
+use datagen::{generate, Profile};
+use llmsim::{ModelProfile, Oracle, SimLlm};
+use opensearch_sql::{Pipeline, PipelineConfig, Preprocessed};
+use std::sync::Arc;
+
+/// If the analyzer promises a certain failure, execution must fail with
+/// exactly that error. Returns whether a certain reject was exercised.
+fn assert_certain_matches_execution(db: &sqlkit::Database, sql: &str) -> bool {
+    let analysis = sqlkit::analyze_sql(&db.schema, sql);
+    let Some(predicted) = analysis.certain_error else {
+        return false;
+    };
+    match db.query(sql) {
+        Ok(_) => panic!("analyzer promised failure but {sql:?} succeeded: {predicted}"),
+        Err(actual) => assert_eq!(
+            predicted.to_string(),
+            actual.to_string(),
+            "predicted and actual errors differ for {sql:?}"
+        ),
+    }
+    true
+}
+
+/// Certain rejects predict execution errors byte-identically, across
+/// hand-built templates per schema table and mangled gold SQL.
+#[test]
+fn certain_rejects_match_execution_errors() {
+    let bench = generate(&Profile::tiny());
+    let mut certains = 0usize;
+
+    for built in bench.dbs.iter() {
+        let db = &built.database;
+        for table in db.schema.tables.iter().map(|t| t.name.clone()) {
+            for sql in [
+                format!("SELECT * FROM {table}zz"),
+                format!("SELECT COUNT(*) FROM {table} WHERE COUNT(*) > 1"),
+                format!("SELECT COUNT(*) FROM {table} UNION SELECT 1, 2"),
+                format!("SELECT COUNT(*) FROM {table} UNION SELECT 1 ORDER BY 5"),
+                format!("SELECT COUNT(*) FROM {table} LIMIT 'many'"),
+            ] {
+                certains += assert_certain_matches_execution(db, &sql) as usize;
+            }
+        }
+        // FROM-less scalar evaluation is unconditional, so bad calls are
+        // certain even without any table in scope.
+        for sql in ["SELECT lenght('abc')", "SELECT substr('abc')", "SELECT *"] {
+            certains += assert_certain_matches_execution(db, sql) as usize;
+        }
+    }
+
+    // Gold SQL with the first scanned table mangled must be a certain
+    // `no such table` — the scan happens before any row is produced.
+    for ex in bench.train.iter().chain(bench.dev.iter()) {
+        let db = bench.db(&ex.db_id).expect("known db");
+        let Some(pos) = ex.gold_sql.find("FROM ") else { continue };
+        let rest = &ex.gold_sql[pos + 5..];
+        let table: String =
+            rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if table.is_empty() {
+            continue;
+        }
+        let mangled = format!(
+            "{}FROM {}zz{}",
+            &ex.gold_sql[..pos],
+            table,
+            &rest[table.len()..]
+        );
+        assert!(
+            assert_certain_matches_execution(&db.database, &mangled),
+            "mangled scan must be a certain reject: {mangled}"
+        );
+        certains += 1;
+    }
+
+    assert!(certains >= 60, "certain rejects exercised: {certains}");
+}
+
+struct Fixture {
+    benchmark: Arc<datagen::Benchmark>,
+    pre: Arc<Preprocessed>,
+    llm: Arc<SimLlm>,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut profile = Profile::tiny();
+    profile.train = 60;
+    profile.dev = 30;
+    profile.n_databases = 3;
+    profile.n_domains = 3;
+    let benchmark = Arc::new(generate(&profile));
+    let oracle = Arc::new(Oracle::new(benchmark.clone()));
+    let llm = Arc::new(SimLlm::new(oracle, ModelProfile::gpt_4o(), seed));
+    let pre = Arc::new(Preprocessed::run(benchmark.clone(), llm.as_ref()));
+    Fixture { benchmark, pre, llm }
+}
+
+/// Gating a certain-broken candidate skips its execution without changing
+/// any deterministic field of the refined result.
+#[test]
+fn gate_skips_execution_without_changing_outcome() {
+    let f = fixture(31);
+    let ex = &f.benchmark.dev[0];
+    let broken = "SELECT name FROM table_that_does_not_exist";
+
+    let refine = |config: &PipelineConfig| {
+        let mut ledger = opensearch_sql::CostLedger::new();
+        opensearch_sql::refinement::refine_candidate(
+            &f.pre,
+            f.llm.as_ref() as &dyn llmsim::LanguageModel,
+            config,
+            &ex.db_id,
+            &ex.question,
+            &ex.evidence,
+            &opensearch_sql::ExtractionOutput::default(),
+            broken,
+            None,
+            0,
+            &mut ledger,
+        )
+    };
+    let mut config = PipelineConfig::fast();
+    config.alignments = false; // keep the broken scan reaching the gate
+    let gated = refine(&config);
+    let ungated = refine(&config.clone().without_analyze_gate());
+
+    assert!(gated.analyze_skips >= 1, "certain-broken candidate must be gated");
+    assert_eq!(ungated.analyze_skips, 0, "gate off records no skips");
+    assert_eq!(gated.sql, ungated.sql);
+    assert_eq!(gated.exec_cost, ungated.exec_cost);
+    assert_eq!(gated.correction_rounds, ungated.correction_rounds);
+    match (&gated.result, &ungated.result) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b),
+        (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+        _ => panic!("result class differs between gated and ungated refinement"),
+    }
+}
+
+/// Whole-pipeline differential: gate on vs gate off over the dev split is
+/// byte-identical in every deterministic report field — the analyzer only
+/// removes executions, never changes answers or votes.
+#[test]
+fn pipeline_identical_with_and_without_gate() {
+    let f = fixture(37);
+    let on = Pipeline::new(f.pre.clone(), f.llm.clone(), PipelineConfig::fast());
+    let off = Pipeline::new(
+        f.pre.clone(),
+        f.llm.clone(),
+        PipelineConfig::fast().without_analyze_gate(),
+    );
+    for ex in &f.benchmark.dev {
+        let a = on.answer(&ex.db_id, &ex.question, &ex.evidence);
+        let b = off.answer(&ex.db_id, &ex.question, &ex.evidence);
+        assert_eq!(a.sql_g, b.sql_g, "{}", ex.question);
+        assert_eq!(a.sql_r, b.sql_r, "{}", ex.question);
+        assert_eq!(a.final_sql, b.final_sql, "{}", ex.question);
+        assert_eq!(a.winner, b.winner, "{}", ex.question);
+        assert_eq!(a.candidates.len(), b.candidates.len());
+        for (ca, cb) in a.candidates.iter().zip(&b.candidates) {
+            assert_eq!(ca.raw_sql, cb.raw_sql);
+            assert_eq!(ca.sql, cb.sql);
+            assert_eq!(ca.exec_cost, cb.exec_cost);
+            assert_eq!(ca.correction_rounds, cb.correction_rounds);
+            assert_eq!(cb.analyze_skips, 0, "gate off must record no skips");
+            match (&ca.result, &cb.result) {
+                (Ok(ra), Ok(rb)) => assert_eq!(ra, rb, "{}", ex.question),
+                (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string()),
+                _ => panic!("result class differs for {}", ex.question),
+            }
+        }
+    }
+}
