@@ -8,6 +8,9 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q -p sqlkit          # fast gate: the SQL substrate everything sits on
 cargo test -q --test analyze_gold_clean  # corpus gate: analyzer silent on all gold SQL
+cargo test -q --test trace_shape # trace-determinism gate: two identical runs (and any
+                                 # refine thread count) render identical logical traces,
+                                 # timestamps and volatile events excluded
 cargo test -q
 cargo bench --no-run             # benches must always compile
 cargo clippy --workspace --all-targets -- -D warnings

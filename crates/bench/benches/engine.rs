@@ -146,5 +146,40 @@ fn bench_analyze(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_exec, bench_prepared, bench_analyze);
+/// Instrumentation overhead on the hottest path: warm plan-cache
+/// execution with no active trace (`off/*` — the engine's volatile
+/// events short-circuit on one thread-local read) versus with a trace
+/// recording every execute (`on/*`). The acceptance bar is < 5%
+/// overhead on `off` vs `on` for the warm prepared path; results are
+/// recorded in BENCH_engine.json.
+fn bench_trace(c: &mut Criterion) {
+    let built = db();
+    let mut group = c.benchmark_group("engine_trace");
+    group.sample_size(2000);
+    for (name, sql) in [CASES[0], CASES[1]] {
+        let cache = sqlkit::PlanCache::new(64);
+        cache.execute(&built.database, sql).unwrap();
+        group.bench_function(format!("off/{name}"), |b| {
+            b.iter(|| std::hint::black_box(cache.execute(&built.database, sql).unwrap()))
+        });
+        osql_trace::active::push();
+        let mut calls: u32 = 0;
+        group.bench_function(format!("on/{name}"), |b| {
+            b.iter(|| {
+                // Bound trace growth: rotate to a fresh trace every 4096
+                // recorded executes (a trace-stack pop + push, ~two TLS ops).
+                calls += 1;
+                if calls.is_multiple_of(4096) {
+                    let _ = osql_trace::active::pop();
+                    osql_trace::active::push();
+                }
+                std::hint::black_box(cache.execute(&built.database, sql).unwrap())
+            })
+        });
+        let _ = osql_trace::active::pop();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_exec, bench_prepared, bench_analyze, bench_trace);
 criterion_main!(benches);

@@ -22,9 +22,11 @@ use repl::{Repl, ReplOutcome};
 use serve::ServeOptions;
 use std::io::{BufRead, Write};
 
-const USAGE: &str = "usage: opensearch-sql [batch|serve] [--profile tiny|mini|bird|spider] \
+const USAGE: &str = "usage: opensearch-sql [batch|serve|profile] [--profile tiny|mini|bird|spider] \
                      [--scale f] [--workers n] [--queue n] [--limit n] [--rounds n]\n\
-       opensearch-sql lint <db_id> <sql> [--profile ...]  # static-analyze one SQL string";
+       opensearch-sql lint <db_id> <sql> [--profile ...]   # static-analyze one SQL string\n\
+       opensearch-sql trace <db_id> <question> [--json]    # serve one question, dump its trace\n\
+       opensearch-sql profile [--limit n] [--rounds n]     # per-stage latency table over a batch";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -32,6 +34,8 @@ fn main() {
         Some("batch") => "batch",
         Some("serve") => "serve",
         Some("lint") => "lint",
+        Some("trace") => "trace",
+        Some("profile") => "profile",
         _ => "repl",
     };
     let mut opts = ServeOptions::default();
@@ -76,6 +80,9 @@ fn main() {
                 }
                 i += 1;
             }
+            "--json" => {
+                opts.json = true;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -103,6 +110,26 @@ fn main() {
             let (report, failed) = serve::lint_sql(&opts, db_id, &sql);
             println!("{report}");
             std::process::exit(i32::from(failed));
+        }
+        "trace" => {
+            let Some((db_id, question_parts)) = positionals.split_first() else {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            };
+            let question = question_parts.join(" ");
+            if question.is_empty() {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+            eprintln!("building {} world (scale {}) ...", opts.profile, opts.scale);
+            println!("{}", serve::run_trace(&opts, db_id, &question));
+        }
+        "profile" => {
+            eprintln!(
+                "building {} world (scale {}), profiling over {} worker(s) ...",
+                opts.profile, opts.scale, opts.workers
+            );
+            print!("{}", serve::run_profile(&opts));
         }
         "batch" => {
             eprintln!(

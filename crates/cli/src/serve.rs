@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// Options shared by the runtime-backed modes.
+#[derive(Clone)]
 pub struct ServeOptions {
     /// World profile name (tiny/mini/bird/spider).
     pub profile: String,
@@ -25,6 +26,12 @@ pub struct ServeOptions {
     /// How many times to serve the batch (> 1 exercises the result
     /// cache).
     pub rounds: usize,
+    /// LRU result-cache capacity (profile mode shrinks this to 1 so
+    /// repeated rounds genuinely re-run the pipeline).
+    pub result_cache: usize,
+    /// Emit machine-readable output where a mode supports it (`trace
+    /// --json` prints the JSONL trace dump).
+    pub json: bool,
 }
 
 impl Default for ServeOptions {
@@ -36,6 +43,8 @@ impl Default for ServeOptions {
             queue: 64,
             limit: 0,
             rounds: 1,
+            result_cache: 1024,
+            json: false,
         }
     }
 }
@@ -86,7 +95,8 @@ pub fn start_runtime(opts: &ServeOptions) -> (Arc<datagen::Benchmark>, Runtime) 
     let config = RuntimeConfig {
         workers: opts.workers,
         queue_capacity: opts.queue,
-        result_cache_capacity: 1024,
+        result_cache_capacity: opts.result_cache,
+        trace_capacity: 64,
     };
     (benchmark, Runtime::start(assets, config))
 }
@@ -140,9 +150,147 @@ pub fn run_batch(opts: &ServeOptions) -> String {
     out
 }
 
+/// Serve one question and render its structured trace: the SQL, the span
+/// tree, and a per-stage time breakdown. With `opts.json`, emit the
+/// JSONL trace dump instead.
+pub fn run_trace(opts: &ServeOptions, db_id: &str, question: &str) -> String {
+    let (_benchmark, rt) = start_runtime(opts);
+    let ticket = match rt.submit(QueryRequest::new(db_id, question, "")) {
+        Ok(t) => t,
+        Err(e) => return format!("error: {e}"),
+    };
+    match ticket.wait() {
+        Ok(resp) => {
+            let trace = &resp.run.trace;
+            if opts.json {
+                return trace.to_jsonl();
+            }
+            let mut out = format!("SQL: {}\n\n{}", resp.run.final_sql, trace.render_tree());
+            out.push_str(&stage_breakdown(trace));
+            out
+        }
+        Err(ServeError::UnknownDb(id)) => format!("error: unknown database {id}"),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// Per-stage share of one trace's wall time, from its stage spans.
+fn stage_breakdown(trace: &osql_trace::QueryTrace) -> String {
+    let Some(root) = trace.span_named("pipeline") else {
+        return String::new();
+    };
+    let wall = root.duration_ms().max(1e-9);
+    let mut out = String::from("\nstage breakdown:\n");
+    for span in trace.spans.iter().filter(|s| s.name.starts_with("stage:")) {
+        let ms = span.duration_ms();
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>9.3} ms  {:>5.1}%",
+            span.name.trim_start_matches("stage:"),
+            ms,
+            100.0 * ms / wall
+        );
+    }
+    out
+}
+
+/// Serve a ≥50-query batch with the result cache disabled (capacity 1) so
+/// every request runs the full pipeline, then render a per-stage latency
+/// table from the labeled `stage_latency_ms` histograms.
+pub fn run_profile(opts: &ServeOptions) -> String {
+    let opts = ServeOptions { result_cache: 1, ..opts.clone() };
+    let (benchmark, rt) = start_runtime(&opts);
+    let limit = if opts.limit == 0 { benchmark.dev.len() } else { opts.limit.min(benchmark.dev.len()) };
+    let limit = limit.max(1);
+    let rounds = opts.rounds.max(50usize.div_ceil(limit));
+    let requests: Vec<QueryRequest> = benchmark
+        .dev
+        .iter()
+        .take(limit)
+        .map(|ex| QueryRequest::new(&ex.db_id, &ex.question, &ex.evidence))
+        .collect();
+    let clock = Throughput::start();
+    for _ in 0..rounds {
+        for outcome in rt.run_batch(requests.clone()) {
+            if outcome.is_ok() {
+                clock.served();
+            }
+        }
+    }
+    let (served, secs, rps) = clock.snapshot();
+    let mut out = format!(
+        "profile: {served} pipeline run(s) ({limit} question(s) × {rounds} round(s)) \
+         over {} worker(s) in {secs:.2}s — {rps:.1} q/s\n\n",
+        opts.workers
+    );
+    out.push_str(&stage_table(rt.metrics()));
+    out
+}
+
+/// Format possibly-infinite milliseconds (a saturated histogram reports
+/// an unbounded p95 rather than its last finite bound).
+fn fmt_ms(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_owned()
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// The per-stage latency table: count, p50, p95, and share of the summed
+/// stage wall time, from the labeled `stage_latency_ms` histograms.
+/// Alignment time is nested inside refinement, so the total excludes it
+/// (the three top-level stages sum to 100%); its row shows the nested
+/// share.
+pub fn stage_table(metrics: &osql_runtime::MetricsRegistry) -> String {
+    let series = metrics.histogram_series("stage_latency_ms");
+    if series.is_empty() {
+        return "no stage latencies recorded yet\n".to_owned();
+    }
+    let total: f64 = series
+        .iter()
+        .filter(|(labels, _)| !labels.iter().any(|(_, v)| v == "alignments"))
+        .map(|(_, h)| h.sum())
+        .sum();
+    let total = total.max(1e-9);
+    let mut out = format!(
+        "{:<12} {:>7} {:>10} {:>10} {:>8}\n",
+        "stage", "count", "p50(ms)", "p95(ms)", "% wall"
+    );
+    for (labels, h) in &series {
+        let stage = labels
+            .iter()
+            .find(|(k, _)| k == "stage")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>10} {:>10} {:>7.1}%",
+            stage,
+            h.count(),
+            fmt_ms(h.approx_quantile(0.5)),
+            fmt_ms(h.approx_quantile(0.95)),
+            100.0 * h.sum() / total,
+        );
+    }
+    let pipeline = metrics.latency("pipeline_ms");
+    if pipeline.count() > 0 {
+        let _ = writeln!(
+            out,
+            "\npipeline     {:>7} {:>10} {:>10}",
+            pipeline.count(),
+            fmt_ms(pipeline.approx_quantile(0.5)),
+            fmt_ms(pipeline.approx_quantile(0.95)),
+        );
+    }
+    out
+}
+
 /// Handle one `serve`-mode input line. Requests are
-/// `db_id|question[|evidence]`; `\metrics` dumps a snapshot, `\dbs`
-/// lists databases. Returns `None` on `\quit`.
+/// `db_id|question[|evidence]`; `\metrics` dumps a snapshot, `\prom` the
+/// Prometheus-style exposition, `\trace` the last query's span tree,
+/// `\profile` the per-stage latency table, `\dbs` lists databases.
+/// Returns `None` on `\quit`.
 pub fn handle_serve_line(
     benchmark: &datagen::Benchmark,
     rt: &Runtime,
@@ -155,6 +303,14 @@ pub fn handle_serve_line(
     match line {
         "\\quit" | "\\q" => return None,
         "\\metrics" => return Some(rt.metrics().render()),
+        "\\prom" => return Some(rt.metrics().render_prometheus()),
+        "\\profile" => return Some(stage_table(rt.metrics())),
+        "\\trace" => {
+            return Some(match rt.traces().last() {
+                Some(trace) => format!("{}{}", trace.render_tree(), stage_breakdown(&trace)),
+                None => "no traces recorded yet".to_owned(),
+            })
+        }
         "\\dbs" => {
             return Some(
                 benchmark.dbs.iter().map(|db| db.id.as_str()).collect::<Vec<_>>().join("\n"),
@@ -165,7 +321,13 @@ pub fn handle_serve_line(
     let mut parts = line.splitn(3, '|');
     let (db_id, question) = match (parts.next(), parts.next()) {
         (Some(db), Some(q)) if !q.trim().is_empty() => (db.trim(), q.trim()),
-        _ => return Some("usage: db_id|question[|evidence]  (\\metrics, \\dbs, \\quit)".into()),
+        _ => {
+            return Some(
+                "usage: db_id|question[|evidence]  \
+                 (\\metrics, \\prom, \\trace, \\profile, \\dbs, \\quit)"
+                    .into(),
+            )
+        }
     };
     let evidence = parts.next().unwrap_or("").trim();
     let ticket = match rt.submit(QueryRequest::new(db_id, question, evidence)) {

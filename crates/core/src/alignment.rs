@@ -49,22 +49,47 @@ pub fn align_candidate(
     let Ok(mut stmt) = parse_select(sql) else {
         let diag = sqlkit::analyze_sql(schema, sql).diagnostics.into_iter().next();
         ledger.charge(Module::Alignments, stage_start.elapsed().as_secs_f64() * 1e3, 0);
+        osql_trace::active::event(
+            "align_skipped",
+            &[("code", diag.as_ref().map(|d| d.code.as_str()).unwrap_or("unknown"))],
+        );
         return Aligned { sql: sql.to_owned(), changed: false, parse_diagnostic: diag };
     };
     let mut changed = false;
+    let flag = |b: bool| if b { "true" } else { "false" };
 
     let t0 = Instant::now();
-    changed |= agent_align(&mut stmt, schema, values);
-    ledger.charge(Module::AgentAlign, t0.elapsed().as_secs_f64() * 1e3, 0);
+    let hop = agent_align(&mut stmt, schema, values);
+    let agent_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ledger.charge(Module::AgentAlign, agent_ms, 0);
+    osql_trace::active::event_timed(
+        "align_hop",
+        &[("hop", "agent"), ("changed", flag(hop))],
+        &[("ms", agent_ms)],
+    );
+    changed |= hop;
 
     let t0 = Instant::now();
-    changed |= function_align(&mut stmt);
-    ledger.charge(Module::FunctionAlign, t0.elapsed().as_secs_f64() * 1e3, 0);
+    let hop = function_align(&mut stmt);
+    let function_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ledger.charge(Module::FunctionAlign, function_ms, 0);
+    osql_trace::active::event_timed(
+        "align_hop",
+        &[("hop", "function"), ("changed", flag(hop))],
+        &[("ms", function_ms)],
+    );
+    changed |= hop;
 
     let t0 = Instant::now();
-    changed |= style_align(&mut stmt);
-    changed |= trim_select(&mut stmt, expected_select);
-    ledger.charge(Module::StyleAlign, t0.elapsed().as_secs_f64() * 1e3, 0);
+    let hop = style_align(&mut stmt) | trim_select(&mut stmt, expected_select);
+    let style_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ledger.charge(Module::StyleAlign, style_ms, 0);
+    osql_trace::active::event_timed(
+        "align_hop",
+        &[("hop", "style"), ("changed", flag(hop))],
+        &[("ms", style_ms)],
+    );
+    changed |= hop;
 
     ledger.charge(Module::Alignments, stage_start.elapsed().as_secs_f64() * 1e3, 0);
     let out = if changed { print_select(&stmt) } else { sql.to_owned() };

@@ -56,6 +56,6 @@ pub use extraction::ExtractionOutput;
 pub use fewshot::FewshotLibrary;
 pub use pipeline::{Pipeline, PipelineRun};
 pub use preprocess::Preprocessed;
-pub use refinement::RefinedCandidate;
+pub use refinement::{vote_margin, RefinedCandidate};
 pub use retrieval::{ColumnIndex, ValueHit, ValueIndex};
 pub use sqllike::{parse_sql_like, recover_sql, SqlLike};

@@ -9,6 +9,7 @@ use crate::generation::run_generation;
 use crate::preprocess::Preprocessed;
 use crate::refinement::{execute, refine_candidate, vote, RefinedCandidate};
 use llmsim::LanguageModel;
+use osql_trace::{active, QueryTrace};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,6 +40,11 @@ pub struct PipelineRun {
     pub winner: usize,
     /// Per-module cost of this run.
     pub ledger: CostLedger,
+    /// Structured trace of this run. Complete when the caller let
+    /// [`Pipeline::answer`] own the trace (the default); empty when an
+    /// outer owner (the serving runtime) is still recording, in which case
+    /// that owner fills it in after popping the thread's trace.
+    pub trace: Arc<QueryTrace>,
 }
 
 impl Pipeline {
@@ -59,10 +65,31 @@ impl Pipeline {
     }
 
     /// Answer one natural-language question against a database.
+    ///
+    /// Always traced: if no trace is active on this thread, `answer`
+    /// installs one and the returned [`PipelineRun::trace`] is complete;
+    /// if an outer owner (the serving runtime) already pushed a trace,
+    /// `answer` records into it and the owner finishes it.
     pub fn answer(&self, db_id: &str, question: &str, evidence: &str) -> PipelineRun {
+        let owner = active::ensure();
+        let root = active::start("pipeline");
+        active::label(root, "db", db_id);
         let mut ledger = CostLedger::new();
 
+        // Preprocessing is offline (schema profiles, value indexes, the
+        // self-taught few-shot library); the per-query share is resolving
+        // those assets for the target database.
+        let stage = active::start("stage:preprocess");
+        active::label(stage, "db_known", if self.pre.db(db_id).is_some() { "true" } else { "false" });
+        active::label(
+            stage,
+            "assets_ready",
+            if self.pre.assets(db_id).is_some() { "true" } else { "false" },
+        );
+        active::end(stage);
+
         // Extraction (+ Info Alignment)
+        let stage = active::start("stage:extraction");
         let extraction = run_extraction(
             &self.pre,
             self.llm.as_ref(),
@@ -72,8 +99,14 @@ impl Pipeline {
             evidence,
             &mut ledger,
         );
+        active::label(stage, "value_hits", &extraction.value_hits.len().to_string());
+        if let Some(n) = extraction.expected_select {
+            active::label(stage, "expected_select", &n.to_string());
+        }
+        active::end(stage);
 
         // Generation
+        let stage = active::start("stage:generation");
         let generation = run_generation(
             &self.pre,
             self.llm.as_ref(),
@@ -84,18 +117,23 @@ impl Pipeline {
             &extraction,
             &mut ledger,
         );
+        active::label(stage, "candidates", &generation.candidates.len().to_string());
+        active::end(stage);
         let sql_g = generation.candidates.first().cloned().unwrap_or_default();
 
         // Refinement (alignments + correction per candidate). Candidates
         // are independent, so they can refine on worker threads; each one
-        // charges a private ledger and the ledgers are merged in candidate
-        // index order, making every report field identical whether the
-        // work ran on 1 thread or N.
+        // charges a private ledger and records a private sub-trace, and
+        // both are merged in candidate index order, making every report
+        // field — and the logical trace — identical whether the work ran
+        // on 1 thread or N.
+        let stage = active::start("stage:refinement");
         let refinement_start = Instant::now();
         let n = generation.candidates.len();
         let threads = self.config.refine_threads.max(1).min(n.max(1));
-        let refine_one = |i: usize, ledger: &mut CostLedger| -> RefinedCandidate {
-            refine_candidate(
+        let refine_one = |i: usize, ledger: &mut CostLedger| -> (RefinedCandidate, QueryTrace) {
+            active::push();
+            let c = refine_candidate(
                 &self.pre,
                 self.llm.as_ref(),
                 &self.config,
@@ -107,15 +145,16 @@ impl Pipeline {
                 generation.raw_texts.get(i).map(String::as_str),
                 i,
                 ledger,
-            )
+            );
+            (c, active::pop().expect("refine_one pushed a trace"))
         };
-        let mut slots: Vec<Option<(RefinedCandidate, CostLedger)>> =
+        let mut slots: Vec<Option<(RefinedCandidate, CostLedger, QueryTrace)>> =
             (0..n).map(|_| None).collect();
         if threads <= 1 || n < 2 {
             for (i, slot) in slots.iter_mut().enumerate() {
                 let mut local = CostLedger::new();
-                let c = refine_one(i, &mut local);
-                *slot = Some((c, local));
+                let (c, t) = refine_one(i, &mut local);
+                *slot = Some((c, local, t));
             }
         } else {
             let chunk = n.div_ceil(threads);
@@ -125,8 +164,8 @@ impl Pipeline {
                     scope.spawn(move || {
                         for (off, slot) in chunk_slots.iter_mut().enumerate() {
                             let mut local = CostLedger::new();
-                            let c = refine_one(t * chunk + off, &mut local);
-                            *slot = Some((c, local));
+                            let (c, tr) = refine_one(t * chunk + off, &mut local);
+                            *slot = Some((c, local, tr));
                         }
                     });
                 }
@@ -134,9 +173,10 @@ impl Pipeline {
         }
         let mut candidates = Vec::with_capacity(n);
         for slot in slots {
-            let (c, local) = slot.expect("every candidate slot is filled");
+            let (c, local, sub) = slot.expect("every candidate slot is filled");
             candidates.push(c);
             ledger.merge(&local);
+            active::absorb(sub);
         }
         let sql_r = candidates.first().map(|c| c.sql.clone()).unwrap_or_default();
 
@@ -147,11 +187,20 @@ impl Pipeline {
             0
         };
         ledger.charge(Module::Refinement, refinement_start.elapsed().as_secs_f64() * 1e3, 0);
+        active::label(stage, "winner", &winner.to_string());
+        active::end(stage);
 
         let final_sql = candidates
             .get(winner)
             .map(|c| c.sql.clone())
             .unwrap_or_else(|| sql_r.clone());
+
+        active::end(root);
+        let trace = if owner {
+            Arc::new(active::pop().unwrap_or_else(QueryTrace::empty))
+        } else {
+            Arc::new(QueryTrace::empty())
+        };
 
         PipelineRun {
             question: question.to_owned(),
@@ -162,6 +211,7 @@ impl Pipeline {
             candidates,
             winner,
             ledger,
+            trace,
         }
     }
 
@@ -273,31 +323,60 @@ mod tests {
 }
 
 impl PipelineRun {
-    /// Render a human-readable trace of this run: the candidate beam, what
-    /// alignment/correction changed, execution outcomes, and the vote.
-    /// Useful for debugging pipelines and in the REPL's `\explain`.
+    /// Render a human-readable account of this run: the candidate beam,
+    /// what alignment/correction changed, execution outcomes, and the
+    /// vote. Useful for debugging pipelines and in the REPL's `\explain`.
+    ///
+    /// The beam section reads from the structured [`PipelineRun::trace`]
+    /// (the candidate spans are the source of truth); a run without a
+    /// trace falls back to the [`RefinedCandidate`]s directly and renders
+    /// the same bytes.
     pub fn explain(&self) -> String {
         use std::fmt::Write;
+        // (sql, raw-if-different, outcome, cost, rounds) per candidate —
+        // from candidate spans when traced, else from the beam itself.
+        let beam: Vec<(String, Option<String>, String, String, String)> = {
+            let spans: Vec<_> = self.trace.spans_named("candidate").collect();
+            if spans.is_empty() {
+                self.candidates
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.sql.clone(),
+                            (c.sql != c.raw_sql).then(|| c.raw_sql.clone()),
+                            c.outcome_label(),
+                            c.exec_cost.to_string(),
+                            c.correction_rounds.to_string(),
+                        )
+                    })
+                    .collect()
+            } else {
+                spans
+                    .iter()
+                    .map(|s| {
+                        let get = |k: &str| s.label(k).unwrap_or("?").to_owned();
+                        (
+                            get("sql"),
+                            s.label("raw").map(str::to_owned),
+                            get("outcome"),
+                            get("cost"),
+                            get("rounds"),
+                        )
+                    })
+                    .collect()
+            }
+        };
         let mut out = String::with_capacity(512);
         let _ = writeln!(out, "question: {}", self.question);
         let _ = writeln!(out, "database: {}", self.db_id);
-        let _ = writeln!(out, "candidates: {}", self.candidates.len());
-        for (i, c) in self.candidates.iter().enumerate() {
+        let _ = writeln!(out, "candidates: {}", beam.len());
+        for (i, (sql, raw, outcome, cost, rounds)) in beam.iter().enumerate() {
             let marker = if i == self.winner { ">>" } else { "  " };
-            let outcome = match &c.result {
-                Ok(rs) if rs.is_effectively_empty() => "empty".to_owned(),
-                Ok(rs) => format!("{} row(s)", rs.rows.len()),
-                Err(e) => format!("error: {e}"),
-            };
-            let _ = writeln!(out, "{marker} [{i}] {}", c.sql);
-            if c.sql != c.raw_sql {
-                let _ = writeln!(out, "       raw: {}", c.raw_sql);
+            let _ = writeln!(out, "{marker} [{i}] {sql}");
+            if let Some(raw) = raw {
+                let _ = writeln!(out, "       raw: {raw}");
             }
-            let _ = writeln!(
-                out,
-                "       -> {outcome} (cost {}, {} correction round(s))",
-                c.exec_cost, c.correction_rounds
-            );
+            let _ = writeln!(out, "       -> {outcome} (cost {cost}, {rounds} correction round(s))");
         }
         let _ = writeln!(out, "final: {}", self.final_sql);
         let gen = self.ledger.get(crate::cost::Module::Generation);

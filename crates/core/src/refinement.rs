@@ -14,6 +14,7 @@ use crate::preprocess::Preprocessed;
 use crate::retrieval::ValueHit;
 use llmsim::proto;
 use llmsim::{ChatRequest, LanguageModel};
+use osql_trace::active;
 use sqlkit::{parse_select, ResultSet, SqlError};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -43,6 +44,46 @@ impl RefinedCandidate {
     pub fn is_valid(&self) -> bool {
         matches!(&self.result, Ok(rs) if !rs.is_effectively_empty())
     }
+
+    /// One-word-ish execution outcome: `empty`, `N row(s)`, or
+    /// `error: …` — the vocabulary shared by trace labels and
+    /// [`crate::PipelineRun::explain`].
+    pub fn outcome_label(&self) -> String {
+        match &self.result {
+            Ok(rs) if rs.is_effectively_empty() => "empty".to_owned(),
+            Ok(rs) => format!("{} row(s)", rs.rows.len()),
+            Err(e) => format!("error: {e}"),
+        }
+    }
+}
+
+/// Fraction of the beam agreeing with the winner — the *margin* of the
+/// vote. When the winner executed to a non-empty answer, agreement means
+/// the same normalised answer (the vote's own grouping, Eq. 3); when the
+/// vote fell back to an invalid winner, agreement degrades to SQL-string
+/// equality. This is the single formula behind both the trace's `vote`
+/// event and the runtime's `vote_margin` histogram.
+pub fn vote_margin(candidates: &[RefinedCandidate], winner: usize) -> f64 {
+    if candidates.len() < 2 {
+        return 1.0;
+    }
+    let Some(w) = candidates.get(winner) else {
+        return 0.0;
+    };
+    let agreeing = match &w.result {
+        Ok(wrs) if w.is_valid() => {
+            let target = wrs.normalized_rows();
+            candidates
+                .iter()
+                .filter(|c| {
+                    c.is_valid()
+                        && matches!(&c.result, Ok(rs) if rs.normalized_rows() == target)
+                })
+                .count()
+        }
+        _ => candidates.iter().filter(|c| c.sql == w.sql).count(),
+    };
+    agreeing as f64 / candidates.len() as f64
 }
 
 /// Execute a SQL string against a database, returning result + costs.
@@ -85,12 +126,25 @@ fn analyze_and_execute(
     }
     let t0 = Instant::now();
     let analysis = sqlkit::analyze_sql(&db.schema, sql);
-    ledger.charge(Module::Analyze, t0.elapsed().as_secs_f64() * 1e3, 0);
+    let analyze_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ledger.charge(Module::Analyze, analyze_ms, 0);
+    let diags = analysis.diagnostics.len();
     // Single quotes are scrubbed so the note cannot inject new string
     // literals into the correction prompt (the simulated model mines the
     // prompt for quoted values; the SQL itself is already there verbatim).
-    let note = (!analysis.diagnostics.is_empty())
-        .then(|| analysis.rendered(sql).replace('\'', "`"));
+    let note = (diags > 0).then(|| analysis.rendered(sql).replace('\'', "`"));
+    let verdict = if analysis.certain_error.is_some() {
+        "reject"
+    } else if diags > 0 {
+        "flagged"
+    } else {
+        "clean"
+    };
+    active::event_timed(
+        "analyze_gate",
+        &[("verdict", verdict), ("diags", &diags.to_string())],
+        &[("analyze_ms", analyze_ms)],
+    );
     if let Some(err) = analysis.certain_error {
         return GateOutcome { result: Err(err), cost: 0, ms: 0.0, note, skipped: true };
     }
@@ -115,6 +169,8 @@ pub fn refine_candidate(
 ) -> RefinedCandidate {
     let db = pre.db(db_id).expect("refinement runs on known databases");
     let assets = pre.assets(db_id).expect("assets exist for known databases");
+    let span = active::start("candidate");
+    active::label(span, "idx", &candidate_idx.to_string());
 
     // SQL-Like fallback: when the final SQL is malformed but the CoT's
     // intermediate representation parses, reconstruct the SQL from the
@@ -126,8 +182,13 @@ pub fn refine_candidate(
             raw_text.and_then(|t| llmsim::proto::parse_field(t, "SQL-like"))
         {
             let t0 = std::time::Instant::now();
-            if let Ok(recovered) = crate::sqllike::recover_sql(line, &db.database.schema) {
-                effective_sql = recovered;
+            let recovered = crate::sqllike::recover_sql(line, &db.database.schema);
+            active::event(
+                "sqllike_fallback",
+                &[("recovered", if recovered.is_ok() { "true" } else { "false" })],
+            );
+            if let Ok(sql) = recovered {
+                effective_sql = sql;
             }
             ledger.charge(Module::StyleAlign, t0.elapsed().as_secs_f64() * 1e3, 0);
         }
@@ -178,6 +239,9 @@ pub fn refine_candidate(
                 Err(e) => e.kind(),
                 Ok(_) => sqlkit::SqlErrorKind::Other,
             };
+            let round_span = active::start("correction_round");
+            active::label(round_span, "attempt", &rounds.to_string());
+            active::label(round_span, "error_kind", &format!("{kind:?}"));
             let full_note = match (&align_note, &note) {
                 (Some(a), Some(n)) => Some(format!("{a}\n{n}")),
                 (Some(a), None) => Some(a.clone()),
@@ -204,8 +268,11 @@ pub fn refine_candidate(
                 .and_then(|t| proto::parse_sql_from_response(t))
                 .map(str::to_owned)
             else {
+                active::label(round_span, "correction", "none");
+                active::end(round_span);
                 break;
             };
+            active::label(round_span, "correction", "applied");
             sql = if config.alignments {
                 let aligned = align_candidate(
                     &fixed,
@@ -229,10 +296,11 @@ pub fn refine_candidate(
             ms = gate.ms;
             note = gate.note;
             skips += gate.skipped as usize;
+            active::end(round_span);
         }
     }
 
-    RefinedCandidate {
+    let refined = RefinedCandidate {
         raw_sql: raw_sql.to_owned(),
         sql,
         result,
@@ -240,7 +308,16 @@ pub fn refine_candidate(
         exec_ms: ms,
         correction_rounds: rounds,
         analyze_skips: skips,
+    };
+    active::label(span, "sql", &refined.sql);
+    if refined.sql != refined.raw_sql {
+        active::label(span, "raw", &refined.raw_sql);
     }
+    active::label(span, "outcome", &refined.outcome_label());
+    active::label(span, "cost", &refined.exec_cost.to_string());
+    active::label(span, "rounds", &refined.correction_rounds.to_string());
+    active::end(span);
+    refined
 }
 
 /// Build a correction prompt (Listing 3 shape): error few-shot for the
@@ -351,16 +428,26 @@ pub fn vote(candidates: &[RefinedCandidate], ledger: &mut CostLedger) -> usize {
                 .expect("winning group is non-empty")
         });
     ledger.charge(Module::Vote, t0.elapsed().as_secs_f64() * 1e3, 0);
-    match winner {
-        Some(i) => i,
+    let (chosen, path) = match winner {
+        Some(i) => (i, "majority"),
         None => {
             // no valid candidate: prefer any that executed, else 0
-            candidates
-                .iter()
-                .position(|c| c.result.is_ok())
-                .unwrap_or(0)
+            match candidates.iter().position(|c| c.result.is_ok()) {
+                Some(i) => (i, "fallback-executed"),
+                None => (0, "fallback-first"),
+            }
         }
-    }
+    };
+    active::event(
+        "vote",
+        &[
+            ("candidates", &candidates.len().to_string()),
+            ("winner", &chosen.to_string()),
+            ("path", path),
+            ("margin", &format!("{:.4}", vote_margin(candidates, chosen))),
+        ],
+    );
+    chosen
 }
 
 #[cfg(test)]

@@ -15,7 +15,12 @@
 //!   backoff around any [`llmsim::FallibleLanguageModel`], pairing with
 //!   llmsim's seeded [`llmsim::FlakyLlm`] fault injector.
 //! - **[`metrics`]** — atomic counters and fixed-bucket latency
-//!   histograms with a text snapshot renderer.
+//!   histograms, optionally labeled (`stage_latency_ms{stage="…"}`),
+//!   with a text snapshot renderer and a Prometheus-style exposition.
+//!
+//! Each served query also records an [`osql_trace`] span tree; workers
+//! publish finished traces to a bounded drop-oldest
+//! [`osql_trace::TraceCollector`] reachable via `Runtime::traces`.
 //!
 //! Determinism is preserved end to end: timeouts judge the *modelled*
 //! latency of responses, backoff is accounted rather than slept, retries

@@ -1,11 +1,15 @@
 //! A small metrics registry: named atomic counters and fixed-bucket
-//! histograms, with a text snapshot renderer.
+//! histograms — optionally **labeled** (`name{key="value"}` series, one
+//! instrument per distinct label set) — with a human-readable text
+//! snapshot and a Prometheus-style text exposition.
 //!
 //! Everything is lock-free on the hot path (one atomic add per counter
 //! increment, two per histogram observation); the registry itself takes a
-//! lock only to create or look up instruments by name. Histogram sums are
-//! kept in integer microseconds so concurrent recording stays exact and
-//! snapshots are reproducible.
+//! lock only to create or look up instruments by name + labels. Callers
+//! on hot paths should hold the returned `Arc` instead of re-resolving.
+//! Histogram sums are kept in integer milli-units (the observed value
+//! × 1000, rounded) so concurrent recording stays exact and snapshots are
+//! reproducible.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -50,8 +54,9 @@ pub struct Histogram {
     /// One count per bound, plus the overflow bucket at the end.
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
-    /// Sum in integer micro-units (value × 1000, rounded) so concurrent
-    /// adds are exact and order-insensitive.
+    /// Sum in integer milli-units (value × 1000, rounded) so concurrent
+    /// adds are exact and order-insensitive. Sub-milli-unit precision
+    /// (below 0.001 of whatever the value's unit is) is rounded away.
     sum_milli: AtomicU64,
 }
 
@@ -93,7 +98,8 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Sum of observed values.
+    /// Sum of observed values (in the value's own unit; internally kept
+    /// in milli-units, so quantised to 0.001).
     pub fn sum(&self) -> f64 {
         self.sum_milli.load(Ordering::Relaxed) as f64 / 1000.0
     }
@@ -109,8 +115,10 @@ impl Histogram {
     }
 
     /// Upper bound of the bucket containing the q-quantile (q in 0..=1);
-    /// the last finite bound when the quantile falls in the overflow
-    /// bucket, 0 when empty.
+    /// 0 when empty. When the quantile falls in the overflow bucket the
+    /// answer is **`f64::INFINITY`** — a saturated histogram reports an
+    /// unbounded quantile rather than masquerading as the last finite
+    /// bound.
     pub fn approx_quantile(&self, q: f64) -> f64 {
         let total = self.count();
         if total == 0 {
@@ -121,10 +129,25 @@ impl Histogram {
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                return self.bounds.get(i).copied().unwrap_or(*self.bounds.last().unwrap());
+                return self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
             }
         }
-        *self.bounds.last().unwrap()
+        f64::INFINITY
+    }
+
+    /// Per-bucket (upper bound, count) pairs; the overflow bucket reports
+    /// `f64::INFINITY`. Counts are non-cumulative.
+    pub fn snapshot_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, bucket)| {
+                (
+                    self.bounds.get(i).copied().unwrap_or(f64::INFINITY),
+                    bucket.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 
     fn render_into(&self, out: &mut String) {
@@ -154,11 +177,55 @@ impl Histogram {
     }
 }
 
+/// A label set, normalised (sorted by key) so `[("a","1"),("b","2")]` and
+/// `[("b","2"),("a","1")]` resolve to the same series.
+type Labels = Vec<(String, String)>;
+
+fn normalize(labels: &[(&str, &str)]) -> Labels {
+    let mut out: Labels =
+        labels.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect();
+    out.sort();
+    out
+}
+
+/// Render `name{k="v",k2="v2"}` (or just `name` for the empty label set),
+/// with `extra` appended after the caller's labels (used for `le`).
+fn series_name(name: &str, labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return name.to_owned();
+    }
+    let mut out = String::with_capacity(name.len() + 16);
+    out.push_str(name);
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+    }
+    out.push('}');
+    out
+}
+
+/// Format a bucket bound the way Prometheus expects (`+Inf` for the
+/// overflow bucket).
+fn le_value(bound: f64) -> String {
+    if bound.is_infinite() {
+        "+Inf".to_owned()
+    } else {
+        format!("{bound}")
+    }
+}
+
 /// Named instruments, created on first use and shared by reference.
+/// Instruments are keyed by `(name, labels)`: the unlabeled API is the
+/// labeled one with an empty label set.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<(String, Labels), Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<(String, Labels), Arc<Histogram>>>,
 }
 
 impl MetricsRegistry {
@@ -167,47 +234,138 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    /// Get or create the counter with this name.
+    /// Get or create the unlabeled counter with this name.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or create the counter series `name{labels}`. Label order does
+    /// not matter; `(name, sorted labels)` identifies the series.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let mut map = self.counters.lock().expect("metrics lock");
-        map.entry(name.to_owned()).or_default().clone()
+        map.entry((name.to_owned(), normalize(labels))).or_default().clone()
     }
 
-    /// Get or create the histogram with this name. The bounds apply only
-    /// on creation; later calls with the same name reuse the existing
-    /// instrument.
+    /// Get or create the unlabeled histogram with this name. The bounds
+    /// apply only on creation; later calls with the same name reuse the
+    /// existing instrument.
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("metrics lock");
-        map.entry(name.to_owned()).or_insert_with(|| Arc::new(Histogram::new(bounds))).clone()
+        self.histogram_with(name, &[], bounds)
     }
 
-    /// Get or create a latency histogram with the default ms buckets.
+    /// Get or create the histogram series `name{labels}`.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("metrics lock");
+        map.entry((name.to_owned(), normalize(labels)))
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+            .clone()
+    }
+
+    /// Get or create an unlabeled latency histogram with the default ms
+    /// buckets.
     pub fn latency(&self, name: &str) -> Arc<Histogram> {
         self.histogram(name, &LATENCY_BOUNDS_MS)
     }
 
-    /// Render a text snapshot of every instrument, sorted by name.
+    /// Get or create a labeled latency histogram with the default ms
+    /// buckets.
+    pub fn latency_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with(name, labels, &LATENCY_BOUNDS_MS)
+    }
+
+    /// Every histogram series registered under `name`, as
+    /// `(labels, instrument)` pairs in label order.
+    pub fn histogram_series(&self, name: &str) -> Vec<(Labels, Arc<Histogram>)> {
+        let map = self.histograms.lock().expect("metrics lock");
+        map.iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|((_, labels), h)| (labels.clone(), h.clone()))
+            .collect()
+    }
+
+    /// Every counter series registered under `name`, as
+    /// `(labels, instrument)` pairs in label order.
+    pub fn counter_series(&self, name: &str) -> Vec<(Labels, Arc<Counter>)> {
+        let map = self.counters.lock().expect("metrics lock");
+        map.iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|((_, labels), c)| (labels.clone(), c.clone()))
+            .collect()
+    }
+
+    /// Render a text snapshot of every instrument, sorted by name (and
+    /// within a name, by label set).
     pub fn render(&self) -> String {
         let mut out = String::new();
         let counters = self.counters.lock().expect("metrics lock");
         if !counters.is_empty() {
             out.push_str("counters:\n");
-            for (name, c) in counters.iter() {
-                let _ = writeln!(out, "  {name} {}", c.get());
+            for ((name, labels), c) in counters.iter() {
+                let _ = writeln!(out, "  {} {}", series_name(name, labels, None), c.get());
             }
         }
         drop(counters);
         let histograms = self.histograms.lock().expect("metrics lock");
         if !histograms.is_empty() {
             out.push_str("histograms:\n");
-            for (name, h) in histograms.iter() {
-                let _ = write!(out, "  {name} ");
+            for ((name, labels), h) in histograms.iter() {
+                let _ = write!(out, "  {} ", series_name(name, labels, None));
                 h.render_into(&mut out);
                 out.push('\n');
             }
         }
         if out.is_empty() {
             out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Render a Prometheus-style text exposition: one `# TYPE` comment per
+    /// metric name, `name{labels} value` per counter series, and the
+    /// standard `_bucket`/`_sum`/`_count` triplet (with cumulative bucket
+    /// counts and a `+Inf` bucket) per histogram series.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let counters = self.counters.lock().expect("metrics lock");
+        let mut last_name = None::<&str>;
+        for ((name, labels), c) in counters.iter() {
+            if last_name != Some(name.as_str()) {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                last_name = Some(name.as_str());
+            }
+            let _ = writeln!(out, "{} {}", series_name(name, labels, None), c.get());
+        }
+        drop(counters);
+        let histograms = self.histograms.lock().expect("metrics lock");
+        let mut last_name = None::<&str>;
+        for ((name, labels), h) in histograms.iter() {
+            if last_name != Some(name.as_str()) {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                last_name = Some(name.as_str());
+            }
+            let mut cumulative = 0u64;
+            for (bound, n) in h.snapshot_buckets() {
+                cumulative += n;
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    series_name(&format!("{name}_bucket"), labels, Some(("le", &le_value(bound)))),
+                    cumulative
+                );
+            }
+            let _ =
+                writeln!(out, "{} {}", series_name(&format!("{name}_sum"), labels, None), h.sum());
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series_name(&format!("{name}_count"), labels, None),
+                h.count()
+            );
         }
         out
     }
@@ -250,7 +408,37 @@ mod tests {
         assert_eq!(h.approx_quantile(0.2), 1.0);
         assert_eq!(h.approx_quantile(0.5), 10.0);
         assert_eq!(h.approx_quantile(0.8), 100.0);
-        assert_eq!(h.approx_quantile(1.0), 100.0, "overflow reports last bound");
+    }
+
+    #[test]
+    fn overflow_quantile_is_explicitly_infinite() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.9, 5.0, 50.0, 500.0] {
+            h.record(v);
+        }
+        // the p100 falls in the overflow bucket: +Inf, not the last bound
+        assert!(h.approx_quantile(1.0).is_infinite());
+        // a fully saturated histogram cannot report a finite p95
+        let sat = Histogram::new(&[1.0]);
+        for _ in 0..10 {
+            sat.record(99.0);
+        }
+        assert!(sat.approx_quantile(0.5).is_infinite());
+        assert!(sat.approx_quantile(0.95).is_infinite());
+    }
+
+    #[test]
+    fn sum_is_kept_in_milli_units_of_the_value() {
+        // doc/code agreement: the accumulator is value × 1000, rounded —
+        // milli-units of whatever unit the value is in (ms → µs ticks).
+        let h = Histogram::new(&[1.0]);
+        h.record(1.5);
+        assert_eq!(h.sum(), 1.5);
+        h.record(0.0015); // 1.5 milli-units → rounds to 2
+        assert_eq!(h.sum(), 1.502);
+        h.record(0.0001); // 0.1 milli-units → rounds away entirely
+        assert_eq!(h.sum(), 1.502);
+        assert_eq!(h.count(), 3);
     }
 
     #[test]
@@ -295,5 +483,67 @@ mod tests {
         assert!(text.contains("wait count=1"), "{text}");
         assert!(text.contains("le5:1"), "{text}");
         assert_eq!(MetricsRegistry::new().render(), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_order_insensitive() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("stage_total", &[("stage", "extraction")]).inc();
+        reg.counter_with("stage_total", &[("stage", "refinement")]).add(2);
+        // label order must not mint a new series
+        reg.counter_with("multi", &[("a", "1"), ("b", "2")]).inc();
+        reg.counter_with("multi", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(reg.counter_with("stage_total", &[("stage", "extraction")]).get(), 1);
+        assert_eq!(reg.counter_with("stage_total", &[("stage", "refinement")]).get(), 2);
+        assert_eq!(reg.counter_with("multi", &[("a", "1"), ("b", "2")]).get(), 2);
+        // the unlabeled series with the same name is yet another series
+        assert_eq!(reg.counter("stage_total").get(), 0);
+        let text = reg.render();
+        assert!(text.contains("stage_total{stage=\"extraction\"} 1"), "{text}");
+        assert!(text.contains("stage_total{stage=\"refinement\"} 2"), "{text}");
+        let series = reg.counter_series("stage_total");
+        assert_eq!(series.len(), 3, "unlabeled + two labeled");
+    }
+
+    #[test]
+    fn labeled_histograms_record_independently() {
+        let reg = MetricsRegistry::new();
+        reg.latency_with("stage_latency_ms", &[("stage", "extraction")]).record(3.0);
+        reg.latency_with("stage_latency_ms", &[("stage", "refinement")]).record(30.0);
+        reg.latency_with("stage_latency_ms", &[("stage", "refinement")]).record(40.0);
+        let series = reg.histogram_series("stage_latency_ms");
+        assert_eq!(series.len(), 2);
+        let refinement = reg.latency_with("stage_latency_ms", &[("stage", "refinement")]);
+        assert_eq!(refinement.count(), 2);
+        assert_eq!(refinement.sum(), 70.0);
+        let text = reg.render();
+        assert!(text.contains("stage_latency_ms{stage=\"extraction\"} count=1"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("requests_total", &[("code", "ok")]).add(3);
+        reg.counter("plain").inc();
+        let h = reg.histogram_with("lat_ms", &[("stage", "vote")], &[1.0, 10.0]);
+        h.record(0.5);
+        h.record(5.0);
+        h.record(50.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter"), "{text}");
+        assert!(text.contains("requests_total{code=\"ok\"} 3"), "{text}");
+        assert!(text.contains("plain 1"), "{text}");
+        assert!(text.contains("# TYPE lat_ms histogram"), "{text}");
+        assert!(text.contains("lat_ms_bucket{stage=\"vote\",le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_ms_bucket{stage=\"vote\",le=\"10\"} 2"), "cumulative: {text}");
+        assert!(text.contains("lat_ms_bucket{stage=\"vote\",le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_ms_sum{stage=\"vote\"} 55.5"), "{text}");
+        assert!(text.contains("lat_ms_count{stage=\"vote\"} 3"), "{text}");
+        // one TYPE line per name, not per series
+        assert_eq!(text.matches("# TYPE requests_total").count(), 1);
+        // label values are escaped
+        let esc = MetricsRegistry::new();
+        esc.counter_with("c", &[("k", "a\"b")]).inc();
+        assert!(esc.render_prometheus().contains("c{k=\"a\\\"b\"} 1"));
     }
 }

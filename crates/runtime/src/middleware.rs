@@ -11,6 +11,7 @@
 
 use crate::metrics::MetricsRegistry;
 use llmsim::{ChatRequest, ChatResponse, FallibleLanguageModel, LanguageModel, LlmFailure};
+use osql_trace::active;
 use std::sync::Arc;
 
 /// Retry/timeout policy.
@@ -156,16 +157,31 @@ impl<M: FallibleLanguageModel> ResilientLlm<M> {
                 if let Some(m) = &self.metrics {
                     m.latency("llm_backoff_ms").record(backoff);
                 }
+                active::event_timed(
+                    "llm_retry",
+                    &[("attempt", &(attempt + 1).to_string())],
+                    &[("backoff_ms", backoff)],
+                );
             }
             match self.inner.try_complete(&attempt_req) {
                 Err(fault) => {
                     self.count("llm_faults");
+                    active::event_timed(
+                        "llm_fault",
+                        &[("attempt", &(attempt + 1).to_string())],
+                        &[("fault_ms", fault.latency_ms)],
+                    );
                     burned_ms += fault.latency_ms;
                     last_error = Some(CallError::Exhausted { attempts, last_fault: fault });
                 }
                 Ok(resp) => match self.policy.timeout_ms {
                     Some(budget) if resp.latency_ms > budget => {
                         self.count("llm_timeouts");
+                        active::event_timed(
+                            "llm_timeout",
+                            &[("attempt", &(attempt + 1).to_string())],
+                            &[("latency_ms", resp.latency_ms), ("budget_ms", budget)],
+                        );
                         // a timed-out attempt costs the full budget before
                         // the caller gives up on it
                         burned_ms += budget;
@@ -184,6 +200,7 @@ impl<M: FallibleLanguageModel> ResilientLlm<M> {
             }
         }
         self.count("llm_exhausted");
+        active::event("llm_exhausted", &[("attempts", &attempts.to_string())]);
         Err(last_error.expect("at least one attempt ran"))
     }
 }

@@ -11,6 +11,7 @@ use crate::cache::{config_fingerprint, AssetCache, ResultCache, ResultKey};
 use crate::metrics::{MetricsRegistry, FRACTION_BOUNDS};
 use crate::queue::{BoundedQueue, PushError};
 use opensearch_sql::{EvalReport, Module, PipelineRun};
+use osql_trace::{active, QueryTrace, TraceCollector};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
@@ -112,11 +113,18 @@ pub struct RuntimeConfig {
     pub queue_capacity: usize,
     /// LRU result-cache capacity.
     pub result_cache_capacity: usize,
+    /// How many finished query traces the runtime retains (drop-oldest).
+    pub trace_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        RuntimeConfig { workers: 4, queue_capacity: 64, result_cache_capacity: 256 }
+        RuntimeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            result_cache_capacity: 256,
+            trace_capacity: 64,
+        }
     }
 }
 
@@ -140,6 +148,7 @@ pub struct Runtime {
     assets: Arc<AssetCache>,
     results: Arc<ResultCache>,
     metrics: Arc<MetricsRegistry>,
+    traces: Arc<TraceCollector>,
     workers: Vec<std::thread::JoinHandle<()>>,
     fingerprint: u64,
 }
@@ -150,6 +159,7 @@ impl Runtime {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let results = Arc::new(ResultCache::new(config.result_cache_capacity));
         let metrics = Arc::new(MetricsRegistry::new());
+        let traces = Arc::new(TraceCollector::new(config.trace_capacity));
         let fingerprint = config_fingerprint(assets.config());
         let worker_count = config.workers.max(1);
         let mut workers = Vec::with_capacity(worker_count);
@@ -158,11 +168,12 @@ impl Runtime {
             let assets = assets.clone();
             let results = results.clone();
             let metrics = metrics.clone();
+            let traces = traces.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(&queue, &assets, &results, &metrics, fingerprint);
+                worker_loop(&queue, &assets, &results, &metrics, &traces, fingerprint);
             }));
         }
-        Runtime { queue, assets, results, metrics, workers, fingerprint }
+        Runtime { queue, assets, results, metrics, traces, workers, fingerprint }
     }
 
     /// Submit a request, blocking while the queue is full (backpressure).
@@ -202,6 +213,11 @@ impl Runtime {
     /// The metrics registry the workers record into.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The ring of recently finished query traces.
+    pub fn traces(&self) -> &Arc<TraceCollector> {
+        &self.traces
     }
 
     /// The level-1 (per-database asset) cache.
@@ -260,6 +276,7 @@ impl opensearch_sql::Answerer for Runtime {
                 candidates: Vec::new(),
                 winner: 0,
                 ledger: Default::default(),
+                trace: Arc::new(QueryTrace::empty()),
             },
         }
     }
@@ -276,13 +293,14 @@ fn worker_loop(
     assets: &AssetCache,
     results: &ResultCache,
     metrics: &MetricsRegistry,
+    traces: &TraceCollector,
     fingerprint: u64,
 ) {
     static STAGES: [(Module, &str); 4] = [
-        (Module::Extraction, "stage_extraction_ms"),
-        (Module::Generation, "stage_generation_ms"),
-        (Module::Refinement, "stage_refinement_ms"),
-        (Module::Alignments, "stage_alignments_ms"),
+        (Module::Extraction, "extraction"),
+        (Module::Generation, "generation"),
+        (Module::Refinement, "refinement"),
+        (Module::Alignments, "alignments"),
     ];
     while let Some(job) = queue.pop() {
         let queue_wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
@@ -301,22 +319,29 @@ fn worker_loop(
             let _ = job.reply.send(Err(ServeError::UnknownDb(job.req.db_id)));
             continue;
         };
+        // The worker owns this request's trace: installed before the
+        // pipeline runs so the queue-wait event (volatile: it depends on
+        // load, not on the query) and every pipeline span land in one
+        // trace, popped and attached to the run afterwards.
+        active::push();
+        active::event_volatile("queue_wait", &[], &[("ms", queue_wait_ms)]);
         let started = Instant::now();
-        let run = Arc::new(pipeline.answer(&job.req.db_id, &job.req.question, &job.req.evidence));
+        let mut run = pipeline.answer(&job.req.db_id, &job.req.question, &job.req.evidence);
+        let trace = Arc::new(active::pop().unwrap_or_else(QueryTrace::empty));
+        run.trace = trace.clone();
+        let run = Arc::new(run);
+        traces.publish(trace);
         metrics.latency("pipeline_ms").record(started.elapsed().as_secs_f64() * 1e3);
-        for (module, hist) in &STAGES {
+        for (module, stage) in &STAGES {
             let cost = run.ledger.get(*module);
             if cost.calls > 0 {
-                metrics.latency(hist).record(cost.time_ms);
+                metrics.latency_with("stage_latency_ms", &[("stage", stage)]).record(cost.time_ms);
             }
         }
         if run.candidates.len() > 1 {
-            let winner_sql = &run.candidates[run.winner].sql;
-            let agreeing =
-                run.candidates.iter().filter(|c| &c.sql == winner_sql).count();
             metrics
                 .histogram("vote_margin", &FRACTION_BOUNDS)
-                .record(agreeing as f64 / run.candidates.len() as f64);
+                .record(opensearch_sql::vote_margin(&run.candidates, run.winner));
         }
         record_analysis_metrics(metrics, &pipeline, &run);
         results.insert(key, run.clone());
@@ -327,8 +352,8 @@ fn worker_loop(
 
 /// Analyzer activity for one run: executions the pre-execution gate
 /// skipped (`analyze_rejects_total`), plus the static-analysis findings on
-/// the chosen SQL (`analyze_diags_total` and one `analyze_diag_<code>`
-/// counter per diagnostic code).
+/// the chosen SQL — one `analyze_diags_total{code="E…"}` series per
+/// diagnostic code.
 fn record_analysis_metrics(
     metrics: &MetricsRegistry,
     pipeline: &opensearch_sql::Pipeline,
@@ -340,11 +365,8 @@ fn record_analysis_metrics(
     }
     if let Some(db) = pipeline.preprocessed().db(&run.db_id) {
         let analysis = sqlkit::analyze_sql(&db.database.schema, &run.final_sql);
-        if !analysis.diagnostics.is_empty() {
-            metrics.counter("analyze_diags_total").add(analysis.diagnostics.len() as u64);
-            for d in &analysis.diagnostics {
-                metrics.counter(&format!("analyze_diag_{}", d.code.to_lowercase())).inc();
-            }
+        for d in &analysis.diagnostics {
+            metrics.counter_with("analyze_diags_total", &[("code", &d.code)]).inc();
         }
     }
 }

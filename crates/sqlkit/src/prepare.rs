@@ -567,6 +567,26 @@ impl PlanCache {
     /// Fetch (or parse + bind and insert) the plan for `sql` against `db`.
     /// Parse errors are returned without being cached and count as misses.
     pub fn prepared(&self, db: &Database, sql: &str) -> SqlResult<Arc<Prepared>> {
+        let (plan, hit, prepare_us) = self.prepared_inner(db, sql);
+        // volatile: hit/miss depends on process-wide cache warmth, not on
+        // the query being traced
+        if osql_trace::active::is_active() {
+            if hit {
+                osql_trace::active::event_volatile("plan", &[("outcome", "hit")], &[]);
+            } else {
+                osql_trace::active::event_volatile(
+                    "plan",
+                    &[("outcome", "miss")],
+                    &[("prepare_ms", prepare_us as f64 / 1e3)],
+                );
+            }
+        }
+        plan
+    }
+
+    /// The cache lookup itself, with no trace event: returns the plan (or
+    /// error), whether it was a hit, and the prepare cost in µs on a miss.
+    fn prepared_inner(&self, db: &Database, sql: &str) -> (SqlResult<Arc<Prepared>>, bool, u64) {
         let fingerprint = schema_fingerprint(&db.schema);
         let key = Self::key(fingerprint, sql);
         {
@@ -582,15 +602,19 @@ impl PlanCache {
                     let plan = Arc::clone(&entry.plan);
                     drop(inner);
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(plan);
+                    return (Ok(plan), true, 0);
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
         let prepared = prepare(db, sql);
-        self.prepare_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
-        let plan = Arc::new(prepared?);
+        let prepare_us = t0.elapsed().as_micros() as u64;
+        self.prepare_us.fetch_add(prepare_us, Ordering::Relaxed);
+        let plan = match prepared {
+            Ok(p) => Arc::new(p),
+            Err(e) => return (Err(e), false, prepare_us),
+        };
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -602,7 +626,7 @@ impl PlanCache {
             .and_then(|b| b.iter_mut().find(|e| e.fingerprint == fingerprint && e.sql == sql))
         {
             entry.tick = tick;
-            return Ok(Arc::clone(&entry.plan));
+            return (Ok(Arc::clone(&entry.plan)), false, prepare_us);
         }
         while inner.len >= self.capacity {
             evict_oldest(&mut inner);
@@ -613,16 +637,48 @@ impl PlanCache {
             .or_default()
             .push(Entry { fingerprint, sql: sql.to_owned(), tick, plan: Arc::clone(&plan) });
         inner.len += 1;
-        Ok(plan)
+        (Ok(plan), false, prepare_us)
     }
 
     /// Prepare (through the cache) and execute in one call, timing the
     /// execute phase separately from the prepare phase.
     pub fn execute(&self, db: &Database, sql: &str) -> SqlResult<(ResultSet, ExecStats)> {
-        let plan = self.prepared(db, sql)?;
+        let (plan, hit, prepare_us) = self.prepared_inner(db, sql);
+        let plan = plan?;
         let t0 = Instant::now();
         let result = plan.execute_with_stats(db);
-        self.execute_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        let execute_us = t0.elapsed().as_micros() as u64;
+        self.execute_us.fetch_add(execute_us, Ordering::Relaxed);
+        // is_active guard so the untraced hot path skips event recording
+        // entirely (one thread-local read). The traced warm path stays
+        // allocation-minimal: one event, empty labels (a plan-cache hit is
+        // the implicit default — only a miss gets a label), and
+        // rows_scanned carried as a numeric timing instead of a formatted
+        // string. Measured by the `engine_trace` bench group.
+        if osql_trace::active::is_active() {
+            if let Ok((_, stats)) = &result {
+                if hit {
+                    osql_trace::active::event_volatile(
+                        "exec",
+                        &[],
+                        &[
+                            ("execute_ms", execute_us as f64 / 1e3),
+                            ("rows_scanned", stats.rows_scanned as f64),
+                        ],
+                    );
+                } else {
+                    osql_trace::active::event_volatile(
+                        "exec",
+                        &[("plan", "miss")],
+                        &[
+                            ("execute_ms", execute_us as f64 / 1e3),
+                            ("prepare_ms", prepare_us as f64 / 1e3),
+                            ("rows_scanned", stats.rows_scanned as f64),
+                        ],
+                    );
+                }
+            }
+        }
         result
     }
 

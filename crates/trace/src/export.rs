@@ -1,0 +1,242 @@
+//! Exporters over a finished [`QueryTrace`]: an indented text tree with
+//! timings, a timestamp-free *logical* rendering (what the determinism
+//! gate compares), and a JSONL dump (one object per span/event).
+
+use crate::model::{Event, QueryTrace, Span, SpanId};
+use std::fmt::Write as _;
+
+impl QueryTrace {
+    /// Render the span tree with durations, labels, and events — the
+    /// human-facing view behind `cli trace`.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        self.render_spans(&mut out, None, 0, true);
+        if self.dropped > 0 {
+            let _ = writeln!(out, "({} record(s) dropped at capacity)", self.dropped);
+        }
+        out
+    }
+
+    /// Render only the deterministic structure: span nesting, names,
+    /// labels, non-volatile events — no ids, timestamps, durations, or
+    /// volatile records. Two runs of the same query must render byte-
+    /// identically here; the CI trace-determinism gate pins exactly that.
+    pub fn render_logical(&self) -> String {
+        let mut out = String::new();
+        self.render_spans(&mut out, None, 0, false);
+        out
+    }
+
+    fn render_spans(&self, out: &mut String, parent: Option<SpanId>, depth: usize, timed: bool) {
+        // Interleave child spans and direct events in logical order.
+        enum Rec<'a> {
+            Span(&'a Span),
+            Event(&'a Event),
+        }
+        let mut records: Vec<(u64, Rec)> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == parent)
+            .map(|s| (s.seq, Rec::Span(s)))
+            .collect();
+        records.extend(
+            self.events.iter().filter(|e| e.span == parent).map(|e| (e.seq, Rec::Event(e))),
+        );
+        records.sort_by_key(|(seq, _)| *seq);
+        for (_, rec) in records {
+            match rec {
+                Rec::Span(span) => {
+                    let indent = "  ".repeat(depth);
+                    let _ = write!(out, "{indent}{}", span.name);
+                    render_labels(out, &span.labels);
+                    if timed {
+                        let _ = write!(out, " · {:.2}ms", span.duration_ms());
+                        for (k, v) in &span.timings {
+                            let _ = write!(out, " {k}={v:.2}");
+                        }
+                    }
+                    out.push('\n');
+                    self.render_spans(out, Some(span.id), depth + 1, timed);
+                }
+                Rec::Event(event) => {
+                    if timed || !event.volatile {
+                        render_event(out, event, depth, timed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serialize to JSON Lines: every span then every event, one object
+    /// per line, in logical order. Hand-rolled (this crate is
+    /// dependency-free); keys are stable and sorted by kind.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in &self.spans {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"seq\":{},\
+                 \"end_seq\":{},\"start_ns\":{},\"end_ns\":{}",
+                span.id,
+                span.parent.map_or("null".to_owned(), |p| p.to_string()),
+                json_str(span.name),
+                span.seq,
+                span.end_seq,
+                span.start_ns,
+                span.end_ns,
+            );
+            json_labels(&mut out, &span.labels, &span.timings);
+            out.push_str("}\n");
+        }
+        for event in &self.events {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"event\",\"span\":{},\"name\":{},\"seq\":{},\"at_ns\":{},\
+                 \"volatile\":{}",
+                event.span.map_or("null".to_owned(), |s| s.to_string()),
+                json_str(event.name),
+                event.seq,
+                event.at_ns,
+                event.volatile,
+            );
+            json_labels(&mut out, &event.labels, &event.timings);
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+fn render_event(out: &mut String, event: &Event, depth: usize, timed: bool) {
+    let indent = "  ".repeat(depth + 1);
+    let _ = write!(out, "{indent}· {}", event.name);
+    render_labels(out, &event.labels);
+    if timed {
+        for (k, v) in &event.timings {
+            let _ = write!(out, " {k}={v:.2}");
+        }
+    }
+    out.push('\n');
+}
+
+fn render_labels(out: &mut String, labels: &[(&'static str, String)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push_str(" [");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{k}={v}");
+    }
+    out.push(']');
+}
+
+fn json_labels(out: &mut String, labels: &[(&'static str, String)], timings: &[(&'static str, f64)]) {
+    if !labels.is_empty() {
+        out.push_str(",\"labels\":{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(k), json_str(v));
+        }
+        out.push('}');
+    }
+    if !timings.is_empty() {
+        out.push_str(",\"timings\":{");
+        for (i, (k, v)) in timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(k), json_num(*v));
+        }
+        out.push('}');
+    }
+}
+
+/// Escape a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an f64 as a JSON number (finite values only reach here in
+/// practice; non-finite degrade to null).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Trace;
+
+    fn sample() -> QueryTrace {
+        let mut t = Trace::new();
+        let root = t.start("pipeline");
+        t.label(root, "db", "hospital \"A\"");
+        let stage = t.start("stage:extraction");
+        t.event_timed("retrieve", &[("hits", "3")], &[("ms", 1.25)]);
+        t.end(stage);
+        t.event_volatile("plan", &[("outcome", "hit")], &[]);
+        t.end(root);
+        t.finish()
+    }
+
+    #[test]
+    fn tree_shows_structure_and_timings() {
+        let q = sample();
+        let tree = q.render_tree();
+        assert!(tree.contains("pipeline [db=hospital \"A\"]"), "{tree}");
+        assert!(tree.contains("  stage:extraction"), "{tree}");
+        assert!(tree.contains("· retrieve [hits=3] ms=1.25"), "{tree}");
+        assert!(tree.contains("· plan [outcome=hit]"), "volatile shown in full view: {tree}");
+        assert!(tree.contains("ms"), "{tree}");
+    }
+
+    #[test]
+    fn logical_view_drops_time_and_volatile() {
+        let q = sample();
+        let logical = q.render_logical();
+        assert!(logical.contains("retrieve [hits=3]"), "{logical}");
+        assert!(!logical.contains("ms="), "{logical}");
+        assert!(!logical.contains("plan"), "volatile excluded: {logical}");
+        assert!(!logical.contains("·  "), "{logical}");
+    }
+
+    #[test]
+    fn jsonl_is_line_per_record_and_escaped() {
+        let q = sample();
+        let jsonl = q.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), q.spans.len() + q.events.len());
+        assert!(lines[0].contains("\"kind\":\"span\""), "{}", lines[0]);
+        assert!(lines[0].contains("\\\"A\\\""), "escaped quote: {}", lines[0]);
+        assert!(jsonl.contains("\"volatile\":true"), "{jsonl}");
+        assert!(jsonl.contains("\"timings\":{\"ms\":1.25}"), "{jsonl}");
+        // every line is minimally well-formed
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+}

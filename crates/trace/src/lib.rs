@@ -1,0 +1,50 @@
+//! # osql-trace — structured per-query tracing for OpenSearch-SQL
+//!
+//! A zero-dependency tracing and profiling substrate shared by every
+//! layer of the workspace: `sqlkit` (plan-cache and execution events),
+//! `opensearch-sql` (stage spans, per-candidate refinement spans,
+//! alignment/correction/vote events), and `osql-runtime` (queue-wait and
+//! LLM-middleware events, trace retention).
+//!
+//! Design points:
+//!
+//! - **Per-thread, lock-free recording.** A [`Trace`] is owned by one
+//!   thread and recorded with plain vector pushes. Lower layers reach it
+//!   through the thread-local [`active`] stack, so no signature in the
+//!   hot path grows a tracer argument, and every instrumentation point
+//!   costs one thread-local read when tracing is off.
+//! - **Deterministic structure.** Every span and event carries a logical
+//!   sequence number next to its monotonic timestamp. Parallel
+//!   sub-traces are merged with [`Trace::absorb`] in a fixed order, so
+//!   the *logical* trace (structure, names, deterministic labels —
+//!   [`QueryTrace::render_logical`]) is identical run-to-run and
+//!   thread-count-to-thread-count; timestamps ride along for profiling
+//!   but never participate in comparisons.
+//! - **Bounded retention.** Finished traces are published once into a
+//!   drop-oldest ring ([`TraceCollector`]); the serve path never blocks
+//!   on observability.
+//! - **Exporters.** A timed text tree ([`QueryTrace::render_tree`]), the
+//!   logical view, and JSONL ([`QueryTrace::to_jsonl`]).
+//!
+//! ```
+//! use osql_trace::active;
+//!
+//! active::push();
+//! let stage = active::start("stage:extraction");
+//! active::event("retrieve", &[("hits", "3")]);
+//! active::end(stage);
+//! let trace = active::pop().unwrap();
+//! assert_eq!(trace.span_named("stage:extraction").unwrap().seq, 1);
+//! println!("{}", trace.render_tree());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod active;
+pub mod collect;
+pub mod export;
+pub mod model;
+
+pub use collect::TraceCollector;
+pub use model::{Event, QueryTrace, Span, SpanId, Trace, DEFAULT_CAPACITY, NO_SPAN};

@@ -1,0 +1,71 @@
+//! Measures the cost of always-on tracing on the hottest engine path:
+//! warm plan-cache execution with and without an active trace, sampled in
+//! interleaved chunks so clock drift and allocator state cancel out.
+//! The acceptance bar for the instrumentation is < 5% median overhead.
+//!
+//! ```sh
+//! cargo run --release --example trace_overhead
+//! ```
+
+use datagen::{build::build_db, domain::themes, RowScale};
+
+const CASES: [(&str, &str); 2] = [
+    ("scan_filter", "SELECT Name FROM Patient WHERE Age > 40"),
+    (
+        "hash_join",
+        "SELECT T1.Name, T2.IGA FROM Patient AS T1 \
+         INNER JOIN Laboratory AS T2 ON T1.PatientID = T2.PatientID",
+    ),
+];
+
+const REPS: usize = 40;
+const CHUNK: usize = 200;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let built = build_db(&themes()[0], "bench", "healthcare", RowScale::bird(), 0.55, 42);
+    for (name, sql) in CASES {
+        let cache = sqlkit::PlanCache::new(64);
+        cache.execute(&built.database, sql).unwrap();
+        let mut off = Vec::with_capacity(REPS);
+        let mut on = Vec::with_capacity(REPS);
+        let mut sat = Vec::with_capacity(REPS);
+        let chunk = |mode: u8| {
+            match mode {
+                1 => osql_trace::active::push(),
+                2 => osql_trace::active::push_with_capacity(1),
+                _ => {}
+            }
+            let t0 = std::time::Instant::now();
+            for _ in 0..CHUNK {
+                std::hint::black_box(cache.execute(&built.database, sql).unwrap());
+            }
+            let per_exec = t0.elapsed().as_nanos() as f64 / CHUNK as f64;
+            if mode != 0 {
+                let _ = osql_trace::active::pop();
+            }
+            per_exec
+        };
+        // rotate which variant runs first so within-rep warm-up
+        // systematically favouring later chunks cancels out
+        for rep in 0..REPS {
+            for slot in 0..3u8 {
+                match (rep as u8 + slot) % 3 {
+                    0 => off.push(chunk(0)),
+                    1 => on.push(chunk(1)),
+                    _ => sat.push(chunk(2)),
+                }
+            }
+        }
+        let (off, on, sat) = (median(&mut off), median(&mut on), median(&mut sat));
+        println!(
+            "{name:<14} off {off:>9.0} ns/exec   on {on:>9.0} ns/exec ({:+.2}%)   saturated {sat:>9.0} ns/exec ({:+.2}%)",
+            (on / off - 1.0) * 100.0,
+            (sat / off - 1.0) * 100.0
+        );
+    }
+}
