@@ -11,7 +11,28 @@ cargo test -q --test analyze_gold_clean  # corpus gate: analyzer silent on all g
 cargo test -q --test trace_shape # trace-determinism gate: two identical runs (and any
                                  # refine thread count) render identical logical traces,
                                  # timestamps and volatile events excluded
+
+# Store gate: the crash-recovery fault matrix (every-byte truncation +
+# corruption of the WAL, ~3.3k injection points), then pack a benchmark
+# through the CLI and fsck every produced page file — fsck must exit 0
+# on clean stores and non-zero on a corrupted one.
+cargo test -q -p osql-store
+cargo test -q -p osql-store --test recovery
+store_dir="$(mktemp -d)"
+trap 'rm -rf "$store_dir"' EXIT
+cargo run --release -q -p osql-cli -- pack "$store_dir" --profile tiny
+for f in "$store_dir"/*.store; do
+    cargo run --release -q -p osql-cli -- fsck "$f"
+done
+first_store="$(ls "$store_dir"/*.store | head -n1)"
+printf 'X' | dd of="$first_store" bs=1 seek=100 count=1 conv=notrunc status=none
+if cargo run --release -q -p osql-cli -- fsck "$first_store" >/dev/null 2>&1; then
+    echo "ci: fsck failed to flag an injected corruption" >&2
+    exit 1
+fi
+
 cargo test -q
 cargo bench --no-run             # benches must always compile
+cargo clippy -p osql-store --all-targets -- -D warnings
 cargo clippy --workspace --all-targets -- -D warnings
 echo "ci: ok"

@@ -181,5 +181,69 @@ fn bench_trace(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_exec, bench_prepared, bench_analyze, bench_trace);
+/// Durable-store paths: loading a database cold off its page file
+/// (`cold_load`), re-serving it from a warm demand-paged catalog
+/// (`warm_catalog_hit` — an `Arc` clone behind a mutex), and the
+/// in-memory alternative of replaying the SQL dump (`script_replay`),
+/// plus WAL transaction throughput over in-memory media (`wal/commit` —
+/// one INSERT-sized record + a commit record per iteration).
+fn bench_store(c: &mut Criterion) {
+    let built = db();
+    let dir = std::env::temp_dir().join(format!("osql-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.store");
+    datagen::export_db_store(&built, &path).unwrap();
+    let script = built.database.dump_script();
+
+    let mut group = c.benchmark_group("engine_store");
+    group.sample_size(60);
+    group.bench_function("cold_load", |b| {
+        b.iter(|| std::hint::black_box(datagen::import_store(&path).unwrap()))
+    });
+    group.bench_function("script_replay", |b| {
+        b.iter(|| {
+            let mut fresh = sqlkit::Database::new("bench");
+            fresh.execute_script(&script).unwrap();
+            std::hint::black_box(fresh.total_rows())
+        })
+    });
+    let catalog = datagen::open_store_catalog(&dir, u64::MAX, "bench-world").unwrap();
+    catalog.get("bench").unwrap();
+    group.bench_function("warm_catalog_hit", |b| {
+        b.iter(|| std::hint::black_box(catalog.get("bench").unwrap()))
+    });
+
+    // WAL throughput over in-memory media (FaultFile with no plan), so
+    // the numbers measure the log format, not this machine's disk. The
+    // log is reset every 4096 transactions to bound buffer growth.
+    let wal_base = dir.join("wal.store");
+    osql_store::write_database(&wal_base, &built.database, &[]).unwrap();
+    let (mut store, _) =
+        osql_store::Store::open_with(&wal_base, osql_store::FaultFile::new()).unwrap();
+    let mut txn: u64 = 0;
+    group.bench_function("wal/commit", |b| {
+        b.iter(|| {
+            txn += 1;
+            if txn.is_multiple_of(4096) {
+                store.checkpoint().unwrap();
+            }
+            store
+                .execute(&format!("UPDATE Patient SET Age = {} WHERE PatientID = 1", txn % 90))
+                .unwrap();
+            std::hint::black_box(store.commit().unwrap())
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_exec,
+    bench_prepared,
+    bench_analyze,
+    bench_trace,
+    bench_store
+);
 criterion_main!(benches);

@@ -17,6 +17,7 @@
 
 mod repl;
 mod serve;
+mod store_cmd;
 
 use repl::{Repl, ReplOutcome};
 use serve::ServeOptions;
@@ -24,9 +25,13 @@ use std::io::{BufRead, Write};
 
 const USAGE: &str = "usage: opensearch-sql [batch|serve|profile] [--profile tiny|mini|bird|spider] \
                      [--scale f] [--workers n] [--queue n] [--limit n] [--rounds n]\n\
+       opensearch-sql serve --store <dir> [--budget bytes] # demand-page databases off disk\n\
        opensearch-sql lint <db_id> <sql> [--profile ...]   # static-analyze one SQL string\n\
        opensearch-sql trace <db_id> <question> [--json]    # serve one question, dump its trace\n\
-       opensearch-sql profile [--limit n] [--rounds n]     # per-stage latency table over a batch";
+       opensearch-sql profile [--limit n] [--rounds n]     # per-stage latency table over a batch\n\
+       opensearch-sql pack <out_dir> [--profile ...]       # export every database as a .store file\n\
+       opensearch-sql catalog <dir>                        # list a directory of .store files\n\
+       opensearch-sql fsck <file.store>                    # audit a store + WAL; non-zero on corruption";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -36,6 +41,9 @@ fn main() {
         Some("lint") => "lint",
         Some("trace") => "trace",
         Some("profile") => "profile",
+        Some("pack") => "pack",
+        Some("catalog") => "catalog",
+        Some("fsck") => "fsck",
         _ => "repl",
     };
     let mut opts = ServeOptions::default();
@@ -83,6 +91,18 @@ fn main() {
             "--json" => {
                 opts.json = true;
             }
+            "--store" => {
+                if let Some(v) = value {
+                    opts.store = Some(v.clone());
+                }
+                i += 1;
+            }
+            "--budget" => {
+                if let Some(v) = value.and_then(|s| s.parse().ok()) {
+                    opts.budget = v;
+                }
+                i += 1;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -97,6 +117,42 @@ fn main() {
     }
 
     match mode {
+        "pack" => {
+            let Some(out_dir) = positionals.first() else {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            };
+            eprintln!("building {} world (scale {}) ...", opts.profile, opts.scale);
+            match store_cmd::run_pack(&opts, std::path::Path::new(out_dir)) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "catalog" => {
+            let Some(dir) = positionals.first() else {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            };
+            match store_cmd::run_catalog(std::path::Path::new(dir)) {
+                Ok(listing) => print!("{listing}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "fsck" => {
+            let Some(file) = positionals.first() else {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            };
+            let (report, dirty) = store_cmd::run_fsck(std::path::Path::new(file));
+            print!("{report}");
+            std::process::exit(i32::from(dirty));
+        }
         "lint" => {
             let Some((db_id, sql_parts)) = positionals.split_first() else {
                 eprintln!("{USAGE}");

@@ -32,6 +32,11 @@ pub struct ServeOptions {
     /// Emit machine-readable output where a mode supports it (`trace
     /// --json` prints the JSONL trace dump).
     pub json: bool,
+    /// Serve database contents out of this directory of `.store` files
+    /// (demand-paged) instead of holding the whole benchmark resident.
+    pub store: Option<String>,
+    /// Resident-byte budget for the store catalog (0 = unlimited).
+    pub budget: u64,
 }
 
 impl Default for ServeOptions {
@@ -45,11 +50,13 @@ impl Default for ServeOptions {
             rounds: 1,
             result_cache: 1024,
             json: false,
+            store: None,
+            budget: 0,
         }
     }
 }
 
-fn profile_for(name: &str, scale: f64) -> Profile {
+pub(crate) fn profile_for(name: &str, scale: f64) -> Profile {
     match name {
         "bird" => Profile::bird().scaled(scale),
         "spider" => Profile::spider().scaled(scale),
@@ -84,6 +91,11 @@ execution is certain to fail: {err}");
 }
 
 /// Build the world and start a runtime over it.
+///
+/// With `opts.store` set, database contents are demand-paged out of that
+/// directory of `.store` files under `opts.budget` resident bytes; the
+/// benchmark is still generated for its question splits and the oracle,
+/// but the served data comes off disk.
 pub fn start_runtime(opts: &ServeOptions) -> (Arc<datagen::Benchmark>, Runtime) {
     let benchmark = Arc::new(datagen::generate(&profile_for(&opts.profile, opts.scale)));
     let llm = Arc::new(SimLlm::new(
@@ -91,7 +103,27 @@ pub fn start_runtime(opts: &ServeOptions) -> (Arc<datagen::Benchmark>, Runtime) 
         ModelProfile::gpt_4o(),
         0x11EA,
     ));
-    let assets = Arc::new(AssetCache::new(benchmark.clone(), llm, PipelineConfig::fast()));
+    let assets = match &opts.store {
+        Some(dir) => {
+            let budget = if opts.budget == 0 { u64::MAX } else { opts.budget };
+            let catalog = osql_runtime::open_paged_catalog(
+                std::path::Path::new(dir),
+                budget,
+                &benchmark.name,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open store catalog {dir}: {e}");
+                std::process::exit(2);
+            });
+            Arc::new(AssetCache::paged(
+                Arc::new(catalog),
+                llm,
+                PipelineConfig::fast(),
+                &benchmark.train,
+            ))
+        }
+        None => Arc::new(AssetCache::new(benchmark.clone(), llm, PipelineConfig::fast())),
+    };
     let config = RuntimeConfig {
         workers: opts.workers,
         queue_capacity: opts.queue,
@@ -286,11 +318,47 @@ pub fn stage_table(metrics: &osql_runtime::MetricsRegistry) -> String {
     out
 }
 
+/// Render the demand-paging state for the `\catalog` REPL command:
+/// resident databases MRU-first with their byte costs, evicted-but-known
+/// databases, and the load/evict totals against the budget.
+fn catalog_status(rt: &Runtime) -> String {
+    let Some(cat) = rt.assets().catalog() else {
+        return "eager mode: the whole benchmark is resident (start with --store to page)".into();
+    };
+    let resident = cat.resident();
+    let mut out = String::new();
+    let budget = cat.budget();
+    if budget == u64::MAX {
+        let _ = writeln!(out, "budget: unlimited; resident: {} bytes", cat.resident_bytes());
+    } else {
+        let _ = writeln!(out, "budget: {budget} bytes; resident: {} bytes", cat.resident_bytes());
+    }
+    let _ = writeln!(out, "resident ({}), most recently used first:", resident.len());
+    for (id, bytes) in &resident {
+        let _ = writeln!(out, "  {id:<24} {bytes:>12} B");
+    }
+    match cat.available() {
+        Ok(ids) => {
+            let evicted: Vec<&String> =
+                ids.iter().filter(|id| !resident.iter().any(|(r, _)| r == *id)).collect();
+            let _ = writeln!(out, "on disk only ({}):", evicted.len());
+            for id in evicted {
+                let _ = writeln!(out, "  {id}");
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "cannot scan store dir: {e}");
+        }
+    }
+    let _ = write!(out, "loads: {}, evictions: {}", cat.loads(), cat.evictions());
+    out
+}
+
 /// Handle one `serve`-mode input line. Requests are
 /// `db_id|question[|evidence]`; `\metrics` dumps a snapshot, `\prom` the
 /// Prometheus-style exposition, `\trace` the last query's span tree,
-/// `\profile` the per-stage latency table, `\dbs` lists databases.
-/// Returns `None` on `\quit`.
+/// `\profile` the per-stage latency table, `\dbs` lists databases,
+/// `\catalog` the demand-paging state. Returns `None` on `\quit`.
 pub fn handle_serve_line(
     benchmark: &datagen::Benchmark,
     rt: &Runtime,
@@ -316,6 +384,7 @@ pub fn handle_serve_line(
                 benchmark.dbs.iter().map(|db| db.id.as_str()).collect::<Vec<_>>().join("\n"),
             )
         }
+        "\\catalog" => return Some(catalog_status(rt)),
         _ => {}
     }
     let mut parts = line.splitn(3, '|');
@@ -324,7 +393,7 @@ pub fn handle_serve_line(
         _ => {
             return Some(
                 "usage: db_id|question[|evidence]  \
-                 (\\metrics, \\prom, \\trace, \\profile, \\dbs, \\quit)"
+                 (\\metrics, \\prom, \\trace, \\profile, \\dbs, \\catalog, \\quit)"
                     .into(),
             )
         }
@@ -380,6 +449,33 @@ mod tests {
         assert!(handle_serve_line(&benchmark, &rt, "ghost|q").unwrap().contains("unknown"));
         assert!(handle_serve_line(&benchmark, &rt, "garbage").unwrap().contains("usage"));
         assert!(handle_serve_line(&benchmark, &rt, "\\metrics").unwrap().contains("counters"));
+        assert!(handle_serve_line(&benchmark, &rt, "\\catalog").unwrap().contains("eager mode"));
         assert!(handle_serve_line(&benchmark, &rt, "\\quit").is_none());
+    }
+
+    #[test]
+    fn store_backed_serving_answers_and_reports_catalog() {
+        let dir = std::env::temp_dir().join(format!("osql-serve-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let world = datagen::generate(&profile_for("tiny", 1.0));
+        datagen::export_store(&world, &dir).unwrap();
+        let store_opts = ServeOptions {
+            store: Some(dir.to_string_lossy().into_owned()),
+            ..opts()
+        };
+        let (benchmark, rt) = start_runtime(&store_opts);
+        let ex = &benchmark.dev[0];
+        let line = format!("{}|{}|{}", ex.db_id, ex.question, ex.evidence);
+        let out = handle_serve_line(&benchmark, &rt, &line).unwrap();
+        assert!(out.starts_with("SQL: SELECT"), "{out}");
+        let status = handle_serve_line(&benchmark, &rt, "\\catalog").unwrap();
+        assert!(status.contains("budget: unlimited"), "{status}");
+        assert!(status.contains(&ex.db_id), "{status}");
+        assert!(status.contains("loads: 1"), "{status}");
+        let snapshot = rt.metrics().render();
+        assert!(snapshot.contains("db_load_total"), "{snapshot}");
+        assert!(snapshot.contains("store_bytes_resident"), "{snapshot}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

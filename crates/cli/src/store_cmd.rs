@@ -1,0 +1,166 @@
+//! Store-backed CLI modes: `pack` (generate a world and export every
+//! database as a page-file store), `catalog` (inspect a store
+//! directory), and `fsck` (audit one store file plus its WAL, exiting
+//! non-zero on any corruption finding). Logic lives here, separated from
+//! `main`, so it is unit-testable without a terminal.
+
+use crate::serve::ServeOptions;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Generate the world named by `opts` and pack every database into
+/// `out_dir` as `<db_id>.store` files. Returns the report text.
+pub fn run_pack(opts: &ServeOptions, out_dir: &Path) -> Result<String, String> {
+    let benchmark = datagen::generate(&crate::serve::profile_for(&opts.profile, opts.scale));
+    let paths = datagen::export_store(&benchmark, out_dir)
+        .map_err(|e| format!("pack failed: {e}"))?;
+    let mut out = String::new();
+    let mut total = 0u64;
+    for path in &paths {
+        let bytes = std::fs::metadata(path).map_err(|e| format!("pack failed: {e}"))?.len();
+        total += bytes;
+        let _ = writeln!(out, "  {:>9} B  {}", bytes, path.display());
+    }
+    let _ = writeln!(
+        out,
+        "packed {} database(s) of the {} world into {} ({} bytes)",
+        paths.len(),
+        benchmark.name,
+        out_dir.display(),
+        total
+    );
+    Ok(out)
+}
+
+/// List a store directory: every `<db_id>.store` file with its size (and
+/// any sidecar WAL bytes), plus the totals a paging budget would be set
+/// against.
+pub fn run_catalog(dir: &Path) -> Result<String, String> {
+    let catalog = osql_runtime::open_paged_catalog(dir, u64::MAX, "inspect")
+        .map_err(|e| format!("cannot open {}: {e}", dir.display()))?;
+    let ids = catalog.available().map_err(|e| format!("cannot scan: {e}"))?;
+    if ids.is_empty() {
+        return Ok(format!("no .store files in {}", dir.display()));
+    }
+    let mut out = format!("{:<24} {:>12} {:>10}\n", "db", "bytes", "wal");
+    let mut total = 0u64;
+    for id in &ids {
+        let path = catalog.store_path(id);
+        let bytes = std::fs::metadata(&path).map_err(|e| format!("{}: {e}", path.display()))?.len();
+        let wal_bytes = std::fs::metadata(osql_store::wal_path(&path)).map(|m| m.len()).unwrap_or(0);
+        total += bytes + wal_bytes;
+        let _ = writeln!(out, "{id:<24} {bytes:>12} {wal_bytes:>10}");
+    }
+    let _ = writeln!(out, "{} database(s), {total} bytes total", ids.len());
+    Ok(out)
+}
+
+/// Audit one store file (every page, every section) and its sidecar WAL
+/// (structural record scan). Returns the report and whether anything was
+/// found — the caller turns findings into a non-zero exit.
+pub fn run_fsck(path: &Path) -> (String, bool) {
+    let mut out = String::new();
+    let mut dirty = false;
+    match osql_store::fsck_file(path) {
+        Ok(report) => {
+            let _ = writeln!(
+                out,
+                "{}: {} page(s), {} section(s)",
+                path.display(),
+                report.pages,
+                report.sections
+            );
+            for f in &report.findings {
+                let _ = writeln!(out, "  CORRUPT: {f}");
+            }
+            dirty |= !report.is_clean();
+        }
+        Err(e) => {
+            let _ = writeln!(out, "{}: unreadable: {e}", path.display());
+            dirty = true;
+        }
+    }
+    let wal = osql_store::wal_path(path);
+    match std::fs::read(&wal) {
+        Ok(buf) => {
+            let audit = osql_store::audit(&buf);
+            let _ = writeln!(
+                out,
+                "{}: {} record(s), {} commit(s), {} fsync mark(s), {} uncommitted tail byte(s)",
+                wal.display(),
+                audit.records,
+                audit.commits,
+                audit.fsync_marks,
+                audit.tail_bytes
+            );
+            if let Some(f) = &audit.finding {
+                let _ = writeln!(out, "  CORRUPT: {f}");
+                dirty = true;
+            }
+        }
+        Err(_) => {
+            let _ = writeln!(out, "{}: no WAL (clean checkpoint)", wal.display());
+        }
+    }
+    out.push_str(if dirty { "fsck: FAILED\n" } else { "fsck: clean\n" });
+    (out, dirty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("osql-cli-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn pack_catalog_and_fsck_round_trip() {
+        let dir = tmpdir("pack");
+        let opts = ServeOptions::default();
+        let report = run_pack(&opts, &dir).unwrap();
+        assert!(report.contains("packed"), "{report}");
+        let listing = run_catalog(&dir).unwrap();
+        assert!(listing.contains("database(s)"), "{listing}");
+        // every packed store passes fsck
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "store") {
+                let (out, dirty) = run_fsck(&path);
+                assert!(!dirty, "fresh store must be clean:\n{out}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_flags_corruption_with_failure() {
+        let dir = tmpdir("fsck");
+        let opts = ServeOptions::default();
+        run_pack(&opts, &dir).unwrap();
+        let path = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| Some(e.ok()?.path()))
+            .find(|p| p.extension().is_some_and(|e| e == "store"))
+            .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xA5;
+        std::fs::write(&path, &bytes).unwrap();
+        let (out, dirty) = run_fsck(&path);
+        assert!(dirty, "corruption must fail fsck:\n{out}");
+        assert!(out.contains("CORRUPT"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn catalog_of_missing_dir_errors() {
+        let missing = std::env::temp_dir().join("osql-cli-store-definitely-missing");
+        assert!(run_catalog(&missing).is_err());
+    }
+}

@@ -98,6 +98,23 @@ impl BuiltDb {
             .map(String::as_str)
     }
 
+    /// The full display dictionary (store persistence needs it whole).
+    pub(crate) fn display_map(&self) -> &HashMap<(String, String), HashMap<String, String>> {
+        &self.display_of
+    }
+
+    /// Reassemble a `BuiltDb` from persisted parts (store import).
+    pub(crate) fn from_parts(
+        id: String,
+        domain: String,
+        database: Database,
+        tables: Vec<TableMeta>,
+        complexity: f64,
+        display_of: HashMap<(String, String), HashMap<String, String>>,
+    ) -> Self {
+        BuiltDb { id, domain, database, tables, complexity, display_of }
+    }
+
     /// All distinct stored text values of a column (for value indexing).
     pub fn stored_values(&self, table: &str, column: &str) -> Vec<String> {
         self.display_of

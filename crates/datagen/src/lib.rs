@@ -27,10 +27,12 @@ pub mod export;
 pub mod generator;
 pub mod nlq;
 pub mod spec;
+pub mod store;
 pub mod values;
 
 pub use bench::{generate, Benchmark, Example, Profile, Split};
 pub use export::{split_to_json, write_benchmark, BirdRecord};
+pub use store::{export_db_store, export_store, import_store, open_store_catalog};
 pub use build::{BuiltDb, ColMeta, RowScale, TableMeta};
 pub use spec::{AggFunc, CmpOp, Difficulty, FilterSpec, OrderSpec, QuerySpec, SelectSpec};
 pub use values::{ColKind, Quirk};

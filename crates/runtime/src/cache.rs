@@ -12,8 +12,11 @@
 
 use llmsim::LanguageModel;
 use opensearch_sql::{FewshotLibrary, Pipeline, PipelineConfig, PipelineRun, Preprocessed};
+use osql_store::{Catalog, CatalogEvent};
+use osql_trace::active;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -137,6 +140,7 @@ pub struct LruCache<K, V> {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
@@ -154,6 +158,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -190,6 +195,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             let node = inner.nodes[tail].take().expect("live node");
             inner.map.remove(&node.key);
             inner.free.push(tail);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         let node = Node { key: key.clone(), value, prev: NIL, next: NIL };
         let idx = match inner.free.pop() {
@@ -225,6 +231,12 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Entries pushed out by capacity pressure (refreshes of an existing
+    /// key are not evictions).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
 }
 
 /// The level-2 cache type used by the runtime.
@@ -232,15 +244,27 @@ pub type ResultCache = LruCache<ResultKey, Arc<PipelineRun>>;
 
 // ---- level 1: per-database asset cache --------------------------------
 
+/// Where the asset cache gets database contents from.
+enum DbSource {
+    /// The whole benchmark is resident in memory (the original mode).
+    Eager(Arc<datagen::Benchmark>),
+    /// Databases are demand-paged out of a directory of `osql-store`
+    /// files under a byte budget; evicting a database also drops its
+    /// cached pipeline so the bytes genuinely leave memory.
+    Paged(Arc<Catalog<datagen::Benchmark>>),
+}
+
 /// Lazily preprocessed per-database pipelines over one benchmark.
 ///
 /// Construction builds only the benchmark-global asset (the self-taught
 /// few-shot library, one pass of LLM calls over the train split); each
 /// database's value/column indexes are built on the first request that
-/// touches it and cached forever — the set of databases is fixed per
-/// benchmark, so there is no eviction at this level.
+/// touches it. In eager mode entries are cached forever — the set of
+/// databases is fixed per benchmark. In paged mode ([`AssetCache::paged`])
+/// the backing [`Catalog`] bounds resident store bytes, and its evictions
+/// invalidate the corresponding pipelines here.
 pub struct AssetCache {
-    benchmark: Arc<datagen::Benchmark>,
+    source: DbSource,
     llm: Arc<dyn LanguageModel>,
     fewshot: Arc<FewshotLibrary>,
     build_tokens: u64,
@@ -260,7 +284,31 @@ impl AssetCache {
     ) -> Self {
         let (fewshot, build_tokens) = FewshotLibrary::build(llm.as_ref(), &benchmark.train);
         AssetCache {
-            benchmark,
+            source: DbSource::Eager(benchmark),
+            llm,
+            fewshot: Arc::new(fewshot),
+            build_tokens,
+            config,
+            pipelines: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Serve out of a demand-paged store catalog instead of a resident
+    /// benchmark. The few-shot library still needs a train split (stores
+    /// carry data, not examples), so the caller passes it explicitly;
+    /// built the same way as [`AssetCache::new`], the resulting pipelines
+    /// answer identically to eager mode at any eviction budget.
+    pub fn paged(
+        catalog: Arc<Catalog<datagen::Benchmark>>,
+        llm: Arc<dyn LanguageModel>,
+        config: PipelineConfig,
+        train: &[datagen::Example],
+    ) -> Self {
+        let (fewshot, build_tokens) = FewshotLibrary::build(llm.as_ref(), train);
+        AssetCache {
+            source: DbSource::Paged(catalog),
             llm,
             fewshot: Arc::new(fewshot),
             build_tokens,
@@ -280,7 +328,7 @@ impl AssetCache {
         config: PipelineConfig,
     ) -> Self {
         AssetCache {
-            benchmark: pre.benchmark.clone(),
+            source: DbSource::Eager(pre.benchmark.clone()),
             llm,
             fewshot: pre.fewshot.clone(),
             build_tokens: pre.build_tokens,
@@ -291,9 +339,21 @@ impl AssetCache {
         }
     }
 
-    /// The benchmark served.
-    pub fn benchmark(&self) -> &Arc<datagen::Benchmark> {
-        &self.benchmark
+    /// The resident benchmark, in eager mode; `None` when demand-paged
+    /// (a paged cache never holds the whole benchmark at once).
+    pub fn benchmark(&self) -> Option<&Arc<datagen::Benchmark>> {
+        match &self.source {
+            DbSource::Eager(b) => Some(b),
+            DbSource::Paged(_) => None,
+        }
+    }
+
+    /// The backing store catalog, in paged mode.
+    pub fn catalog(&self) -> Option<&Arc<Catalog<datagen::Benchmark>>> {
+        match &self.source {
+            DbSource::Eager(_) => None,
+            DbSource::Paged(c) => Some(c),
+        }
     }
 
     /// The configuration every cached pipeline runs under.
@@ -307,7 +367,11 @@ impl AssetCache {
     }
 
     /// The pipeline for one database, preprocessing it on first touch.
-    /// `None` for ids the benchmark doesn't contain.
+    /// `None` for ids the benchmark (or catalog) doesn't contain.
+    ///
+    /// In paged mode a miss demand-loads the database's store file, and
+    /// any catalog evictions that causes also drop the victims' cached
+    /// pipelines here — so a bounded budget genuinely bounds memory.
     pub fn pipeline(&self, db_id: &str) -> Option<Arc<Pipeline>> {
         let mut pipelines = self.pipelines.lock().expect("asset cache lock");
         if let Some(p) = pipelines.get(db_id) {
@@ -315,12 +379,31 @@ impl AssetCache {
             return Some(p.clone());
         }
         // build under the lock: simpler, and a one-time cost per database
-        let pre = Preprocessed::for_db(
-            self.benchmark.clone(),
-            db_id,
-            self.fewshot.clone(),
-            self.build_tokens,
-        )?;
+        let bench = match &self.source {
+            DbSource::Eager(b) => b.clone(),
+            DbSource::Paged(cat) => {
+                let loaded = cat.get(db_id).ok();
+                for ev in cat.take_events() {
+                    match ev {
+                        CatalogEvent::Load { id, bytes, micros } => active::event_volatile(
+                            "db_load",
+                            &[("db", &id)],
+                            &[("bytes", bytes as f64), ("us", micros as f64)],
+                        ),
+                        CatalogEvent::Evict { id, bytes } => {
+                            pipelines.remove(&id);
+                            active::event_volatile(
+                                "db_evict",
+                                &[("db", &id)],
+                                &[("bytes", bytes as f64)],
+                            );
+                        }
+                    }
+                }
+                loaded?
+            }
+        };
+        let pre = Preprocessed::for_db(bench, db_id, self.fewshot.clone(), self.build_tokens)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         let p = Arc::new(Pipeline::new(Arc::new(pre), self.llm.clone(), self.config.clone()));
         pipelines.insert(db_id.to_owned(), p.clone());
@@ -346,6 +429,46 @@ impl AssetCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+}
+
+/// Open a demand-paged catalog over a directory of `<db_id>.store` files
+/// for serving: like [`datagen::open_store_catalog`], but the loader also
+/// replays any sidecar WAL (so a store that crashed mid-append serves
+/// exactly its committed prefix) and records a volatile `wal_replay`
+/// trace event when it did.
+pub fn open_paged_catalog(
+    dir: &Path,
+    budget: u64,
+    bench_name: &str,
+) -> std::io::Result<Catalog<datagen::Benchmark>> {
+    let name = bench_name.to_owned();
+    Catalog::open(dir, budget, move |path: &Path| {
+        let (mut built, mut bytes) = datagen::import_store(path).map_err(std::io::Error::other)?;
+        let wal = osql_store::wal_path(path);
+        if let Ok(buf) = std::fs::read(&wal) {
+            let report = osql_store::replay_into(&mut built.database, &buf)
+                .map_err(std::io::Error::other)?;
+            bytes += buf.len() as u64;
+            if report.committed > 0 {
+                active::event_volatile(
+                    "wal_replay",
+                    &[("db", &built.id)],
+                    &[
+                        ("commits", report.committed as f64),
+                        ("stmts", report.stmts_applied as f64),
+                    ],
+                );
+            }
+        }
+        let mini = datagen::Benchmark {
+            name: name.clone(),
+            dbs: vec![built],
+            train: Vec::new(),
+            dev: Vec::new(),
+            test: Vec::new(),
+        };
+        Ok((mini, bytes))
+    })
 }
 
 #[cfg(test)]
@@ -403,6 +526,20 @@ mod tests {
     }
 
     #[test]
+    fn lru_counts_evictions() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.evictions(), 0);
+        cache.insert(1, 11); // refresh — not an eviction
+        assert_eq!(cache.evictions(), 0);
+        cache.insert(3, 30); // evicts 2
+        cache.insert(4, 40); // evicts 1
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
     fn lru_insert_refreshes_existing_key() {
         let cache: LruCache<u32, u32> = LruCache::new(2);
         cache.insert(1, 10);
@@ -444,6 +581,41 @@ mod tests {
         assert_eq!((assets.hits(), assets.misses()), (1, 1));
         assert_eq!(assets.len(), 1, "only the touched db is preprocessed");
         assert!(assets.pipeline("ghost").is_none());
+    }
+
+    #[test]
+    fn paged_cache_answers_like_eager_and_bounds_residency() {
+        let bench = Arc::new(generate(&Profile::tiny()));
+        let llm = Arc::new(SimLlm::new(
+            Arc::new(Oracle::new(bench.clone())),
+            ModelProfile::gpt_4o(),
+            5,
+        ));
+        let dir = std::env::temp_dir()
+            .join(format!("osql-paged-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = datagen::export_store(&bench, &dir).unwrap();
+        // budget: exactly one store resident at a time
+        let budget = paths.iter().map(|p| std::fs::metadata(p).unwrap().len()).max().unwrap();
+        let catalog = Arc::new(open_paged_catalog(&dir, budget, &bench.name).unwrap());
+        let eager = AssetCache::new(bench.clone(), llm.clone(), PipelineConfig::fast());
+        let paged =
+            AssetCache::paged(catalog.clone(), llm, PipelineConfig::fast(), &bench.train);
+        assert!(paged.benchmark().is_none() && paged.catalog().is_some());
+        for ex in bench.dev.iter().take(6) {
+            let a = eager.pipeline(&ex.db_id).unwrap().answer(&ex.db_id, &ex.question, &ex.evidence);
+            let b = paged.pipeline(&ex.db_id).unwrap().answer(&ex.db_id, &ex.question, &ex.evidence);
+            assert_eq!(a.final_sql, b.final_sql, "paged assets must answer identically");
+            assert_eq!(a.winner, b.winner);
+            assert!(catalog.resident_bytes() <= budget, "budget must bound residency");
+        }
+        assert!(paged.pipeline("ghost").is_none());
+        if bench.dbs.len() > 1 {
+            assert!(catalog.evictions() > 0, "a one-db budget must evict across dbs");
+            // evicted dbs also lost their cached pipelines
+            assert!(paged.len() <= catalog.resident().len() + 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub mod middleware;
 pub mod queue;
 pub mod runtime;
 
-pub use cache::{config_fingerprint, normalize_question, AssetCache, LruCache, ResultCache, ResultKey};
+pub use cache::{
+    config_fingerprint, normalize_question, open_paged_catalog, AssetCache, LruCache, ResultCache,
+    ResultKey,
+};
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use middleware::{CallError, ResilientLlm, RetryPolicy};
 pub use queue::{BoundedQueue, PushError};

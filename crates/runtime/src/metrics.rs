@@ -38,6 +38,13 @@ impl Counter {
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Set the counter to an absolute value; for gauge-like mirrors of an
+    /// externally tracked level (e.g. resident store bytes), which can go
+    /// down as well as up.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)

@@ -255,7 +255,14 @@ impl Runtime {
     /// the queue. Non-ledger report fields match the sequential path
     /// exactly, at any worker count.
     pub fn evaluate(&self, examples: &[datagen::Example], submitters: usize) -> EvalReport {
-        let benchmark = self.assets.benchmark().clone();
+        let benchmark = self
+            .assets
+            .benchmark()
+            .expect(
+                "evaluate needs the resident benchmark; a paged runtime is scored by passing \
+                 the benchmark to opensearch_sql::evaluate_with directly",
+            )
+            .clone();
         opensearch_sql::evaluate_with(self, &benchmark, examples, submitters)
     }
 }
@@ -314,17 +321,20 @@ fn worker_loop(
             continue;
         }
         metrics.counter("result_cache_misses").inc();
+        // The worker owns this request's trace: installed before asset
+        // lookup so the queue-wait event (volatile: it depends on load,
+        // not on the query), any demand-paging events (`db_load`,
+        // `db_evict`, `wal_replay` — also volatile), and every pipeline
+        // span land in one trace, popped and attached to the run after.
+        active::push();
+        active::event_volatile("queue_wait", &[], &[("ms", queue_wait_ms)]);
         let Some(pipeline) = assets.pipeline(&job.req.db_id) else {
+            let _ = active::pop();
             metrics.counter("unknown_db").inc();
             let _ = job.reply.send(Err(ServeError::UnknownDb(job.req.db_id)));
             continue;
         };
-        // The worker owns this request's trace: installed before the
-        // pipeline runs so the queue-wait event (volatile: it depends on
-        // load, not on the query) and every pipeline span land in one
-        // trace, popped and attached to the run afterwards.
-        active::push();
-        active::event_volatile("queue_wait", &[], &[("ms", queue_wait_ms)]);
+        sync_store_metrics(metrics, assets);
         let started = Instant::now();
         let mut run = pipeline.answer(&job.req.db_id, &job.req.question, &job.req.evidence);
         let trace = Arc::new(active::pop().unwrap_or_else(QueryTrace::empty));
@@ -345,6 +355,7 @@ fn worker_loop(
         }
         record_analysis_metrics(metrics, &pipeline, &run);
         results.insert(key, run.clone());
+        metrics.counter("result_cache_evictions_total").raise_to(results.evictions());
         sync_plan_cache_metrics(metrics);
         let _ = job.reply.send(Ok(QueryResponse { run, from_cache: false, queue_wait_ms }));
     }
@@ -368,6 +379,18 @@ fn record_analysis_metrics(
         for d in &analysis.diagnostics {
             metrics.counter_with("analyze_diags_total", &[("code", &d.code)]).inc();
         }
+    }
+}
+
+/// Mirror the demand-paging catalog's counters into the registry (paged
+/// mode only): cumulative loads and evictions via `raise_to` (shared
+/// across workers, like the plan-cache mirrors) and the current resident
+/// byte level via `set` (it falls on eviction, so it is a gauge).
+fn sync_store_metrics(metrics: &MetricsRegistry, assets: &AssetCache) {
+    if let Some(cat) = assets.catalog() {
+        metrics.counter("db_load_total").raise_to(cat.loads());
+        metrics.counter("db_evict_total").raise_to(cat.evictions());
+        metrics.counter("store_bytes_resident").set(cat.resident_bytes());
     }
 }
 

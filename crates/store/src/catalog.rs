@@ -1,0 +1,327 @@
+//! Demand-paged catalog: db_id → store file, loaded lazily, evicted
+//! under a byte-accounted LRU memory budget.
+//!
+//! The catalog is generic over the resident value type `T` so callers
+//! decide what "a loaded database" means (the runtime loads a full
+//! benchmark slice; tests load a bare [`sqlkit::Database`]). A loader
+//! callback maps a store-file path to `(T, resident_bytes)`; the
+//! catalog tracks residency, recency, and total bytes, and evicts the
+//! least-recently-used entries when the budget is exceeded — but never
+//! the entry it just loaded, so a budget smaller than any single
+//! database still serves every query (it just thrashes).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Suffix of store files inside a catalog directory.
+pub const STORE_EXT: &str = "store";
+
+/// A load or eviction that callers may want to surface (metrics, trace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogEvent {
+    /// A database was read from disk.
+    Load {
+        /// Database id.
+        id: String,
+        /// Resident bytes accounted for the entry.
+        bytes: u64,
+        /// Load latency in microseconds.
+        micros: u64,
+    },
+    /// A database was evicted to stay under the budget.
+    Evict {
+        /// Database id.
+        id: String,
+        /// Bytes released.
+        bytes: u64,
+    },
+}
+
+struct Entry<T> {
+    value: Arc<T>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct Inner<T> {
+    entries: HashMap<String, Entry<T>>,
+    tick: u64,
+    events: Vec<CatalogEvent>,
+}
+
+type Loader<T> = Box<dyn Fn(&Path) -> std::io::Result<(T, u64)> + Send + Sync>;
+
+/// A demand-paged mapping from database id to loaded value.
+pub struct Catalog<T> {
+    dir: PathBuf,
+    budget: u64,
+    loader: Loader<T>,
+    inner: Mutex<Inner<T>>,
+    loads: AtomicU64,
+    evictions: AtomicU64,
+    resident_bytes: AtomicU64,
+}
+
+impl<T> std::fmt::Debug for Catalog<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("dir", &self.dir)
+            .field("budget", &self.budget)
+            .field("resident_bytes", &self.resident_bytes())
+            .field("loads", &self.loads())
+            .field("evictions", &self.evictions())
+            .finish()
+    }
+}
+
+impl<T> Catalog<T> {
+    /// Open a catalog over `dir`. `budget` is the resident-byte ceiling
+    /// (0 means "evict everything but the entry in use"); `loader` maps
+    /// a store-file path to a loaded value and its byte cost.
+    pub fn open(
+        dir: &Path,
+        budget: u64,
+        loader: impl Fn(&Path) -> std::io::Result<(T, u64)> + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        if !dir.is_dir() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("catalog dir {} does not exist", dir.display()),
+            ));
+        }
+        Ok(Catalog {
+            dir: dir.to_owned(),
+            budget,
+            loader: Box::new(loader),
+            inner: Mutex::new(Inner { entries: HashMap::new(), tick: 0, events: Vec::new() }),
+            loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Database ids available on disk (files named `<id>.store`),
+    /// sorted for deterministic iteration.
+    pub fn available(&self) -> std::io::Result<Vec<String>> {
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(STORE_EXT) {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    ids.push(stem.to_owned());
+                }
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// The store-file path for a database id.
+    pub fn store_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.{STORE_EXT}"))
+    }
+
+    /// Fetch a database, loading it from disk on first use and evicting
+    /// least-recently-used entries to honour the budget. The entry just
+    /// loaded is never evicted, even when it alone exceeds the budget.
+    pub fn get(&self, id: &str) -> std::io::Result<Arc<T>> {
+        let mut inner = self.inner.lock().expect("catalog lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.entries.get_mut(id) {
+            e.last_used = tick;
+            return Ok(Arc::clone(&e.value));
+        }
+        drop(inner); // load without holding the lock
+        let path = self.store_path(id);
+        let started = std::time::Instant::now();
+        let (value, bytes) = (self.loader)(&path)?;
+        let micros = started.elapsed().as_micros() as u64;
+        let value = Arc::new(value);
+
+        let mut inner = self.inner.lock().expect("catalog lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        // another thread may have loaded it while we were reading
+        if let Some(e) = inner.entries.get_mut(id) {
+            e.last_used = tick;
+            return Ok(Arc::clone(&e.value));
+        }
+        inner
+            .entries
+            .insert(id.to_owned(), Entry { value: Arc::clone(&value), bytes, last_used: tick });
+        inner.events.push(CatalogEvent::Load { id: id.to_owned(), bytes, micros });
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.evict_to_budget(&mut inner, id);
+        Ok(value)
+    }
+
+    /// Evict LRU entries (other than `keep`) until the budget holds.
+    fn evict_to_budget(&self, inner: &mut Inner<T>, keep: &str) {
+        while self.resident_bytes.load(Ordering::Relaxed) > self.budget {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(id, _)| id.as_str() != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| id.clone());
+            let Some(id) = victim else { break };
+            let entry = inner.entries.remove(&id).expect("victim exists");
+            self.resident_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            inner.events.push(CatalogEvent::Evict { id, bytes: entry.bytes });
+        }
+    }
+
+    /// Ids currently resident, most recently used first.
+    pub fn resident(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock().expect("catalog lock");
+        let mut ids: Vec<(&String, &Entry<T>)> = inner.entries.iter().collect();
+        ids.sort_by_key(|(_, e)| std::cmp::Reverse(e.last_used));
+        ids.into_iter().map(|(id, e)| (id.clone(), e.bytes)).collect()
+    }
+
+    /// True when the id is resident right now.
+    pub fn is_resident(&self, id: &str) -> bool {
+        self.inner.lock().expect("catalog lock").entries.contains_key(id)
+    }
+
+    /// Drain pending load/evict events (for metrics/trace forwarding).
+    pub fn take_events(&self) -> Vec<CatalogEvent> {
+        std::mem::take(&mut self.inner.lock().expect("catalog lock").events)
+    }
+
+    /// The catalog directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Resident-byte ceiling.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Databases loaded from disk (cold loads, not cache hits).
+    pub fn loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Databases evicted to stay under budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Loader that "loads" the id string and charges a fixed byte cost.
+    fn open_fixed(dir: &Path, budget: u64, cost: u64) -> Catalog<String> {
+        Catalog::open(dir, budget, move |path: &Path| {
+            let stem = path.file_stem().unwrap().to_str().unwrap().to_owned();
+            Ok((stem, cost))
+        })
+        .unwrap()
+    }
+
+    fn tmpdir(tag: &str, ids: &[&str]) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("osql-catalog-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for id in ids {
+            std::fs::write(dir.join(format!("{id}.{STORE_EXT}")), b"x").unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn lazy_load_and_hit_counting() {
+        let dir = tmpdir("lazy", &["a", "b"]);
+        let cat = open_fixed(&dir, 1000, 10);
+        assert_eq!(cat.available().unwrap(), vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(cat.loads(), 0);
+        assert_eq!(&*cat.get("a").unwrap(), "a");
+        assert_eq!(&*cat.get("a").unwrap(), "a");
+        assert_eq!(cat.loads(), 1, "second get is a hit");
+        assert_eq!(cat.resident_bytes(), 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_budget() {
+        let dir = tmpdir("lru", &["a", "b", "c"]);
+        let cat = open_fixed(&dir, 20, 10); // room for two
+        cat.get("a").unwrap();
+        cat.get("b").unwrap();
+        cat.get("a").unwrap(); // refresh a; b is now LRU
+        cat.get("c").unwrap(); // evicts b
+        assert!(cat.is_resident("a"));
+        assert!(!cat.is_resident("b"));
+        assert!(cat.is_resident("c"));
+        assert_eq!(cat.evictions(), 1);
+        assert_eq!(cat.resident_bytes(), 20);
+        let events = cat.take_events();
+        assert!(events
+            .contains(&CatalogEvent::Evict { id: "b".to_owned(), bytes: 10 }));
+        assert!(cat.take_events().is_empty(), "events drain once");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_entry_is_never_self_evicted() {
+        let dir = tmpdir("oversize", &["a", "b"]);
+        let cat = open_fixed(&dir, 5, 10); // every entry exceeds the budget
+        assert_eq!(&*cat.get("a").unwrap(), "a");
+        assert!(cat.is_resident("a"), "just-loaded entry survives over-budget");
+        assert_eq!(&*cat.get("b").unwrap(), "b"); // evicts a, keeps b
+        assert!(!cat.is_resident("a"));
+        assert!(cat.is_resident("b"));
+        // thrash back and forth — always serves
+        for _ in 0..3 {
+            assert_eq!(&*cat.get("a").unwrap(), "a");
+            assert_eq!(&*cat.get("b").unwrap(), "b");
+        }
+        assert_eq!(cat.evictions(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_and_missing_id_error() {
+        let missing = std::env::temp_dir().join("osql-catalog-definitely-missing");
+        assert!(Catalog::<String>::open(&missing, 10, |_| Ok((String::new(), 1))).is_err());
+        let dir = tmpdir("missing-id", &["a"]);
+        let cat = Catalog::open(&dir, 10, |path: &Path| {
+            if path.exists() {
+                Ok((String::from("ok"), 1))
+            } else {
+                Err(std::io::Error::new(std::io::ErrorKind::NotFound, "no store"))
+            }
+        })
+        .unwrap();
+        assert!(cat.get("a").is_ok());
+        assert!(cat.get("ghost").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resident_listing_orders_by_recency() {
+        let dir = tmpdir("resident", &["a", "b", "c"]);
+        let cat = open_fixed(&dir, 1000, 7);
+        cat.get("a").unwrap();
+        cat.get("b").unwrap();
+        cat.get("c").unwrap();
+        cat.get("a").unwrap();
+        let ids: Vec<String> = cat.resident().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec!["a".to_owned(), "c".to_owned(), "b".to_owned()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,510 @@
+//! Single-file store format: a checksummed TOC page followed by section
+//! pages holding the schema, one row section per table, and named blobs.
+//!
+//! Layout (all pages [`PAGE_SIZE`] bytes):
+//!
+//! ```text
+//! page 0        TOC: magic, version, page size, db name, section list
+//! page 1..N     DATA pages, sections stored as contiguous page ranges
+//! ```
+//!
+//! Each section records its byte length, CRC-32 over the reassembled
+//! bytes, and (for table sections) a row count, so corruption is caught
+//! at two levels: per page and per section. Files are written via a
+//! temp-file + rename so a crashed `write_database` never leaves a
+//! half-written store visible under the final name.
+
+use crate::codec::{self, crc32, Dec, Enc};
+use crate::page::{
+    pack_page, paginate, unpack_page, PAGE_DATA, PAGE_PAYLOAD, PAGE_SIZE, PAGE_TOC,
+};
+use crate::StoreError;
+use sqlkit::Database;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Store file magic ("OSQLSTO1").
+pub const STORE_MAGIC: u64 = u64::from_le_bytes(*b"OSQLSTO1");
+/// Store format version.
+pub const STORE_VERSION: u32 = 1;
+
+/// What a section holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// The database schema (always the first section).
+    Schema,
+    /// One table's rows; `name` is the table name.
+    Table,
+    /// An opaque named blob (e.g. datagen metadata).
+    Blob,
+}
+
+impl SectionKind {
+    fn tag(self) -> u8 {
+        match self {
+            SectionKind::Schema => 1,
+            SectionKind::Table => 2,
+            SectionKind::Blob => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, StoreError> {
+        match tag {
+            1 => Ok(SectionKind::Schema),
+            2 => Ok(SectionKind::Table),
+            3 => Ok(SectionKind::Blob),
+            t => Err(StoreError::corrupt(format!("unknown section kind {t}"))),
+        }
+    }
+}
+
+/// One TOC entry: a named section stored as a contiguous page range.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// What the section holds.
+    pub kind: SectionKind,
+    /// Section name (table name, blob name, or `"schema"`).
+    pub name: String,
+    /// First page index of the section.
+    pub first_page: u32,
+    /// Number of pages the section spans.
+    pub page_count: u32,
+    /// Exact byte length of the section payload.
+    pub byte_len: u64,
+    /// CRC-32 over the reassembled section bytes.
+    pub crc: u32,
+    /// Row count for table sections (0 otherwise).
+    pub row_count: u64,
+}
+
+/// Decoded TOC page.
+#[derive(Debug, Clone)]
+pub struct Toc {
+    /// Database name recorded in the store.
+    pub db_name: String,
+    /// Sections in file order (schema first, then tables, then blobs).
+    pub sections: Vec<Section>,
+}
+
+fn encode_toc(toc: &Toc) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u64(STORE_MAGIC);
+    enc.put_u32(STORE_VERSION);
+    enc.put_u32(PAGE_SIZE as u32);
+    enc.put_str(&toc.db_name);
+    enc.put_u32(toc.sections.len() as u32);
+    for s in &toc.sections {
+        enc.put_u8(s.kind.tag());
+        enc.put_str(&s.name);
+        enc.put_u32(s.first_page);
+        enc.put_u32(s.page_count);
+        enc.put_u64(s.byte_len);
+        enc.put_u32(s.crc);
+        enc.put_u64(s.row_count);
+    }
+    enc.into_bytes()
+}
+
+fn decode_toc(payload: &[u8]) -> Result<Toc, StoreError> {
+    let mut dec = Dec::new(payload);
+    let magic = dec.get_u64()?;
+    if magic != STORE_MAGIC {
+        return Err(StoreError::corrupt("bad store magic in TOC"));
+    }
+    let version = dec.get_u32()?;
+    if version != STORE_VERSION {
+        return Err(StoreError::corrupt(format!("unsupported store version {version}")));
+    }
+    let page_size = dec.get_u32()?;
+    if page_size as usize != PAGE_SIZE {
+        return Err(StoreError::corrupt(format!("unsupported page size {page_size}")));
+    }
+    let db_name = dec.get_str()?;
+    let n = dec.get_u32()? as usize;
+    let mut sections = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        sections.push(Section {
+            kind: SectionKind::from_tag(dec.get_u8()?)?,
+            name: dec.get_str()?,
+            first_page: dec.get_u32()?,
+            page_count: dec.get_u32()?,
+            byte_len: dec.get_u64()?,
+            crc: dec.get_u32()?,
+            row_count: dec.get_u64()?,
+        });
+    }
+    if dec.remaining() != 0 {
+        return Err(StoreError::corrupt("trailing bytes after TOC"));
+    }
+    Ok(Toc { db_name, sections })
+}
+
+/// A database reloaded from a store file.
+#[derive(Debug)]
+pub struct LoadedStore {
+    /// The reconstructed database.
+    pub database: Database,
+    /// Named blob sections, in file order.
+    pub blobs: Vec<(String, Vec<u8>)>,
+    /// Size of the store file in bytes (used for byte-accounted budgets).
+    pub file_bytes: u64,
+}
+
+/// Write a database (plus optional named blobs) as a store file.
+///
+/// The file is assembled next to `path` under a `.tmp` name, fsynced,
+/// and renamed into place, so readers never observe a partial store.
+/// Returns the number of bytes written.
+pub fn write_database(
+    path: &Path,
+    db: &Database,
+    blobs: &[(String, Vec<u8>)],
+) -> std::io::Result<u64> {
+    // assemble section payloads in file order
+    let mut payloads: Vec<(SectionKind, String, Vec<u8>, u64)> = Vec::new();
+    payloads.push((
+        SectionKind::Schema,
+        "schema".to_owned(),
+        codec::encode_schema(&db.schema),
+        0,
+    ));
+    for table in &db.schema.tables {
+        let rows = db
+            .rows(&table.name)
+            .map_err(|e| std::io::Error::other(format!("dump {}: {e}", table.name)))?;
+        payloads.push((
+            SectionKind::Table,
+            table.name.clone(),
+            codec::encode_rows(rows, table.columns.len()),
+            rows.len() as u64,
+        ));
+    }
+    for (name, bytes) in blobs {
+        payloads.push((SectionKind::Blob, name.clone(), bytes.clone(), 0));
+    }
+
+    // paginate sections and build the TOC
+    let mut data_pages: Vec<Vec<u8>> = Vec::new();
+    let mut sections = Vec::with_capacity(payloads.len());
+    for (kind, name, bytes, row_count) in &payloads {
+        let pages = paginate(bytes);
+        sections.push(Section {
+            kind: *kind,
+            name: name.clone(),
+            first_page: 1 + data_pages.len() as u32,
+            page_count: pages.len() as u32,
+            byte_len: bytes.len() as u64,
+            crc: crc32(bytes),
+            row_count: *row_count,
+        });
+        data_pages.extend(pages);
+    }
+    let toc_bytes = encode_toc(&Toc { db_name: db.schema.name.clone(), sections });
+    if toc_bytes.len() > PAGE_PAYLOAD {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("TOC overflows one page ({} bytes)", toc_bytes.len()),
+        ));
+    }
+
+    // temp file + fsync + rename: all-or-nothing visibility
+    let tmp = path.with_extension("store.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&pack_page(PAGE_TOC, &toc_bytes))?;
+        for page in &data_pages {
+            f.write_all(page)?;
+        }
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // best-effort directory fsync so the rename itself is durable
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(((1 + data_pages.len()) * PAGE_SIZE) as u64)
+}
+
+fn section_bytes(file: &[u8], s: &Section) -> Result<Vec<u8>, StoreError> {
+    let pages = file.len() / PAGE_SIZE;
+    let end = s.first_page as usize + s.page_count as usize;
+    if s.first_page == 0 || end > pages {
+        return Err(StoreError::corrupt(format!(
+            "section '{}' pages {}..{} out of range (file has {} pages)",
+            s.name, s.first_page, end, pages
+        )));
+    }
+    let mut bytes = Vec::with_capacity(s.byte_len as usize);
+    for idx in s.first_page as usize..end {
+        let page = &file[idx * PAGE_SIZE..(idx + 1) * PAGE_SIZE];
+        let (ty, payload) = unpack_page(page)
+            .map_err(|e| StoreError::corrupt(format!("page {idx} ('{}'): {e}", s.name)))?;
+        if ty != PAGE_DATA {
+            return Err(StoreError::corrupt(format!(
+                "page {idx} ('{}') has type {ty}, expected data",
+                s.name
+            )));
+        }
+        bytes.extend_from_slice(payload);
+    }
+    if (bytes.len() as u64) < s.byte_len {
+        return Err(StoreError::corrupt(format!(
+            "section '{}' holds {} bytes, TOC records {}",
+            s.name,
+            bytes.len(),
+            s.byte_len
+        )));
+    }
+    bytes.truncate(s.byte_len as usize);
+    if crc32(&bytes) != s.crc {
+        return Err(StoreError::corrupt(format!("section '{}' checksum mismatch", s.name)));
+    }
+    Ok(bytes)
+}
+
+fn load_toc(file: &[u8]) -> Result<Toc, StoreError> {
+    if file.len() < PAGE_SIZE || !file.len().is_multiple_of(PAGE_SIZE) {
+        return Err(StoreError::corrupt(format!(
+            "file is {} bytes, not a positive multiple of {PAGE_SIZE}",
+            file.len()
+        )));
+    }
+    let (ty, payload) = unpack_page(&file[..PAGE_SIZE])
+        .map_err(|e| StoreError::corrupt(format!("TOC page: {e}")))?;
+    if ty != PAGE_TOC {
+        return Err(StoreError::corrupt(format!("page 0 has type {ty}, expected TOC")));
+    }
+    decode_toc(payload)
+}
+
+/// Read a store file back into a [`Database`] plus its blobs.
+pub fn read_database(path: &Path) -> Result<LoadedStore, StoreError> {
+    let file = fs::read(path)?;
+    let toc = load_toc(&file)?;
+    let mut database = Database::default();
+    let mut blobs = Vec::new();
+    let mut saw_schema = false;
+    for s in &toc.sections {
+        let bytes = section_bytes(&file, s)?;
+        match s.kind {
+            SectionKind::Schema => {
+                if saw_schema {
+                    return Err(StoreError::corrupt("duplicate schema section"));
+                }
+                saw_schema = true;
+                let schema = codec::decode_schema(&bytes)?;
+                let mut db = Database::new(schema.name.clone());
+                for t in &schema.tables {
+                    db.create_table(t.clone()).map_err(|e| {
+                        StoreError::corrupt(format!("rebuild table {}: {e}", t.name))
+                    })?;
+                }
+                for fk in schema.foreign_keys {
+                    db.add_foreign_key(fk);
+                }
+                database = db;
+            }
+            SectionKind::Table => {
+                if !saw_schema {
+                    return Err(StoreError::corrupt("table section before schema"));
+                }
+                let arity = database
+                    .schema
+                    .table(&s.name)
+                    .map(|t| t.columns.len())
+                    .ok_or_else(|| {
+                        StoreError::corrupt(format!("table section '{}' not in schema", s.name))
+                    })?;
+                let rows = codec::decode_rows(&bytes, arity)?;
+                if rows.len() as u64 != s.row_count {
+                    return Err(StoreError::corrupt(format!(
+                        "table '{}' decoded {} rows, TOC records {}",
+                        s.name,
+                        rows.len(),
+                        s.row_count
+                    )));
+                }
+                database.insert_rows(&s.name, rows).map_err(|e| {
+                    StoreError::corrupt(format!("reload rows into {}: {e}", s.name))
+                })?;
+            }
+            SectionKind::Blob => blobs.push((s.name.clone(), bytes)),
+        }
+    }
+    if !saw_schema {
+        return Err(StoreError::corrupt("store has no schema section"));
+    }
+    if database.schema.name != toc.db_name {
+        return Err(StoreError::corrupt(format!(
+            "TOC db name '{}' does not match schema name '{}'",
+            toc.db_name, database.schema.name
+        )));
+    }
+    Ok(LoadedStore { database, blobs, file_bytes: file.len() as u64 })
+}
+
+/// Full audit of a store file: every page and every section is checked,
+/// and *all* findings are collected rather than stopping at the first.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Total pages in the file.
+    pub pages: usize,
+    /// Sections listed in the TOC.
+    pub sections: usize,
+    /// Human-readable corruption findings (empty means clean).
+    pub findings: Vec<String>,
+}
+
+impl FsckReport {
+    /// True when no corruption was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Audit a store file, collecting every corrupted page/section finding.
+pub fn fsck_file(path: &Path) -> Result<FsckReport, StoreError> {
+    let file = fs::read(path)?;
+    let mut report = FsckReport::default();
+    if file.len() < PAGE_SIZE || !file.len().is_multiple_of(PAGE_SIZE) {
+        report.findings.push(format!(
+            "file is {} bytes, not a positive multiple of {PAGE_SIZE}",
+            file.len()
+        ));
+        return Ok(report);
+    }
+    report.pages = file.len() / PAGE_SIZE;
+    // pass 1: every page must verify on its own
+    for idx in 0..report.pages {
+        let page = &file[idx * PAGE_SIZE..(idx + 1) * PAGE_SIZE];
+        if let Err(e) = unpack_page(page) {
+            report.findings.push(format!("page {idx}: {e}"));
+        }
+    }
+    // pass 2: TOC and section-level invariants
+    let toc = match load_toc(&file) {
+        Ok(toc) => toc,
+        Err(e) => {
+            let msg = format!("TOC: {e}");
+            if !report.findings.iter().any(|f| f.starts_with("page 0")) {
+                report.findings.push(msg);
+            }
+            return Ok(report);
+        }
+    };
+    report.sections = toc.sections.len();
+    for s in &toc.sections {
+        if let Err(e) = section_bytes(&file, s) {
+            report.findings.push(e.to_string());
+        }
+    }
+    // pass 3: the reassembled database must decode
+    if report.is_clean() {
+        if let Err(e) = read_database(path) {
+            report.findings.push(format!("decode: {e}"));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("shop");
+        db.execute_script(
+            "CREATE TABLE item (id INTEGER PRIMARY KEY, label TEXT, price REAL);\
+             CREATE TABLE sale (id INTEGER PRIMARY KEY, item_id INTEGER, qty INTEGER,\
+               FOREIGN KEY (item_id) REFERENCES item(id));\
+             INSERT INTO item VALUES (1, 'bolt', 0.25), (2, 'nut', NULL);\
+             INSERT INTO sale VALUES (10, 1, 4), (11, 2, 1), (12, 1, 9);",
+        )
+        .unwrap();
+        db
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("osql-store-file-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_read_round_trips_db_and_blobs() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("shop.store");
+        let db = sample_db();
+        let blobs = vec![("meta".to_owned(), vec![1u8, 2, 3, 255])];
+        let bytes = write_database(&path, &db, &blobs).unwrap();
+        assert_eq!(bytes % PAGE_SIZE as u64, 0);
+        let loaded = read_database(&path).unwrap();
+        assert_eq!(loaded.database.schema, db.schema);
+        assert_eq!(loaded.database.rows("item").unwrap(), db.rows("item").unwrap());
+        assert_eq!(loaded.database.rows("sale").unwrap(), db.rows("sale").unwrap());
+        assert_eq!(loaded.blobs, blobs);
+        assert_eq!(loaded.file_bytes, bytes);
+        // queries agree
+        let q = "SELECT label FROM item ORDER BY id";
+        assert_eq!(loaded.database.query(q).unwrap().rows, db.query(q).unwrap().rows);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_anywhere_is_detected() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("shop.store");
+        write_database(&path, &sample_db(), &[]).unwrap();
+        let clean = fs::read(&path).unwrap();
+        // flip one byte in each page's payload area; read and fsck must flag it
+        let pages = clean.len() / PAGE_SIZE;
+        for p in 0..pages {
+            let mut bad = clean.clone();
+            bad[p * PAGE_SIZE + 20] ^= 0x40;
+            fs::write(&path, &bad).unwrap();
+            assert!(read_database(&path).is_err(), "corrupt page {p} read back silently");
+            let report = fsck_file(&path).unwrap();
+            assert!(!report.is_clean(), "fsck missed corruption in page {p}");
+            assert!(report.findings.iter().any(|f| f.contains(&format!("page {p}"))));
+        }
+        // truncation
+        fs::write(&path, &clean[..clean.len() - 1]).unwrap();
+        assert!(read_database(&path).is_err());
+        assert!(!fsck_file(&path).unwrap().is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_reports_every_bad_page() {
+        let dir = tmpdir("multi");
+        let path = dir.join("shop.store");
+        write_database(&path, &sample_db(), &[]).unwrap();
+        let mut bad = fs::read(&path).unwrap();
+        let pages = bad.len() / PAGE_SIZE;
+        assert!(pages >= 3, "sample db should span several pages");
+        for p in 0..pages {
+            bad[p * PAGE_SIZE + 18] ^= 0x01;
+        }
+        fs::write(&path, &bad).unwrap();
+        let report = fsck_file(&path).unwrap();
+        // one finding per damaged page, not just the first
+        let page_findings =
+            report.findings.iter().filter(|f| f.starts_with("page ")).count();
+        assert_eq!(page_findings, pages);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clean_file_audits_clean() {
+        let dir = tmpdir("clean");
+        let path = dir.join("shop.store");
+        write_database(&path, &sample_db(), &[("b".into(), b"xyz".to_vec())]).unwrap();
+        let report = fsck_file(&path).unwrap();
+        assert!(report.is_clean(), "findings: {:?}", report.findings);
+        assert_eq!(report.sections, 4); // schema + 2 tables + 1 blob
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! # osql-store — durable page-based storage for sqlkit databases
+//!
+//! The serving stack's persistence layer, with zero external
+//! dependencies (like `osql-trace`):
+//!
+//! - [`file`]: a single-file store format — fixed-size checksummed
+//!   pages, a table-of-contents page, a schema section, one row section
+//!   per table, and named blobs — written atomically via temp-file +
+//!   rename ([`write_database`] / [`read_database`] / [`fsck_file`]).
+//! - [`wal`]: a statement-level write-ahead log with commit records,
+//!   fsync-point markers, and replay-based crash recovery that always
+//!   restores exactly the last fully committed state.
+//! - [`store`]: [`Store`] pairs a base snapshot with a WAL —
+//!   `execute`/`commit`/`checkpoint` — and truncates uncommitted tails
+//!   on open.
+//! - [`catalog`]: [`Catalog`] maps db_id → store file, loads lazily on
+//!   first query, and evicts under a byte-accounted LRU budget so a
+//!   benchmark larger than memory can still be served.
+//! - [`fault`]: [`FaultFile`], an injectable WAL media (torn writes,
+//!   lost unsynced tails, corruption, short reads) driving the
+//!   crash-recovery test matrix.
+//!
+//! The codec ([`codec`]) is hand-rolled little-endian binary with
+//! CRC-32 checksums at page, section, and WAL-record granularity;
+//! every decode path is bounds-checked and returns typed errors, never
+//! panics, because fsck and recovery deliberately feed it garbage.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod catalog;
+pub mod codec;
+pub mod fault;
+pub mod file;
+pub mod page;
+pub mod store;
+pub mod wal;
+
+pub use catalog::{Catalog, CatalogEvent, STORE_EXT};
+pub use codec::{crc32, CodecError, Dec, Enc};
+pub use fault::{FaultFile, FaultPlan};
+pub use file::{fsck_file, read_database, write_database, FsckReport, LoadedStore};
+pub use page::{PAGE_PAYLOAD, PAGE_SIZE};
+pub use store::{wal_path, OpenReport, Store};
+pub use wal::{audit, replay_into, FsMedia, ReplayReport, Wal, WalAudit, WalMedia};
+
+/// Any failure in the storage layer: an I/O error from the filesystem
+/// or a corruption finding from a checksum/decode path.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The bytes on disk are not a valid store (checksum mismatch,
+    /// truncation, bad magic, undecodable payload, …).
+    Corrupt(String),
+}
+
+impl StoreError {
+    /// A corruption finding.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        StoreError::Corrupt(msg.into())
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Corrupt(e.to_string())
+    }
+}

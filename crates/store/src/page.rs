@@ -1,0 +1,153 @@
+//! Fixed-size checksummed pages — the unit of the base-file format.
+//!
+//! Every page is [`PAGE_SIZE`] bytes: a 16-byte header (magic, CRC-32 of
+//! the payload, payload length, page type) followed by up to
+//! [`PAGE_PAYLOAD`] payload bytes and zero padding. A page either
+//! verifies exactly (magic + length bounds + checksum) or is reported
+//! corrupt; there is no partial credit, which is what makes `fsck` able
+//! to flag every damaged page individually.
+
+use crate::codec::crc32;
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+/// Bytes of header at the start of each page.
+pub const PAGE_HEADER: usize = 16;
+/// Maximum payload bytes per page.
+pub const PAGE_PAYLOAD: usize = PAGE_SIZE - PAGE_HEADER;
+
+/// Magic at the start of every page ("OSPG").
+pub const PAGE_MAGIC: u32 = 0x4750_534F;
+
+/// Page type: the table-of-contents page (always page 0).
+pub const PAGE_TOC: u8 = 1;
+/// Page type: a section payload page.
+pub const PAGE_DATA: u8 = 2;
+
+/// Why a page failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageError {
+    /// The buffer is not exactly one page long.
+    BadSize(usize),
+    /// The magic number is wrong (not a store page at all).
+    BadMagic,
+    /// The recorded payload length exceeds the page payload area.
+    BadLength(u32),
+    /// The payload checksum does not match the header.
+    BadChecksum {
+        /// CRC recorded in the header.
+        expect: u32,
+        /// CRC computed over the payload.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for PageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageError::BadSize(n) => write!(f, "page is {n} bytes, expected {PAGE_SIZE}"),
+            PageError::BadMagic => f.write_str("bad page magic"),
+            PageError::BadLength(n) => write!(f, "payload length {n} exceeds {PAGE_PAYLOAD}"),
+            PageError::BadChecksum { expect, actual } => {
+                write!(f, "checksum mismatch (header {expect:#010x}, payload {actual:#010x})")
+            }
+        }
+    }
+}
+
+/// Pack a payload (≤ [`PAGE_PAYLOAD`] bytes) into one page.
+///
+/// # Panics
+/// Panics if the payload is too large; callers chunk payloads first.
+pub fn pack_page(page_type: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= PAGE_PAYLOAD, "payload exceeds page capacity");
+    let mut page = vec![0u8; PAGE_SIZE];
+    page[0..4].copy_from_slice(&PAGE_MAGIC.to_le_bytes());
+    page[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    page[12] = page_type;
+    page[PAGE_HEADER..PAGE_HEADER + payload.len()].copy_from_slice(payload);
+    // the checksum covers length, type, padding, and payload — every
+    // meaningful byte except the magic (structurally checked) and the
+    // zero fill past the payload
+    let crc = crc32(&page[8..PAGE_HEADER + payload.len()]);
+    page[4..8].copy_from_slice(&crc.to_le_bytes());
+    page
+}
+
+/// Verify one page and return `(page_type, payload)`.
+pub fn unpack_page(page: &[u8]) -> Result<(u8, &[u8]), PageError> {
+    if page.len() != PAGE_SIZE {
+        return Err(PageError::BadSize(page.len()));
+    }
+    let magic = u32::from_le_bytes(page[0..4].try_into().expect("4 bytes"));
+    if magic != PAGE_MAGIC {
+        return Err(PageError::BadMagic);
+    }
+    let expect = u32::from_le_bytes(page[4..8].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(page[8..12].try_into().expect("4 bytes"));
+    if len as usize > PAGE_PAYLOAD {
+        return Err(PageError::BadLength(len));
+    }
+    let actual = crc32(&page[8..PAGE_HEADER + len as usize]);
+    if actual != expect {
+        return Err(PageError::BadChecksum { expect, actual });
+    }
+    Ok((page[12], &page[PAGE_HEADER..PAGE_HEADER + len as usize]))
+}
+
+/// Split a section byte stream into data pages.
+pub fn paginate(bytes: &[u8]) -> Vec<Vec<u8>> {
+    if bytes.is_empty() {
+        return vec![pack_page(PAGE_DATA, &[])];
+    }
+    bytes.chunks(PAGE_PAYLOAD).map(|chunk| pack_page(PAGE_DATA, chunk)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let payload = b"hello page".to_vec();
+        let page = pack_page(PAGE_DATA, &payload);
+        assert_eq!(page.len(), PAGE_SIZE);
+        let (ty, got) = unpack_page(&page).unwrap();
+        assert_eq!(ty, PAGE_DATA);
+        assert_eq!(got, payload.as_slice());
+    }
+
+    #[test]
+    fn every_corrupted_byte_is_detected() {
+        let page = pack_page(PAGE_TOC, b"some toc payload");
+        // flip each byte of the occupied region in turn; all must fail
+        for i in 0..(PAGE_HEADER + 16) {
+            let mut bad = page.clone();
+            bad[i] ^= 0x01;
+            assert!(unpack_page(&bad).is_err(), "flipped byte {i} went undetected");
+        }
+        // padding corruption is outside the checksummed payload: allowed
+        let mut padded = page.clone();
+        padded[PAGE_SIZE - 1] ^= 0x01;
+        assert!(unpack_page(&padded).is_ok());
+    }
+
+    #[test]
+    fn size_and_length_bounds_checked() {
+        assert_eq!(unpack_page(&[0u8; 10]), Err(PageError::BadSize(10)));
+        let mut page = pack_page(PAGE_DATA, b"x");
+        page[8..12].copy_from_slice(&(PAGE_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(matches!(unpack_page(&page), Err(PageError::BadLength(_))));
+    }
+
+    #[test]
+    fn paginate_covers_empty_and_multi_page() {
+        assert_eq!(paginate(&[]).len(), 1);
+        let big = vec![7u8; PAGE_PAYLOAD * 2 + 5];
+        let pages = paginate(&big);
+        assert_eq!(pages.len(), 3);
+        let rebuilt: Vec<u8> =
+            pages.iter().flat_map(|p| unpack_page(p).unwrap().1.to_vec()).collect();
+        assert_eq!(rebuilt, big);
+    }
+}

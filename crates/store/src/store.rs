@@ -1,0 +1,251 @@
+//! The durable store: a base file snapshot plus a write-ahead log.
+//!
+//! `Store` owns an in-memory [`Database`] whose durable form is the
+//! pair `(base file, WAL)`. Mutating statements go through
+//! [`Store::execute`], which applies them in memory and appends them to
+//! the log; [`Store::commit`] makes the open transaction durable;
+//! [`Store::checkpoint`] folds the log into a fresh base snapshot and
+//! truncates it. Reopening replays committed transactions on top of the
+//! base file, so a crash at any point recovers exactly the last
+//! committed state.
+
+use crate::file::{read_database, write_database, LoadedStore};
+use crate::wal::{FsMedia, ReplayReport, Wal, WalMedia};
+use crate::StoreError;
+use sqlkit::Database;
+use std::path::{Path, PathBuf};
+
+/// What [`Store::open`] found and did.
+#[derive(Debug, Clone)]
+pub struct OpenReport {
+    /// Replay outcome over the WAL.
+    pub replay: ReplayReport,
+    /// Size of the base file in bytes.
+    pub base_bytes: u64,
+}
+
+/// A database with durable storage underneath it.
+#[derive(Debug)]
+pub struct Store<M: WalMedia = FsMedia> {
+    path: PathBuf,
+    db: Database,
+    blobs: Vec<(String, Vec<u8>)>,
+    wal: Wal<M>,
+}
+
+/// The WAL path conventionally paired with a base store file.
+pub fn wal_path(base: &Path) -> PathBuf {
+    let mut os = base.as_os_str().to_owned();
+    os.push(".wal");
+    PathBuf::from(os)
+}
+
+impl Store<FsMedia> {
+    /// Create a store at `path` from an existing database (plus named
+    /// blobs), writing the base snapshot and an empty WAL.
+    pub fn create(
+        path: &Path,
+        db: Database,
+        blobs: Vec<(String, Vec<u8>)>,
+    ) -> Result<Self, StoreError> {
+        write_database(path, &db, &blobs)?;
+        let media = FsMedia::open(&wal_path(path))?;
+        let mut scratch = db.clone();
+        let (mut wal, _) = Wal::open(media, &mut scratch)?;
+        wal.reset()?; // a fresh base file owns all state; the log starts empty
+        Ok(Store { path: path.to_owned(), db, blobs, wal })
+    }
+
+    /// Open a store: read the base file, replay the WAL's committed
+    /// transactions, and truncate any uncommitted tail.
+    pub fn open(path: &Path) -> Result<(Self, OpenReport), StoreError> {
+        let media = FsMedia::open(&wal_path(path))?;
+        Store::open_with(path, media)
+    }
+}
+
+impl<M: WalMedia> Store<M> {
+    /// Open a store over explicit WAL media (fault-injection tests pass
+    /// a [`FaultFile`] here).
+    pub fn open_with(path: &Path, media: M) -> Result<(Self, OpenReport), StoreError> {
+        let loaded: LoadedStore = read_database(path)?;
+        let LoadedStore { mut database, blobs, file_bytes } = loaded;
+        let (wal, replay) = Wal::open(media, &mut database)?;
+        let report = OpenReport { replay, base_bytes: file_bytes };
+        Ok((Store { path: path.to_owned(), db: database, blobs, wal }, report))
+    }
+
+    /// The live database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Named blobs stored alongside the database.
+    pub fn blobs(&self) -> &[(String, Vec<u8>)] {
+        &self.blobs
+    }
+
+    /// Base file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Execute a mutating script: applied in memory immediately and
+    /// appended to the WAL as one statement record of the open
+    /// transaction. Not durable until [`Store::commit`].
+    pub fn execute(&mut self, sql: &str) -> Result<(), StoreError> {
+        // validate against the live database first so the log only ever
+        // holds statements that executed successfully
+        self.db
+            .execute_script(sql)
+            .map_err(|e| StoreError::corrupt(format!("execute: {e}")))?;
+        self.wal.append_stmt(sql)?;
+        Ok(())
+    }
+
+    /// Commit the open transaction (durable after this returns).
+    pub fn commit(&mut self) -> Result<u64, StoreError> {
+        Ok(self.wal.commit()?)
+    }
+
+    /// Write an fsync-point marker into the log.
+    pub fn fsync_mark(&mut self) -> Result<(), StoreError> {
+        Ok(self.wal.fsync_mark()?)
+    }
+
+    /// Statements executed since the last commit.
+    pub fn pending_stmts(&self) -> u64 {
+        self.wal.pending_stmts()
+    }
+
+    /// Last committed sequence number.
+    pub fn commit_seq(&self) -> u64 {
+        self.wal.seq()
+    }
+
+    /// Current WAL end offset in bytes.
+    pub fn wal_end(&self) -> u64 {
+        self.wal.end()
+    }
+
+    /// Checkpoint: commit any open transaction, write the current state
+    /// as a fresh base snapshot, and truncate the log. Returns the new
+    /// base file size.
+    pub fn checkpoint(&mut self) -> Result<u64, StoreError> {
+        if self.wal.pending_stmts() > 0 {
+            self.wal.commit()?;
+        }
+        let bytes = write_database(&self.path, &self.db, &self.blobs)?;
+        self.wal.reset()?;
+        Ok(bytes)
+    }
+}
+
+impl<M: WalMedia> Store<M> {
+    /// The WAL media itself — fault-injection tests crash it and hand
+    /// the survivor back to [`Store::open_with`].
+    pub fn media_mut(&mut self) -> &mut M {
+        self.wal.media_mut()
+    }
+
+    /// Consume the store, returning the WAL media (what "the disk"
+    /// holds after the process dies).
+    pub fn into_media(self) -> M {
+        self.wal.into_media()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("osql-store-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seed_db() -> Database {
+        let mut db = Database::new("ledger");
+        db.execute_script(
+            "CREATE TABLE acct (id INTEGER PRIMARY KEY, name TEXT, balance REAL);\
+             INSERT INTO acct VALUES (1, 'ann', 10.0), (2, 'bob', 5.5);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_open_commit_reopen() {
+        let dir = tmpdir("lifecycle");
+        let path = dir.join("ledger.store");
+        let store = Store::create(&path, seed_db(), vec![]).unwrap();
+        drop(store);
+
+        let (mut store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.replay.committed, 0);
+        store.execute("INSERT INTO acct VALUES (3, 'cal', 0.0)").unwrap();
+        store.execute("UPDATE acct SET balance = 11.0 WHERE id = 1").unwrap();
+        store.commit().unwrap();
+        drop(store);
+
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.replay.committed, 1);
+        assert_eq!(report.replay.stmts_applied, 2);
+        assert_eq!(store.database().rows("acct").unwrap().len(), 3);
+        let rs = store.database().query("SELECT balance FROM acct WHERE id = 1").unwrap();
+        assert_eq!(rs.rows[0][0], sqlkit::Value::Real(11.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_survives_reopen() {
+        let dir = tmpdir("checkpoint");
+        let path = dir.join("ledger.store");
+        let mut store = Store::create(&path, seed_db(), vec![]).unwrap();
+        store.execute("INSERT INTO acct VALUES (3, 'cal', 1.0)").unwrap();
+        store.commit().unwrap();
+        store.execute("DELETE FROM acct WHERE id = 2").unwrap();
+        // checkpoint commits the open txn, snapshots, truncates the log
+        store.checkpoint().unwrap();
+        assert_eq!(store.wal_end(), crate::wal::WAL_HEADER);
+        drop(store);
+
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.replay.committed, 0, "log was folded into the base file");
+        assert_eq!(store.database().rows("acct").unwrap().len(), 2);
+        assert!(store
+            .database()
+            .query("SELECT * FROM acct WHERE id = 2")
+            .unwrap()
+            .rows
+            .is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_statement_never_reaches_the_log() {
+        let dir = tmpdir("invalid");
+        let path = dir.join("ledger.store");
+        let mut store = Store::create(&path, seed_db(), vec![]).unwrap();
+        let end_before = store.wal_end();
+        assert!(store.execute("INSERT INTO ghost VALUES (1)").is_err());
+        assert_eq!(store.wal_end(), end_before, "failed statement must not be logged");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn blobs_survive_create_and_checkpoint() {
+        let dir = tmpdir("blobs");
+        let path = dir.join("ledger.store");
+        let blobs = vec![("meta".to_owned(), vec![9u8; 100])];
+        let mut store = Store::create(&path, seed_db(), blobs.clone()).unwrap();
+        store.execute("INSERT INTO acct VALUES (3, 'cal', 1.0)").unwrap();
+        store.checkpoint().unwrap();
+        drop(store);
+        let (store, _) = Store::open(&path).unwrap();
+        assert_eq!(store.blobs(), blobs.as_slice());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,533 @@
+//! Write-ahead log: statement-level records, commit markers, fsync
+//! points, and replay-based crash recovery.
+//!
+//! The log is an 8-byte header (`OSQLWAL1`) followed by records:
+//!
+//! ```text
+//! [kind u8][len u32 LE][payload len bytes][crc32 u32 LE]
+//! ```
+//!
+//! where the CRC covers kind, length, and payload. Record kinds are
+//! `Stmt` (a SQL statement to re-execute), `Commit` (transaction
+//! boundary carrying a sequence number), and `FsyncMark` (a durability
+//! point noted by the writer). Replay buffers statements and applies
+//! them only when their `Commit` arrives, stopping at the first
+//! truncated or corrupt record — so recovery yields exactly the state
+//! of the last fully committed transaction, no matter where the log was
+//! cut. On open the uncommitted tail is truncated away so a later
+//! commit can never resurrect orphaned statements.
+
+use crate::codec::crc32;
+use crate::StoreError;
+use sqlkit::Database;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// WAL file magic.
+pub const WAL_MAGIC: [u8; 8] = *b"OSQLWAL1";
+/// Length of the WAL header in bytes.
+pub const WAL_HEADER: u64 = 8;
+
+/// Record kind: one SQL statement of an open transaction.
+pub const REC_STMT: u8 = 1;
+/// Record kind: transaction commit (payload = sequence number).
+pub const REC_COMMIT: u8 = 2;
+/// Record kind: fsync-point marker (payload = sequence number).
+pub const REC_FSYNC: u8 = 3;
+
+/// The byte sink/source a WAL is stored on. Production uses
+/// [`FsMedia`]; tests use [`crate::FaultFile`] to inject torn writes,
+/// lost tails, corruption, and short reads.
+pub trait WalMedia {
+    /// Append bytes at the end of the log.
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+    /// Make previously appended bytes durable.
+    fn sync(&mut self) -> std::io::Result<()>;
+    /// Current length in bytes.
+    fn len(&mut self) -> std::io::Result<u64>;
+    /// True when the log holds no bytes.
+    fn is_empty(&mut self) -> std::io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+    /// Read the whole log.
+    fn read_all(&mut self) -> std::io::Result<Vec<u8>>;
+    /// Truncate the log to `len` bytes.
+    fn truncate(&mut self, len: u64) -> std::io::Result<()>;
+}
+
+/// A WAL stored on a real file.
+#[derive(Debug)]
+pub struct FsMedia {
+    file: std::fs::File,
+}
+
+impl FsMedia {
+    /// Open (or create) the WAL file at `path`.
+    pub fn open(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FsMedia { file })
+    }
+}
+
+impl WalMedia for FsMedia {
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn len(&mut self) -> std::io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn read_all(&mut self) -> std::io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        self.file.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn truncate(&mut self, len: u64) -> std::io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.sync_data()
+    }
+}
+
+/// Encode one WAL record (used by the writer and by tests that build
+/// logs byte-by-byte).
+pub fn encode_record(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(9 + payload.len());
+    rec.push(kind);
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(payload);
+    let crc = crc32(&rec);
+    rec.extend_from_slice(&crc.to_le_bytes());
+    rec
+}
+
+/// One decoded record and the offset just past it.
+enum Parsed<'a> {
+    Stmt(&'a [u8]),
+    Commit(u64),
+    Fsync,
+}
+
+/// Try to parse the record at `pos`. Returns `Ok(None)` on a clean end
+/// of log, `Err` on truncation/corruption (the finding message).
+fn parse_record(buf: &[u8], pos: usize) -> Result<Option<(Parsed<'_>, usize)>, String> {
+    if pos == buf.len() {
+        return Ok(None);
+    }
+    if buf.len() - pos < 5 {
+        return Err(format!("truncated record header at offset {pos}"));
+    }
+    let kind = buf[pos];
+    let len = u32::from_le_bytes(buf[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+    let body_end = pos + 5 + len;
+    if body_end + 4 > buf.len() {
+        return Err(format!("truncated record body at offset {pos}"));
+    }
+    let expect = u32::from_le_bytes(buf[body_end..body_end + 4].try_into().expect("4 bytes"));
+    if crc32(&buf[pos..body_end]) != expect {
+        return Err(format!("checksum mismatch in record at offset {pos}"));
+    }
+    let payload = &buf[pos + 5..body_end];
+    let parsed = match kind {
+        REC_STMT => Parsed::Stmt(payload),
+        REC_COMMIT | REC_FSYNC => {
+            if payload.len() != 8 {
+                return Err(format!("marker record at offset {pos} has bad payload length"));
+            }
+            let seq = u64::from_le_bytes(payload.try_into().expect("8 bytes"));
+            if kind == REC_COMMIT {
+                Parsed::Commit(seq)
+            } else {
+                Parsed::Fsync
+            }
+        }
+        k => return Err(format!("unknown record kind {k} at offset {pos}")),
+    };
+    Ok(Some((parsed, body_end + 4)))
+}
+
+/// What replay recovered from a log.
+#[derive(Debug, Default, Clone)]
+pub struct ReplayReport {
+    /// Fully committed transactions applied.
+    pub committed: u64,
+    /// Statements re-executed (across all committed transactions).
+    pub stmts_applied: u64,
+    /// Sequence number of the last applied commit (0 when none).
+    pub last_commit_seq: u64,
+    /// Offset just past the last committed record — the durable prefix.
+    pub committed_offset: u64,
+    /// Bytes past the committed prefix that were ignored (uncommitted
+    /// tail, truncation damage, or corruption).
+    pub tail_bytes: u64,
+    /// Why scanning stopped early, when it did.
+    pub finding: Option<String>,
+}
+
+/// Structural audit of a log (no statements are executed).
+#[derive(Debug, Default, Clone)]
+pub struct WalAudit {
+    /// Valid records scanned (all kinds).
+    pub records: u64,
+    /// Commit records among them.
+    pub commits: u64,
+    /// Fsync markers among them.
+    pub fsync_marks: u64,
+    /// Offset just past the last commit record.
+    pub committed_offset: u64,
+    /// Bytes past the committed prefix.
+    pub tail_bytes: u64,
+    /// Corruption/truncation finding, if scanning stopped early.
+    pub finding: Option<String>,
+}
+
+fn header_ok(buf: &[u8]) -> Result<(), String> {
+    if buf.len() < WAL_HEADER as usize {
+        return Err(format!("log is {} bytes, shorter than the header", buf.len()));
+    }
+    if buf[..8] != WAL_MAGIC {
+        return Err("bad WAL magic".to_owned());
+    }
+    Ok(())
+}
+
+/// Replay a log's committed transactions into `db`.
+///
+/// Statements are buffered per transaction and applied only when the
+/// transaction's commit record is reached intact; scanning stops at the
+/// first truncated or corrupt record. An empty or header-less log
+/// replays to zero commits rather than erroring — that is what a crash
+/// before the first sync looks like.
+pub fn replay_into(db: &mut Database, buf: &[u8]) -> Result<ReplayReport, StoreError> {
+    let mut report = ReplayReport::default();
+    if buf.is_empty() {
+        return Ok(report);
+    }
+    if let Err(msg) = header_ok(buf) {
+        report.finding = Some(msg);
+        report.tail_bytes = buf.len() as u64;
+        return Ok(report);
+    }
+    report.committed_offset = WAL_HEADER;
+    let mut pos = WAL_HEADER as usize;
+    let mut pending: Vec<&[u8]> = Vec::new();
+    loop {
+        match parse_record(buf, pos) {
+            Ok(None) => break,
+            Ok(Some((rec, next))) => {
+                match rec {
+                    Parsed::Stmt(sql) => pending.push(sql),
+                    Parsed::Commit(seq) => {
+                        for sql in pending.drain(..) {
+                            let text = std::str::from_utf8(sql).map_err(|_| {
+                                StoreError::corrupt("non-UTF-8 statement in committed record")
+                            })?;
+                            db.execute_script(text).map_err(|e| {
+                                StoreError::corrupt(format!("replay statement failed: {e}"))
+                            })?;
+                            report.stmts_applied += 1;
+                        }
+                        report.committed += 1;
+                        report.last_commit_seq = seq;
+                        report.committed_offset = next as u64;
+                    }
+                    Parsed::Fsync => {}
+                }
+                pos = next;
+            }
+            Err(msg) => {
+                report.finding = Some(msg);
+                break;
+            }
+        }
+    }
+    report.tail_bytes = buf.len() as u64 - report.committed_offset;
+    Ok(report)
+}
+
+/// Structurally audit a log without executing anything (fsck's view).
+pub fn audit(buf: &[u8]) -> WalAudit {
+    let mut audit = WalAudit::default();
+    if buf.is_empty() {
+        return audit;
+    }
+    if let Err(msg) = header_ok(buf) {
+        audit.finding = Some(msg);
+        audit.tail_bytes = buf.len() as u64;
+        return audit;
+    }
+    audit.committed_offset = WAL_HEADER;
+    let mut pos = WAL_HEADER as usize;
+    loop {
+        match parse_record(buf, pos) {
+            Ok(None) => break,
+            Ok(Some((rec, next))) => {
+                audit.records += 1;
+                match rec {
+                    Parsed::Commit(_) => {
+                        audit.commits += 1;
+                        audit.committed_offset = next as u64;
+                    }
+                    Parsed::Fsync => audit.fsync_marks += 1,
+                    Parsed::Stmt(_) => {}
+                }
+                pos = next;
+            }
+            Err(msg) => {
+                audit.finding = Some(msg);
+                break;
+            }
+        }
+    }
+    audit.tail_bytes = buf.len() as u64 - audit.committed_offset;
+    audit
+}
+
+/// An open write-ahead log positioned for appends.
+#[derive(Debug)]
+pub struct Wal<M: WalMedia> {
+    media: M,
+    end: u64,
+    seq: u64,
+    pending_stmts: u64,
+}
+
+impl<M: WalMedia> Wal<M> {
+    /// Open the log over `media`, replaying committed transactions into
+    /// `db` and truncating any uncommitted/corrupt tail so the durable
+    /// log holds exactly the committed prefix.
+    pub fn open(mut media: M, db: &mut Database) -> Result<(Self, ReplayReport), StoreError> {
+        let buf = media.read_all()?;
+        let report = replay_into(db, &buf)?;
+        if report.committed_offset < WAL_HEADER {
+            // no usable header: start the log fresh
+            media.truncate(0)?;
+            media.append(&WAL_MAGIC)?;
+            media.sync()?;
+        } else if report.committed_offset < buf.len() as u64 {
+            media.truncate(report.committed_offset)?;
+        }
+        let end = report.committed_offset.max(WAL_HEADER);
+        let wal = Wal { media, end, seq: report.last_commit_seq, pending_stmts: 0 };
+        Ok((wal, report))
+    }
+
+    /// Append one statement record (not durable until [`Wal::commit`]).
+    pub fn append_stmt(&mut self, sql: &str) -> std::io::Result<()> {
+        let rec = encode_record(REC_STMT, sql.as_bytes());
+        self.media.append(&rec)?;
+        self.end += rec.len() as u64;
+        self.pending_stmts += 1;
+        Ok(())
+    }
+
+    /// Commit the open transaction: write the commit record, fsync, and
+    /// return the new commit sequence number.
+    pub fn commit(&mut self) -> std::io::Result<u64> {
+        self.seq += 1;
+        let rec = encode_record(REC_COMMIT, &self.seq.to_le_bytes());
+        self.media.append(&rec)?;
+        self.media.sync()?;
+        self.end += rec.len() as u64;
+        self.pending_stmts = 0;
+        Ok(self.seq)
+    }
+
+    /// Write an fsync-point marker and sync.
+    pub fn fsync_mark(&mut self) -> std::io::Result<()> {
+        let rec = encode_record(REC_FSYNC, &self.seq.to_le_bytes());
+        self.media.append(&rec)?;
+        self.media.sync()?;
+        self.end += rec.len() as u64;
+        Ok(())
+    }
+
+    /// Statements appended since the last commit.
+    pub fn pending_stmts(&self) -> u64 {
+        self.pending_stmts
+    }
+
+    /// Last committed sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Current end offset of the log.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Mutable access to the underlying media (fault-injection tests).
+    pub fn media_mut(&mut self) -> &mut M {
+        &mut self.media
+    }
+
+    /// Consume the log, returning its media.
+    pub fn into_media(self) -> M {
+        self.media
+    }
+
+    /// Reset the log to an empty (header-only) state — used after a
+    /// checkpoint has folded the log into the base file.
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.media.truncate(0)?;
+        self.media.append(&WAL_MAGIC)?;
+        self.media.sync()?;
+        self.end = WAL_HEADER;
+        self.pending_stmts = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory media for unit tests (fault-free).
+    #[derive(Debug, Default, Clone)]
+    pub struct MemMedia {
+        pub buf: Vec<u8>,
+    }
+
+    impl WalMedia for MemMedia {
+        fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+            self.buf.extend_from_slice(bytes);
+            Ok(())
+        }
+        fn sync(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn len(&mut self) -> std::io::Result<u64> {
+            Ok(self.buf.len() as u64)
+        }
+        fn read_all(&mut self) -> std::io::Result<Vec<u8>> {
+            Ok(self.buf.clone())
+        }
+        fn truncate(&mut self, len: u64) -> std::io::Result<()> {
+            self.buf.truncate(len as usize);
+            Ok(())
+        }
+    }
+
+    fn base_db() -> Database {
+        let mut db = Database::new("w");
+        db.execute_script("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").unwrap();
+        db
+    }
+
+    #[test]
+    fn commit_then_replay_restores_rows() {
+        let mut db = base_db();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (2, 'b')").unwrap();
+        assert_eq!(wal.pending_stmts(), 2);
+        assert_eq!(wal.commit().unwrap(), 1);
+        let media = wal.media.clone();
+
+        let mut fresh = base_db();
+        let (_, report) = Wal::open(media, &mut fresh).unwrap();
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.stmts_applied, 2);
+        assert_eq!(report.tail_bytes, 0);
+        assert_eq!(fresh.rows("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn uncommitted_tail_is_dropped_and_truncated() {
+        let mut db = base_db();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
+        wal.commit().unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (2, 'orphan')").unwrap();
+        // crash before commit
+        let media = wal.media.clone();
+        let mut fresh = base_db();
+        let (wal2, report) = Wal::open(media, &mut fresh).unwrap();
+        assert_eq!(report.committed, 1);
+        assert!(report.tail_bytes > 0, "orphan statement was in the tail");
+        assert_eq!(fresh.rows("t").unwrap().len(), 1);
+        // the tail was physically removed: a later commit cannot resurrect it
+        let mut wal2 = wal2;
+        wal2.commit().unwrap();
+        let mut again = base_db();
+        let (_, r2) = Wal::open(wal2.media.clone(), &mut again).unwrap();
+        assert_eq!(r2.committed, 2);
+        assert_eq!(again.rows("t").unwrap().len(), 1, "orphan must not reappear");
+    }
+
+    #[test]
+    fn fsync_marks_are_scanned_but_do_not_commit() {
+        let mut db = base_db();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        wal.fsync_mark().unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
+        wal.commit().unwrap();
+        wal.fsync_mark().unwrap();
+        let a = audit(&wal.media.buf);
+        assert_eq!(a.commits, 1);
+        assert_eq!(a.fsync_marks, 2);
+        assert!(a.finding.is_none());
+        // trailing fsync mark is an ignorable tail for replay purposes
+        let mut fresh = base_db();
+        let (_, report) = Wal::open(wal.media.clone(), &mut fresh).unwrap();
+        assert_eq!(report.committed, 1);
+        assert_eq!(fresh.rows("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay_at_committed_prefix() {
+        let mut db = base_db();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
+        wal.commit().unwrap();
+        let good_end = wal.end() as usize;
+        wal.append_stmt("INSERT INTO t VALUES (2, 'b')").unwrap();
+        wal.commit().unwrap();
+        let mut media = wal.media.clone();
+        media.buf[good_end + 2] ^= 0xFF; // corrupt txn 2's statement record
+        let mut fresh = base_db();
+        let (_, report) = Wal::open(media, &mut fresh).unwrap();
+        assert_eq!(report.committed, 1, "second txn must not apply");
+        assert!(report.finding.is_some());
+        assert_eq!(fresh.rows("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let mut db = base_db();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
+        wal.commit().unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.end(), WAL_HEADER);
+        let mut fresh = base_db();
+        let (_, report) = Wal::open(wal.media.clone(), &mut fresh).unwrap();
+        assert_eq!(report.committed, 0);
+        assert_eq!(fresh.rows("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn audit_flags_corruption_with_offset() {
+        let mut db = base_db();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
+        wal.commit().unwrap();
+        let mut buf = wal.media.buf.clone();
+        buf[WAL_HEADER as usize] = 99; // unknown record kind
+        let a = audit(&buf);
+        assert_eq!(a.commits, 0);
+        assert!(a.finding.unwrap().contains("offset 8"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Crash-recovery property: cutting or corrupting the WAL at *any*
+//! byte offset and reopening yields exactly the state of the last
+//! fully committed transaction.
+//!
+//! The matrix drives [`FaultFile`] across every byte offset of a
+//! scripted workload twice — once as a torn-write truncation, once as
+//! a single-byte corruption — which is far past the 64-fault-point
+//! floor the acceptance criteria require.
+
+use osql_store::fault::{FaultFile, FaultPlan};
+use osql_store::{wal_path, write_database, Store};
+use sqlkit::value::Row;
+use sqlkit::Database;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("osql-recovery-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn base_db() -> Database {
+    let mut db = Database::new("ledger");
+    db.execute_script(
+        "CREATE TABLE acct (id INTEGER PRIMARY KEY, name TEXT, balance REAL);\
+         INSERT INTO acct VALUES (1, 'seed', 100.0);",
+    )
+    .unwrap();
+    db
+}
+
+fn rows_of(db: &Database) -> Vec<Row> {
+    db.rows("acct").unwrap().to_vec()
+}
+
+/// Run the scripted workload over a FaultFile WAL, returning the final
+/// media plus `(end_offset, expected_rows)` snapshots: snapshot `i`
+/// applies whenever the log survives to at least `end_offset` bytes.
+fn scripted_workload(path: &std::path::Path) -> (FaultFile, Vec<(u64, Vec<Row>)>) {
+    write_database(path, &base_db(), &[]).unwrap();
+    let (mut store, _) = Store::open_with(path, FaultFile::new()).unwrap();
+    // baseline: whatever survives, the base file's state is the floor
+    let mut snapshots = vec![(0u64, rows_of(store.database()))];
+    for txn in 0..12u32 {
+        let stmts = 1 + (txn % 3);
+        for s in 0..stmts {
+            let id = 10 + txn * 10 + s;
+            store
+                .execute(&format!("INSERT INTO acct VALUES ({id}, 'tx{txn}', {s}.5)"))
+                .unwrap();
+        }
+        if txn % 4 == 1 {
+            store.execute(&format!("UPDATE acct SET balance = {txn} WHERE id = 1")).unwrap();
+        }
+        if txn == 7 {
+            store.execute("DELETE FROM acct WHERE id = 10").unwrap();
+        }
+        store.commit().unwrap();
+        // snapshot at the commit boundary: a trailing fsync marker is
+        // ignorable tail, not part of the committed prefix
+        snapshots.push((store.wal_end(), rows_of(store.database())));
+        if txn % 5 == 0 {
+            store.fsync_mark().unwrap();
+        }
+    }
+    (store.into_media(), snapshots)
+}
+
+fn expected_at(snapshots: &[(u64, Vec<Row>)], survived: u64) -> &Vec<Row> {
+    &snapshots
+        .iter()
+        .rev()
+        .find(|(end, _)| *end <= survived)
+        .expect("baseline snapshot always applies")
+        .1
+}
+
+#[test]
+fn truncation_at_every_byte_offset_recovers_committed_prefix() {
+    let dir = tmpdir("truncate");
+    let path = dir.join("ledger.store");
+    let (media, snapshots) = scripted_workload(&path);
+    let total = media.raw_len() as u64;
+    assert!(total > 64, "workload WAL must exceed the 64-fault-point floor");
+    let mut fault_points = 0u64;
+    for cut in 0..=total {
+        let mut crashed = media.clone();
+        crashed.set_plan(FaultPlan { torn_tail: Some(cut), ..FaultPlan::default() });
+        crashed.crash();
+        let (store, report) =
+            Store::open_with(&path, crashed).expect("recovery must always succeed");
+        let expect = expected_at(&snapshots, cut);
+        assert_eq!(
+            &rows_of(store.database()),
+            expect,
+            "cut at byte {cut}: state is not the committed prefix \
+             (replay committed {}, finding {:?})",
+            report.replay.committed,
+            report.replay.finding,
+        );
+        fault_points += 1;
+    }
+    eprintln!("truncation fault points exercised: {fault_points}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corruption_at_every_byte_offset_recovers_committed_prefix() {
+    let dir = tmpdir("corrupt");
+    let path = dir.join("ledger.store");
+    let (media, snapshots) = scripted_workload(&path);
+    let total = media.raw_len() as u64;
+    let mut fault_points = 0u64;
+    for off in 0..total {
+        let mut sick = media.clone();
+        sick.set_plan(FaultPlan { corrupt_at: Some((off, 0xFF)), ..FaultPlan::default() });
+        let (store, _) = Store::open_with(&path, sick).expect("recovery must always succeed");
+        // replay stops inside the record containing the corrupt byte,
+        // so exactly the commits that ended before it are applied
+        let expect = expected_at(&snapshots, off);
+        assert_eq!(
+            &rows_of(store.database()),
+            expect,
+            "corruption at byte {off}: state is not the committed prefix"
+        );
+        fault_points += 1;
+    }
+    eprintln!("corruption fault points exercised: {fault_points}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovered_store_accepts_new_commits_without_resurrecting_the_tail() {
+    let dir = tmpdir("resume");
+    let path = dir.join("ledger.store");
+    let (media, snapshots) = scripted_workload(&path);
+    let total = media.raw_len() as u64;
+    // sample several cut points: after recovery, new commits must build
+    // on the committed prefix and never bring the lost tail back
+    for cut in [total / 7, total / 3, total / 2, total - 3] {
+        let mut crashed = media.clone();
+        crashed.set_plan(FaultPlan { torn_tail: Some(cut), ..FaultPlan::default() });
+        crashed.crash();
+        let (mut store, _) = Store::open_with(&path, crashed).unwrap();
+        let mut expect = expected_at(&snapshots, cut).clone();
+        store.execute("INSERT INTO acct VALUES (999, 'post-crash', 1.0)").unwrap();
+        store.commit().unwrap();
+        expect.push(vec![
+            sqlkit::Value::Int(999),
+            sqlkit::Value::text("post-crash"),
+            sqlkit::Value::Real(1.0),
+        ]);
+        let survivor = store.into_media();
+        let (reopened, _) = Store::open_with(&path, survivor).unwrap();
+        assert_eq!(rows_of(reopened.database()), expect, "cut at {cut}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn real_file_wal_recovers_after_on_disk_damage() {
+    let dir = tmpdir("fsmedia");
+    let path = dir.join("ledger.store");
+    let mut store = Store::create(&path, base_db(), vec![]).unwrap();
+    store.execute("INSERT INTO acct VALUES (2, 'two', 2.0)").unwrap();
+    store.commit().unwrap();
+    let committed = rows_of(store.database());
+    store.execute("INSERT INTO acct VALUES (3, 'three', 3.0)").unwrap();
+    store.commit().unwrap();
+    drop(store);
+    // damage the second transaction's bytes on disk
+    let wal = wal_path(&path);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let n = bytes.len();
+    bytes[n - 20] ^= 0xFF;
+    std::fs::write(&wal, &bytes).unwrap();
+    let (store, report) = Store::open(&path).unwrap();
+    assert_eq!(report.replay.committed, 1);
+    assert!(report.replay.finding.is_some());
+    assert_eq!(rows_of(store.database()), committed);
+    // the damaged tail was truncated off the real file too
+    drop(store);
+    let after = std::fs::read(&wal).unwrap();
+    assert!(after.len() < n);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn short_reads_surface_as_truncation_not_garbage() {
+    let dir = tmpdir("short");
+    let path = dir.join("ledger.store");
+    let (media, snapshots) = scripted_workload(&path);
+    let total = media.raw_len() as u64;
+    for cap in [9, total / 2, total - 1] {
+        let mut sick = media.clone();
+        sick.set_plan(FaultPlan { short_read: Some(cap), ..FaultPlan::default() });
+        let (store, _) = Store::open_with(&path, sick).unwrap();
+        assert_eq!(&rows_of(store.database()), expected_at(&snapshots, cap));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

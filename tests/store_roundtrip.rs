@@ -1,0 +1,128 @@
+//! Durable-store round trip over every generated database: dumping a
+//! database to SQL and re-executing it, then packing it into an
+//! `osql-store` page file and importing it back, must preserve the
+//! schema, every row, the generation metadata, and — the part the
+//! pipeline actually scores — the result set of every gold SQL.
+
+use datagen::{export_store, generate, import_store, Profile};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("osql-roundtrip-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn world() -> datagen::Benchmark {
+    let mut profile = Profile::tiny();
+    profile.train = 30;
+    profile.dev = 25;
+    profile.n_databases = 4;
+    profile.n_domains = 4;
+    generate(&profile)
+}
+
+#[test]
+fn every_database_round_trips_through_script_and_store() {
+    let bench = world();
+    let dir = tmpdir("script-store");
+    let paths = export_store(&bench, &dir).unwrap();
+    assert_eq!(paths.len(), bench.dbs.len());
+
+    for (db, path) in bench.dbs.iter().zip(&paths) {
+        // dump → fresh execute: the SQL round trip
+        let script = db.database.dump_script();
+        let mut fresh = sqlkit::Database::new(&db.id);
+        fresh.execute_script(&script).unwrap_or_else(|e| {
+            panic!("{}: dumped script must re-execute: {e}", db.id);
+        });
+        // SQL cannot carry column descriptions, so the script leg checks
+        // the structural schema; the store leg below checks it all.
+        let structure = |schema: &sqlkit::schema::DbSchema| {
+            schema
+                .tables
+                .iter()
+                .map(|t| {
+                    (
+                        t.name.clone(),
+                        t.columns
+                            .iter()
+                            .map(|c| (c.name.clone(), c.ty, c.primary_key))
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            structure(&fresh.schema),
+            structure(&db.database.schema),
+            "{}: script schema drift",
+            db.id
+        );
+        assert_eq!(
+            fresh.schema.foreign_keys,
+            db.database.schema.foreign_keys,
+            "{}: script FK drift",
+            db.id
+        );
+        assert_eq!(
+            fresh.total_rows(),
+            db.database.total_rows(),
+            "{}: script row-count drift",
+            db.id
+        );
+
+        // export → import: the binary round trip
+        let (back, bytes) = import_store(path).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(back.database.schema, db.database.schema, "{}: store schema drift", db.id);
+        for table in &db.database.schema.tables.clone() {
+            assert_eq!(
+                back.database.rows(&table.name).unwrap(),
+                db.database.rows(&table.name).unwrap(),
+                "{}.{}: store rows drift",
+                db.id,
+                table.name
+            );
+            assert_eq!(
+                fresh.rows(&table.name).unwrap(),
+                db.database.rows(&table.name).unwrap(),
+                "{}.{}: script rows drift",
+                db.id,
+                table.name
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gold_sql_result_sets_survive_both_round_trips() {
+    let bench = world();
+    let dir = tmpdir("gold");
+    let paths = export_store(&bench, &dir).unwrap();
+
+    let mut checked = 0usize;
+    for (db, path) in bench.dbs.iter().zip(&paths) {
+        let script = db.database.dump_script();
+        let mut fresh = sqlkit::Database::new(&db.id);
+        fresh.execute_script(&script).unwrap();
+        let (back, _) = import_store(path).unwrap();
+
+        for ex in bench.train.iter().chain(&bench.dev).chain(&bench.test) {
+            if ex.db_id != db.id {
+                continue;
+            }
+            let want = db.database.query(&ex.gold_sql).unwrap();
+            let via_script = fresh.query(&ex.gold_sql).unwrap();
+            let via_store = back.database.query(&ex.gold_sql).unwrap();
+            assert_eq!(want.rows, via_script.rows, "{}: {}", db.id, ex.gold_sql);
+            assert_eq!(want.rows, via_store.rows, "{}: {}", db.id, ex.gold_sql);
+            assert!(!want.rows.is_empty(), "gold SQL is non-empty by construction");
+            checked += 1;
+        }
+    }
+    assert!(checked > 20, "only {checked} gold queries checked — fixture too small");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
