@@ -217,7 +217,7 @@ fn bench_store(c: &mut Criterion) {
     // the numbers measure the log format, not this machine's disk. The
     // log is reset every 4096 transactions to bound buffer growth.
     let wal_base = dir.join("wal.store");
-    osql_store::write_database(&wal_base, &built.database, &[]).unwrap();
+    osql_store::write_database(&wal_base, &built.database, &[], 0).unwrap();
     let (mut store, _) =
         osql_store::Store::open_with(&wal_base, osql_store::FaultFile::new()).unwrap();
     let mut txn: u64 = 0;

@@ -178,9 +178,10 @@ fn decode_meta(
 // ---- export / import ---------------------------------------------------
 
 /// Write one built database as a store file (schema + row sections plus
-/// the metadata blob). Returns the bytes written.
+/// the metadata blob). Exports are fresh snapshots with no log history,
+/// so the TOC's `base_seq` is 0. Returns the bytes written.
 pub fn export_db_store(db: &BuiltDb, path: &Path) -> std::io::Result<u64> {
-    osql_store::write_database(path, &db.database, &[(META_BLOB.to_owned(), encode_meta(db))])
+    osql_store::write_database(path, &db.database, &[(META_BLOB.to_owned(), encode_meta(db))], 0)
 }
 
 /// Write every database of a benchmark into `dir` as `<db_id>.store`
@@ -196,9 +197,22 @@ pub fn export_store(bench: &Benchmark, dir: &Path) -> std::io::Result<Vec<PathBu
     Ok(paths)
 }
 
-/// Read one store file back into a [`BuiltDb`], returning it together
-/// with the file size in bytes (the catalog's residency cost).
-pub fn import_store(path: &Path) -> Result<(BuiltDb, u64), StoreError> {
+/// What [`import_store`] read back from disk.
+#[derive(Debug)]
+pub struct ImportedStore {
+    /// The reconstructed database plus its generation metadata.
+    pub db: BuiltDb,
+    /// Store file size in bytes (the catalog's residency cost).
+    pub file_bytes: u64,
+    /// The base file's `base_seq`: the last WAL commit its snapshot
+    /// folded in. Callers that replay a sidecar WAL on top must pass
+    /// this to `osql_store::replay_into` so folded commits are skipped.
+    pub base_seq: u64,
+}
+
+/// Read one store file back into a [`BuiltDb`], together with its byte
+/// size and the base snapshot's WAL watermark.
+pub fn import_store(path: &Path) -> Result<ImportedStore, StoreError> {
     let loaded = osql_store::read_database(path)?;
     let id = loaded.database.schema.name.clone();
     let meta = loaded
@@ -207,8 +221,8 @@ pub fn import_store(path: &Path) -> Result<(BuiltDb, u64), StoreError> {
         .find(|(name, _)| name == META_BLOB)
         .map(|(_, bytes)| bytes.as_slice())
         .ok_or_else(|| StoreError::corrupt(format!("store has no {META_BLOB} blob")))?;
-    let built = decode_meta(id, loaded.database, meta)?;
-    Ok((built, loaded.file_bytes))
+    let db = decode_meta(id, loaded.database, meta)?;
+    Ok(ImportedStore { db, file_bytes: loaded.file_bytes, base_seq: loaded.base_seq })
 }
 
 /// Open a demand-paged catalog over a directory of `<db_id>.store`
@@ -222,15 +236,15 @@ pub fn open_store_catalog(
 ) -> std::io::Result<Catalog<Benchmark>> {
     let name = bench_name.to_owned();
     Catalog::open(dir, budget, move |path: &Path| {
-        let (built, bytes) = import_store(path).map_err(std::io::Error::other)?;
+        let imported = import_store(path).map_err(std::io::Error::other)?;
         let mini = Benchmark {
             name: name.clone(),
-            dbs: vec![built],
+            dbs: vec![imported.db],
             train: Vec::new(),
             dev: Vec::new(),
             test: Vec::new(),
         };
-        Ok((mini, bytes))
+        Ok((mini, imported.file_bytes))
     })
 }
 
@@ -253,8 +267,10 @@ mod tests {
         let paths = export_store(&bench, &dir).unwrap();
         assert_eq!(paths.len(), bench.dbs.len());
         for (db, path) in bench.dbs.iter().zip(&paths) {
-            let (back, bytes) = import_store(path).unwrap();
+            let imported = import_store(path).unwrap();
+            let (back, bytes) = (imported.db, imported.file_bytes);
             assert!(bytes > 0);
+            assert_eq!(imported.base_seq, 0, "fresh exports carry no WAL history");
             assert_eq!(back.id, db.id);
             assert_eq!(back.domain, db.domain);
             assert_eq!(back.complexity, db.complexity);
@@ -304,7 +320,7 @@ mod tests {
         let bench = generate(&Profile::tiny());
         let dir = tmpdir("nometa");
         let path = dir.join("bare.store");
-        osql_store::write_database(&path, &bench.dbs[0].database, &[]).unwrap();
+        osql_store::write_database(&path, &bench.dbs[0].database, &[], 0).unwrap();
         let err = import_store(&path).unwrap_err();
         assert!(err.to_string().contains(META_BLOB));
         std::fs::remove_dir_all(&dir).unwrap();

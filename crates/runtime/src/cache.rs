@@ -254,6 +254,20 @@ enum DbSource {
     Paged(Arc<Catalog<datagen::Benchmark>>),
 }
 
+/// Why [`AssetCache::pipeline`] could not produce a pipeline.
+///
+/// The distinction matters operationally: an unknown id is a client
+/// mistake, while a load failure means a store file that *exists* could
+/// not be read — disk I/O trouble or corruption that `fsck` would flag —
+/// and must never be silently reported as "no such database".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssetMiss {
+    /// The benchmark (or catalog directory) has no database with this id.
+    UnknownDb,
+    /// The database's store file exists but failed to load.
+    LoadFailed(String),
+}
+
 /// Lazily preprocessed per-database pipelines over one benchmark.
 ///
 /// Construction builds only the benchmark-global asset (the self-taught
@@ -272,6 +286,7 @@ pub struct AssetCache {
     pipelines: Mutex<HashMap<String, Arc<Pipeline>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    load_errors: AtomicU64,
 }
 
 impl AssetCache {
@@ -292,6 +307,7 @@ impl AssetCache {
             pipelines: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            load_errors: AtomicU64::new(0),
         }
     }
 
@@ -316,6 +332,7 @@ impl AssetCache {
             pipelines: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            load_errors: AtomicU64::new(0),
         }
     }
 
@@ -336,6 +353,7 @@ impl AssetCache {
             pipelines: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            load_errors: AtomicU64::new(0),
         }
     }
 
@@ -367,22 +385,28 @@ impl AssetCache {
     }
 
     /// The pipeline for one database, preprocessing it on first touch.
-    /// `None` for ids the benchmark (or catalog) doesn't contain.
     ///
     /// In paged mode a miss demand-loads the database's store file, and
     /// any catalog evictions that causes also drop the victims' cached
     /// pipelines here — so a bounded budget genuinely bounds memory.
-    pub fn pipeline(&self, db_id: &str) -> Option<Arc<Pipeline>> {
+    ///
+    /// Fails with [`AssetMiss::UnknownDb`] for ids the benchmark (or
+    /// catalog directory) doesn't contain, and [`AssetMiss::LoadFailed`]
+    /// when a store file exists but could not be loaded — the latter is
+    /// traced as a volatile `db_load_error` event and counted in
+    /// [`AssetCache::load_errors`], never folded into the unknown-db
+    /// path, so disk corruption stays visible.
+    pub fn pipeline(&self, db_id: &str) -> Result<Arc<Pipeline>, AssetMiss> {
         let mut pipelines = self.pipelines.lock().expect("asset cache lock");
         if let Some(p) = pipelines.get(db_id) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(p.clone());
+            return Ok(p.clone());
         }
         // build under the lock: simpler, and a one-time cost per database
         let bench = match &self.source {
             DbSource::Eager(b) => b.clone(),
             DbSource::Paged(cat) => {
-                let loaded = cat.get(db_id).ok();
+                let loaded = cat.get(db_id);
                 for ev in cat.take_events() {
                     match ev {
                         CatalogEvent::Load { id, bytes, micros } => active::event_volatile(
@@ -400,14 +424,32 @@ impl AssetCache {
                         }
                     }
                 }
-                loaded?
+                match loaded {
+                    Ok(bench) => bench,
+                    // a missing store file is an unknown id; anything
+                    // else is real I/O or corruption trouble
+                    Err(_) if !cat.store_path(db_id).is_file() => {
+                        return Err(AssetMiss::UnknownDb)
+                    }
+                    Err(e) => {
+                        let reason = e.to_string();
+                        self.load_errors.fetch_add(1, Ordering::Relaxed);
+                        active::event_volatile(
+                            "db_load_error",
+                            &[("db", db_id), ("error", &reason)],
+                            &[],
+                        );
+                        return Err(AssetMiss::LoadFailed(reason));
+                    }
+                }
             }
         };
-        let pre = Preprocessed::for_db(bench, db_id, self.fewshot.clone(), self.build_tokens)?;
+        let pre = Preprocessed::for_db(bench, db_id, self.fewshot.clone(), self.build_tokens)
+            .ok_or(AssetMiss::UnknownDb)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         let p = Arc::new(Pipeline::new(Arc::new(pre), self.llm.clone(), self.config.clone()));
         pipelines.insert(db_id.to_owned(), p.clone());
-        Some(p)
+        Ok(p)
     }
 
     /// Databases preprocessed so far.
@@ -429,6 +471,12 @@ impl AssetCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Demand-loads that failed on a store file that exists (I/O error
+    /// or corruption) — never incremented for unknown ids.
+    pub fn load_errors(&self) -> u64 {
+        self.load_errors.load(Ordering::Relaxed)
+    }
 }
 
 /// Open a demand-paged catalog over a directory of `<db_id>.store` files
@@ -443,10 +491,13 @@ pub fn open_paged_catalog(
 ) -> std::io::Result<Catalog<datagen::Benchmark>> {
     let name = bench_name.to_owned();
     Catalog::open(dir, budget, move |path: &Path| {
-        let (mut built, mut bytes) = datagen::import_store(path).map_err(std::io::Error::other)?;
+        let imported = datagen::import_store(path).map_err(std::io::Error::other)?;
+        let (mut built, mut bytes) = (imported.db, imported.file_bytes);
         let wal = osql_store::wal_path(path);
         if let Ok(buf) = std::fs::read(&wal) {
-            let report = osql_store::replay_into(&mut built.database, &buf)
+            // skip commits the base snapshot already folded in (a crash
+            // inside a checkpoint leaves the full WAL next to the new base)
+            let report = osql_store::replay_into(&mut built.database, &buf, imported.base_seq)
                 .map_err(std::io::Error::other)?;
             bytes += buf.len() as u64;
             if report.committed > 0 {
@@ -580,7 +631,7 @@ mod tests {
         assert!(Arc::ptr_eq(&p1, &p2), "second lookup reuses the cached pipeline");
         assert_eq!((assets.hits(), assets.misses()), (1, 1));
         assert_eq!(assets.len(), 1, "only the touched db is preprocessed");
-        assert!(assets.pipeline("ghost").is_none());
+        assert!(matches!(assets.pipeline("ghost"), Err(AssetMiss::UnknownDb)));
     }
 
     #[test]
@@ -609,12 +660,47 @@ mod tests {
             assert_eq!(a.winner, b.winner);
             assert!(catalog.resident_bytes() <= budget, "budget must bound residency");
         }
-        assert!(paged.pipeline("ghost").is_none());
+        assert!(matches!(paged.pipeline("ghost"), Err(AssetMiss::UnknownDb)));
+        assert_eq!(paged.load_errors(), 0, "an unknown id is not a load error");
         if bench.dbs.len() > 1 {
             assert!(catalog.evictions() > 0, "a one-db budget must evict across dbs");
             // evicted dbs also lost their cached pipelines
             assert!(paged.len() <= catalog.resident().len() + 1);
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_store_surfaces_as_load_failure_not_unknown_db() {
+        let bench = Arc::new(generate(&Profile::tiny()));
+        let llm = Arc::new(SimLlm::new(
+            Arc::new(Oracle::new(bench.clone())),
+            ModelProfile::gpt_4o(),
+            5,
+        ));
+        let dir = std::env::temp_dir()
+            .join(format!("osql-corrupt-store-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        datagen::export_store(&bench, &dir).unwrap();
+        let victim = &bench.dbs[0].id;
+        // flip a byte inside the victim's store: the id still exists on
+        // disk, but its pages no longer checksum
+        let path = dir.join(format!("{victim}.store"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let catalog = Arc::new(open_paged_catalog(&dir, u64::MAX, &bench.name).unwrap());
+        let paged = AssetCache::paged(catalog, llm, PipelineConfig::fast(), &bench.train);
+        match paged.pipeline(victim) {
+            Err(AssetMiss::LoadFailed(reason)) => {
+                assert!(reason.contains("corrupt"), "reason should name the damage: {reason}")
+            }
+            Ok(_) => panic!("corruption must not produce a pipeline"),
+            Err(other) => panic!("corruption must not masquerade as unknown db: {other:?}"),
+        }
+        assert_eq!(paged.load_errors(), 1);
+        assert!(matches!(paged.pipeline("ghost"), Err(AssetMiss::UnknownDb)));
+        assert_eq!(paged.load_errors(), 1, "unknown id must not count as a load error");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -63,8 +63,8 @@ pub mod queue;
 pub mod runtime;
 
 pub use cache::{
-    config_fingerprint, normalize_question, open_paged_catalog, AssetCache, LruCache, ResultCache,
-    ResultKey,
+    config_fingerprint, normalize_question, open_paged_catalog, AssetCache, AssetMiss, LruCache,
+    ResultCache, ResultKey,
 };
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use middleware::{CallError, ResilientLlm, RetryPolicy};

@@ -7,7 +7,7 @@
 //! so the answer to every request — and any EX score computed over the
 //! answers — is identical at 1 worker and at 8.
 
-use crate::cache::{config_fingerprint, AssetCache, ResultCache, ResultKey};
+use crate::cache::{config_fingerprint, AssetCache, AssetMiss, ResultCache, ResultKey};
 use crate::metrics::{MetricsRegistry, FRACTION_BOUNDS};
 use crate::queue::{BoundedQueue, PushError};
 use opensearch_sql::{EvalReport, Module, PipelineRun};
@@ -55,6 +55,15 @@ pub struct QueryResponse {
 pub enum ServeError {
     /// The benchmark has no database with this id.
     UnknownDb(String),
+    /// The database's store file exists but failed to load (disk I/O
+    /// error or corruption) — deliberately distinct from [`Self::UnknownDb`]
+    /// so storage trouble is never mistaken for a bad request.
+    DbLoadFailed {
+        /// Database id whose store failed to load.
+        db_id: String,
+        /// The loader's error.
+        reason: String,
+    },
     /// The worker pool went away before answering (shutdown mid-flight).
     Canceled,
 }
@@ -63,6 +72,9 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::UnknownDb(id) => write!(f, "unknown database: {id}"),
+            ServeError::DbLoadFailed { db_id, reason } => {
+                write!(f, "database {db_id} failed to load: {reason}")
+            }
             ServeError::Canceled => f.write_str("request canceled by shutdown"),
         }
     }
@@ -328,11 +340,25 @@ fn worker_loop(
         // span land in one trace, popped and attached to the run after.
         active::push();
         active::event_volatile("queue_wait", &[], &[("ms", queue_wait_ms)]);
-        let Some(pipeline) = assets.pipeline(&job.req.db_id) else {
-            let _ = active::pop();
-            metrics.counter("unknown_db").inc();
-            let _ = job.reply.send(Err(ServeError::UnknownDb(job.req.db_id)));
-            continue;
+        let pipeline = match assets.pipeline(&job.req.db_id) {
+            Ok(p) => p,
+            Err(miss) => {
+                let _ = active::pop();
+                let err = match miss {
+                    AssetMiss::UnknownDb => {
+                        metrics.counter("unknown_db").inc();
+                        ServeError::UnknownDb(job.req.db_id)
+                    }
+                    AssetMiss::LoadFailed(reason) => {
+                        // storage trouble, not a bad request: its own
+                        // counter so corruption never hides in unknown_db
+                        metrics.counter("db_load_errors_total").inc();
+                        ServeError::DbLoadFailed { db_id: job.req.db_id, reason }
+                    }
+                };
+                let _ = job.reply.send(Err(err));
+                continue;
+            }
         };
         sync_store_metrics(metrics, assets);
         let started = Instant::now();

@@ -26,8 +26,9 @@ use std::path::Path;
 
 /// Store file magic ("OSQLSTO1").
 pub const STORE_MAGIC: u64 = u64::from_le_bytes(*b"OSQLSTO1");
-/// Store format version.
-pub const STORE_VERSION: u32 = 1;
+/// Store format version. Version 2 added `base_seq` to the TOC so
+/// recovery can tell which WAL commits a checkpoint already folded in.
+pub const STORE_VERSION: u32 = 2;
 
 /// What a section holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +84,11 @@ pub struct Section {
 pub struct Toc {
     /// Database name recorded in the store.
     pub db_name: String,
+    /// Sequence number of the last WAL commit folded into this base
+    /// file (0 for a fresh export). WAL replay skips commits at or
+    /// below it, so a crash between a checkpoint's base publish and its
+    /// WAL truncation cannot double-apply transactions.
+    pub base_seq: u64,
     /// Sections in file order (schema first, then tables, then blobs).
     pub sections: Vec<Section>,
 }
@@ -93,6 +99,7 @@ fn encode_toc(toc: &Toc) -> Vec<u8> {
     enc.put_u32(STORE_VERSION);
     enc.put_u32(PAGE_SIZE as u32);
     enc.put_str(&toc.db_name);
+    enc.put_u64(toc.base_seq);
     enc.put_u32(toc.sections.len() as u32);
     for s in &toc.sections {
         enc.put_u8(s.kind.tag());
@@ -121,6 +128,7 @@ fn decode_toc(payload: &[u8]) -> Result<Toc, StoreError> {
         return Err(StoreError::corrupt(format!("unsupported page size {page_size}")));
     }
     let db_name = dec.get_str()?;
+    let base_seq = dec.get_u64()?;
     let n = dec.get_u32()? as usize;
     let mut sections = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
@@ -137,7 +145,7 @@ fn decode_toc(payload: &[u8]) -> Result<Toc, StoreError> {
     if dec.remaining() != 0 {
         return Err(StoreError::corrupt("trailing bytes after TOC"));
     }
-    Ok(Toc { db_name, sections })
+    Ok(Toc { db_name, base_seq, sections })
 }
 
 /// A database reloaded from a store file.
@@ -149,17 +157,25 @@ pub struct LoadedStore {
     pub blobs: Vec<(String, Vec<u8>)>,
     /// Size of the store file in bytes (used for byte-accounted budgets).
     pub file_bytes: u64,
+    /// Last WAL commit sequence folded into this base (TOC `base_seq`);
+    /// replay must skip commits at or below it.
+    pub base_seq: u64,
 }
 
 /// Write a database (plus optional named blobs) as a store file.
 ///
 /// The file is assembled next to `path` under a `.tmp` name, fsynced,
 /// and renamed into place, so readers never observe a partial store.
+/// `base_seq` is the last WAL commit this snapshot folds in (0 for a
+/// fresh export with no log history); it is recorded in the TOC so
+/// replay can skip already-applied commits if the sidecar WAL survives
+/// a crash that the snapshot's truncation should have removed.
 /// Returns the number of bytes written.
 pub fn write_database(
     path: &Path,
     db: &Database,
     blobs: &[(String, Vec<u8>)],
+    base_seq: u64,
 ) -> std::io::Result<u64> {
     // assemble section payloads in file order
     let mut payloads: Vec<(SectionKind, String, Vec<u8>, u64)> = Vec::new();
@@ -200,7 +216,7 @@ pub fn write_database(
         });
         data_pages.extend(pages);
     }
-    let toc_bytes = encode_toc(&Toc { db_name: db.schema.name.clone(), sections });
+    let toc_bytes = encode_toc(&Toc { db_name: db.schema.name.clone(), base_seq, sections });
     if toc_bytes.len() > PAGE_PAYLOAD {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
@@ -343,7 +359,7 @@ pub fn read_database(path: &Path) -> Result<LoadedStore, StoreError> {
             toc.db_name, database.schema.name
         )));
     }
-    Ok(LoadedStore { database, blobs, file_bytes: file.len() as u64 })
+    Ok(LoadedStore { database, blobs, file_bytes: file.len() as u64, base_seq: toc.base_seq })
 }
 
 /// Full audit of a store file: every page and every section is checked,
@@ -439,9 +455,10 @@ mod tests {
         let path = dir.join("shop.store");
         let db = sample_db();
         let blobs = vec![("meta".to_owned(), vec![1u8, 2, 3, 255])];
-        let bytes = write_database(&path, &db, &blobs).unwrap();
+        let bytes = write_database(&path, &db, &blobs, 7).unwrap();
         assert_eq!(bytes % PAGE_SIZE as u64, 0);
         let loaded = read_database(&path).unwrap();
+        assert_eq!(loaded.base_seq, 7, "base_seq round-trips through the TOC");
         assert_eq!(loaded.database.schema, db.schema);
         assert_eq!(loaded.database.rows("item").unwrap(), db.rows("item").unwrap());
         assert_eq!(loaded.database.rows("sale").unwrap(), db.rows("sale").unwrap());
@@ -457,7 +474,7 @@ mod tests {
     fn corruption_anywhere_is_detected() {
         let dir = tmpdir("corrupt");
         let path = dir.join("shop.store");
-        write_database(&path, &sample_db(), &[]).unwrap();
+        write_database(&path, &sample_db(), &[], 0).unwrap();
         let clean = fs::read(&path).unwrap();
         // flip one byte in each page's payload area; read and fsck must flag it
         let pages = clean.len() / PAGE_SIZE;
@@ -481,7 +498,7 @@ mod tests {
     fn fsck_reports_every_bad_page() {
         let dir = tmpdir("multi");
         let path = dir.join("shop.store");
-        write_database(&path, &sample_db(), &[]).unwrap();
+        write_database(&path, &sample_db(), &[], 0).unwrap();
         let mut bad = fs::read(&path).unwrap();
         let pages = bad.len() / PAGE_SIZE;
         assert!(pages >= 3, "sample db should span several pages");
@@ -501,7 +518,7 @@ mod tests {
     fn clean_file_audits_clean() {
         let dir = tmpdir("clean");
         let path = dir.join("shop.store");
-        write_database(&path, &sample_db(), &[("b".into(), b"xyz".to_vec())]).unwrap();
+        write_database(&path, &sample_db(), &[("b".into(), b"xyz".to_vec())], 0).unwrap();
         let report = fsck_file(&path).unwrap();
         assert!(report.is_clean(), "findings: {:?}", report.findings);
         assert_eq!(report.sections, 4); // schema + 2 tables + 1 blob

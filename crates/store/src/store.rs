@@ -42,17 +42,19 @@ pub fn wal_path(base: &Path) -> PathBuf {
 
 impl Store<FsMedia> {
     /// Create a store at `path` from an existing database (plus named
-    /// blobs), writing the base snapshot and an empty WAL.
+    /// blobs), writing the base snapshot and an empty WAL. Any sidecar
+    /// WAL left behind by an earlier store at the same path is
+    /// truncated without being replayed — the fresh base owns all
+    /// state, and a stale log's statements need not even parse against
+    /// the new schema.
     pub fn create(
         path: &Path,
         db: Database,
         blobs: Vec<(String, Vec<u8>)>,
     ) -> Result<Self, StoreError> {
-        write_database(path, &db, &blobs)?;
+        write_database(path, &db, &blobs, 0)?;
         let media = FsMedia::open(&wal_path(path))?;
-        let mut scratch = db.clone();
-        let (mut wal, _) = Wal::open(media, &mut scratch)?;
-        wal.reset()?; // a fresh base file owns all state; the log starts empty
+        let wal = Wal::create(media)?;
         Ok(Store { path: path.to_owned(), db, blobs, wal })
     }
 
@@ -69,8 +71,8 @@ impl<M: WalMedia> Store<M> {
     /// a [`FaultFile`] here).
     pub fn open_with(path: &Path, media: M) -> Result<(Self, OpenReport), StoreError> {
         let loaded: LoadedStore = read_database(path)?;
-        let LoadedStore { mut database, blobs, file_bytes } = loaded;
-        let (wal, replay) = Wal::open(media, &mut database)?;
+        let LoadedStore { mut database, blobs, file_bytes, base_seq } = loaded;
+        let (wal, replay) = Wal::open(media, &mut database, base_seq)?;
         let report = OpenReport { replay, base_bytes: file_bytes };
         Ok((Store { path: path.to_owned(), db: database, blobs, wal }, report))
     }
@@ -131,11 +133,17 @@ impl<M: WalMedia> Store<M> {
     /// Checkpoint: commit any open transaction, write the current state
     /// as a fresh base snapshot, and truncate the log. Returns the new
     /// base file size.
+    ///
+    /// The snapshot records the current commit sequence as its
+    /// `base_seq`, so a crash after the base file is published (the
+    /// atomic rename inside [`write_database`]) but before the log is
+    /// truncated is harmless: the next open skips every WAL commit the
+    /// base already folded in instead of replaying it twice.
     pub fn checkpoint(&mut self) -> Result<u64, StoreError> {
         if self.wal.pending_stmts() > 0 {
             self.wal.commit()?;
         }
-        let bytes = write_database(&self.path, &self.db, &self.blobs)?;
+        let bytes = write_database(&self.path, &self.db, &self.blobs, self.wal.seq())?;
         self.wal.reset()?;
         Ok(bytes)
     }
@@ -221,6 +229,56 @@ mod tests {
             .unwrap()
             .rows
             .is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_checkpoint_base_publish_and_wal_reset_is_harmless() {
+        let dir = tmpdir("ckpt-crash");
+        let path = dir.join("ledger.store");
+        let mut store = Store::create(&path, seed_db(), vec![]).unwrap();
+        store.execute("INSERT INTO acct VALUES (3, 'cal', 1.0)").unwrap();
+        store.commit().unwrap();
+        store.execute("UPDATE acct SET balance = 99.0 WHERE id = 1").unwrap();
+        store.commit().unwrap();
+        let expected = store.database().rows("acct").unwrap().to_vec();
+        let seq = store.commit_seq();
+        // simulate checkpoint() crashing after the base rename but
+        // before wal.reset(): publish the folded base, keep the old WAL
+        write_database(&path, store.database(), store.blobs(), seq).unwrap();
+        drop(store);
+
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(
+            report.replay.committed, 0,
+            "commits the base folded in must not replay (the INSERT would \
+             hit a primary-key conflict and the UPDATE would double-apply)"
+        );
+        assert_eq!(report.replay.commits_skipped, 2);
+        assert_eq!(store.database().rows("acct").unwrap(), expected.as_slice());
+        assert_eq!(store.commit_seq(), seq, "sequence continues from the base");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_over_a_stale_wal_truncates_it_without_replay() {
+        let dir = tmpdir("stale-wal");
+        let path = dir.join("ledger.store");
+        // an earlier store at the same path left a committed WAL behind
+        let mut old = Store::create(&path, seed_db(), vec![]).unwrap();
+        old.execute("INSERT INTO acct VALUES (3, 'cal', 1.0)").unwrap();
+        old.commit().unwrap();
+        drop(old);
+        // recreate with a different schema: the stale log's statements
+        // don't even apply to it, and must never be replayed
+        let mut other = Database::new("ledger");
+        other.execute_script("CREATE TABLE book (id INTEGER PRIMARY KEY, title TEXT)").unwrap();
+        let store = Store::create(&path, other, vec![]).unwrap();
+        assert_eq!(store.wal_end(), crate::wal::WAL_HEADER);
+        drop(store);
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.replay.committed, 0);
+        assert!(store.database().rows("book").unwrap().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

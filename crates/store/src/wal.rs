@@ -14,8 +14,11 @@
 //! them only when their `Commit` arrives, stopping at the first
 //! truncated or corrupt record — so recovery yields exactly the state
 //! of the last fully committed transaction, no matter where the log was
-//! cut. On open the uncommitted tail is truncated away so a later
-//! commit can never resurrect orphaned statements.
+//! cut. Commits whose sequence number the base snapshot already records
+//! (its TOC `base_seq`) are skipped, so a crash between a checkpoint's
+//! base publish and its WAL truncation never double-applies them. On
+//! open the uncommitted tail is truncated away so a later commit can
+//! never resurrect orphaned statements.
 
 use crate::codec::crc32;
 use crate::StoreError;
@@ -162,9 +165,13 @@ fn parse_record(buf: &[u8], pos: usize) -> Result<Option<(Parsed<'_>, usize)>, S
 pub struct ReplayReport {
     /// Fully committed transactions applied.
     pub committed: u64,
+    /// Committed transactions skipped because the base snapshot already
+    /// folded them in (their seq was at or below the base's `base_seq`).
+    pub commits_skipped: u64,
     /// Statements re-executed (across all committed transactions).
     pub stmts_applied: u64,
-    /// Sequence number of the last applied commit (0 when none).
+    /// Sequence number of the last commit record seen, applied or
+    /// skipped (0 when none).
     pub last_commit_seq: u64,
     /// Offset just past the last committed record — the durable prefix.
     pub committed_offset: u64,
@@ -209,7 +216,19 @@ fn header_ok(buf: &[u8]) -> Result<(), String> {
 /// first truncated or corrupt record. An empty or header-less log
 /// replays to zero commits rather than erroring — that is what a crash
 /// before the first sync looks like.
-pub fn replay_into(db: &mut Database, buf: &[u8]) -> Result<ReplayReport, StoreError> {
+///
+/// `base_seq` is the last commit already folded into the base snapshot
+/// being replayed onto (the TOC's `base_seq`; 0 for a fresh export).
+/// Commits at or below it are skipped, not re-applied: a crash between
+/// a checkpoint's base publish and its WAL truncation leaves the full
+/// log next to a base that already contains the folded state, and
+/// re-executing those transactions would duplicate rows or abort on
+/// primary-key conflicts.
+pub fn replay_into(
+    db: &mut Database,
+    buf: &[u8],
+    base_seq: u64,
+) -> Result<ReplayReport, StoreError> {
     let mut report = ReplayReport::default();
     if buf.is_empty() {
         return Ok(report);
@@ -229,16 +248,23 @@ pub fn replay_into(db: &mut Database, buf: &[u8]) -> Result<ReplayReport, StoreE
                 match rec {
                     Parsed::Stmt(sql) => pending.push(sql),
                     Parsed::Commit(seq) => {
-                        for sql in pending.drain(..) {
-                            let text = std::str::from_utf8(sql).map_err(|_| {
-                                StoreError::corrupt("non-UTF-8 statement in committed record")
-                            })?;
-                            db.execute_script(text).map_err(|e| {
-                                StoreError::corrupt(format!("replay statement failed: {e}"))
-                            })?;
-                            report.stmts_applied += 1;
+                        if seq <= base_seq {
+                            // the base snapshot already holds this
+                            // transaction's effects — drop it unapplied
+                            pending.clear();
+                            report.commits_skipped += 1;
+                        } else {
+                            for sql in pending.drain(..) {
+                                let text = std::str::from_utf8(sql).map_err(|_| {
+                                    StoreError::corrupt("non-UTF-8 statement in committed record")
+                                })?;
+                                db.execute_script(text).map_err(|e| {
+                                    StoreError::corrupt(format!("replay statement failed: {e}"))
+                                })?;
+                                report.stmts_applied += 1;
+                            }
+                            report.committed += 1;
                         }
-                        report.committed += 1;
                         report.last_commit_seq = seq;
                         report.committed_offset = next as u64;
                     }
@@ -306,10 +332,16 @@ pub struct Wal<M: WalMedia> {
 impl<M: WalMedia> Wal<M> {
     /// Open the log over `media`, replaying committed transactions into
     /// `db` and truncating any uncommitted/corrupt tail so the durable
-    /// log holds exactly the committed prefix.
-    pub fn open(mut media: M, db: &mut Database) -> Result<(Self, ReplayReport), StoreError> {
+    /// log holds exactly the committed prefix. `base_seq` is the last
+    /// commit the base snapshot already folded in ([`replay_into`]
+    /// skips commits at or below it).
+    pub fn open(
+        mut media: M,
+        db: &mut Database,
+        base_seq: u64,
+    ) -> Result<(Self, ReplayReport), StoreError> {
         let buf = media.read_all()?;
-        let report = replay_into(db, &buf)?;
+        let report = replay_into(db, &buf, base_seq)?;
         if report.committed_offset < WAL_HEADER {
             // no usable header: start the log fresh
             media.truncate(0)?;
@@ -319,38 +351,69 @@ impl<M: WalMedia> Wal<M> {
             media.truncate(report.committed_offset)?;
         }
         let end = report.committed_offset.max(WAL_HEADER);
-        let wal = Wal { media, end, seq: report.last_commit_seq, pending_stmts: 0 };
+        // new commits must continue past both the log's and the base's
+        // sequence numbers, whichever is further along
+        let seq = report.last_commit_seq.max(base_seq);
+        let wal = Wal { media, end, seq, pending_stmts: 0 };
         Ok((wal, report))
+    }
+
+    /// Start a fresh, empty log over `media`, discarding whatever bytes
+    /// it held. Used by `Store::create`: a brand-new base file owns all
+    /// state, so a stale WAL left at the same path by some earlier store
+    /// must be truncated, never replayed.
+    pub fn create(mut media: M) -> std::io::Result<Self> {
+        media.truncate(0)?;
+        media.append(&WAL_MAGIC)?;
+        media.sync()?;
+        Ok(Wal { media, end: WAL_HEADER, seq: 0, pending_stmts: 0 })
+    }
+
+    /// Append `rec` and (when `sync`) make it durable. On any failure
+    /// the media is rolled back to the pre-append end (best effort), so
+    /// a retry never leaves a duplicate or partially written record
+    /// behind and `end()` keeps matching the media length.
+    fn append_record(&mut self, rec: &[u8], sync: bool) -> std::io::Result<()> {
+        let result = self.media.append(rec).and_then(|()| {
+            if sync {
+                self.media.sync()
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = result {
+            let _ = self.media.truncate(self.end);
+            return Err(e);
+        }
+        self.end += rec.len() as u64;
+        Ok(())
     }
 
     /// Append one statement record (not durable until [`Wal::commit`]).
     pub fn append_stmt(&mut self, sql: &str) -> std::io::Result<()> {
         let rec = encode_record(REC_STMT, sql.as_bytes());
-        self.media.append(&rec)?;
-        self.end += rec.len() as u64;
+        self.append_record(&rec, false)?;
         self.pending_stmts += 1;
         Ok(())
     }
 
     /// Commit the open transaction: write the commit record, fsync, and
-    /// return the new commit sequence number.
+    /// return the new commit sequence number. The in-memory sequence
+    /// advances only after both the append and the sync succeed, so a
+    /// failed commit can be retried without skipping a sequence number.
     pub fn commit(&mut self) -> std::io::Result<u64> {
-        self.seq += 1;
-        let rec = encode_record(REC_COMMIT, &self.seq.to_le_bytes());
-        self.media.append(&rec)?;
-        self.media.sync()?;
-        self.end += rec.len() as u64;
+        let seq = self.seq + 1;
+        let rec = encode_record(REC_COMMIT, &seq.to_le_bytes());
+        self.append_record(&rec, true)?;
+        self.seq = seq;
         self.pending_stmts = 0;
-        Ok(self.seq)
+        Ok(seq)
     }
 
     /// Write an fsync-point marker and sync.
     pub fn fsync_mark(&mut self) -> std::io::Result<()> {
         let rec = encode_record(REC_FSYNC, &self.seq.to_le_bytes());
-        self.media.append(&rec)?;
-        self.media.sync()?;
-        self.end += rec.len() as u64;
-        Ok(())
+        self.append_record(&rec, true)
     }
 
     /// Statements appended since the last commit.
@@ -429,7 +492,7 @@ mod tests {
     #[test]
     fn commit_then_replay_restores_rows() {
         let mut db = base_db();
-        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db, 0).unwrap();
         wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
         wal.append_stmt("INSERT INTO t VALUES (2, 'b')").unwrap();
         assert_eq!(wal.pending_stmts(), 2);
@@ -437,7 +500,7 @@ mod tests {
         let media = wal.media.clone();
 
         let mut fresh = base_db();
-        let (_, report) = Wal::open(media, &mut fresh).unwrap();
+        let (_, report) = Wal::open(media, &mut fresh, 0).unwrap();
         assert_eq!(report.committed, 1);
         assert_eq!(report.stmts_applied, 2);
         assert_eq!(report.tail_bytes, 0);
@@ -447,14 +510,14 @@ mod tests {
     #[test]
     fn uncommitted_tail_is_dropped_and_truncated() {
         let mut db = base_db();
-        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db, 0).unwrap();
         wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
         wal.commit().unwrap();
         wal.append_stmt("INSERT INTO t VALUES (2, 'orphan')").unwrap();
         // crash before commit
         let media = wal.media.clone();
         let mut fresh = base_db();
-        let (wal2, report) = Wal::open(media, &mut fresh).unwrap();
+        let (wal2, report) = Wal::open(media, &mut fresh, 0).unwrap();
         assert_eq!(report.committed, 1);
         assert!(report.tail_bytes > 0, "orphan statement was in the tail");
         assert_eq!(fresh.rows("t").unwrap().len(), 1);
@@ -462,7 +525,7 @@ mod tests {
         let mut wal2 = wal2;
         wal2.commit().unwrap();
         let mut again = base_db();
-        let (_, r2) = Wal::open(wal2.media.clone(), &mut again).unwrap();
+        let (_, r2) = Wal::open(wal2.media.clone(), &mut again, 0).unwrap();
         assert_eq!(r2.committed, 2);
         assert_eq!(again.rows("t").unwrap().len(), 1, "orphan must not reappear");
     }
@@ -470,7 +533,7 @@ mod tests {
     #[test]
     fn fsync_marks_are_scanned_but_do_not_commit() {
         let mut db = base_db();
-        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db, 0).unwrap();
         wal.fsync_mark().unwrap();
         wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
         wal.commit().unwrap();
@@ -481,7 +544,7 @@ mod tests {
         assert!(a.finding.is_none());
         // trailing fsync mark is an ignorable tail for replay purposes
         let mut fresh = base_db();
-        let (_, report) = Wal::open(wal.media.clone(), &mut fresh).unwrap();
+        let (_, report) = Wal::open(wal.media.clone(), &mut fresh, 0).unwrap();
         assert_eq!(report.committed, 1);
         assert_eq!(fresh.rows("t").unwrap().len(), 1);
     }
@@ -489,7 +552,7 @@ mod tests {
     #[test]
     fn corrupt_record_stops_replay_at_committed_prefix() {
         let mut db = base_db();
-        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db, 0).unwrap();
         wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
         wal.commit().unwrap();
         let good_end = wal.end() as usize;
@@ -498,7 +561,7 @@ mod tests {
         let mut media = wal.media.clone();
         media.buf[good_end + 2] ^= 0xFF; // corrupt txn 2's statement record
         let mut fresh = base_db();
-        let (_, report) = Wal::open(media, &mut fresh).unwrap();
+        let (_, report) = Wal::open(media, &mut fresh, 0).unwrap();
         assert_eq!(report.committed, 1, "second txn must not apply");
         assert!(report.finding.is_some());
         assert_eq!(fresh.rows("t").unwrap().len(), 1);
@@ -507,21 +570,119 @@ mod tests {
     #[test]
     fn reset_empties_the_log() {
         let mut db = base_db();
-        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db, 0).unwrap();
         wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
         wal.commit().unwrap();
         wal.reset().unwrap();
         assert_eq!(wal.end(), WAL_HEADER);
         let mut fresh = base_db();
-        let (_, report) = Wal::open(wal.media.clone(), &mut fresh).unwrap();
+        let (_, report) = Wal::open(wal.media.clone(), &mut fresh, 0).unwrap();
         assert_eq!(report.committed, 0);
         assert_eq!(fresh.rows("t").unwrap().len(), 0);
+    }
+
+    /// Media whose next append or sync fails once, then heals.
+    #[derive(Debug, Default, Clone)]
+    struct FlakyMedia {
+        inner: MemMedia,
+        fail_append: bool,
+        fail_sync: bool,
+    }
+
+    impl WalMedia for FlakyMedia {
+        fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+            if self.fail_append {
+                self.fail_append = false;
+                return Err(std::io::Error::other("injected append failure"));
+            }
+            self.inner.append(bytes)
+        }
+        fn sync(&mut self) -> std::io::Result<()> {
+            if self.fail_sync {
+                self.fail_sync = false;
+                return Err(std::io::Error::other("injected sync failure"));
+            }
+            self.inner.sync()
+        }
+        fn len(&mut self) -> std::io::Result<u64> {
+            self.inner.len()
+        }
+        fn read_all(&mut self) -> std::io::Result<Vec<u8>> {
+            self.inner.read_all()
+        }
+        fn truncate(&mut self, len: u64) -> std::io::Result<()> {
+            self.inner.truncate(len)
+        }
+    }
+
+    #[test]
+    fn replay_skips_commits_the_base_already_folded_in() {
+        let mut db = base_db();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db, 0).unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
+        wal.commit().unwrap(); // seq 1
+        wal.append_stmt("INSERT INTO t VALUES (2, 'b')").unwrap();
+        wal.commit().unwrap(); // seq 2
+        // base snapshot folded in seq 1: replay must apply only seq 2
+        let mut fresh = base_db();
+        fresh.execute_script("INSERT INTO t VALUES (1, 'a')").unwrap();
+        let (wal2, report) = Wal::open(wal.media.clone(), &mut fresh, 1).unwrap();
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.commits_skipped, 1);
+        assert_eq!(report.stmts_applied, 1);
+        assert_eq!(report.last_commit_seq, 2);
+        assert_eq!(fresh.rows("t").unwrap().len(), 2);
+        assert_eq!(wal2.seq(), 2, "new commits continue past the log's seq");
+        // base folded in everything: nothing applies, seq continues from base
+        let mut full = base_db();
+        let (wal3, report) = Wal::open(wal.media.clone(), &mut full, 2).unwrap();
+        assert_eq!((report.committed, report.commits_skipped), (0, 2));
+        assert_eq!(full.rows("t").unwrap().len(), 0);
+        assert_eq!(wal3.seq(), 2);
+    }
+
+    #[test]
+    fn create_discards_stale_bytes_without_replaying() {
+        let mut db = base_db();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db, 0).unwrap();
+        wal.append_stmt("INSERT INTO nonexistent_table VALUES (1)").unwrap();
+        // forge a commit over a statement that no longer applies
+        let rec = encode_record(REC_COMMIT, &1u64.to_le_bytes());
+        wal.media.append(&rec).unwrap();
+        let stale = wal.into_media();
+        let fresh = Wal::create(stale).unwrap();
+        assert_eq!(fresh.end(), WAL_HEADER);
+        assert_eq!(fresh.seq(), 0);
+        let mut clean = base_db();
+        let (_, report) = Wal::open(fresh.into_media(), &mut clean, 0).unwrap();
+        assert_eq!(report.committed, 0, "stale log must be gone, not replayed");
+    }
+
+    #[test]
+    fn failed_commit_does_not_advance_seq_and_retries_cleanly() {
+        let mut db = base_db();
+        let media = FlakyMedia::default();
+        let (mut wal, _) = Wal::open(media, &mut db, 0).unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
+        wal.media_mut().fail_append = true;
+        assert!(wal.commit().is_err());
+        assert_eq!(wal.seq(), 0, "failed append must not consume a sequence number");
+        wal.media_mut().fail_sync = true;
+        assert!(wal.commit().is_err());
+        assert_eq!(wal.seq(), 0, "failed sync must not consume a sequence number");
+        // the retry lands seq 1; replay sees exactly one committed txn
+        assert_eq!(wal.commit().unwrap(), 1);
+        let mut fresh = base_db();
+        let (_, report) = Wal::open(wal.media.inner.clone(), &mut fresh, 0).unwrap();
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.last_commit_seq, 1);
+        assert_eq!(fresh.rows("t").unwrap().len(), 1);
     }
 
     #[test]
     fn audit_flags_corruption_with_offset() {
         let mut db = base_db();
-        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db).unwrap();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db, 0).unwrap();
         wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
         wal.commit().unwrap();
         let mut buf = wal.media.buf.clone();

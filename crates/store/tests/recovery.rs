@@ -37,7 +37,7 @@ fn rows_of(db: &Database) -> Vec<Row> {
 /// media plus `(end_offset, expected_rows)` snapshots: snapshot `i`
 /// applies whenever the log survives to at least `end_offset` bytes.
 fn scripted_workload(path: &std::path::Path) -> (FaultFile, Vec<(u64, Vec<Row>)>) {
-    write_database(path, &base_db(), &[]).unwrap();
+    write_database(path, &base_db(), &[], 0).unwrap();
     let (mut store, _) = Store::open_with(path, FaultFile::new()).unwrap();
     // baseline: whatever survives, the base file's state is the floor
     let mut snapshots = vec![(0u64, rows_of(store.database()))];
@@ -154,6 +154,51 @@ fn recovered_store_accepts_new_commits_without_resurrecting_the_tail() {
         let (reopened, _) = Store::open_with(&path, survivor).unwrap();
         assert_eq!(rows_of(reopened.database()), expect, "cut at {cut}");
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Checkpoint crash window: `checkpoint()` publishes the folded base
+/// (atomic rename) and only then truncates the WAL. Crash between the
+/// two and the full log sits next to a base that already contains its
+/// effects — recovery must skip those commits, not replay them twice
+/// (the workload's primary-key INSERTs would otherwise conflict and
+/// make the store unopenable). The WAL is additionally cut at every
+/// byte offset: whatever survives of it, the recovered state is the
+/// checkpointed state.
+#[test]
+fn checkpoint_crash_window_never_double_replays_at_any_cut() {
+    let dir = tmpdir("ckpt-window");
+    let path = dir.join("ledger.store");
+    let (media, snapshots) = scripted_workload(&path);
+    // simulate the first half of a checkpoint: fold the final state
+    // into the base file, recording the last commit seq; the WAL is
+    // left exactly as the workload wrote it (reset never ran)
+    let (store, _) = Store::open_with(&path, media.clone()).unwrap();
+    let final_rows = snapshots.last().unwrap().1.clone();
+    assert_eq!(rows_of(store.database()), final_rows);
+    write_database(&path, store.database(), &[], store.commit_seq()).unwrap();
+    drop(store);
+
+    let total = media.raw_len() as u64;
+    let mut fault_points = 0u64;
+    for cut in 0..=total {
+        let mut crashed = media.clone();
+        crashed.set_plan(FaultPlan { torn_tail: Some(cut), ..FaultPlan::default() });
+        crashed.crash();
+        let (store, report) =
+            Store::open_with(&path, crashed).expect("recovery must always succeed");
+        assert_eq!(
+            rows_of(store.database()),
+            final_rows,
+            "cut at byte {cut}: base already folded everything in, yet replay \
+             applied {} commits (skipped {})",
+            report.replay.committed,
+            report.replay.commits_skipped,
+        );
+        assert_eq!(report.replay.committed, 0, "cut at byte {cut}");
+        fault_points += 1;
+    }
+    eprintln!("checkpoint-crash fault points exercised: {fault_points}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -74,7 +74,8 @@ fn every_database_round_trips_through_script_and_store() {
         );
 
         // export → import: the binary round trip
-        let (back, bytes) = import_store(path).unwrap();
+        let imported = import_store(path).unwrap();
+        let (back, bytes) = (imported.db, imported.file_bytes);
         assert!(bytes > 0);
         assert_eq!(back.database.schema, db.database.schema, "{}: store schema drift", db.id);
         for table in &db.database.schema.tables.clone() {
@@ -108,7 +109,7 @@ fn gold_sql_result_sets_survive_both_round_trips() {
         let script = db.database.dump_script();
         let mut fresh = sqlkit::Database::new(&db.id);
         fresh.execute_script(&script).unwrap();
-        let (back, _) = import_store(path).unwrap();
+        let back = import_store(path).unwrap().db;
 
         for ex in bench.train.iter().chain(&bench.dev).chain(&bench.test) {
             if ex.db_id != db.id {
