@@ -31,6 +31,16 @@ if cargo run --release -q -p osql-cli -- fsck "$first_store" >/dev/null 2>&1; th
     exit 1
 fi
 
+# Server gate: the HTTP serving layer must build, pass its conformance
+# smoke tests (malformed input, header/body limits, keep-alive, quota
+# and queue-full 429 paths, graceful drain) and the coalescing
+# determinism tests (one pipeline execution, byte-identical responses),
+# and stay clippy-clean.
+cargo build -p osql-server
+cargo test -q -p osql-server --test http_smoke
+cargo test -q -p osql-server --test coalesce
+cargo clippy -p osql-server --all-targets -- -D warnings
+
 cargo test -q
 cargo bench --no-run             # benches must always compile
 cargo clippy -p osql-store --all-targets -- -D warnings

@@ -1,0 +1,434 @@
+//! Closed-loop load benchmark of the HTTP serving layer over loopback.
+//!
+//! Drives `osql-server` with `datagen`'s synthetic traffic model (Zipf
+//! database popularity, configurable dedup rate, burst arrivals) from a
+//! pool of keep-alive client threads, across several scenarios:
+//!
+//! - `uniform/shards{1,4}` — fresh questions, two acceptor-shard counts;
+//! - `dedup_heavy/shards4` — 80% repeated questions: the result cache
+//!   and in-flight coalescing must cut pipeline executions well below
+//!   the request count;
+//! - `coalesce_storm/shards4` — every client fires the identical
+//!   question simultaneously: exactly one pipeline execution serves all;
+//! - `burst_saturate/shards2` — one worker, a queue of two, and large
+//!   simultaneous bursts: requests shed as `429` with `Retry-After`
+//!   while the server keeps answering.
+//!
+//! Writes `BENCH_serve.json` (QPS, p50/p99 latency, shed rate per
+//! scenario) in the current directory.
+
+use datagen::{synthesize, TrafficProfile, TrafficRequest};
+use llmsim::{ModelProfile, Oracle, SimLlm};
+use opensearch_sql::PipelineConfig;
+use osql_runtime::{AssetCache, Runtime, RuntimeConfig};
+use osql_server::{Server, ServerConfig};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+// ---- minimal loopback HTTP client --------------------------------------
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+struct Reply {
+    status: u16,
+    retry_after: Option<u64>,
+    body: String,
+}
+
+impl Client {
+    fn open(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let writer = stream.try_clone().unwrap();
+        Client { reader: BufReader::new(stream), writer }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Reply {
+        let msg = if body.is_empty() {
+            format!("{method} {path} HTTP/1.1\r\nhost: bench\r\n\r\n")
+        } else {
+            format!(
+                "{method} {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+        };
+        self.writer.write_all(msg.as_bytes()).expect("write request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status");
+        let mut content_length = 0usize;
+        let mut retry_after = None;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                match k.trim().to_ascii_lowercase().as_str() {
+                    "content-length" => content_length = v.trim().parse().unwrap_or(0),
+                    "retry-after" => retry_after = v.trim().parse().ok(),
+                    _ => {}
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        Reply { status, retry_after, body: String::from_utf8_lossy(&body).into_owned() }
+    }
+}
+
+fn query_json(req: &TrafficRequest) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        "{{\"db_id\":\"{}\",\"question\":\"{}\",\"evidence\":\"{}\"}}",
+        escape(&req.db_id),
+        escape(&req.question),
+        escape(&req.evidence)
+    )
+}
+
+// ---- dispatcher: burst-aware shared work queue --------------------------
+
+struct WorkQueue {
+    ready: Mutex<(VecDeque<TrafficRequest>, bool)>,
+    wake: Condvar,
+}
+
+impl WorkQueue {
+    fn new() -> Self {
+        WorkQueue { ready: Mutex::new((VecDeque::new(), false)), wake: Condvar::new() }
+    }
+
+    fn push_burst(&self, burst: Vec<TrafficRequest>) {
+        let mut guard = self.ready.lock().unwrap();
+        guard.0.extend(burst);
+        self.wake.notify_all();
+    }
+
+    fn close(&self) {
+        self.ready.lock().unwrap().1 = true;
+        self.wake.notify_all();
+    }
+
+    fn pop(&self) -> Option<TrafficRequest> {
+        let mut guard = self.ready.lock().unwrap();
+        loop {
+            if let Some(req) = guard.0.pop_front() {
+                return Some(req);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.wake.wait(guard).unwrap();
+        }
+    }
+}
+
+// ---- one scenario -------------------------------------------------------
+
+#[derive(Debug)]
+struct ScenarioResult {
+    requests: u64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    ok: u64,
+    shed: u64,
+    shed_rate: f64,
+    pipeline_runs: u64,
+    cache_hits: u64,
+    coalesced: u64,
+}
+
+struct Scenario<'a> {
+    name: &'static str,
+    shards: usize,
+    workers: usize,
+    queue: usize,
+    result_cache: usize,
+    clients: usize,
+    traffic: &'a [TrafficRequest],
+}
+
+fn run_scenario(bench: &Arc<datagen::Benchmark>, s: &Scenario) -> ScenarioResult {
+    let llm =
+        Arc::new(SimLlm::new(Arc::new(Oracle::new(bench.clone())), ModelProfile::gpt_4o(), 0xCAFE));
+    let assets = Arc::new(AssetCache::new(bench.clone(), llm, PipelineConfig::fast()));
+    let rt = Arc::new(Runtime::start(
+        assets,
+        RuntimeConfig {
+            workers: s.workers,
+            queue_capacity: s.queue,
+            result_cache_capacity: s.result_cache,
+            ..RuntimeConfig::default()
+        },
+    ));
+    let server = Server::start(
+        rt.clone(),
+        "127.0.0.1:0",
+        ServerConfig { shards: s.shards, ..ServerConfig::default() },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let work = Arc::new(WorkQueue::new());
+    let barrier = Arc::new(Barrier::new(s.clients + 1));
+    let clients: Vec<_> = (0..s.clients)
+        .map(|_| {
+            let work = work.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::open(addr);
+                let mut latencies: Vec<f64> = Vec::new();
+                let mut ok = 0u64;
+                let mut shed = 0u64;
+                barrier.wait();
+                while let Some(req) = work.pop() {
+                    let body = query_json(&req);
+                    let t0 = Instant::now();
+                    let reply = client.request("POST", "/v1/query", &body);
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    match reply.status {
+                        200 => ok += 1,
+                        429 => {
+                            assert!(
+                                reply.retry_after.is_some(),
+                                "429 without Retry-After: {}",
+                                reply.body
+                            );
+                            shed += 1;
+                        }
+                        other => panic!("unexpected status {other}: {}", reply.body),
+                    }
+                }
+                (latencies, ok, shed)
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let started = Instant::now();
+    // dispatch burst-by-burst, honoring the schedule's gaps
+    let mut burst: Vec<TrafficRequest> = Vec::new();
+    for req in s.traffic {
+        if req.delay_before_ms > 0 && !burst.is_empty() {
+            work.push_burst(std::mem::take(&mut burst));
+            std::thread::sleep(Duration::from_millis(req.delay_before_ms));
+        }
+        burst.push(req.clone());
+    }
+    work.push_burst(burst);
+    work.close();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for c in clients {
+        let (lat, o, sh) = c.join().expect("client thread");
+        latencies.extend(lat);
+        ok += o;
+        shed += sh;
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+    // the server must still be healthy after the run
+    let mut probe = Client::open(addr);
+    assert_eq!(probe.request("GET", "/healthz", "").status, 200, "server died during {}", s.name);
+    drop(probe);
+    assert!(server.shutdown(), "drain failed for {}", s.name);
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let quantile = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+    let requests = latencies.len() as u64;
+    ScenarioResult {
+        requests,
+        qps: requests as f64 / elapsed,
+        p50_ms: quantile(0.50),
+        p99_ms: quantile(0.99),
+        ok,
+        shed,
+        shed_rate: shed as f64 / requests.max(1) as f64,
+        pipeline_runs: rt.metrics().counter("result_cache_misses").get(),
+        cache_hits: rt.metrics().counter("result_cache_hits").get(),
+        coalesced: rt.metrics().counter("coalesced_requests_total").get(),
+    }
+}
+
+// ---- artifact ----------------------------------------------------------
+
+/// Days-since-epoch → (year, month, day), Howard Hinnant's civil
+/// algorithm.
+fn civil_date(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let (y, m, d) = civil_date((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    eprintln!("building tiny world ...");
+    let bench = Arc::new(datagen::generate(&datagen::Profile::tiny()));
+
+    let uniform = synthesize(
+        &bench,
+        &TrafficProfile { requests: 240, dedup_rate: 0.0, ..TrafficProfile::default() },
+    );
+    let dedup = synthesize(&bench, &TrafficProfile::dedup_heavy(240, 0xD0));
+    let ex = &bench.dev[0];
+    let storm: Vec<TrafficRequest> = (0..64)
+        .map(|i| TrafficRequest {
+            db_id: ex.db_id.clone(),
+            question: ex.question.clone(),
+            evidence: ex.evidence.clone(),
+            delay_before_ms: 0,
+            is_repeat: i > 0,
+        })
+        .collect();
+    let bursts = synthesize(&bench, &TrafficProfile::bursty(160, 40, 0xB0));
+
+    let scenarios = [
+        Scenario {
+            name: "uniform/shards1",
+            shards: 1,
+            workers: 2,
+            queue: 64,
+            result_cache: 1024,
+            clients: 8,
+            traffic: &uniform,
+        },
+        Scenario {
+            name: "uniform/shards4",
+            shards: 4,
+            workers: 2,
+            queue: 64,
+            result_cache: 1024,
+            clients: 8,
+            traffic: &uniform,
+        },
+        Scenario {
+            name: "dedup_heavy/shards4",
+            shards: 4,
+            workers: 2,
+            queue: 64,
+            result_cache: 1024,
+            clients: 8,
+            traffic: &dedup,
+        },
+        Scenario {
+            name: "coalesce_storm/shards4",
+            shards: 4,
+            workers: 2,
+            queue: 64,
+            result_cache: 1024,
+            clients: 16,
+            traffic: &storm,
+        },
+        Scenario {
+            name: "burst_saturate/shards2",
+            shards: 2,
+            workers: 1,
+            queue: 2,
+            result_cache: 1024,
+            clients: 16,
+            traffic: &bursts,
+        },
+    ];
+
+    let mut results = String::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        eprintln!(
+            "running {} ({} requests, {} clients, {} shard(s)) ...",
+            s.name,
+            s.traffic.len(),
+            s.clients,
+            s.shards
+        );
+        let r = run_scenario(&bench, s);
+        eprintln!(
+            "  {:>8.1} q/s  p50 {:>6.2} ms  p99 {:>6.2} ms  ok {}  shed {}  \
+             pipeline {}  cache {}  coalesced {}",
+            r.qps, r.p50_ms, r.p99_ms, r.ok, r.shed, r.pipeline_runs, r.cache_hits, r.coalesced
+        );
+        match s.name {
+            "dedup_heavy/shards4" => assert!(
+                r.pipeline_runs * 2 < r.requests,
+                "dedup traffic must cut pipeline executions below half the requests \
+                 (ran {} of {})",
+                r.pipeline_runs,
+                r.requests
+            ),
+            "coalesce_storm/shards4" => {
+                assert_eq!(
+                    r.pipeline_runs, 1,
+                    "identical concurrent requests must collapse to one pipeline execution"
+                );
+                assert_eq!(r.ok, r.requests, "every storm request must be answered");
+            }
+            "burst_saturate/shards2" => {
+                assert!(r.shed > 0, "saturating bursts must shed with 429s");
+                assert!(r.ok > 0, "the server must keep serving under saturation");
+            }
+            _ => {}
+        }
+        if i > 0 {
+            results.push_str(",\n");
+        }
+        let _ = write!(
+            results,
+            "    \"{}\": {{\n      \"qps\": {:.1},\n      \"p50_ms\": {:.2},\n      \
+             \"p99_ms\": {:.2},\n      \"requests\": {},\n      \"ok\": {},\n      \
+             \"shed\": {},\n      \"shed_rate\": {:.3},\n      \"pipeline_runs\": {},\n      \
+             \"result_cache_hits\": {},\n      \"coalesced_requests\": {}\n    }}",
+            s.name,
+            r.qps,
+            r.p50_ms,
+            r.p99_ms,
+            r.requests,
+            r.ok,
+            r.shed,
+            r.shed_rate,
+            r.pipeline_runs,
+            r.cache_hits,
+            r.coalesced
+        );
+    }
+
+    let artifact = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"command\": \"cargo run --release -p osql-bench \
+         --bin serve_load\",\n  \"date\": \"{}\",\n  \"host\": \"loopback closed-loop, release \
+         profile, tiny world, simulated LLM (modelled latency, not slept)\",\n  \"units\": \
+         \"qps, latency ms, counts\",\n  \"results\": {{\n{}\n  }}\n}}\n",
+        today(),
+        results
+    );
+    std::fs::write("BENCH_serve.json", &artifact).expect("write BENCH_serve.json");
+    eprintln!("wrote BENCH_serve.json");
+}

@@ -26,6 +26,7 @@ use std::io::{BufRead, Write};
 const USAGE: &str = "usage: opensearch-sql [batch|serve|profile] [--profile tiny|mini|bird|spider] \
                      [--scale f] [--workers n] [--queue n] [--limit n] [--rounds n]\n\
        opensearch-sql serve --store <dir> [--budget bytes] # demand-page databases off disk\n\
+       opensearch-sql serve --http <addr> [--shards n]     # HTTP/1.1 API (POST /v1/query, GET /metrics)\n\
        opensearch-sql lint <db_id> <sql> [--profile ...]   # static-analyze one SQL string\n\
        opensearch-sql trace <db_id> <question> [--json]    # serve one question, dump its trace\n\
        opensearch-sql profile [--limit n] [--rounds n]     # per-stage latency table over a batch\n\
@@ -100,6 +101,18 @@ fn main() {
             "--budget" => {
                 if let Some(v) = value.and_then(|s| s.parse().ok()) {
                     opts.budget = v;
+                }
+                i += 1;
+            }
+            "--http" => {
+                if let Some(v) = value {
+                    opts.http = Some(v.clone());
+                }
+                i += 1;
+            }
+            "--shards" => {
+                if let Some(v) = value.and_then(|s| s.parse().ok()) {
+                    opts.shards = v;
                 }
                 i += 1;
             }
@@ -193,6 +206,12 @@ fn main() {
                 opts.profile, opts.scale, opts.workers
             );
             print!("{}", serve::run_batch(&opts));
+        }
+        "serve" if opts.http.is_some() => {
+            eprintln!("building {} world (scale {}) ...", opts.profile, opts.scale);
+            let stdin = std::io::stdin();
+            let mut input = stdin.lock();
+            print!("{}", serve::run_http_serve(&opts, &mut input));
         }
         "serve" => {
             eprintln!("building {} world (scale {}) ...", opts.profile, opts.scale);

@@ -1,0 +1,243 @@
+//! Serving-traffic synthesis for load benchmarks.
+//!
+//! Real text-to-SQL serving traffic is not a uniform sweep of the dev
+//! split: a few hot databases dominate (Zipf popularity), users repeat
+//! each other's questions (dedup), and arrivals come in bursts rather
+//! than a smooth open loop. [`synthesize`] turns a generated
+//! [`Benchmark`] into a deterministic request schedule with those three
+//! knobs, for driving the HTTP serving layer closed-loop.
+
+use crate::bench::Benchmark;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Traffic-shape knobs.
+#[derive(Debug, Clone)]
+pub struct TrafficProfile {
+    /// Total requests to schedule.
+    pub requests: usize,
+    /// Zipf exponent for database popularity (0 = uniform; ~1 = heavy
+    /// head).
+    pub zipf_s: f64,
+    /// Probability a request repeats an already-issued question verbatim
+    /// (fuel for result caching and in-flight coalescing).
+    pub dedup_rate: f64,
+    /// Arrivals per burst; the schedule marks a pause before each burst.
+    pub burst_len: usize,
+    /// Milliseconds of idle time between bursts.
+    pub burst_gap_ms: u64,
+    /// RNG seed; same seed + same benchmark → same schedule.
+    pub seed: u64,
+}
+
+impl Default for TrafficProfile {
+    fn default() -> Self {
+        TrafficProfile {
+            requests: 200,
+            zipf_s: 1.0,
+            dedup_rate: 0.0,
+            burst_len: 16,
+            burst_gap_ms: 5,
+            seed: 0x7AFF1C,
+        }
+    }
+}
+
+impl TrafficProfile {
+    /// A profile where most requests duplicate recent ones — exercises
+    /// the result cache and in-flight coalescing.
+    pub fn dedup_heavy(requests: usize, seed: u64) -> Self {
+        TrafficProfile { requests, dedup_rate: 0.8, burst_len: 32, ..Self::default() }
+            .with_seed(seed)
+    }
+
+    /// A profile of large simultaneous bursts — exercises admission
+    /// control and shedding.
+    pub fn bursty(requests: usize, burst_len: usize, seed: u64) -> Self {
+        TrafficProfile { requests, burst_len, burst_gap_ms: 20, ..Self::default() }
+            .with_seed(seed)
+    }
+
+    fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone)]
+pub struct TrafficRequest {
+    /// Target database.
+    pub db_id: String,
+    /// Question text.
+    pub question: String,
+    /// Evidence ("" when none).
+    pub evidence: String,
+    /// Milliseconds the dispatcher should idle before issuing this
+    /// request (non-zero only at burst boundaries).
+    pub delay_before_ms: u64,
+    /// Whether this request repeats an earlier one verbatim.
+    pub is_repeat: bool,
+}
+
+/// Build a deterministic request schedule over a benchmark's dev split.
+///
+/// Databases are ranked by the seeded RNG and sampled with
+/// Zipf(`zipf_s`) popularity; fresh requests walk the chosen database's
+/// questions round-robin; repeats re-issue a uniformly chosen earlier
+/// request.
+pub fn synthesize(benchmark: &Benchmark, profile: &TrafficProfile) -> Vec<TrafficRequest> {
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+
+    // per-db question pools, in stable db order, then shuffled into a
+    // seeded popularity ranking
+    let mut db_ids: Vec<&str> = benchmark.dbs.iter().map(|db| db.id.as_str()).collect();
+    db_ids.shuffle(&mut rng);
+    let pools: Vec<Vec<usize>> = db_ids
+        .iter()
+        .map(|id| {
+            benchmark
+                .dev
+                .iter()
+                .enumerate()
+                .filter(|(_, ex)| ex.db_id == *id)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    let ranked: Vec<usize> =
+        (0..db_ids.len()).filter(|&i| !pools[i].is_empty()).collect();
+    assert!(!ranked.is_empty(), "benchmark has no dev examples");
+
+    // Zipf CDF over the ranked databases
+    let weights: Vec<f64> =
+        (0..ranked.len()).map(|rank| 1.0 / ((rank + 1) as f64).powf(profile.zipf_s)).collect();
+    let total: f64 = weights.iter().sum();
+
+    let mut cursors = vec![0usize; ranked.len()];
+    let mut schedule: Vec<TrafficRequest> = Vec::with_capacity(profile.requests);
+    for n in 0..profile.requests {
+        let delay_before_ms = if n > 0 && profile.burst_len > 0 && n % profile.burst_len == 0 {
+            profile.burst_gap_ms
+        } else {
+            0
+        };
+        let repeat = !schedule.is_empty() && rng.gen_bool(profile.dedup_rate.clamp(0.0, 1.0));
+        if repeat {
+            let earlier = rng.gen_range(0..schedule.len());
+            let prior = &schedule[earlier];
+            schedule.push(TrafficRequest {
+                db_id: prior.db_id.clone(),
+                question: prior.question.clone(),
+                evidence: prior.evidence.clone(),
+                delay_before_ms,
+                is_repeat: true,
+            });
+            continue;
+        }
+        // inverse-CDF Zipf draw
+        let mut draw = rng.gen_range(0.0..total);
+        let mut pick = 0usize;
+        for (rank, w) in weights.iter().enumerate() {
+            if draw < *w {
+                pick = rank;
+                break;
+            }
+            draw -= w;
+            pick = rank;
+        }
+        let pool = &pools[ranked[pick]];
+        let ex = &benchmark.dev[pool[cursors[pick] % pool.len()]];
+        cursors[pick] += 1;
+        schedule.push(TrafficRequest {
+            db_id: ex.db_id.clone(),
+            question: ex.question.clone(),
+            evidence: ex.evidence.clone(),
+            delay_before_ms,
+            is_repeat: false,
+        });
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::{generate, Profile};
+    use std::collections::HashMap;
+
+    fn world() -> Benchmark {
+        generate(&Profile::tiny())
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let bench = world();
+        let profile = TrafficProfile { requests: 64, seed: 9, ..TrafficProfile::default() };
+        let a = synthesize(&bench, &profile);
+        let b = synthesize(&bench, &profile);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((&x.db_id, &x.question), (&y.db_id, &y.question));
+        }
+        let c = synthesize(&bench, &TrafficProfile { seed: 10, ..profile });
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.question != y.question),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn dedup_rate_produces_repeats() {
+        let bench = world();
+        let heavy = synthesize(&bench, &TrafficProfile::dedup_heavy(300, 3));
+        let repeats = heavy.iter().filter(|r| r.is_repeat).count();
+        assert!(
+            (150..300).contains(&repeats),
+            "~80% of 300 should repeat, got {repeats}"
+        );
+        let fresh = synthesize(
+            &bench,
+            &TrafficProfile { requests: 300, dedup_rate: 0.0, ..TrafficProfile::default() },
+        );
+        assert!(fresh.iter().all(|r| !r.is_repeat));
+    }
+
+    #[test]
+    fn zipf_skews_database_popularity() {
+        let bench = world();
+        let schedule = synthesize(
+            &bench,
+            &TrafficProfile {
+                requests: 400,
+                zipf_s: 1.4,
+                dedup_rate: 0.0,
+                ..TrafficProfile::default()
+            },
+        );
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for r in &schedule {
+            *counts.entry(r.db_id.as_str()).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let min = counts.values().copied().min().unwrap();
+        assert!(
+            max >= 2 * min.max(1),
+            "expected a hot head under zipf: max {max}, min {min}"
+        );
+    }
+
+    #[test]
+    fn bursts_carry_gaps_at_boundaries() {
+        let bench = world();
+        let schedule = synthesize(&bench, &TrafficProfile::bursty(50, 10, 1));
+        for (i, r) in schedule.iter().enumerate() {
+            if i > 0 && i % 10 == 0 {
+                assert_eq!(r.delay_before_ms, 20, "at {i}");
+            } else {
+                assert_eq!(r.delay_before_ms, 0, "at {i}");
+            }
+        }
+    }
+}

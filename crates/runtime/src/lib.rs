@@ -70,6 +70,6 @@ pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use middleware::{CallError, ResilientLlm, RetryPolicy};
 pub use queue::{BoundedQueue, PushError};
 pub use runtime::{
-    QueryRequest, QueryResponse, Runtime, RuntimeConfig, ServeError, SubmitError, Throughput,
-    Ticket,
+    CancelReason, QueryRequest, QueryResponse, QueueStats, Runtime, RuntimeConfig, ServeError,
+    SubmitError, Throughput, Ticket,
 };

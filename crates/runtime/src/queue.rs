@@ -9,6 +9,7 @@
 //! observe `None`.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Why a push was refused. Both variants hand the item back so callers
@@ -50,6 +51,8 @@ pub struct BoundedQueue<T> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    pushed: AtomicU64,
+    popped: AtomicU64,
 }
 
 impl<T> BoundedQueue<T> {
@@ -61,12 +64,25 @@ impl<T> BoundedQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            pushed: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
         }
     }
 
     /// Maximum number of queued items.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Items ever accepted (cumulative, monotonic).
+    pub fn pushed_total(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Items ever dequeued (cumulative, monotonic) — the drain counter
+    /// that admission control differentiates into a drain *rate*.
+    pub fn popped_total(&self) -> u64 {
+        self.popped.load(Ordering::Relaxed)
     }
 
     /// Items currently queued.
@@ -89,6 +105,7 @@ impl<T> BoundedQueue<T> {
             }
             if inner.items.len() < self.capacity {
                 inner.items.push_back(item);
+                self.pushed.fetch_add(1, Ordering::Relaxed);
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -106,6 +123,7 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full(item));
         }
         inner.items.push_back(item);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -116,6 +134,7 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
             if let Some(item) = inner.items.pop_front() {
+                self.popped.fetch_add(1, Ordering::Relaxed);
                 self.not_full.notify_one();
                 return Some(item);
             }
@@ -155,6 +174,23 @@ mod tests {
         assert_eq!(q.len(), 4);
         assert_eq!(q.try_push(9), Err(PushError::Full(9)));
         assert_eq!((0..4).map(|_| q.pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn push_pop_counters_are_cumulative() {
+        let q = BoundedQueue::new(4);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        assert_eq!((q.pushed_total(), q.popped_total()), (3, 0));
+        q.pop();
+        q.pop();
+        assert_eq!((q.pushed_total(), q.popped_total()), (3, 2));
+        q.try_push(9).unwrap();
+        assert_eq!(q.pushed_total(), 4);
+        assert_eq!(q.try_push(10).and(q.try_push(11)), Ok(()));
+        assert!(q.try_push(12).is_err(), "full at capacity 4");
+        assert_eq!(q.pushed_total(), 6, "a refused push is not counted");
     }
 
     #[test]

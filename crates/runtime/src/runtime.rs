@@ -13,7 +13,7 @@ use crate::queue::{BoundedQueue, PushError};
 use opensearch_sql::{EvalReport, Module, PipelineRun};
 use osql_trace::{active, QueryTrace, TraceCollector};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 /// One query for the runtime to serve.
@@ -64,8 +64,33 @@ pub enum ServeError {
         /// The loader's error.
         reason: String,
     },
-    /// The worker pool went away before answering (shutdown mid-flight).
-    Canceled,
+    /// The reply channel died before an answer arrived. The reason says
+    /// whether that was an orderly shutdown (retryable elsewhere — a
+    /// server maps it to 503) or a lost worker (a bug — 500); conflating
+    /// the two would let panics masquerade as clean drains.
+    Canceled {
+        /// What killed the reply channel.
+        reason: CancelReason,
+    },
+}
+
+/// Why a pending request's reply channel died (see
+/// [`ServeError::Canceled`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The runtime was shut down before (or while) the request ran.
+    Shutdown,
+    /// The reply sender vanished while the runtime was still accepting
+    /// work — a worker panicked mid-job or the job was dropped without a
+    /// reply. This is a defect, not an operational state.
+    WorkerLost,
+}
+
+impl ServeError {
+    /// Shorthand for an orderly-shutdown cancellation.
+    pub fn canceled_by_shutdown() -> Self {
+        ServeError::Canceled { reason: CancelReason::Shutdown }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -75,7 +100,12 @@ impl std::fmt::Display for ServeError {
             ServeError::DbLoadFailed { db_id, reason } => {
                 write!(f, "database {db_id} failed to load: {reason}")
             }
-            ServeError::Canceled => f.write_str("request canceled by shutdown"),
+            ServeError::Canceled { reason: CancelReason::Shutdown } => {
+                f.write_str("request canceled by shutdown")
+            }
+            ServeError::Canceled { reason: CancelReason::WorkerLost } => {
+                f.write_str("request lost: reply channel died without a shutdown")
+            }
         }
     }
 }
@@ -103,15 +133,33 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 /// A pending answer; redeem with [`Ticket::wait`].
-#[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<Result<QueryResponse, ServeError>>,
+    queue: Arc<BoundedQueue<Job>>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
 }
 
 impl Ticket {
     /// Block until the answer arrives.
+    ///
+    /// A dead reply channel is reported as [`ServeError::Canceled`] with
+    /// a reason: [`CancelReason::Shutdown`] when the runtime's queue has
+    /// been closed (orderly drain), [`CancelReason::WorkerLost`] when it
+    /// hasn't — the sender can only have vanished to a worker panic.
     pub fn wait(self) -> Result<QueryResponse, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::Canceled))
+        self.rx.recv().unwrap_or_else(|_| {
+            let reason = if self.queue.is_closed() {
+                CancelReason::Shutdown
+            } else {
+                CancelReason::WorkerLost
+            };
+            Err(ServeError::Canceled { reason })
+        })
     }
 }
 
@@ -154,6 +202,78 @@ struct Job {
     reply: mpsc::Sender<Result<QueryResponse, ServeError>>,
 }
 
+/// A point-in-time view of the request queue for admission control.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueStats {
+    /// Requests waiting right now.
+    pub depth: usize,
+    /// Maximum queued requests.
+    pub capacity: usize,
+    /// Requests ever dequeued by workers (cumulative).
+    pub drained_total: u64,
+    /// Recent drain rate in requests/second, from a sliding window of
+    /// drain-counter samples (lifetime average until the window has two
+    /// samples far enough apart). 0.0 before anything has drained.
+    pub drain_rate_per_sec: f64,
+}
+
+impl QueueStats {
+    /// Seconds until the current backlog drains at the recent rate —
+    /// the honest basis for a `Retry-After` header. Conservative
+    /// fallbacks: 1s when the queue is empty-ish or the rate is unknown,
+    /// capped at 60s so a stalled drain never advertises an hour.
+    pub fn estimated_drain_secs(&self) -> u64 {
+        if self.depth == 0 {
+            return 1;
+        }
+        if self.drain_rate_per_sec <= f64::EPSILON {
+            return 60;
+        }
+        ((self.depth as f64 / self.drain_rate_per_sec).ceil() as u64).clamp(1, 60)
+    }
+}
+
+/// Sliding-window sampler over the queue's cumulative drain counter.
+/// Sampled on read (every `queue_stats` call appends a point), so idle
+/// periods cost nothing; the window keeps ~10s of history.
+struct DrainWindow {
+    samples: Mutex<std::collections::VecDeque<(Instant, u64)>>,
+    started: Instant,
+}
+
+const DRAIN_WINDOW: std::time::Duration = std::time::Duration::from_secs(10);
+
+impl DrainWindow {
+    fn new() -> Self {
+        DrainWindow {
+            samples: Mutex::new(std::collections::VecDeque::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record `(now, drained_total)` and return the recent rate.
+    fn observe(&self, now: Instant, drained_total: u64) -> f64 {
+        let mut samples = self.samples.lock().expect("drain window lock");
+        while let Some(&(t, _)) = samples.front() {
+            if now.duration_since(t) > DRAIN_WINDOW && samples.len() > 1 {
+                samples.pop_front();
+            } else {
+                break;
+            }
+        }
+        samples.push_back((now, drained_total));
+        let (oldest_t, oldest_n) = *samples.front().expect("just pushed");
+        let dt = now.duration_since(oldest_t).as_secs_f64();
+        if dt >= 0.05 {
+            (drained_total.saturating_sub(oldest_n)) as f64 / dt
+        } else {
+            // window too narrow to differentiate: lifetime average
+            let uptime = now.duration_since(self.started).as_secs_f64().max(1e-9);
+            drained_total as f64 / uptime
+        }
+    }
+}
+
 /// The concurrent query-serving runtime.
 pub struct Runtime {
     queue: Arc<BoundedQueue<Job>>,
@@ -163,6 +283,7 @@ pub struct Runtime {
     traces: Arc<TraceCollector>,
     workers: Vec<std::thread::JoinHandle<()>>,
     fingerprint: u64,
+    drain: DrainWindow,
 }
 
 impl Runtime {
@@ -185,25 +306,39 @@ impl Runtime {
                 worker_loop(&queue, &assets, &results, &metrics, &traces, fingerprint);
             }));
         }
-        Runtime { queue, assets, results, metrics, traces, workers, fingerprint }
+        Runtime {
+            queue,
+            assets,
+            results,
+            metrics,
+            traces,
+            workers,
+            fingerprint,
+            drain: DrainWindow::new(),
+        }
     }
 
     /// Submit a request, blocking while the queue is full (backpressure).
     pub fn submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
         let (tx, rx) = mpsc::channel();
         match self.queue.push(Job { req, enqueued: Instant::now(), reply: tx }) {
-            Ok(()) => Ok(Ticket { rx }),
+            Ok(()) => Ok(Ticket { rx, queue: self.queue.clone() }),
             Err(PushError::Closed(_)) | Err(PushError::Full(_)) => Err(SubmitError::ShuttingDown),
         }
     }
 
     /// Submit without blocking; [`SubmitError::QueueFull`] when at
-    /// capacity.
+    /// capacity. Every refusal for fullness is counted in the
+    /// `queue_shed_total` metric, so the exposition and any admission
+    /// controller report the same shed count.
     pub fn try_submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
         let (tx, rx) = mpsc::channel();
         match self.queue.try_push(Job { req, enqueued: Instant::now(), reply: tx }) {
-            Ok(()) => Ok(Ticket { rx }),
-            Err(PushError::Full(_)) => Err(SubmitError::QueueFull),
+            Ok(()) => Ok(Ticket { rx, queue: self.queue.clone() }),
+            Err(PushError::Full(_)) => {
+                self.metrics.counter("queue_shed_total").inc();
+                Err(SubmitError::QueueFull)
+            }
             Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
         }
     }
@@ -217,7 +352,7 @@ impl Runtime {
             .into_iter()
             .map(|t| match t {
                 Ok(ticket) => ticket.wait(),
-                Err(_) => Err(ServeError::Canceled),
+                Err(_) => Err(ServeError::canceled_by_shutdown()),
             })
             .collect()
     }
@@ -250,6 +385,24 @@ impl Runtime {
     /// Requests currently waiting in the queue.
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// A cheap point-in-time queue snapshot: depth, capacity, and the
+    /// recent drain rate (requests/second over a sliding window sampled
+    /// on each call). The depth is also mirrored into the `queue_depth`
+    /// gauge, so the Prometheus exposition and an admission controller's
+    /// `Retry-After` math read the same numbers.
+    pub fn queue_stats(&self) -> QueueStats {
+        let depth = self.queue.len();
+        let drained_total = self.queue.popped_total();
+        let drain_rate_per_sec = self.drain.observe(Instant::now(), drained_total);
+        self.metrics.counter("queue_depth").set(depth as u64);
+        QueueStats {
+            depth,
+            capacity: self.queue.capacity(),
+            drained_total,
+            drain_rate_per_sec,
+        }
     }
 
     /// Stop accepting work, drain the queue, and join the workers. Safe
@@ -462,8 +615,43 @@ impl Throughput {
 mod tests {
     use super::*;
     use datagen::{generate, Profile};
-    use llmsim::{ModelProfile, Oracle, SimLlm};
+    use llmsim::{ChatRequest, ChatResponse, LanguageModel, ModelProfile, Oracle, SimLlm};
     use opensearch_sql::PipelineConfig;
+    use std::sync::Condvar;
+
+    /// Wraps a model behind a gate: while closed, `complete` blocks.
+    /// Lets a test park every worker deterministically.
+    struct GateLlm {
+        inner: Arc<dyn LanguageModel>,
+        open: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl GateLlm {
+        fn new(inner: Arc<dyn LanguageModel>) -> Self {
+            GateLlm { inner, open: Mutex::new(true), cv: Condvar::new() }
+        }
+
+        fn set_open(&self, open: bool) {
+            *self.open.lock().unwrap() = open;
+            self.cv.notify_all();
+        }
+    }
+
+    impl LanguageModel for GateLlm {
+        fn complete(&self, req: &ChatRequest) -> ChatResponse {
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                open = self.cv.wait(open).unwrap();
+            }
+            drop(open);
+            self.inner.complete(req)
+        }
+
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+    }
 
     fn world() -> (Arc<datagen::Benchmark>, Arc<AssetCache>) {
         let bench = Arc::new(generate(&Profile::tiny()));
@@ -559,6 +747,87 @@ mod tests {
         assert_eq!(err, SubmitError::ShuttingDown);
         let err = rt.try_submit(QueryRequest::new(&ex.db_id, &ex.question, "")).unwrap_err();
         assert_eq!(err, SubmitError::ShuttingDown);
+    }
+
+    #[test]
+    fn queue_full_is_shed_and_counted() {
+        let bench = Arc::new(generate(&Profile::tiny()));
+        let inner = Arc::new(SimLlm::new(Arc::new(Oracle::new(bench.clone())), ModelProfile::gpt_4o(), 5));
+        let gate = Arc::new(GateLlm::new(inner));
+        // gate open during construction (the few-shot build calls the LLM)
+        let assets = Arc::new(AssetCache::new(bench.clone(), gate.clone(), PipelineConfig::fast()));
+        gate.set_open(false);
+        let rt = Runtime::start(
+            assets,
+            RuntimeConfig { workers: 1, queue_capacity: 1, ..RuntimeConfig::default() },
+        );
+        let ex = &bench.dev[0];
+        let req = QueryRequest::new(&ex.db_id, &ex.question, &ex.evidence);
+        // park the only worker on the gate ...
+        let in_flight = rt.submit(req.clone()).unwrap();
+        while rt.queued() > 0 {
+            std::thread::yield_now();
+        }
+        // ... fill the queue (use a distinct question so nothing coalesces
+        // in the result cache), then overflow it
+        let ex2 = &bench.dev[1];
+        let queued = rt.submit(QueryRequest::new(&ex2.db_id, &ex2.question, &ex2.evidence)).unwrap();
+        assert_eq!(rt.try_submit(req.clone()).unwrap_err(), SubmitError::QueueFull);
+        assert_eq!(rt.metrics().counter("queue_shed_total").get(), 1);
+        let stats = rt.queue_stats();
+        assert_eq!((stats.depth, stats.capacity), (1, 1));
+        assert_eq!(rt.metrics().counter("queue_depth").get(), 1, "gauge mirrors depth");
+        assert!(stats.estimated_drain_secs() >= 1);
+        gate.set_open(true);
+        in_flight.wait().unwrap();
+        queued.wait().unwrap();
+        let stats = rt.queue_stats();
+        assert!(stats.drained_total >= 2, "{stats:?}");
+        assert_eq!(stats.depth, 0);
+    }
+
+    #[test]
+    fn cancel_reason_distinguishes_shutdown_from_worker_loss() {
+        // Construct the two reply-channel deaths directly: the sender
+        // drops while the queue is open (worker panic ⇒ WorkerLost) vs
+        // after close (orderly drain ⇒ Shutdown).
+        let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(1));
+        let (tx, rx) = mpsc::channel();
+        drop(tx);
+        let t = Ticket { rx, queue: queue.clone() };
+        assert_eq!(
+            t.wait().unwrap_err(),
+            ServeError::Canceled { reason: CancelReason::WorkerLost }
+        );
+        let (tx, rx) = mpsc::channel();
+        drop(tx);
+        queue.close();
+        let t = Ticket { rx, queue };
+        assert_eq!(
+            t.wait().unwrap_err(),
+            ServeError::Canceled { reason: CancelReason::Shutdown }
+        );
+        assert_eq!(ServeError::canceled_by_shutdown().to_string(), "request canceled by shutdown");
+    }
+
+    #[test]
+    fn drain_rate_estimates_from_window() {
+        let w = DrainWindow::new();
+        let t0 = Instant::now();
+        let _ = w.observe(t0, 0);
+        let rate = w.observe(t0 + std::time::Duration::from_secs(2), 20);
+        assert!((rate - 10.0).abs() < 1.0, "≈10/s, got {rate}");
+        let stats = QueueStats {
+            depth: 30,
+            capacity: 64,
+            drained_total: 20,
+            drain_rate_per_sec: 10.0,
+        };
+        assert_eq!(stats.estimated_drain_secs(), 3);
+        let stalled = QueueStats { drain_rate_per_sec: 0.0, ..stats };
+        assert_eq!(stalled.estimated_drain_secs(), 60, "stalled drain caps the hint");
+        let idle = QueueStats { depth: 0, ..stats };
+        assert_eq!(idle.estimated_drain_secs(), 1);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! # osql-server — a zero-dependency HTTP/1.1 serving layer
+//!
+//! Puts [`osql_runtime`]'s worker pool on the network with nothing but
+//! blocking sockets from `std::net`:
+//!
+//! - **[`http`]** — hand-rolled HTTP/1.1 framing: request-line + header
+//!   parsing under hard size caps, `Content-Length` bodies, keep-alive.
+//! - **[`server`]** — N acceptor shards over one listener, a handler
+//!   thread per connection, routing, and graceful drain on shutdown.
+//! - **[`coalesce`]** — single-flight for concurrent identical requests:
+//!   one pipeline execution, one rendered response, N byte-identical
+//!   answers.
+//! - **[`quota`]** — per-`X-API-Key` token buckets with honest
+//!   `Retry-After`.
+//! - **[`json`]** — the minimal JSON writer/reader the API speaks.
+//!
+//! ## Endpoints
+//!
+//! | Route | Behaviour |
+//! |---|---|
+//! | `POST /v1/query` | `{"db_id","question","evidence"?}` → SQL + timings |
+//! | `GET /metrics` | Prometheus-style exposition of the runtime registry |
+//! | `GET /healthz` | liveness + queue snapshot |
+//! | `GET /v1/catalog` | demand-paged store state (or eager-mode summary) |
+//!
+//! ## Backpressure
+//!
+//! Admission control is the runtime's bounded queue: the server uses
+//! `try_submit`, and a full queue becomes `429 Too Many Requests` whose
+//! `Retry-After` is computed from the queue's measured drain rate
+//! ([`osql_runtime::QueueStats::estimated_drain_secs`]) — the same
+//! number `queue_depth`/`queue_shed_total` metrics are derived from, so
+//! clients and dashboards see one consistent story.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use llmsim::{ModelProfile, Oracle, SimLlm};
+//! use opensearch_sql::PipelineConfig;
+//! use osql_runtime::{AssetCache, Runtime, RuntimeConfig};
+//! use osql_server::{Server, ServerConfig};
+//!
+//! let bench = Arc::new(datagen::generate(&datagen::Profile::tiny()));
+//! let llm = Arc::new(SimLlm::new(Arc::new(Oracle::new(bench.clone())), ModelProfile::gpt_4o(), 7));
+//! let assets = Arc::new(AssetCache::new(bench, llm, PipelineConfig::fast()));
+//! let rt = Arc::new(Runtime::start(assets, RuntimeConfig::with_workers(4)));
+//! let server = Server::start(rt, "127.0.0.1:8080", ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod coalesce;
+pub mod http;
+pub mod json;
+pub mod quota;
+pub mod server;
+
+pub use coalesce::{Coalescer, Joined, Rendered};
+pub use http::{HttpError, Limits, Request};
+pub use quota::{Admit, QuotaConfig, QuotaRegistry};
+pub use server::{Server, ServerConfig};

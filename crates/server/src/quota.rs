@@ -1,0 +1,160 @@
+//! Per-API-key token-bucket quotas.
+//!
+//! Each distinct `X-API-Key` value gets its own bucket of `capacity`
+//! tokens refilling continuously at `refill_per_sec`. A request costs one
+//! token; an empty bucket yields a rejection carrying the exact
+//! `Retry-After` the client needs for its next token. Buckets are created
+//! lazily and bounded in number so unknown keys cannot grow the map
+//! without limit — beyond the cap, the least-recently-used idle bucket is
+//! recycled (an idle bucket is full, so recycling never forgives debt).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Token-bucket parameters shared by every key.
+#[derive(Debug, Clone, Copy)]
+pub struct QuotaConfig {
+    /// Burst size: tokens a fresh or long-idle key holds.
+    pub capacity: f64,
+    /// Sustained rate: tokens added per second.
+    pub refill_per_sec: f64,
+    /// Max distinct keys tracked at once.
+    pub max_keys: usize,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig { capacity: 16.0, refill_per_sec: 8.0, max_keys: 1024 }
+    }
+}
+
+/// Admission verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Token taken; serve the request.
+    Granted,
+    /// Bucket empty; retry after this many whole seconds.
+    Rejected {
+        /// Seconds until the bucket refills one token.
+        retry_after_secs: u64,
+    },
+}
+
+struct Bucket {
+    tokens: f64,
+    refreshed: Instant,
+    touched: Instant,
+}
+
+/// All buckets, keyed by API key.
+pub struct QuotaRegistry {
+    config: QuotaConfig,
+    buckets: std::sync::Mutex<HashMap<String, Bucket>>,
+}
+
+impl QuotaRegistry {
+    /// Empty registry under one shared configuration.
+    pub fn new(config: QuotaConfig) -> Self {
+        QuotaRegistry { config, buckets: std::sync::Mutex::new(HashMap::new()) }
+    }
+
+    /// Spend one token from `key`'s bucket (clock injected for tests).
+    pub fn admit_at(&self, key: &str, now: Instant) -> Admit {
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        if !buckets.contains_key(key) && buckets.len() >= self.config.max_keys.max(1) {
+            // recycle the least-recently-touched bucket; a long-idle
+            // bucket has refilled to capacity, so dropping it loses no debt
+            if let Some(oldest) =
+                buckets.iter().min_by_key(|(_, b)| b.touched).map(|(k, _)| k.clone())
+            {
+                buckets.remove(&oldest);
+            }
+        }
+        let bucket = buckets.entry(key.to_owned()).or_insert(Bucket {
+            tokens: self.config.capacity,
+            refreshed: now,
+            touched: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.refreshed).as_secs_f64();
+        bucket.tokens =
+            (bucket.tokens + elapsed * self.config.refill_per_sec).min(self.config.capacity);
+        bucket.refreshed = now;
+        bucket.touched = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Admit::Granted
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            let secs = (deficit / self.config.refill_per_sec.max(f64::EPSILON)).ceil();
+            Admit::Rejected { retry_after_secs: (secs as u64).clamp(1, 3600) }
+        }
+    }
+
+    /// Spend one token from `key`'s bucket.
+    pub fn admit(&self, key: &str) -> Admit {
+        self.admit_at(key, Instant::now())
+    }
+
+    /// Distinct keys currently tracked.
+    pub fn tracked_keys(&self) -> usize {
+        self.buckets.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn registry(capacity: f64, rate: f64) -> QuotaRegistry {
+        QuotaRegistry::new(QuotaConfig { capacity, refill_per_sec: rate, max_keys: 4 })
+    }
+
+    #[test]
+    fn burst_then_reject_with_retry_after() {
+        let q = registry(3.0, 2.0);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert_eq!(q.admit_at("k", t0), Admit::Granted);
+        }
+        let Admit::Rejected { retry_after_secs } = q.admit_at("k", t0) else {
+            panic!("expected rejection");
+        };
+        assert_eq!(retry_after_secs, 1); // 1 token / 2 per sec → ceil(0.5)
+    }
+
+    #[test]
+    fn refill_restores_tokens_over_time() {
+        let q = registry(2.0, 1.0);
+        let t0 = Instant::now();
+        assert_eq!(q.admit_at("k", t0), Admit::Granted);
+        assert_eq!(q.admit_at("k", t0), Admit::Granted);
+        assert!(matches!(q.admit_at("k", t0), Admit::Rejected { .. }));
+        let later = t0 + Duration::from_secs(1);
+        assert_eq!(q.admit_at("k", later), Admit::Granted);
+        // capacity caps the refill: a long sleep doesn't bank extra burst
+        let much_later = t0 + Duration::from_secs(3600);
+        assert_eq!(q.admit_at("k", much_later), Admit::Granted);
+        assert_eq!(q.admit_at("k", much_later), Admit::Granted);
+        assert!(matches!(q.admit_at("k", much_later), Admit::Rejected { .. }));
+    }
+
+    #[test]
+    fn keys_are_isolated() {
+        let q = registry(1.0, 0.5);
+        let t0 = Instant::now();
+        assert_eq!(q.admit_at("a", t0), Admit::Granted);
+        assert!(matches!(q.admit_at("a", t0), Admit::Rejected { .. }));
+        assert_eq!(q.admit_at("b", t0), Admit::Granted);
+    }
+
+    #[test]
+    fn key_count_is_bounded() {
+        let q = registry(1.0, 1.0);
+        let t0 = Instant::now();
+        for i in 0u64..16 {
+            q.admit_at(&format!("key-{i}"), t0 + Duration::from_millis(i));
+        }
+        assert!(q.tracked_keys() <= 4, "tracked {}", q.tracked_keys());
+    }
+}

@@ -1,0 +1,471 @@
+//! The sharded HTTP server over an [`osql_runtime::Runtime`].
+//!
+//! N acceptor shards block on `accept` against one shared listener
+//! (`try_clone` per shard); each accepted connection gets its own handler
+//! thread running a keep-alive request loop, so slow clients occupy a
+//! connection thread, never an acceptor. Handler threads submit into the
+//! runtime's bounded queue with `try_submit` — a full queue sheds the
+//! request as a 429 whose `Retry-After` comes from the queue's measured
+//! drain rate, so backpressure is advertised honestly instead of by
+//! stalling the socket.
+//!
+//! Graceful shutdown flips the stop flag, wakes every acceptor with a
+//! loopback self-connect, then waits for in-flight connections to drain
+//! (bounded by the read timeout: an idle keep-alive connection notices
+//! the flag at its next timeout tick and closes).
+
+use crate::coalesce::{Coalescer, Joined, Rendered};
+use crate::http::{self, HttpError, Limits, Request};
+use crate::json::{self, ObjectWriter};
+use crate::quota::{Admit, QuotaConfig, QuotaRegistry};
+use osql_runtime::{CancelReason, QueryRequest, ResultKey, Runtime, ServeError, SubmitError};
+use osql_trace::active;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Acceptor shard threads sharing the listener.
+    pub shards: usize,
+    /// HTTP parser caps.
+    pub limits: Limits,
+    /// Socket read timeout; also bounds how long an idle keep-alive
+    /// connection can delay shutdown.
+    pub read_timeout: Duration,
+    /// Per-API-key token-bucket quota (`None` disables quotas).
+    pub quota: Option<QuotaConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 2,
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(5),
+            quota: None,
+        }
+    }
+}
+
+/// Counts live connection-handler threads so shutdown can drain them.
+#[derive(Default)]
+struct ConnTracker {
+    live: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl ConnTracker {
+    fn begin(&self) {
+        *self.live.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+    }
+
+    fn end(&self) {
+        let mut live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+        *live -= 1;
+        if *live == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+        while *live > 0 {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self.idle.wait_timeout(live, left).unwrap_or_else(|e| e.into_inner());
+            live = guard;
+        }
+        true
+    }
+}
+
+/// Shared state every shard and connection thread sees.
+struct Shared {
+    rt: Arc<Runtime>,
+    coalescer: Arc<Coalescer>,
+    quota: Option<QuotaRegistry>,
+    config: ServerConfig,
+    stop: AtomicBool,
+    conns: ConnTracker,
+}
+
+/// A running server; dropping it without [`Server::shutdown`] leaves the
+/// shards serving until process exit.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    shards: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and start serving `rt`.
+    pub fn start(rt: Arc<Runtime>, addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            rt,
+            coalescer: Arc::new(Coalescer::new()),
+            quota: config.quota.map(QuotaRegistry::new),
+            config,
+            stop: AtomicBool::new(false),
+            conns: ConnTracker::default(),
+        });
+        let mut shards = Vec::new();
+        for shard in 0..shared.config.shards.max(1) {
+            let listener = listener.try_clone()?;
+            let shared = shared.clone();
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("osql-http-{shard}"))
+                    .spawn(move || accept_loop(listener, shared))
+                    .expect("spawn acceptor shard"),
+            );
+        }
+        Ok(Server { addr, shared, shards })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the acceptors, and drain in-flight
+    /// connections. Returns whether the drain completed before its
+    /// deadline (read timeout + 1s grace).
+    pub fn shutdown(self) -> bool {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for _ in 0..self.shards.len() {
+            // unblock one accept() per shard; errors only mean the shard
+            // already noticed the flag
+            let _ = TcpStream::connect(self.addr);
+        }
+        for shard in self.shards {
+            let _ = shard.join();
+        }
+        let grace = self.shared.config.read_timeout + Duration::from_secs(1);
+        self.shared.conns.wait_idle(grace)
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return; // wake-up connection (or a straggler): refuse
+                }
+                shared.conns.begin();
+                let conn_shared = shared.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("osql-http-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared);
+                        conn_shared.conns.end();
+                    });
+                if spawned.is_err() {
+                    shared.conns.end();
+                }
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // transient accept error (e.g. EMFILE): keep accepting
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader, &shared.config.limits) {
+            Ok(None) => return,
+            Err(HttpError::Io(_)) => return, // timeout or reset: close silently
+            Err(err) => {
+                // parse error: answer once, then close — the byte stream
+                // is unsynchronized so the connection cannot be reused
+                let body = json::error_body(&match &err {
+                    HttpError::BadRequest(msg) => msg.clone(),
+                    HttpError::HeadersTooLarge => "headers too large".to_owned(),
+                    HttpError::BodyTooLarge => "body too large".to_owned(),
+                    HttpError::Io(_) => unreachable!("handled above"),
+                });
+                let _ = http::write_response(
+                    &mut writer,
+                    err.status(),
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                    false,
+                );
+                return;
+            }
+            Ok(Some(req)) => {
+                shared
+                    .rt
+                    .metrics()
+                    .counter_with("http_requests_total", &[("method", &req.method)])
+                    .inc();
+                let keep_alive = req.keep_alive && !shared.stop.load(Ordering::SeqCst);
+                let out = route(shared, &req);
+                shared
+                    .rt
+                    .metrics()
+                    .counter_with(
+                        "http_responses_total",
+                        &[("status", &out.rendered.status.to_string())],
+                    )
+                    .inc();
+                let mut extra = out.extra_headers;
+                if let Some(secs) = out.rendered.retry_after_secs {
+                    extra.push(("retry-after".to_owned(), secs.to_string()));
+                }
+                if http::write_response(
+                    &mut writer,
+                    out.rendered.status,
+                    out.content_type,
+                    &extra,
+                    &out.rendered.body,
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A routed response: shared rendered payload plus per-connection extras.
+struct Routed {
+    rendered: Arc<Rendered>,
+    content_type: &'static str,
+    extra_headers: Vec<(String, String)>,
+}
+
+impl Routed {
+    fn json(status: u16, body: String) -> Routed {
+        Routed {
+            rendered: Arc::new(Rendered {
+                status,
+                body: Arc::new(body.into_bytes()),
+                retry_after_secs: None,
+            }),
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Routed {
+        Routed::json(status, json::error_body(message))
+    }
+}
+
+fn route(shared: &Shared, req: &Request) -> Routed {
+    match (req.method.as_str(), req.path()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => Routed {
+            rendered: Arc::new(Rendered {
+                status: 200,
+                body: Arc::new(shared.rt.metrics().render_prometheus().into_bytes()),
+                retry_after_secs: None,
+            }),
+            content_type: "text/plain; version=0.0.4",
+            extra_headers: Vec::new(),
+        },
+        ("GET", "/v1/catalog") => catalog(shared),
+        ("POST", "/v1/query") => query(shared, req),
+        ("GET", "/v1/query") | ("POST", "/metrics" | "/healthz" | "/v1/catalog") => {
+            Routed::error(405, "method not allowed")
+        }
+        _ => Routed::error(404, "no such endpoint"),
+    }
+}
+
+fn healthz(shared: &Shared) -> Routed {
+    let stats = shared.rt.queue_stats();
+    let mut obj = ObjectWriter::new();
+    obj.str_field("status", "ok")
+        .u64_field("queue_depth", stats.depth as u64)
+        .u64_field("queue_capacity", stats.capacity as u64)
+        .u64_field("inflight_coalesced_keys", shared.coalescer.inflight_len() as u64);
+    Routed::json(200, obj.finish())
+}
+
+fn catalog(shared: &Shared) -> Routed {
+    let assets = shared.rt.assets();
+    let mut obj = ObjectWriter::new();
+    match assets.catalog() {
+        Some(cat) => {
+            obj.str_field("mode", "paged");
+            if cat.budget() == u64::MAX {
+                obj.raw_field("budget_bytes", "null");
+            } else {
+                obj.u64_field("budget_bytes", cat.budget());
+            }
+            obj.u64_field("resident_bytes", cat.resident_bytes());
+            let resident = cat.resident();
+            let mut entries = String::from("[");
+            for (i, (id, bytes)) in resident.iter().enumerate() {
+                if i > 0 {
+                    entries.push(',');
+                }
+                let mut entry = ObjectWriter::new();
+                entry.str_field("db_id", id).u64_field("bytes", *bytes);
+                entries.push_str(&entry.finish());
+            }
+            entries.push(']');
+            obj.raw_field("resident", &entries);
+            match cat.available() {
+                Ok(ids) => {
+                    obj.raw_field("on_disk", &json::string_array(&ids));
+                }
+                Err(e) => {
+                    obj.str_field("scan_error", &e.to_string());
+                }
+            }
+            obj.u64_field("loads", cat.loads()).u64_field("evictions", cat.evictions());
+        }
+        None => {
+            obj.str_field("mode", "eager").u64_field("resident_dbs", assets.len() as u64);
+        }
+    }
+    Routed::json(200, obj.finish())
+}
+
+/// Publish a one-event volatile trace so coalesce/shed decisions are
+/// visible in the trace ring without a pipeline run to attach to.
+fn trace_event(shared: &Shared, name: &'static str, labels: &[(&'static str, &str)]) {
+    active::push();
+    active::event_volatile(name, labels, &[]);
+    if let Some(trace) = active::pop() {
+        shared.rt.traces().publish(Arc::new(trace));
+    }
+}
+
+fn shed_response(shared: &Shared, group: usize) -> Rendered {
+    let retry = shared.rt.queue_stats().estimated_drain_secs();
+    let mut obj = ObjectWriter::new();
+    obj.str_field("error", "queue full")
+        .u64_field("retry_after_secs", retry)
+        .u64_field("coalesced_group", group as u64);
+    Rendered {
+        status: 429,
+        body: Arc::new(obj.finish().into_bytes()),
+        retry_after_secs: Some(retry),
+    }
+}
+
+fn query(shared: &Shared, req: &Request) -> Routed {
+    let fields = match json::parse_string_object(&req.body) {
+        Ok(fields) => fields,
+        Err(msg) => return Routed::error(400, &msg),
+    };
+    let Some(db_id) = json::field(&fields, "db_id") else {
+        return Routed::error(400, "missing field \"db_id\"");
+    };
+    let Some(question) = json::field(&fields, "question") else {
+        return Routed::error(400, "missing field \"question\"");
+    };
+    let evidence = json::field(&fields, "evidence").unwrap_or("");
+
+    if let Some(quota) = &shared.quota {
+        let api_key = req.header("x-api-key").unwrap_or("anonymous");
+        if let Admit::Rejected { retry_after_secs } = quota.admit(api_key) {
+            shared.rt.metrics().counter("quota_rejections_total").inc();
+            let mut obj = ObjectWriter::new();
+            obj.str_field("error", "quota exceeded").u64_field("retry_after_secs", retry_after_secs);
+            return Routed {
+                rendered: Arc::new(Rendered {
+                    status: 429,
+                    body: Arc::new(obj.finish().into_bytes()),
+                    retry_after_secs: Some(retry_after_secs),
+                }),
+                content_type: "application/json",
+                extra_headers: Vec::new(),
+            };
+        }
+    }
+
+    let key = ResultKey::new(db_id, question, evidence, shared.rt.fingerprint());
+    let rendered = match shared.coalescer.join(key) {
+        Joined::Waiter(waiter) => {
+            shared.rt.metrics().counter("coalesced_requests_total").inc();
+            trace_event(shared, "http_coalesce_join", &[("db_id", db_id)]);
+            waiter.wait()
+        }
+        Joined::Leader(token) => {
+            let started = Instant::now();
+            match shared.rt.try_submit(QueryRequest::new(db_id, question, evidence)) {
+                Err(SubmitError::QueueFull) => {
+                    trace_event(shared, "http_shed", &[("db_id", db_id)]);
+                    token.complete(|group| shed_response(shared, group))
+                }
+                Err(SubmitError::ShuttingDown) => token.complete(|_| Rendered {
+                    status: 503,
+                    body: Arc::new(br#"{"error":"server is shutting down"}"#.to_vec()),
+                    retry_after_secs: None,
+                }),
+                Ok(ticket) => {
+                    let outcome = ticket.wait();
+                    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+                    token.complete(|group| match outcome {
+                        Ok(resp) => {
+                            let mut obj = ObjectWriter::new();
+                            obj.str_field("db_id", db_id)
+                                .str_field("question", question)
+                                .str_field("sql", &resp.run.final_sql)
+                                .bool_field("from_cache", resp.from_cache)
+                                .u64_field("coalesced_group", group as u64)
+                                .f64_field("queue_wait_ms", resp.queue_wait_ms)
+                                .f64_field("total_ms", total_ms);
+                            Rendered {
+                                status: 200,
+                                body: Arc::new(obj.finish().into_bytes()),
+                                retry_after_secs: None,
+                            }
+                        }
+                        Err(err) => {
+                            let (status, message) = match &err {
+                                ServeError::UnknownDb(id) => {
+                                    (404, format!("unknown database {id}"))
+                                }
+                                ServeError::DbLoadFailed { db_id, reason } => {
+                                    (503, format!("database {db_id} failed to load: {reason}"))
+                                }
+                                ServeError::Canceled { reason: CancelReason::Shutdown } => {
+                                    (503, "server is shutting down".to_owned())
+                                }
+                                ServeError::Canceled { reason: CancelReason::WorkerLost } => {
+                                    (500, "worker lost while serving request".to_owned())
+                                }
+                            };
+                            Rendered {
+                                status,
+                                body: Arc::new(json::error_body(&message).into_bytes()),
+                                retry_after_secs: None,
+                            }
+                        }
+                    })
+                }
+            }
+        }
+    };
+    Routed { rendered, content_type: "application/json", extra_headers: Vec::new() }
+}

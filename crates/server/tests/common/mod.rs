@@ -1,0 +1,203 @@
+//! Shared helpers for the server integration tests: a tiny world served
+//! by a runtime (optionally behind a gateable LLM so tests can park the
+//! pipeline deterministically), and a minimal HTTP client that parses
+//! one response at a time off a persistent connection.
+#![allow(dead_code)]
+
+use llmsim::{ChatRequest, ChatResponse, LanguageModel, ModelProfile, Oracle, SimLlm};
+use opensearch_sql::PipelineConfig;
+use osql_runtime::{AssetCache, Runtime, RuntimeConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// An LLM wrapper whose completions block while the gate is closed —
+/// lets a test hold a pipeline run in flight at a known point.
+pub struct GateLlm {
+    inner: Arc<dyn LanguageModel>,
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl GateLlm {
+    pub fn new(inner: Arc<dyn LanguageModel>) -> Self {
+        GateLlm { inner, open: Mutex::new(true), cv: Condvar::new() }
+    }
+
+    pub fn set_open(&self, open: bool) {
+        *self.open.lock().unwrap() = open;
+        self.cv.notify_all();
+    }
+}
+
+impl LanguageModel for GateLlm {
+    fn complete(&self, req: &ChatRequest) -> ChatResponse {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        drop(open);
+        self.inner.complete(req)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+pub fn tiny_world() -> Arc<datagen::Benchmark> {
+    Arc::new(datagen::generate(&datagen::Profile::tiny()))
+}
+
+fn sim_llm(bench: &Arc<datagen::Benchmark>) -> Arc<SimLlm> {
+    Arc::new(SimLlm::new(Arc::new(Oracle::new(bench.clone())), ModelProfile::gpt_4o(), 0x5EED))
+}
+
+/// Runtime over the tiny world with the default (always-open) LLM.
+pub fn plain_runtime(bench: &Arc<datagen::Benchmark>, workers: usize) -> Arc<Runtime> {
+    let assets = Arc::new(AssetCache::new(bench.clone(), sim_llm(bench), PipelineConfig::fast()));
+    Arc::new(Runtime::start(assets, RuntimeConfig::with_workers(workers)))
+}
+
+/// Runtime whose pipeline LLM calls block while the returned gate is
+/// closed. The gate starts open (asset construction calls the LLM).
+pub fn gated_runtime(
+    bench: &Arc<datagen::Benchmark>,
+    workers: usize,
+    queue_capacity: usize,
+    result_cache_capacity: usize,
+) -> (Arc<GateLlm>, Arc<Runtime>) {
+    let gate = Arc::new(GateLlm::new(sim_llm(bench)));
+    let assets =
+        Arc::new(AssetCache::new(bench.clone(), gate.clone(), PipelineConfig::fast()));
+    let rt = Arc::new(Runtime::start(
+        assets,
+        RuntimeConfig {
+            workers,
+            queue_capacity,
+            result_cache_capacity,
+            ..RuntimeConfig::default()
+        },
+    ));
+    (gate, rt)
+}
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct ParsedResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl ParsedResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A persistent client connection.
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    pub fn open(addr: SocketAddr) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let writer = stream.try_clone().unwrap();
+        Conn { reader: BufReader::new(stream), writer }
+    }
+
+    /// Send raw bytes without framing (for malformed-input tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("write");
+        self.writer.flush().unwrap();
+    }
+
+    /// Read everything until the peer closes (for close-delimited reads).
+    pub fn read_to_end(&mut self) -> String {
+        let mut out = Vec::new();
+        let _ = self.reader.read_to_end(&mut out);
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    /// Send one request and parse its response off the same connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> ParsedResponse {
+        let mut msg = format!("{method} {path} HTTP/1.1\r\nhost: test\r\n");
+        for (k, v) in headers {
+            msg.push_str(&format!("{k}: {v}\r\n"));
+        }
+        if !body.is_empty() {
+            msg.push_str(&format!("content-length: {}\r\n", body.len()));
+        }
+        msg.push_str("\r\n");
+        msg.push_str(body);
+        self.send_raw(msg.as_bytes());
+        self.read_response()
+    }
+
+    /// Parse one `Content-Length`-framed response.
+    pub fn read_response(&mut self) -> ParsedResponse {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line: {line:?}"));
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                headers.push((k.trim().to_ascii_lowercase(), v.trim().to_owned()));
+            }
+        }
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .expect("content-length header");
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body).expect("body");
+        ParsedResponse { status, headers, body: String::from_utf8(body).expect("utf-8 body") }
+    }
+}
+
+/// One-shot request on a fresh connection.
+pub fn one_shot(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> ParsedResponse {
+    let mut conn = Conn::open(addr);
+    let mut hs: Vec<(&str, &str)> = headers.to_vec();
+    hs.push(("connection", "close"));
+    conn.request(method, path, &hs, body)
+}
+
+/// JSON body for `POST /v1/query`.
+pub fn query_body(db_id: &str, question: &str, evidence: &str) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        "{{\"db_id\":\"{}\",\"question\":\"{}\",\"evidence\":\"{}\"}}",
+        escape(db_id),
+        escape(question),
+        escape(evidence)
+    )
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a lightweight
+//! timer: a short calibration pass sizes the batch, then the best of a
+//! few batches is reported as ns/iter. No statistics, plots, or CLI
+//! parsing; `cargo bench` stays fast and dependency-free.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget per benchmark (calibration + measurement).
+const BUDGET: Duration = Duration::from_millis(200);
+/// Measurement batches; the minimum is reported.
+const BATCHES: u32 = 5;
+
+/// Measures one closure.
+pub struct Bencher {
+    /// Best observed per-iteration time, in nanoseconds.
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, keeping the fastest batch average.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // calibration: how many iterations fit in a slice of the budget?
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (BUDGET.as_nanos() / (BATCHES as u128 + 1)).max(1);
+        let iters = ((per_batch / once.as_nanos().max(1)) as u64).clamp(1, 1_000_000);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.best_ns = best;
+    }
+}
+
+/// Identifies a parameterised benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// Anything usable as a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Render to the printed id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { best_ns: f64::NAN };
+    f(&mut b);
+    if b.best_ns.is_finite() {
+        println!("{label:<60} time: {}", fmt_ns(b.best_ns));
+    } else {
+        println!("{label:<60} time: (no measurement)");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes batches itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure with a borrowed input under this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; prints happen eagerly).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Benchmark a closure at top level.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into_id(), |b| f(b));
+        self
+    }
+}
+
+/// Prevent the optimiser from deleting a value (compat re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into one named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `crossbeam`. The workspace declares the
+//! dependency but currently uses none of its API; scoped threads are
+//! re-exported from std for any future call site.
+
+/// Scoped threads (std's implementation).
+pub mod thread {
+    pub use std::thread::{scope, Scope};
+}

@@ -1,0 +1,230 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro with a `proptest_config` attribute and `arg in
+//! strategy` parameters, integer-range strategies, `prop::collection::vec`,
+//! and the `prop_assert*` macros. Instead of random exploration with
+//! shrinking, cases are driven by a deterministic per-test SplitMix64
+//! stream — every run explores the same inputs, and a failure prints the
+//! sampled arguments via the panic message of the underlying `assert!`.
+
+use std::ops::Range;
+
+/// Test-runner configuration (`cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic case RNG handed to strategies.
+pub mod test_runner {
+    /// SplitMix64 stream seeded from the test's source location and case
+    /// index, so each test explores a stable but distinct input set.
+    #[derive(Debug, Clone)]
+    pub struct CaseRng {
+        state: u64,
+    }
+
+    impl CaseRng {
+        /// RNG for one test case.
+        pub fn for_case(file: &str, line: u32, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in file.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= (line as u64) << 32 | case as u64;
+            CaseRng { state: h }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Strategy trait and range implementations.
+pub mod strategy {
+    use super::test_runner::CaseRng;
+    use std::ops::Range;
+
+    /// Generates values for one test parameter.
+    pub trait Strategy {
+        /// Generated type.
+        type Value;
+
+        /// Sample one value.
+        fn sample(&self, rng: &mut CaseRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty as $u:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut CaseRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as $u).wrapping_sub(self.start as $u);
+                    self.start.wrapping_add((rng.next_u64() % span as u64) as $t)
+                }
+            }
+        )*};
+    }
+    range_strategy! {
+        u8 as u8, u16 as u16, u32 as u32, u64 as u64, usize as usize,
+        i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize,
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::CaseRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut CaseRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Mirror of `proptest::prelude::prop`.
+pub mod prop_reexport {
+    pub use crate::collection;
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+    /// `prop::collection::vec(...)` namespace.
+    pub use crate::prop_reexport as prop;
+}
+
+// keep `Range` referenced so the root import is not dead when macros expand
+#[doc(hidden)]
+pub type __UsizeRange = Range<usize>;
+
+/// Define property tests: each `arg in strategy` parameter is sampled per
+/// case from a deterministic stream and the body runs `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng =
+                        $crate::test_runner::CaseRng::for_case(file!(), line!(), __case);
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    // Bodies may `return Ok(())` early, matching real
+                    // proptest's Result-returning test closures.
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        panic!("proptest case {} failed: {}", __case, __msg);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+/// `assert!` that reports through the proptest harness (plain assert here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0usize..24, b in 0u64..500, c in 1i64..6) {
+            prop_assert!(a < 24);
+            prop_assert!(b < 500);
+            prop_assert!((1..6).contains(&c));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(xs in prop::collection::vec(-50i64..50, 1..12)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 12);
+            prop_assert!(xs.iter().all(|x| (-50..50).contains(x)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut r1 = crate::test_runner::CaseRng::for_case("f", 1, 0);
+        let mut r2 = crate::test_runner::CaseRng::for_case("f", 1, 0);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+}

@@ -1,0 +1,468 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors a minimal `serde` with the same *public surface*
+//! the codebase uses: the `Serialize` / `Deserialize` traits, the derive
+//! macros (via the sibling `serde_derive` stub), and a `Serializer` /
+//! `Deserializer` pair. Instead of serde's visitor-based data model, both
+//! sides speak a small concrete [`__private::Content`] tree, which is
+//! enough for `serde_json`-style round-trips of the types this workspace
+//! derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization half of the API.
+pub mod ser {
+    use crate::__private::Content;
+
+    /// A type that can serialize itself through any [`Serializer`].
+    pub trait Serialize {
+        /// Feed `self` to the serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// Sink for serialization. The stub collapses serde's 30-method data
+    /// model into one content-tree entry point plus the convenience
+    /// methods this workspace's hand-written impls call.
+    pub trait Serializer: Sized {
+        /// Success value.
+        type Ok;
+        /// Failure value.
+        type Error;
+
+        /// Accept a whole content tree.
+        fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+        /// Serialize a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::Str(v.to_owned()))
+        }
+
+        /// Serialize a bool.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::Bool(v))
+        }
+
+        /// Serialize a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::I64(v))
+        }
+
+        /// Serialize an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::U64(v))
+        }
+
+        /// Serialize a float.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::F64(v))
+        }
+
+        /// Serialize a unit value.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+            self.serialize_content(Content::Null)
+        }
+    }
+}
+
+/// Deserialization half of the API.
+pub mod de {
+    use crate::__private::Content;
+    use std::fmt;
+
+    /// Errors a deserializer can construct (mirrors `serde::de::Error`).
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        /// Build an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A type that can deserialize itself from any [`Deserializer`].
+    pub trait Deserialize<'de>: Sized {
+        /// Read `Self` out of the deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// Source of deserialization. The stub hands out a whole content tree
+    /// instead of driving a visitor.
+    pub trait Deserializer<'de>: Sized {
+        /// Failure value.
+        type Error: Error;
+
+        /// Surrender the input as a content tree.
+        fn take_content(self) -> Result<Content, Self::Error>;
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+/// Support machinery shared with the derive macro and `serde_json`.
+/// Public because generated code references it; not a stable API.
+pub mod __private {
+    use crate::de::{self, Deserialize, Deserializer};
+    use crate::ser::{Serialize, Serializer};
+    use std::collections::{BTreeMap, HashMap};
+    use std::marker::PhantomData;
+
+    /// The stub's concrete data model: a JSON-shaped tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Content {
+        /// Absent / unit.
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Signed integer.
+        I64(i64),
+        /// Unsigned integer.
+        U64(u64),
+        /// Floating point.
+        F64(f64),
+        /// String.
+        Str(String),
+        /// Ordered sequence.
+        Seq(Vec<Content>),
+        /// Ordered key/value map (insertion order preserved).
+        Map(Vec<(String, Content)>),
+    }
+
+    /// Error that cannot happen: content collection is infallible.
+    #[derive(Debug)]
+    pub enum Never {}
+
+    impl std::fmt::Display for Never {
+        fn fmt(&self, _f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match *self {}
+        }
+    }
+
+    impl de::Error for Never {
+        fn custom<T: std::fmt::Display>(_msg: T) -> Self {
+            unreachable!("content collection is infallible")
+        }
+    }
+
+    struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = Never;
+        fn serialize_content(self, content: Content) -> Result<Content, Never> {
+            Ok(content)
+        }
+    }
+
+    /// Collect any `Serialize` value into a content tree.
+    pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+        match value.serialize(ContentSerializer) {
+            Ok(content) => content,
+            Err(never) => match never {},
+        }
+    }
+
+    /// A deserializer that replays a content tree, with a caller-chosen
+    /// error type so derived code can thread through `D::Error`.
+    pub struct ContentDeserializer<E> {
+        content: Content,
+        marker: PhantomData<E>,
+    }
+
+    impl<E> ContentDeserializer<E> {
+        /// Wrap a content tree.
+        pub fn new(content: Content) -> Self {
+            ContentDeserializer { content, marker: PhantomData }
+        }
+    }
+
+    impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+        type Error = E;
+        fn take_content(self) -> Result<Content, E> {
+            Ok(self.content)
+        }
+    }
+
+    /// Deserialize a `T` out of a content tree.
+    pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(
+        content: Content,
+    ) -> Result<T, E> {
+        T::deserialize(ContentDeserializer::<E>::new(content))
+    }
+
+    /// Remove `key` from a content map and deserialize it; error if absent.
+    pub fn field<'de, T: Deserialize<'de>, E: de::Error>(
+        map: &mut Vec<(String, Content)>,
+        key: &str,
+    ) -> Result<T, E> {
+        match map.iter().position(|(k, _)| k == key) {
+            Some(i) => from_content(map.remove(i).1),
+            None => Err(E::custom(format_args!("missing field `{key}`"))),
+        }
+    }
+
+    /// Remove `key` if present and deserialize it; `None` when absent.
+    pub fn field_opt<'de, T: Deserialize<'de>, E: de::Error>(
+        map: &mut Vec<(String, Content)>,
+        key: &str,
+    ) -> Result<Option<T>, E> {
+        match map.iter().position(|(k, _)| k == key) {
+            Some(i) => from_content(map.remove(i).1).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Expect a map (derived struct deserialization entry point).
+    pub fn expect_map<E: de::Error>(content: Content) -> Result<Vec<(String, Content)>, E> {
+        match content {
+            Content::Map(m) => Ok(m),
+            other => Err(E::custom(format_args!("expected map, found {other:?}"))),
+        }
+    }
+
+    // ---- Serialize impls for std types --------------------------------
+
+    macro_rules! ser_int {
+        ($($t:ty => $variant:ident as $wide:ty),* $(,)?) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.serialize_content(Content::$variant(*self as $wide))
+                }
+            }
+        )*};
+    }
+    ser_int! {
+        i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+        isize => I64 as i64,
+        u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+        usize => U64 as u64,
+    }
+
+    impl Serialize for f32 {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(Content::F64(*self as f64))
+        }
+    }
+    impl Serialize for f64 {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(Content::F64(*self))
+        }
+    }
+    impl Serialize for bool {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(Content::Bool(*self))
+        }
+    }
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(self)
+        }
+    }
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(self)
+        }
+    }
+    impl Serialize for char {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(&self.to_string())
+        }
+    }
+    impl Serialize for () {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_unit()
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+    impl<T: Serialize> Serialize for Box<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            match self {
+                Some(v) => v.serialize(s),
+                None => s.serialize_content(Content::Null),
+            }
+        }
+    }
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+        }
+    }
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+    impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(Content::Seq(vec![to_content(&self.0), to_content(&self.1)]))
+        }
+    }
+    /// Render a key's content as the string JSON requires of map keys.
+    fn key_string(content: Content) -> String {
+        match content {
+            Content::Str(s) => s,
+            Content::I64(v) => v.to_string(),
+            Content::U64(v) => v.to_string(),
+            Content::F64(v) => v.to_string(),
+            Content::Bool(v) => v.to_string(),
+            other => panic!("map key does not serialize to a string: {other:?}"),
+        }
+    }
+
+    impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(Content::Map(
+                self.iter().map(|(k, v)| (key_string(to_content(k)), to_content(v))).collect(),
+            ))
+        }
+    }
+    impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut entries: Vec<(String, Content)> =
+                self.iter().map(|(k, v)| (key_string(to_content(k)), to_content(v))).collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            s.serialize_content(Content::Map(entries))
+        }
+    }
+
+    // ---- Deserialize impls for std types ------------------------------
+
+    fn int_of<E: de::Error>(content: Content, what: &str) -> Result<i128, E> {
+        match content {
+            Content::I64(v) => Ok(v as i128),
+            Content::U64(v) => Ok(v as i128),
+            Content::F64(v) if v.fract() == 0.0 => Ok(v as i128),
+            other => Err(E::custom(format_args!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    macro_rules! de_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let v = int_of::<D::Error>(d.take_content()?, stringify!($t))?;
+                    <$t>::try_from(v).map_err(|_| {
+                        de::Error::custom(format_args!("integer out of range for {}", stringify!($t)))
+                    })
+                }
+            }
+        )*};
+    }
+    de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl<'de> Deserialize<'de> for f64 {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_content()? {
+                Content::F64(v) => Ok(v),
+                Content::I64(v) => Ok(v as f64),
+                Content::U64(v) => Ok(v as f64),
+                other => Err(de::Error::custom(format_args!("expected f64, found {other:?}"))),
+            }
+        }
+    }
+    impl<'de> Deserialize<'de> for f32 {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            f64::deserialize(d).map(|v| v as f32)
+        }
+    }
+    impl<'de> Deserialize<'de> for bool {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_content()? {
+                Content::Bool(v) => Ok(v),
+                other => Err(de::Error::custom(format_args!("expected bool, found {other:?}"))),
+            }
+        }
+    }
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_content()? {
+                Content::Str(v) => Ok(v),
+                other => Err(de::Error::custom(format_args!("expected string, found {other:?}"))),
+            }
+        }
+    }
+    impl<'de> Deserialize<'de> for () {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            d.take_content().map(|_| ())
+        }
+    }
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_content()? {
+                Content::Null => Ok(None),
+                other => from_content(other).map(Some),
+            }
+        }
+    }
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            T::deserialize(d).map(Box::new)
+        }
+    }
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_content()? {
+                Content::Seq(items) => items.into_iter().map(from_content).collect(),
+                other => Err(de::Error::custom(format_args!("expected sequence, found {other:?}"))),
+            }
+        }
+    }
+    impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let items: Vec<T> = Vec::deserialize(d)?;
+            let n = items.len();
+            <[T; N]>::try_from(items).map_err(|_| {
+                de::Error::custom(format_args!("expected array of {N} elements, found {n}"))
+            })
+        }
+    }
+    impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_content()? {
+                Content::Seq(items) if items.len() == 2 => {
+                    let mut it = items.into_iter();
+                    Ok((from_content(it.next().unwrap())?, from_content(it.next().unwrap())?))
+                }
+                other => Err(de::Error::custom(format_args!("expected pair, found {other:?}"))),
+            }
+        }
+    }
+    impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+        for BTreeMap<K, V>
+    {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_content()? {
+                Content::Map(entries) => entries
+                    .into_iter()
+                    .map(|(k, v)| Ok((from_content(Content::Str(k))?, from_content(v)?)))
+                    .collect(),
+                other => Err(de::Error::custom(format_args!("expected map, found {other:?}"))),
+            }
+        }
+    }
+    impl<'de, K: Deserialize<'de> + Eq + std::hash::Hash, V: Deserialize<'de>> Deserialize<'de>
+        for HashMap<K, V>
+    {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_content()? {
+                Content::Map(entries) => entries
+                    .into_iter()
+                    .map(|(k, v)| Ok((from_content(Content::Str(k))?, from_content(v)?)))
+                    .collect(),
+                other => Err(de::Error::custom(format_args!("expected map, found {other:?}"))),
+            }
+        }
+    }
+}

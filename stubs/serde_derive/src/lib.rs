@@ -1,0 +1,456 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derived item with a hand-rolled token walk (no `syn` in an
+//! offline build) and emits impls that speak the stub `serde`'s concrete
+//! `Content` tree. Supports what this workspace actually uses: structs
+//! with named fields, enums with unit / tuple / struct variants, and the
+//! field attributes `#[serde(rename = "…")]`, `#[serde(skip)]`,
+//! `#[serde(default)]`, and `#[serde(default = "path")]`. Generics are
+//! intentionally rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- model
+
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    skip: bool,
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for `default = "path"`.
+    default: Option<Option<String>>,
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// --------------------------------------------------------------- parser
+
+type Toks = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks: Toks = input.into_iter().peekable();
+    let kind = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive input has no struct or enum"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    let body_group = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break Some(g),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("stub serde_derive does not support generic type `{name}`")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break None,
+            Some(_) => {}
+            None => panic!("unexpected end of `{name}` definition"),
+        }
+    };
+    let body = match (kind.as_str(), body_group) {
+        ("struct", Some(g)) => Body::Struct(parse_fields(g.stream())),
+        ("struct", None) => Body::Struct(Vec::new()),
+        ("enum", Some(g)) => Body::Enum(parse_variants(g.stream())),
+        _ => panic!("enum `{name}` without a body"),
+    };
+    Item { name, body }
+}
+
+/// Collect leading attributes, returning the serde-relevant ones.
+fn parse_attrs(toks: &mut Toks) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        let group = match toks.next() {
+            Some(TokenTree::Group(g)) => g,
+            other => panic!("expected attribute body, found {other:?}"),
+        };
+        let mut inner = group.stream().into_iter();
+        match inner.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+            _ => continue, // doc comment or unrelated attribute
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) => g.stream(),
+            _ => continue,
+        };
+        let mut args = args.into_iter().peekable();
+        while let Some(tt) = args.next() {
+            let TokenTree::Ident(id) = tt else { continue };
+            let key = id.to_string();
+            let value = match args.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    args.next();
+                    match args.next() {
+                        Some(TokenTree::Literal(l)) => Some(unquote(&l.to_string())),
+                        other => panic!("expected literal after `{key} =`, found {other:?}"),
+                    }
+                }
+                _ => None,
+            };
+            match (key.as_str(), value) {
+                ("rename", Some(v)) => attrs.rename = Some(v),
+                ("skip", None) => attrs.skip = true,
+                ("default", v) => attrs.default = Some(v),
+                _ => {} // attribute this stub does not need
+            }
+        }
+    }
+    attrs
+}
+
+fn unquote(lit: &str) -> String {
+    lit.strip_prefix('"').and_then(|s| s.strip_suffix('"')).unwrap_or(lit).to_string()
+}
+
+/// Skip a type (or discriminant expression) up to a top-level comma,
+/// tracking `<…>` nesting so commas inside generics don't split fields.
+fn skip_until_comma(toks: &mut Toks) {
+    let mut angle = 0i32;
+    while let Some(tt) = toks.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                toks.next();
+                return;
+            }
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = parse_attrs(&mut toks);
+        // visibility
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            toks.next();
+            if matches!(toks.peek(), Some(TokenTree::Group(_))) {
+                toks.next(); // pub(crate) etc.
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_until_comma(&mut toks);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _attrs = parse_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // optional discriminant, then the separating comma
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            toks.next();
+            skip_until_comma(&mut toks);
+        } else if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut n = 0;
+    while toks.peek().is_some() {
+        skip_until_comma(&mut toks);
+        n += 1;
+    }
+    n
+}
+
+// ----------------------------------------------------------- generators
+
+const CONTENT: &str = "::serde::__private::Content";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut code = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::__private::Content)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.attrs.skip) {
+                code.push_str(&format!(
+                    "__fields.push(({key:?}.to_string(), \
+                     ::serde::__private::to_content(&self.{field})));\n",
+                    key = f.key(),
+                    field = f.name,
+                ));
+            }
+            code.push_str(&format!(
+                "__serializer.serialize_content({CONTENT}::Map(__fields))"
+            ));
+            code
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_content(\
+                         {CONTENT}::Str({vname:?}.to_string())),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => __serializer.serialize_content(\
+                         {CONTENT}::Map(vec![({vname:?}.to_string(), \
+                         ::serde::__private::to_content(__f0))])),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::__private::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => __serializer.serialize_content(\
+                             {CONTENT}::Map(vec![({vname:?}.to_string(), \
+                             {CONTENT}::Seq(vec![{items}]))])),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.attrs.skip)
+                            .map(|f| {
+                                format!(
+                                    "({key:?}.to_string(), ::serde::__private::to_content({field}))",
+                                    key = f.key(),
+                                    field = f.name,
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => __serializer.serialize_content(\
+                             {CONTENT}::Map(vec![({vname:?}.to_string(), \
+                             {CONTENT}::Map(vec![{entries}]))])),\n",
+                            binds = binds.join(", "),
+                            entries = entries.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Expression producing one struct field inside the `Self { … }` literal.
+fn de_field_expr(f: &Field) -> String {
+    if f.attrs.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    match &f.attrs.default {
+        None => format!("::serde::__private::field(&mut __map, {:?})?", f.key()),
+        Some(None) => format!(
+            "match ::serde::__private::field_opt(&mut __map, {:?})? {{ \
+             ::std::option::Option::Some(__v) => __v, \
+             ::std::option::Option::None => ::std::default::Default::default() }}",
+            f.key()
+        ),
+        Some(Some(path)) => format!(
+            "match ::serde::__private::field_opt(&mut __map, {:?})? {{ \
+             ::std::option::Option::Some(__v) => __v, \
+             ::std::option::Option::None => {path}() }}",
+            f.key()
+        ),
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, de_field_expr(f)))
+                .collect();
+            format!(
+                "let mut __map = ::serde::__private::expect_map::<__D::Error>(\
+                 __deserializer.take_content()?)?;\n\
+                 let _ = &mut __map;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})",
+                inits = inits.join(", "),
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::__private::from_content(__v)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|_| {
+                                "::serde::__private::from_content(__items.remove(0))?".to_string()
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let mut __items = match __v {{\n\
+                                 {CONTENT}::Seq(__s) if __s.len() == {n} => __s,\n\
+                                 __other => return ::std::result::Result::Err(\
+                                     ::serde::de::Error::custom(format_args!(\
+                                     \"variant {vname} expects {n} elements, found {{:?}}\", __other))),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                             }}\n",
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: {}", f.name, de_field_expr(f)))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let mut __map = ::serde::__private::expect_map::<__D::Error>(__v)?;\n\
+                             let _ = &mut __map;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                             }}\n",
+                            inits = inits.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __deserializer.take_content()? {{\n\
+                 {CONTENT}::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                         format_args!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 {CONTENT}::Map(mut __m) if __m.len() == 1 => {{\n\
+                     let (__k, __v) = __m.remove(0);\n\
+                     let _ = &__v;\n\
+                     match __k.as_str() {{\n\
+                         {data_arms}\
+                         __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                             format_args!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                     format_args!(\"invalid {name} representation: {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::std::result::Result<Self, __D::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
