@@ -11,6 +11,10 @@ cargo test -q --test analyze_gold_clean  # corpus gate: analyzer silent on all g
 cargo test -q --test trace_shape # trace-determinism gate: two identical runs (and any
                                  # refine thread count) render identical logical traces,
                                  # timestamps and volatile events excluded
+cargo test -q --test planner_differential # planner gate: cost-based physical plans and the
+                                 # pipelined executor return byte-identical rows to the
+                                 # legacy interpreter (corpus gold SQL, sampled specs,
+                                 # paged round trips, index-set invalidation)
 
 # Store gate: the crash-recovery fault matrix (every-byte truncation +
 # corruption of the WAL, ~3.3k injection points), then pack a benchmark

@@ -110,6 +110,41 @@ fn bench_prepared(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost-based planner payoffs: selective statements served by the
+/// pipelined executor over secondary indexes, measured on a warm plan
+/// cache so the numbers isolate execution. `point_lookup` is an IxScan
+/// on the Patient PK, `ix_join` an IxScan driving an IxJoin probe into
+/// Laboratory's FK index, and `full_scan_fallback` a shape with no
+/// usable index (the planner must not make unindexed scans slower).
+/// `derived.ix_join_speedup` in BENCH_engine.json compares `ix_join`
+/// against the materialising `engine_exec/hash_join` baseline.
+fn bench_planner(c: &mut Criterion) {
+    let built = db();
+    let planner_cases = [
+        ("point_lookup", "SELECT Name FROM Patient WHERE PatientID = 42"),
+        (
+            "ix_join",
+            "SELECT T1.Name, T2.IGA FROM Patient AS T1 \
+             INNER JOIN Laboratory AS T2 ON T1.PatientID = T2.PatientID \
+             WHERE T1.PatientID = 42",
+        ),
+        ("full_scan_fallback", "SELECT Name FROM Patient WHERE Age > 40"),
+    ];
+    let mut group = c.benchmark_group("engine_planner");
+    group.sample_size(200);
+    for (name, sql) in planner_cases {
+        let cache = sqlkit::PlanCache::new(64);
+        cache.execute(&built.database, sql).unwrap();
+        if name != "full_scan_fallback" {
+            assert!(cache.stats().ix_scans >= 1, "{name} must run on indexes");
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(cache.execute(&built.database, sql).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 /// Static analysis cost: what a pre-execution gate pays per candidate.
 /// `clean/*` analyzes the executable benchmark statements (the common
 /// case — the gate adds this on top of execution), `reject/*` analyzes
@@ -242,6 +277,7 @@ criterion_group!(
     bench_parse,
     bench_exec,
     bench_prepared,
+    bench_planner,
     bench_analyze,
     bench_trace,
     bench_store

@@ -13,7 +13,9 @@
 //! `serve` route requests through `osql-runtime`'s bounded queue, worker
 //! pool, and two-level cache, and report a metrics snapshot. `lint`
 //! analyzes one SQL string against a world database and prints the
-//! static analyzer's caret-annotated findings.
+//! static analyzer's caret-annotated findings; `explain` renders the
+//! physical plan the cost-based planner chose for one statement, with
+//! estimated vs actual per-operator row counts.
 
 mod repl;
 mod serve;
@@ -28,6 +30,7 @@ const USAGE: &str = "usage: opensearch-sql [batch|serve|profile] [--profile tiny
        opensearch-sql serve --store <dir> [--budget bytes] # demand-page databases off disk\n\
        opensearch-sql serve --http <addr> [--shards n]     # HTTP/1.1 API (POST /v1/query, GET /metrics)\n\
        opensearch-sql lint <db_id> <sql> [--profile ...]   # static-analyze one SQL string\n\
+       opensearch-sql explain <db_id> <sql> [--profile ...] # render the physical query plan\n\
        opensearch-sql trace <db_id> <question> [--json]    # serve one question, dump its trace\n\
        opensearch-sql profile [--limit n] [--rounds n]     # per-stage latency table over a batch\n\
        opensearch-sql pack <out_dir> [--profile ...]       # export every database as a .store file\n\
@@ -40,6 +43,7 @@ fn main() {
         Some("batch") => "batch",
         Some("serve") => "serve",
         Some("lint") => "lint",
+        Some("explain") => "explain",
         Some("trace") => "trace",
         Some("profile") => "profile",
         Some("pack") => "pack",
@@ -177,6 +181,20 @@ fn main() {
                 std::process::exit(2);
             }
             let (report, failed) = serve::lint_sql(&opts, db_id, &sql);
+            println!("{report}");
+            std::process::exit(i32::from(failed));
+        }
+        "explain" => {
+            let Some((db_id, sql_parts)) = positionals.split_first() else {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            };
+            let sql = sql_parts.join(" ");
+            if sql.is_empty() {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+            let (report, failed) = serve::explain_sql(&opts, db_id, &sql);
             println!("{report}");
             std::process::exit(i32::from(failed));
         }

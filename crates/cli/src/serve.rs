@@ -97,6 +97,22 @@ execution is certain to fail: {err}");
     (out, analysis.has_errors() || analysis.rejects())
 }
 
+/// Explain one SQL string against a world database: render the physical
+/// plan the planner chose (operators, chosen indexes, estimated rows),
+/// executing the statement once so actual per-operator row counts appear
+/// alongside the estimates. Returns the report and whether it failed.
+pub fn explain_sql(opts: &ServeOptions, db_id: &str, sql: &str) -> (String, bool) {
+    let benchmark = datagen::generate(&profile_for(&opts.profile, opts.scale));
+    let Some(db) = benchmark.dbs.iter().find(|d| d.id == db_id) else {
+        let known: Vec<&str> = benchmark.dbs.iter().map(|d| d.id.as_str()).collect();
+        return (format!("unknown database: {db_id} (available: {})", known.join(", ")), true);
+    };
+    match sqlkit::explain(&db.database, sql) {
+        Ok(report) => (report.trim_end().to_owned(), false),
+        Err(e) => (format!("error: {e}"), true),
+    }
+}
+
 /// Build the world and start a runtime over it.
 ///
 /// With `opts.store` set, database contents are demand-paged out of that
@@ -401,7 +417,8 @@ fn catalog_status(rt: &Runtime) -> String {
 /// `db_id|question[|evidence]`; `\metrics` dumps a snapshot, `\prom` the
 /// Prometheus-style exposition, `\trace` the last query's span tree,
 /// `\profile` the per-stage latency table, `\dbs` lists databases,
-/// `\catalog` the demand-paging state. Returns `None` on `\quit`.
+/// `\catalog` the demand-paging state, `\explain db_id SELECT ...` the
+/// physical plan for one statement. Returns `None` on `\quit`.
 pub fn handle_serve_line(
     benchmark: &datagen::Benchmark,
     rt: &Runtime,
@@ -410,6 +427,21 @@ pub fn handle_serve_line(
     let line = line.trim();
     if line.is_empty() {
         return Some(String::new());
+    }
+    if let Some(rest) = line.strip_prefix("\\explain") {
+        let mut parts = rest.trim().splitn(2, char::is_whitespace);
+        return Some(match (parts.next().filter(|s| !s.is_empty()), parts.next()) {
+            (Some(db_id), Some(sql)) => {
+                match benchmark.dbs.iter().find(|d| d.id == db_id) {
+                    Some(db) => match sqlkit::explain(&db.database, sql.trim()) {
+                        Ok(report) => report.trim_end().to_owned(),
+                        Err(e) => format!("error: {e}"),
+                    },
+                    None => format!("error: unknown database {db_id}"),
+                }
+            }
+            _ => "usage: \\explain db_id SELECT ...".into(),
+        });
     }
     match line {
         "\\quit" | "\\q" => return None,
@@ -436,7 +468,7 @@ pub fn handle_serve_line(
         _ => {
             return Some(
                 "usage: db_id|question[|evidence]  \
-                 (\\metrics, \\prom, \\trace, \\profile, \\dbs, \\catalog, \\quit)"
+                 (\\metrics, \\prom, \\trace, \\profile, \\dbs, \\catalog, \\explain, \\quit)"
                     .into(),
             )
         }
@@ -494,6 +526,23 @@ mod tests {
         assert!(handle_serve_line(&benchmark, &rt, "\\metrics").unwrap().contains("counters"));
         assert!(handle_serve_line(&benchmark, &rt, "\\catalog").unwrap().contains("eager mode"));
         assert!(handle_serve_line(&benchmark, &rt, "\\quit").is_none());
+    }
+
+    #[test]
+    fn explain_via_serve_line_renders_a_plan() {
+        let (benchmark, rt) = start_runtime(&opts());
+        let db = &benchmark.dbs[0];
+        let table = &db.database.schema.tables[0];
+        let pk = table.columns.iter().find(|c| c.primary_key).expect("themes declare PKs");
+        let line =
+            format!("\\explain {} SELECT * FROM {} WHERE {} = 1", db.id, table.name, pk.name);
+        let out = handle_serve_line(&benchmark, &rt, &line).unwrap();
+        assert!(out.contains("IxScan"), "{out}");
+        assert!(out.contains("actual="), "{out}");
+        assert!(handle_serve_line(&benchmark, &rt, "\\explain ghost SELECT 1")
+            .unwrap()
+            .contains("unknown database"));
+        assert!(handle_serve_line(&benchmark, &rt, "\\explain").unwrap().contains("usage"));
     }
 
     #[test]

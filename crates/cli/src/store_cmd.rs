@@ -149,8 +149,9 @@ mod tests {
             .find(|p| p.extension().is_some_and(|e| e == "store"))
             .unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0xA5;
+        // flip a byte of page 1's checksummed header region (the file
+        // midpoint can land in dead padding past a page's payload)
+        bytes[osql_store::PAGE_SIZE + 9] ^= 0xA5;
         std::fs::write(&path, &bytes).unwrap();
         let (out, dirty) = run_fsck(&path);
         assert!(dirty, "corruption must fail fsck:\n{out}");

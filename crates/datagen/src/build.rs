@@ -246,6 +246,11 @@ pub fn build_db(
         });
     }
 
+    // declare the default index set (PKs and FK endpoints) so point
+    // lookups and equi-joins plan as index operators; store exports
+    // persist the built runs as index sections
+    database.ensure_default_indexes();
+
     BuiltDb {
         id: db_id.to_owned(),
         domain: domain.to_owned(),

@@ -583,6 +583,9 @@ fn sync_plan_cache_metrics(metrics: &MetricsRegistry) {
     metrics.counter("plan_cache_misses").raise_to(stats.misses);
     metrics.counter("plan_prepare_us").raise_to(stats.prepare_us);
     metrics.counter("plan_execute_us").raise_to(stats.execute_us);
+    metrics.counter("plan_ix_scan_total").raise_to(stats.ix_scans);
+    metrics.counter("plan_fallback_scan_total").raise_to(stats.fallback_scans);
+    metrics.counter("plan_rows_scanned_total").raise_to(stats.rows_scanned);
 }
 
 /// Cheap helper: track throughput over a batch.
@@ -683,7 +686,15 @@ mod tests {
         // The plan-cache mirror is synced after every served request. The
         // source counters are process-global (shared with parallel tests),
         // so assert presence rather than exact values.
-        for name in ["plan_cache_hits", "plan_cache_misses", "plan_prepare_us", "plan_execute_us"] {
+        for name in [
+            "plan_cache_hits",
+            "plan_cache_misses",
+            "plan_prepare_us",
+            "plan_execute_us",
+            "plan_ix_scan_total",
+            "plan_fallback_scan_total",
+            "plan_rows_scanned_total",
+        ] {
             assert!(snapshot.contains(name), "missing {name}:\n{snapshot}");
         }
         let hits = rt.metrics().counter("plan_cache_hits").get();

@@ -4,10 +4,12 @@
 use crate::ast::{DeleteStmt, Stmt, TypeName, UpdateStmt};
 use crate::error::{SqlError, SqlResult};
 use crate::exec::execute_select;
+use crate::index::{ColumnIndex, IndexDef};
 use crate::parser::parse_script;
 use crate::schema::{ColumnInfo, DbSchema, ForeignKey, TableInfo};
 use crate::value::{ResultSet, Row, Value};
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 /// Stored table data.
 #[derive(Debug, Clone, Default)]
@@ -16,19 +18,191 @@ pub struct TableData {
     pub rows: Vec<Row>,
 }
 
+/// Built indexes keyed by lower-cased `(table, column)`; `None` marks an
+/// index that refused to build.
+type IndexCache = RwLock<HashMap<(String, String), Option<Arc<ColumnIndex>>>>;
+
 /// An in-memory database: schema plus data.
-#[derive(Debug, Clone, Default)]
+#[derive(Default)]
 pub struct Database {
     /// The logical schema.
     pub schema: DbSchema,
     /// Data per table, keyed by lower-cased name.
     data: HashMap<String, TableData>,
+    /// Declared secondary indexes. Declarations are part of the planning
+    /// fingerprint ([`crate::prepare::plan_fingerprint`]); built indexes
+    /// live in [`Database::index_cache`] and are loaded or rebuilt on
+    /// demand.
+    indexes: Vec<IndexDef>,
+    /// Built indexes keyed by lower-cased `(table, column)`. `None` marks
+    /// an index that refused to build (NaN in the column) so lookups do
+    /// not retry the build on every statement. The cache is kept exact by
+    /// every mutation path: inserts maintain resident entries
+    /// incrementally, UPDATE/DELETE drop the table's entries.
+    index_cache: IndexCache,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            schema: self.schema.clone(),
+            data: self.data.clone(),
+            indexes: self.indexes.clone(),
+            index_cache: RwLock::new(
+                self.index_cache.read().expect("index cache poisoned").clone(),
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("schema", &self.schema)
+            .field("data", &self.data)
+            .field("indexes", &self.indexes)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Database {
     /// Create an empty database with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        Database { schema: DbSchema::new(name), data: HashMap::new() }
+        Database {
+            schema: DbSchema::new(name),
+            data: HashMap::new(),
+            indexes: Vec::new(),
+            index_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Declare a secondary index on `table.column`. Duplicate declarations
+    /// are ignored; unknown tables or columns are rejected.
+    pub fn create_index(&mut self, table: &str, column: &str) -> SqlResult<()> {
+        let info = self
+            .schema
+            .table(table)
+            .ok_or_else(|| SqlError::NoSuchTable(table.to_owned()))?;
+        if info.column_index(column).is_none() {
+            return Err(SqlError::NoSuchColumn(format!("{table}.{column}")));
+        }
+        let (table, column) = (info.name.clone(), column.to_owned());
+        if !self.indexes.iter().any(|d| d.matches(&table, &column)) {
+            self.indexes.push(IndexDef { table, column });
+        }
+        Ok(())
+    }
+
+    /// Declare the default index set: every primary-key column plus both
+    /// endpoints of every foreign key — the columns that selective point
+    /// lookups and equi-joins actually hit.
+    pub fn ensure_default_indexes(&mut self) {
+        let mut wanted: Vec<(String, String)> = Vec::new();
+        for t in &self.schema.tables {
+            for c in t.columns.iter().filter(|c| c.primary_key) {
+                wanted.push((t.name.clone(), c.name.clone()));
+            }
+        }
+        for fk in &self.schema.foreign_keys {
+            wanted.push((fk.table.clone(), fk.column.clone()));
+            wanted.push((fk.ref_table.clone(), fk.ref_column.clone()));
+        }
+        for (t, c) in wanted {
+            let _ = self.create_index(&t, &c);
+        }
+    }
+
+    /// The declared secondary indexes.
+    pub fn index_defs(&self) -> &[IndexDef] {
+        &self.indexes
+    }
+
+    /// Is there an index declared on `table.column`?
+    pub fn has_index(&self, table: &str, column: &str) -> bool {
+        self.indexes.iter().any(|d| d.matches(table, column))
+    }
+
+    /// The built index for `table.column`: `None` when no index is
+    /// declared there, or when the column cannot be indexed (contains a
+    /// NaN) — callers must fall back to scanning. Builds lazily and
+    /// caches.
+    pub fn index(&self, table: &str, column: &str) -> Option<Arc<ColumnIndex>> {
+        let def = self.indexes.iter().find(|d| d.matches(table, column))?;
+        let key = (def.table.to_lowercase(), def.column.to_lowercase());
+        if let Some(cached) = self.index_cache.read().expect("index cache poisoned").get(&key) {
+            return cached.clone();
+        }
+        let built = self
+            .schema
+            .table(&def.table)
+            .and_then(|info| info.column_index(&def.column))
+            .and_then(|col| {
+                let rows = self.rows(&def.table).ok()?;
+                ColumnIndex::build(rows, col)
+            })
+            .map(Arc::new);
+        self.index_cache
+            .write()
+            .expect("index cache poisoned")
+            .insert(key, built.clone());
+        built
+    }
+
+    /// Install a pre-built index (the store's load path). The declaration
+    /// is recorded and the built form becomes resident; an index that does
+    /// not match the schema is rejected.
+    pub fn install_index(&mut self, def: IndexDef, index: ColumnIndex) -> SqlResult<()> {
+        self.create_index(&def.table, &def.column)?;
+        let key = (def.table.to_lowercase(), def.column.to_lowercase());
+        self.index_cache
+            .write()
+            .expect("index cache poisoned")
+            .insert(key, Some(Arc::new(index)));
+        Ok(())
+    }
+
+    /// Record that `table.column` is declared but unusable (the store's
+    /// load path for an index persisted as unbuildable).
+    pub fn install_unusable_index(&mut self, def: IndexDef) -> SqlResult<()> {
+        self.create_index(&def.table, &def.column)?;
+        let key = (def.table.to_lowercase(), def.column.to_lowercase());
+        self.index_cache.write().expect("index cache poisoned").insert(key, None);
+        Ok(())
+    }
+
+    /// Keep resident indexes of `table` exact after appending a row, or
+    /// drop ones the new value poisons (NaN). `values` pairs each indexed
+    /// column's lower-cased name with the appended value.
+    fn maintain_indexes_on_insert(
+        &mut self,
+        table: &str,
+        rid: u32,
+        values: Vec<(String, Value)>,
+    ) {
+        let cache = self.index_cache.get_mut().expect("index cache poisoned");
+        for (column_key, value) in values {
+            let key = (table.to_lowercase(), column_key);
+            if let Some(slot) = cache.get_mut(&key) {
+                let ok = match slot {
+                    Some(arc) => Arc::make_mut(arc).insert_appended(&value, rid),
+                    // known-unusable stays unusable until rebuilt
+                    None => continue,
+                };
+                if !ok {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    /// Drop resident indexes of `table` (rows changed in place); they
+    /// rebuild lazily on the next lookup.
+    fn drop_resident_indexes(&mut self, table: &str) {
+        let key = table.to_lowercase();
+        self.index_cache
+            .get_mut()
+            .expect("index cache poisoned")
+            .retain(|(t, _), _| *t != key);
     }
 
     /// Create a table programmatically.
@@ -66,11 +240,24 @@ impl Database {
             .zip(&info.columns)
             .map(|(v, c)| apply_affinity(v, c.ty))
             .collect();
-        self.data
+        let indexed: Vec<(String, Value)> = self
+            .indexes
+            .iter()
+            .filter(|d| d.table.eq_ignore_ascii_case(&info.name))
+            .filter_map(|d| {
+                info.column_index(&d.column)
+                    .map(|c| (d.column.to_lowercase(), coerced[c].clone()))
+            })
+            .collect();
+        let bucket = self
+            .data
             .get_mut(&info.name.to_lowercase())
-            .expect("data bucket exists for every schema table")
-            .rows
-            .push(coerced);
+            .expect("data bucket exists for every schema table");
+        bucket.rows.push(coerced);
+        let rid = (bucket.rows.len() - 1) as u32;
+        if !indexed.is_empty() {
+            self.maintain_indexes_on_insert(&info.name, rid, indexed);
+        }
         Ok(())
     }
 
@@ -148,6 +335,9 @@ impl Database {
             }
             changed += 1;
         }
+        if changed > 0 {
+            self.drop_resident_indexes(&info.name);
+        }
         Ok(changed)
     }
 
@@ -183,7 +373,11 @@ impl Database {
         if let Some(e) = err {
             return Err(e);
         }
-        Ok(before - rows.rows.len())
+        let removed = before - rows.rows.len();
+        if removed > 0 {
+            self.drop_resident_indexes(&info.name);
+        }
+        Ok(removed)
     }
 
     /// Serialise the whole database as a SQL script (CREATE TABLE + batch

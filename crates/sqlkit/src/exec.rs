@@ -11,7 +11,7 @@ use crate::ast::*;
 use crate::db::Database;
 use crate::error::{SqlError, SqlResult};
 use crate::functions::{call_scalar, is_aggregate_name};
-use crate::value::{NormValue, ResultSet, Row, Value};
+use crate::value::{NormRef, NormValue, ResultSet, Row, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -113,9 +113,9 @@ pub fn eval_const(e: &Expr) -> SqlResult<Value> {
     eval_expr(&mut ctx, e, &[], &[])
 }
 
-struct Ctx<'a> {
-    db: &'a Database,
-    rows_scanned: u64,
+pub(crate) struct Ctx<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) rows_scanned: u64,
     depth: usize,
     /// Memoised subquery results, keyed by AST node address. Only
     /// *uncorrelated* subqueries are cached: a nested SELECT that never
@@ -136,20 +136,60 @@ struct Ctx<'a> {
     bound: bool,
 }
 
+impl<'a> Ctx<'a> {
+    /// A fresh evaluation context for a prepared (bound) statement — the
+    /// pipelined executor drives residual predicates, semi-join probes,
+    /// and the shared projection tail through one of these.
+    pub(crate) fn for_bound(db: &'a Database) -> Self {
+        // depth starts at 1, as if inside the top-level `exec_select`: a
+        // WHERE subquery then runs at depth 2 and is cached when
+        // uncorrelated, exactly as it would be under the legacy
+        // interpreter.
+        Ctx {
+            db,
+            rows_scanned: 0,
+            depth: 1,
+            subquery_cache: HashMap::new(),
+            outer: Vec::new(),
+            used_outer: false,
+            bound: true,
+        }
+    }
+
+    /// Was an outer (correlated) environment read since the flag was last
+    /// reset? See [`Ctx::set_used_outer`].
+    pub(crate) fn used_outer(&self) -> bool {
+        self.used_outer
+    }
+
+    /// Overwrite the correlation flag. The pipelined executor's semi-join
+    /// steps temporarily clear it, run one probe, read it to classify the
+    /// subquery as correlated or not, then OR the saved value back.
+    pub(crate) fn set_used_outer(&mut self, v: bool) {
+        self.used_outer = v;
+    }
+}
+
 const MAX_SUBQUERY_DEPTH: usize = 16;
 
 /// One column binding of a row source.
 #[derive(Debug, Clone)]
-struct ColBinding {
-    binding: String,
-    column: String,
+pub(crate) struct ColBinding {
+    pub(crate) binding: String,
+    pub(crate) column: String,
+}
+
+impl ColBinding {
+    pub(crate) fn new(binding: impl Into<String>, column: impl Into<String>) -> Self {
+        ColBinding { binding: binding.into(), column: column.into() }
+    }
 }
 
 /// Rows flowing between FROM, filter, and projection. Base-table scans
 /// borrow straight from [`Database`] storage and FROM-subqueries share the
 /// memoised `Arc<ResultSet>`; only operators that actually produce new
 /// rows (filters, joins) materialise owned vectors.
-enum Rows<'a> {
+pub(crate) enum Rows<'a> {
     Owned(Vec<Row>),
     Borrowed(&'a [Row]),
     Shared(Arc<ResultSet>),
@@ -320,7 +360,7 @@ fn combine(left: ResultSet, right: ResultSet, op: CompoundOp) -> ResultSet {
     ResultSet { columns, rows }
 }
 
-fn apply_limit(ctx: &mut Ctx, rs: &mut ResultSet, stmt: &SelectStmt) -> SqlResult<()> {
+pub(crate) fn apply_limit(ctx: &mut Ctx, rs: &mut ResultSet, stmt: &SelectStmt) -> SqlResult<()> {
     let eval_n = |ctx: &mut Ctx, e: &Expr| -> SqlResult<i64> {
         let v = eval_expr(ctx, e, &[], &[])?;
         v.as_i64().ok_or_else(|| SqlError::Type("LIMIT/OFFSET must be an integer".into()))
@@ -387,8 +427,23 @@ fn project_core(
         source_rows
     };
 
+    project_filtered(ctx, core, &layout, rows, order_by)
+}
+
+/// The back half of [`project_core`], from projection-item expansion
+/// onward: everything after FROM + WHERE have produced the filtered row
+/// stream. The pipelined executor joins and filters its own way, then
+/// funnels into this exact code so grouping, projection, DISTINCT, and
+/// ORDER BY keys stay byte-identical with the legacy interpreter.
+pub(crate) fn project_filtered(
+    ctx: &mut Ctx,
+    core: &SelectCore,
+    layout: &[ColBinding],
+    rows: Rows<'_>,
+    order_by: &[OrderItem],
+) -> SqlResult<(ResultSet, Vec<Vec<Value>>)> {
     // expand projection items
-    let items = expand_items(&core.items, &layout)?;
+    let items = expand_items(&core.items, layout)?;
     let labels: Vec<String> = items.iter().map(|(_, l)| l.clone()).collect();
 
     // ORDER BY rewriting: alias / position references become item exprs
@@ -406,16 +461,16 @@ fn project_core(
         });
 
     let (mut out_rows, mut key_rows) = if needs_group {
-        project_grouped(ctx, core, &layout, rows.into_owned(), &items, &order_exprs)?
+        project_grouped(ctx, core, layout, rows.into_owned(), &items, &order_exprs)?
     } else {
         let mut out_rows = Vec::with_capacity(rows.len());
         let mut key_rows = Vec::with_capacity(rows.len());
         for row in rows.as_slice() {
             let mut projected = Vec::with_capacity(items.len());
             for (e, _) in &items {
-                projected.push(eval_expr(ctx, e, &layout, row)?);
+                projected.push(eval_expr(ctx, e, layout, row)?);
             }
-            let keys = eval_order_keys(ctx, &order_exprs, &layout, row, &projected)?;
+            let keys = eval_order_keys(ctx, &order_exprs, layout, row, &projected)?;
             out_rows.push(projected);
             key_rows.push(keys);
         }
@@ -480,7 +535,7 @@ fn eval_order_keys(
         .collect()
 }
 
-fn sort_with_keys(rows: &mut Vec<Row>, keys: &mut Vec<Vec<Value>>, order_by: &[OrderItem]) {
+pub(crate) fn sort_with_keys(rows: &mut Vec<Row>, keys: &mut Vec<Vec<Value>>, order_by: &[OrderItem]) {
     let mut idx: Vec<usize> = (0..rows.len()).collect();
     idx.sort_by(|&a, &b| {
         for (k, o) in order_by.iter().enumerate() {
@@ -912,7 +967,7 @@ fn join_sources<'a>(
 
 /// Detect `a.x = b.y` where `a.x` resolves purely in the left layout and
 /// `b.y` purely in the right (or swapped). Returns (left index, right index).
-fn equi_join_indices(
+pub(crate) fn equi_join_indices(
     on: &Expr,
     left: &[ColBinding],
     right: &[ColBinding],
@@ -957,11 +1012,14 @@ fn hash_join<'a>(
     kind: JoinKind,
 ) -> SqlResult<Source<'a>> {
     let right_rows = right.rows.as_slice();
-    let mut index: HashMap<NormValue, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+    // Keyed by the borrowed normal form: build and probe never allocate,
+    // where a `NormValue` key would clone every text join key per probe
+    // row (the prepared-path regression on three_way_join_agg).
+    let mut index: HashMap<NormRef<'_>, Vec<usize>> = HashMap::with_capacity(right_rows.len());
     for (i, row) in right_rows.iter().enumerate() {
         let key = &row[ri];
         if !key.is_null() {
-            index.entry(key.normalized()).or_default().push(i);
+            index.entry(key.normalized_ref()).or_default().push(i);
         }
     }
     let left_rows = left.rows.as_slice();
@@ -969,7 +1027,7 @@ fn hash_join<'a>(
     for lrow in left_rows {
         ctx.rows_scanned += 1;
         let key = &lrow[li];
-        let matches = if key.is_null() { None } else { index.get(&key.normalized()) };
+        let matches = if key.is_null() { None } else { index.get(&key.normalized_ref()) };
         match matches {
             Some(idxs) if !idxs.is_empty() => {
                 for &i in idxs {
@@ -1020,7 +1078,7 @@ fn resolve(layout: &[ColBinding], table: Option<&str>, column: &str) -> SqlResul
     }
 }
 
-fn eval_expr(ctx: &mut Ctx, e: &Expr, layout: &[ColBinding], row: &[Value]) -> SqlResult<Value> {
+pub(crate) fn eval_expr(ctx: &mut Ctx, e: &Expr, layout: &[ColBinding], row: &[Value]) -> SqlResult<Value> {
     match e {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column { table, column, .. } => {
@@ -1224,7 +1282,7 @@ fn eval_expr(ctx: &mut Ctx, e: &Expr, layout: &[ColBinding], row: &[Value]) -> S
 
 /// Execute a nested SELECT with the current row pushed as an enclosing
 /// environment, enabling correlated references.
-fn exec_subquery(
+pub(crate) fn exec_subquery(
     ctx: &mut Ctx<'_>,
     query: &SelectStmt,
     layout: &[ColBinding],

@@ -38,12 +38,16 @@ pub mod diag;
 pub mod error;
 pub mod exec;
 pub mod functions;
+pub mod index;
 pub mod parser;
+pub mod plan;
 pub mod prepare;
 pub mod printer;
 pub mod schema;
 pub mod token;
 pub mod value;
+
+mod pipelined;
 
 pub use analyze::{analyze, analyze_sql, Analysis, UnresolvedColumn};
 pub use ast::{Expr, SelectStmt, Stmt};
@@ -51,9 +55,12 @@ pub use diag::{render_all, Diagnostic, Severity, Span};
 pub use db::Database;
 pub use error::{SqlError, SqlErrorKind, SqlResult};
 pub use exec::{execute_select, execute_select_with_stats, ExecStats};
+pub use index::{ColumnIndex, IndexDef};
 pub use parser::{parse_script, parse_select, parse_statement};
+pub use plan::explain;
 pub use prepare::{
-    plan_cache, prepare, prepare_stmt, schema_fingerprint, PlanCache, PlanCacheStats, Prepared,
+    plan_cache, plan_fingerprint, prepare, prepare_stmt, schema_fingerprint, PlanCache,
+    PlanCacheStats, Prepared,
 };
 pub use printer::{print_expr, print_select, print_stmt};
 pub use schema::{ColumnInfo, DbSchema, ForeignKey, SchemaSubset, TableInfo};

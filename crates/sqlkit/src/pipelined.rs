@@ -1,0 +1,488 @@
+//! The pipelined executor: streams tuples depth-first through a
+//! [`PhysicalPlan`]'s stages instead of materialising every intermediate
+//! join result.
+//!
+//! One reusable tuple buffer flows through the stage chain: the base
+//! stage pushes a row's values, each join stage appends its matches (or
+//! a NULL pad for an unmatched LEFT JOIN) and recurses, and the residual
+//! filter at the end decides whether the finished tuple is cloned into
+//! the output. Truncating the buffer on the way back up makes the whole
+//! pipeline allocation-free per tuple except for the rows that actually
+//! survive.
+//!
+//! Emission order is byte-identical to the legacy interpreter: base rows
+//! are visited in rid order, hash matches in build (= rid) order, and
+//! index equality runs are rid-ascending by construction, so the final
+//! tuple stream is exactly the one `exec::project_core` would have
+//! produced. Projection, grouping, DISTINCT, ORDER BY, and LIMIT then
+//! run through the *shared* back half of the legacy executor
+//! ([`exec::project_filtered`]) — the pipelined path only replaces
+//! FROM + WHERE.
+//!
+//! Residual conjuncts follow the legacy AND protocol exactly: a `false`
+//! stops evaluation and drops the tuple, a NULL marks the tuple dropped
+//! but keeps evaluating later conjuncts (so their runtime errors still
+//! surface), and whole-conjunct `IN (SELECT ...)` / `EXISTS` steps
+//! upgrade to cached semi-joins once a first probe proves the subquery
+//! uncorrelated.
+
+use crate::ast::{Expr, JoinKind, SelectStmt};
+use crate::db::Database;
+use crate::error::{SqlError, SqlResult};
+use crate::exec::{self, ColBinding, Ctx, ExecStats, Rows};
+use crate::index::ColumnIndex;
+use crate::plan::{Access, JoinOp, OpStats, PhysicalPlan, ResidualStep};
+use crate::value::{NormRef, NormValue, ResultSet, Row, Value};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Runtime form of one stage: the borrowed table rows plus the access /
+/// join machinery resolved against the live database.
+struct StageRt<'d> {
+    rows: &'d [Row],
+    op: OpRt<'d>,
+}
+
+enum OpRt<'d> {
+    /// Base stage: iterate all rows or an index-provided rid list.
+    Scan { rids: Option<Vec<u32>> },
+    /// Equi join: hash table over the stage's filtered rows.
+    Hash { left_key: usize, map: HashMap<NormRef<'d>, Vec<u32>> },
+    /// Equi join probing the column's secondary index per tuple.
+    Ix { left_key: usize, right_key: usize, ix: Arc<ColumnIndex> },
+    /// Nested-loop cross product over a pre-filtered rid list.
+    Cross { rids: Vec<u32> },
+}
+
+/// Lazily-classified state of one `Semi` residual step.
+enum SemiState {
+    /// No probe has run yet.
+    Unknown,
+    /// The subquery reads the outer row: evaluate per tuple through the
+    /// legacy expression evaluator.
+    Correlated,
+    /// Uncorrelated `IN (SELECT ...)`: one materialised result, probed
+    /// via normalised hash set when every value hashes consistently
+    /// with `sql_eq`, else by linear scan.
+    In { set: Option<HashSet<NormValue>>, rows: Arc<ResultSet>, has_null: bool },
+    /// Uncorrelated `EXISTS`: the subquery's non-emptiness.
+    Exists { non_empty: bool },
+}
+
+/// Can `v` be probed through a `NormValue` hash set without diverging
+/// from `sql_eq`? Large integers collapse through `f64` in `sql_eq` but
+/// not in `normalized()`, and NaN compares equal to every numeric, so
+/// both force a linear scan.
+fn hash_safe(v: &Value) -> bool {
+    match v {
+        Value::Null | Value::Text(_) => true,
+        Value::Int(i) => i.checked_abs().map(|a| a < 9_000_000_000_000_000).unwrap_or(false),
+        Value::Real(r) => !r.is_nan(),
+    }
+}
+
+
+/// Execute `plan` against `db`, returning `None` when an index the plan
+/// relies on is unusable at execution time (the caller falls back to the
+/// legacy interpreter). `stmt` is the bound statement the plan was
+/// lowered from — its projection/ORDER BY/LIMIT clauses drive the shared
+/// tail.
+pub(crate) fn execute(
+    db: &Database,
+    plan: &PhysicalPlan,
+    stmt: &SelectStmt,
+) -> SqlResult<Option<(ResultSet, ExecStats, Vec<OpStats>)>> {
+    let mut ctx = Ctx::for_bound(db);
+    let mut ops = plan.op_templates();
+
+    // ---- resolve stages against live data (may bail to legacy) ----
+    let mut stages: Vec<StageRt<'_>> = Vec::with_capacity(plan.stages.len());
+    for (k, st) in plan.stages.iter().enumerate() {
+        let rows = db.rows(&st.table)?;
+        let access_rids = match &st.access {
+            Access::FullScan => None,
+            Access::IxScan(sarg) => {
+                let Some(ix) = db.index(&st.table, &sarg.column) else {
+                    return Ok(None);
+                };
+                let Some(rids) = sarg.lookup(&ix) else {
+                    return Ok(None);
+                };
+                ops[k].seeks += 1;
+                Some(rids)
+            }
+        };
+        // planned-path cost accounting: an access charges the rows it
+        // reads (the whole table for a scan, the rid list for an index
+        // lookup); IxJoin stages charge per probe instead.
+        let op = match &st.join {
+            None => {
+                ctx.rows_scanned +=
+                    access_rids.as_ref().map(|r| r.len()).unwrap_or(rows.len()) as u64;
+                OpRt::Scan { rids: access_rids }
+            }
+            Some(JoinOp::Hash { left_key, right_key }) => {
+                ctx.rows_scanned +=
+                    access_rids.as_ref().map(|r| r.len()).unwrap_or(rows.len()) as u64;
+                let mut map: HashMap<NormRef<'_>, Vec<u32>> = HashMap::new();
+                let mut build = |rid: u32, row: &'_ Row| {
+                    if !st.filters.iter().all(|f| f.matches(&row[f.col])) {
+                        return;
+                    }
+                    let key = &rows[rid as usize][*right_key];
+                    if !key.is_null() {
+                        map.entry(key.normalized_ref()).or_default().push(rid);
+                    }
+                };
+                match &access_rids {
+                    Some(rids) => {
+                        for &rid in rids {
+                            build(rid, &rows[rid as usize]);
+                        }
+                    }
+                    None => {
+                        for (rid, row) in rows.iter().enumerate() {
+                            build(rid as u32, row);
+                        }
+                    }
+                }
+                OpRt::Hash { left_key: *left_key, map }
+            }
+            Some(JoinOp::IxJoin { left_key, right_key, column }) => {
+                let Some(ix) = db.index(&st.table, column) else {
+                    return Ok(None);
+                };
+                OpRt::Ix { left_key: *left_key, right_key: *right_key, ix }
+            }
+            Some(JoinOp::Cross) => {
+                ctx.rows_scanned +=
+                    access_rids.as_ref().map(|r| r.len()).unwrap_or(rows.len()) as u64;
+                let rids: Vec<u32> = match access_rids {
+                    Some(rids) => rids
+                        .into_iter()
+                        .filter(|&rid| {
+                            let row = &rows[rid as usize];
+                            st.filters.iter().all(|f| f.matches(&row[f.col]))
+                        })
+                        .collect(),
+                    None => (0..rows.len() as u32)
+                        .filter(|&rid| {
+                            let row = &rows[rid as usize];
+                            st.filters.iter().all(|f| f.matches(&row[f.col]))
+                        })
+                        .collect(),
+                };
+                OpRt::Cross { rids }
+            }
+        };
+        stages.push(StageRt { rows, op });
+    }
+
+    // ---- drive the pipeline ----
+    let mut mu = MutState {
+        ops: &mut ops,
+        semi: plan.residual.iter().map(|_| SemiState::Unknown).collect(),
+        out: Vec::new(),
+    };
+    let mut buf: Vec<Value> = Vec::with_capacity(plan.layout.len());
+    step(&mut ctx, plan, &stages, &mut mu, 0, &mut buf)?;
+    let out = mu.out;
+
+    // ---- shared legacy tail: projection / grouping / order / limit ----
+    let (mut rs, mut keys) =
+        exec::project_filtered(&mut ctx, &stmt.core, &plan.layout, Rows::Owned(out), &stmt.order_by)?;
+    if !stmt.order_by.is_empty() {
+        exec::sort_with_keys(&mut rs.rows, &mut keys, &stmt.order_by);
+    }
+    exec::apply_limit(&mut ctx, &mut rs, stmt)?;
+    Ok(Some((rs, ExecStats { rows_scanned: ctx.rows_scanned }, ops)))
+}
+
+/// Mutable execution state threaded through the recursive drive,
+/// separate from the immutable stage data so the borrows never fight.
+struct MutState<'o> {
+    ops: &'o mut Vec<OpStats>,
+    semi: Vec<SemiState>,
+    out: Vec<Row>,
+}
+
+fn step(
+    ctx: &mut Ctx<'_>,
+    plan: &PhysicalPlan,
+    stages: &[StageRt<'_>],
+    mu: &mut MutState<'_>,
+    k: usize,
+    buf: &mut Vec<Value>,
+) -> SqlResult<()> {
+    if k == stages.len() {
+        return finish(ctx, plan, mu, buf);
+    }
+    let st = &plan.stages[k];
+    let rt = &stages[k];
+    let base = buf.len();
+    match &rt.op {
+        OpRt::Scan { rids } => {
+            let emit = |ctx: &mut Ctx<'_>,
+                            mu: &mut MutState<'_>,
+                            buf: &mut Vec<Value>,
+                            row: &Row|
+             -> SqlResult<()> {
+                if !st.filters.iter().all(|f| f.matches(&row[f.col])) {
+                    return Ok(());
+                }
+                mu.ops[k].actual_rows += 1;
+                buf.extend(row.iter().cloned());
+                let r = step(ctx, plan, stages, mu, k + 1, buf);
+                buf.truncate(base);
+                r
+            };
+            match rids {
+                Some(rids) => {
+                    for &rid in rids {
+                        emit(ctx, mu, buf, &rt.rows[rid as usize])?;
+                    }
+                }
+                None => {
+                    for row in rt.rows {
+                        emit(ctx, mu, buf, row)?;
+                    }
+                }
+            }
+        }
+        OpRt::Hash { left_key, map } => {
+            ctx.rows_scanned += 1;
+            // clone the probe key out of the tuple buffer: the buffer is
+            // extended/truncated while candidate rows stream through, so
+            // the map lookup cannot keep a borrow into it
+            let probe = buf[*left_key].clone();
+            let matches = if probe.is_null() { None } else { map.get(&probe.normalized_ref()) };
+            match matches {
+                Some(rids) if !rids.is_empty() => {
+                    for &rid in rids {
+                        ctx.rows_scanned += 1;
+                        mu.ops[k].actual_rows += 1;
+                        buf.extend(rt.rows[rid as usize].iter().cloned());
+                        let r = step(ctx, plan, stages, mu, k + 1, buf);
+                        buf.truncate(base);
+                        r?;
+                    }
+                }
+                _ => {
+                    if st.kind == JoinKind::Left {
+                        mu.ops[k].actual_rows += 1;
+                        buf.extend(std::iter::repeat_n(Value::Null, st.width));
+                        let r = step(ctx, plan, stages, mu, k + 1, buf);
+                        buf.truncate(base);
+                        r?;
+                    }
+                }
+            }
+        }
+        OpRt::Ix { left_key, right_key, ix } => {
+            ctx.rows_scanned += 1;
+            mu.ops[k].seeks += 1;
+            let probe = buf[*left_key].clone();
+            let run = ix.eq_run(&probe);
+            ctx.rows_scanned += run.len() as u64;
+            let mut matched = false;
+            for (v, rid) in run {
+                // the hash join keys on the *normalised* value, which is
+                // finer than the index's sql_cmp equality runs (huge
+                // integers collapse through f64 in sql_cmp only) —
+                // filter candidates down to exact hash-join semantics
+                if v.normalized_ref() != probe.normalized_ref() {
+                    continue;
+                }
+                let row = &rt.rows[*rid as usize];
+                debug_assert_eq!(v, &row[*right_key]);
+                if !st.filters.iter().all(|f| f.matches(&row[f.col])) {
+                    continue;
+                }
+                ctx.rows_scanned += 1;
+                matched = true;
+                mu.ops[k].actual_rows += 1;
+                buf.extend(row.iter().cloned());
+                let r = step(ctx, plan, stages, mu, k + 1, buf);
+                buf.truncate(base);
+                r?;
+            }
+            if !matched && st.kind == JoinKind::Left {
+                mu.ops[k].actual_rows += 1;
+                buf.extend(std::iter::repeat_n(Value::Null, st.width));
+                let r = step(ctx, plan, stages, mu, k + 1, buf);
+                buf.truncate(base);
+                r?;
+            }
+        }
+        OpRt::Cross { rids } => {
+            if rids.is_empty() && st.kind == JoinKind::Left {
+                mu.ops[k].actual_rows += 1;
+                buf.extend(std::iter::repeat_n(Value::Null, st.width));
+                let r = step(ctx, plan, stages, mu, k + 1, buf);
+                buf.truncate(base);
+                r?;
+            } else {
+                for &rid in rids {
+                    ctx.rows_scanned += 1;
+                    mu.ops[k].actual_rows += 1;
+                    buf.extend(rt.rows[rid as usize].iter().cloned());
+                    let r = step(ctx, plan, stages, mu, k + 1, buf);
+                    buf.truncate(base);
+                    r?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the residual chain on a finished tuple and keep it if it
+/// survives. Implements the legacy AND protocol: `false` stops and
+/// drops, NULL marks the tuple dropped but keeps evaluating (error
+/// fidelity), anything else continues.
+fn finish(
+    ctx: &mut Ctx<'_>,
+    plan: &PhysicalPlan,
+    mu: &mut MutState<'_>,
+    buf: &[Value],
+) -> SqlResult<()> {
+    ctx.rows_scanned += 1;
+    let mut dropped = false;
+    let mut semi_idx = 0;
+    for stepdef in &plan.residual {
+        let v = match stepdef {
+            ResidualStep::Pred(e) => exec::eval_expr(ctx, e, &plan.layout, buf)?,
+            ResidualStep::Semi(e) => {
+                let i = semi_idx;
+                semi_idx += 1;
+                eval_semi(ctx, &mut mu.semi[i], e, &plan.layout, buf)?
+            }
+        };
+        match v.truthiness() {
+            Some(true) => {}
+            Some(false) => return Ok(()),
+            None => dropped = true,
+        }
+    }
+    if !dropped {
+        let residual_op = mu.ops.len() - 1;
+        mu.ops[residual_op].actual_rows += 1;
+        mu.out.push(buf.to_vec());
+    }
+    Ok(())
+}
+
+/// Evaluate a `Semi` residual step, classifying the subquery as
+/// correlated or not on its first executed probe and caching the
+/// uncorrelated result thereafter.
+fn eval_semi(
+    ctx: &mut Ctx<'_>,
+    state: &mut SemiState,
+    conjunct: &Expr,
+    layout: &[ColBinding],
+    tuple: &[Value],
+) -> SqlResult<Value> {
+    if matches!(state, SemiState::Correlated) {
+        return exec::eval_expr(ctx, conjunct, layout, tuple);
+    }
+    match conjunct {
+        Expr::InSubquery { expr, query, negated } => {
+            let v = exec::eval_expr(ctx, expr, layout, tuple)?;
+            if v.is_null() {
+                // legacy skips the subquery entirely on a NULL operand,
+                // so the state stays unclassified
+                return Ok(Value::Null);
+            }
+            if matches!(state, SemiState::Unknown) {
+                let saved = ctx.used_outer();
+                ctx.set_used_outer(false);
+                let rs = exec::exec_subquery(ctx, query, layout, tuple)?;
+                let correlated = ctx.used_outer();
+                ctx.set_used_outer(saved || correlated);
+                if rs.columns.len() != 1 {
+                    return Err(SqlError::SubqueryShape(
+                        "IN subquery must return a single column".into(),
+                    ));
+                }
+                if correlated {
+                    *state = SemiState::Correlated;
+                    // this probe's result set is already in hand —
+                    // evaluate it directly, exactly as legacy would
+                    return Ok(in_scan(&v, &rs.rows, *negated));
+                }
+                let mut has_null = false;
+                let mut safe = true;
+                for r in &rs.rows {
+                    let item = &r[0];
+                    if item.is_null() {
+                        has_null = true;
+                    }
+                    if !hash_safe(item) {
+                        safe = false;
+                    }
+                }
+                let set = safe.then(|| {
+                    rs.rows
+                        .iter()
+                        .filter(|r| !r[0].is_null())
+                        .map(|r| r[0].normalized())
+                        .collect::<HashSet<NormValue>>()
+                });
+                *state = SemiState::In { set, rows: rs, has_null };
+            }
+            let SemiState::In { set, rows, has_null } = &*state else {
+                unreachable!("IN semi state settled above");
+            };
+            match set {
+                Some(set) if hash_safe(&v) => {
+                    if set.contains(&v.normalized()) {
+                        Ok(Value::Int(i64::from(!*negated)))
+                    } else if *has_null {
+                        Ok(Value::Null)
+                    } else {
+                        Ok(Value::Int(i64::from(*negated)))
+                    }
+                }
+                _ => Ok(in_scan(&v, &rows.rows, *negated)),
+            }
+        }
+        Expr::Exists { query, negated } => {
+            if matches!(state, SemiState::Unknown) {
+                let saved = ctx.used_outer();
+                ctx.set_used_outer(false);
+                let rs = exec::exec_subquery(ctx, query, layout, tuple)?;
+                let correlated = ctx.used_outer();
+                ctx.set_used_outer(saved || correlated);
+                if correlated {
+                    *state = SemiState::Correlated;
+                    return Ok(Value::Int(i64::from(rs.rows.is_empty() == *negated)));
+                }
+                *state = SemiState::Exists { non_empty: !rs.rows.is_empty() };
+            }
+            let SemiState::Exists { non_empty } = &*state else {
+                unreachable!("EXISTS semi state settled above");
+            };
+            Ok(Value::Int(i64::from(*non_empty != *negated)))
+        }
+        // lowering only builds Semi steps from the two shapes above
+        other => exec::eval_expr(ctx, other, layout, tuple),
+    }
+}
+
+/// The legacy interpreter's linear IN probe: first `sql_eq` hit wins,
+/// NULL comparisons remembered for the three-valued miss.
+fn in_scan(v: &Value, rows: &[Row], negated: bool) -> Value {
+    let mut saw_null = false;
+    for r in rows {
+        match v.sql_eq(&r[0]) {
+            Some(true) => return Value::Int(i64::from(!negated)),
+            Some(false) => {}
+            None => saw_null = true,
+        }
+    }
+    if saw_null {
+        Value::Null
+    } else {
+        Value::Int(i64::from(negated))
+    }
+}

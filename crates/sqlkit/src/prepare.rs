@@ -31,6 +31,7 @@ use crate::db::Database;
 use crate::error::{SqlError, SqlResult};
 use crate::exec::{self, eval_const, ExecStats};
 use crate::functions::is_aggregate_name;
+use crate::plan::PhysicalPlan;
 use crate::schema::DbSchema;
 use crate::value::{ResultSet, Value};
 use std::collections::HashMap;
@@ -69,13 +70,31 @@ pub fn schema_fingerprint(schema: &DbSchema) -> u64 {
     h
 }
 
+/// The planning fingerprint: the schema fingerprint extended with the
+/// declared secondary-index set. A [`Prepared`] statement embeds a
+/// *physical* plan whose access paths assume specific indexes exist, so
+/// creating or dropping an index must invalidate cached plans even
+/// though the logical schema is unchanged.
+pub fn plan_fingerprint(db: &Database) -> u64 {
+    let mut h = schema_fingerprint(&db.schema);
+    for def in db.index_defs() {
+        h = fnv1a(h, &[0xfd]);
+        h = fnv1a(h, def.table.to_lowercase().as_bytes());
+        h = fnv1a(h, def.column.to_lowercase().as_bytes());
+    }
+    h
+}
+
 // ---------------- prepared statements ----------------
 
-/// A SELECT statement that went through the binding pass.
+/// A SELECT statement that went through the binding pass, carrying the
+/// physical plan the cost-based planner lowered it to (when it could).
 #[derive(Debug, Clone)]
 pub struct Prepared {
     stmt: SelectStmt,
     fingerprint: u64,
+    physical: Option<Arc<PhysicalPlan>>,
+    why_legacy: Option<&'static str>,
 }
 
 impl Prepared {
@@ -84,9 +103,26 @@ impl Prepared {
         &self.stmt
     }
 
-    /// Fingerprint of the schema this plan was prepared against.
+    /// Fingerprint of the schema + index set this plan was prepared
+    /// against (see [`plan_fingerprint`]).
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The lowered physical plan, when the statement was plannable.
+    pub(crate) fn physical(&self) -> Option<&PhysicalPlan> {
+        self.physical.as_deref()
+    }
+
+    /// Why the statement runs on the legacy interpreter (when it does).
+    pub(crate) fn why_legacy(&self) -> Option<&'static str> {
+        self.why_legacy
+    }
+
+    /// Does this statement have a physical plan (as opposed to running
+    /// on the legacy interpreter)?
+    pub fn is_planned(&self) -> bool {
+        self.physical.is_some()
     }
 
     /// Execute against `db`, which must have the schema the plan was
@@ -95,15 +131,47 @@ impl Prepared {
         self.execute_with_stats(db).map(|(rs, _)| rs)
     }
 
-    /// Execute against `db`, also reporting execution statistics.
+    /// Execute against `db` on the legacy interpreter, also reporting
+    /// execution statistics. This path is pinned stat-for-stat against
+    /// raw execution by the prepared-differential suite; the plan cache
+    /// routes through the physical plan instead.
     pub fn execute_with_stats(&self, db: &Database) -> SqlResult<(ResultSet, ExecStats)> {
-        if schema_fingerprint(&db.schema) != self.fingerprint {
+        if plan_fingerprint(db) != self.fingerprint {
             return Err(SqlError::Other(
                 "prepared statement executed against a different schema".into(),
             ));
         }
         exec::execute_prepared_with_stats(db, &self.stmt)
     }
+
+    /// Execute through the physical plan when one exists (falling back
+    /// to the legacy interpreter when it does not, or when an index the
+    /// plan needs is unusable at execution time). Returns the number of
+    /// index-driven operators that ran, for the planner counters.
+    fn execute_planned(&self, db: &Database) -> SqlResult<(ResultSet, ExecStats, PlannedPath)> {
+        if plan_fingerprint(db) != self.fingerprint {
+            return Err(SqlError::Other(
+                "prepared statement executed against a different schema".into(),
+            ));
+        }
+        if let Some(plan) = &self.physical {
+            if let Some((rs, stats, ops)) = crate::pipelined::execute(db, plan, &self.stmt)? {
+                let ix_ops = ops.iter().map(|o| u64::from(o.seeks > 0)).sum();
+                return Ok((rs, stats, PlannedPath::Physical { ix_ops }));
+            }
+        }
+        let (rs, stats) = exec::execute_prepared_with_stats(db, &self.stmt)?;
+        Ok((rs, stats, PlannedPath::Legacy))
+    }
+}
+
+/// Which executor actually ran a plan-cache execution.
+enum PlannedPath {
+    /// The pipelined executor ran the physical plan; `ix_ops` operators
+    /// were index-driven.
+    Physical { ix_ops: u64 },
+    /// The legacy interpreter ran (no plan, or an unusable index).
+    Legacy,
 }
 
 /// Parse and bind a SELECT statement against `db`'s schema.
@@ -112,11 +180,17 @@ pub fn prepare(db: &Database, sql: &str) -> SqlResult<Prepared> {
     Ok(prepare_stmt(db, stmt))
 }
 
-/// Bind an already-parsed SELECT statement against `db`'s schema.
+/// Bind an already-parsed SELECT statement against `db`'s schema, then
+/// lower it to a physical plan when the pipelined executor can reproduce
+/// it byte for byte.
 pub fn prepare_stmt(db: &Database, mut stmt: SelectStmt) -> Prepared {
     let binder = Binder { schema: &db.schema };
     binder.bind_statement(&mut stmt, &[]);
-    Prepared { stmt, fingerprint: schema_fingerprint(&db.schema) }
+    let (physical, why_legacy) = match crate::plan::lower(db, &stmt) {
+        Ok(plan) => (Some(Arc::new(plan)), None),
+        Err(reason) => (None, Some(reason)),
+    };
+    Prepared { stmt, fingerprint: plan_fingerprint(db), physical, why_legacy }
 }
 
 // ---------------- the binding pass ----------------
@@ -517,6 +591,15 @@ pub struct PlanCacheStats {
     pub prepare_us: u64,
     /// Cumulative time spent executing prepared plans, in microseconds.
     pub execute_us: u64,
+    /// Executions that ran a physical plan with at least one
+    /// index-driven operator (IxScan or IxJoin).
+    pub ix_scans: u64,
+    /// Executions that fell back to a full scan: either the legacy
+    /// interpreter (unplannable statement or unusable index) or a
+    /// physical plan with no index-driven operator.
+    pub fallback_scans: u64,
+    /// Cumulative `rows_scanned` across plan-cache executions.
+    pub rows_scanned: u64,
 }
 
 struct Entry {
@@ -545,6 +628,9 @@ pub struct PlanCache {
     misses: AtomicU64,
     prepare_us: AtomicU64,
     execute_us: AtomicU64,
+    ix_scans: AtomicU64,
+    fallback_scans: AtomicU64,
+    rows_scanned: AtomicU64,
 }
 
 impl PlanCache {
@@ -557,6 +643,9 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             prepare_us: AtomicU64::new(0),
             execute_us: AtomicU64::new(0),
+            ix_scans: AtomicU64::new(0),
+            fallback_scans: AtomicU64::new(0),
+            rows_scanned: AtomicU64::new(0),
         }
     }
 
@@ -587,7 +676,7 @@ impl PlanCache {
     /// The cache lookup itself, with no trace event: returns the plan (or
     /// error), whether it was a hit, and the prepare cost in µs on a miss.
     fn prepared_inner(&self, db: &Database, sql: &str) -> (SqlResult<Arc<Prepared>>, bool, u64) {
-        let fingerprint = schema_fingerprint(&db.schema);
+        let fingerprint = plan_fingerprint(db);
         let key = Self::key(fingerprint, sql);
         {
             let mut inner = self.inner.lock().expect("plan cache poisoned");
@@ -641,12 +730,25 @@ impl PlanCache {
     }
 
     /// Prepare (through the cache) and execute in one call, timing the
-    /// execute phase separately from the prepare phase.
+    /// execute phase separately from the prepare phase. Execution is
+    /// *plan-aware*: statements with a physical plan run on the
+    /// pipelined executor, everything else on the legacy interpreter.
     pub fn execute(&self, db: &Database, sql: &str) -> SqlResult<(ResultSet, ExecStats)> {
         let (plan, hit, prepare_us) = self.prepared_inner(db, sql);
         let plan = plan?;
         let t0 = Instant::now();
-        let result = plan.execute_with_stats(db);
+        let result = plan.execute_planned(db).map(|(rs, stats, path)| {
+            match path {
+                PlannedPath::Physical { ix_ops } if ix_ops > 0 => {
+                    self.ix_scans.fetch_add(ix_ops, Ordering::Relaxed);
+                }
+                _ => {
+                    self.fallback_scans.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            self.rows_scanned.fetch_add(stats.rows_scanned, Ordering::Relaxed);
+            (rs, stats)
+        });
         let execute_us = t0.elapsed().as_micros() as u64;
         self.execute_us.fetch_add(execute_us, Ordering::Relaxed);
         // is_active guard so the untraced hot path skips event recording
@@ -689,6 +791,9 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             prepare_us: self.prepare_us.load(Ordering::Relaxed),
             execute_us: self.execute_us.load(Ordering::Relaxed),
+            ix_scans: self.ix_scans.load(Ordering::Relaxed),
+            fallback_scans: self.fallback_scans.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
         }
     }
 

@@ -144,6 +144,35 @@ impl Value {
             Value::Text(t) => NormValue::Text(t.clone()),
         }
     }
+
+    /// Borrowed view of [`Value::normalized`]: same equality classes and
+    /// hash, but text borrows instead of cloning. Join build/probe paths
+    /// key their hash tables by this so no per-row `String` is allocated.
+    pub(crate) fn normalized_ref(&self) -> NormRef<'_> {
+        match self {
+            Value::Null => NormRef::Null,
+            Value::Int(i) => NormRef::Int(*i),
+            Value::Real(r) => {
+                if r.fract() == 0.0 && r.is_finite() && r.abs() < 9.0e15 {
+                    NormRef::Int(*r as i64)
+                } else {
+                    NormRef::Real(r.to_bits())
+                }
+            }
+            Value::Text(t) => NormRef::Text(t),
+        }
+    }
+}
+
+/// Borrowed counterpart of [`NormValue`] (see [`Value::normalized_ref`]).
+/// Equality and hashing agree with `NormValue`'s: two values have equal
+/// `NormRef`s iff they have equal `NormValue`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum NormRef<'a> {
+    Null,
+    Int(i64),
+    Real(u64),
+    Text(&'a str),
 }
 
 impl fmt::Display for Value {

@@ -9,6 +9,7 @@
 //! that fsck and crash recovery deliberately corrupt.
 
 use sqlkit::ast::TypeName;
+use sqlkit::index::ColumnIndex;
 use sqlkit::schema::{ColumnInfo, DbSchema, ForeignKey, TableInfo};
 use sqlkit::value::{Row, Value};
 use std::fmt;
@@ -256,6 +257,79 @@ pub fn decode_rows(bytes: &[u8], expect_arity: usize) -> Result<Vec<Row>, CodecE
     Ok(rows)
 }
 
+// ---- index codec -------------------------------------------------------
+
+/// A decoded secondary-index section: the declaration, plus the sorted
+/// entries and the indexed table's row count at build time when the
+/// index was usable (`None` marks a column persisted as unbuildable,
+/// e.g. it contained a NaN).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedIndex {
+    /// Indexed table name.
+    pub table: String,
+    /// Indexed column name.
+    pub column: String,
+    /// `Some((entries, table_rows))` for a usable index, `None` for a
+    /// declaration-only section.
+    pub built: Option<(Vec<(Value, u32)>, u64)>,
+}
+
+/// Encode a secondary-index section: a usable flag, the declaration,
+/// and (for usable indexes) the table's row count at build time plus
+/// the sorted `(value, rid)` entries. Unusable indexes persist as
+/// declaration-only sections so the planning fingerprint survives a
+/// round trip through the store.
+pub fn encode_index(table: &str, column: &str, index: Option<&ColumnIndex>) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u8(u8::from(index.is_some()));
+    enc.put_str(table);
+    enc.put_str(column);
+    if let Some(ix) = index {
+        enc.put_u64(ix.table_rows() as u64);
+        enc.put_u64(ix.len() as u64);
+        for (v, rid) in ix.entries() {
+            put_value(&mut enc, v);
+            enc.put_u32(*rid);
+        }
+    }
+    enc.into_bytes()
+}
+
+/// Decode a secondary-index section.
+pub fn decode_index(bytes: &[u8]) -> Result<DecodedIndex, CodecError> {
+    let mut dec = Dec::new(bytes);
+    let usable = match dec.get_u8()? {
+        0 => false,
+        1 => true,
+        f => return err(format!("unknown index usable flag {f}")),
+    };
+    let table = dec.get_str()?;
+    let column = dec.get_str()?;
+    let built = if usable {
+        let table_rows = dec.get_u64()?;
+        let n = dec.get_u64()? as usize;
+        if (n as u64) > table_rows {
+            return err(format!("index holds {n} entries over {table_rows} rows"));
+        }
+        let mut entries = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let v = get_value(&mut dec)?;
+            let rid = dec.get_u32()?;
+            if u64::from(rid) >= table_rows {
+                return err(format!("index rid {rid} out of range ({table_rows} rows)"));
+            }
+            entries.push((v, rid));
+        }
+        Some((entries, table_rows))
+    } else {
+        None
+    };
+    if dec.remaining() != 0 {
+        return err(format!("{} trailing bytes after index", dec.remaining()));
+    }
+    Ok(DecodedIndex { table, column, built })
+}
+
 // ---- schema codec ------------------------------------------------------
 
 fn type_tag(ty: TypeName) -> u8 {
@@ -409,6 +483,24 @@ mod tests {
         assert_eq!(decode_rows(&bytes, 3).unwrap(), rows);
         assert!(decode_rows(&bytes, 2).is_err(), "arity mismatch is detected");
         assert!(decode_rows(&bytes[..bytes.len() - 1], 3).is_err(), "truncation is detected");
+    }
+
+    #[test]
+    fn index_sections_round_trip() {
+        let rows =
+            vec![vec![Value::Int(3)], vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(1)]];
+        let ix = ColumnIndex::build(&rows, 0).unwrap();
+        let bytes = encode_index("t", "c", Some(&ix));
+        let dec = decode_index(&bytes).unwrap();
+        assert_eq!((dec.table.as_str(), dec.column.as_str()), ("t", "c"));
+        let (entries, table_rows) = dec.built.unwrap();
+        assert_eq!(table_rows, 4);
+        assert_eq!(entries, ix.entries().to_vec());
+
+        let decl_only = encode_index("t", "c", None);
+        assert_eq!(decode_index(&decl_only).unwrap().built, None);
+        assert!(decode_index(&decl_only[..decl_only.len() - 1]).is_err());
+        assert!(decode_index(&bytes[..bytes.len() - 2]).is_err(), "truncation is detected");
     }
 
     #[test]

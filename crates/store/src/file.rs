@@ -19,7 +19,7 @@ use crate::page::{
     pack_page, paginate, unpack_page, PAGE_DATA, PAGE_PAYLOAD, PAGE_SIZE, PAGE_TOC,
 };
 use crate::StoreError;
-use sqlkit::Database;
+use sqlkit::{ColumnIndex, Database, IndexDef};
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
@@ -27,8 +27,10 @@ use std::path::Path;
 /// Store file magic ("OSQLSTO1").
 pub const STORE_MAGIC: u64 = u64::from_le_bytes(*b"OSQLSTO1");
 /// Store format version. Version 2 added `base_seq` to the TOC so
-/// recovery can tell which WAL commits a checkpoint already folded in.
-pub const STORE_VERSION: u32 = 2;
+/// recovery can tell which WAL commits a checkpoint already folded in;
+/// version 3 added secondary-index sections. Version-2 files (no index
+/// sections) still load.
+pub const STORE_VERSION: u32 = 3;
 
 /// What a section holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +41,8 @@ pub enum SectionKind {
     Table,
     /// An opaque named blob (e.g. datagen metadata).
     Blob,
+    /// One secondary index's sorted entries; `name` is `table.column`.
+    Index,
 }
 
 impl SectionKind {
@@ -47,6 +51,7 @@ impl SectionKind {
             SectionKind::Schema => 1,
             SectionKind::Table => 2,
             SectionKind::Blob => 3,
+            SectionKind::Index => 4,
         }
     }
 
@@ -55,6 +60,7 @@ impl SectionKind {
             1 => Ok(SectionKind::Schema),
             2 => Ok(SectionKind::Table),
             3 => Ok(SectionKind::Blob),
+            4 => Ok(SectionKind::Index),
             t => Err(StoreError::corrupt(format!("unknown section kind {t}"))),
         }
     }
@@ -120,7 +126,7 @@ fn decode_toc(payload: &[u8]) -> Result<Toc, StoreError> {
         return Err(StoreError::corrupt("bad store magic in TOC"));
     }
     let version = dec.get_u32()?;
-    if version != STORE_VERSION {
+    if !(2..=STORE_VERSION).contains(&version) {
         return Err(StoreError::corrupt(format!("unsupported store version {version}")));
     }
     let page_size = dec.get_u32()?;
@@ -196,27 +202,47 @@ pub fn write_database(
             rows.len() as u64,
         ));
     }
+    for def in db.index_defs() {
+        let built = db.index(&def.table, &def.column);
+        payloads.push((
+            SectionKind::Index,
+            format!("{}.{}", def.table, def.column),
+            codec::encode_index(&def.table, &def.column, built.as_deref()),
+            built.map(|ix| ix.len() as u64).unwrap_or(0),
+        ));
+    }
     for (name, bytes) in blobs {
         payloads.push((SectionKind::Blob, name.clone(), bytes.clone(), 0));
     }
 
     // paginate sections and build the TOC
-    let mut data_pages: Vec<Vec<u8>> = Vec::new();
-    let mut sections = Vec::with_capacity(payloads.len());
-    for (kind, name, bytes, row_count) in &payloads {
-        let pages = paginate(bytes);
-        sections.push(Section {
-            kind: *kind,
-            name: name.clone(),
-            first_page: 1 + data_pages.len() as u32,
-            page_count: pages.len() as u32,
-            byte_len: bytes.len() as u64,
-            crc: crc32(bytes),
-            row_count: *row_count,
-        });
-        data_pages.extend(pages);
+    let assemble = |payloads: &[(SectionKind, String, Vec<u8>, u64)]| {
+        let mut data_pages: Vec<Vec<u8>> = Vec::new();
+        let mut sections = Vec::with_capacity(payloads.len());
+        for (kind, name, bytes, row_count) in payloads {
+            let pages = paginate(bytes);
+            sections.push(Section {
+                kind: *kind,
+                name: name.clone(),
+                first_page: 1 + data_pages.len() as u32,
+                page_count: pages.len() as u32,
+                byte_len: bytes.len() as u64,
+                crc: crc32(bytes),
+                row_count: *row_count,
+            });
+            data_pages.extend(pages);
+        }
+        let toc_bytes =
+            encode_toc(&Toc { db_name: db.schema.name.clone(), base_seq, sections });
+        (data_pages, toc_bytes)
+    };
+    let (mut data_pages, mut toc_bytes) = assemble(&payloads);
+    if toc_bytes.len() > PAGE_PAYLOAD {
+        // indexes are rebuildable from the table sections: drop them
+        // before giving up on a TOC that cannot fit one page
+        payloads.retain(|(kind, ..)| *kind != SectionKind::Index);
+        (data_pages, toc_bytes) = assemble(&payloads);
     }
-    let toc_bytes = encode_toc(&Toc { db_name: db.schema.name.clone(), base_seq, sections });
     if toc_bytes.len() > PAGE_PAYLOAD {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
@@ -296,6 +322,35 @@ fn load_toc(file: &[u8]) -> Result<Toc, StoreError> {
     decode_toc(payload)
 }
 
+/// Install one decoded index section into the reloaded database. Every
+/// failure path — undecodable payload, unknown table, a row count that
+/// does not match the reloaded table, entries that fail the sorted-run
+/// validation — drops the index silently: the declaration disappears,
+/// the planner falls back to scans, and results stay correct. A section
+/// persisted as declaration-only (unbuildable column) reinstalls as
+/// unusable so the planning fingerprint round-trips.
+fn install_index_section(database: &mut Database, bytes: &[u8]) {
+    let Ok(decoded) = codec::decode_index(bytes) else { return };
+    let def = IndexDef { table: decoded.table, column: decoded.column };
+    match decoded.built {
+        None => {
+            let _ = database.install_unusable_index(def);
+        }
+        Some((entries, table_rows)) => {
+            let live_rows = match database.rows(&def.table) {
+                Ok(rows) => rows.len(),
+                Err(_) => return,
+            };
+            if table_rows != live_rows as u64 {
+                return;
+            }
+            if let Some(index) = ColumnIndex::from_entries(entries, live_rows) {
+                let _ = database.install_index(def, index);
+            }
+        }
+    }
+}
+
 /// Read a store file back into a [`Database`] plus its blobs.
 pub fn read_database(path: &Path) -> Result<LoadedStore, StoreError> {
     let file = fs::read(path)?;
@@ -304,7 +359,14 @@ pub fn read_database(path: &Path) -> Result<LoadedStore, StoreError> {
     let mut blobs = Vec::new();
     let mut saw_schema = false;
     for s in &toc.sections {
-        let bytes = section_bytes(&file, s)?;
+        let bytes = match section_bytes(&file, s) {
+            Ok(b) => b,
+            // index sections are derived data: a damaged one is dropped
+            // (lookups fall back to scans) instead of failing the load —
+            // fsck still reports it. Everything else is authoritative.
+            Err(_) if s.kind == SectionKind::Index => continue,
+            Err(e) => return Err(e),
+        };
         match s.kind {
             SectionKind::Schema => {
                 if saw_schema {
@@ -346,6 +408,12 @@ pub fn read_database(path: &Path) -> Result<LoadedStore, StoreError> {
                 database.insert_rows(&s.name, rows).map_err(|e| {
                     StoreError::corrupt(format!("reload rows into {}: {e}", s.name))
                 })?;
+            }
+            SectionKind::Index => {
+                if !saw_schema {
+                    return Err(StoreError::corrupt("index section before schema"));
+                }
+                install_index_section(&mut database, &bytes);
             }
             SectionKind::Blob => blobs.push((s.name.clone(), bytes)),
         }

@@ -1,0 +1,166 @@
+//! Differential suite for the cost-based physical planner and pipelined
+//! executor.
+//!
+//! The plan cache routes hot statements through the physical plan
+//! (index scans, index joins, streaming residual filters); its contract
+//! is *byte-identical rows* to the legacy materialising interpreter for
+//! every statement the corpus can produce — execution statistics may
+//! legitimately differ between executors, result bytes may not. The
+//! suite also pins that demand-paged serving with persisted index
+//! sections is indistinguishable from in-memory serving, and that
+//! changing a database's index set invalidates its cached plans.
+
+use datagen::{build::build_db, domain::themes, generator::sample_spec, Difficulty, RowScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlkit::{parse_select, plan_fingerprint, print_select, PlanCache};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("osql-planner-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Execute `sql` on the legacy interpreter and through the plan cache's
+/// planned path, asserting identical rows (or identical errors).
+/// Returns whether the statement lowered to a physical plan.
+fn assert_legacy_matches_planned(cache: &PlanCache, db: &sqlkit::Database, sql: &str) -> bool {
+    let legacy = parse_select(sql).map(|stmt| sqlkit::execute_select(db, &stmt));
+    let planned = cache.execute(db, sql);
+    match (legacy, planned) {
+        (Ok(Ok(rs_legacy)), Ok((rs_planned, _))) => {
+            assert_eq!(rs_legacy, rs_planned, "rows differ for {sql}");
+        }
+        (Ok(Err(e_legacy)), Err(e_planned)) => {
+            assert_eq!(e_legacy.to_string(), e_planned.to_string(), "errors differ for {sql}");
+        }
+        (Err(e_legacy), Err(e_planned)) => {
+            assert_eq!(
+                e_legacy.to_string(),
+                e_planned.to_string(),
+                "parse errors differ for {sql}"
+            );
+        }
+        (legacy, planned) => {
+            panic!("outcome class differs for {sql}: legacy={legacy:?} planned={planned:?}")
+        }
+    }
+    cache.prepared(db, sql).map(|p| p.is_planned()).unwrap_or(false)
+}
+
+/// Every gold SQL in the generated corpus (train and dev, every database,
+/// default indexes declared) returns byte-identical rows planned and
+/// legacy — and a healthy share of the corpus actually lowers.
+#[test]
+fn corpus_gold_sql_matches_legacy_execution() {
+    let bench = datagen::generate(&datagen::Profile::tiny());
+    let cache = PlanCache::new(512);
+    let (mut checked, mut planned) = (0usize, 0usize);
+    for ex in bench.train.iter().chain(bench.dev.iter()) {
+        let db = bench.db(&ex.db_id).expect("gold examples reference known dbs");
+        planned += usize::from(assert_legacy_matches_planned(&cache, &db.database, &ex.gold_sql));
+        checked += 1;
+    }
+    assert!(checked >= 50, "corpus covered: {checked}");
+    assert!(
+        planned * 4 >= checked,
+        "planner engagement collapsed: {planned} of {checked} statements lowered"
+    );
+}
+
+/// Broader SQL surface: sampled query specs across themes and every
+/// difficulty tier, same differential.
+#[test]
+fn sampled_specs_match_legacy_execution() {
+    let lib = themes();
+    let cache = PlanCache::new(512);
+    for (theme_idx, seed) in [(0usize, 11u64), (3, 22), (7, 33), (12, 44), (19, 55)] {
+        let db = build_db(&lib[theme_idx % lib.len()], "diff", "diff", RowScale::tiny(), 0.5, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for difficulty in Difficulty::all() {
+            for _ in 0..6 {
+                if let Some(spec) = sample_spec(&db, difficulty, &mut rng) {
+                    let sql = print_select(&spec.to_sql(&db.database.schema));
+                    assert_legacy_matches_planned(&cache, &db.database, &sql);
+                }
+            }
+        }
+    }
+}
+
+/// A database round-tripped through a store file (index sections
+/// included) must answer every gold statement byte-identically to the
+/// in-memory original, and with the same planning fingerprint.
+#[test]
+fn paged_databases_with_indexes_serve_identical_rows() {
+    let bench = datagen::generate(&datagen::Profile::tiny());
+    let dir = tmpdir("paged");
+    let mem_cache = PlanCache::new(512);
+    let paged_cache = PlanCache::new(512);
+    for db in &bench.dbs {
+        let path = dir.join(format!("{}.store", db.id));
+        osql_store::write_database(&path, &db.database, &[], 0).unwrap();
+        let loaded = osql_store::read_database(&path).unwrap().database;
+        assert_eq!(
+            plan_fingerprint(&loaded),
+            plan_fingerprint(&db.database),
+            "{}: index declarations must survive the store round trip",
+            db.id
+        );
+        for ex in bench.train.iter().chain(bench.dev.iter()).filter(|e| e.db_id == db.id) {
+            let mem = mem_cache.execute(&db.database, &ex.gold_sql);
+            let paged = paged_cache.execute(&loaded, &ex.gold_sql);
+            match (mem, paged) {
+                (Ok((rs_mem, _)), Ok((rs_paged, _))) => {
+                    assert_eq!(rs_mem, rs_paged, "rows differ for {}", ex.gold_sql)
+                }
+                (Err(e_mem), Err(e_paged)) => {
+                    assert_eq!(e_mem.to_string(), e_paged.to_string())
+                }
+                (mem, paged) => panic!(
+                    "outcome class differs for {}: mem={mem:?} paged={paged:?}",
+                    ex.gold_sql
+                ),
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Creating an index changes the database's planning fingerprint, so the
+/// plan cache re-prepares instead of serving a stale plan — and the
+/// re-prepared statement starts using the new index.
+#[test]
+fn index_set_changes_invalidate_cached_plans() {
+    let mut db = sqlkit::Database::new("inval");
+    let mut script =
+        String::from("CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, label TEXT);\n");
+    for i in 0..300 {
+        script.push_str(&format!("INSERT INTO t VALUES ({i}, {}, 'x{i}');\n", i % 30));
+    }
+    db.execute_script(&script).unwrap();
+
+    let cache = PlanCache::new(64);
+    let sql = "SELECT label FROM t WHERE grp = 7 ORDER BY id";
+    let before = cache.prepared(&db, sql).unwrap();
+    let (rows_before, _) = cache.execute(&db, sql).unwrap();
+
+    db.create_index("t", "grp").unwrap();
+    let after = cache.prepared(&db, sql).unwrap();
+    assert!(
+        !Arc::ptr_eq(&before, &after),
+        "cached plan survived an index-set change"
+    );
+    assert_ne!(before.fingerprint(), after.fingerprint());
+
+    let ix_before = cache.stats().ix_scans;
+    let (rows_after, _) = cache.execute(&db, sql).unwrap();
+    assert_eq!(rows_before, rows_after, "index must not change results");
+    assert!(
+        cache.stats().ix_scans > ix_before,
+        "re-prepared plan should drive the new index"
+    );
+}
