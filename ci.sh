@@ -1,9 +1,23 @@
 #!/usr/bin/env bash
 # The gate every change must pass: release build, fast engine gate, full
-# test suite, bench compilation, warnings-as-errors lint. Referenced from
+# test suite, bench compilation, warnings-as-errors lint, concurrency
+# model checking, and the workspace source lint. Referenced from
 # README.md ("Install & build").
+#
+# Flags:
+#   --sanitize   additionally run the concurrency-sensitive test suites
+#                under ThreadSanitizer (requires a nightly toolchain with
+#                rust-src; skipped with a notice when unavailable).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+sanitize=0
+for arg in "$@"; do
+    case "$arg" in
+        --sanitize) sanitize=1 ;;
+        *) echo "ci: unknown flag $arg" >&2; exit 2 ;;
+    esac
+done
 
 cargo build --release
 cargo test -q -p sqlkit          # fast gate: the SQL substrate everything sits on
@@ -45,8 +59,42 @@ cargo test -q -p osql-server --test http_smoke
 cargo test -q -p osql-server --test coalesce
 cargo clippy -p osql-server --all-targets -- -D warnings
 
+# Concurrency gates (osql-chk). Three layers:
+#   1. workspace-lint: no raw std::sync primitives in checked crates, no
+#      lock().unwrap() outside the sanctioned helper, no wall-clock reads
+#      in logical-trace code.
+#   2. chk self-tests: the explorer finds its seeded bugs, the lock-order
+#      analyzer flags cycles, the lint fires on fixtures.
+#   3. model suites: every migrated structure's invariants explored
+#      exhaustively under --cfg osql_model (separate target dir so the
+#      model-world cfg does not thrash the main build cache).
+cargo run --release -q -p osql-chk --bin workspace-lint
+cargo test -q -p osql-chk
+for crate in osql-chk osql-runtime osql-server osql-store sqlkit; do
+    RUSTFLAGS="--cfg osql_model" CARGO_TARGET_DIR=target/model \
+        cargo test -q -p "$crate" --test model
+done
+
 cargo test -q
 cargo bench --no-run             # benches must always compile
 cargo clippy -p osql-store --all-targets -- -D warnings
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Optional ThreadSanitizer stage: the model checker explores schedules a
+# real scheduler rarely produces, TSan validates the real std::sync path
+# under genuine parallelism. Nightly-only (-Zbuild-std), so this stage is
+# opt-in and degrades to a notice when the toolchain is not available.
+if [ "$sanitize" -eq 1 ]; then
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    if rustup run nightly rustc --version >/dev/null 2>&1 \
+        && rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src (installed)'; then
+        RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/tsan \
+            cargo +nightly test -Zbuild-std --target "$host" -q \
+            -p osql-runtime -p osql-server -p osql-chk
+        echo "ci: tsan ok"
+    else
+        echo "ci: --sanitize requested but nightly toolchain with rust-src is unavailable; skipping TSan stage" >&2
+    fi
+fi
+
 echo "ci: ok"

@@ -26,7 +26,8 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::{Arc, Barrier, Condvar, Mutex};
+use osql_chk::{Condvar, Mutex};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 // ---- minimal loopback HTTP client --------------------------------------
@@ -110,18 +111,18 @@ impl WorkQueue {
     }
 
     fn push_burst(&self, burst: Vec<TrafficRequest>) {
-        let mut guard = self.ready.lock().unwrap();
+        let mut guard = self.ready.lock();
         guard.0.extend(burst);
         self.wake.notify_all();
     }
 
     fn close(&self) {
-        self.ready.lock().unwrap().1 = true;
+        self.ready.lock().1 = true;
         self.wake.notify_all();
     }
 
     fn pop(&self) -> Option<TrafficRequest> {
-        let mut guard = self.ready.lock().unwrap();
+        let mut guard = self.ready.lock();
         loop {
             if let Some(req) = guard.0.pop_front() {
                 return Some(req);
@@ -129,7 +130,7 @@ impl WorkQueue {
             if guard.1 {
                 return None;
             }
-            guard = self.wake.wait(guard).unwrap();
+            guard = self.wake.wait(guard);
         }
     }
 }

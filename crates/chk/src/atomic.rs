@@ -1,0 +1,122 @@
+//! Shim atomics: transparent newtypes over `std::sync::atomic` that, under
+//! `--cfg osql_model`, yield to the scheduler before every operation so
+//! the explorer can interleave loads, stores, and RMWs.
+//!
+//! The `Ordering` argument is accepted for source compatibility but the
+//! model explores interleavings as if every op were `SeqCst` (the model
+//! serializes execution, so weaker orderings cannot be distinguished).
+//! Normal builds forward the ordering untouched at zero cost.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(osql_model)]
+use crate::sched::atomic_point;
+
+#[cfg(not(osql_model))]
+#[inline(always)]
+fn atomic_point() {}
+
+macro_rules! shim_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Shim over the std atomic of the same name; every op is a
+        /// schedule point under the model.
+        #[derive(Debug, Default)]
+        pub struct $name($std);
+
+        impl $name {
+            pub const fn new(v: $prim) -> Self {
+                Self(<$std>::new(v))
+            }
+
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $prim {
+                atomic_point();
+                self.0.load(order)
+            }
+
+            #[inline]
+            pub fn store(&self, v: $prim, order: Ordering) {
+                atomic_point();
+                self.0.store(v, order)
+            }
+
+            #[inline]
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                atomic_point();
+                self.0.swap(v, order)
+            }
+
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                atomic_point();
+                self.0.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.0.get_mut()
+            }
+
+            pub fn into_inner(self) -> $prim {
+                self.0.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! shim_atomic_int {
+    ($name:ident, $std:ty, $prim:ty) => {
+        shim_atomic!($name, $std, $prim);
+
+        impl $name {
+            #[inline]
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                atomic_point();
+                self.0.fetch_add(v, order)
+            }
+
+            #[inline]
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                atomic_point();
+                self.0.fetch_sub(v, order)
+            }
+
+            #[inline]
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                atomic_point();
+                self.0.fetch_max(v, order)
+            }
+
+            #[inline]
+            pub fn fetch_min(&self, v: $prim, order: Ordering) -> $prim {
+                atomic_point();
+                self.0.fetch_min(v, order)
+            }
+        }
+    };
+}
+
+shim_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+shim_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+shim_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+shim_atomic_int!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+impl AtomicBool {
+    #[inline]
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        atomic_point();
+        self.0.fetch_or(v, order)
+    }
+
+    #[inline]
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        atomic_point();
+        self.0.fetch_and(v, order)
+    }
+}

@@ -1,0 +1,259 @@
+//! The workspace lint gate: repo-wide policy checks with no external
+//! crates (xtask-style, driven by the `workspace-lint` binary and by
+//! `ci.sh`).
+//!
+//! Policies:
+//!
+//! * **`raw-sync`** — the *checked crates* (those with model-checked
+//!   invariant suites: runtime, server, store, trace, sqlkit) must not
+//!   use raw `std::sync` `Mutex`/`Condvar`/`RwLock`/`Atomic*` — they must
+//!   go through the `osql_chk` shims, or the model checker cannot see the
+//!   operations. (`Arc`, `mpsc`, `OnceLock`, `atomic::Ordering` etc.
+//!   remain fine.)
+//! * **`lock-unwrap`** — nowhere in the workspace may code hand-roll the
+//!   poison decision: `.lock().unwrap()`, `.lock().expect(..)`,
+//!   `.lock().unwrap_or_else(..)` (and the `read()`/`write()` RwLock
+//!   forms) are banned outside the sanctioned helper
+//!   (`osql_chk::lock_or_recover` / the chk shims, which bake the policy
+//!   in). One policy, one place.
+//! * **`wall-clock`** — inside `crates/trace/src/`, `Instant::now` /
+//!   `SystemTime::now` may only appear on lines carrying an explicit
+//!   `chk:allow(wall-clock)` pragma. Logical traces must be byte-identical
+//!   across runs and thread counts; an unannotated wall-clock read in the
+//!   trace crate is how that property historically rots.
+//!
+//! Any line can be exempted with a justified pragma, on the same line or
+//! the line above:
+//!
+//! ```text
+//! let t = Instant::now(); // chk:allow(wall-clock): volatile anchor, excluded from logical view
+//! ```
+//!
+//! A pragma without a `:`-separated justification is itself a violation.
+
+use std::path::Path;
+
+/// Crates whose source must use the chk shims instead of raw `std::sync`
+/// primitives (the crates with model-checked invariant suites).
+pub const CHECKED_CRATES: &[&str] = &["runtime", "server", "store", "trace", "sqlkit"];
+
+/// One policy violation at a specific line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Policy name (`raw-sync`, `lock-unwrap`, `wall-clock`,
+    /// `bad-pragma`).
+    pub policy: &'static str,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.policy, self.excerpt)
+    }
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Does `hay` contain `needle` as a standalone token (not embedded in a
+/// longer identifier or path segment like `chk::Mutex`)?
+fn has_token(hay: &str, needle: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !(is_ident_char(b) || b == b':' && at >= 2 && bytes[at - 2] == b':')
+        };
+        let after = at + needle.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Strip a trailing `//` line comment (good enough for policy matching:
+/// none of the banned patterns can legitimately appear before a `//`
+/// inside a string on the same line in this codebase).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Is line `i` (0-based) exempted from `policy` by a pragma on the same
+/// line or the line above? Returns `Err` when a pragma exists but carries
+/// no justification.
+fn allowed(lines: &[&str], i: usize, policy: &str) -> Result<bool, ()> {
+    let tag = format!("chk:allow({policy})");
+    for candidate in [Some(lines[i]), i.checked_sub(1).and_then(|p| lines.get(p).copied())]
+        .into_iter()
+        .flatten()
+    {
+        if let Some(pos) = candidate.find(&tag) {
+            let rest = candidate[pos + tag.len()..].trim_start();
+            let justified = rest.starts_with(':') && rest.len() > 2;
+            return if justified { Ok(true) } else { Err(()) };
+        }
+    }
+    Ok(false)
+}
+
+const RAW_SYNC_TYPES: &[&str] = &["Mutex", "Condvar", "RwLock"];
+
+fn line_uses_raw_sync(code: &str) -> bool {
+    // fully qualified paths anywhere
+    for ty in RAW_SYNC_TYPES {
+        if code.contains(&format!("std::sync::{ty}")) {
+            return true;
+        }
+    }
+    if code.contains("std::sync::atomic::Atomic") {
+        return true;
+    }
+    // grouped imports: `use std::sync::{Arc, Mutex}` / atomic variants
+    if let Some(pos) = code.find("use std::sync::") {
+        let rest = &code[pos..];
+        for ty in RAW_SYNC_TYPES {
+            if has_token(rest, ty) {
+                return true;
+            }
+        }
+        if rest.contains("atomic::Atomic") {
+            return true;
+        }
+        // `use std::sync::atomic::{AtomicU64, Ordering}`
+        if rest.contains("atomic::{") {
+            let group = &rest[rest.find("atomic::{").unwrap()..];
+            if group.contains("Atomic") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+const LOCK_UNWRAP_FORMS: &[&str] = &[
+    ".lock().unwrap()",
+    ".lock().expect(",
+    ".lock().unwrap_or_else(",
+    ".read().unwrap()",
+    ".read().expect(",
+    ".read().unwrap_or_else(",
+    ".write().unwrap()",
+    ".write().expect(",
+    ".write().unwrap_or_else(",
+];
+
+fn line_unwraps_lock(code: &str) -> bool {
+    LOCK_UNWRAP_FORMS.iter().any(|form| code.contains(form))
+}
+
+fn line_reads_wall_clock(code: &str) -> bool {
+    code.contains("Instant::now") || code.contains("SystemTime::now")
+}
+
+/// Which policies apply to a file at this workspace-relative path.
+fn policies_for(rel_path: &str) -> (bool, bool, bool) {
+    let in_chk = rel_path.starts_with("crates/chk/");
+    let raw_sync = !in_chk
+        && CHECKED_CRATES.iter().any(|c| rel_path.starts_with(&format!("crates/{c}/")));
+    // chk is the sanctioned implementation layer for the poison policy
+    let lock_unwrap = !in_chk;
+    let wall_clock = rel_path.starts_with("crates/trace/src/");
+    (raw_sync, lock_unwrap, wall_clock)
+}
+
+/// Lint one file's content against every applicable policy.
+pub fn lint_file(rel_path: &str, content: &str) -> Vec<Violation> {
+    let (raw_sync, lock_unwrap, wall_clock) = policies_for(rel_path);
+    if !(raw_sync || lock_unwrap || wall_clock) {
+        return Vec::new();
+    }
+    let lines: Vec<&str> = content.lines().collect();
+    let mut out = Vec::new();
+    let mut push = |policy: &'static str, i: usize, line: &str| {
+        out.push(Violation {
+            file: rel_path.to_string(),
+            line: i + 1,
+            policy,
+            excerpt: line.trim().to_string(),
+        });
+    };
+    for (i, line) in lines.iter().enumerate() {
+        let code = code_part(line);
+        if raw_sync && line_uses_raw_sync(code) {
+            match allowed(&lines, i, "raw-sync") {
+                Ok(true) => {}
+                Ok(false) => push("raw-sync", i, line),
+                Err(()) => push("bad-pragma", i, line),
+            }
+        }
+        if lock_unwrap && line_unwraps_lock(code) {
+            match allowed(&lines, i, "lock-unwrap") {
+                Ok(true) => {}
+                Ok(false) => push("lock-unwrap", i, line),
+                Err(()) => push("bad-pragma", i, line),
+            }
+        }
+        if wall_clock && line_reads_wall_clock(code) {
+            // note: checked against the raw line, pragma included — the
+            // pragma itself lives in the comment
+            match allowed(&lines, i, "wall-clock") {
+                Ok(true) => {}
+                Ok(false) => push("wall-clock", i, line),
+                Err(()) => push("bad-pragma", i, line),
+            }
+        }
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "stubs" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint every `.rs` file in the workspace (excluding `target/`, `stubs/`,
+/// `.git/`). Returns `(files_checked, violations)`.
+pub fn lint_workspace(root: &Path) -> (usize, Vec<Violation>) {
+    let mut files = Vec::new();
+    for sub in ["crates", "src", "tests", "examples", "benches"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files);
+        }
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for file in &files {
+        let rel = file.strip_prefix(root).unwrap_or(file);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        let Ok(content) = std::fs::read_to_string(file) else { continue };
+        violations.extend(lint_file(&rel, &content));
+    }
+    (files.len(), violations)
+}

@@ -1,0 +1,232 @@
+//! Always-on (debug/test builds) lock-order cycle detection.
+//!
+//! Every [`crate::Mutex`]/[`crate::RwLock`] gets a process-unique id; each
+//! thread keeps a TLS stack of the lock ids it currently holds. Acquiring
+//! lock `B` while holding `A` records the directed edge `A → B` in a
+//! global acquisition graph (with the capturing backtrace). If a new edge
+//! would close a cycle — some other code path already acquired in the
+//! opposite order — the acquire panics immediately, printing **both**
+//! offending stacks: the previously recorded edge and the acquisition
+//! that closed the cycle. An acyclic acquisition graph proves the locks
+//! admit a global order, i.e. no lock-ordering deadlock is reachable.
+//!
+//! Cost model: acquisitions while holding no lock (the overwhelmingly
+//! common case) never touch the global graph; nested acquisitions take a
+//! global mutex but only capture a backtrace for *new* edges, of which
+//! there are finitely many (distinct lock pairs). The analyzer is
+//! compiled out entirely in release builds and under `--cfg osql_model`
+//! (the model scheduler owns all ordering there).
+
+#![allow(dead_code)]
+
+#[cfg(all(debug_assertions, not(osql_model)))]
+mod imp {
+    use std::backtrace::Backtrace;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{LazyLock, Mutex as StdMutex};
+
+    static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+    static CYCLES: AtomicUsize = AtomicUsize::new(0);
+
+    thread_local! {
+        static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    }
+
+    struct Graph {
+        /// edge (from, to) → backtrace of the acquisition that created it
+        edges: HashMap<(usize, usize), String>,
+        adj: HashMap<usize, Vec<usize>>,
+    }
+
+    static GRAPH: LazyLock<StdMutex<Graph>> =
+        LazyLock::new(|| StdMutex::new(Graph { edges: HashMap::new(), adj: HashMap::new() }));
+
+    fn graph() -> std::sync::MutexGuard<'static, Graph> {
+        GRAPH.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// BFS path from → to; returns the first edge on the path, if any.
+    fn find_path(g: &Graph, from: usize, to: usize) -> Option<(usize, usize)> {
+        let mut queue = vec![from];
+        let mut seen = vec![from];
+        let mut first_hop: HashMap<usize, usize> = HashMap::new();
+        while let Some(n) = queue.pop() {
+            for &next in g.adj.get(&n).into_iter().flatten() {
+                if seen.contains(&next) {
+                    continue;
+                }
+                let hop = *first_hop.get(&n).unwrap_or(&next);
+                first_hop.insert(next, hop);
+                if next == to {
+                    return Some((from, hop));
+                }
+                seen.push(next);
+                queue.push(next);
+            }
+        }
+        None
+    }
+
+    /// Per-lock identity, allocated at construction, retired on drop.
+    pub(crate) struct LockTag {
+        id: usize,
+    }
+
+    impl LockTag {
+        pub(crate) fn new() -> Self {
+            LockTag { id: NEXT_ID.fetch_add(1, Ordering::Relaxed) }
+        }
+    }
+
+    impl Drop for LockTag {
+        fn drop(&mut self) {
+            let mut g = graph();
+            g.adj.remove(&self.id);
+            for (_, targets) in g.adj.iter_mut() {
+                targets.retain(|&t| t != self.id);
+            }
+            g.edges.retain(|&(a, b), _| a != self.id && b != self.id);
+        }
+    }
+
+    /// Proof that the calling thread holds the lock; pops the TLS held
+    /// stack on drop.
+    pub(crate) struct Held {
+        id: usize,
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut held = h.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|&id| id == self.id) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+
+    /// Record edges from every held lock to `tag`, panicking if one of
+    /// them closes a cycle. Call *before* the real acquire.
+    pub(crate) fn check_order(tag: &LockTag) {
+        let new_id = tag.id;
+        HELD.with(|h| {
+            let held = h.borrow();
+            if held.is_empty() {
+                return;
+            }
+            let mut g = graph();
+            for &held_id in held.iter() {
+                if held_id == new_id {
+                    CYCLES.fetch_add(1, Ordering::Relaxed);
+                    drop(g);
+                    panic!(
+                        "lock-order violation: thread re-acquiring lock #{new_id} it already \
+                         holds (guaranteed self-deadlock)\nacquisition:\n{}",
+                        Backtrace::force_capture()
+                    );
+                }
+                if g.edges.contains_key(&(held_id, new_id)) {
+                    continue;
+                }
+                if let Some(conflict) = find_path(&g, new_id, held_id) {
+                    let prior = g.edges.get(&conflict).cloned().unwrap_or_default();
+                    CYCLES.fetch_add(1, Ordering::Relaxed);
+                    drop(g);
+                    panic!(
+                        "lock-order cycle: acquiring lock #{new_id} while holding #{held_id}, \
+                         but the opposite order #{}→#{} was recorded\n\
+                         --- prior acquisition (held #{} then took #{}): ---\n{prior}\n\
+                         --- this acquisition (holds #{held_id}, taking #{new_id}): ---\n{}",
+                        conflict.0,
+                        conflict.1,
+                        conflict.0,
+                        conflict.1,
+                        Backtrace::force_capture()
+                    );
+                }
+                let bt = Backtrace::force_capture().to_string();
+                g.edges.insert((held_id, new_id), bt);
+                g.adj.entry(held_id).or_default().push(new_id);
+            }
+        });
+    }
+
+    /// Push onto the TLS held stack. Call *after* the real acquire.
+    pub(crate) fn acquired(tag: &LockTag) -> Held {
+        HELD.with(|h| h.borrow_mut().push(tag.id));
+        Held { id: tag.id }
+    }
+
+    pub(crate) fn cycles_detected() -> usize {
+        CYCLES.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn edge_count() -> usize {
+        graph().edges.len()
+    }
+
+    pub(crate) fn reset() {
+        let mut g = graph();
+        g.edges.clear();
+        g.adj.clear();
+        CYCLES.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(all(debug_assertions, not(osql_model))))]
+mod imp {
+    /// Zero-sized no-op tag: release builds and model builds compile the
+    /// analyzer out entirely.
+    pub(crate) struct LockTag;
+
+    impl LockTag {
+        #[inline(always)]
+        pub(crate) fn new() -> Self {
+            LockTag
+        }
+    }
+
+    pub(crate) struct Held;
+
+    #[inline(always)]
+    pub(crate) fn check_order(_tag: &LockTag) {}
+
+    #[inline(always)]
+    pub(crate) fn acquired(_tag: &LockTag) -> Held {
+        Held
+    }
+
+    pub(crate) fn cycles_detected() -> usize {
+        0
+    }
+
+    pub(crate) fn edge_count() -> usize {
+        0
+    }
+
+    pub(crate) fn reset() {}
+}
+
+#[cfg_attr(osql_model, allow(unused_imports))] // shims bypass the analyzer under the model
+pub(crate) use imp::{acquired, check_order, Held, LockTag};
+
+/// Number of lock-order cycles detected so far in this process (a cycle
+/// also panics at the offending acquisition; this counter backs the
+/// "analyzer ran and found nothing" assertions in test suites).
+pub fn cycles_detected() -> usize {
+    imp::cycles_detected()
+}
+
+/// Number of distinct nested-acquisition edges observed so far.
+pub fn edge_count() -> usize {
+    imp::edge_count()
+}
+
+/// Clear the acquisition graph and the cycle counter. Test-only: lets a
+/// suite that deliberately provokes a cycle leave a clean slate.
+pub fn reset() {
+    imp::reset()
+}

@@ -1,0 +1,223 @@
+//! Schedule exploration: exhaustive DFS with a bounded-preemption budget,
+//! a seeded random-schedule fuzzer fallback for state spaces that exceed
+//! the exhaustive cap, and exact replay of a recorded failing schedule.
+//!
+//! Only compiled under `--cfg osql_model`. The unit of work is a closure
+//! that builds its own structures, spawns threads through
+//! [`crate::thread::spawn`], and asserts invariants; the explorer runs it
+//! under every schedule the budget allows. A failure (assertion panic,
+//! deadlock/lost wakeup, livelock) reports a printable schedule string —
+//! thread ids joined by `.` — that [`replay`] re-runs deterministically.
+//!
+//! ```ignore
+//! osql_chk::model::check(|| {
+//!     let q = Arc::new(Queue::new(1));
+//!     let t = { let q = q.clone(); osql_chk::thread::spawn(move || q.push(1)) };
+//!     assert_eq!(q.pop(), Some(1));
+//!     t.join().unwrap();
+//! });
+//! ```
+
+use crate::sched::{self, Decision, Mode, Scheduler};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Exploration budget.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum preemptions (schedule points where a runnable thread is
+    /// switched away from) per schedule in the exhaustive pass. Most
+    /// concurrency bugs need ≤ 2 (the CHESS observation).
+    pub preemption_bound: usize,
+    /// Cap on exhaustively explored schedules before falling back to
+    /// random fuzzing.
+    pub max_schedules: usize,
+    /// Random schedules to run when the exhaustive pass is truncated.
+    pub random_schedules: usize,
+    /// Seed for the random fallback.
+    pub seed: u64,
+    /// Per-schedule step budget (schedule points); exceeding it is a
+    /// livelock failure.
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 10_000,
+            random_schedules: 512,
+            seed: 0xC0FF_EE00,
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// Statistics from a completed exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Total schedules executed (exhaustive + random).
+    pub schedules: usize,
+    /// True when the exhaustive pass hit `max_schedules` and the random
+    /// fallback ran instead of full coverage.
+    pub truncated: bool,
+}
+
+/// Outcome of [`explore`].
+#[derive(Debug)]
+pub enum Outcome {
+    /// Every explored schedule upheld the invariants.
+    Pass(Report),
+    /// Some schedule failed; `schedule` re-runs it via [`replay`].
+    Fail { message: String, schedule: String, schedules: usize },
+}
+
+enum RunResult {
+    Pass(Vec<Decision>),
+    Fail { message: String, schedule: String },
+}
+
+/// Run the closure once under a fixed scheduling mode/prefix.
+fn run_once<F: Fn()>(preset: Vec<usize>, mode: Mode, max_steps: usize, f: &F) -> RunResult {
+    let sched = Scheduler::new(preset, mode, max_steps);
+    sched::install(sched.clone(), 0);
+    let body = catch_unwind(AssertUnwindSafe(f));
+    match body {
+        Ok(()) => {
+            // drive remaining threads; swallow only the private Abort
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| sched.park_main_until_done())) {
+                if !sched::is_abort(&*p) {
+                    sched.fail_from_panic(p);
+                }
+            }
+        }
+        Err(p) => {
+            if !sched::is_abort(&*p) {
+                sched.fail_from_panic(p);
+            }
+        }
+    }
+    sched::uninstall();
+    settle(&sched);
+    let (decisions, failure) = sched.take_result();
+    match failure {
+        None => RunResult::Pass(decisions),
+        Some(f) => RunResult::Fail { message: f.message, schedule: f.schedule },
+    }
+}
+
+/// Give aborted sibling threads a moment to unwind before the next
+/// execution starts (they touch only their own token + TLS afterwards, so
+/// this is a courtesy that keeps thread counts bounded, not a soundness
+/// requirement).
+fn settle(_sched: &Arc<Scheduler>) {
+    std::thread::yield_now();
+}
+
+/// Next DFS prefix: bump the deepest decision with an untried alternative
+/// whose preemption cost stays within the bound.
+fn next_preset(path: &[Decision], bound: usize) -> Option<Vec<usize>> {
+    // preemptions committed before decision i
+    let mut pre = vec![0usize; path.len() + 1];
+    for (i, d) in path.iter().enumerate() {
+        pre[i + 1] = pre[i] + usize::from(d.current_runnable && d.chosen_idx > 0);
+    }
+    for i in (0..path.len()).rev() {
+        let d = &path[i];
+        let next_idx = d.chosen_idx + 1;
+        if next_idx >= d.choices.len() {
+            continue;
+        }
+        // any index > 0 costs one preemption when the current thread was
+        // runnable; index 0 was already tried first
+        let cost = usize::from(d.current_runnable);
+        if pre[i] + cost > bound {
+            continue;
+        }
+        let mut preset: Vec<usize> =
+            path[..i].iter().map(|d| d.choices[d.chosen_idx]).collect();
+        preset.push(d.choices[next_idx]);
+        return Some(preset);
+    }
+    None
+}
+
+/// Explore schedules of `f` under `config`.
+pub fn explore<F: Fn()>(config: Config, f: F) -> Outcome {
+    let mut schedules = 0usize;
+    let mut preset: Vec<usize> = Vec::new();
+    loop {
+        match run_once(preset.clone(), Mode::Dfs, config.max_steps, &f) {
+            RunResult::Fail { message, schedule } => {
+                return Outcome::Fail { message, schedule, schedules: schedules + 1 };
+            }
+            RunResult::Pass(path) => {
+                schedules += 1;
+                match next_preset(&path, config.preemption_bound) {
+                    None => return Outcome::Pass(Report { schedules, truncated: false }),
+                    Some(_) if schedules >= config.max_schedules => {
+                        // state space too large: seeded random fallback
+                        for i in 0..config.random_schedules {
+                            let seed = config.seed.wrapping_add(i as u64);
+                            match run_once(Vec::new(), Mode::Random(seed), config.max_steps, &f)
+                            {
+                                RunResult::Fail { message, schedule } => {
+                                    return Outcome::Fail {
+                                        message,
+                                        schedule,
+                                        schedules: schedules + i + 1,
+                                    };
+                                }
+                                RunResult::Pass(_) => {}
+                            }
+                        }
+                        return Outcome::Pass(Report {
+                            schedules: schedules + config.random_schedules,
+                            truncated: true,
+                        });
+                    }
+                    Some(p) => preset = p,
+                }
+            }
+        }
+    }
+}
+
+/// [`explore`] with [`Config::default`], panicking on failure with the
+/// replayable schedule embedded in the message.
+pub fn check<F: Fn()>(f: F) {
+    check_with(Config::default(), f)
+}
+
+/// [`explore`] with an explicit config, panicking on failure.
+pub fn check_with<F: Fn()>(config: Config, f: F) {
+    match explore(config, f) {
+        Outcome::Pass(_) => {}
+        Outcome::Fail { message, schedule, schedules } => {
+            panic!(
+                "model check failed after {schedules} schedule(s): {message}\n\
+                 failing schedule: {schedule}\n\
+                 replay with osql_chk::model::replay(\"{schedule}\", ...)"
+            );
+        }
+    }
+}
+
+/// Re-run one recorded schedule. Returns the failure it reproduces, or
+/// `Ok(())` when the schedule passes (e.g. after a fix).
+pub fn replay<F: Fn()>(schedule: &str, f: F) -> Result<(), String> {
+    let preset: Vec<usize> = if schedule.is_empty() {
+        Vec::new()
+    } else {
+        match schedule.split('.').map(str::parse).collect() {
+            Ok(v) => v,
+            Err(e) => return Err(format!("unparsable schedule {schedule:?}: {e}")),
+        }
+    };
+    match run_once(preset, Mode::Replay, Config::default().max_steps, &f) {
+        RunResult::Pass(_) => Ok(()),
+        RunResult::Fail { message, schedule } => {
+            Err(format!("{message} (schedule: {schedule})"))
+        }
+    }
+}

@@ -1,0 +1,650 @@
+//! Deterministic scheduler behind the `--cfg osql_model` shims.
+//!
+//! The model sequentializes execution: every shimmed thread is a real OS
+//! thread, but exactly one is runnable at a time. Each thread owns a
+//! *token* (a real mutex + condvar pair); a thread runs until it reaches a
+//! *schedule point* (lock acquire/release, condvar wait/notify, atomic op,
+//! spawn/join/exit), at which point the scheduler picks the next thread,
+//! grants its token, and parks the current one. Which thread gets picked
+//! at each multi-choice point is the *schedule* — a printable string of
+//! thread ids (`"0.1.1.0"`) that [`crate::model::replay`] can re-run
+//! exactly.
+//!
+//! Sync primitives are *modeled*: the scheduler tracks lock ownership,
+//! reader sets, and condvar waiter queues itself, and threads only touch
+//! the real `std::sync` objects once the model has granted them (so the
+//! real acquire is uncontended). A state where no thread is runnable but
+//! some are blocked is a deadlock — which is also how lost wakeups
+//! surface: the waiter that missed its notify parks forever and the
+//! explorer reports the schedule that got it there.
+//!
+//! Failure handling uses an abort-unwind protocol: the first failure
+//! (invariant panic, deadlock, step-budget livelock, replay divergence)
+//! records the schedule, sets the aborted flag, and wakes every token;
+//! each thread panics with a private [`Abort`] payload at its next
+//! schedule point, which the per-thread `catch_unwind` in the spawn
+//! wrapper swallows. Guard drops during an abort release nothing and
+//! never block, so unwinding is always safe.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Panic payload used to unwind model threads after a failure was
+/// recorded. Never observed by user code: the spawn wrapper and the
+/// explorer both catch and swallow it.
+pub(crate) struct Abort;
+
+pub(crate) fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<Abort>()
+}
+
+// ---------------------------------------------------------------- TLS ctx
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler driving this thread, if it is part of a model run.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn install(sched: Arc<Scheduler>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+pub(crate) fn uninstall() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Schedule point for an atomic operation (yield before the real op).
+pub(crate) fn atomic_point() {
+    if let Some((sched, me)) = current() {
+        sched.yield_point(me);
+    }
+}
+
+// ------------------------------------------------------------------ token
+
+struct Token {
+    run: StdMutex<bool>,
+    cv: StdCondvar,
+}
+
+impl Token {
+    fn new() -> Arc<Self> {
+        Arc::new(Token { run: StdMutex::new(false), cv: StdCondvar::new() })
+    }
+
+    fn wait(&self) {
+        let mut g = self.run.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *g = false;
+    }
+
+    fn grant(&self) {
+        *self.run.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        self.cv.notify_one();
+    }
+}
+
+// ------------------------------------------------------------ model state
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    Runnable,
+    Blocked(&'static str),
+    Finished,
+}
+
+struct ThreadInfo {
+    state: RunState,
+    token: Arc<Token>,
+    joiners: Vec<usize>,
+}
+
+#[derive(Default)]
+struct MutexState {
+    locked_by: Option<usize>,
+    waiters: Vec<usize>,
+}
+
+#[derive(Default)]
+struct RwState {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+    waiters: Vec<usize>,
+}
+
+#[derive(Default)]
+struct CvState {
+    waiters: Vec<usize>, // FIFO
+}
+
+/// One multi-choice scheduling decision (forced single-choice points are
+/// not recorded, which keeps schedules short and replayable).
+#[derive(Clone)]
+pub(crate) struct Decision {
+    /// Candidate threads, current-first when the current thread is
+    /// runnable, remaining tids ascending.
+    pub choices: Vec<usize>,
+    /// Index into `choices` actually taken.
+    pub chosen_idx: usize,
+    /// Whether continuing the current thread was an option (choosing any
+    /// other thread then counts as a preemption).
+    pub current_runnable: bool,
+}
+
+pub(crate) struct Failure {
+    pub message: String,
+    pub schedule: String,
+}
+
+#[derive(Clone)]
+pub(crate) enum Mode {
+    /// Exhaustive DFS: beyond the preset prefix, always take choice 0.
+    Dfs,
+    /// Seeded fuzzing: beyond the preset, pick uniformly via an LCG.
+    Random(u64),
+    /// Replay of a recorded schedule; divergence is an error.
+    Replay,
+}
+
+struct Inner {
+    threads: Vec<ThreadInfo>,
+    current: usize,
+    mutexes: HashMap<u64, MutexState>,
+    rwlocks: HashMap<u64, RwState>,
+    condvars: HashMap<u64, CvState>,
+    decisions: Vec<Decision>,
+    preset: Vec<usize>,
+    preset_pos: usize,
+    mode: Mode,
+    rng: u64,
+    steps: usize,
+    max_steps: usize,
+    main_parked: bool,
+    failure: Option<Failure>,
+}
+
+pub struct Scheduler {
+    inner: StdMutex<Inner>,
+    aborted: AtomicBool,
+}
+
+fn fmt_schedule(decisions: &[Decision]) -> String {
+    let toks: Vec<String> =
+        decisions.iter().map(|d| d.choices[d.chosen_idx].to_string()).collect();
+    toks.join(".")
+}
+
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+type Guard<'a> = std::sync::MutexGuard<'a, Inner>;
+
+impl Scheduler {
+    pub(crate) fn new(preset: Vec<usize>, mode: Mode, max_steps: usize) -> Arc<Self> {
+        let rng = match mode {
+            Mode::Random(seed) => seed ^ 0x9E37_79B9_7F4A_7C15,
+            _ => 0,
+        };
+        let main = ThreadInfo { state: RunState::Runnable, token: Token::new(), joiners: vec![] };
+        Arc::new(Scheduler {
+            inner: StdMutex::new(Inner {
+                threads: vec![main],
+                current: 0,
+                mutexes: HashMap::new(),
+                rwlocks: HashMap::new(),
+                condvars: HashMap::new(),
+                decisions: Vec::new(),
+                preset,
+                preset_pos: 0,
+                mode,
+                rng,
+                steps: 0,
+                max_steps,
+                main_parked: false,
+                failure: None,
+            }),
+            aborted: AtomicBool::new(false),
+        })
+    }
+
+    fn lock(&self) -> Guard<'_> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(crate) fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    fn abort_panic(&self) -> ! {
+        panic_any(Abort)
+    }
+
+    /// Record a failure (first one wins), wake every thread so it can
+    /// unwind. Does not panic itself; callers decide.
+    pub(crate) fn fail(&self, message: String) {
+        let mut g = self.lock();
+        if g.failure.is_none() {
+            let schedule = fmt_schedule(&g.decisions);
+            g.failure = Some(Failure { message, schedule });
+        }
+        self.aborted.store(true, Ordering::SeqCst);
+        let tokens: Vec<Arc<Token>> = g.threads.iter().map(|t| t.token.clone()).collect();
+        drop(g);
+        for t in tokens {
+            t.grant();
+        }
+    }
+
+    pub(crate) fn fail_from_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        self.fail(format!("thread panicked: {msg}"));
+    }
+
+    pub(crate) fn take_result(&self) -> (Vec<Decision>, Option<Failure>) {
+        let mut g = self.lock();
+        (std::mem::take(&mut g.decisions), g.failure.take())
+    }
+
+    // ------------------------------------------------------- scheduling core
+
+    /// Pick the next thread to run. `me_runnable` says whether the caller
+    /// may continue. Returns the chosen tid, or None on deadlock (failure
+    /// already recorded; caller must abort-unwind).
+    fn pick(&self, g: &mut Inner, me: usize, me_runnable: bool) -> Option<usize> {
+        g.steps += 1;
+        if g.steps > g.max_steps {
+            let schedule = fmt_schedule(&g.decisions);
+            if g.failure.is_none() {
+                g.failure = Some(Failure {
+                    message: format!(
+                        "step budget exceeded ({} schedule points): livelock or runaway loop",
+                        g.max_steps
+                    ),
+                    schedule,
+                });
+            }
+            return None;
+        }
+        let mut order: Vec<usize> = Vec::with_capacity(g.threads.len());
+        if me_runnable {
+            order.push(me);
+        }
+        for tid in 0..g.threads.len() {
+            if tid != me && g.threads[tid].state == RunState::Runnable {
+                order.push(tid);
+            }
+        }
+        if order.is_empty() {
+            let blocked: Vec<String> = g
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(tid, t)| match t.state {
+                    RunState::Blocked(what) => Some(format!("thread {tid} blocked on {what}")),
+                    _ => None,
+                })
+                .collect();
+            if blocked.is_empty() {
+                // everyone finished: nothing to schedule, caller is exiting
+                return Some(me);
+            }
+            let schedule = fmt_schedule(&g.decisions);
+            if g.failure.is_none() {
+                g.failure = Some(Failure {
+                    message: format!(
+                        "deadlock (possible lost wakeup): no runnable threads; {}",
+                        blocked.join(", ")
+                    ),
+                    schedule,
+                });
+            }
+            return None;
+        }
+        let idx = if order.len() == 1 {
+            0
+        } else {
+            let idx = if g.preset_pos < g.preset.len() {
+                let want = g.preset[g.preset_pos];
+                match order.iter().position(|&t| t == want) {
+                    Some(i) => i,
+                    None => {
+                        let schedule = fmt_schedule(&g.decisions);
+                        if g.failure.is_none() {
+                            g.failure = Some(Failure {
+                                message: format!(
+                                    "schedule divergence: thread {want} not schedulable at \
+                                     decision {} (candidates {:?}); the program under test \
+                                     is nondeterministic beyond scheduling",
+                                    g.preset_pos, order
+                                ),
+                                schedule,
+                            });
+                        }
+                        return None;
+                    }
+                }
+            } else {
+                match g.mode {
+                    Mode::Dfs | Mode::Replay => 0,
+                    Mode::Random(_) => (lcg_next(&mut g.rng) as usize) % order.len(),
+                }
+            };
+            g.preset_pos += 1;
+            g.decisions.push(Decision {
+                choices: order.clone(),
+                chosen_idx: idx,
+                current_runnable: me_runnable,
+            });
+            idx
+        };
+        Some(order[idx])
+    }
+
+    /// Run the chosen-thread handoff. The caller must already have set its
+    /// own state (Runnable / Blocked / Finished) in `g`.
+    fn schedule(&self, mut g: Guard<'_>, me: usize, me_runnable: bool) {
+        let next = match self.pick(&mut g, me, me_runnable) {
+            Some(next) => next,
+            None => {
+                // failure recorded under the same guard: publish + unwind
+                drop(g);
+                self.fail_already_recorded();
+                self.abort_panic();
+            }
+        };
+        if next == me {
+            return;
+        }
+        g.current = next;
+        let next_token = g.threads[next].token.clone();
+        let my_token = g.threads[me].token.clone();
+        let me_finished = g.threads[me].state == RunState::Finished;
+        drop(g);
+        next_token.grant();
+        if me_finished {
+            return;
+        }
+        my_token.wait();
+        if self.aborted() {
+            self.abort_panic();
+        }
+    }
+
+    /// Wake everything after `pick` stored a failure inline.
+    fn fail_already_recorded(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        let g = self.lock();
+        let tokens: Vec<Arc<Token>> = g.threads.iter().map(|t| t.token.clone()).collect();
+        drop(g);
+        for t in tokens {
+            t.grant();
+        }
+    }
+
+    /// Plain schedule point: the current thread stays runnable but another
+    /// thread may be chosen to run (a preemption).
+    pub(crate) fn yield_point(&self, me: usize) {
+        if self.aborted() {
+            self.abort_panic();
+        }
+        let g = self.lock();
+        self.schedule(g, me, true);
+    }
+
+    // ----------------------------------------------------------- mutex model
+
+    /// Acquire loop without a leading yield (used after condvar wakeup and
+    /// by `mutex_lock`). The real std lock must be taken by the caller
+    /// *after* this returns.
+    fn relock(&self, me: usize, id: u64) {
+        loop {
+            if self.aborted() {
+                self.abort_panic();
+            }
+            let mut g = self.lock();
+            let m = g.mutexes.entry(id).or_default();
+            if m.locked_by.is_none() {
+                m.locked_by = Some(me);
+                return;
+            }
+            m.waiters.push(me);
+            g.threads[me].state = RunState::Blocked("mutex");
+            self.schedule(g, me, false);
+        }
+    }
+
+    pub(crate) fn mutex_lock(&self, me: usize, id: u64) {
+        self.yield_point(me);
+        self.relock(me, id);
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: usize, id: u64, yield_after: bool) {
+        if self.aborted() {
+            return; // unwinding: scheduler is dead, never block or panic
+        }
+        {
+            let mut g = self.lock();
+            let m = g.mutexes.entry(id).or_default();
+            m.locked_by = None;
+            let woken: Vec<usize> = m.waiters.drain(..).collect();
+            for w in woken {
+                g.threads[w].state = RunState::Runnable;
+            }
+        }
+        if yield_after {
+            self.yield_point(me);
+        }
+    }
+
+    // ---------------------------------------------------------- rwlock model
+
+    pub(crate) fn rw_read(&self, me: usize, id: u64) {
+        self.yield_point(me);
+        loop {
+            if self.aborted() {
+                self.abort_panic();
+            }
+            let mut g = self.lock();
+            let s = g.rwlocks.entry(id).or_default();
+            if s.writer.is_none() {
+                s.readers.push(me);
+                return;
+            }
+            s.waiters.push(me);
+            g.threads[me].state = RunState::Blocked("rwlock-read");
+            self.schedule(g, me, false);
+        }
+    }
+
+    pub(crate) fn rw_write(&self, me: usize, id: u64) {
+        self.yield_point(me);
+        loop {
+            if self.aborted() {
+                self.abort_panic();
+            }
+            let mut g = self.lock();
+            let s = g.rwlocks.entry(id).or_default();
+            if s.writer.is_none() && s.readers.is_empty() {
+                s.writer = Some(me);
+                return;
+            }
+            s.waiters.push(me);
+            g.threads[me].state = RunState::Blocked("rwlock-write");
+            self.schedule(g, me, false);
+        }
+    }
+
+    pub(crate) fn rw_read_unlock(&self, me: usize, id: u64, yield_after: bool) {
+        if self.aborted() {
+            return;
+        }
+        {
+            let mut g = self.lock();
+            let s = g.rwlocks.entry(id).or_default();
+            if let Some(pos) = s.readers.iter().position(|&t| t == me) {
+                s.readers.swap_remove(pos);
+            }
+            if s.readers.is_empty() {
+                let woken: Vec<usize> = s.waiters.drain(..).collect();
+                for w in woken {
+                    g.threads[w].state = RunState::Runnable;
+                }
+            }
+        }
+        if yield_after {
+            self.yield_point(me);
+        }
+    }
+
+    pub(crate) fn rw_write_unlock(&self, me: usize, id: u64, yield_after: bool) {
+        if self.aborted() {
+            return;
+        }
+        {
+            let mut g = self.lock();
+            let s = g.rwlocks.entry(id).or_default();
+            s.writer = None;
+            let woken: Vec<usize> = s.waiters.drain(..).collect();
+            for w in woken {
+                g.threads[w].state = RunState::Runnable;
+            }
+        }
+        if yield_after {
+            self.yield_point(me);
+        }
+    }
+
+    // --------------------------------------------------------- condvar model
+
+    /// Atomically release the (model) mutex and park on the condvar, then
+    /// re-acquire the model mutex once notified. The caller must drop the
+    /// real guard before calling and re-take the real lock after.
+    pub(crate) fn cond_wait(&self, me: usize, cv: u64, lock: u64) {
+        // the lost-wakeup window: between the caller's predicate check and
+        // waiter registration, another thread may run (and notify nobody)
+        self.yield_point(me);
+        {
+            let mut g = self.lock();
+            let m = g.mutexes.entry(lock).or_default();
+            m.locked_by = None;
+            let woken: Vec<usize> = m.waiters.drain(..).collect();
+            for w in woken {
+                g.threads[w].state = RunState::Runnable;
+            }
+            g.condvars.entry(cv).or_default().waiters.push(me);
+            g.threads[me].state = RunState::Blocked("condvar");
+            self.schedule(g, me, false);
+        }
+        self.relock(me, lock);
+    }
+
+    pub(crate) fn notify(&self, me: usize, cv: u64, all: bool) {
+        self.yield_point(me);
+        let mut g = self.lock();
+        if let Some(c) = g.condvars.get_mut(&cv) {
+            let woken: Vec<usize> =
+                if all { c.waiters.drain(..).collect() } else { c.waiters.drain(..1.min(c.waiters.len())).collect() };
+            for w in woken {
+                g.threads[w].state = RunState::Runnable;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- thread model
+
+    /// Register a to-be-spawned thread; returns its model tid. The caller
+    /// then spawns the real thread (whose wrapper calls [`first_wait`])
+    /// and finally hits [`yield_point`] so the child may be scheduled.
+    pub(crate) fn spawn_register(&self) -> usize {
+        let mut g = self.lock();
+        let tid = g.threads.len();
+        g.threads.push(ThreadInfo {
+            state: RunState::Runnable,
+            token: Token::new(),
+            joiners: vec![],
+        });
+        tid
+    }
+
+    /// First park of a freshly spawned model thread: runs only once the
+    /// scheduler picks it.
+    pub(crate) fn first_wait(&self, me: usize) {
+        let token = {
+            let g = self.lock();
+            g.threads[me].token.clone()
+        };
+        token.wait();
+        if self.aborted() {
+            self.abort_panic();
+        }
+    }
+
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        self.yield_point(me);
+        if self.aborted() {
+            self.abort_panic();
+        }
+        let mut g = self.lock();
+        if g.threads[target].state == RunState::Finished {
+            return;
+        }
+        g.threads[target].joiners.push(me);
+        g.threads[me].state = RunState::Blocked("join");
+        self.schedule(g, me, false);
+    }
+
+    /// Called by the spawn wrapper when the thread body is done (normally
+    /// or after an abort-unwind). Wakes joiners and hands the token on.
+    pub(crate) fn thread_exit(&self, me: usize) {
+        if self.aborted() {
+            let mut g = self.lock();
+            g.threads[me].state = RunState::Finished;
+            return; // everyone was already woken by fail()
+        }
+        let mut g = self.lock();
+        g.threads[me].state = RunState::Finished;
+        let joiners = std::mem::take(&mut g.threads[me].joiners);
+        for j in joiners {
+            g.threads[j].state = RunState::Runnable;
+        }
+        if g.main_parked && g.threads[1..].iter().all(|t| t.state == RunState::Finished) {
+            g.threads[0].state = RunState::Runnable;
+            g.main_parked = false;
+        }
+        self.schedule(g, me, false);
+    }
+
+    /// After the test closure returns on the main thread, keep driving the
+    /// remaining model threads until they all finish (or deadlock).
+    pub(crate) fn park_main_until_done(&self) {
+        loop {
+            if self.aborted() {
+                self.abort_panic();
+            }
+            let mut g = self.lock();
+            if g.threads[1..].iter().all(|t| t.state == RunState::Finished) {
+                return;
+            }
+            g.main_parked = true;
+            g.threads[0].state = RunState::Blocked("run teardown (waiting for spawned threads)");
+            self.schedule(g, 0, false);
+        }
+    }
+}

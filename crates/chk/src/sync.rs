@@ -1,0 +1,560 @@
+//! Shim sync primitives: `std::sync` in normal builds, the deterministic
+//! model scheduler under `--cfg osql_model`.
+//!
+//! API differences from `std::sync`, by design:
+//!
+//! * `lock()` / `read()` / `write()` / `wait()` return the guard
+//!   **directly**, not a `LockResult`. The workspace poison policy (see
+//!   [`crate::lock_or_recover`]) is that a poisoned lock's data is still
+//!   the best available state — every call site was already writing
+//!   `unwrap_or_else(|e| e.into_inner())` by hand; the shim bakes the
+//!   policy in so it can't be applied inconsistently.
+//! * `wait_timeout` returns a [`WaitOutcome`] instead of
+//!   `std::sync::WaitTimeoutResult` (which cannot be constructed by
+//!   outside code). Under the model, timeouts never fire: modeled time
+//!   does not pass, so code must not rely on a timeout for *correctness*
+//!   (only for shutdown responsiveness, which the model doesn't test).
+//!
+//! In debug non-model builds every acquisition also feeds the
+//! [`crate::lockorder`] cycle analyzer.
+
+#[cfg(not(osql_model))]
+use crate::lockorder;
+
+// =====================================================================
+// normal build: transparent wrappers over std::sync
+// =====================================================================
+
+#[cfg(not(osql_model))]
+mod imp {
+    use super::lockorder;
+    use super::WaitOutcome;
+    use std::sync::PoisonError;
+    use std::time::Duration;
+
+    /// Shim mutex; see module docs for the API contract.
+    pub struct Mutex<T: ?Sized> {
+        tag: lockorder::LockTag,
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// Guard returned by [`Mutex::lock`].
+    ///
+    /// Deliberately has no `Drop` impl of its own (the `Held` field pops
+    /// the lock-order stack), so [`Condvar::wait`] can destructure it.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        held: lockorder::Held,
+        inner: std::sync::MutexGuard<'a, T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex { tag: lockorder::LockTag::new(), inner: std::sync::Mutex::new(value) }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        #[inline]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            lockorder::check_order(&self.tag);
+            let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            MutexGuard { held: lockorder::acquired(&self.tag), inner }
+        }
+
+        #[inline]
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            match self.inner.try_lock() {
+                Ok(inner) => Some(MutexGuard { held: lockorder::acquired(&self.tag), inner }),
+                Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                    held: lockorder::acquired(&self.tag),
+                    inner: e.into_inner(),
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            }
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    /// Shim condvar over [`Mutex`] guards.
+    #[derive(Default)]
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar { inner: std::sync::Condvar::new() }
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            let MutexGuard { held, inner } = guard;
+            let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+            MutexGuard { held, inner }
+        }
+
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> (MutexGuard<'a, T>, WaitOutcome) {
+            let MutexGuard { held, inner } = guard;
+            let (inner, res) = self
+                .inner
+                .wait_timeout(inner, dur)
+                .unwrap_or_else(PoisonError::into_inner);
+            (MutexGuard { held, inner }, WaitOutcome { timed_out: res.timed_out() })
+        }
+
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Condvar")
+        }
+    }
+
+    /// Shim reader-writer lock.
+    pub struct RwLock<T: ?Sized> {
+        tag: lockorder::LockTag,
+        inner: std::sync::RwLock<T>,
+    }
+
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        _held: lockorder::Held,
+        inner: std::sync::RwLockReadGuard<'a, T>,
+    }
+
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        _held: lockorder::Held,
+        inner: std::sync::RwLockWriteGuard<'a, T>,
+    }
+
+    impl<T> RwLock<T> {
+        pub fn new(value: T) -> Self {
+            RwLock { tag: lockorder::LockTag::new(), inner: std::sync::RwLock::new(value) }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        #[inline]
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            lockorder::check_order(&self.tag);
+            let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            RwLockReadGuard { _held: lockorder::acquired(&self.tag), inner }
+        }
+
+        #[inline]
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            lockorder::check_order(&self.tag);
+            let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+            RwLockWriteGuard { _held: lockorder::acquired(&self.tag), inner }
+        }
+
+        #[inline]
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            RwLock::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+}
+
+// =====================================================================
+// model build: every operation is a schedule point
+// =====================================================================
+
+#[cfg(osql_model)]
+mod imp {
+    use super::WaitOutcome;
+    use crate::sched;
+    use std::sync::PoisonError;
+    use std::time::Duration;
+
+    /// Model-aware mutex: the scheduler tracks ownership; the inner std
+    /// mutex is only taken once the model has granted it (uncontended
+    /// between model threads). Outside a model run it degrades to plain
+    /// `std::sync` behavior.
+    pub struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        /// `None` transiently during condvar waits and after an abort.
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        /// True when the model scheduler granted this guard (and must be
+        /// told about the release).
+        modeled: bool,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex { inner: std::sync::Mutex::new(value) }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        fn id(&self) -> u64 {
+            &self.inner as *const _ as *const () as u64
+        }
+
+        fn real_lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            match sched::current() {
+                None => MutexGuard { lock: self, inner: Some(self.real_lock()), modeled: false },
+                Some((s, me)) => {
+                    s.mutex_lock(me, self.id());
+                    MutexGuard { lock: self, inner: Some(self.real_lock()), modeled: true }
+                }
+            }
+        }
+
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            match sched::current() {
+                None => match self.inner.try_lock() {
+                    Ok(g) => Some(MutexGuard { lock: self, inner: Some(g), modeled: false }),
+                    Err(std::sync::TryLockError::Poisoned(e)) => {
+                        Some(MutexGuard { lock: self, inner: Some(e.into_inner()), modeled: false })
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => None,
+                },
+                Some(_) => {
+                    // modeled try_lock: treat as a full acquire attempt;
+                    // contention outcomes are already covered by schedule
+                    // exploration of blocking lock()
+                    Some(self.lock())
+                }
+            }
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            let was_held = self.inner.take().is_some();
+            if self.modeled && was_held {
+                if let Some((s, me)) = sched::current() {
+                    // release is a schedule point, but never during an
+                    // unwind: a panicking Drop must not re-enter the
+                    // scheduler's panic machinery
+                    s.mutex_unlock(me, self.lock.id(), !std::thread::panicking());
+                }
+            }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard used after release")
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard used after release")
+        }
+    }
+
+    /// Model-aware condvar: waiter queues live in the scheduler, so a
+    /// missed notify is visible as a deadlock with a replayable schedule.
+    #[derive(Default)]
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar { inner: std::sync::Condvar::new() }
+        }
+
+        fn id(&self) -> u64 {
+            &self.inner as *const _ as u64
+        }
+
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            match sched::current() {
+                None => {
+                    let std_guard = guard.inner.take().expect("guard used after release");
+                    let std_guard =
+                        self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
+                    guard.inner = Some(std_guard);
+                    guard
+                }
+                Some((s, me)) => {
+                    let lock = guard.lock;
+                    let lock_id = lock.id();
+                    // between scheduler calls only this thread runs, so
+                    // dropping the real guard before the model release is
+                    // not observable by other model threads
+                    drop(guard.inner.take());
+                    guard.modeled = false; // its Drop must not double-release
+                    drop(guard);
+                    s.cond_wait(me, self.id(), lock_id);
+                    MutexGuard { lock, inner: Some(lock.real_lock()), modeled: true }
+                }
+            }
+        }
+
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> (MutexGuard<'a, T>, WaitOutcome) {
+            match sched::current() {
+                None => {
+                    let mut guard = guard;
+                    let std_guard = guard.inner.take().expect("guard used after release");
+                    let (std_guard, res) = self
+                        .inner
+                        .wait_timeout(std_guard, dur)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    guard.inner = Some(std_guard);
+                    (guard, WaitOutcome { timed_out: res.timed_out() })
+                }
+                Some(_) => {
+                    // modeled time never advances: behaves as wait()
+                    (self.wait(guard), WaitOutcome { timed_out: false })
+                }
+            }
+        }
+
+        pub fn notify_one(&self) {
+            match sched::current() {
+                None => self.inner.notify_one(),
+                Some((s, me)) => s.notify(me, self.id(), false),
+            }
+        }
+
+        pub fn notify_all(&self) {
+            match sched::current() {
+                None => self.inner.notify_all(),
+                Some((s, me)) => s.notify(me, self.id(), true),
+            }
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Condvar")
+        }
+    }
+
+    /// Model-aware RwLock with proper reader-set/writer modeling.
+    pub struct RwLock<T: ?Sized> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+        modeled: bool,
+    }
+
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+        modeled: bool,
+    }
+
+    impl<T> RwLock<T> {
+        pub fn new(value: T) -> Self {
+            RwLock { inner: std::sync::RwLock::new(value) }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        fn id(&self) -> u64 {
+            &self.inner as *const _ as *const () as u64
+        }
+
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            let modeled = match sched::current() {
+                None => false,
+                Some((s, me)) => {
+                    s.rw_read(me, self.id());
+                    true
+                }
+            };
+            let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            RwLockReadGuard { lock: self, inner: Some(inner), modeled }
+        }
+
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            let modeled = match sched::current() {
+                None => false,
+                Some((s, me)) => {
+                    s.rw_write(me, self.id());
+                    true
+                }
+            };
+            let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+            RwLockWriteGuard { lock: self, inner: Some(inner), modeled }
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            RwLock::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            let was_held = self.inner.take().is_some();
+            if self.modeled && was_held {
+                if let Some((s, me)) = sched::current() {
+                    s.rw_read_unlock(me, self.lock.id(), !std::thread::panicking());
+                }
+            }
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            let was_held = self.inner.take().is_some();
+            if self.modeled && was_held {
+                if let Some((s, me)) = sched::current() {
+                    s.rw_write_unlock(me, self.lock.id(), !std::thread::panicking());
+                }
+            }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard used after release")
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard used after release")
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard used after release")
+        }
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`]: whether the wait gave up.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitOutcome {
+    timed_out: bool,
+}
+
+impl WaitOutcome {
+    /// True when the wait returned because the timeout elapsed (always
+    /// false under the model, where time does not pass).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+pub use imp::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};

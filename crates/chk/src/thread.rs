@@ -1,0 +1,118 @@
+//! Shim thread spawn/join: plain `std::thread` in normal builds; under
+//! `--cfg osql_model` (inside a model run) the spawned thread is
+//! registered with the scheduler and only runs when scheduled, and `join`
+//! is a schedule point.
+
+#[cfg(not(osql_model))]
+mod imp {
+    /// Handle to a shim-spawned thread.
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+
+        pub fn is_finished(&self) -> bool {
+            self.0.is_finished()
+        }
+    }
+
+    /// Spawn a thread (identical to `std::thread::spawn`).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        JoinHandle(std::thread::spawn(f))
+    }
+}
+
+#[cfg(osql_model)]
+mod imp {
+    use crate::sched::{self, Scheduler};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    pub enum JoinHandle<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            real: std::thread::JoinHandle<Option<T>>,
+            tid: usize,
+            sched: Arc<Scheduler>,
+        },
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self {
+                JoinHandle::Std(h) => h.join(),
+                JoinHandle::Model { real, tid, sched } => {
+                    if let Some((s, me)) = sched::current() {
+                        if Arc::ptr_eq(&s, &sched) {
+                            s.join_wait(me, tid);
+                        }
+                    }
+                    // model join completed: the real thread is exiting (or
+                    // unwinding after an abort); its result is immediate
+                    match real.join() {
+                        Ok(Some(v)) => Ok(v),
+                        Ok(None) => Err(Box::new(
+                            "model thread panicked (failure recorded by the scheduler)"
+                                .to_string(),
+                        )
+                            as Box<dyn std::any::Any + Send>),
+                        Err(e) => Err(e),
+                    }
+                }
+            }
+        }
+
+        pub fn is_finished(&self) -> bool {
+            match self {
+                JoinHandle::Std(h) => h.is_finished(),
+                JoinHandle::Model { real, .. } => real.is_finished(),
+            }
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match sched::current() {
+            None => JoinHandle::Std(std::thread::spawn(f)),
+            Some((s, me)) => {
+                let tid = s.spawn_register();
+                let s2 = s.clone();
+                let real = std::thread::spawn(move || {
+                    sched::install(s2.clone(), tid);
+                    // first_wait runs inside the catch so an abort before
+                    // the thread is ever scheduled unwinds cleanly too
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        s2.first_wait(tid);
+                        f()
+                    }));
+                    let out = match body {
+                        Ok(v) => Some(v),
+                        Err(p) => {
+                            if !sched::is_abort(&*p) {
+                                s2.fail_from_panic(p);
+                            }
+                            None
+                        }
+                    };
+                    s2.thread_exit(tid);
+                    sched::uninstall();
+                    out
+                });
+                // spawn is a schedule point: the child may run immediately
+                s.yield_point(me);
+                JoinHandle::Model { real, tid, sched: s }
+            }
+        }
+    }
+}
+
+pub use imp::{spawn, JoinHandle};

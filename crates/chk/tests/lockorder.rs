@@ -1,0 +1,25 @@
+//! Lock-order analyzer: consistent nesting stays silent and records edges.
+#![cfg(all(debug_assertions, not(osql_model)))]
+
+use osql_chk::{lockorder, Mutex, RwLock};
+
+#[test]
+fn consistent_nesting_records_edges_without_cycles() {
+    let outer = Mutex::new(0u32);
+    let inner = Mutex::new(0u32);
+    let shared = RwLock::new(0u32);
+
+    for _ in 0..3 {
+        let _a = outer.lock();
+        let _b = inner.lock();
+        let _c = shared.read();
+    }
+    // same order again from a write path
+    {
+        let _a = outer.lock();
+        let _c = shared.write();
+    }
+
+    assert_eq!(lockorder::cycles_detected(), 0, "consistent order must not report a cycle");
+    assert!(lockorder::edge_count() >= 2, "nested acquisitions must record edges");
+}

@@ -1,0 +1,52 @@
+//! Lock-order analyzer: a reversed acquisition order is caught even when
+//! it never actually deadlocks (single-threaded sequence). Separate test
+//! binary so the deliberately-poisoned graph and cycle counter cannot
+//! leak into the clean-suite assertions. Single test fn: the counter and
+//! graph are process-global, so parallel test threads would race.
+#![cfg(all(debug_assertions, not(osql_model)))]
+
+use osql_chk::{lockorder, Mutex};
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap_or_default())
+}
+
+#[test]
+fn cycles_and_self_reacquisition_are_rejected() {
+    let a = Mutex::new('a');
+    let b = Mutex::new('b');
+
+    // establish A → B
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    // now B → A must panic at the second acquire, with both stacks
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }))
+    .expect_err("reversed acquisition order must be rejected");
+    let msg = panic_message(err);
+    assert!(msg.contains("lock-order cycle"), "got: {msg}");
+    assert!(msg.contains("prior acquisition"), "must include the first stack: {msg}");
+    assert!(msg.contains("this acquisition"), "must include the second stack: {msg}");
+    assert_eq!(lockorder::cycles_detected(), 1);
+
+    // same-thread re-acquisition: guaranteed deadlock, analyzer fires first
+    let m = Mutex::new(1u8);
+    let g = m.lock();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _again = m.lock();
+    }))
+    .expect_err("same-thread re-acquisition must be rejected");
+    drop(g);
+    assert!(panic_message(err).contains("self-deadlock"));
+    assert_eq!(lockorder::cycles_detected(), 2);
+
+    lockorder::reset();
+    assert_eq!(lockorder::cycles_detected(), 0);
+}

@@ -1,0 +1,264 @@
+//! Self-tests for the model-checking scheduler and explorer. Only built
+//! under `--cfg osql_model`:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg osql_model" CARGO_TARGET_DIR=target/model \
+//!     cargo test -p osql-chk --test model
+//! ```
+#![cfg(osql_model)]
+
+use osql_chk::atomic::{AtomicBool, AtomicU64, Ordering};
+use osql_chk::model::{self, Config, Outcome};
+use osql_chk::{oneshot, thread, Condvar, Mutex, RwLock};
+use std::sync::Arc;
+
+fn small() -> Config {
+    Config { preemption_bound: 2, max_schedules: 50_000, ..Config::default() }
+}
+
+/// The deliberately seeded lost-wakeup bug: the waiter checks a flag that
+/// is *not* protected by the condvar's mutex, so the signaller can fire
+/// its notify in the window between the check and the wait registration —
+/// the classic bug the model gate exists to catch.
+fn seeded_lost_wakeup() {
+    let flag = Arc::new(AtomicBool::new(false));
+    let gate = Arc::new((Mutex::new(()), Condvar::new()));
+    let t = {
+        let flag = flag.clone();
+        let gate = gate.clone();
+        thread::spawn(move || {
+            flag.store(true, Ordering::SeqCst);
+            gate.1.notify_one(); // BUG: not ordered with the waiter's check
+        })
+    };
+    let guard = gate.0.lock();
+    if !flag.load(Ordering::SeqCst) {
+        // BUG window: notify may land right here, before we wait
+        let _guard = gate.1.wait(guard);
+    } else {
+        drop(guard);
+    }
+    let _ = t.join();
+}
+
+#[test]
+fn explorer_finds_seeded_lost_wakeup_with_replayable_schedule() {
+    match model::explore(small(), seeded_lost_wakeup) {
+        Outcome::Fail { message, schedule, schedules } => {
+            assert!(
+                message.contains("deadlock"),
+                "expected a deadlock (lost wakeup), got: {message}"
+            );
+            assert!(!schedule.is_empty(), "failing schedule must be printable");
+            assert!(
+                schedules < 200,
+                "a preemption-bound-2 bug should be found fast, took {schedules}"
+            );
+            // visible under `cargo test -- --nocapture`; feeds EXPERIMENTS.md
+            eprintln!("seeded lost-wakeup found after {schedules} schedule(s); minimal: {schedule}");
+            // the printed schedule must reproduce the same failure exactly
+            let replayed = model::replay(&schedule, seeded_lost_wakeup)
+                .expect_err("replay must reproduce the deadlock");
+            assert!(replayed.contains("deadlock"), "replay found: {replayed}");
+        }
+        Outcome::Pass(r) => panic!("seeded bug not found in {} schedules", r.schedules),
+    }
+}
+
+/// `#[should_panic]`-style form of the same negative test: `check` panics
+/// with the schedule embedded in the message.
+#[test]
+#[should_panic(expected = "failing schedule")]
+fn seeded_lost_wakeup_panics_with_schedule() {
+    model::check(seeded_lost_wakeup);
+}
+
+/// Control: the correct version of the same gate — predicate under the
+/// mutex, notify after the store, while-loop — passes exhaustively.
+#[test]
+fn correct_gate_passes_exhaustively() {
+    let outcome = model::explore(small(), || {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let t = {
+            let gate = gate.clone();
+            thread::spawn(move || {
+                *gate.0.lock() = true;
+                gate.1.notify_one();
+            })
+        };
+        let mut open = gate.0.lock();
+        while !*open {
+            open = gate.1.wait(open);
+        }
+        drop(open);
+        t.join().unwrap();
+    });
+    match outcome {
+        Outcome::Pass(r) => assert!(!r.truncated, "state space should be exhaustible"),
+        Outcome::Fail { message, schedule, .. } => {
+            panic!("correct gate failed: {message} (schedule {schedule})")
+        }
+    }
+}
+
+/// A non-atomic read-modify-write (load, then store) loses updates under
+/// the right interleaving; the explorer must find it within the bound.
+#[test]
+fn explorer_finds_lost_update() {
+    let outcome = model::explore(small(), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let t = {
+            let n = n.clone();
+            thread::spawn(move || {
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+            })
+        };
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    });
+    match outcome {
+        Outcome::Fail { message, schedule, .. } => {
+            assert!(message.contains("lost update"), "got: {message}");
+            let replayed = model::replay(&schedule, || {
+                // same body; replay must hit the same assertion
+                let n = Arc::new(AtomicU64::new(0));
+                let t = {
+                    let n = n.clone();
+                    thread::spawn(move || {
+                        let v = n.load(Ordering::SeqCst);
+                        n.store(v + 1, Ordering::SeqCst);
+                    })
+                };
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            });
+            assert!(replayed.is_err(), "replay must reproduce the lost update");
+        }
+        Outcome::Pass(r) => panic!("lost update not found in {} schedules", r.schedules),
+    }
+}
+
+/// The same increment done with `fetch_add` is race-free: exhaustive pass.
+#[test]
+fn fetch_add_has_no_lost_update() {
+    let outcome = model::explore(small(), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let t = {
+            let n = n.clone();
+            thread::spawn(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        n.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(matches!(outcome, Outcome::Pass(_)), "fetch_add must be atomic: {outcome:?}");
+}
+
+/// Mutex-protected increments never lose updates, across all schedules.
+#[test]
+fn mutex_provides_mutual_exclusion() {
+    let outcome = model::explore(small(), || {
+        let n = Arc::new(Mutex::new(0u64));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    let mut g = n.lock();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*n.lock(), 2);
+    });
+    assert!(matches!(outcome, Outcome::Pass(_)), "{outcome:?}");
+}
+
+/// RwLock: a writer is exclusive with readers under every schedule.
+#[test]
+fn rwlock_write_excludes_readers() {
+    let outcome = model::explore(small(), || {
+        let cell = Arc::new(RwLock::new((0u64, 0u64)));
+        let writer = {
+            let cell = cell.clone();
+            thread::spawn(move || {
+                let mut g = cell.write();
+                g.0 += 1;
+                // torn-state window: a concurrent reader would see (1, 0)
+                g.1 += 1;
+            })
+        };
+        {
+            let g = cell.read();
+            assert_eq!(g.0, g.1, "reader observed torn write");
+        }
+        writer.join().unwrap();
+        let g = cell.read();
+        assert_eq!((g.0, g.1), (1, 1));
+    });
+    assert!(matches!(outcome, Outcome::Pass(_)), "{outcome:?}");
+}
+
+/// Oneshot under the model: delivery always completes, and a dropped
+/// sender always surfaces as RecvError — never a hang.
+#[test]
+fn oneshot_never_hangs() {
+    let outcome = model::explore(small(), || {
+        let (tx, rx) = oneshot::channel();
+        let t = thread::spawn(move || tx.send(9));
+        assert_eq!(rx.recv(), Ok(9));
+        t.join().unwrap();
+    });
+    assert!(matches!(outcome, Outcome::Pass(_)), "{outcome:?}");
+
+    let outcome = model::explore(small(), || {
+        let (tx, rx) = oneshot::channel::<u8>();
+        let t = thread::spawn(move || drop(tx));
+        assert_eq!(rx.recv(), Err(oneshot::RecvError));
+        t.join().unwrap();
+    });
+    assert!(matches!(outcome, Outcome::Pass(_)), "{outcome:?}");
+}
+
+/// The random fallback also finds the seeded bug when the exhaustive cap
+/// is too small to reach it.
+#[test]
+fn random_fallback_finds_seeded_bug() {
+    let cfg = Config {
+        preemption_bound: 2,
+        max_schedules: 1, // force truncation almost immediately
+        random_schedules: 512,
+        seed: 7,
+        ..Config::default()
+    };
+    match model::explore(cfg, seeded_lost_wakeup) {
+        Outcome::Fail { message, .. } => {
+            assert!(message.contains("deadlock"), "got: {message}")
+        }
+        Outcome::Pass(r) => {
+            panic!("random fallback missed the seeded bug ({} schedules)", r.schedules)
+        }
+    }
+}
+
+/// Single-threaded closures explore exactly one schedule.
+#[test]
+fn sequential_code_is_one_schedule() {
+    match model::explore(Config::default(), || {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }) {
+        Outcome::Pass(r) => assert_eq!(r.schedules, 1),
+        Outcome::Fail { message, .. } => panic!("{message}"),
+    }
+}

@@ -98,7 +98,7 @@ pub fn evaluate_with<A: Answerer + ?Sized>(
                 for ex in part {
                     score_example(answerer, benchmark, ex, &mut local);
                 }
-                acc.lock().expect("accumulator lock").merge(local);
+                osql_chk::lock_or_recover(acc).merge(local);
             });
         }
     });

@@ -17,8 +17,9 @@ use osql_trace::active;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use osql_chk::atomic::{AtomicU64, Ordering};
+use osql_chk::Mutex;
+use std::sync::Arc;
 
 /// Canonicalize a question for cache keying: lowercase, whitespace runs
 /// collapsed to single spaces, outer whitespace trimmed.
@@ -164,7 +165,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
 
     /// Look up a key, marking it most recently used on a hit.
     pub fn get(&self, key: &K) -> Option<V> {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.inner.lock();
         match inner.map.get(key).copied() {
             Some(idx) => {
                 inner.detach(idx);
@@ -182,7 +183,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     /// Insert (or refresh) a key, evicting the least recently used entry
     /// when at capacity.
     pub fn insert(&self, key: K, value: V) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.inner.lock();
         if let Some(idx) = inner.map.get(&key).copied() {
             inner.nodes[idx].as_mut().expect("live node").value = value;
             inner.detach(idx);
@@ -214,7 +215,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
 
     /// Entries currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        self.inner.lock().map.len()
     }
 
     /// Whether the cache is empty.
@@ -397,7 +398,7 @@ impl AssetCache {
     /// [`AssetCache::load_errors`], never folded into the unknown-db
     /// path, so disk corruption stays visible.
     pub fn pipeline(&self, db_id: &str) -> Result<Arc<Pipeline>, AssetMiss> {
-        let mut pipelines = self.pipelines.lock().expect("asset cache lock");
+        let mut pipelines = self.pipelines.lock();
         if let Some(p) = pipelines.get(db_id) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(p.clone());
@@ -454,7 +455,7 @@ impl AssetCache {
 
     /// Databases preprocessed so far.
     pub fn len(&self) -> usize {
-        self.pipelines.lock().expect("asset cache lock").len()
+        self.pipelines.lock().len()
     }
 
     /// Whether nothing has been preprocessed yet.
@@ -612,7 +613,7 @@ mod tests {
         }
         assert_eq!(cache.len(), 3);
         // slab never grows past capacity worth of nodes
-        assert!(cache.inner.lock().unwrap().nodes.len() <= 3);
+        assert!(cache.inner.lock().nodes.len() <= 3);
     }
 
     #[test]

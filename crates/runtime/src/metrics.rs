@@ -13,8 +13,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use osql_chk::atomic::{AtomicU64, Ordering};
+use osql_chk::Mutex;
+use std::sync::Arc;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -249,7 +250,7 @@ impl MetricsRegistry {
     /// Get or create the counter series `name{labels}`. Label order does
     /// not matter; `(name, sorted labels)` identifies the series.
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("metrics lock");
+        let mut map = self.counters.lock();
         map.entry((name.to_owned(), normalize(labels))).or_default().clone()
     }
 
@@ -267,7 +268,7 @@ impl MetricsRegistry {
         labels: &[(&str, &str)],
         bounds: &[f64],
     ) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("metrics lock");
+        let mut map = self.histograms.lock();
         map.entry((name.to_owned(), normalize(labels)))
             .or_insert_with(|| Arc::new(Histogram::new(bounds)))
             .clone()
@@ -288,7 +289,7 @@ impl MetricsRegistry {
     /// Every histogram series registered under `name`, as
     /// `(labels, instrument)` pairs in label order.
     pub fn histogram_series(&self, name: &str) -> Vec<(Labels, Arc<Histogram>)> {
-        let map = self.histograms.lock().expect("metrics lock");
+        let map = self.histograms.lock();
         map.iter()
             .filter(|((n, _), _)| n == name)
             .map(|((_, labels), h)| (labels.clone(), h.clone()))
@@ -298,7 +299,7 @@ impl MetricsRegistry {
     /// Every counter series registered under `name`, as
     /// `(labels, instrument)` pairs in label order.
     pub fn counter_series(&self, name: &str) -> Vec<(Labels, Arc<Counter>)> {
-        let map = self.counters.lock().expect("metrics lock");
+        let map = self.counters.lock();
         map.iter()
             .filter(|((n, _), _)| n == name)
             .map(|((_, labels), c)| (labels.clone(), c.clone()))
@@ -309,7 +310,7 @@ impl MetricsRegistry {
     /// within a name, by label set).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let counters = self.counters.lock().expect("metrics lock");
+        let counters = self.counters.lock();
         if !counters.is_empty() {
             out.push_str("counters:\n");
             for ((name, labels), c) in counters.iter() {
@@ -317,7 +318,7 @@ impl MetricsRegistry {
             }
         }
         drop(counters);
-        let histograms = self.histograms.lock().expect("metrics lock");
+        let histograms = self.histograms.lock();
         if !histograms.is_empty() {
             out.push_str("histograms:\n");
             for ((name, labels), h) in histograms.iter() {
@@ -338,7 +339,7 @@ impl MetricsRegistry {
     /// counts and a `+Inf` bucket) per histogram series.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters = self.counters.lock().expect("metrics lock");
+        let counters = self.counters.lock();
         let mut last_name = None::<&str>;
         for ((name, labels), c) in counters.iter() {
             if last_name != Some(name.as_str()) {
@@ -348,7 +349,7 @@ impl MetricsRegistry {
             let _ = writeln!(out, "{} {}", series_name(name, labels, None), c.get());
         }
         drop(counters);
-        let histograms = self.histograms.lock().expect("metrics lock");
+        let histograms = self.histograms.lock();
         let mut last_name = None::<&str>;
         for ((name, labels), h) in histograms.iter() {
             if last_name != Some(name.as_str()) {

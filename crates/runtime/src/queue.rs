@@ -8,9 +8,9 @@
 //! [`PushError::Closed`], consumers drain the remaining items and then
 //! observe `None`.
 
+use osql_chk::atomic::{AtomicU64, Ordering};
+use osql_chk::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 
 /// Why a push was refused. Both variants hand the item back so callers
 /// can retry or report without cloning.
@@ -87,7 +87,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").items.len()
+        self.inner.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -98,7 +98,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueue, blocking while the queue is full. Fails only once the
     /// queue is closed.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock();
         loop {
             if inner.closed {
                 return Err(PushError::Closed(item));
@@ -109,13 +109,13 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            inner = self.not_full.wait(inner).expect("queue lock");
+            inner = self.not_full.wait(inner);
         }
     }
 
     /// Enqueue without blocking; `Full` when at capacity.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock();
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -131,7 +131,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeue, blocking while empty. `None` once the queue is closed and
     /// drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 self.popped.fetch_add(1, Ordering::Relaxed);
@@ -141,14 +141,14 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue lock");
+            inner = self.not_empty.wait(inner);
         }
     }
 
     /// Close the queue: pending items remain poppable, new pushes fail,
     /// and every blocked thread wakes.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock();
         inner.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -156,7 +156,7 @@ impl<T> BoundedQueue<T> {
 
     /// Whether `close` has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("queue lock").closed
+        self.inner.lock().closed
     }
 }
 

@@ -12,8 +12,9 @@ use crate::metrics::{MetricsRegistry, FRACTION_BOUNDS};
 use crate::queue::{BoundedQueue, PushError};
 use opensearch_sql::{EvalReport, Module, PipelineRun};
 use osql_trace::{active, QueryTrace, TraceCollector};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use osql_chk::atomic::{AtomicU64, Ordering};
+use osql_chk::{oneshot, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One query for the runtime to serve.
@@ -134,7 +135,7 @@ impl std::error::Error for SubmitError {}
 
 /// A pending answer; redeem with [`Ticket::wait`].
 pub struct Ticket {
-    rx: mpsc::Receiver<Result<QueryResponse, ServeError>>,
+    rx: oneshot::Receiver<Result<QueryResponse, ServeError>>,
     queue: Arc<BoundedQueue<Job>>,
 }
 
@@ -160,6 +161,29 @@ impl Ticket {
             };
             Err(ServeError::Canceled { reason })
         })
+    }
+}
+
+/// Test-support hooks for the model-checking suite; compiled only under
+/// `--cfg osql_model` and used by `tests/model.rs`.
+#[cfg(osql_model)]
+#[doc(hidden)]
+pub mod model_support {
+    use super::*;
+
+    /// A [`Ticket`] wired to a fresh empty queue, with its reply sender
+    /// and a closure that closes the queue — the three handles the
+    /// cancellation-race model test needs.
+    #[allow(clippy::type_complexity)]
+    pub fn detached_ticket() -> (
+        oneshot::Sender<Result<QueryResponse, ServeError>>,
+        Ticket,
+        impl Fn() + Send + Sync + 'static,
+    ) {
+        let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(1));
+        let (tx, rx) = oneshot::channel();
+        let ticket = Ticket { rx, queue: queue.clone() };
+        (tx, ticket, move || queue.close())
     }
 }
 
@@ -199,7 +223,7 @@ impl RuntimeConfig {
 struct Job {
     req: QueryRequest,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<QueryResponse, ServeError>>,
+    reply: oneshot::Sender<Result<QueryResponse, ServeError>>,
 }
 
 /// A point-in-time view of the request queue for admission control.
@@ -253,7 +277,7 @@ impl DrainWindow {
 
     /// Record `(now, drained_total)` and return the recent rate.
     fn observe(&self, now: Instant, drained_total: u64) -> f64 {
-        let mut samples = self.samples.lock().expect("drain window lock");
+        let mut samples = self.samples.lock();
         while let Some(&(t, _)) = samples.front() {
             if now.duration_since(t) > DRAIN_WINDOW && samples.len() > 1 {
                 samples.pop_front();
@@ -320,7 +344,7 @@ impl Runtime {
 
     /// Submit a request, blocking while the queue is full (backpressure).
     pub fn submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = oneshot::channel();
         match self.queue.push(Job { req, enqueued: Instant::now(), reply: tx }) {
             Ok(()) => Ok(Ticket { rx, queue: self.queue.clone() }),
             Err(PushError::Closed(_)) | Err(PushError::Full(_)) => Err(SubmitError::ShuttingDown),
@@ -332,7 +356,7 @@ impl Runtime {
     /// `queue_shed_total` metric, so the exposition and any admission
     /// controller report the same shed count.
     pub fn try_submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = oneshot::channel();
         match self.queue.try_push(Job { req, enqueued: Instant::now(), reply: tx }) {
             Ok(()) => Ok(Ticket { rx, queue: self.queue.clone() }),
             Err(PushError::Full(_)) => {
@@ -482,7 +506,7 @@ fn worker_loop(
             ResultKey::new(&job.req.db_id, &job.req.question, &job.req.evidence, fingerprint);
         if let Some(run) = results.get(&key) {
             metrics.counter("result_cache_hits").inc();
-            let _ = job.reply.send(Ok(QueryResponse { run, from_cache: true, queue_wait_ms }));
+            job.reply.send(Ok(QueryResponse { run, from_cache: true, queue_wait_ms }));
             continue;
         }
         metrics.counter("result_cache_misses").inc();
@@ -509,7 +533,7 @@ fn worker_loop(
                         ServeError::DbLoadFailed { db_id: job.req.db_id, reason }
                     }
                 };
-                let _ = job.reply.send(Err(err));
+                job.reply.send(Err(err));
                 continue;
             }
         };
@@ -536,7 +560,7 @@ fn worker_loop(
         results.insert(key, run.clone());
         metrics.counter("result_cache_evictions_total").raise_to(results.evictions());
         sync_plan_cache_metrics(metrics);
-        let _ = job.reply.send(Ok(QueryResponse { run, from_cache: false, queue_wait_ms }));
+        job.reply.send(Ok(QueryResponse { run, from_cache: false, queue_wait_ms }));
     }
 }
 
@@ -620,7 +644,7 @@ mod tests {
     use datagen::{generate, Profile};
     use llmsim::{ChatRequest, ChatResponse, LanguageModel, ModelProfile, Oracle, SimLlm};
     use opensearch_sql::PipelineConfig;
-    use std::sync::Condvar;
+    use osql_chk::Condvar;
 
     /// Wraps a model behind a gate: while closed, `complete` blocks.
     /// Lets a test park every worker deterministically.
@@ -636,16 +660,16 @@ mod tests {
         }
 
         fn set_open(&self, open: bool) {
-            *self.open.lock().unwrap() = open;
+            *self.open.lock() = open;
             self.cv.notify_all();
         }
     }
 
     impl LanguageModel for GateLlm {
         fn complete(&self, req: &ChatRequest) -> ChatResponse {
-            let mut open = self.open.lock().unwrap();
+            let mut open = self.open.lock();
             while !*open {
-                open = self.cv.wait(open).unwrap();
+                open = self.cv.wait(open);
             }
             drop(open);
             self.inner.complete(req)
@@ -803,14 +827,14 @@ mod tests {
         // drops while the queue is open (worker panic ⇒ WorkerLost) vs
         // after close (orderly drain ⇒ Shutdown).
         let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(1));
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = oneshot::channel();
         drop(tx);
         let t = Ticket { rx, queue: queue.clone() };
         assert_eq!(
             t.wait().unwrap_err(),
             ServeError::Canceled { reason: CancelReason::WorkerLost }
         );
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = oneshot::channel();
         drop(tx);
         queue.close();
         let t = Ticket { rx, queue };

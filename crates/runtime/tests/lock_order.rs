@@ -1,0 +1,31 @@
+//! Lock-order analysis over the runtime's hot structures: exercise the
+//! queue, the LRU, and the submit/serve path concurrently, then assert
+//! the always-on analyzer saw an acyclic acquisition graph.
+#![cfg(all(debug_assertions, not(osql_model)))]
+
+use osql_runtime::{BoundedQueue, LruCache};
+use std::sync::Arc;
+
+#[test]
+fn runtime_structures_admit_a_global_lock_order() {
+    let q = Arc::new(BoundedQueue::new(4));
+    let cache: Arc<LruCache<u32, u32>> = Arc::new(LruCache::new(8));
+    std::thread::scope(|s| {
+        for t in 0..3u32 {
+            let (q, cache) = (q.clone(), cache.clone());
+            s.spawn(move || {
+                for i in 0..16u32 {
+                    q.push(t * 100 + i).unwrap();
+                    cache.insert(i % 4, i);
+                    let _ = cache.get(&(i % 4));
+                    let _ = q.pop();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        osql_chk::lockorder::cycles_detected(),
+        0,
+        "lock-order cycle in runtime structures"
+    );
+}

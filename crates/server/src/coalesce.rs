@@ -19,8 +19,9 @@
 
 use osql_runtime::ResultKey;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use osql_chk::atomic::{AtomicUsize, Ordering};
+use osql_chk::{Condvar, Mutex};
+use std::sync::Arc;
 
 /// One response, rendered once and shared by every coalesced member.
 #[derive(Debug)]
@@ -41,7 +42,7 @@ struct Slot {
 
 impl Slot {
     fn publish(&self, rendered: Arc<Rendered>) {
-        *self.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(rendered);
+        *self.result.lock() = Some(rendered);
         self.ready.notify_all();
     }
 }
@@ -54,12 +55,12 @@ pub struct WaiterHandle {
 impl WaiterHandle {
     /// Block until the leader publishes, then share its response.
     pub fn wait(self) -> Arc<Rendered> {
-        let mut guard = self.slot.result.lock().unwrap_or_else(|e| e.into_inner());
+        let mut guard = self.slot.result.lock();
         loop {
             if let Some(rendered) = guard.as_ref() {
                 return rendered.clone();
             }
-            guard = self.slot.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+            guard = self.slot.ready.wait(guard);
         }
     }
 }
@@ -124,7 +125,7 @@ impl Coalescer {
 
     /// Join the flight for `key`, becoming leader or waiter.
     pub fn join(self: &Arc<Self>, key: ResultKey) -> Joined {
-        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inflight = self.inflight.lock();
         if let Some(slot) = inflight.get(&key) {
             slot.members.fetch_add(1, Ordering::AcqRel);
             return Joined::Waiter(WaiterHandle { slot: slot.clone() });
@@ -140,11 +141,11 @@ impl Coalescer {
 
     /// In-flight key count (observability only).
     pub fn inflight_len(&self) -> usize {
-        self.inflight.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inflight.lock().len()
     }
 
     fn unregister(&self, key: &ResultKey) {
-        self.inflight.lock().unwrap_or_else(|e| e.into_inner()).remove(key);
+        self.inflight.lock().remove(key);
     }
 }
 

@@ -49,18 +49,18 @@ struct Bucket {
 /// All buckets, keyed by API key.
 pub struct QuotaRegistry {
     config: QuotaConfig,
-    buckets: std::sync::Mutex<HashMap<String, Bucket>>,
+    buckets: osql_chk::Mutex<HashMap<String, Bucket>>,
 }
 
 impl QuotaRegistry {
     /// Empty registry under one shared configuration.
     pub fn new(config: QuotaConfig) -> Self {
-        QuotaRegistry { config, buckets: std::sync::Mutex::new(HashMap::new()) }
+        QuotaRegistry { config, buckets: osql_chk::Mutex::new(HashMap::new()) }
     }
 
     /// Spend one token from `key`'s bucket (clock injected for tests).
     pub fn admit_at(&self, key: &str, now: Instant) -> Admit {
-        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        let mut buckets = self.buckets.lock();
         if !buckets.contains_key(key) && buckets.len() >= self.config.max_keys.max(1) {
             // recycle the least-recently-touched bucket; a long-idle
             // bucket has refilled to capacity, so dropping it loses no debt
@@ -97,7 +97,7 @@ impl QuotaRegistry {
 
     /// Distinct keys currently tracked.
     pub fn tracked_keys(&self) -> usize {
-        self.buckets.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.buckets.lock().len()
     }
 }
 

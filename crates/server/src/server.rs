@@ -22,8 +22,9 @@ use osql_runtime::{CancelReason, QueryRequest, ResultKey, Runtime, ServeError, S
 use osql_trace::active;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use osql_chk::atomic::{AtomicBool, Ordering};
+use osql_chk::{Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -61,11 +62,11 @@ struct ConnTracker {
 
 impl ConnTracker {
     fn begin(&self) {
-        *self.live.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        *self.live.lock() += 1;
     }
 
     fn end(&self) {
-        let mut live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+        let mut live = self.live.lock();
         *live -= 1;
         if *live == 0 {
             self.idle.notify_all();
@@ -74,13 +75,12 @@ impl ConnTracker {
 
     fn wait_idle(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+        let mut live = self.live.lock();
         while *live > 0 {
             let Some(left) = deadline.checked_duration_since(Instant::now()) else {
                 return false;
             };
-            let (guard, _) = self.idle.wait_timeout(live, left).unwrap_or_else(|e| e.into_inner());
-            live = guard;
+            live = self.idle.wait_timeout(live, left).0;
         }
         true
     }

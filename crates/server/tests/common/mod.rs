@@ -9,7 +9,8 @@ use opensearch_sql::PipelineConfig;
 use osql_runtime::{AssetCache, Runtime, RuntimeConfig};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::{Arc, Condvar, Mutex};
+use osql_chk::{Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// An LLM wrapper whose completions block while the gate is closed —
@@ -26,16 +27,16 @@ impl GateLlm {
     }
 
     pub fn set_open(&self, open: bool) {
-        *self.open.lock().unwrap() = open;
+        *self.open.lock() = open;
         self.cv.notify_all();
     }
 }
 
 impl LanguageModel for GateLlm {
     fn complete(&self, req: &ChatRequest) -> ChatResponse {
-        let mut open = self.open.lock().unwrap();
+        let mut open = self.open.lock();
         while !*open {
-            open = self.cv.wait(open).unwrap();
+            open = self.cv.wait(open);
         }
         drop(open);
         self.inner.complete(req)

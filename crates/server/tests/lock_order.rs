@@ -1,0 +1,42 @@
+//! Lock-order analysis over the serving layer: drive the coalescer and
+//! the quota registry concurrently and assert the always-on analyzer saw
+//! an acyclic acquisition graph.
+#![cfg(all(debug_assertions, not(osql_model)))]
+
+use osql_runtime::ResultKey;
+use osql_server::{Coalescer, Joined, QuotaConfig, QuotaRegistry, Rendered};
+use std::sync::Arc;
+
+#[test]
+fn serving_structures_admit_a_global_lock_order() {
+    let co = Arc::new(Coalescer::new());
+    let quota = Arc::new(QuotaRegistry::new(QuotaConfig::default()));
+    std::thread::scope(|s| {
+        for t in 0..3usize {
+            let (co, quota) = (co.clone(), quota.clone());
+            s.spawn(move || {
+                for i in 0..8usize {
+                    let _ = quota.admit(&format!("key-{t}"));
+                    match co.join(ResultKey::new("db", &format!("q{}", i % 2), "", 7)) {
+                        Joined::Leader(tok) => {
+                            tok.complete(|_| Rendered {
+                                status: 200,
+                                body: Arc::new(b"ok".to_vec()),
+                                retry_after_secs: None,
+                            });
+                        }
+                        Joined::Waiter(w) => {
+                            let _ = w.wait();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(co.inflight_len(), 0);
+    assert_eq!(
+        osql_chk::lockorder::cycles_detected(),
+        0,
+        "lock-order cycle in serving structures"
+    );
+}

@@ -9,7 +9,8 @@ use crate::parser::parse_script;
 use crate::schema::{ColumnInfo, DbSchema, ForeignKey, TableInfo};
 use crate::value::{ResultSet, Row, Value};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use osql_chk::RwLock;
+use std::sync::Arc;
 
 /// Stored table data.
 #[derive(Debug, Clone, Default)]
@@ -49,7 +50,7 @@ impl Clone for Database {
             data: self.data.clone(),
             indexes: self.indexes.clone(),
             index_cache: RwLock::new(
-                self.index_cache.read().expect("index cache poisoned").clone(),
+                self.index_cache.read().clone(),
             ),
         }
     }
@@ -129,7 +130,7 @@ impl Database {
     pub fn index(&self, table: &str, column: &str) -> Option<Arc<ColumnIndex>> {
         let def = self.indexes.iter().find(|d| d.matches(table, column))?;
         let key = (def.table.to_lowercase(), def.column.to_lowercase());
-        if let Some(cached) = self.index_cache.read().expect("index cache poisoned").get(&key) {
+        if let Some(cached) = self.index_cache.read().get(&key) {
             return cached.clone();
         }
         let built = self
@@ -141,10 +142,7 @@ impl Database {
                 ColumnIndex::build(rows, col)
             })
             .map(Arc::new);
-        self.index_cache
-            .write()
-            .expect("index cache poisoned")
-            .insert(key, built.clone());
+        self.index_cache.write().insert(key, built.clone());
         built
     }
 
@@ -154,10 +152,7 @@ impl Database {
     pub fn install_index(&mut self, def: IndexDef, index: ColumnIndex) -> SqlResult<()> {
         self.create_index(&def.table, &def.column)?;
         let key = (def.table.to_lowercase(), def.column.to_lowercase());
-        self.index_cache
-            .write()
-            .expect("index cache poisoned")
-            .insert(key, Some(Arc::new(index)));
+        self.index_cache.write().insert(key, Some(Arc::new(index)));
         Ok(())
     }
 
@@ -166,7 +161,7 @@ impl Database {
     pub fn install_unusable_index(&mut self, def: IndexDef) -> SqlResult<()> {
         self.create_index(&def.table, &def.column)?;
         let key = (def.table.to_lowercase(), def.column.to_lowercase());
-        self.index_cache.write().expect("index cache poisoned").insert(key, None);
+        self.index_cache.write().insert(key, None);
         Ok(())
     }
 
@@ -179,7 +174,7 @@ impl Database {
         rid: u32,
         values: Vec<(String, Value)>,
     ) {
-        let cache = self.index_cache.get_mut().expect("index cache poisoned");
+        let cache = self.index_cache.get_mut();
         for (column_key, value) in values {
             let key = (table.to_lowercase(), column_key);
             if let Some(slot) = cache.get_mut(&key) {
@@ -201,7 +196,6 @@ impl Database {
         let key = table.to_lowercase();
         self.index_cache
             .get_mut()
-            .expect("index cache poisoned")
             .retain(|(t, _), _| *t != key);
     }
 

@@ -35,8 +35,9 @@ use crate::plan::PhysicalPlan;
 use crate::schema::DbSchema;
 use crate::value::{ResultSet, Value};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use osql_chk::atomic::{AtomicU64, Ordering};
+use osql_chk::Mutex;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 // ---------------- schema fingerprint ----------------
@@ -679,7 +680,7 @@ impl PlanCache {
         let fingerprint = plan_fingerprint(db);
         let key = Self::key(fingerprint, sql);
         {
-            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            let mut inner = self.inner.lock();
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(bucket) = inner.map.get_mut(&key) {
@@ -704,7 +705,7 @@ impl PlanCache {
             Ok(p) => Arc::new(p),
             Err(e) => return (Err(e), false, prepare_us),
         };
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         // Another thread may have raced us to the same statement; reuse
@@ -799,7 +800,7 @@ impl PlanCache {
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("plan cache poisoned").len
+        self.inner.lock().len
     }
 
     /// Is the cache empty?
@@ -809,7 +810,7 @@ impl PlanCache {
 
     /// Drop every cached plan (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = self.inner.lock();
         inner.map.clear();
         inner.len = 0;
     }

@@ -1,0 +1,112 @@
+//! Model-checked concurrency invariants for sqlkit's shared plan cache.
+//! Only built under `--cfg osql_model`:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg osql_model" CARGO_TARGET_DIR=target/model \
+//!     cargo test -p sqlkit --test model
+//! ```
+#![cfg(osql_model)]
+
+use osql_chk::model::{self, Config, Outcome};
+use osql_chk::thread;
+use sqlkit::{print_select, Database, PlanCache};
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    Config { preemption_bound: 2, max_schedules: 50_000, ..Config::default() }
+}
+
+fn assert_pass(invariant: &str, outcome: Outcome) {
+    match outcome {
+        Outcome::Pass(report) => {
+            // visible under `cargo test -- --nocapture`; the numbers feed
+            // EXPERIMENTS.md
+            eprintln!("{invariant}: {} schedule(s) explored", report.schedules);
+        }
+        Outcome::Fail { message, schedule, schedules } => {
+            panic!("{invariant}: model check failed after {schedules} schedule(s): {message}\nschedule: {schedule}")
+        }
+    }
+}
+
+fn tiny_db() -> Database {
+    let mut db = Database::new("m");
+    db.execute_script(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT);\
+         INSERT INTO t VALUES (1, 'a'), (2, 'b');",
+    )
+    .unwrap();
+    db
+}
+
+/// Two threads prepare the *same* statement concurrently: both get a
+/// working plan, the duplicate-insert race collapses onto one cache
+/// entry, and the hit/miss accounting balances.
+#[test]
+fn plan_cache_concurrent_same_statement_converges() {
+    let db = Arc::new(tiny_db());
+    assert_pass("plan_cache_concurrent_same_statement_converges", model::explore(cfg(), {
+        let db = db.clone();
+        move || {
+            let cache = Arc::new(PlanCache::new(4));
+            let other = {
+                let (cache, db) = (cache.clone(), db.clone());
+                thread::spawn(move || cache.prepared(&db, "SELECT v FROM t WHERE id = 1").unwrap())
+            };
+            let mine = cache.prepared(&db, "SELECT v FROM t WHERE id = 1").unwrap();
+            let theirs = other.join().unwrap();
+            assert_eq!(print_select(mine.statement()), print_select(theirs.statement()));
+            assert_eq!(cache.len(), 1, "racing inserts of one statement share an entry");
+            let s = cache.stats();
+            assert_eq!(s.hits + s.misses, 2, "every lookup accounted exactly once");
+        }
+    }));
+}
+
+/// Distinct statements racing into a capacity-1 cache: the bound holds
+/// under every interleaving and both callers still get correct plans.
+#[test]
+fn plan_cache_capacity_bound_holds_under_races() {
+    let db = Arc::new(tiny_db());
+    assert_pass("plan_cache_capacity_bound_holds_under_races", model::explore(cfg(), {
+        let db = db.clone();
+        move || {
+            let cache = Arc::new(PlanCache::new(1));
+            let other = {
+                let (cache, db) = (cache.clone(), db.clone());
+                thread::spawn(move || cache.prepared(&db, "SELECT v FROM t WHERE id = 2").unwrap())
+            };
+            let mine = cache.prepared(&db, "SELECT id FROM t").unwrap();
+            let theirs = other.join().unwrap();
+            assert!(print_select(mine.statement()).contains("id"));
+            assert!(print_select(theirs.statement()).contains("v"));
+            assert_eq!(cache.len(), 1, "capacity bound violated");
+            let s = cache.stats();
+            assert_eq!(s.misses, 2, "two distinct statements, two misses");
+        }
+    }));
+}
+
+/// Executing through the cache while another thread warms the same plan:
+/// results are correct regardless of who populates the entry.
+#[test]
+fn plan_cache_execute_correct_during_concurrent_warmup() {
+    let db = Arc::new(tiny_db());
+    assert_pass("plan_cache_execute_correct_during_concurrent_warmup", model::explore(cfg(), {
+        let db = db.clone();
+        move || {
+            let cache = Arc::new(PlanCache::new(4));
+            let warmer = {
+                let (cache, db) = (cache.clone(), db.clone());
+                thread::spawn(move || {
+                    cache.prepared(&db, "SELECT v FROM t WHERE id = 2").unwrap();
+                })
+            };
+            let (rs, _) = cache.execute(&db, "SELECT v FROM t WHERE id = 2").unwrap();
+            assert_eq!(rs.rows.len(), 1);
+            assert_eq!(rs.rows[0][0].to_string(), "b");
+            warmer.join().unwrap();
+            assert_eq!(cache.len(), 1);
+        }
+    }));
+}

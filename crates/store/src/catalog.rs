@@ -12,8 +12,9 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use osql_chk::atomic::{AtomicU64, Ordering};
+use osql_chk::Mutex;
+use std::sync::Arc;
 
 /// Suffix of store files inside a catalog directory.
 pub const STORE_EXT: &str = "store";
@@ -127,7 +128,7 @@ impl<T> Catalog<T> {
     /// least-recently-used entries to honour the budget. The entry just
     /// loaded is never evicted, even when it alone exceeds the budget.
     pub fn get(&self, id: &str) -> std::io::Result<Arc<T>> {
-        let mut inner = self.inner.lock().expect("catalog lock");
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(e) = inner.entries.get_mut(id) {
@@ -141,7 +142,7 @@ impl<T> Catalog<T> {
         let micros = started.elapsed().as_micros() as u64;
         let value = Arc::new(value);
 
-        let mut inner = self.inner.lock().expect("catalog lock");
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         // another thread may have loaded it while we were reading
@@ -178,7 +179,7 @@ impl<T> Catalog<T> {
 
     /// Ids currently resident, most recently used first.
     pub fn resident(&self) -> Vec<(String, u64)> {
-        let inner = self.inner.lock().expect("catalog lock");
+        let inner = self.inner.lock();
         let mut ids: Vec<(&String, &Entry<T>)> = inner.entries.iter().collect();
         ids.sort_by_key(|(_, e)| std::cmp::Reverse(e.last_used));
         ids.into_iter().map(|(id, e)| (id.clone(), e.bytes)).collect()
@@ -186,12 +187,12 @@ impl<T> Catalog<T> {
 
     /// True when the id is resident right now.
     pub fn is_resident(&self, id: &str) -> bool {
-        self.inner.lock().expect("catalog lock").entries.contains_key(id)
+        self.inner.lock().entries.contains_key(id)
     }
 
     /// Drain pending load/evict events (for metrics/trace forwarding).
     pub fn take_events(&self) -> Vec<CatalogEvent> {
-        std::mem::take(&mut self.inner.lock().expect("catalog lock").events)
+        std::mem::take(&mut self.inner.lock().events)
     }
 
     /// The catalog directory.

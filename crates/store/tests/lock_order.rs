@@ -1,0 +1,34 @@
+//! Lock-order analysis over the storage layer: concurrent demand-paging
+//! through the catalog, then assert the always-on analyzer saw an
+//! acyclic acquisition graph.
+#![cfg(all(debug_assertions, not(osql_model)))]
+
+use osql_store::Catalog;
+use std::path::Path;
+use std::sync::Arc;
+
+#[test]
+fn catalog_admits_a_global_lock_order() {
+    let dir = std::env::temp_dir().join(format!("osql-lockorder-cat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cat = Arc::new(
+        Catalog::open(&dir, 150, |path: &Path| {
+            let id = path.file_stem().unwrap().to_string_lossy().into_owned();
+            Ok((id, 60))
+        })
+        .unwrap(),
+    );
+    std::thread::scope(|s| {
+        for t in 0..3usize {
+            let cat = cat.clone();
+            s.spawn(move || {
+                for i in 0..6usize {
+                    let _ = cat.get(&format!("db{}", (t + i) % 4)).unwrap();
+                }
+            });
+        }
+    });
+    assert!(cat.resident_bytes() <= 150 || cat.resident().len() == 1);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(osql_chk::lockorder::cycles_detected(), 0, "lock-order cycle in catalog");
+}

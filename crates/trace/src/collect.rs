@@ -10,8 +10,9 @@
 
 use crate::model::QueryTrace;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use osql_chk::atomic::{AtomicU64, Ordering};
+use osql_chk::Mutex;
+use std::sync::Arc;
 
 /// The bounded trace ring.
 #[derive(Debug)]
@@ -37,7 +38,7 @@ impl TraceCollector {
     /// Publish a finished trace, evicting the oldest when full.
     pub fn publish(&self, trace: Arc<QueryTrace>) {
         self.published.fetch_add(1, Ordering::Relaxed);
-        let mut ring = self.ring.lock().expect("trace ring lock");
+        let mut ring = self.ring.lock();
         if ring.len() >= self.capacity {
             ring.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -47,17 +48,17 @@ impl TraceCollector {
 
     /// The retained traces, oldest first.
     pub fn recent(&self) -> Vec<Arc<QueryTrace>> {
-        self.ring.lock().expect("trace ring lock").iter().cloned().collect()
+        self.ring.lock().iter().cloned().collect()
     }
 
     /// The most recently published trace still retained.
     pub fn last(&self) -> Option<Arc<QueryTrace>> {
-        self.ring.lock().expect("trace ring lock").back().cloned()
+        self.ring.lock().back().cloned()
     }
 
     /// Traces currently retained.
     pub fn len(&self) -> usize {
-        self.ring.lock().expect("trace ring lock").len()
+        self.ring.lock().len()
     }
 
     /// Whether nothing is retained.

@@ -153,6 +153,7 @@ impl Trace {
     /// A fresh trace with an explicit record cap.
     pub fn with_capacity(capacity: usize) -> Self {
         Trace {
+            // chk:allow(wall-clock): capture-time epoch for span offsets, not logical trace time
             anchor: Instant::now(),
             seq: 0,
             spans: Vec::new(),
@@ -385,6 +386,7 @@ impl Default for QueryTrace {
 impl QueryTrace {
     /// A trace with no records (the disabled-tracing placeholder).
     pub fn empty() -> Self {
+        // chk:allow(wall-clock): placeholder anchor for the disabled-tracing sentinel
         QueryTrace { spans: Vec::new(), events: Vec::new(), dropped: 0, anchor: Instant::now() }
     }
 
