@@ -59,6 +59,15 @@ cargo test -q -p osql-server --test http_smoke
 cargo test -q -p osql-server --test coalesce
 cargo clippy -p osql-server --all-targets -- -D warnings
 
+# Observability gate: trace-ID round-trip and the four /debug endpoints
+# (flight lookup, recent/slow listings, SLO report) answer over real
+# HTTP; the shared Retry-After rounding stays pinned; the flight
+# recorder's invariants hold under exhaustive model exploration; and the
+# windowed/SLO exposition stays byte-deterministic (trace_shape above).
+cargo test -q -p osql-server --test http_smoke -- \
+    trace_ids_round_trip_and_debug_endpoints_answer \
+    retry_after_rounding_is_shared_and_pinned
+
 # Concurrency gates (osql-chk). Three layers:
 #   1. workspace-lint: no raw std::sync primitives in checked crates, no
 #      lock().unwrap() outside the sanctioned helper, no wall-clock reads
@@ -70,7 +79,7 @@ cargo clippy -p osql-server --all-targets -- -D warnings
 #      model-world cfg does not thrash the main build cache).
 cargo run --release -q -p osql-chk --bin workspace-lint
 cargo test -q -p osql-chk
-for crate in osql-chk osql-runtime osql-server osql-store sqlkit; do
+for crate in osql-chk osql-runtime osql-server osql-store osql-trace sqlkit; do
     RUSTFLAGS="--cfg osql_model" CARGO_TARGET_DIR=target/model \
         cargo test -q -p "$crate" --test model
 done

@@ -16,11 +16,13 @@
 //!   forms) are banned outside the sanctioned helper
 //!   (`osql_chk::lock_or_recover` / the chk shims, which bake the policy
 //!   in). One policy, one place.
-//! * **`wall-clock`** — inside `crates/trace/src/`, `Instant::now` /
-//!   `SystemTime::now` may only appear on lines carrying an explicit
-//!   `chk:allow(wall-clock)` pragma. Logical traces must be byte-identical
-//!   across runs and thread counts; an unannotated wall-clock read in the
-//!   trace crate is how that property historically rots.
+//! * **`wall-clock`** — inside `crates/trace/src/` and the
+//!   windowed-metrics logical-tick path (`crates/runtime/src/window.rs`),
+//!   `Instant::now` / `SystemTime::now` may only appear on lines carrying
+//!   an explicit `chk:allow(wall-clock)` pragma. Logical traces and
+//!   windowed renderings must be byte-identical across runs and thread
+//!   counts; an unannotated wall-clock read in those paths is how that
+//!   property historically rots.
 //!
 //! Any line can be exempted with a justified pragma, on the same line or
 //! the line above:
@@ -171,7 +173,11 @@ fn policies_for(rel_path: &str) -> (bool, bool, bool) {
         && CHECKED_CRATES.iter().any(|c| rel_path.starts_with(&format!("crates/{c}/")));
     // chk is the sanctioned implementation layer for the poison policy
     let lock_unwrap = !in_chk;
-    let wall_clock = rel_path.starts_with("crates/trace/src/");
+    // logical-time code paths: the trace crate (logical traces must be
+    // byte-identical across runs) and the windowed-metrics ring (windows
+    // are sliced by logical ticks, never by the wall clock)
+    let wall_clock = rel_path.starts_with("crates/trace/src/")
+        || rel_path == "crates/runtime/src/window.rs";
     (raw_sync, lock_unwrap, wall_clock)
 }
 

@@ -66,9 +66,14 @@ fn lock_unwrap_ignores_io_locks_and_reads() {
 fn wall_clock_requires_pragma_in_trace() {
     let bare = "fn f() { let t = Instant::now(); }\n";
     assert_eq!(policies("crates/trace/src/model.rs", bare), ["wall-clock"]);
+    assert_eq!(
+        policies("crates/runtime/src/window.rs", bare),
+        ["wall-clock"],
+        "windowed metrics are sliced by logical ticks, never the wall clock"
+    );
     assert!(
         lint_file("crates/runtime/src/queue.rs", bare).is_empty(),
-        "wall-clock policy is trace-only"
+        "wall-clock policy covers only logical-time paths"
     );
 
     let annotated = "// chk:allow(wall-clock): span anchor, not logical time\n\

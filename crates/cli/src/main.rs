@@ -33,6 +33,9 @@ const USAGE: &str = "usage: opensearch-sql [batch|serve|profile] [--profile tiny
        opensearch-sql explain <db_id> <sql> [--profile ...] # render the physical query plan\n\
        opensearch-sql trace <db_id> <question> [--json]    # serve one question, dump its trace\n\
        opensearch-sql profile [--limit n] [--rounds n]     # per-stage latency table over a batch\n\
+       opensearch-sql flight [--limit n] [--slow-ms f]     # serve a batch, dump the flight recorder\n\
+       opensearch-sql slow [--limit n] [--slow-ms f]       # slow-query log with retained EXPLAINs\n\
+       opensearch-sql serve [--slow-ms f] [--slow-log p]   # slow requests also append JSONL to p\n\
        opensearch-sql pack <out_dir> [--profile ...]       # export every database as a .store file\n\
        opensearch-sql catalog <dir>                        # list a directory of .store files\n\
        opensearch-sql fsck <file.store>                    # audit a store + WAL; non-zero on corruption";
@@ -46,6 +49,8 @@ fn main() {
         Some("explain") => "explain",
         Some("trace") => "trace",
         Some("profile") => "profile",
+        Some("flight") => "flight",
+        Some("slow") => "slow",
         Some("pack") => "pack",
         Some("catalog") => "catalog",
         Some("fsck") => "fsck",
@@ -118,6 +123,16 @@ fn main() {
                 if let Some(v) = value.and_then(|s| s.parse().ok()) {
                     opts.shards = v;
                 }
+                i += 1;
+            }
+            "--slow-ms" => {
+                if let Some(v) = value.and_then(|s| s.parse().ok()) {
+                    opts.slow_ms = v;
+                }
+                i += 1;
+            }
+            "--slow-log" => {
+                opts.slow_log = value.cloned();
                 i += 1;
             }
             "--help" | "-h" => {
@@ -217,6 +232,13 @@ fn main() {
                 opts.profile, opts.scale, opts.workers
             );
             print!("{}", serve::run_profile(&opts));
+        }
+        "flight" | "slow" => {
+            eprintln!(
+                "building {} world (scale {}), serving dev split over {} worker(s) ...",
+                opts.profile, opts.scale, opts.workers
+            );
+            print!("{}", serve::run_flight(&opts, mode == "slow"));
         }
         "batch" => {
             eprintln!(

@@ -7,6 +7,7 @@ use datagen::Profile;
 use llmsim::{ModelProfile, Oracle, SimLlm};
 use opensearch_sql::PipelineConfig;
 use osql_runtime::{AssetCache, QueryRequest, Runtime, RuntimeConfig, ServeError, Throughput};
+use osql_trace::FlightConfig;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -42,6 +43,13 @@ pub struct ServeOptions {
     pub http: Option<String>,
     /// Acceptor shard threads for the HTTP server.
     pub shards: usize,
+    /// Slow-query threshold in milliseconds for the flight recorder
+    /// (`flight` and `slow` modes, `\flight` in the serve REPL).
+    pub slow_ms: f64,
+    /// Append every slow request as one JSON object per line to this
+    /// file (`--slow-log <path>`); `None` keeps the slow log in-memory
+    /// only.
+    pub slow_log: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -59,6 +67,8 @@ impl Default for ServeOptions {
             budget: 0,
             http: None,
             shards: 2,
+            slow_ms: 250.0,
+            slow_log: None,
         }
     }
 }
@@ -152,6 +162,12 @@ pub fn start_runtime(opts: &ServeOptions) -> (Arc<datagen::Benchmark>, Runtime) 
         queue_capacity: opts.queue,
         result_cache_capacity: opts.result_cache,
         trace_capacity: 64,
+        flight: FlightConfig {
+            slow_ms: opts.slow_ms,
+            slow_log_path: opts.slow_log.clone().map(std::path::PathBuf::from),
+            ..FlightConfig::default()
+        },
+        ..RuntimeConfig::default()
     };
     (benchmark, Runtime::start(assets, config))
 }
@@ -377,6 +393,101 @@ pub fn stage_table(metrics: &osql_runtime::MetricsRegistry) -> String {
     out
 }
 
+/// Render the flight recorder as a table, newest record first. With
+/// `payloads`, append each slow record's retained `EXPLAIN` so the
+/// est-vs-actual row counts are visible without a second lookup.
+pub fn flight_report(rt: &Runtime, slow_only: bool, payloads: bool) -> String {
+    let flight = rt.flight();
+    let records = if slow_only { flight.slow(32) } else { flight.recent(32) };
+    if records.is_empty() {
+        return if slow_only {
+            "no slow queries recorded".to_owned()
+        } else {
+            "flight recorder is empty".to_owned()
+        };
+    }
+    let (slow_ms, slow_rows) = flight.thresholds();
+    let mut out = format!(
+        "{} record(s) shown ({} finished, {} dropped, capacity {}; \
+         slow = >{:.0} ms or >{} rows):\n",
+        records.len(),
+        flight.finished(),
+        flight.dropped(),
+        flight.capacity(),
+        slow_ms,
+        slow_rows,
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:<8} {:<16} {:>10} {:>10} {:>6} {:>5}",
+        "trace_id", "outcome", "db", "queue(ms)", "total(ms)", "cache", "slow"
+    );
+    for rec in &records {
+        let _ = writeln!(
+            out,
+            "{:<20} {:<8} {:<16} {:>10.2} {:>10.2} {:>6} {:>5}",
+            rec.id,
+            rec.outcome.label(),
+            rec.db_id,
+            rec.queue_wait_ms,
+            rec.total_ms,
+            if rec.from_cache { "hit" } else { "-" },
+            if rec.slow { "SLOW" } else { "-" },
+        );
+    }
+    if payloads {
+        for rec in records.iter().filter(|r| r.slow) {
+            if let Some(explain) = &rec.explain {
+                let _ = write!(out, "\n{} EXPLAIN:\n{}", rec.id, explain.trim_end());
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Render the SLO evaluation for the `\slo` REPL command.
+fn slo_text(rt: &Runtime) -> String {
+    let report = rt.slo_report();
+    let win = |w: &osql_runtime::SloWindow| {
+        format!("{} req, bad {:.4}, burn {:.2}", w.requests, w.bad_fraction, w.burn_rate)
+    };
+    format!(
+        "tick {}: availability target {:.3} — short [{}], long [{}], breach: {}\n\
+         latency target {:.0} ms @ p{:.0} — short [{}], long [{}], breach: {}",
+        report.tick,
+        report.config.availability_target,
+        win(&report.availability_short),
+        win(&report.availability_long),
+        report.availability_breach,
+        report.config.latency_target_ms,
+        report.config.latency_fraction * 100.0,
+        win(&report.latency_short),
+        win(&report.latency_long),
+        report.latency_breach,
+    )
+}
+
+/// `flight`/`slow` CLI modes: serve the dev split through the runtime,
+/// then dump the flight recorder (all recent records, or only the slow
+/// ones with their retained `EXPLAIN` payloads).
+pub fn run_flight(opts: &ServeOptions, slow_only: bool) -> String {
+    let (benchmark, rt) = start_runtime(opts);
+    let limit = if opts.limit == 0 {
+        benchmark.dev.len()
+    } else {
+        opts.limit.min(benchmark.dev.len())
+    };
+    let requests: Vec<QueryRequest> = benchmark
+        .dev
+        .iter()
+        .take(limit)
+        .map(|ex| QueryRequest::new(&ex.db_id, &ex.question, &ex.evidence))
+        .collect();
+    for _ in rt.run_batch(requests) {}
+    flight_report(&rt, slow_only, slow_only)
+}
+
 /// Render the demand-paging state for the `\catalog` REPL command:
 /// resident databases MRU-first with their byte costs, evicted-but-known
 /// databases, and the load/evict totals against the budget.
@@ -416,7 +527,9 @@ fn catalog_status(rt: &Runtime) -> String {
 /// Handle one `serve`-mode input line. Requests are
 /// `db_id|question[|evidence]`; `\metrics` dumps a snapshot, `\prom` the
 /// Prometheus-style exposition, `\trace` the last query's span tree,
-/// `\profile` the per-stage latency table, `\dbs` lists databases,
+/// `\profile` the per-stage latency table, `\flight` the flight
+/// recorder, `\slow` the slow-query log (with retained `EXPLAIN`s),
+/// `\slo` the windowed SLO evaluation, `\dbs` lists databases,
 /// `\catalog` the demand-paging state, `\explain db_id SELECT ...` the
 /// physical plan for one statement. Returns `None` on `\quit`.
 pub fn handle_serve_line(
@@ -460,6 +573,9 @@ pub fn handle_serve_line(
             )
         }
         "\\catalog" => return Some(catalog_status(rt)),
+        "\\flight" => return Some(flight_report(rt, false, false)),
+        "\\slow" => return Some(flight_report(rt, true, true)),
+        "\\slo" => return Some(slo_text(rt)),
         _ => {}
     }
     let mut parts = line.splitn(3, '|');
@@ -468,7 +584,8 @@ pub fn handle_serve_line(
         _ => {
             return Some(
                 "usage: db_id|question[|evidence]  \
-                 (\\metrics, \\prom, \\trace, \\profile, \\dbs, \\catalog, \\explain, \\quit)"
+                 (\\metrics, \\prom, \\trace, \\profile, \\flight, \\slow, \\slo, \
+                 \\dbs, \\catalog, \\explain, \\quit)"
                     .into(),
             )
         }

@@ -61,6 +61,7 @@ pub mod metrics;
 pub mod middleware;
 pub mod queue;
 pub mod runtime;
+pub mod window;
 
 pub use cache::{
     config_fingerprint, normalize_question, open_paged_catalog, AssetCache, AssetMiss, LruCache,
@@ -70,6 +71,10 @@ pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use middleware::{CallError, ResilientLlm, RetryPolicy};
 pub use queue::{BoundedQueue, PushError};
 pub use runtime::{
-    CancelReason, QueryRequest, QueryResponse, QueueStats, Runtime, RuntimeConfig, ServeError,
-    SubmitError, Throughput, Ticket,
+    retry_after_secs, CancelReason, QueryRequest, QueryResponse, QueueStats, Runtime,
+    RuntimeConfig, ServeError, SubmitError, Throughput, Ticket,
+};
+pub use window::{
+    LogicalClock, SloConfig, SloReport, SloTracker, SloWindow, WindowedCounter, WindowedHistogram,
+    WindowedMetrics,
 };

@@ -10,12 +10,27 @@
 use crate::cache::{config_fingerprint, AssetCache, AssetMiss, ResultCache, ResultKey};
 use crate::metrics::{MetricsRegistry, FRACTION_BOUNDS};
 use crate::queue::{BoundedQueue, PushError};
+use crate::window::{LogicalClock, SloConfig, SloReport, WindowedMetrics};
 use opensearch_sql::{EvalReport, Module, PipelineRun};
+use osql_trace::flight::{fnv1a, FlightConfig, FlightRecorder, RequestIdGen, RequestOutcome, RequestRecord};
 use osql_trace::{active, QueryTrace, TraceCollector};
-use osql_chk::atomic::{AtomicU64, Ordering};
+use osql_chk::atomic::{AtomicBool, AtomicU64, Ordering};
 use osql_chk::{oneshot, Mutex};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Round a fractional retry hint in seconds up to whole seconds, clamped
+/// to `[1, cap]`. **The** shared rounding for every `Retry-After` the
+/// stack emits — admission control ([`QueueStats::estimated_drain_secs`])
+/// and the server's quota rejections both route through it, so the two
+/// paths can never drift apart in how they round.
+pub fn retry_after_secs(estimate_secs: f64, cap: u64) -> u64 {
+    let cap = cap.max(1);
+    if !estimate_secs.is_finite() {
+        return cap;
+    }
+    (estimate_secs.ceil() as u64).clamp(1, cap)
+}
 
 /// One query for the runtime to serve.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,16 +41,31 @@ pub struct QueryRequest {
     pub question: String,
     /// External knowledge / evidence string (may be empty).
     pub evidence: String,
+    /// Request trace ID. Empty ⇒ the runtime assigns one at submit; set
+    /// it (via [`QueryRequest::with_trace_id`]) to propagate an ID the
+    /// caller already handed out, e.g. from an `X-Osql-Trace-Id` header.
+    pub trace_id: String,
 }
 
 impl QueryRequest {
-    /// Build a request.
+    /// Build a request (the runtime will assign its trace ID).
     pub fn new(
         db_id: impl Into<String>,
         question: impl Into<String>,
         evidence: impl Into<String>,
     ) -> Self {
-        QueryRequest { db_id: db_id.into(), question: question.into(), evidence: evidence.into() }
+        QueryRequest {
+            db_id: db_id.into(),
+            question: question.into(),
+            evidence: evidence.into(),
+            trace_id: String::new(),
+        }
+    }
+
+    /// Carry a caller-chosen trace ID through the queue and pipeline.
+    pub fn with_trace_id(mut self, trace_id: impl Into<String>) -> Self {
+        self.trace_id = trace_id.into();
+        self
     }
 }
 
@@ -49,6 +79,9 @@ pub struct QueryResponse {
     pub from_cache: bool,
     /// Wall-clock milliseconds the request sat in the queue.
     pub queue_wait_ms: f64,
+    /// The trace ID this request ran under — the key into
+    /// [`Runtime::flight`] and `/debug/trace/<id>`.
+    pub trace_id: String,
 }
 
 /// Why a request could not be served.
@@ -199,6 +232,17 @@ pub struct RuntimeConfig {
     pub result_cache_capacity: usize,
     /// How many finished query traces the runtime retains (drop-oldest).
     pub trace_capacity: usize,
+    /// Flight-recorder sizing and slow-query thresholds (capacity 0
+    /// disables the recorder).
+    pub flight: FlightConfig,
+    /// Windowed-metrics ring width in logical ticks.
+    pub window_ticks: usize,
+    /// Milliseconds per logical tick for the background ticker thread;
+    /// `0` spawns no ticker — tests advance [`Runtime::clock`] manually
+    /// for deterministic windows.
+    pub tick_interval_ms: u64,
+    /// Service-level objectives evaluated over the windowed stream.
+    pub slo: SloConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -208,6 +252,10 @@ impl Default for RuntimeConfig {
             queue_capacity: 64,
             result_cache_capacity: 256,
             trace_capacity: 64,
+            flight: FlightConfig::default(),
+            window_ticks: 144,
+            tick_interval_ms: 1000,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -253,7 +301,7 @@ impl QueueStats {
         if self.drain_rate_per_sec <= f64::EPSILON {
             return 60;
         }
-        ((self.depth as f64 / self.drain_rate_per_sec).ceil() as u64).clamp(1, 60)
+        retry_after_secs(self.depth as f64 / self.drain_rate_per_sec, 60)
     }
 }
 
@@ -298,6 +346,11 @@ impl DrainWindow {
     }
 }
 
+/// One-process-wide sequence of runtime instances: seeds each runtime's
+/// [`RequestIdGen`] so two runtimes in one test process never mint the
+/// same IDs, while staying fully deterministic run-to-run.
+static RUNTIME_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// The concurrent query-serving runtime.
 pub struct Runtime {
     queue: Arc<BoundedQueue<Job>>,
@@ -305,7 +358,12 @@ pub struct Runtime {
     results: Arc<ResultCache>,
     metrics: Arc<MetricsRegistry>,
     traces: Arc<TraceCollector>,
+    flight: Arc<FlightRecorder>,
+    windowed: Arc<WindowedMetrics>,
+    ids: RequestIdGen,
     workers: Vec<std::thread::JoinHandle<()>>,
+    ticker: Option<std::thread::JoinHandle<()>>,
+    ticker_stop: Arc<AtomicBool>,
     fingerprint: u64,
     drain: DrainWindow,
 }
@@ -317,6 +375,14 @@ impl Runtime {
         let results = Arc::new(ResultCache::new(config.result_cache_capacity));
         let metrics = Arc::new(MetricsRegistry::new());
         let traces = Arc::new(TraceCollector::new(config.trace_capacity));
+        let flight = Arc::new(FlightRecorder::new(config.flight.clone()));
+        let clock = Arc::new(LogicalClock::new());
+        let windowed = Arc::new(WindowedMetrics::new(
+            clock.clone(),
+            config.window_ticks.max(1),
+            config.slo.clone(),
+        ));
+        let ids = RequestIdGen::new(RUNTIME_SEQ.fetch_add(1, Ordering::Relaxed));
         let fingerprint = config_fingerprint(assets.config());
         let worker_count = config.workers.max(1);
         let mut workers = Vec::with_capacity(worker_count);
@@ -326,28 +392,82 @@ impl Runtime {
             let results = results.clone();
             let metrics = metrics.clone();
             let traces = traces.clone();
+            let flight = flight.clone();
+            let windowed = windowed.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(&queue, &assets, &results, &metrics, &traces, fingerprint);
+                worker_loop(
+                    &queue, &assets, &results, &metrics, &traces, &flight, &windowed, fingerprint,
+                );
             }));
         }
+        let ticker_stop = Arc::new(AtomicBool::new(false));
+        let ticker = (config.tick_interval_ms > 0).then(|| {
+            let clock = clock.clone();
+            let stop = ticker_stop.clone();
+            let interval = std::time::Duration::from_millis(config.tick_interval_ms);
+            std::thread::Builder::new()
+                .name("osql-tick".into())
+                .spawn(move || {
+                    // sleep in short slices so shutdown never waits a
+                    // whole tick interval for the ticker to notice
+                    let slice = std::time::Duration::from_millis(25).min(interval);
+                    let mut slept = std::time::Duration::ZERO;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(slice);
+                        slept += slice;
+                        if slept >= interval {
+                            slept = std::time::Duration::ZERO;
+                            clock.advance();
+                        }
+                    }
+                })
+                .expect("spawn ticker thread")
+        });
         Runtime {
             queue,
             assets,
             results,
             metrics,
             traces,
+            flight,
+            windowed,
+            ids,
             workers,
+            ticker,
+            ticker_stop,
             fingerprint,
             drain: DrainWindow::new(),
         }
     }
 
+    /// Ensure `req` carries a trace ID (minting one when empty) and
+    /// register it with the flight recorder. Returns the ID.
+    fn admit_trace_id(&self, req: &mut QueryRequest) -> String {
+        if req.trace_id.is_empty() {
+            req.trace_id = self.ids.next();
+        }
+        self.flight.begin(&req.trace_id);
+        req.trace_id.clone()
+    }
+
+    /// Mint the next request ID without submitting anything — the server
+    /// uses this so shed/quota-rejected requests still get an ID to
+    /// return (and to record) even though they never enter the queue.
+    pub fn next_trace_id(&self) -> String {
+        self.ids.next()
+    }
+
     /// Submit a request, blocking while the queue is full (backpressure).
     pub fn submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+        let mut req = req;
+        let id = self.admit_trace_id(&mut req);
         let (tx, rx) = oneshot::channel();
         match self.queue.push(Job { req, enqueued: Instant::now(), reply: tx }) {
             Ok(()) => Ok(Ticket { rx, queue: self.queue.clone() }),
-            Err(PushError::Closed(_)) | Err(PushError::Full(_)) => Err(SubmitError::ShuttingDown),
+            Err(PushError::Closed(_)) | Err(PushError::Full(_)) => {
+                self.flight.abandon(&id);
+                Err(SubmitError::ShuttingDown)
+            }
         }
     }
 
@@ -356,14 +476,20 @@ impl Runtime {
     /// `queue_shed_total` metric, so the exposition and any admission
     /// controller report the same shed count.
     pub fn try_submit(&self, req: QueryRequest) -> Result<Ticket, SubmitError> {
+        let mut req = req;
+        let id = self.admit_trace_id(&mut req);
         let (tx, rx) = oneshot::channel();
         match self.queue.try_push(Job { req, enqueued: Instant::now(), reply: tx }) {
             Ok(()) => Ok(Ticket { rx, queue: self.queue.clone() }),
             Err(PushError::Full(_)) => {
+                self.flight.abandon(&id);
                 self.metrics.counter("queue_shed_total").inc();
                 Err(SubmitError::QueueFull)
             }
-            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+            Err(PushError::Closed(_)) => {
+                self.flight.abandon(&id);
+                Err(SubmitError::ShuttingDown)
+            }
         }
     }
 
@@ -389,6 +515,28 @@ impl Runtime {
     /// The ring of recently finished query traces.
     pub fn traces(&self) -> &Arc<TraceCollector> {
         &self.traces
+    }
+
+    /// The flight recorder of completed request records.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// The windowed instruments (and their SLO evaluator).
+    pub fn windowed(&self) -> &Arc<WindowedMetrics> {
+        &self.windowed
+    }
+
+    /// The logical clock windowed metrics are sliced by. Advance it
+    /// manually in tests (`tick_interval_ms: 0`) for deterministic
+    /// windows.
+    pub fn clock(&self) -> &Arc<LogicalClock> {
+        self.windowed.clock()
+    }
+
+    /// Evaluate the configured SLOs at the current tick.
+    pub fn slo_report(&self) -> SloReport {
+        self.windowed.slo.evaluate(self.clock().now())
     }
 
     /// The level-1 (per-database asset) cache.
@@ -436,6 +584,12 @@ impl Runtime {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.ticker_stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+        // queued jobs that were dropped unanswered become Canceled records
+        self.flight.cancel_inflight();
     }
 
     /// Evaluate examples by routing every question through this runtime's
@@ -484,29 +638,89 @@ impl Drop for Runtime {
     }
 }
 
+/// Stage modules paired with their metric/flight-record labels.
+static STAGES: [(Module, &str); 4] = [
+    (Module::Extraction, "extraction"),
+    (Module::Generation, "generation"),
+    (Module::Refinement, "refinement"),
+    (Module::Alignments, "alignments"),
+];
+
+/// Rows the SQL executor scanned while serving this trace: the sum over
+/// the volatile `exec` events sqlkit emits (one per executed statement).
+fn rows_scanned_in(trace: &QueryTrace) -> u64 {
+    trace
+        .events_named("exec")
+        .flat_map(|e| e.timings.iter())
+        .filter(|(name, _)| *name == "rows_scanned")
+        .map(|(_, v)| v.max(0.0) as u64)
+        .sum()
+}
+
+/// LLM-call modules whose ledger time is the *simulated* model latency
+/// (`resp.latency_ms`, a pure function of token counts) — never the wall
+/// clock. These are the only deterministic time charges in the ledger;
+/// the stage totals (Extraction, Refinement, …) are wall-clock and vary
+/// run to run.
+static MODELLED_MODULES: [Module; 4] =
+    [Module::EntityColumn, Module::SelectAlign, Module::Generation, Module::Correction];
+
+/// The pipeline's modelled (deterministic) cost in milliseconds: the sum
+/// of the ledger's LLM-call charges, each of which is the simulated
+/// model latency derived from token counts. This — not the wall clock,
+/// and not the wall-clock stage totals — feeds the windowed instruments
+/// and the SLO evaluator, so their renderings are byte-identical across
+/// runs, worker counts, and refine-thread counts.
+fn modelled_ms(run: &PipelineRun) -> f64 {
+    MODELLED_MODULES.iter().map(|module| run.ledger.get(*module).time_ms).sum()
+}
+
+/// Cumulative store-path microseconds (WAL appends/syncs/commits plus
+/// checkpoints) across the process. Workers take a before/after delta of
+/// this around each pipeline run to surface per-request store time;
+/// under concurrent writers the delta can absorb a neighbour's I/O, so
+/// it is exact when serving serially and an upper bound otherwise.
+fn store_us_total() -> u64 {
+    let stats = osql_store::store_stats();
+    stats.wal_append.total_us()
+        + stats.wal_sync.total_us()
+        + stats.wal_commit.total_us()
+        + stats.checkpoint.total_us()
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     queue: &BoundedQueue<Job>,
     assets: &AssetCache,
     results: &ResultCache,
     metrics: &MetricsRegistry,
     traces: &TraceCollector,
+    flight: &FlightRecorder,
+    windowed: &WindowedMetrics,
     fingerprint: u64,
 ) {
-    static STAGES: [(Module, &str); 4] = [
-        (Module::Extraction, "extraction"),
-        (Module::Generation, "generation"),
-        (Module::Refinement, "refinement"),
-        (Module::Alignments, "alignments"),
-    ];
     while let Some(job) = queue.pop() {
         let queue_wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
         metrics.counter("requests_total").inc();
         metrics.latency("queue_wait_ms").record(queue_wait_ms);
+        let trace_id = job.req.trace_id.clone();
+        let mut record = RequestRecord::new(&trace_id, &job.req.db_id);
+        record.question_hash = fnv1a(crate::cache::normalize_question(&job.req.question).as_bytes());
+        record.queue_wait_ms = queue_wait_ms;
         let key =
             ResultKey::new(&job.req.db_id, &job.req.question, &job.req.evidence, fingerprint);
         if let Some(run) = results.get(&key) {
             metrics.counter("result_cache_hits").inc();
-            job.reply.send(Ok(QueryResponse { run, from_cache: true, queue_wait_ms }));
+            record.from_cache = true;
+            record.total_ms = queue_wait_ms;
+            flight.finish(record);
+            windowed.observe(0.0, true, true);
+            job.reply.send(Ok(QueryResponse {
+                run,
+                from_cache: true,
+                queue_wait_ms,
+                trace_id,
+            }));
             continue;
         }
         metrics.counter("result_cache_misses").inc();
@@ -515,8 +729,12 @@ fn worker_loop(
         // not on the query), any demand-paging events (`db_load`,
         // `db_evict`, `wal_replay` — also volatile), and every pipeline
         // span land in one trace, popped and attached to the run after.
+        // The trace ID deliberately never becomes a span label — logical
+        // traces stay byte-identical across runs; the flight record is
+        // the ID ⇒ trace link.
         active::push();
         active::event_volatile("queue_wait", &[], &[("ms", queue_wait_ms)]);
+        let store_us_before = store_us_total();
         let pipeline = match assets.pipeline(&job.req.db_id) {
             Ok(p) => p,
             Err(miss) => {
@@ -533,6 +751,11 @@ fn worker_loop(
                         ServeError::DbLoadFailed { db_id: job.req.db_id, reason }
                     }
                 };
+                record.outcome = RequestOutcome::Error;
+                record.error = Some(err.to_string());
+                record.total_ms = queue_wait_ms;
+                flight.finish(record);
+                windowed.observe(0.0, false, false);
                 job.reply.send(Err(err));
                 continue;
             }
@@ -543,12 +766,14 @@ fn worker_loop(
         let trace = Arc::new(active::pop().unwrap_or_else(QueryTrace::empty));
         run.trace = trace.clone();
         let run = Arc::new(run);
-        traces.publish(trace);
-        metrics.latency("pipeline_ms").record(started.elapsed().as_secs_f64() * 1e3);
+        traces.publish(trace.clone());
+        let pipeline_ms = started.elapsed().as_secs_f64() * 1e3;
+        metrics.latency("pipeline_ms").record(pipeline_ms);
         for (module, stage) in &STAGES {
             let cost = run.ledger.get(*module);
             if cost.calls > 0 {
                 metrics.latency_with("stage_latency_ms", &[("stage", stage)]).record(cost.time_ms);
+                record.stage_ms.push((*stage, cost.time_ms));
             }
         }
         if run.candidates.len() > 1 {
@@ -560,7 +785,32 @@ fn worker_loop(
         results.insert(key, run.clone());
         metrics.counter("result_cache_evictions_total").raise_to(results.evictions());
         sync_plan_cache_metrics(metrics);
-        job.reply.send(Ok(QueryResponse { run, from_cache: false, queue_wait_ms }));
+        // Flight record + slow-query capture. The tail-sampling decision
+        // itself belongs to the recorder; the worker attaches the heavy
+        // payloads (span tree, EXPLAIN) whenever the record *could* be
+        // sampled, and the recorder strips them for fast, healthy runs.
+        record.total_ms = queue_wait_ms + pipeline_ms;
+        record.rows_scanned = rows_scanned_in(&trace);
+        let store_us = store_us_total().saturating_sub(store_us_before);
+        if store_us > 0 {
+            record.stage_ms.push(("store", store_us as f64 / 1e3));
+        }
+        let (slow_ms, slow_rows) = flight.thresholds();
+        if flight.enabled()
+            && (record.total_ms >= slow_ms || record.rows_scanned >= slow_rows)
+        {
+            record.trace = Some(trace);
+            if let Some(db) = pipeline.preprocessed().db(&run.db_id) {
+                record.explain = Some(
+                    sqlkit::explain(&db.database, &run.final_sql)
+                        .unwrap_or_else(|e| format!("explain failed: {e}")),
+                );
+            }
+            metrics.counter("slow_queries_total").inc();
+        }
+        flight.finish(record);
+        windowed.observe(modelled_ms(&run), true, false);
+        job.reply.send(Ok(QueryResponse { run, from_cache: false, queue_wait_ms, trace_id }));
     }
 }
 
@@ -588,13 +838,36 @@ fn record_analysis_metrics(
 /// Mirror the demand-paging catalog's counters into the registry (paged
 /// mode only): cumulative loads and evictions via `raise_to` (shared
 /// across workers, like the plan-cache mirrors) and the current resident
-/// byte level via `set` (it falls on eviction, so it is a gauge).
+/// byte level via `set` (it falls on eviction, so it is a gauge). The
+/// process-global WAL/checkpoint latency cells mirror the same way, as
+/// Prometheus-style cumulative `_bucket` counters labeled by operation.
 fn sync_store_metrics(metrics: &MetricsRegistry, assets: &AssetCache) {
     if let Some(cat) = assets.catalog() {
         metrics.counter("db_load_total").raise_to(cat.loads());
         metrics.counter("db_evict_total").raise_to(cat.evictions());
         metrics.counter("store_bytes_resident").set(cat.resident_bytes());
     }
+    let stats = osql_store::store_stats();
+    for (op, cell) in [
+        ("wal_append", &stats.wal_append),
+        ("wal_sync", &stats.wal_sync),
+        ("wal_commit", &stats.wal_commit),
+        ("checkpoint", &stats.checkpoint),
+    ] {
+        if cell.count() == 0 {
+            continue; // keep read-only snapshots free of zero series
+        }
+        let snap = cell.snapshot();
+        metrics.counter_with("store_op_total", &[("op", op)]).raise_to(snap.count);
+        metrics.counter_with("store_op_us_total", &[("op", op)]).raise_to(snap.total_us);
+        for (bound, count) in &snap.buckets {
+            metrics
+                .counter_with("store_op_us_bucket", &[("le", &bound.to_string()), ("op", op)])
+                .raise_to(*count);
+        }
+    }
+    metrics.counter("store_checkpoints_active").set(stats.checkpoints_active());
+    metrics.counter("store_checkpoint_last_bytes").set(stats.checkpoint_last_bytes());
 }
 
 /// Mirror the process-wide sqlkit plan-cache counters into the registry so

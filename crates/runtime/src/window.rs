@@ -1,0 +1,709 @@
+//! Sliding-window instruments over **logical ticks**, plus the SLO
+//! evaluator built on them.
+//!
+//! Cumulative counters answer "how many since boot"; operations needs
+//! "how many in the last minute" and "was the p99 over target in the
+//! last hour". These instruments keep a ring of fixed interval buckets
+//! indexed by a logical tick — an integer advanced by the runtime's
+//! ticker thread in production and *manually* in tests — so a windowed
+//! rendering is a pure function of `(recorded values, tick)` and is
+//! byte-identical across runs, worker counts, and refine thread counts.
+//!
+//! **No wall clock in this file** — `workspace-lint` enforces it (the
+//! `wall-clock` policy covers this path). Time only enters as the tick
+//! argument; callers who want real time advance the clock themselves.
+//! Aggregations are order-insensitive (integer sums and bucket counts,
+//! the same milli-unit trick as [`crate::metrics::Histogram`]), which is
+//! what makes the determinism guarantee hold under concurrency.
+//!
+//! The SLO evaluator implements the standard multi-window burn-rate
+//! model: for an objective with error budget `1 - target`, the burn
+//! rate over a window is `bad_fraction / (1 - target)` — burn 1.0 spends
+//! the budget exactly at the sustainable rate, burn ≫ 1 pages. An
+//! objective *breaches* when both its short and long windows burn above
+//! the alert threshold, so one spike (short only) or a long-faded
+//! incident (long only) does not page.
+
+use osql_chk::atomic::{AtomicU64, Ordering};
+use osql_chk::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The logical clock windowed instruments are sliced by: a plain atomic
+/// tick counter. Production advances it from a ticker thread at a fixed
+/// interval; tests advance it manually for exact, deterministic windows.
+#[derive(Debug, Default)]
+pub struct LogicalClock(AtomicU64);
+
+impl LogicalClock {
+    /// A clock at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Advance by one tick; returns the new tick.
+    pub fn advance(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// One ring slot: the tick it belongs to plus that tick's accumulators.
+#[derive(Debug, Clone)]
+struct Slot {
+    tick: u64,
+    count: u64,
+    /// Sum in integer milli-units (value × 1000, rounded) so concurrent
+    /// recording within a tick is order-insensitive and exact.
+    sum_milli: u64,
+    /// Non-cumulative counts per bound, overflow bucket last. Empty for
+    /// counter-only rings.
+    buckets: Vec<u64>,
+}
+
+impl Slot {
+    fn fresh(tick: u64, n_buckets: usize) -> Self {
+        Slot { tick, count: 0, sum_milli: 0, buckets: vec![0; n_buckets] }
+    }
+}
+
+/// The shared ring core: `window` slots indexed `tick % window`, each
+/// tagged with the tick it currently holds and lazily reset when a new
+/// tick claims it. Samples for ticks older than the slot's current tag
+/// (a writer that raced far behind the clock) are dropped — the window
+/// has already moved past them.
+#[derive(Debug)]
+struct Ring {
+    window: usize,
+    n_buckets: usize,
+    slots: Mutex<Vec<Slot>>,
+}
+
+impl Ring {
+    fn new(window: usize, n_buckets: usize) -> Self {
+        let window = window.max(1);
+        Ring {
+            window,
+            n_buckets,
+            slots: Mutex::new((0..window).map(|_| Slot::fresh(u64::MAX, n_buckets)).collect()),
+        }
+    }
+
+    fn record(&self, tick: u64, value_milli: u64, bucket_idx: Option<usize>) {
+        let mut slots = self.slots.lock();
+        let idx = (tick % self.window as u64) as usize;
+        let slot = &mut slots[idx];
+        if slot.tick != tick {
+            if slot.tick != u64::MAX && slot.tick > tick {
+                return; // the window already moved past this tick
+            }
+            *slot = Slot::fresh(tick, self.n_buckets);
+        }
+        slot.count += 1;
+        slot.sum_milli += value_milli;
+        if let Some(b) = bucket_idx {
+            slot.buckets[b] += 1;
+        }
+    }
+
+    /// Aggregate the `width` ticks ending at `now` (inclusive):
+    /// `(count, sum_milli, per-bucket counts)`.
+    fn aggregate(&self, now: u64, width: u64) -> (u64, u64, Vec<u64>) {
+        let width = width.clamp(1, self.window as u64);
+        let oldest = now.saturating_sub(width - 1);
+        let slots = self.slots.lock();
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut buckets = vec![0u64; self.n_buckets];
+        for slot in slots.iter() {
+            if slot.tick != u64::MAX && slot.tick >= oldest && slot.tick <= now {
+                count += slot.count;
+                sum += slot.sum_milli;
+                for (acc, b) in buckets.iter_mut().zip(&slot.buckets) {
+                    *acc += b;
+                }
+            }
+        }
+        (count, sum, buckets)
+    }
+}
+
+/// A sliding-window event counter: `add` tags each increment with the
+/// current tick; `total`/`rate_per_tick` aggregate the last W ticks.
+#[derive(Debug)]
+pub struct WindowedCounter {
+    ring: Ring,
+}
+
+impl WindowedCounter {
+    /// A counter windowed over `window` ticks.
+    pub fn new(window: usize) -> Self {
+        WindowedCounter { ring: Ring::new(window, 0) }
+    }
+
+    /// Count one event at `tick`.
+    pub fn inc(&self, tick: u64) {
+        self.add(tick, 1);
+    }
+
+    /// Count `n` events at `tick`.
+    pub fn add(&self, tick: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut slots = self.ring.slots.lock();
+        let idx = (tick % self.ring.window as u64) as usize;
+        let slot = &mut slots[idx];
+        if slot.tick != tick {
+            if slot.tick != u64::MAX && slot.tick > tick {
+                return;
+            }
+            *slot = Slot::fresh(tick, 0);
+        }
+        slot.count += n;
+    }
+
+    /// Events in the window's full width ending at `now`.
+    pub fn total(&self, now: u64) -> u64 {
+        self.total_over(now, self.ring.window as u64)
+    }
+
+    /// Events in the `width` ticks ending at `now`.
+    pub fn total_over(&self, now: u64, width: u64) -> u64 {
+        self.ring.aggregate(now, width).0
+    }
+
+    /// Mean events per tick over the full window ending at `now`.
+    pub fn rate_per_tick(&self, now: u64) -> f64 {
+        let width = (self.ring.window as u64).min(now + 1);
+        self.total(now) as f64 / width as f64
+    }
+
+    /// The configured window width in ticks.
+    pub fn window(&self) -> usize {
+        self.ring.window
+    }
+}
+
+/// A sliding-window histogram: fixed upper-bound buckets (plus overflow)
+/// per tick slot, aggregated over the last W ticks for windowed counts,
+/// sums, and approximate percentiles.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    bounds: Vec<f64>,
+    ring: Ring,
+}
+
+impl WindowedHistogram {
+    /// A histogram with the given ascending bounds, windowed over
+    /// `window` ticks.
+    pub fn new(bounds: &[f64], window: usize) -> Self {
+        assert!(!bounds.is_empty(), "windowed histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "windowed histogram bounds must be strictly ascending"
+        );
+        WindowedHistogram { bounds: bounds.to_vec(), ring: Ring::new(window, bounds.len() + 1) }
+    }
+
+    /// Record one observation at `tick`.
+    pub fn record(&self, tick: u64, value: f64) {
+        let idx = self.bounds.iter().position(|b| value <= *b).unwrap_or(self.bounds.len());
+        let milli = (value.max(0.0) * 1000.0).round() as u64;
+        self.ring.record(tick, milli, Some(idx));
+    }
+
+    /// Observations in the `width` ticks ending at `now`.
+    pub fn count_over(&self, now: u64, width: u64) -> u64 {
+        self.ring.aggregate(now, width).0
+    }
+
+    /// Sum of observations (value units) over the full window at `now`.
+    pub fn sum(&self, now: u64) -> f64 {
+        self.ring.aggregate(now, self.ring.window as u64).1 as f64 / 1000.0
+    }
+
+    /// Observations at or under `bound_ms` in the `width` ticks ending
+    /// at `now` (for latency-SLO compliance; `bound_ms` is matched to
+    /// the nearest configured bucket bound at or above it).
+    pub fn under_over(&self, now: u64, width: u64, bound: f64) -> u64 {
+        let cutoff = self.bounds.iter().position(|b| *b >= bound).unwrap_or(self.bounds.len());
+        let (_, _, buckets) = self.ring.aggregate(now, width);
+        buckets.iter().take(cutoff + 1).sum()
+    }
+
+    /// Upper bound of the bucket containing the q-quantile over the full
+    /// window ending at `now`; 0 when empty, `f64::INFINITY` when the
+    /// quantile falls in the overflow bucket.
+    pub fn quantile(&self, now: u64, q: f64) -> f64 {
+        let (total, _, buckets) = self.ring.aggregate(now, self.ring.window as u64);
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// `(upper bound, cumulative count)` pairs over the full window at
+    /// `now`, overflow bucket (`f64::INFINITY`) last — Prometheus shape.
+    pub fn cumulative_buckets(&self, now: u64) -> Vec<(f64, u64)> {
+        let (_, _, buckets) = self.ring.aggregate(now, self.ring.window as u64);
+        let mut cum = 0u64;
+        buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                cum += b;
+                (self.bounds.get(i).copied().unwrap_or(f64::INFINITY), cum)
+            })
+            .collect()
+    }
+
+    /// The configured window width in ticks.
+    pub fn window(&self) -> usize {
+        self.ring.window
+    }
+}
+
+/// Service-level objectives for the serve path: an availability target
+/// and a latency target, each evaluated over a short and a long window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Fraction of requests that must not fail (e.g. `0.999`).
+    pub availability_target: f64,
+    /// Latency bound in milliseconds for the latency objective.
+    pub latency_target_ms: f64,
+    /// Fraction of requests that must finish under
+    /// [`Self::latency_target_ms`] (e.g. `0.99`).
+    pub latency_fraction: f64,
+    /// Short (fast-burn) window in ticks.
+    pub short_window: u64,
+    /// Long (slow-burn) window in ticks; also the ring retention.
+    pub long_window: u64,
+    /// Burn rate above which a window is considered burning (both
+    /// windows burning ⇒ breach).
+    pub alert_burn_rate: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            availability_target: 0.999,
+            latency_target_ms: 500.0,
+            latency_fraction: 0.99,
+            short_window: 12,
+            long_window: 144,
+            alert_burn_rate: 2.0,
+        }
+    }
+}
+
+/// Windowed SLO state: per-tick request/error counts and a latency
+/// histogram, evaluated on demand into an [`SloReport`].
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    requests: WindowedCounter,
+    errors: WindowedCounter,
+    latency: WindowedHistogram,
+}
+
+/// One objective's evaluation over a single window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloWindow {
+    /// Requests observed in the window.
+    pub requests: u64,
+    /// The objective's bad-event fraction in the window (errors/requests
+    /// or over-target/requests); 0 when the window is empty.
+    pub bad_fraction: f64,
+    /// `bad_fraction / (1 - target)`; burn 1.0 spends the error budget
+    /// exactly at the sustainable rate.
+    pub burn_rate: f64,
+}
+
+/// The SLO evaluator's full output, rendered into `/debug/slo`, the
+/// serve REPL's `\slo`, and the Prometheus exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// The evaluated configuration.
+    pub config: SloConfig,
+    /// The tick the report was evaluated at.
+    pub tick: u64,
+    /// Availability objective, short window.
+    pub availability_short: SloWindow,
+    /// Availability objective, long window.
+    pub availability_long: SloWindow,
+    /// Latency objective, short window.
+    pub latency_short: SloWindow,
+    /// Latency objective, long window.
+    pub latency_long: SloWindow,
+    /// Availability breach: both windows burn above the alert rate.
+    pub availability_breach: bool,
+    /// Latency breach: both windows burn above the alert rate.
+    pub latency_breach: bool,
+}
+
+impl SloReport {
+    /// Render as a JSON object (for `/debug/slo`).
+    pub fn to_json(&self) -> String {
+        let win = |w: &SloWindow| {
+            format!(
+                "{{\"requests\":{},\"bad_fraction\":{:.6},\"burn_rate\":{:.4}}}",
+                w.requests, w.bad_fraction, w.burn_rate
+            )
+        };
+        format!(
+            "{{\"tick\":{},\"availability_target\":{:.4},\"latency_target_ms\":{:.1},\
+             \"latency_fraction\":{:.4},\"short_window_ticks\":{},\"long_window_ticks\":{},\
+             \"alert_burn_rate\":{:.2},\
+             \"availability\":{{\"short\":{},\"long\":{},\"breach\":{}}},\
+             \"latency\":{{\"short\":{},\"long\":{},\"breach\":{}}}}}",
+            self.tick,
+            self.config.availability_target,
+            self.config.latency_target_ms,
+            self.config.latency_fraction,
+            self.config.short_window,
+            self.config.long_window,
+            self.config.alert_burn_rate,
+            win(&self.availability_short),
+            win(&self.availability_long),
+            self.availability_breach,
+            win(&self.latency_short),
+            win(&self.latency_long),
+            self.latency_breach,
+        )
+    }
+
+    /// Render as Prometheus gauge lines.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE osql_slo_burn_rate gauge\n");
+        for (objective, window, w) in [
+            ("availability", "short", &self.availability_short),
+            ("availability", "long", &self.availability_long),
+            ("latency", "short", &self.latency_short),
+            ("latency", "long", &self.latency_long),
+        ] {
+            let _ = writeln!(
+                out,
+                "osql_slo_burn_rate{{objective=\"{objective}\",window=\"{window}\"}} {:.4}",
+                w.burn_rate
+            );
+        }
+        out.push_str("# TYPE osql_slo_breach gauge\n");
+        let _ = writeln!(
+            out,
+            "osql_slo_breach{{objective=\"availability\"}} {}",
+            u8::from(self.availability_breach)
+        );
+        let _ = writeln!(
+            out,
+            "osql_slo_breach{{objective=\"latency\"}} {}",
+            u8::from(self.latency_breach)
+        );
+        out
+    }
+}
+
+impl SloTracker {
+    /// A tracker ringed to the config's long window.
+    pub fn new(config: SloConfig) -> Self {
+        let window = config.long_window.max(config.short_window).max(1) as usize;
+        SloTracker {
+            requests: WindowedCounter::new(window),
+            errors: WindowedCounter::new(window),
+            latency: WindowedHistogram::new(&crate::metrics::LATENCY_BOUNDS_MS, window),
+            config,
+        }
+    }
+
+    /// Record one served request at `tick`. `latency_ms` should be a
+    /// *deterministic* latency (the pipeline's modelled cost) when
+    /// renders must be reproducible; `ok` is false for error outcomes.
+    pub fn observe(&self, tick: u64, latency_ms: f64, ok: bool) {
+        self.requests.inc(tick);
+        if !ok {
+            self.errors.inc(tick);
+        }
+        self.latency.record(tick, latency_ms);
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    fn window_eval(&self, now: u64, width: u64) -> (SloWindow, SloWindow) {
+        let requests = self.requests.total_over(now, width);
+        let errors = self.errors.total_over(now, width);
+        let lat_total = self.latency.count_over(now, width);
+        let lat_ok = self.latency.under_over(now, width, self.config.latency_target_ms);
+        let avail_bad = if requests == 0 { 0.0 } else { errors as f64 / requests as f64 };
+        // the latency objective's budget is the tolerated slow fraction:
+        // bad = share of requests over target beyond (1 - latency_fraction)
+        let lat_bad = if lat_total == 0 {
+            0.0
+        } else {
+            (lat_total - lat_ok) as f64 / lat_total as f64
+        };
+        let avail_budget = (1.0 - self.config.availability_target).max(1e-9);
+        let lat_budget = (1.0 - self.config.latency_fraction).max(1e-9);
+        (
+            SloWindow {
+                requests,
+                bad_fraction: avail_bad,
+                burn_rate: avail_bad / avail_budget,
+            },
+            SloWindow { requests: lat_total, bad_fraction: lat_bad, burn_rate: lat_bad / lat_budget },
+        )
+    }
+
+    /// Evaluate both objectives over both windows at `now`.
+    pub fn evaluate(&self, now: u64) -> SloReport {
+        let (avail_s, lat_s) = self.window_eval(now, self.config.short_window);
+        let (avail_l, lat_l) = self.window_eval(now, self.config.long_window);
+        let alert = self.config.alert_burn_rate;
+        SloReport {
+            config: self.config.clone(),
+            tick: now,
+            availability_breach: avail_s.burn_rate >= alert && avail_l.burn_rate >= alert,
+            latency_breach: lat_s.burn_rate >= alert && lat_l.burn_rate >= alert,
+            availability_short: avail_s,
+            availability_long: avail_l,
+            latency_short: lat_s,
+            latency_long: lat_l,
+        }
+    }
+}
+
+/// The windowed instruments one runtime owns, rendered as a block of
+/// Prometheus text appended to the cumulative exposition. Names are
+/// fixed (`osql_window_*`) so renderings are byte-comparable.
+#[derive(Debug)]
+pub struct WindowedMetrics {
+    clock: Arc<LogicalClock>,
+    /// Requests per tick.
+    pub requests: WindowedCounter,
+    /// Error outcomes per tick.
+    pub errors: WindowedCounter,
+    /// Result-cache hits per tick.
+    pub cache_hits: WindowedCounter,
+    /// Modelled pipeline latency per request (deterministic).
+    pub latency: WindowedHistogram,
+    /// The SLO evaluator fed from the same stream.
+    pub slo: SloTracker,
+}
+
+impl WindowedMetrics {
+    /// Build the standard windowed instrument set over `clock`.
+    pub fn new(clock: Arc<LogicalClock>, window: usize, slo: SloConfig) -> Self {
+        WindowedMetrics {
+            clock,
+            requests: WindowedCounter::new(window),
+            errors: WindowedCounter::new(window),
+            cache_hits: WindowedCounter::new(window),
+            latency: WindowedHistogram::new(&crate::metrics::LATENCY_BOUNDS_MS, window),
+            slo: SloTracker::new(slo),
+        }
+    }
+
+    /// The clock the instruments are sliced by.
+    pub fn clock(&self) -> &Arc<LogicalClock> {
+        &self.clock
+    }
+
+    /// Record one completed request at the current tick. `latency_ms`
+    /// must be deterministic (modelled cost, not wall clock) for the
+    /// byte-identical rendering guarantee to hold.
+    pub fn observe(&self, latency_ms: f64, ok: bool, from_cache: bool) {
+        let tick = self.clock.now();
+        self.requests.inc(tick);
+        if !ok {
+            self.errors.inc(tick);
+        }
+        if from_cache {
+            self.cache_hits.inc(tick);
+        }
+        self.latency.record(tick, latency_ms);
+        self.slo.observe(tick, latency_ms, ok);
+    }
+
+    /// Render every windowed instrument (and the SLO report) as
+    /// Prometheus text at the clock's current tick. Deterministic given
+    /// the same recorded `(tick, value)` stream.
+    pub fn render_prometheus(&self) -> String {
+        let now = self.clock.now();
+        let mut out = String::new();
+        out.push_str("# TYPE osql_window_requests_total gauge\n");
+        for (name, c) in [
+            ("osql_window_requests_total", &self.requests),
+            ("osql_window_errors_total", &self.errors),
+            ("osql_window_cache_hits_total", &self.cache_hits),
+        ] {
+            let _ = writeln!(
+                out,
+                "{name}{{window=\"{}\"}} {}",
+                c.window(),
+                c.total(now)
+            );
+            let _ = writeln!(
+                out,
+                "{name}_rate{{window=\"{}\"}} {:.4}",
+                c.window(),
+                c.rate_per_tick(now)
+            );
+        }
+        out.push_str("# TYPE osql_window_latency_ms histogram\n");
+        let window = self.latency.window();
+        for (bound, cum) in self.latency.cumulative_buckets(now) {
+            let le = if bound.is_finite() { format!("{bound}") } else { "+Inf".to_owned() };
+            let _ = writeln!(
+                out,
+                "osql_window_latency_ms_bucket{{window=\"{window}\",le=\"{le}\"}} {cum}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "osql_window_latency_ms_sum{{window=\"{window}\"}} {:.3}",
+            self.latency.sum(now)
+        );
+        let _ = writeln!(
+            out,
+            "osql_window_latency_ms_count{{window=\"{window}\"}} {}",
+            self.latency.count_over(now, window as u64)
+        );
+        out.push_str("# TYPE osql_window_latency_ms_quantile gauge\n");
+        for (q, tag) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            let v = self.latency.quantile(now, q);
+            let v = if v.is_finite() { format!("{v:.3}") } else { "+Inf".to_owned() };
+            let _ = writeln!(
+                out,
+                "osql_window_latency_ms_quantile{{window=\"{window}\",quantile=\"{tag}\"}} {v}"
+            );
+        }
+        out.push_str(&self.slo.evaluate(now).render_prometheus());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let c = LogicalClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(), 1);
+        assert_eq!(c.now(), 1);
+    }
+
+    #[test]
+    fn windowed_counter_slides() {
+        let c = WindowedCounter::new(3);
+        c.add(0, 5);
+        c.inc(1);
+        c.inc(2);
+        assert_eq!(c.total(2), 7);
+        // tick 3 evicts tick 0's slot from the 3-wide window
+        c.inc(3);
+        assert_eq!(c.total(3), 3);
+        assert_eq!(c.total_over(3, 1), 1);
+        assert!((c.rate_per_tick(3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_slot_is_reset_on_reuse() {
+        let c = WindowedCounter::new(2);
+        c.add(0, 10);
+        // tick 2 maps onto tick 0's slot and must not inherit its count
+        c.add(2, 1);
+        assert_eq!(c.total(2), 1);
+        // a write for an evicted tick is dropped, not misfiled
+        c.add(0, 99);
+        assert_eq!(c.total(2), 1);
+    }
+
+    #[test]
+    fn windowed_histogram_quantiles_and_buckets() {
+        let h = WindowedHistogram::new(&[10.0, 100.0, 1000.0], 4);
+        for v in [1.0, 5.0, 50.0, 500.0] {
+            h.record(0, v);
+        }
+        assert_eq!(h.count_over(0, 4), 4);
+        assert!((h.sum(0) - 556.0).abs() < 1e-6);
+        assert_eq!(h.quantile(0, 0.5), 10.0);
+        assert_eq!(h.quantile(0, 0.99), 1000.0);
+        assert_eq!(h.under_over(0, 4, 100.0), 3);
+        let cum = h.cumulative_buckets(0);
+        assert_eq!(cum, vec![(10.0, 2), (100.0, 3), (1000.0, 4), (f64::INFINITY, 4)]);
+        // sliding: record at tick 4 evicts tick 0 (window 4 ⇒ ticks 1..=4)
+        h.record(4, 2000.0);
+        assert_eq!(h.count_over(4, 4), 1);
+        assert_eq!(h.quantile(4, 0.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn slo_burn_rates_and_breach() {
+        let cfg = SloConfig {
+            availability_target: 0.9,
+            latency_target_ms: 100.0,
+            latency_fraction: 0.5,
+            short_window: 2,
+            long_window: 4,
+            alert_burn_rate: 2.0,
+        };
+        let t = SloTracker::new(cfg);
+        // 4 requests at tick 0: 2 errors (bad 0.5, budget 0.1 ⇒ burn 5),
+        // all slow (bad 1.0, budget 0.5 ⇒ burn 2)
+        for i in 0..4 {
+            t.observe(0, 500.0, i >= 2);
+        }
+        let r = t.evaluate(0);
+        assert!((r.availability_short.burn_rate - 5.0).abs() < 1e-6);
+        assert!(r.availability_breach);
+        assert!((r.latency_short.burn_rate - 2.0).abs() < 1e-6);
+        assert!(r.latency_breach);
+        // empty windows burn nothing
+        let r2 = t.evaluate(10);
+        assert_eq!(r2.availability_short.burn_rate, 0.0);
+        assert!(!r2.availability_breach);
+        let json = r.to_json();
+        assert!(json.contains("\"availability\""));
+        assert!(json.contains("\"burn_rate\":5.0000"));
+    }
+
+    #[test]
+    fn windowed_render_is_deterministic_across_recording_order() {
+        let render = |values: &[(u64, f64, bool, bool)]| {
+            let clock = Arc::new(LogicalClock::new());
+            let w = WindowedMetrics::new(clock.clone(), 8, SloConfig::default());
+            for &(tick, ms, ok, cache) in values {
+                while clock.now() < tick {
+                    clock.advance();
+                }
+                w.observe(ms, ok, cache);
+            }
+            while clock.now() < 3 {
+                clock.advance();
+            }
+            w.render_prometheus()
+        };
+        let a = render(&[(0, 5.0, true, false), (0, 700.0, false, true), (1, 42.0, true, false)]);
+        let b = render(&[(0, 700.0, false, true), (0, 5.0, true, false), (1, 42.0, true, false)]);
+        assert_eq!(a, b, "recording order within a tick must not change the rendering");
+        assert!(a.contains("osql_window_requests_total{window=\"8\"} 3"));
+        assert!(a.contains("osql_slo_burn_rate"));
+    }
+}

@@ -32,6 +32,10 @@ pub struct Rendered {
     pub body: Arc<Vec<u8>>,
     /// `Retry-After` seconds to advertise (shed responses only).
     pub retry_after_secs: Option<u64>,
+    /// The trace ID of the request that produced these bytes (query
+    /// responses only). Coalesced waiters read the *leader's* ID from
+    /// here and record it as the flight their request rode on.
+    pub trace_id: Option<String>,
 }
 
 struct Slot {
@@ -98,6 +102,7 @@ impl Drop for LeaderToken {
                 status: 500,
                 body: Arc::new(br#"{"error":"request leader failed"}"#.to_vec()),
                 retry_after_secs: None,
+            trace_id: None,
             }));
         }
     }
@@ -172,6 +177,7 @@ mod tests {
             status: 200,
             body: Arc::new(format!("{{\"group\":{group}}}").into_bytes()),
             retry_after_secs: None,
+            trace_id: None,
         });
         assert_eq!(&**published.body, b"{\"group\":4}");
         for w in waiters {
@@ -187,8 +193,8 @@ mod tests {
         let Joined::Leader(a) = c.join(key("a")) else { panic!() };
         let Joined::Leader(b) = c.join(key("b")) else { panic!() };
         assert_eq!(c.inflight_len(), 2);
-        a.complete(|_| Rendered { status: 200, body: Arc::new(vec![]), retry_after_secs: None });
-        b.complete(|_| Rendered { status: 200, body: Arc::new(vec![]), retry_after_secs: None });
+        a.complete(|_| Rendered { status: 200, body: Arc::new(vec![]), retry_after_secs: None, trace_id: None });
+        b.complete(|_| Rendered { status: 200, body: Arc::new(vec![]), retry_after_secs: None, trace_id: None });
         assert_eq!(c.inflight_len(), 0);
     }
 
@@ -196,7 +202,7 @@ mod tests {
     fn late_arrival_becomes_a_new_leader() {
         let c = Arc::new(Coalescer::new());
         let Joined::Leader(first) = c.join(key("q")) else { panic!() };
-        first.complete(|_| Rendered { status: 200, body: Arc::new(vec![]), retry_after_secs: None });
+        first.complete(|_| Rendered { status: 200, body: Arc::new(vec![]), retry_after_secs: None, trace_id: None });
         assert!(matches!(c.join(key("q")), Joined::Leader(_)));
     }
 
@@ -225,6 +231,7 @@ mod tests {
                             status: 200,
                             body: Arc::new(format!("g={g}").into_bytes()),
                             retry_after_secs: None,
+            trace_id: None,
                         });
                         true
                     }

@@ -76,6 +76,16 @@ impl Request {
     pub fn path(&self) -> &str {
         self.target.split('?').next().unwrap_or(&self.target)
     }
+
+    /// Value of `name` in the target's query string, if present (no
+    /// percent-decoding — debug-endpoint parameters are plain tokens).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let (_, query) = self.target.split_once('?')?;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 /// Read one line (up to CRLF or LF), enforcing the shared header budget.

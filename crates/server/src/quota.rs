@@ -85,8 +85,10 @@ impl QuotaRegistry {
             Admit::Granted
         } else {
             let deficit = 1.0 - bucket.tokens;
-            let secs = (deficit / self.config.refill_per_sec.max(f64::EPSILON)).ceil();
-            Admit::Rejected { retry_after_secs: (secs as u64).clamp(1, 3600) }
+            // same rounding helper as admission-control shed responses, so
+            // every Retry-After in the server rounds identically
+            let estimate = deficit / self.config.refill_per_sec.max(f64::EPSILON);
+            Admit::Rejected { retry_after_secs: osql_runtime::retry_after_secs(estimate, 3600) }
         }
     }
 

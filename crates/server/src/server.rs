@@ -18,8 +18,11 @@ use crate::coalesce::{Coalescer, Joined, Rendered};
 use crate::http::{self, HttpError, Limits, Request};
 use crate::json::{self, ObjectWriter};
 use crate::quota::{Admit, QuotaConfig, QuotaRegistry};
-use osql_runtime::{CancelReason, QueryRequest, ResultKey, Runtime, ServeError, SubmitError};
+use osql_runtime::{
+    normalize_question, CancelReason, QueryRequest, ResultKey, Runtime, ServeError, SubmitError,
+};
 use osql_trace::active;
+use osql_trace::{RequestOutcome, RequestRecord};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use osql_chk::atomic::{AtomicBool, Ordering};
@@ -266,6 +269,7 @@ impl Routed {
                 status,
                 body: Arc::new(body.into_bytes()),
                 retry_after_secs: None,
+                trace_id: None,
             }),
             content_type: "application/json",
             extra_headers: Vec::new(),
@@ -280,17 +284,28 @@ impl Routed {
 fn route(shared: &Shared, req: &Request) -> Routed {
     match (req.method.as_str(), req.path()) {
         ("GET", "/healthz") => healthz(shared),
-        ("GET", "/metrics") => Routed {
-            rendered: Arc::new(Rendered {
-                status: 200,
-                body: Arc::new(shared.rt.metrics().render_prometheus().into_bytes()),
-                retry_after_secs: None,
-            }),
-            content_type: "text/plain; version=0.0.4",
-            extra_headers: Vec::new(),
-        },
+        ("GET", "/metrics") => {
+            let mut text = shared.rt.metrics().render_prometheus();
+            text.push_str(&shared.rt.windowed().render_prometheus());
+            Routed {
+                rendered: Arc::new(Rendered {
+                    status: 200,
+                    body: Arc::new(text.into_bytes()),
+                    retry_after_secs: None,
+                    trace_id: None,
+                }),
+                content_type: "text/plain; version=0.0.4",
+                extra_headers: Vec::new(),
+            }
+        }
         ("GET", "/v1/catalog") => catalog(shared),
         ("POST", "/v1/query") => query(shared, req),
+        ("GET", "/debug/requests") => debug_records(shared, req, false),
+        ("GET", "/debug/slow") => debug_records(shared, req, true),
+        ("GET", "/debug/slo") => Routed::json(200, shared.rt.slo_report().to_json()),
+        ("GET", path) if path.starts_with("/debug/trace/") => {
+            debug_trace(shared, &path["/debug/trace/".len()..])
+        }
         ("GET", "/v1/query") | ("POST", "/metrics" | "/healthz" | "/v1/catalog") => {
             Routed::error(405, "method not allowed")
         }
@@ -300,12 +315,45 @@ fn route(shared: &Shared, req: &Request) -> Routed {
 
 fn healthz(shared: &Shared) -> Routed {
     let stats = shared.rt.queue_stats();
+    let flight = shared.rt.flight();
     let mut obj = ObjectWriter::new();
     obj.str_field("status", "ok")
         .u64_field("queue_depth", stats.depth as u64)
         .u64_field("queue_capacity", stats.capacity as u64)
-        .u64_field("inflight_coalesced_keys", shared.coalescer.inflight_len() as u64);
+        .u64_field("inflight_coalesced_keys", shared.coalescer.inflight_len() as u64)
+        .u64_field("flight_recorder_depth", flight.depth() as u64)
+        .u64_field("flight_recorder_capacity", flight.capacity() as u64)
+        .u64_field("flight_inflight", flight.inflight_len() as u64);
+    match flight.last_slow_age_secs() {
+        Some(age) => obj.u64_field("last_slow_age_secs", age),
+        None => obj.raw_field("last_slow_age_secs", "null"),
+    };
     Routed::json(200, obj.finish())
+}
+
+/// `/debug/requests` and `/debug/slow`: recent flight records, newest
+/// first, without tail-sampled payloads (`?n=` caps the count).
+fn debug_records(shared: &Shared, req: &Request, slow_only: bool) -> Routed {
+    let n = req.query_param("n").and_then(|v| v.parse().ok()).unwrap_or(32usize);
+    let flight = shared.rt.flight();
+    let records = if slow_only { flight.slow(n) } else { flight.recent(n) };
+    let items: Vec<String> = records.iter().map(|r| r.to_json(false)).collect();
+    let mut obj = ObjectWriter::new();
+    obj.u64_field("count", items.len() as u64)
+        .raw_field(if slow_only { "slow" } else { "requests" }, &format!("[{}]", items.join(",")));
+    Routed::json(200, obj.finish())
+}
+
+/// `/debug/trace/<id>`: one flight record by trace ID, payloads included
+/// (rendered span tree and `EXPLAIN` when tail sampling retained them).
+fn debug_trace(shared: &Shared, id: &str) -> Routed {
+    if !osql_trace::valid_trace_id(id) {
+        return Routed::error(400, "invalid trace id");
+    }
+    match shared.rt.flight().lookup(id) {
+        Some(rec) => Routed::json(200, rec.to_json(true)),
+        None => Routed::error(404, "no such trace id (evicted or never recorded)"),
+    }
 }
 
 fn catalog(shared: &Shared) -> Routed {
@@ -359,20 +407,52 @@ fn trace_event(shared: &Shared, name: &'static str, labels: &[(&'static str, &st
     }
 }
 
-fn shed_response(shared: &Shared, group: usize) -> Rendered {
+fn shed_response(shared: &Shared, group: usize, trace_id: &str) -> Rendered {
     let retry = shared.rt.queue_stats().estimated_drain_secs();
     let mut obj = ObjectWriter::new();
     obj.str_field("error", "queue full")
+        .str_field("trace_id", trace_id)
         .u64_field("retry_after_secs", retry)
         .u64_field("coalesced_group", group as u64);
     Rendered {
         status: 429,
         body: Arc::new(obj.finish().into_bytes()),
         retry_after_secs: Some(retry),
+        trace_id: Some(trace_id.to_owned()),
     }
 }
 
+/// A one-shot flight record for a request the runtime never served
+/// (quota rejection, shed, coalesced waiter).
+fn flight_note(
+    trace_id: &str,
+    db_id: &str,
+    question: &str,
+    outcome: RequestOutcome,
+    error: Option<String>,
+) -> RequestRecord {
+    let mut rec = RequestRecord::new(trace_id, db_id);
+    rec.question_hash = osql_trace::flight::fnv1a(normalize_question(question).as_bytes());
+    rec.outcome = outcome;
+    rec.error = error;
+    rec
+}
+
 fn query(shared: &Shared, req: &Request) -> Routed {
+    // Accept a caller-supplied trace ID or mint one; either way the ID is
+    // fixed before admission so rejected requests are traceable too.
+    let trace_id = match req.header("x-osql-trace-id") {
+        Some(id) if osql_trace::valid_trace_id(id) => id.to_owned(),
+        Some(_) => {
+            return Routed::error(
+                400,
+                "invalid X-Osql-Trace-Id (1-64 chars from [A-Za-z0-9._-])",
+            )
+        }
+        None => shared.rt.next_trace_id(),
+    };
+    let id_header = vec![("x-osql-trace-id".to_owned(), trace_id.clone())];
+
     let fields = match json::parse_string_object(&req.body) {
         Ok(fields) => fields,
         Err(msg) => return Routed::error(400, &msg),
@@ -389,16 +469,26 @@ fn query(shared: &Shared, req: &Request) -> Routed {
         let api_key = req.header("x-api-key").unwrap_or("anonymous");
         if let Admit::Rejected { retry_after_secs } = quota.admit(api_key) {
             shared.rt.metrics().counter("quota_rejections_total").inc();
+            shared.rt.flight().record(flight_note(
+                &trace_id,
+                db_id,
+                question,
+                RequestOutcome::Quota,
+                Some("quota exceeded".to_owned()),
+            ));
             let mut obj = ObjectWriter::new();
-            obj.str_field("error", "quota exceeded").u64_field("retry_after_secs", retry_after_secs);
+            obj.str_field("error", "quota exceeded")
+                .str_field("trace_id", &trace_id)
+                .u64_field("retry_after_secs", retry_after_secs);
             return Routed {
                 rendered: Arc::new(Rendered {
                     status: 429,
                     body: Arc::new(obj.finish().into_bytes()),
                     retry_after_secs: Some(retry_after_secs),
+                    trace_id: Some(trace_id),
                 }),
                 content_type: "application/json",
-                extra_headers: Vec::new(),
+                extra_headers: id_header,
             };
         }
     }
@@ -408,20 +498,52 @@ fn query(shared: &Shared, req: &Request) -> Routed {
         Joined::Waiter(waiter) => {
             shared.rt.metrics().counter("coalesced_requests_total").inc();
             trace_event(shared, "http_coalesce_join", &[("db_id", db_id)]);
-            waiter.wait()
+            let rendered = waiter.wait();
+            // the waiter's own record points at the flight it rode on —
+            // `/debug/trace/<leader>` has the real timings
+            let mut rec = flight_note(
+                &trace_id,
+                db_id,
+                question,
+                if rendered.status == 200 { RequestOutcome::Ok } else { RequestOutcome::Error },
+                (rendered.status != 200)
+                    .then(|| format!("coalesced leader answered {}", rendered.status)),
+            );
+            rec.coalesced_into = rendered.trace_id.clone();
+            shared.rt.flight().record(rec);
+            rendered
         }
         Joined::Leader(token) => {
             let started = Instant::now();
-            match shared.rt.try_submit(QueryRequest::new(db_id, question, evidence)) {
+            let request =
+                QueryRequest::new(db_id, question, evidence).with_trace_id(trace_id.clone());
+            match shared.rt.try_submit(request) {
                 Err(SubmitError::QueueFull) => {
                     trace_event(shared, "http_shed", &[("db_id", db_id)]);
-                    token.complete(|group| shed_response(shared, group))
+                    shared.rt.flight().record(flight_note(
+                        &trace_id,
+                        db_id,
+                        question,
+                        RequestOutcome::Shed,
+                        Some("queue full".to_owned()),
+                    ));
+                    token.complete(|group| shed_response(shared, group, &trace_id))
                 }
-                Err(SubmitError::ShuttingDown) => token.complete(|_| Rendered {
-                    status: 503,
-                    body: Arc::new(br#"{"error":"server is shutting down"}"#.to_vec()),
-                    retry_after_secs: None,
-                }),
+                Err(SubmitError::ShuttingDown) => {
+                    shared.rt.flight().record(flight_note(
+                        &trace_id,
+                        db_id,
+                        question,
+                        RequestOutcome::Canceled,
+                        Some("server is shutting down".to_owned()),
+                    ));
+                    token.complete(|_| Rendered {
+                        status: 503,
+                        body: Arc::new(br#"{"error":"server is shutting down"}"#.to_vec()),
+                        retry_after_secs: None,
+                        trace_id: Some(trace_id.clone()),
+                    })
+                }
                 Ok(ticket) => {
                     let outcome = ticket.wait();
                     let total_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -431,6 +553,7 @@ fn query(shared: &Shared, req: &Request) -> Routed {
                             obj.str_field("db_id", db_id)
                                 .str_field("question", question)
                                 .str_field("sql", &resp.run.final_sql)
+                                .str_field("trace_id", &resp.trace_id)
                                 .bool_field("from_cache", resp.from_cache)
                                 .u64_field("coalesced_group", group as u64)
                                 .f64_field("queue_wait_ms", resp.queue_wait_ms)
@@ -439,6 +562,7 @@ fn query(shared: &Shared, req: &Request) -> Routed {
                                 status: 200,
                                 body: Arc::new(obj.finish().into_bytes()),
                                 retry_after_secs: None,
+                                trace_id: Some(resp.trace_id),
                             }
                         }
                         Err(err) => {
@@ -460,6 +584,7 @@ fn query(shared: &Shared, req: &Request) -> Routed {
                                 status,
                                 body: Arc::new(json::error_body(&message).into_bytes()),
                                 retry_after_secs: None,
+                                trace_id: Some(trace_id.clone()),
                             }
                         }
                     })
@@ -467,5 +592,5 @@ fn query(shared: &Shared, req: &Request) -> Routed {
             }
         }
     };
-    Routed { rendered, content_type: "application/json", extra_headers: Vec::new() }
+    Routed { rendered, content_type: "application/json", extra_headers: id_header }
 }

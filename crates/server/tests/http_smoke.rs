@@ -24,6 +24,10 @@ fn endpoints_answer_over_loopback() {
     assert_eq!(health.status, 200);
     assert!(health.body.contains("\"status\":\"ok\""), "{}", health.body);
     assert!(health.body.contains("queue_capacity"), "{}", health.body);
+    assert!(health.body.contains("flight_recorder_depth"), "{}", health.body);
+    assert!(health.body.contains("flight_recorder_capacity"), "{}", health.body);
+    // no slow query yet: the age field is present but null
+    assert!(health.body.contains("\"last_slow_age_secs\":null"), "{}", health.body);
 
     let ex = &bench.dev[0];
     let answer =
@@ -38,6 +42,9 @@ fn endpoints_answer_over_loopback() {
     assert!(metrics.header("content-type").unwrap().starts_with("text/plain"));
     assert!(metrics.body.contains("requests_total 1"), "{}", metrics.body);
     assert!(metrics.body.contains("http_requests_total"), "{}", metrics.body);
+    // the windowed/SLO exposition rides along after the registry render
+    assert!(metrics.body.contains("osql_window_requests_total"), "{}", metrics.body);
+    assert!(metrics.body.contains("osql_slo_burn_rate"), "{}", metrics.body);
 
     let catalog = one_shot(addr, "GET", "/v1/catalog", &[], "");
     assert_eq!(catalog.status, 200);
@@ -122,6 +129,80 @@ fn keep_alive_connections_are_reused() {
     assert_eq!(rt.metrics().counter("requests_total").get(), 2);
     assert_eq!(rt.metrics().counter("result_cache_misses").get(), 1);
     assert!(server.shutdown());
+}
+
+#[test]
+fn trace_ids_round_trip_and_debug_endpoints_answer() {
+    let bench = tiny_world();
+    let rt = common::plain_runtime(&bench, 2);
+    let server = Server::start(rt.clone(), "127.0.0.1:0", server_config()).unwrap();
+    let addr = server.local_addr();
+    let ex = &bench.dev[0];
+    let body = query_body(&ex.db_id, &ex.question, &ex.evidence);
+
+    // a caller-supplied trace ID comes back in the body and the header
+    let tagged =
+        one_shot(addr, "POST", "/v1/query", &[("x-osql-trace-id", "smoke.trace-1")], &body);
+    assert_eq!(tagged.status, 200, "{}", tagged.body);
+    assert!(tagged.body.contains("\"trace_id\":\"smoke.trace-1\""), "{}", tagged.body);
+    assert_eq!(tagged.header("x-osql-trace-id"), Some("smoke.trace-1"));
+
+    // without the header, the server mints one and still echoes it
+    let ex2 = &bench.dev[1.min(bench.dev.len() - 1)];
+    let minted =
+        one_shot(addr, "POST", "/v1/query", &[], &query_body(&ex2.db_id, &ex2.question, "x"));
+    assert_eq!(minted.status, 200, "{}", minted.body);
+    let minted_id = minted.header("x-osql-trace-id").expect("minted id header").to_owned();
+    assert!(minted.body.contains(&format!("\"trace_id\":\"{minted_id}\"")), "{}", minted.body);
+
+    // a malformed ID is rejected before any work happens
+    let bad = one_shot(addr, "POST", "/v1/query", &[("x-osql-trace-id", "no spaces!")], &body);
+    assert_eq!(bad.status, 400, "{}", bad.body);
+
+    // /debug/trace/<id>: the supplied ID resolves to its flight record
+    let rec = one_shot(addr, "GET", "/debug/trace/smoke.trace-1", &[], "");
+    assert_eq!(rec.status, 200, "{}", rec.body);
+    assert!(rec.body.contains("\"id\":\"smoke.trace-1\""), "{}", rec.body);
+    assert!(rec.body.contains("\"outcome\":\"ok\""), "{}", rec.body);
+    assert_eq!(one_shot(addr, "GET", "/debug/trace/never-seen", &[], "").status, 404);
+    assert_eq!(one_shot(addr, "GET", "/debug/trace/bad%20id", &[], "").status, 400);
+
+    // /debug/requests lists both finished requests, newest first
+    let recent = one_shot(addr, "GET", "/debug/requests", &[], "");
+    assert_eq!(recent.status, 200, "{}", recent.body);
+    assert!(recent.body.contains("smoke.trace-1"), "{}", recent.body);
+    assert!(recent.body.contains(&minted_id), "{}", recent.body);
+    let capped = one_shot(addr, "GET", "/debug/requests?n=1", &[], "");
+    assert!(capped.body.contains("\"count\":1"), "{}", capped.body);
+
+    // /debug/slow and /debug/slo answer (nothing slow in this run)
+    let slow = one_shot(addr, "GET", "/debug/slow", &[], "");
+    assert_eq!(slow.status, 200, "{}", slow.body);
+    assert!(slow.body.contains("\"slow\":["), "{}", slow.body);
+    let slo = one_shot(addr, "GET", "/debug/slo", &[], "");
+    assert_eq!(slo.status, 200, "{}", slo.body);
+    assert!(slo.body.contains("availability"), "{}", slo.body);
+    assert!(slo.body.contains("burn_rate"), "{}", slo.body);
+
+    assert!(server.shutdown());
+}
+
+/// Pin the shared `Retry-After` rounding: admission-control sheds
+/// (`QueueStats::estimated_drain_secs`) and quota rejections
+/// (`QuotaRegistry::admit`) both route through
+/// `osql_runtime::retry_after_secs`, so its edge cases are the contract
+/// for every 429 the server emits.
+#[test]
+fn retry_after_rounding_is_shared_and_pinned() {
+    use osql_runtime::retry_after_secs;
+    assert_eq!(retry_after_secs(0.5, 3600), 1, "sub-second estimates round up");
+    assert_eq!(retry_after_secs(0.0, 60), 1, "zero still advises a pause");
+    assert_eq!(retry_after_secs(2.0, 3600), 2);
+    assert_eq!(retry_after_secs(2.0001, 3600), 3, "ceil, never floor");
+    assert_eq!(retry_after_secs(9999.0, 60), 60, "capped");
+    assert_eq!(retry_after_secs(f64::NAN, 60), 60, "non-finite estimates hit the cap");
+    assert_eq!(retry_after_secs(f64::INFINITY, 60), 60);
+    assert_eq!(retry_after_secs(5.0, 0), 1, "a zero cap still answers at least 1s");
 }
 
 #[test]

@@ -23,6 +23,7 @@ fn serving_structures_admit_a_global_lock_order() {
                                 status: 200,
                                 body: Arc::new(b"ok".to_vec()),
                                 retry_after_secs: None,
+                trace_id: None,
                             });
                         }
                         Joined::Waiter(w) => {

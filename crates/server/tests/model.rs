@@ -37,7 +37,7 @@ fn key(tag: &str) -> ResultKey {
 }
 
 fn rendered(status: u16, body: &str) -> Rendered {
-    Rendered { status, body: Arc::new(body.as_bytes().to_vec()), retry_after_secs: None }
+    Rendered { status, body: Arc::new(body.as_bytes().to_vec()), retry_after_secs: None, trace_id: None }
 }
 
 /// Two concurrent joins on one key: no double execution. Whoever becomes

@@ -33,6 +33,7 @@ pub mod codec;
 pub mod fault;
 pub mod file;
 pub mod page;
+pub mod stats;
 pub mod store;
 pub mod wal;
 
@@ -41,6 +42,7 @@ pub use codec::{crc32, CodecError, Dec, Enc};
 pub use fault::{FaultFile, FaultPlan};
 pub use file::{fsck_file, read_database, write_database, FsckReport, LoadedStore};
 pub use page::{PAGE_PAYLOAD, PAGE_SIZE};
+pub use stats::{store_stats, LatencySnapshot, StoreStats, STORE_US_BOUNDS};
 pub use store::{wal_path, OpenReport, Store};
 pub use wal::{audit, replay_into, FsMedia, ReplayReport, Wal, WalAudit, WalMedia};
 

@@ -140,12 +140,20 @@ impl<M: WalMedia> Store<M> {
     /// truncated is harmless: the next open skips every WAL commit the
     /// base already folded in instead of replaying it twice.
     pub fn checkpoint(&mut self) -> Result<u64, StoreError> {
-        if self.wal.pending_stmts() > 0 {
-            self.wal.commit()?;
-        }
-        let bytes = write_database(&self.path, &self.db, &self.blobs, self.wal.seq())?;
-        self.wal.reset()?;
-        Ok(bytes)
+        let stats = crate::stats::store_stats();
+        stats.checkpoint_begin();
+        let started = std::time::Instant::now();
+        let result = (|| {
+            if self.wal.pending_stmts() > 0 {
+                self.wal.commit()?;
+            }
+            let bytes = write_database(&self.path, &self.db, &self.blobs, self.wal.seq())?;
+            self.wal.reset()?;
+            Ok(bytes)
+        })();
+        let us = started.elapsed().as_micros() as u64;
+        stats.checkpoint_end(us, *result.as_ref().unwrap_or(&0));
+        result
     }
 }
 

@@ -320,6 +320,18 @@ pub fn audit(buf: &[u8]) -> WalAudit {
     audit
 }
 
+/// Run `op`, feeding its latency into `cell` whether it succeeds or not
+/// (a failed fsync is exactly the latency outlier worth seeing).
+fn timed<T>(
+    cell: &crate::stats::LatencyCell,
+    op: impl FnOnce() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let started = std::time::Instant::now();
+    let result = op();
+    cell.record_us(started.elapsed().as_micros() as u64);
+    result
+}
+
 /// An open write-ahead log positioned for appends.
 #[derive(Debug)]
 pub struct Wal<M: WalMedia> {
@@ -374,9 +386,10 @@ impl<M: WalMedia> Wal<M> {
     /// a retry never leaves a duplicate or partially written record
     /// behind and `end()` keeps matching the media length.
     fn append_record(&mut self, rec: &[u8], sync: bool) -> std::io::Result<()> {
-        let result = self.media.append(rec).and_then(|()| {
+        let stats = crate::stats::store_stats();
+        let result = timed(&stats.wal_append, || self.media.append(rec)).and_then(|()| {
             if sync {
-                self.media.sync()
+                timed(&stats.wal_sync, || self.media.sync())
             } else {
                 Ok(())
             }
@@ -402,11 +415,13 @@ impl<M: WalMedia> Wal<M> {
     /// advances only after both the append and the sync succeed, so a
     /// failed commit can be retried without skipping a sequence number.
     pub fn commit(&mut self) -> std::io::Result<u64> {
+        let started = std::time::Instant::now();
         let seq = self.seq + 1;
         let rec = encode_record(REC_COMMIT, &seq.to_le_bytes());
         self.append_record(&rec, true)?;
         self.seq = seq;
         self.pending_stmts = 0;
+        crate::stats::store_stats().wal_commit.record_us(started.elapsed().as_micros() as u64);
         Ok(seq)
     }
 

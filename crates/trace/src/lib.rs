@@ -44,7 +44,11 @@
 pub mod active;
 pub mod collect;
 pub mod export;
+pub mod flight;
 pub mod model;
 
 pub use collect::TraceCollector;
+pub use flight::{
+    valid_trace_id, FlightConfig, FlightRecorder, RequestIdGen, RequestOutcome, RequestRecord,
+};
 pub use model::{Event, QueryTrace, Span, SpanId, Trace, DEFAULT_CAPACITY, NO_SPAN};

@@ -206,6 +206,49 @@ fn logical_trace_is_deterministic_across_runs_and_thread_counts() {
     assert!(a[0].contains("candidate"), "{}", a[0]);
 }
 
+/// The windowed/SLO Prometheus exposition is fed modelled stage time
+/// and sliced by a logical clock (no ticker when `tick_interval_ms` is
+/// 0), so — like the logical trace above — its bytes cannot depend on
+/// worker or refine-thread counts.
+#[test]
+fn windowed_metrics_render_identically_across_worker_and_thread_counts() {
+    let render = |workers: usize, threads: usize| -> String {
+        let bench = Arc::new(generate(&Profile::tiny()));
+        let oracle = Arc::new(Oracle::new(bench.clone()));
+        let llm = Arc::new(SimLlm::new(oracle, ModelProfile::gpt_4o(), 5));
+        let assets = Arc::new(AssetCache::new(
+            bench.clone(),
+            llm,
+            PipelineConfig::fast().with_refine_threads(threads),
+        ));
+        let rt = Runtime::start(
+            assets,
+            RuntimeConfig { workers, tick_interval_ms: 0, ..RuntimeConfig::default() },
+        );
+        let reqs: Vec<QueryRequest> = bench
+            .dev
+            .iter()
+            .take(4)
+            .map(|ex| QueryRequest::new(&ex.db_id, &ex.question, &ex.evidence))
+            .collect();
+        for resp in rt.run_batch(reqs) {
+            resp.unwrap();
+        }
+        // slide the window a few ticks; both runs advance identically
+        for _ in 0..3 {
+            rt.clock().advance();
+        }
+        rt.windowed().render_prometheus()
+    };
+    let a = render(1, 1);
+    let b = render(1, 1);
+    assert_eq!(a, b, "identical runs render identical windowed bytes");
+    let c = render(4, 4);
+    assert_eq!(a, c, "worker and refine-thread counts are invisible in the windowed view");
+    assert!(a.contains("osql_window_latency_ms"), "{a}");
+    assert!(a.contains("osql_slo_burn_rate"), "{a}");
+}
+
 /// `explain()` reads the candidate beam from the trace; a trace-less run
 /// renders the same bytes from the candidates directly.
 #[test]
