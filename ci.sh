@@ -59,6 +59,27 @@ cargo test -q -p osql-server --test http_smoke
 cargo test -q -p osql-server --test coalesce
 cargo clippy -p osql-server --all-targets -- -D warnings
 
+# Replication gate: segment/manifest round-trips and the ship→apply→
+# promote fault matrix (no committed-and-shipped txn lost, no unshipped
+# suffix invented); follower admission (bounded-staleness floors, 503 +
+# Retry-After, /healthz + /metrics exposition); the differential suite
+# pinning follower responses byte-identical to the primary whenever the
+# floor is met; and a CLI round-trip on a freshly packed world:
+# ship → follow (exit 0, caught up) → promote → fsck-clean replicas.
+cargo test -q -p osql-repl
+cargo test -q -p osql-repl --test failover
+cargo test -q -p osql-server --test follower
+cargo test -q --test repl_differential
+repl_dir="$(mktemp -d)"
+trap 'rm -rf "$store_dir" "$repl_dir"' EXIT
+cargo run --release -q -p osql-cli -- pack "$repl_dir/primary" --profile tiny
+cargo run --release -q -p osql-cli -- repl ship "$repl_dir/primary" "$repl_dir/ship"
+cargo run --release -q -p osql-cli -- repl follow "$repl_dir/ship" "$repl_dir/replica"
+cargo run --release -q -p osql-cli -- repl promote "$repl_dir/replica"
+for f in "$repl_dir/replica"/*.store; do
+    cargo run --release -q -p osql-cli -- fsck "$f"
+done
+
 # Observability gate: trace-ID round-trip and the four /debug endpoints
 # (flight lookup, recent/slow listings, SLO report) answer over real
 # HTTP; the shared Retry-After rounding stays pinned; the flight
@@ -79,7 +100,7 @@ cargo test -q -p osql-server --test http_smoke -- \
 #      model-world cfg does not thrash the main build cache).
 cargo run --release -q -p osql-chk --bin workspace-lint
 cargo test -q -p osql-chk
-for crate in osql-chk osql-runtime osql-server osql-store osql-trace sqlkit; do
+for crate in osql-chk osql-repl osql-runtime osql-server osql-store osql-trace sqlkit; do
     RUSTFLAGS="--cfg osql_model" CARGO_TARGET_DIR=target/model \
         cargo test -q -p "$crate" --test model
 done

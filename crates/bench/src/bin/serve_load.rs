@@ -12,7 +12,10 @@
 //!   question simultaneously: exactly one pipeline execution serves all;
 //! - `burst_saturate/shards2` — one worker, a queue of two, and large
 //!   simultaneous bursts: requests shed as `429` with `Retry-After`
-//!   while the server keeps answering.
+//!   while the server keeps answering;
+//! - `repl_lag` — a primary commits and ships in rounds while a
+//!   follower tails the stream: backlog per wake-up, apply drain rate,
+//!   and a zero final lag.
 //!
 //! Writes `BENCH_serve.json` (QPS, p50/p99 latency, shed rate, and the
 //! flight recorder's own view of each scenario — p50/p95/p99 over its
@@ -338,6 +341,91 @@ fn today() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+// ---- replication lag ---------------------------------------------------
+
+/// How far a tailing follower runs behind a primary that commits and
+/// ships in rounds, and how fast the apply loop burns the backlog down.
+struct ReplLagResult {
+    rounds: u64,
+    txns_shipped: u64,
+    segments_fetched: u64,
+    ship_total_ms: f64,
+    apply_total_ms: f64,
+    apply_txns_per_sec: f64,
+    max_lag_txns: u64,
+    mean_lag_txns: f64,
+}
+
+fn run_repl_lag() -> ReplLagResult {
+    use osql_repl::{seed_if_missing, ship_store, Follower, FsShipDir};
+
+    const ROUNDS: u64 = 16;
+    const TXNS_PER_ROUND: u64 = 32;
+
+    let root = std::env::temp_dir().join(format!("osql-bench-repl-lag-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create bench dir");
+    let primary = root.join("primary.store");
+    let replica = root.join("replica.store");
+    let media = FsShipDir::open(&root.join("ship")).expect("open ship dir");
+
+    // unmeasured setup: a primary with the probe table, shipped once so
+    // the follower bootstraps from BASE and starts caught up
+    let mut store = osql_store::Store::create(&primary, sqlkit::Database::default(), Vec::new())
+        .expect("create primary");
+    store.execute("CREATE TABLE lag_probe (id INTEGER PRIMARY KEY, round INTEGER)").unwrap();
+    store.commit().unwrap();
+    ship_store(&primary, &media).expect("initial ship");
+    assert!(seed_if_missing(&replica, &media).expect("seed"), "bootstrap from BASE");
+    let (mut follower, _) = Follower::open(&replica).expect("open follower");
+    follower.poll(&media).expect("initial poll");
+
+    let mut id = 0u64;
+    let mut txns_shipped = 0u64;
+    let mut segments_fetched = 0u64;
+    let mut applied = 0u64;
+    let mut ship_secs = 0.0f64;
+    let mut apply_secs = 0.0f64;
+    let mut max_lag = 0u64;
+    let mut lag_sum = 0u64;
+    for round in 0..ROUNDS {
+        for _ in 0..TXNS_PER_ROUND {
+            id += 1;
+            store.execute(&format!("INSERT INTO lag_probe VALUES ({id}, {round})")).unwrap();
+            store.commit().unwrap();
+        }
+        let t = Instant::now();
+        let shipped = ship_store(&primary, &media).expect("ship round");
+        ship_secs += t.elapsed().as_secs_f64();
+        txns_shipped += shipped.shipped_txns;
+        // the follower's distance behind the just-published manifest, in
+        // transactions, at the moment it wakes to poll
+        let lag = shipped.last_commit_seq.saturating_sub(follower.applied_seq());
+        max_lag = max_lag.max(lag);
+        lag_sum += lag;
+        let t = Instant::now();
+        let report = follower.poll(&media).expect("poll round");
+        apply_secs += t.elapsed().as_secs_f64();
+        assert_eq!(report.applied_seq, report.target_seq, "caught up after each poll");
+        segments_fetched += report.segments_read;
+        applied += report.applied_txns;
+    }
+    assert_eq!(applied, txns_shipped, "every shipped transaction applied");
+    assert_eq!(follower.applied_seq(), store.commit_seq(), "zero final lag");
+    std::fs::remove_dir_all(&root).expect("clean bench dir");
+
+    ReplLagResult {
+        rounds: ROUNDS,
+        txns_shipped,
+        segments_fetched,
+        ship_total_ms: ship_secs * 1e3,
+        apply_total_ms: apply_secs * 1e3,
+        apply_txns_per_sec: applied as f64 / apply_secs.max(1e-9),
+        max_lag_txns: max_lag,
+        mean_lag_txns: lag_sum as f64 / ROUNDS as f64,
+    }
+}
+
 fn main() {
     eprintln!("building tiny world ...");
     let bench = Arc::new(datagen::generate(&datagen::Profile::tiny()));
@@ -480,6 +568,38 @@ fn main() {
             r.recorder_p99_ms
         );
     }
+
+    // Replication lag: a primary committing in fixed-size rounds while a
+    // follower tails the shipped stream, measuring the backlog seen at
+    // each wake-up and the apply loop's drain rate.
+    eprintln!("measuring replication lag (primary commits in rounds, follower tails) ...");
+    let lag = run_repl_lag();
+    eprintln!(
+        "  {} txns over {} rounds  apply {:>8.1} txn/s  max lag {} txn(s)  \
+         ship {:.1} ms  apply {:.1} ms",
+        lag.txns_shipped,
+        lag.rounds,
+        lag.apply_txns_per_sec,
+        lag.max_lag_txns,
+        lag.ship_total_ms,
+        lag.apply_total_ms
+    );
+    let _ = write!(
+        results,
+        ",\n    \"repl_lag\": {{\n      \"rounds\": {},\n      \"txns_shipped\": {},\n      \
+         \"segments_fetched\": {},\n      \"ship_total_ms\": {:.2},\n      \
+         \"apply_total_ms\": {:.2},\n      \"apply_txns_per_sec\": {:.1},\n      \
+         \"max_lag_txns\": {},\n      \"mean_lag_txns\": {:.1},\n      \
+         \"final_lag_txns\": 0\n    }}",
+        lag.rounds,
+        lag.txns_shipped,
+        lag.segments_fetched,
+        lag.ship_total_ms,
+        lag.apply_total_ms,
+        lag.apply_txns_per_sec,
+        lag.max_lag_txns,
+        lag.mean_lag_txns
+    );
 
     // Recorder overhead: identical warm-cache traffic with the flight
     // recorder on versus `capacity: 0` (every recorder call a no-op).

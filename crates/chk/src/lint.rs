@@ -5,7 +5,7 @@
 //! Policies:
 //!
 //! * **`raw-sync`** — the *checked crates* (those with model-checked
-//!   invariant suites: runtime, server, store, trace, sqlkit) must not
+//!   invariant suites: runtime, server, store, trace, sqlkit, repl) must not
 //!   use raw `std::sync` `Mutex`/`Condvar`/`RwLock`/`Atomic*` — they must
 //!   go through the `osql_chk` shims, or the model checker cannot see the
 //!   operations. (`Arc`, `mpsc`, `OnceLock`, `atomic::Ordering` etc.
@@ -37,7 +37,7 @@ use std::path::Path;
 
 /// Crates whose source must use the chk shims instead of raw `std::sync`
 /// primitives (the crates with model-checked invariant suites).
-pub const CHECKED_CRATES: &[&str] = &["runtime", "server", "store", "trace", "sqlkit"];
+pub const CHECKED_CRATES: &[&str] = &["runtime", "server", "store", "trace", "sqlkit", "repl"];
 
 /// One policy violation at a specific line.
 #[derive(Debug, Clone, PartialEq, Eq)]

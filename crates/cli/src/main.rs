@@ -18,6 +18,7 @@
 //! estimated vs actual per-operator row counts.
 
 mod repl;
+mod repl_cmd;
 mod serve;
 mod store_cmd;
 
@@ -38,7 +39,12 @@ const USAGE: &str = "usage: opensearch-sql [batch|serve|profile] [--profile tiny
        opensearch-sql serve [--slow-ms f] [--slow-log p]   # slow requests also append JSONL to p\n\
        opensearch-sql pack <out_dir> [--profile ...]       # export every database as a .store file\n\
        opensearch-sql catalog <dir>                        # list a directory of .store files\n\
-       opensearch-sql fsck <file.store>                    # audit a store + WAL; non-zero on corruption";
+       opensearch-sql fsck <file.store>                    # audit a store + WAL; non-zero on corruption\n\
+       opensearch-sql repl ship <store_dir> <ship_root>    # publish committed WAL suffixes as segments\n\
+       opensearch-sql repl follow <ship_root> <store_dir>  # catch follower stores up to the shipped stream\n\
+       opensearch-sql repl promote <store_dir>             # make follower stores writable primaries\n\
+       opensearch-sql serve --http <addr> --store <dir> --follow <ship_root> [--poll-ms n]\n\
+                                                           # serve as a read-only follower with bounded-staleness reads";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -54,6 +60,7 @@ fn main() {
         Some("pack") => "pack",
         Some("catalog") => "catalog",
         Some("fsck") => "fsck",
+        Some("repl") => "repl-cmd",
         _ => "repl",
     };
     let mut opts = ServeOptions::default();
@@ -135,6 +142,18 @@ fn main() {
                 opts.slow_log = value.cloned();
                 i += 1;
             }
+            "--follow" => {
+                if let Some(v) = value {
+                    opts.follow = Some(v.clone());
+                }
+                i += 1;
+            }
+            "--poll-ms" => {
+                if let Some(v) = value.and_then(|s| s.parse().ok()) {
+                    opts.poll_ms = v;
+                }
+                i += 1;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -184,6 +203,34 @@ fn main() {
             let (report, dirty) = store_cmd::run_fsck(std::path::Path::new(file));
             print!("{report}");
             std::process::exit(i32::from(dirty));
+        }
+        "repl-cmd" => {
+            let path = |i: usize| positionals.get(i).map(std::path::PathBuf::from);
+            let outcome = match (positionals.first().map(String::as_str), path(1), path(2)) {
+                (Some("ship"), Some(stores), Some(ship_root)) => {
+                    repl_cmd::run_ship(&stores, &ship_root).map(|out| (out, false))
+                }
+                (Some("follow"), Some(ship_root), Some(stores)) => {
+                    repl_cmd::run_follow(&ship_root, &stores)
+                }
+                (Some("promote"), Some(stores), None) => {
+                    repl_cmd::run_promote(&stores).map(|out| (out, false))
+                }
+                _ => {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            };
+            match outcome {
+                Ok((report, failed)) => {
+                    print!("{report}");
+                    std::process::exit(i32::from(failed));
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
         }
         "lint" => {
             let Some((db_id, sql_parts)) = positionals.split_first() else {

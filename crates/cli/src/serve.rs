@@ -50,6 +50,13 @@ pub struct ServeOptions {
     /// file (`--slow-log <path>`); `None` keeps the slow log in-memory
     /// only.
     pub slow_log: Option<String>,
+    /// Serve as a read-only follower: tail this shipping root
+    /// (`<root>/<db_id>/` per database), applying shipped segments into
+    /// the `--store` directory in the background and honouring
+    /// `X-Osql-Min-Seq` bounded-staleness reads. Requires `--store`.
+    pub follow: Option<String>,
+    /// Follower poll interval in milliseconds.
+    pub poll_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -69,6 +76,8 @@ impl Default for ServeOptions {
             shards: 2,
             slow_ms: 250.0,
             slow_log: None,
+            follow: None,
+            poll_ms: 200,
         }
     }
 }
@@ -175,30 +184,88 @@ pub fn start_runtime(opts: &ServeOptions) -> (Arc<datagen::Benchmark>, Runtime) 
 /// Start the HTTP serving layer over a runtime built from `opts` and
 /// block until `input` reaches EOF (Ctrl-D interactively), then drain.
 /// Returns the final metrics snapshot.
+///
+/// With `opts.follow` set, a background apply loop tails the shipping
+/// root (one `<db_id>/` subdirectory per database), applies shipped
+/// segments into the `--store` directory, invalidates the asset cache
+/// for databases that advanced, and publishes positions into the
+/// [`osql_repl::ReplState`] the server's bounded-staleness admission
+/// reads.
 pub fn run_http_serve(opts: &ServeOptions, input: &mut dyn std::io::BufRead) -> String {
+    if opts.follow.is_some() && opts.store.is_none() {
+        return "--follow requires --store (the directory the follower applies into)\n".into();
+    }
+    if let (Some(root), Some(store)) = (&opts.follow, &opts.store) {
+        // catch up before the runtime opens the catalog so freshly
+        // bootstrapped stores are already listed
+        let state = osql_repl::ReplState::new(1);
+        if let Err(e) =
+            crate::repl_cmd::follow_round(std::path::Path::new(root), std::path::Path::new(store), &state)
+        {
+            return format!("cannot follow {root}: {e}\n");
+        }
+    }
     let (benchmark, rt) = start_runtime(opts);
     let rt = Arc::new(rt);
-    let config = osql_server::ServerConfig {
+    let mut config = osql_server::ServerConfig {
         shards: opts.shards.max(1),
         ..osql_server::ServerConfig::default()
     };
+    let mut follower: Option<(Arc<osql_repl::ReplState>, std::thread::JoinHandle<()>)> = None;
+    if let Some(root) = &opts.follow {
+        let state = Arc::new(osql_repl::ReplState::new(
+            (opts.poll_ms.max(1)).div_ceil(1000).max(1),
+        ));
+        config.repl = Some(state.clone());
+        let loop_state = state.clone();
+        let ship_root = std::path::PathBuf::from(root);
+        let store_dir = std::path::PathBuf::from(opts.store.as_deref().unwrap_or_default());
+        let assets = rt.assets().clone();
+        let poll = std::time::Duration::from_millis(opts.poll_ms.max(1));
+        let handle = std::thread::Builder::new()
+            .name("osql-repl-follow".into())
+            .spawn(move || {
+                while !loop_state.shutdown_requested() {
+                    match crate::repl_cmd::follow_round(&ship_root, &store_dir, &loop_state) {
+                        Ok(rounds) => {
+                            for (db, outcome) in rounds {
+                                if matches!(&outcome, Ok(r) if r.applied_txns > 0) {
+                                    // drop the cached pipeline + paged store so
+                                    // the next read sees the applied state
+                                    assets.invalidate(&db);
+                                }
+                            }
+                        }
+                        Err(e) => eprintln!("follower round failed: {e}"),
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("spawn follower loop");
+        follower = Some((state, handle));
+    }
     let addr = opts.http.as_deref().unwrap_or("127.0.0.1:0");
     let server = match osql_server::Server::start(rt.clone(), addr, config) {
         Ok(s) => s,
         Err(e) => return format!("cannot bind {addr}: {e}\n"),
     };
     eprintln!(
-        "serving {} database(s) on http://{} ({} shard(s), {} worker(s)); \
+        "serving {} database(s) on http://{} ({} shard(s), {} worker(s){}); \
          POST /v1/query, GET /metrics /healthz /v1/catalog; Ctrl-D to stop",
         benchmark.dbs.len(),
         server.local_addr(),
         opts.shards.max(1),
-        opts.workers
+        opts.workers,
+        if opts.follow.is_some() { ", read-only follower" } else { "" }
     );
     // block until EOF, then drain connections before reporting
     let mut sink = String::new();
     while matches!(input.read_line(&mut sink), Ok(n) if n > 0) {
         sink.clear();
+    }
+    if let Some((state, handle)) = follower {
+        state.request_shutdown();
+        let _ = handle.join();
     }
     let drained = server.shutdown();
     let mut out = rt.metrics().render();

@@ -42,14 +42,26 @@ pub fn run_catalog(dir: &Path) -> Result<String, String> {
     if ids.is_empty() {
         return Ok(format!("no .store files in {}", dir.display()));
     }
-    let mut out = format!("{:<24} {:>12} {:>10}\n", "db", "bytes", "wal");
+    let mut out = format!(
+        "{:<24} {:>12} {:>10} {:>9} {:>12}\n",
+        "db", "bytes", "wal", "base_seq", "last_commit"
+    );
     let mut total = 0u64;
     for id in &ids {
         let path = catalog.store_path(id);
         let bytes = std::fs::metadata(&path).map_err(|e| format!("{}: {e}", path.display()))?.len();
         let wal_bytes = std::fs::metadata(osql_store::wal_path(&path)).map(|m| m.len()).unwrap_or(0);
         total += bytes + wal_bytes;
-        let _ = writeln!(out, "{id:<24} {bytes:>12} {wal_bytes:>10}");
+        // the store's durable position: commits folded into the base,
+        // plus whatever the sidecar WAL extends it to
+        let base_seq = osql_store::read_toc(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .base_seq;
+        let wal_last = std::fs::read(osql_store::wal_path(&path))
+            .map(|buf| osql_store::audit(&buf).last_commit_seq)
+            .unwrap_or(0);
+        let last_commit = base_seq.max(wal_last);
+        let _ = writeln!(out, "{id:<24} {bytes:>12} {wal_bytes:>10} {base_seq:>9} {last_commit:>12}");
     }
     let _ = writeln!(out, "{} database(s), {total} bytes total", ids.len());
     Ok(out)
@@ -65,10 +77,13 @@ pub fn run_fsck(path: &Path) -> (String, bool) {
         Ok(report) => {
             let _ = writeln!(
                 out,
-                "{}: {} page(s), {} section(s)",
+                "{}: {} page(s), {} section(s), base_seq {}",
                 path.display(),
                 report.pages,
-                report.sections
+                report.sections,
+                report
+                    .base_seq
+                    .map_or_else(|| "unknown".to_owned(), |s| s.to_string())
             );
             for f in &report.findings {
                 let _ = writeln!(out, "  CORRUPT: {f}");
@@ -86,16 +101,45 @@ pub fn run_fsck(path: &Path) -> (String, bool) {
             let audit = osql_store::audit(&buf);
             let _ = writeln!(
                 out,
-                "{}: {} record(s), {} commit(s), {} fsync mark(s), {} uncommitted tail byte(s)",
+                "{}: {} record(s), {} commit(s) (last seq {}), {} fsync mark(s), \
+                 {} uncommitted tail byte(s)",
                 wal.display(),
                 audit.records,
                 audit.commits,
+                audit.last_commit_seq,
                 audit.fsync_marks,
                 audit.tail_bytes
             );
             if let Some(f) = &audit.finding {
                 let _ = writeln!(out, "  CORRUPT: {f}");
                 dirty = true;
+            }
+            // replay dry-run onto a scratch copy of the base: proves
+            // recovery would succeed and surfaces the commits replay
+            // refuses to double-apply (a crash between a checkpoint's
+            // base publish and its WAL truncation leaves them behind)
+            if let Ok(mut loaded) = osql_store::read_database(path) {
+                match osql_store::replay_into(&mut loaded.database, &buf, loaded.base_seq) {
+                    Ok(replay) => {
+                        let _ = write!(
+                            out,
+                            "  replay dry-run: {} commit(s) applied, {} skipped",
+                            replay.committed, replay.commits_skipped
+                        );
+                        if replay.commits_skipped > 0 {
+                            let _ = write!(
+                                out,
+                                " (seq {}..={}, already folded into the base)",
+                                replay.first_skipped_seq, replay.last_skipped_seq
+                            );
+                        }
+                        out.push('\n');
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "  CORRUPT: replay dry-run failed: {e}");
+                        dirty = true;
+                    }
+                }
             }
         }
         Err(_) => {
@@ -156,6 +200,65 @@ mod tests {
         let (out, dirty) = run_fsck(&path);
         assert!(dirty, "corruption must fail fsck:\n{out}");
         assert!(out.contains("CORRUPT"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_surfaces_the_skipped_commit_range() {
+        let dir = tmpdir("skips");
+        let path = dir.join("crashy.store");
+        let mut store = osql_store::Store::create(
+            &path,
+            sqlkit::Database::default(),
+            Vec::new(),
+        )
+        .unwrap();
+        store.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+        store.commit().unwrap();
+        store.execute("INSERT INTO t VALUES (1)").unwrap();
+        store.commit().unwrap();
+        // simulate a crash between the checkpoint's base publish and
+        // its WAL truncation: the full log survives next to a base that
+        // already folded it in
+        let stale_wal = std::fs::read(osql_store::wal_path(&path)).unwrap();
+        store.checkpoint().unwrap();
+        drop(store);
+        std::fs::write(osql_store::wal_path(&path), &stale_wal).unwrap();
+
+        let (out, dirty) = run_fsck(&path);
+        assert!(!dirty, "skipped commits are healthy, not corruption:\n{out}");
+        assert!(out.contains("base_seq 2"), "{out}");
+        assert!(out.contains("(last seq 2)"), "{out}");
+        assert!(
+            out.contains("0 commit(s) applied, 2 skipped (seq 1..=2"),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn catalog_lists_the_durable_position() {
+        let dir = tmpdir("position");
+        let path = dir.join("pos.store");
+        let mut store = osql_store::Store::create(
+            &path,
+            sqlkit::Database::default(),
+            Vec::new(),
+        )
+        .unwrap();
+        store.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+        store.commit().unwrap();
+        store.checkpoint().unwrap();
+        store.execute("INSERT INTO t VALUES (1)").unwrap();
+        store.commit().unwrap();
+        drop(store);
+        let listing = run_catalog(&dir).unwrap();
+        // base folded seq 1, the live WAL extends the position to 2
+        assert!(listing.contains("base_seq"), "{listing}");
+        let row = listing.lines().find(|l| l.starts_with("pos")).unwrap().to_owned();
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(cols[3], "1", "base_seq column: {row}");
+        assert_eq!(cols[4], "2", "last_commit column: {row}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,161 @@
+//! The shipping manifest: one small CRC'd file advertising how far the
+//! stream has been published.
+//!
+//! Layout (little-endian, via the store's codec):
+//!
+//! ```text
+//! magic "OSQLMAN1" | version u32 | last_commit_seq u64 |
+//! segment count u32 | per segment: start u64, end u64, bytes u64, crc u32 |
+//! crc32 u32 over everything before it
+//! ```
+//!
+//! The manifest is the follower's single source of truth: it applies
+//! nothing past `last_commit_seq` (a segment holding more than the
+//! manifest advertises is a publish in progress, not data), and it
+//! expects every advertised segment to be present and to match its
+//! recorded byte length and CRC. The shipper always publishes the
+//! segment *before* the manifest that advertises it, and both writes go
+//! through temp-file + rename, so a reader never observes a manifest
+//! pointing at bytes that were never made durable.
+
+use crate::ReplError;
+use osql_store::{crc32, Dec, Enc};
+
+/// Manifest file name inside a shipping directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Manifest magic.
+pub const MANIFEST_MAGIC: u64 = u64::from_le_bytes(*b"OSQLMAN1");
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One published segment, as the manifest advertises it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// First commit sequence the segment carries.
+    pub start_seq: u64,
+    /// Last commit sequence the segment carries.
+    pub end_seq: u64,
+    /// Exact byte length of the segment file.
+    pub bytes: u64,
+    /// CRC-32 over the whole segment file (magic included).
+    pub crc: u32,
+}
+
+/// The shipping directory's advertised state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Last commit sequence published — the follower's apply target.
+    pub last_commit_seq: u64,
+    /// Published segments in stream order.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// Encode, with the trailing whole-payload CRC.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.put_u64(MANIFEST_MAGIC);
+        enc.put_u32(MANIFEST_VERSION);
+        enc.put_u64(self.last_commit_seq);
+        enc.put_u32(self.segments.len() as u32);
+        for s in &self.segments {
+            enc.put_u64(s.start_seq);
+            enc.put_u64(s.end_seq);
+            enc.put_u64(s.bytes);
+            enc.put_u32(s.crc);
+        }
+        let mut out = enc.into_bytes();
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decode and verify a manifest. Every failure — truncation, bad
+    /// magic, version skew, checksum mismatch, trailing bytes — is a
+    /// typed corruption error, never a partial manifest: a follower must
+    /// not act on an advertisement it cannot fully trust.
+    pub fn decode(buf: &[u8]) -> Result<Manifest, ReplError> {
+        if buf.len() < 4 {
+            return Err(ReplError::Corrupt(format!(
+                "manifest is {} bytes, shorter than its checksum",
+                buf.len()
+            )));
+        }
+        let (payload, tail) = buf.split_at(buf.len() - 4);
+        let expect = u32::from_le_bytes(tail.try_into().expect("4 bytes"));
+        if crc32(payload) != expect {
+            return Err(ReplError::Corrupt("manifest checksum mismatch".to_owned()));
+        }
+        let mut dec = Dec::new(payload);
+        let corrupt = |what: &str| ReplError::Corrupt(format!("manifest truncated in {what}"));
+        let magic = dec.get_u64().map_err(|_| corrupt("magic"))?;
+        if magic != MANIFEST_MAGIC {
+            return Err(ReplError::Corrupt("bad manifest magic".to_owned()));
+        }
+        let version = dec.get_u32().map_err(|_| corrupt("version"))?;
+        if version != MANIFEST_VERSION {
+            return Err(ReplError::Corrupt(format!("unsupported manifest version {version}")));
+        }
+        let last_commit_seq = dec.get_u64().map_err(|_| corrupt("last_commit_seq"))?;
+        let n = dec.get_u32().map_err(|_| corrupt("segment count"))? as usize;
+        let mut segments = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            segments.push(SegmentMeta {
+                start_seq: dec.get_u64().map_err(|_| corrupt("segment entry"))?,
+                end_seq: dec.get_u64().map_err(|_| corrupt("segment entry"))?,
+                bytes: dec.get_u64().map_err(|_| corrupt("segment entry"))?,
+                crc: dec.get_u32().map_err(|_| corrupt("segment entry"))?,
+            });
+        }
+        if dec.remaining() != 0 {
+            return Err(ReplError::Corrupt("trailing bytes after manifest".to_owned()));
+        }
+        Ok(Manifest { last_commit_seq, segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            last_commit_seq: 42,
+            segments: vec![
+                SegmentMeta { start_seq: 1, end_seq: 10, bytes: 900, crc: 0xDEAD_BEEF },
+                SegmentMeta { start_seq: 11, end_seq: 42, bytes: 3000, crc: 7 },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        let empty = Manifest::default();
+        assert_eq!(Manifest::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_rejected() {
+        let buf = sample().encode();
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                Manifest::decode(&bad).is_err(),
+                "flip at byte {i} must not decode to a trusted manifest"
+            );
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_rejected() {
+        let buf = sample().encode();
+        for cut in 0..buf.len() {
+            assert!(Manifest::decode(&buf[..cut]).is_err(), "cut at {cut} must be rejected");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Segment files: the unit of WAL shipping.
+//!
+//! A segment is an 8-byte magic (`OSQLSEG1`) followed by WAL-framed
+//! records — the same `[kind][len][payload][crc32]` framing the store's
+//! log uses, holding each shipped transaction's statement records and
+//! its commit record. Segments are named by the first commit sequence
+//! they carry (`seg-<start_seq as 016x>.seg`), so a directory listing
+//! sorts into stream order lexicographically.
+//!
+//! Decoding reuses [`osql_store::scan_records`]: only statements covered
+//! by an intact commit record come back, and scanning stops at the first
+//! torn or corrupt record — a segment whose tail was cut mid-write
+//! yields exactly its intact transaction prefix and can never invent a
+//! transaction the shipper did not finish publishing.
+
+use crate::ReplError;
+use osql_store::wal::{encode_record, REC_COMMIT, REC_STMT};
+use osql_store::{scan_records, ScannedTxn, TxnScan};
+
+/// Segment file magic.
+pub const SEG_MAGIC: [u8; 8] = *b"OSQLSEG1";
+/// Length of the segment header in bytes.
+pub const SEG_HEADER: usize = 8;
+/// Segment file extension (with the dot).
+pub const SEG_EXT: &str = ".seg";
+
+/// The canonical file name for a segment starting at `start_seq`.
+pub fn segment_name(start_seq: u64) -> String {
+    format!("seg-{start_seq:016x}{SEG_EXT}")
+}
+
+/// Parse a segment file name back into its start sequence (`None` for
+/// anything that is not a canonical segment name).
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("seg-")?.strip_suffix(SEG_EXT)?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Encode transactions as one segment: magic, then per transaction its
+/// statement records followed by its commit record.
+pub fn encode_segment(txns: &[ScannedTxn]) -> Vec<u8> {
+    let mut out = SEG_MAGIC.to_vec();
+    for txn in txns {
+        for stmt in &txn.stmts {
+            out.extend_from_slice(&encode_record(REC_STMT, stmt.as_bytes()));
+        }
+        out.extend_from_slice(&encode_record(REC_COMMIT, &txn.seq.to_le_bytes()));
+    }
+    out
+}
+
+/// Decode a segment into its intact committed transactions. A missing or
+/// mangled magic is an error (the file is not a segment at all); damage
+/// *past* the magic comes back as a [`TxnScan::finding`] with the intact
+/// prefix, because a torn tail is a normal mid-publish observation the
+/// follower retries, not a reason to refuse the transactions before it.
+pub fn decode_segment(buf: &[u8]) -> Result<TxnScan, ReplError> {
+    if buf.len() < SEG_HEADER {
+        return Err(ReplError::Corrupt(format!(
+            "segment is {} bytes, shorter than its header",
+            buf.len()
+        )));
+    }
+    if buf[..SEG_HEADER] != SEG_MAGIC {
+        return Err(ReplError::Corrupt("bad segment magic".to_owned()));
+    }
+    Ok(scan_records(buf, SEG_HEADER))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(seq: u64, stmts: &[&str]) -> ScannedTxn {
+        ScannedTxn { seq, stmts: stmts.iter().map(|s| (*s).to_owned()).collect() }
+    }
+
+    #[test]
+    fn names_round_trip_and_sort_in_stream_order() {
+        for seq in [0u64, 1, 255, 4096, u64::MAX] {
+            assert_eq!(parse_segment_name(&segment_name(seq)), Some(seq));
+        }
+        let mut names: Vec<String> = [300u64, 2, 100].iter().map(|s| segment_name(*s)).collect();
+        names.sort();
+        let seqs: Vec<u64> = names.iter().map(|n| parse_segment_name(n).unwrap()).collect();
+        assert_eq!(seqs, vec![2, 100, 300]);
+        assert_eq!(parse_segment_name("seg-zz.seg"), None);
+        assert_eq!(parse_segment_name("seg-0000000000000001.tmp"), None);
+        assert_eq!(parse_segment_name("MANIFEST"), None);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let txns = vec![
+            txn(4, &["INSERT INTO t VALUES (1)", "UPDATE t SET v = 2"]),
+            txn(5, &[]),
+            txn(6, &["DELETE FROM t"]),
+        ];
+        let buf = encode_segment(&txns);
+        let scan = decode_segment(&buf).unwrap();
+        assert_eq!(scan.txns, txns);
+        assert!(scan.finding.is_none());
+        assert_eq!(scan.tail_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_yields_the_intact_prefix_only() {
+        let txns = vec![txn(1, &["INSERT INTO t VALUES (1)"]), txn(2, &["DELETE FROM t"])];
+        let full = encode_segment(&txns);
+        for cut in SEG_HEADER..full.len() {
+            let scan = decode_segment(&full[..cut]).unwrap();
+            assert!(scan.txns.len() <= 2, "cut at {cut}");
+            for (i, t) in scan.txns.iter().enumerate() {
+                assert_eq!(*t, txns[i], "cut at {cut} must only shorten, never alter");
+            }
+            if cut < full.len() {
+                assert!(scan.txns.len() < 2, "cut inside txn 2 cannot yield txn 2");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_an_error_not_a_finding() {
+        assert!(matches!(decode_segment(b"OSQL"), Err(ReplError::Corrupt(_))));
+        let mut buf = encode_segment(&[txn(1, &["X"])]);
+        buf[0] ^= 0xFF;
+        assert!(matches!(decode_segment(&buf), Err(ReplError::Corrupt(_))));
+    }
+}

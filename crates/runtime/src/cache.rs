@@ -453,6 +453,22 @@ impl AssetCache {
         Ok(p)
     }
 
+    /// Drop one database's cached assets so the next request reloads
+    /// them from disk: the pipeline entry here, and — in paged mode —
+    /// the resident store in the backing catalog. The follower apply
+    /// loop calls this after replaying shipped commits onto a store
+    /// file, so reads on a replica see the new rows instead of a
+    /// pipeline built over the pre-apply snapshot. Returns whether
+    /// anything was resident.
+    pub fn invalidate(&self, db_id: &str) -> bool {
+        let dropped_pipeline = self.pipelines.lock().remove(db_id).is_some();
+        let dropped_store = match &self.source {
+            DbSource::Eager(_) => false,
+            DbSource::Paged(cat) => cat.invalidate(db_id),
+        };
+        dropped_pipeline || dropped_store
+    }
+
     /// Databases preprocessed so far.
     pub fn len(&self) -> usize {
         self.pipelines.lock().len()
@@ -702,6 +718,38 @@ mod tests {
         assert_eq!(paged.load_errors(), 1);
         assert!(matches!(paged.pipeline("ghost"), Err(AssetMiss::UnknownDb)));
         assert_eq!(paged.load_errors(), 1, "unknown id must not count as a load error");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalidate_forces_a_reload_from_disk() {
+        let bench = Arc::new(generate(&Profile::tiny()));
+        let llm = Arc::new(SimLlm::new(
+            Arc::new(Oracle::new(bench.clone())),
+            ModelProfile::gpt_4o(),
+            5,
+        ));
+        let dir = std::env::temp_dir()
+            .join(format!("osql-invalidate-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        datagen::export_store(&bench, &dir).unwrap();
+        let catalog = Arc::new(open_paged_catalog(&dir, u64::MAX, &bench.name).unwrap());
+        let paged =
+            AssetCache::paged(catalog.clone(), llm.clone(), PipelineConfig::fast(), &bench.train);
+        let db = bench.dbs[0].id.clone();
+        let before = paged.pipeline(&db).unwrap();
+        assert!(catalog.is_resident(&db));
+        assert!(paged.invalidate(&db), "a resident db reports the drop");
+        assert!(!catalog.is_resident(&db), "the store left the catalog too");
+        let after = paged.pipeline(&db).unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "the pipeline was rebuilt from disk");
+        assert_eq!(catalog.loads(), 2);
+        assert!(!paged.invalidate("ghost"), "nothing resident, nothing dropped");
+        // eager mode: only the pipeline entry exists to drop
+        let eager = AssetCache::new(bench.clone(), llm, PipelineConfig::fast());
+        eager.pipeline(&db).unwrap();
+        assert!(eager.invalidate(&db));
+        assert!(!eager.invalidate(&db));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -20,8 +20,20 @@
 //! |---|---|
 //! | `POST /v1/query` | `{"db_id","question","evidence"?}` → SQL + timings |
 //! | `GET /metrics` | Prometheus-style exposition of the runtime registry |
-//! | `GET /healthz` | liveness + queue snapshot |
+//! | `GET /healthz` | liveness + queue snapshot + replication role/lag |
 //! | `GET /v1/catalog` | demand-paged store state (or eager-mode summary) |
+//!
+//! ## Follower reads
+//!
+//! With [`ServerConfig::repl`] set (an [`osql_repl::ReplState`] the
+//! local apply loop publishes into), the server serves as a read-only
+//! replica with bounded staleness: a `X-Osql-Min-Seq: n` request header
+//! is an admission floor — the request is only served if the replica has
+//! applied commit `n`, and is otherwise rejected with `503` and an
+//! honest `Retry-After`. Served responses carry `X-Osql-Applied-Seq` so
+//! clients can chain floors (read-your-writes across a promote), and
+//! `/healthz` + `/metrics` expose per-database applied/target sequences
+//! and lag.
 //!
 //! ## Backpressure
 //!

@@ -18,8 +18,10 @@ use crate::coalesce::{Coalescer, Joined, Rendered};
 use crate::http::{self, HttpError, Limits, Request};
 use crate::json::{self, ObjectWriter};
 use crate::quota::{Admit, QuotaConfig, QuotaRegistry};
+use osql_repl::ReplState;
 use osql_runtime::{
-    normalize_question, CancelReason, QueryRequest, ResultKey, Runtime, ServeError, SubmitError,
+    normalize_question, retry_after_secs, CancelReason, QueryRequest, ResultKey, Runtime,
+    ServeError, SubmitError,
 };
 use osql_trace::active;
 use osql_trace::{RequestOutcome, RequestRecord};
@@ -43,6 +45,14 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Per-API-key token-bucket quota (`None` disables quotas).
     pub quota: Option<QuotaConfig>,
+    /// Follower serving mode: the replication state the local apply loop
+    /// publishes into. When set, `POST /v1/query` honours the
+    /// `X-Osql-Min-Seq` bounded-staleness header (503 + `Retry-After`
+    /// when the replica has not yet applied the requested floor),
+    /// successful answers carry `X-Osql-Applied-Seq`, and `/healthz` and
+    /// `/metrics` expose per-database replication lag. `None` serves as
+    /// a primary, which trivially satisfies any staleness floor.
+    pub repl: Option<Arc<ReplState>>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +62,7 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             read_timeout: Duration::from_secs(5),
             quota: None,
+            repl: None,
         }
     }
 }
@@ -287,6 +298,9 @@ fn route(shared: &Shared, req: &Request) -> Routed {
         ("GET", "/metrics") => {
             let mut text = shared.rt.metrics().render_prometheus();
             text.push_str(&shared.rt.windowed().render_prometheus());
+            if let Some(state) = &shared.config.repl {
+                text.push_str(&repl_exposition(state));
+            }
             Routed {
                 rendered: Arc::new(Rendered {
                     status: 200,
@@ -328,6 +342,36 @@ fn healthz(shared: &Shared) -> Routed {
         Some(age) => obj.u64_field("last_slow_age_secs", age),
         None => obj.raw_field("last_slow_age_secs", "null"),
     };
+    match &shared.config.repl {
+        Some(state) => {
+            obj.str_field("role", "follower")
+                .u64_field("repl_max_lag", state.max_lag())
+                .u64_field("repl_stale_rejections", state.stale_rejections());
+            let mut dbs = String::from("[");
+            for (i, (db, status)) in state.snapshot().iter().enumerate() {
+                if i > 0 {
+                    dbs.push(',');
+                }
+                let mut entry = ObjectWriter::new();
+                entry
+                    .str_field("db_id", db)
+                    .u64_field("applied_seq", status.applied_seq)
+                    .u64_field("target_seq", status.target_seq)
+                    .u64_field("lag", status.lag())
+                    .u64_field("polls", status.polls);
+                match &status.last_error {
+                    Some(err) => entry.str_field("last_error", err),
+                    None => entry.raw_field("last_error", "null"),
+                };
+                dbs.push_str(&entry.finish());
+            }
+            dbs.push(']');
+            obj.raw_field("replication", &dbs);
+        }
+        None => {
+            obj.str_field("role", "primary");
+        }
+    }
     Routed::json(200, obj.finish())
 }
 
@@ -354,6 +398,29 @@ fn debug_trace(shared: &Shared, id: &str) -> Routed {
         Some(rec) => Routed::json(200, rec.to_json(true)),
         None => Routed::error(404, "no such trace id (evicted or never recorded)"),
     }
+}
+
+/// Prometheus-style exposition of the follower's replication state,
+/// appended to the runtime registry's `/metrics` output: per-database
+/// applied/target sequences and lag plus the fetch/apply/rejection
+/// totals, so a dashboard sees staleness the same way admission does.
+fn repl_exposition(state: &ReplState) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (db, status) in state.snapshot() {
+        let _ = writeln!(out, "repl_applied_seq{{db=\"{db}\"}} {}", status.applied_seq);
+        let _ = writeln!(out, "repl_target_seq{{db=\"{db}\"}} {}", status.target_seq);
+        let _ = writeln!(out, "repl_lag{{db=\"{db}\"}} {}", status.lag());
+        let _ = writeln!(out, "repl_polls_total{{db=\"{db}\"}} {}", status.polls);
+        let _ = writeln!(
+            out,
+            "repl_segments_fetched_total{{db=\"{db}\"}} {}",
+            status.segments_fetched
+        );
+        let _ = writeln!(out, "repl_txns_applied_total{{db=\"{db}\"}} {}", status.txns_applied);
+    }
+    let _ = writeln!(out, "repl_stale_rejections_total {}", state.stale_rejections());
+    out
 }
 
 fn catalog(shared: &Shared) -> Routed {
@@ -465,6 +532,22 @@ fn query(shared: &Shared, req: &Request) -> Routed {
     };
     let evidence = json::field(&fields, "evidence").unwrap_or("");
 
+    // Bounded-staleness floor: the caller's minimum acceptable applied
+    // sequence. Parsed before admission so a malformed header is a 400
+    // even on a primary (where any floor is trivially met).
+    let min_seq = match req.header("x-osql-min-seq") {
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                return Routed::error(
+                    400,
+                    "invalid X-Osql-Min-Seq (expected a decimal commit sequence)",
+                )
+            }
+        },
+        None => None,
+    };
+
     if let Some(quota) = &shared.quota {
         let api_key = req.header("x-api-key").unwrap_or("anonymous");
         if let Admit::Rejected { retry_after_secs } = quota.admit(api_key) {
@@ -489,6 +572,51 @@ fn query(shared: &Shared, req: &Request) -> Routed {
                 }),
                 content_type: "application/json",
                 extra_headers: id_header,
+            };
+        }
+    }
+
+    // Follower mode: resolve the replica's applied position once, before
+    // the coalescer — the bound checked here stays valid for the whole
+    // request because `applied_seq` is monotonic (the model suite pins
+    // this), so an admitted read can never observe data older than the
+    // requested floor.
+    let applied_seq = shared.config.repl.as_ref().and_then(|s| s.applied_seq(db_id));
+    let mut extra_headers = id_header;
+    if let Some(applied) = applied_seq {
+        extra_headers.push(("x-osql-applied-seq".to_owned(), applied.to_string()));
+    }
+    if let (Some(state), Some(min)) = (&shared.config.repl, min_seq) {
+        // no apply loop has reported this database yet: every floor is
+        // unmet (applied position unknown, assume 0)
+        let applied = applied_seq.unwrap_or(0);
+        if applied < min {
+            state.record_stale_rejection();
+            shared.rt.metrics().counter("repl_stale_reads_total").inc();
+            trace_event(shared, "http_stale_read", &[("db_id", db_id)]);
+            shared.rt.flight().record(flight_note(
+                &trace_id,
+                db_id,
+                question,
+                RequestOutcome::Stale,
+                Some(format!("applied_seq {applied} below requested floor {min}")),
+            ));
+            let retry = retry_after_secs(state.retry_hint_secs() as f64, 60);
+            let mut obj = ObjectWriter::new();
+            obj.str_field("error", "replica not caught up")
+                .str_field("trace_id", &trace_id)
+                .u64_field("applied_seq", applied)
+                .u64_field("min_seq", min)
+                .u64_field("retry_after_secs", retry);
+            return Routed {
+                rendered: Arc::new(Rendered {
+                    status: 503,
+                    body: Arc::new(obj.finish().into_bytes()),
+                    retry_after_secs: Some(retry),
+                    trace_id: Some(trace_id),
+                }),
+                content_type: "application/json",
+                extra_headers,
             };
         }
     }
@@ -592,5 +720,5 @@ fn query(shared: &Shared, req: &Request) -> Routed {
             }
         }
     };
-    Routed { rendered, content_type: "application/json", extra_headers: id_header }
+    Routed { rendered, content_type: "application/json", extra_headers }
 }

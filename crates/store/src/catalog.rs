@@ -62,6 +62,7 @@ pub struct Catalog<T> {
     inner: Mutex<Inner<T>>,
     loads: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
     resident_bytes: AtomicU64,
 }
 
@@ -99,6 +100,7 @@ impl<T> Catalog<T> {
             inner: Mutex::new(Inner { entries: HashMap::new(), tick: 0, events: Vec::new() }),
             loads: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
             resident_bytes: AtomicU64::new(0),
         })
     }
@@ -177,6 +179,22 @@ impl<T> Catalog<T> {
         }
     }
 
+    /// Drop a resident entry so the next [`Catalog::get`] reloads it
+    /// from disk. Returns whether the id was resident. This is how a
+    /// replication follower makes freshly applied WAL commits visible:
+    /// the store file (or its sidecar WAL) changed underneath the
+    /// catalog, and the stale in-memory copy must not keep serving.
+    /// Counted separately from budget evictions, and surfaced as a
+    /// [`CatalogEvent::Evict`] so pipelines keyed on the entry drop too.
+    pub fn invalidate(&self, id: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(entry) = inner.entries.remove(id) else { return false };
+        self.resident_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        inner.events.push(CatalogEvent::Evict { id: id.to_owned(), bytes: entry.bytes });
+        true
+    }
+
     /// Ids currently resident, most recently used first.
     pub fn resident(&self) -> Vec<(String, u64)> {
         let inner = self.inner.lock();
@@ -218,6 +236,12 @@ impl<T> Catalog<T> {
     /// Databases evicted to stay under budget.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by [`Catalog::invalidate`] (staleness, not budget
+    /// pressure).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
     }
 }
 
@@ -310,6 +334,29 @@ mod tests {
         .unwrap();
         assert!(cat.get("a").is_ok());
         assert!(cat.get("ghost").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalidate_drops_entry_and_forces_reload() {
+        let dir = tmpdir("invalidate", &["a", "b"]);
+        let cat = open_fixed(&dir, 1000, 10);
+        cat.get("a").unwrap();
+        cat.get("b").unwrap();
+        assert_eq!(cat.loads(), 2);
+        assert!(cat.invalidate("a"), "resident entry invalidates");
+        assert!(!cat.is_resident("a"));
+        assert!(cat.is_resident("b"), "other entries untouched");
+        assert_eq!(cat.resident_bytes(), 10, "bytes released");
+        assert!(!cat.invalidate("a"), "already gone");
+        assert!(!cat.invalidate("ghost"), "never loaded");
+        assert_eq!(cat.invalidations(), 1);
+        assert_eq!(cat.evictions(), 0, "invalidation is not budget pressure");
+        cat.get("a").unwrap();
+        assert_eq!(cat.loads(), 3, "next get reloads from disk");
+        assert!(cat
+            .take_events()
+            .contains(&CatalogEvent::Evict { id: "a".to_owned(), bytes: 10 }));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -430,6 +430,24 @@ pub fn read_database(path: &Path) -> Result<LoadedStore, StoreError> {
     Ok(LoadedStore { database, blobs, file_bytes: file.len() as u64, base_seq: toc.base_seq })
 }
 
+/// Read only a store file's TOC page — the cheap way to learn a store's
+/// identity and durable position (`base_seq`) without decoding any row
+/// sections. Operators use this (via the `catalog`/`fsck` CLI modes) to
+/// compare a primary's position against a follower's by hand.
+pub fn read_toc(path: &Path) -> Result<Toc, StoreError> {
+    use std::io::Read as _;
+    let mut f = fs::File::open(path)?;
+    let mut page = vec![0u8; PAGE_SIZE];
+    f.read_exact(&mut page)
+        .map_err(|_| StoreError::corrupt(format!("file shorter than one {PAGE_SIZE}-byte page")))?;
+    let (ty, payload) =
+        unpack_page(&page).map_err(|e| StoreError::corrupt(format!("TOC page: {e}")))?;
+    if ty != PAGE_TOC {
+        return Err(StoreError::corrupt(format!("page 0 has type {ty}, expected TOC")));
+    }
+    decode_toc(payload)
+}
+
 /// Full audit of a store file: every page and every section is checked,
 /// and *all* findings are collected rather than stopping at the first.
 #[derive(Debug, Default)]
@@ -438,6 +456,9 @@ pub struct FsckReport {
     pub pages: usize,
     /// Sections listed in the TOC.
     pub sections: usize,
+    /// The TOC's `base_seq` — the last WAL commit folded into this base
+    /// file — when the TOC decoded (`None` when it did not).
+    pub base_seq: Option<u64>,
     /// Human-readable corruption findings (empty means clean).
     pub findings: Vec<String>,
 }
@@ -480,6 +501,7 @@ pub fn fsck_file(path: &Path) -> Result<FsckReport, StoreError> {
         }
     };
     report.sections = toc.sections.len();
+    report.base_seq = Some(toc.base_seq);
     for s in &toc.sections {
         if let Err(e) = section_bytes(&file, s) {
             report.findings.push(e.to_string());

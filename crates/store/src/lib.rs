@@ -40,11 +40,14 @@ pub mod wal;
 pub use catalog::{Catalog, CatalogEvent, STORE_EXT};
 pub use codec::{crc32, CodecError, Dec, Enc};
 pub use fault::{FaultFile, FaultPlan};
-pub use file::{fsck_file, read_database, write_database, FsckReport, LoadedStore};
+pub use file::{fsck_file, read_database, read_toc, write_database, FsckReport, LoadedStore, Toc};
 pub use page::{PAGE_PAYLOAD, PAGE_SIZE};
 pub use stats::{store_stats, LatencySnapshot, StoreStats, STORE_US_BOUNDS};
 pub use store::{wal_path, OpenReport, Store};
-pub use wal::{audit, replay_into, FsMedia, ReplayReport, Wal, WalAudit, WalMedia};
+pub use wal::{
+    audit, replay_into, scan_records, FsMedia, ReplayReport, ScannedTxn, TxnScan, Wal, WalAudit,
+    WalMedia,
+};
 
 /// Any failure in the storage layer: an I/O error from the filesystem
 /// or a corruption finding from a checksum/decode path.

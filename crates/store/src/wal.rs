@@ -168,6 +168,14 @@ pub struct ReplayReport {
     /// Committed transactions skipped because the base snapshot already
     /// folded them in (their seq was at or below the base's `base_seq`).
     pub commits_skipped: u64,
+    /// Sequence number of the first skipped commit (0 when none were
+    /// skipped) — with [`ReplayReport::last_skipped_seq`], the exact
+    /// range a checkpoint's base publish already folded in, so operators
+    /// comparing primary and follower positions see which transactions
+    /// replay refused to double-apply.
+    pub first_skipped_seq: u64,
+    /// Sequence number of the last skipped commit (0 when none).
+    pub last_skipped_seq: u64,
     /// Statements re-executed (across all committed transactions).
     pub stmts_applied: u64,
     /// Sequence number of the last commit record seen, applied or
@@ -191,6 +199,10 @@ pub struct WalAudit {
     pub commits: u64,
     /// Fsync markers among them.
     pub fsync_marks: u64,
+    /// Sequence number of the last commit record scanned (0 when the
+    /// log holds no commits) — together with the base file's `base_seq`,
+    /// the store's durable position.
+    pub last_commit_seq: u64,
     /// Offset just past the last commit record.
     pub committed_offset: u64,
     /// Bytes past the committed prefix.
@@ -253,6 +265,10 @@ pub fn replay_into(
                             // transaction's effects — drop it unapplied
                             pending.clear();
                             report.commits_skipped += 1;
+                            if report.first_skipped_seq == 0 {
+                                report.first_skipped_seq = seq;
+                            }
+                            report.last_skipped_seq = seq;
                         } else {
                             for sql in pending.drain(..) {
                                 let text = std::str::from_utf8(sql).map_err(|_| {
@@ -282,6 +298,76 @@ pub fn replay_into(
     Ok(report)
 }
 
+/// One committed transaction recovered by a structural scan: its commit
+/// sequence number and the statements it carried, in log order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedTxn {
+    /// The transaction's commit sequence number.
+    pub seq: u64,
+    /// The SQL statements committed, in append order.
+    pub stmts: Vec<String>,
+}
+
+/// What [`scan_records`] recovered from a record region.
+#[derive(Debug, Default, Clone)]
+pub struct TxnScan {
+    /// Fully committed transactions, in log order.
+    pub txns: Vec<ScannedTxn>,
+    /// Offset just past the last intact commit record — the prefix that
+    /// is safe to ship or apply.
+    pub committed_offset: u64,
+    /// Bytes past the committed prefix (uncommitted tail or damage).
+    pub tail_bytes: u64,
+    /// Why scanning stopped early, when it did (torn or corrupt record,
+    /// non-UTF-8 statement).
+    pub finding: Option<String>,
+}
+
+/// Structurally scan the record region of a WAL-framed byte stream
+/// (bytes from `start` onward use the shared
+/// `[kind][len][payload][crc32]` framing) into committed transactions,
+/// without executing anything.
+///
+/// This is the replication shipper's and follower's view of a log: only
+/// statements covered by an intact commit record are returned, scanning
+/// stops at the first torn or corrupt record, and trailing statements
+/// without a commit are reported as tail bytes — so a torn segment tail
+/// can never invent a transaction the writer did not finish.
+pub fn scan_records(buf: &[u8], start: usize) -> TxnScan {
+    let mut scan = TxnScan { committed_offset: start.min(buf.len()) as u64, ..TxnScan::default() };
+    let mut pos = start;
+    let mut pending: Vec<String> = Vec::new();
+    loop {
+        match parse_record(buf, pos) {
+            Ok(None) => break,
+            Ok(Some((rec, next))) => {
+                match rec {
+                    Parsed::Stmt(sql) => match std::str::from_utf8(sql) {
+                        Ok(text) => pending.push(text.to_owned()),
+                        Err(_) => {
+                            scan.finding =
+                                Some(format!("non-UTF-8 statement at offset {pos}"));
+                            break;
+                        }
+                    },
+                    Parsed::Commit(seq) => {
+                        scan.txns.push(ScannedTxn { seq, stmts: std::mem::take(&mut pending) });
+                        scan.committed_offset = next as u64;
+                    }
+                    Parsed::Fsync => {}
+                }
+                pos = next;
+            }
+            Err(msg) => {
+                scan.finding = Some(msg);
+                break;
+            }
+        }
+    }
+    scan.tail_bytes = (buf.len() as u64).saturating_sub(scan.committed_offset);
+    scan
+}
+
 /// Structurally audit a log without executing anything (fsck's view).
 pub fn audit(buf: &[u8]) -> WalAudit {
     let mut audit = WalAudit::default();
@@ -301,8 +387,9 @@ pub fn audit(buf: &[u8]) -> WalAudit {
             Ok(Some((rec, next))) => {
                 audit.records += 1;
                 match rec {
-                    Parsed::Commit(_) => {
+                    Parsed::Commit(seq) => {
                         audit.commits += 1;
+                        audit.last_commit_seq = seq;
                         audit.committed_offset = next as u64;
                     }
                     Parsed::Fsync => audit.fsync_marks += 1,
@@ -692,6 +779,64 @@ mod tests {
         assert_eq!(report.committed, 1);
         assert_eq!(report.last_commit_seq, 1);
         assert_eq!(fresh.rows("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn replay_reports_the_skipped_seq_range() {
+        let mut db = base_db();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db, 0).unwrap();
+        for i in 1..=4 {
+            wal.append_stmt(&format!("INSERT INTO t VALUES ({i}, 'x')")).unwrap();
+            wal.commit().unwrap();
+        }
+        // base folded in seqs 1..=3: the report pins the exact range
+        let mut fresh = base_db();
+        fresh.execute_script(
+            "INSERT INTO t VALUES (1, 'x'); INSERT INTO t VALUES (2, 'x');\
+             INSERT INTO t VALUES (3, 'x')",
+        )
+        .unwrap();
+        let report = replay_into(&mut fresh, &wal.media.buf, 3).unwrap();
+        assert_eq!(report.commits_skipped, 3);
+        assert_eq!(report.first_skipped_seq, 1);
+        assert_eq!(report.last_skipped_seq, 3);
+        assert_eq!(report.committed, 1);
+        // nothing skipped: range stays (0, 0)
+        let mut none = base_db();
+        let report = replay_into(&mut none, &wal.media.buf, 0).unwrap();
+        assert_eq!(report.commits_skipped, 0);
+        assert_eq!((report.first_skipped_seq, report.last_skipped_seq), (0, 0));
+    }
+
+    #[test]
+    fn scan_records_recovers_txns_and_never_invents_a_tail() {
+        let mut db = base_db();
+        let (mut wal, _) = Wal::open(MemMedia::default(), &mut db, 0).unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (1, 'a')").unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (2, 'b')").unwrap();
+        wal.commit().unwrap();
+        wal.fsync_mark().unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (3, 'c')").unwrap();
+        wal.commit().unwrap();
+        wal.append_stmt("INSERT INTO t VALUES (4, 'orphan')").unwrap();
+        let scan = scan_records(&wal.media.buf, WAL_HEADER as usize);
+        assert_eq!(scan.txns.len(), 2);
+        assert_eq!(scan.txns[0].seq, 1);
+        assert_eq!(scan.txns[0].stmts.len(), 2);
+        assert_eq!(scan.txns[1].seq, 2);
+        assert_eq!(scan.txns[1].stmts, vec!["INSERT INTO t VALUES (3, 'c')".to_owned()]);
+        assert!(scan.tail_bytes > 0, "orphan statement is tail, not a transaction");
+        assert!(scan.finding.is_none(), "clean tail is not a finding");
+        // truncate mid-record at every byte: committed prefix only shrinks
+        // at record boundaries, and no scan ever yields a phantom txn
+        let full = wal.media.buf.clone();
+        for cut in WAL_HEADER as usize..full.len() {
+            let scan = scan_records(&full[..cut], WAL_HEADER as usize);
+            assert!(scan.txns.len() <= 2);
+            for (i, txn) in scan.txns.iter().enumerate() {
+                assert_eq!(txn.seq, (i + 1) as u64, "cut at {cut} invented a seq");
+            }
+        }
     }
 
     #[test]

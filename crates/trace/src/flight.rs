@@ -92,6 +92,9 @@ pub enum RequestOutcome {
     Quota,
     /// Canceled by shutdown before an answer arrived.
     Canceled,
+    /// Rejected on a follower whose applied sequence had not yet
+    /// reached the request's bounded-staleness floor.
+    Stale,
 }
 
 impl RequestOutcome {
@@ -103,6 +106,7 @@ impl RequestOutcome {
             RequestOutcome::Shed => "shed",
             RequestOutcome::Quota => "quota",
             RequestOutcome::Canceled => "canceled",
+            RequestOutcome::Stale => "stale",
         }
     }
 }

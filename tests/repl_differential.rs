@@ -1,0 +1,256 @@
+//! Differential test: a read-only follower must be indistinguishable
+//! from its primary once caught up. The whole replication path runs for
+//! real — pack stores, commit live transactions, ship segments, seed and
+//! poll a follower — then both sides serve the same questions over HTTP
+//! and every follower response whose bounded-staleness floor is met must
+//! be byte-identical to the primary's (volatile timing fields aside).
+//! Floors above the applied position are refused outright, never
+//! answered with stale data.
+
+use llmsim::{ModelProfile, Oracle, SimLlm};
+use opensearch_sql::PipelineConfig;
+use osql_repl::{seed_if_missing, ship_store, Follower, FsShipDir, ReplState};
+use osql_runtime::{AssetCache, Runtime, RuntimeConfig};
+use osql_server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("osql-repl-diff-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Minimal HTTP/1.1 client: one request per connection.
+fn http(addr: SocketAddr, method: &str, path: &str, headers: &[(&str, &str)], body: &str) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+    let mut msg = format!("{method} {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\n");
+    for (k, v) in headers {
+        msg.push_str(&format!("{k}: {v}\r\n"));
+    }
+    if !body.is_empty() {
+        msg.push_str(&format!("content-length: {}\r\n", body.len()));
+    }
+    msg.push_str("\r\n");
+    msg.push_str(body);
+    stream.write_all(msg.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status");
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_owned()));
+        }
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("content-length");
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).unwrap();
+    (status, headers, String::from_utf8(body).unwrap())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+}
+
+fn query_body(db_id: &str, question: &str, evidence: &str) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        "{{\"db_id\":\"{}\",\"question\":\"{}\",\"evidence\":\"{}\"}}",
+        escape(db_id),
+        escape(question),
+        escape(evidence)
+    )
+}
+
+/// Drop the volatile timing fields (`queue_wait_ms`, `total_ms`) whose
+/// values legitimately differ between two servers; everything else in
+/// the body must match byte for byte.
+fn strip_volatile(body: &str) -> String {
+    body.split(',')
+        .filter(|part| !part.contains("\"queue_wait_ms\"") && !part.contains("\"total_ms\""))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// A store-backed runtime over `dir`, deterministic for a fixed seed so
+/// primary and follower produce identical pipelines.
+fn paged_runtime(bench: &Arc<datagen::Benchmark>, dir: &Path) -> Arc<Runtime> {
+    let llm = Arc::new(SimLlm::new(
+        Arc::new(Oracle::new(bench.clone())),
+        ModelProfile::gpt_4o(),
+        0xD1FF,
+    ));
+    let catalog = Arc::new(
+        osql_runtime::open_paged_catalog(dir, u64::MAX, &bench.name).expect("open catalog"),
+    );
+    let assets =
+        Arc::new(AssetCache::paged(catalog, llm, PipelineConfig::fast(), &bench.train));
+    Arc::new(Runtime::start(assets, RuntimeConfig::with_workers(2)))
+}
+
+#[test]
+fn follower_answers_are_byte_identical_when_the_floor_is_met() {
+    let root = tmpdir("serve");
+    let primary_dir = root.join("primary");
+    let ship_root = root.join("ship");
+    let replica_dir = root.join("replica");
+    std::fs::create_dir_all(&replica_dir).unwrap();
+
+    let bench = Arc::new(datagen::generate(&datagen::Profile::tiny()));
+    datagen::export_store(&bench, &primary_dir).unwrap();
+
+    // commit live transactions on every primary store so the shipped
+    // stream carries a real WAL suffix, not just the base snapshot
+    let mut store_paths: Vec<(String, PathBuf)> = bench
+        .dbs
+        .iter()
+        .map(|db| (db.id.clone(), primary_dir.join(format!("{}.store", db.id))))
+        .collect();
+    store_paths.sort();
+    for (i, (_, path)) in store_paths.iter().enumerate() {
+        let (mut store, _) = osql_store::Store::open(path).unwrap();
+        store
+            .execute("CREATE TABLE repl_diff_probe (id INTEGER PRIMARY KEY, v TEXT)")
+            .unwrap();
+        store.execute(&format!("INSERT INTO repl_diff_probe VALUES ({i}, 'x')")).unwrap();
+        store.commit().unwrap();
+    }
+
+    // ship → seed → apply, publishing positions the follower serves by
+    let state = Arc::new(ReplState::new(1));
+    for (db, path) in &store_paths {
+        let media = FsShipDir::open(&ship_root.join(db)).unwrap();
+        ship_store(path, &media).unwrap();
+        let replica_store = replica_dir.join(format!("{db}.store"));
+        assert!(seed_if_missing(&replica_store, &media).unwrap(), "bootstrap from BASE");
+        let (mut follower, _) = Follower::open(&replica_store).unwrap();
+        let report = follower.poll(&media).unwrap();
+        assert_eq!(report.applied_seq, report.target_seq, "caught up");
+        assert!(report.applied_txns > 0, "the live suffix actually shipped");
+        state.note_poll(db, &report);
+    }
+
+    let primary_rt = paged_runtime(&bench, &primary_dir);
+    let follower_rt = paged_runtime(&bench, &replica_dir);
+    let primary =
+        Server::start(primary_rt, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let follower = Server::start(
+        follower_rt,
+        "127.0.0.1:0",
+        ServerConfig { repl: Some(state.clone()), ..ServerConfig::default() },
+    )
+    .unwrap();
+
+    for (i, ex) in bench.dev.iter().take(6).enumerate() {
+        let applied = state.applied_seq(&ex.db_id).expect("polled above");
+        let trace_id = format!("diff-{i}");
+        let body = query_body(&ex.db_id, &ex.question, &ex.evidence);
+        // any floor at or below the applied position must be served
+        // byte-identically to the primary; asking both sides pairwise
+        // keeps their result-cache progression (`from_cache`) in step
+        for min_seq in [0, applied / 2, applied] {
+            let (p_status, _, p_body) = http(
+                primary.local_addr(),
+                "POST",
+                "/v1/query",
+                &[("x-osql-trace-id", &trace_id)],
+                &body,
+            );
+            assert_eq!(p_status, 200, "{p_body}");
+            let (f_status, f_headers, f_body) = http(
+                follower.local_addr(),
+                "POST",
+                "/v1/query",
+                &[("x-osql-trace-id", &trace_id), ("x-osql-min-seq", &min_seq.to_string())],
+                &body,
+            );
+            assert_eq!(f_status, 200, "floor {min_seq} of {applied}: {f_body}");
+            assert_eq!(
+                header(&f_headers, "x-osql-applied-seq"),
+                Some(applied.to_string().as_str())
+            );
+            assert_eq!(
+                strip_volatile(&p_body),
+                strip_volatile(&f_body),
+                "follower diverged from primary at floor {min_seq}"
+            );
+        }
+
+        // a floor past the applied position is refused, never answered
+        // with data older than the request demanded
+        let (f_status, _, f_body) = http(
+            follower.local_addr(),
+            "POST",
+            "/v1/query",
+            &[("x-osql-min-seq", &(applied + 1).to_string())],
+            &body,
+        );
+        assert_eq!(f_status, 503, "{f_body}");
+        assert!(f_body.contains("replica not caught up"), "{f_body}");
+        assert!(!f_body.contains("\"sql\""), "stale rejection must not leak data: {f_body}");
+    }
+
+    assert!(primary.shutdown());
+    assert!(follower.shutdown());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// After promotion the old follower serves as a primary whose committed
+/// state still matches what the old primary shipped — and it accepts
+/// new writes, continuing the sequence.
+#[test]
+fn a_promoted_follower_matches_the_primary_it_replaced() {
+    let root = tmpdir("promote");
+    let primary_dir = root.join("primary");
+    let ship_root = root.join("ship");
+    let replica_dir = root.join("replica");
+    std::fs::create_dir_all(&replica_dir).unwrap();
+
+    let bench = Arc::new(datagen::generate(&datagen::Profile::tiny()));
+    datagen::export_store(&bench, &primary_dir).unwrap();
+    let db = bench.dbs[0].id.clone();
+    let primary_store = primary_dir.join(format!("{db}.store"));
+    let (mut store, _) = osql_store::Store::open(&primary_store).unwrap();
+    store.execute("CREATE TABLE handoff (id INTEGER PRIMARY KEY)").unwrap();
+    store.execute("INSERT INTO handoff VALUES (1)").unwrap();
+    let shipped_seq = store.commit().unwrap();
+    drop(store);
+
+    let media = FsShipDir::open(&ship_root.join(&db)).unwrap();
+    ship_store(&primary_store, &media).unwrap();
+    let replica_store = replica_dir.join(format!("{db}.store"));
+    seed_if_missing(&replica_store, &media).unwrap();
+    let (mut follower, _) = Follower::open(&replica_store).unwrap();
+    follower.poll(&media).unwrap();
+    let (mut promoted, report) = follower.promote().unwrap();
+    assert_eq!(report.promoted_at_seq, shipped_seq);
+
+    // identical committed state on both sides of the handoff
+    let (primary_side, _) = osql_store::Store::open(&primary_store).unwrap();
+    assert_eq!(
+        format!("{:?}", primary_side.database().rows("handoff").unwrap()),
+        format!("{:?}", promoted.database().rows("handoff").unwrap()),
+    );
+
+    // the promoted store is a writable primary continuing the sequence
+    promoted.execute("INSERT INTO handoff VALUES (2)").unwrap();
+    assert_eq!(promoted.commit().unwrap(), shipped_seq + 1);
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
